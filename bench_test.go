@@ -1,0 +1,525 @@
+// Benchmarks regenerating the performance-relevant side of every figure
+// and experiment in DESIGN.md's index. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Mapping (see DESIGN.md §4): F1 BenchmarkCorpusGenerate, F2
+// BenchmarkPipelineEndToEnd, F4 BenchmarkNameVerification, F5
+// BenchmarkRankCandidates, E1 BenchmarkBaselines + BenchmarkMinaretPipeline,
+// E2 BenchmarkKeywordExpansion, E3 BenchmarkCOIDetection, E5
+// BenchmarkSourceParsers / BenchmarkFetchPool / BenchmarkProfileAssembly.
+package minaret_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"minaret/internal/assign"
+	"minaret/internal/baselines"
+	"minaret/internal/keywords"
+	"minaret/internal/ranking"
+	"minaret/internal/coi"
+	"minaret/internal/core"
+	"minaret/internal/experiments"
+	"minaret/internal/fetch"
+	"minaret/internal/nameres"
+	"minaret/internal/ontology"
+	"minaret/internal/profile"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+	"minaret/internal/workload"
+)
+
+// sharedEnv lazily builds one simulated world reused across benchmarks
+// (building it per-benchmark would dominate the timings).
+var sharedEnv *experiments.Env
+
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	if sharedEnv == nil {
+		sharedEnv = experiments.NewEnv(experiments.EnvConfig{Seed: 1234, Scholars: 1000})
+	}
+	return sharedEnv
+}
+
+func sampleItem(b *testing.B, e *experiments.Env, seed int64) workload.Item {
+	b.Helper()
+	items := workload.NewGenerator(e.Corpus, e.Ont, workload.Config{
+		Seed: seed, NumManuscripts: 1,
+	}).Generate()
+	return items[0]
+}
+
+// BenchmarkCorpusGenerate (F1): cost of synthesizing the scholarly world
+// at several scales.
+func BenchmarkCorpusGenerate(b *testing.B) {
+	o := ontology.Default()
+	topics, related := o.Topics(), o.RelatedMap()
+	for _, n := range []int{500, 2000, 8000} {
+		b.Run(fmt.Sprintf("scholars=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := scholarly.MustGenerate(scholarly.GeneratorConfig{
+					Seed: int64(i), NumScholars: n, Topics: topics, Related: related,
+				})
+				if len(c.Publications) == 0 {
+					b.Fatal("empty corpus")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPipelineEndToEnd (F2): the complete extract-filter-rank
+// workflow against the simulated web, cold cache each iteration.
+func BenchmarkPipelineEndToEnd(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9000)
+	eng := e.Engine(core.Config{TopK: 10, MaxCandidates: 80})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Fetcher.InvalidateCache()
+		res, err := eng.Recommend(context.Background(), item.Manuscript)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Recommendations) == 0 {
+			b.Fatal("no recommendations")
+		}
+	}
+}
+
+// BenchmarkPipelineWarmCache (F2/E5): the same workflow with the fetch
+// cache warm — the steady-state an editor session sees.
+func BenchmarkPipelineWarmCache(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9001)
+	eng := e.Engine(core.Config{TopK: 10, MaxCandidates: 80})
+	if _, err := eng.Recommend(context.Background(), item.Manuscript); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Recommend(context.Background(), item.Manuscript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNameVerification (F4): resolving an ambiguous author across
+// all six sources.
+func BenchmarkNameVerification(b *testing.B) {
+	e := env(b)
+	v := nameres.NewVerifier(e.Registry, nameres.Options{})
+	// Use the most ambiguous popular name present.
+	q := nameres.Query{Name: "Lei Zhou"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := v.Verify(context.Background(), q)
+		_ = res.Candidates
+	}
+}
+
+// BenchmarkRankCandidates (F5): pure ranking cost (no extraction) over a
+// pre-assembled candidate pool.
+func BenchmarkRankCandidates(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9002)
+	eng := e.Engine(core.Config{TopK: 100000, MaxCandidates: 120})
+	res, err := eng.Recommend(context.Background(), item.Manuscript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	profiles := make([]*profile.Profile, 0, len(res.Recommendations))
+	for _, rec := range res.Recommendations {
+		profiles = append(profiles, rec.Reviewer)
+	}
+	rk := ranking.New(ranking.Config{
+		HorizonYear: e.Corpus.HorizonYear,
+		TargetVenue: item.Manuscript.TargetVenue,
+	}, e.Ont)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ranked := rk.Rank(profiles, item.Manuscript.Keywords)
+		if len(ranked) != len(profiles) {
+			b.Fatal("rank lost candidates")
+		}
+	}
+}
+
+// BenchmarkMinaretPipeline and BenchmarkBaselines (E1): cost per
+// recommendation for the full system and each comparator.
+func BenchmarkMinaretPipeline(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9003)
+	eng := e.Engine(core.Config{TopK: 20, MaxCandidates: 120})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Recommend(context.Background(), item.Manuscript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9004)
+	q := baselines.Query{Keywords: item.Manuscript.Keywords, AuthorIDs: item.AuthorIDs, ExcludeCOI: true}
+	for _, bl := range baselines.All(e.Ont, 5) {
+		b.Run(bl.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ids := bl.Rank(e.Corpus, q, 20)
+				_ = ids
+			}
+		})
+	}
+}
+
+// BenchmarkKeywordExpansion (E2): semantic expansion cost per keyword
+// set, with and without result caps.
+func BenchmarkKeywordExpansion(b *testing.B) {
+	o := ontology.Default()
+	kws := []string{"rdf", "stream processing", "machine learning"}
+	b.Run("expand-all", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			m := o.ExpandAll(kws, ontology.ExpandOptions{IncludeSeed: true})
+			if len(m) == 0 {
+				b.Fatal("empty expansion")
+			}
+		}
+	})
+	b.Run("similarity-cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if o.Similarity("rdf", "sparql") == 0 {
+				b.Fatal("similarity lost")
+			}
+		}
+	})
+}
+
+// BenchmarkCOIDetection (E3): conflict checking one reviewer against an
+// author list, by track-record size.
+func BenchmarkCOIDetection(b *testing.B) {
+	e := env(b)
+	// Build profiles straight from corpus ground truth (no HTTP).
+	mk := func(id scholarly.ScholarID) *profile.Profile {
+		s := e.Corpus.Scholar(id)
+		p := &profile.Profile{Name: s.Name.Full()}
+		for _, a := range s.Affiliations {
+			p.AffiliationHistory = append(p.AffiliationHistory, sources.AffPeriod{
+				Institution: a.Institution, Country: a.Country,
+				StartYear: a.StartYear, EndYear: a.EndYear,
+			})
+		}
+		for _, pid := range s.Publications {
+			pub := e.Corpus.Publication(pid)
+			var coAuthors []string
+			for _, a := range pub.Authors {
+				coAuthors = append(coAuthors, e.Corpus.Scholar(a).Name.Full())
+			}
+			p.Publications = append(p.Publications, profile.Publication{
+				Title: pub.Title, Year: pub.Year, CoAuthors: coAuthors,
+			})
+		}
+		return p
+	}
+	author := mk(0)
+	var reviewers []*profile.Profile
+	for id := scholarly.ScholarID(1); id < 64; id++ {
+		reviewers = append(reviewers, mk(id))
+	}
+	det := coi.NewDetector(coi.DefaultConfig(e.Corpus.HorizonYear))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range reviewers {
+			_ = det.Detect(r, []*profile.Profile{author})
+		}
+	}
+}
+
+// BenchmarkSourceParsers (E5): per-format parse cost — XML (DBLP), HTML
+// (Google Scholar), JSON (Publons) — over realistic profile payloads.
+func BenchmarkSourceParsers(b *testing.B) {
+	e := env(b)
+	ctx := context.Background()
+	// Fetch one representative payload per source (cache keeps it hot,
+	// so the benchmark measures fetch-layer + parse, not the network).
+	var rich *scholarly.Scholar
+	for i := range e.Corpus.Scholars {
+		s := &e.Corpus.Scholars[i]
+		if s.Presence.Count() == 6 && len(s.Publications) > 10 {
+			rich = s
+			break
+		}
+	}
+	if rich == nil {
+		b.Fatal("no rich scholar")
+	}
+	for _, src := range []string{"dblp", "scholar", "publons", "acm", "orcid", "rid"} {
+		cl, _ := e.Registry.Get(src)
+		id := map[string]func(scholarly.ScholarID) string{
+			"dblp": simwebDBLP, "scholar": simwebScholar, "publons": simwebPublons,
+			"acm": simwebACM, "orcid": simwebORCID, "rid": simwebRID,
+		}[src](rich.ID)
+		b.Run(src, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rec, err := cl.Profile(ctx, id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = rec
+			}
+		})
+	}
+}
+
+// BenchmarkFetchPool (E5): the bounded-concurrency fetch substrate at
+// several worker counts over 64 cached URLs.
+func BenchmarkFetchPool(b *testing.B) {
+	e := env(b)
+	var urls []string
+	for i := range e.Corpus.Scholars {
+		if e.Corpus.Scholars[i].Presence.Publons {
+			urls = append(urls, fmt.Sprintf("%s/publons/api/researcher/%s/",
+				e.BaseURL(), simwebPublons(scholarly.ScholarID(i))))
+			if len(urls) == 64 {
+				break
+			}
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, errs := fetch.Map(context.Background(), workers, urls,
+					func(ctx context.Context, u string) ([]byte, error) {
+						return e.Fetcher.Get(ctx, u)
+					})
+				if n := fetch.CountErrors(errs); n > 0 {
+					b.Fatalf("%d fetches failed", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProfileAssembly (E5): merging all six source records into one
+// unified profile (cache-hot).
+func BenchmarkProfileAssembly(b *testing.B) {
+	e := env(b)
+	var rich *scholarly.Scholar
+	for i := range e.Corpus.Scholars {
+		s := &e.Corpus.Scholars[i]
+		if s.Presence.Count() == 6 && len(s.Publications) > 10 {
+			rich = s
+			break
+		}
+	}
+	asm := profile.NewAssembler(e.Registry, 6)
+	ids := map[string]string{
+		"dblp": simwebDBLP(rich.ID), "scholar": simwebScholar(rich.ID),
+		"publons": simwebPublons(rich.ID), "acm": simwebACM(rich.ID),
+		"orcid": simwebORCID(rich.ID), "rid": simwebRID(rich.ID),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := asm.Assemble(context.Background(), ids)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+	}
+}
+
+// BenchmarkWorkloadGenerate (E1-E4 input): ground-truth judgment cost.
+func BenchmarkWorkloadGenerate(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		items := workload.NewGenerator(e.Corpus, e.Ont, workload.Config{
+			Seed: int64(i), NumManuscripts: 5,
+		}).Generate()
+		if len(items) != 5 {
+			b.Fatal("short workload")
+		}
+	}
+}
+
+// BenchmarkEnrichmentAblation: the cost of cross-matching interest-search
+// candidates on the remaining sources (EnrichProfiles), one of the
+// design choices DESIGN.md calls out — fuller profiles vs extra queries.
+func BenchmarkEnrichmentAblation(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9006)
+	for _, enrich := range []bool{true, false} {
+		enrich := enrich
+		name := "enrich=on"
+		if !enrich {
+			name = "enrich=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.Config{TopK: 10, MaxCandidates: 60, EnrichProfiles: &enrich}
+			eng := e.Engine(cfg)
+			for i := 0; i < b.N; i++ {
+				e.Fetcher.InvalidateCache()
+				if _, err := eng.Recommend(context.Background(), item.Manuscript); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExpansionAblation: retrieval cost with and without semantic
+// keyword expansion (the E2 quality trade, here in wall-clock terms).
+func BenchmarkExpansionAblation(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9007)
+	for _, disable := range []bool{false, true} {
+		name := "expansion=on"
+		if disable {
+			name = "expansion=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			eng := e.Engine(core.Config{TopK: 10, MaxCandidates: 60, DisableExpansion: disable})
+			for i := 0; i < b.N; i++ {
+				e.Fetcher.InvalidateCache()
+				if _, err := eng.Recommend(context.Background(), item.Manuscript); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkKeywordExtraction: RAKE extraction + ontology grounding over
+// a realistic abstract (the missing-keywords intake path).
+func BenchmarkKeywordExtraction(b *testing.B) {
+	const abstract = `We present a system for scalable RDF stream
+processing over distributed infrastructures. Our system compiles SPARQL
+queries into dataflow programs and executes them over a shared-nothing
+cluster, combining learned indexes with adaptive query optimization.
+Experiments demonstrate improvements over existing stream processing
+engines across synthetic and real workloads, while supporting linked
+open data integration, entity resolution and provenance tracking.`
+	ont := ontology.Default()
+	b.Run("extract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := keywords.Extract(abstract, keywords.Options{}); len(got) == 0 {
+				b.Fatal("no phrases")
+			}
+		}
+	})
+	b.Run("extract+ground", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := keywords.FromText(ont, "RDF Stream Processing", abstract, 5); len(got) == 0 {
+				b.Fatal("no grounded topics")
+			}
+		}
+	})
+}
+
+// BenchmarkDiversify: MMR re-ranking cost over a 100-candidate pool.
+func BenchmarkDiversify(b *testing.B) {
+	e := env(b)
+	item := sampleItem(b, e, 9005)
+	eng := e.Engine(core.Config{TopK: 100000, MaxCandidates: 120})
+	res, err := eng.Recommend(context.Background(), item.Manuscript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ranked := make([]ranking.Ranked, 0, len(res.Recommendations))
+	for _, rec := range res.Recommendations {
+		ranked = append(ranked, ranking.Ranked{Reviewer: rec.Reviewer, Breakdown: rec.Breakdown})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := ranking.Diversify(ranked, ranking.DiversifyOptions{Lambda: 0.7, K: 10})
+		if len(out) != len(ranked) {
+			b.Fatal("lost candidates")
+		}
+	}
+}
+
+// BenchmarkCorpusSerialize: snapshot save/load cost (cmd/simweb
+// -save-corpus / -load-corpus).
+func BenchmarkCorpusSerialize(b *testing.B) {
+	e := env(b)
+	b.Run("save", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := e.Corpus.Save(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	var buf bytes.Buffer
+	if err := e.Corpus.Save(&buf); err != nil {
+		b.Fatal(err)
+	}
+	snapshot := buf.Bytes()
+	b.Run("load", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scholarly.Load(bytes.NewReader(snapshot)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAssignment (E7): batch paper-reviewer assignment solvers at
+// conference scale.
+func BenchmarkAssignment(b *testing.B) {
+	mk := func(papers, reviewers int) *assign.Problem {
+		p := &assign.Problem{
+			NumPapers: papers, NumReviewers: reviewers,
+			PerPaper: 3, Capacity: papers*3/reviewers + 2,
+			Score: make([][]float64, papers),
+		}
+		for i := range p.Score {
+			p.Score[i] = make([]float64, reviewers)
+			for j := range p.Score[i] {
+				p.Score[i][j] = float64((i*31+j*17)%100) / 100
+			}
+		}
+		return p
+	}
+	for _, size := range []struct{ papers, reviewers int }{{50, 100}, {200, 150}} {
+		p := mk(size.papers, size.reviewers)
+		b.Run(fmt.Sprintf("greedy/%dx%d", size.papers, size.reviewers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := assign.Greedy(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("balanced/%dx%d", size.papers, size.reviewers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := assign.Balanced(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Per-site id derivations, aliased for readability above.
+var (
+	simwebDBLP    = simweb.DBLPPID
+	simwebScholar = simweb.ScholarUser
+	simwebPublons = simweb.PublonsID
+	simwebACM     = simweb.ACMID
+	simwebORCID   = simweb.ORCIDOf
+	simwebRID     = simweb.RIDOf
+)
+
+// BenchmarkHIndex: corpus metric computation cost.
+func BenchmarkHIndex(b *testing.B) {
+	e := env(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := scholarly.ScholarID(i % len(e.Corpus.Scholars))
+		_ = e.Corpus.HIndex(id)
+	}
+}

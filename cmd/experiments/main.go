@@ -1,0 +1,81 @@
+// Command experiments regenerates every figure of the MINARET paper
+// (F1-F5) and the extended quantitative evaluation (E1-E6) against a
+// simulated scholarly web. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded outputs.
+//
+// Usage:
+//
+//	experiments -exp all
+//	experiments -exp F5,E1 -scholars 2000 -manuscripts 30 -markdown out.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"minaret/internal/experiments"
+)
+
+func main() {
+	var (
+		expFlag     = flag.String("exp", "all", "comma-separated experiment ids (F1..F5,E1..E6) or 'all'")
+		scholars    = flag.Int("scholars", 1000, "corpus size (number of scholars)")
+		seed        = flag.Int64("seed", 42, "corpus seed")
+		manuscripts = flag.Int("manuscripts", 0, "workload size for E1-E4/E6 (0 = per-experiment default)")
+		markdown    = flag.String("markdown", "", "also write results as markdown to this file")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(experiments.EnvConfig{Seed: *seed, Scholars: *scholars})
+	defer env.Close()
+
+	runners := map[string]func() *experiments.Table{
+		"F1": func() *experiments.Table { return experiments.F1(env) },
+		"F2": func() *experiments.Table { return experiments.F2(env) },
+		"F3": func() *experiments.Table { return experiments.F3(env) },
+		"F4": func() *experiments.Table { return experiments.F4(env) },
+		"F5": func() *experiments.Table { return experiments.F5(env) },
+		"E1": func() *experiments.Table { return experiments.E1(env, *manuscripts) },
+		"E2": func() *experiments.Table { return experiments.E2(env, *manuscripts) },
+		"E3": func() *experiments.Table { return experiments.E3(env, *manuscripts) },
+		"E4": func() *experiments.Table { return experiments.E4(env, *manuscripts) },
+		"E5": func() *experiments.Table { return experiments.E5(env) },
+		"E6": func() *experiments.Table { return experiments.E6(env, *manuscripts) },
+		"E7": func() *experiments.Table { return experiments.E7(env, *manuscripts) },
+		"E8": func() *experiments.Table { return experiments.E8(*seed, *scholars, *manuscripts) },
+		"E9": func() *experiments.Table { return experiments.E9(env, *manuscripts) },
+	}
+	order := []string{"F1", "F2", "F3", "F4", "F5", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+
+	var selected []string
+	if *expFlag == "all" {
+		selected = order
+	} else {
+		for _, id := range strings.Split(*expFlag, ",") {
+			id = strings.ToUpper(strings.TrimSpace(id))
+			if _, ok := runners[id]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (want one of %v)\n", id, order)
+				os.Exit(2)
+			}
+			selected = append(selected, id)
+		}
+	}
+
+	var md strings.Builder
+	md.WriteString("# MINARET experiment results\n\n")
+	fmt.Fprintf(&md, "Corpus: %d scholars, seed %d.\n\n", *scholars, *seed)
+	for _, id := range selected {
+		tab := runners[id]()
+		fmt.Println(tab.String())
+		md.WriteString(tab.Markdown())
+	}
+	if *markdown != "" {
+		if err := os.WriteFile(*markdown, []byte(md.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *markdown, err)
+			os.Exit(1)
+		}
+		fmt.Printf("markdown written to %s\n", *markdown)
+	}
+}

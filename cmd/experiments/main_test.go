@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExperimentsBinarySmoke builds the experiments driver and runs the
+// fast figure experiments end to end, checking the table output and the
+// markdown artifact.
+func TestExperimentsBinarySmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	md := filepath.Join(dir, "results.md")
+	cmd := exec.Command(bin, "-exp", "F1,F3", "-scholars", "300", "-markdown", md)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	text := string(out)
+	for _, w := range []string{"== F1:", "== F3:", "9-year growth factor"} {
+		if !strings.Contains(text, w) {
+			t.Errorf("output missing %q", w)
+		}
+	}
+	mdBytes, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mdBytes), "### F1 —") {
+		t.Fatal("markdown artifact malformed")
+	}
+}
+
+func TestExperimentsRejectsUnknownID(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "experiments")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "-exp", "Z9", "-scholars", "200")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+}

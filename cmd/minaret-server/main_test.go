@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+)
+
+// TestServerEndToEnd builds and boots the real server binary against an
+// in-process scholarly web, then exercises the API over TCP.
+func TestServerEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin, "-addr", addr, "-scholars", "300", "-top-k", "4")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	base := "http://" + addr
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+
+	// Expansion sanity.
+	resp, err := http.Get(base + "/api/expand?keyword=rdf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("expand = %d", resp.StatusCode)
+	}
+
+	// A real recommendation over the wire. Use a family name common
+	// enough to resolve in any seed's corpus.
+	body, _ := json.Marshal(map[string]any{
+		"title":    "Wire Test",
+		"keywords": []string{"rdf", "stream processing"},
+		"authors":  []map[string]string{{"name": "Wei Wang"}},
+		"top_k":    3,
+	})
+	r2, err := http.Post(base+"/api/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("recommend = %d", r2.StatusCode)
+	}
+	var res core.Result
+	if err := json.NewDecoder(r2.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) == 0 || len(res.Recommendations) > 3 {
+		t.Fatalf("recommendations = %d", len(res.Recommendations))
+	}
+
+	// Telemetry saw the traffic.
+	r3, err := http.Get(base + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var stats struct {
+		Routes map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"routes"`
+	}
+	if err := json.NewDecoder(r3.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Routes["recommend"].Count != 1 || stats.Routes["expand"].Count != 1 {
+		t.Fatalf("telemetry = %+v", stats.Routes)
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+func waitHealthy(t *testing.T, url string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}

@@ -1,0 +1,319 @@
+// Command minaret is the command-line front end to the recommendation
+// pipeline: give it a manuscript (flags or a JSON file) and it prints the
+// ranked reviewer table with per-component scores — the demo's Figure 5,
+// in a terminal.
+//
+// Usage:
+//
+//	minaret -keywords 'rdf, stream processing' \
+//	        -author 'Lei Zhou @ University of Tartu' -top-k 5
+//	minaret -manuscript paper.json -coi country -min-keyword-score 0.5
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"minaret/internal/coi"
+	"minaret/internal/core"
+	"minaret/internal/export"
+	"minaret/internal/fetch"
+	"minaret/internal/filter"
+	"minaret/internal/ontology"
+	"minaret/internal/ranking"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+type stringList []string
+
+func (s *stringList) String() string { return fmt.Sprint(*s) }
+func (s *stringList) Set(v string) error {
+	if strings.TrimSpace(v) == "" {
+		return fmt.Errorf("empty value")
+	}
+	*s = append(*s, strings.TrimSpace(v))
+	return nil
+}
+
+type authorList []core.Author
+
+func (a *authorList) String() string { return fmt.Sprint(*a) }
+func (a *authorList) Set(v string) error {
+	name, aff, _ := strings.Cut(v, "@")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fmt.Errorf("author %q: empty name", v)
+	}
+	*a = append(*a, core.Author{Name: name, Affiliation: strings.TrimSpace(aff)})
+	return nil
+}
+
+func main() {
+	var authors authorList
+	var blocked stringList
+	var (
+		manuscriptFile = flag.String("manuscript", "", "JSON file with the manuscript (overrides flags)")
+		keywords       = flag.String("keywords", "", "comma-separated manuscript keywords")
+		abstract       = flag.String("abstract", "", "manuscript abstract (keywords derived when -keywords is empty)")
+		venue          = flag.String("venue", "", "target journal/conference")
+		topK           = flag.Int("top-k", 10, "recommendations to return")
+		coiLevel       = flag.String("coi", "university", "COI affiliation level: off|university|country")
+		minScore       = flag.Float64("min-keyword-score", 0, "expanded-keyword similarity threshold")
+		impactMetric   = flag.String("impact", "citations", "impact metric: citations|h-index")
+		weightsSpec    = flag.String("weights", "", "ranking weights as 'topic=0.3,impact=0.2,recency=0.2,experience=0.15,outlet=0.15[,responsiveness=..][,quality=..]' (default: paper weights)")
+		noExpansion    = flag.Bool("no-expansion", false, "disable semantic keyword expansion")
+		sourcesURL     = flag.String("sources-url", "", "base URL of a running simweb (default: in-process)")
+		scholars       = flag.Int("scholars", 1500, "in-process corpus size")
+		seed           = flag.Int64("seed", 42, "in-process corpus seed")
+		asJSON         = flag.Bool("json", false, "print the full result as JSON")
+		showExcluded   = flag.Bool("show-excluded", false, "also print filtered-out candidates")
+		ontologyCSV    = flag.String("ontology", "", "CSO-format CSV topic ontology (default: embedded)")
+		outCSV         = flag.String("out-csv", "", "also write the ranked table as CSV to this file")
+		outMD          = flag.String("out-md", "", "also write an editor report as markdown to this file")
+	)
+	flag.Var(&authors, "author", "manuscript author as 'Name @ Affiliation' (repeatable)")
+	flag.Var(&blocked, "block", "reviewer name to exclude outright (repeatable)")
+	flag.Parse()
+
+	m, err := buildManuscript(*manuscriptFile, *keywords, *venue, authors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if m.Abstract == "" {
+		m.Abstract = *abstract
+	}
+
+	o := ontology.Default()
+	if *ontologyCSV != "" {
+		file, err := os.Open(*ontologyCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err = ontology.ReadCSOCSV(file)
+		file.Close()
+		if err != nil {
+			log.Fatalf("load ontology %s: %v", *ontologyCSV, err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded ontology: %d topics from %s\n", o.Len(), *ontologyCSV)
+	}
+	horizon := 2018
+	base := *sourcesURL
+	if base == "" {
+		corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+			Seed: *seed, NumScholars: *scholars, Topics: o.Topics(), Related: o.RelatedMap(),
+		})
+		horizon = corpus.HorizonYear
+		web := simweb.New(corpus, simweb.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		go http.Serve(ln, web.Mux())
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "using in-process scholarly web (%d scholars) at %s\n", *scholars, base)
+	}
+
+	fopts := fetch.Options{Timeout: 20 * time.Second, BaseBackoff: 5 * time.Millisecond}
+	if *sourcesURL == "" {
+		// The in-process web hosts all six sites on one listener; the
+		// per-host politeness limit would throttle it artificially.
+		fopts.PerHostRate = -1
+	}
+	f := fetch.New(fopts)
+	registry := sources.DefaultRegistry(f, sources.SingleHost(base))
+
+	ccfg := coi.DefaultConfig(horizon)
+	switch strings.ToLower(*coiLevel) {
+	case "off":
+		ccfg.CoAuthorship = false
+		ccfg.Affiliation = coi.AffiliationOff
+	case "university":
+		ccfg.Affiliation = coi.AffiliationUniversity
+	case "country":
+		ccfg.Affiliation = coi.AffiliationCountry
+	default:
+		log.Fatalf("unknown -coi %q", *coiLevel)
+	}
+	rcfg := ranking.Config{HorizonYear: horizon}
+	if strings.EqualFold(*impactMetric, "h-index") {
+		rcfg.Impact = ranking.ImpactHIndex
+	}
+	if *weightsSpec != "" {
+		w, err := parseWeights(*weightsSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rcfg.Weights = w
+	}
+	eng := core.New(registry, o, core.Config{
+		TopK:             *topK,
+		DisableExpansion: *noExpansion,
+		Filter: filter.Config{
+			COI:              ccfg,
+			MinKeywordScore:  *minScore,
+			BlockedReviewers: blocked,
+		},
+		Ranking: rcfg,
+	})
+
+	start := time.Now()
+	res, err := eng.Recommend(context.Background(), m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *outCSV != "" {
+		if err := writeExport(*outCSV, res, export.CSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *outMD != "" {
+		if err := writeExport(*outMD, res, export.Markdown); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(res)
+		return
+	}
+	printResult(res, time.Since(start), *showExcluded)
+}
+
+func writeExport(path string, res *core.Result, fn func(io.Writer, *core.Result) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := fn(f, res); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return f.Close()
+}
+
+// parseWeights turns "topic=0.4,impact=0.2" into ranking.Weights.
+func parseWeights(spec string) (ranking.Weights, error) {
+	var w ranking.Weights
+	for _, part := range strings.Split(spec, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("-weights: %q is not key=value", part)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || f < 0 {
+			return w, fmt.Errorf("-weights: bad value in %q", part)
+		}
+		switch strings.ToLower(strings.TrimSpace(key)) {
+		case "topic", "topic-coverage", "coverage":
+			w.TopicCoverage = f
+		case "impact":
+			w.Impact = f
+		case "recency":
+			w.Recency = f
+		case "experience", "review-experience", "reviews":
+			w.ReviewExperience = f
+		case "outlet", "outlet-familiarity", "familiarity":
+			w.OutletFamiliarity = f
+		case "responsiveness":
+			w.Responsiveness = f
+		case "quality", "review-quality":
+			w.ReviewQuality = f
+		default:
+			return w, fmt.Errorf("-weights: unknown component %q", key)
+		}
+	}
+	if w == (ranking.Weights{}) {
+		return w, fmt.Errorf("-weights: no components set in %q", spec)
+	}
+	return w, nil
+}
+
+func buildManuscript(file, keywords, venue string, authors authorList) (core.Manuscript, error) {
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return core.Manuscript{}, err
+		}
+		var m core.Manuscript
+		if err := json.Unmarshal(b, &m); err != nil {
+			return core.Manuscript{}, fmt.Errorf("parse %s: %w", file, err)
+		}
+		return m, nil
+	}
+	m := core.Manuscript{TargetVenue: venue, Authors: authors}
+	for _, kw := range strings.Split(keywords, ",") {
+		if kw = strings.TrimSpace(kw); kw != "" {
+			m.Keywords = append(m.Keywords, kw)
+		}
+	}
+	return m, nil
+}
+
+func printResult(res *core.Result, elapsed time.Duration, showExcluded bool) {
+	fmt.Printf("manuscript: %v  (venue: %s)\n", res.Manuscript.Keywords, res.Manuscript.TargetVenue)
+	for _, vr := range res.AuthorVerification {
+		status := "resolved"
+		if !vr.Resolved {
+			status = fmt.Sprintf("AMBIGUOUS (%d candidates)", len(vr.Candidates))
+		}
+		fmt.Printf("author %-30s %s\n", vr.Query.Name, status)
+	}
+	fmt.Printf("\nexpanded keywords (%d):", len(res.Expanded))
+	for i, ex := range res.Expanded {
+		if i == 8 {
+			fmt.Printf(" …")
+			break
+		}
+		fmt.Printf(" %s(%.2f)", ex.Keyword, ex.Score)
+	}
+	fmt.Println()
+	st := res.Stats
+	fmt.Printf("pipeline: retrieved=%d assembled=%d filtered-out=%d ranked=%d in %v\n\n",
+		st.CandidatesRetrieved, st.ProfilesAssembled, st.CandidatesFiltered,
+		st.CandidatesRanked, elapsed.Round(time.Millisecond))
+
+	fmt.Printf("%-4s %-24s %-34s %-7s %-7s %-7s %-7s %-7s %-7s\n",
+		"rank", "reviewer", "affiliation", "total", "topic", "impact", "recent", "revexp", "outlet")
+	for _, rec := range res.Recommendations {
+		c := rec.Breakdown.Components
+		fmt.Printf("%-4d %-24s %-34s %-7.3f %-7.3f %-7.3f %-7.3f %-7.3f %-7.3f\n",
+			rec.Rank, trunc(rec.Reviewer.Name, 24), trunc(rec.Reviewer.Affiliation, 34),
+			rec.Total, c["topic-coverage"], c["impact"], c["recency"],
+			c["review-experience"], c["outlet-familiarity"])
+	}
+	if showExcluded {
+		fmt.Printf("\nexcluded candidates (%d):\n", len(res.ExcludedCandidates))
+		for _, ex := range res.ExcludedCandidates {
+			reasons := make([]string, 0, len(ex.Reasons))
+			for _, r := range ex.Reasons {
+				reasons = append(reasons, r.Kind)
+			}
+			fmt.Printf("  %-28s %s\n", trunc(ex.Name, 28), strings.Join(reasons, ", "))
+		}
+	}
+	if len(res.SourceErrors) > 0 {
+		fmt.Printf("\nsource degradations: %v\n", res.SourceErrors)
+	}
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"minaret/internal/core"
+)
+
+// buildOnce compiles the CLI a single time for every e2e test.
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func cliBinary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "minaret-cli")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "minaret")
+		out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput()
+		if err != nil {
+			buildErr = err
+			t.Logf("build output: %s", out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLI: %v", buildErr)
+	}
+	return binPath
+}
+
+func runCLI(t *testing.T, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(cliBinary(t), args...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("cli %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String(), stderr.String()
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	out, _ := runCLI(t,
+		"-keywords", "rdf, stream processing",
+		"-author", "Maria Garcia",
+		"-top-k", "3", "-scholars", "300")
+	for _, want := range []string{"expanded keywords", "pipeline:", "rank", "reviewer"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// At most 3 ranked rows.
+	if strings.Count(out, "\n1    ") > 1 {
+		t.Error("duplicate rank rows")
+	}
+}
+
+func TestCLIJSONOutput(t *testing.T) {
+	out, _ := runCLI(t,
+		"-keywords", "rdf",
+		"-author", "Maria Garcia",
+		"-top-k", "2", "-scholars", "300", "-json")
+	var res core.Result
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	if len(res.Recommendations) == 0 || len(res.Recommendations) > 2 {
+		t.Fatalf("recommendations = %d", len(res.Recommendations))
+	}
+}
+
+func TestCLIManuscriptFile(t *testing.T) {
+	m := core.Manuscript{
+		Title:    "From File",
+		Keywords: []string{"databases"},
+		Authors:  []core.Author{{Name: "David Smith"}},
+	}
+	b, _ := json.Marshal(m)
+	path := filepath.Join(t.TempDir(), "paper.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := runCLI(t, "-manuscript", path, "-top-k", "2", "-scholars", "300")
+	if !strings.Contains(out, "databases") {
+		t.Fatalf("manuscript file ignored:\n%s", out)
+	}
+}
+
+func TestCLIExports(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "out.csv")
+	mdPath := filepath.Join(dir, "out.md")
+	runCLI(t,
+		"-keywords", "rdf",
+		"-author", "Maria Garcia",
+		"-top-k", "2", "-scholars", "300",
+		"-out-csv", csvPath, "-out-md", mdPath)
+	csvBytes, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(csvBytes), "rank,reviewer,") {
+		t.Fatalf("csv header = %q", strings.SplitN(string(csvBytes), "\n", 2)[0])
+	}
+	mdBytes, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mdBytes), "# Reviewer recommendations") {
+		t.Fatal("markdown report malformed")
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("topic=0.5, impact=0.2,quality=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.TopicCoverage != 0.5 || w.Impact != 0.2 || w.ReviewQuality != 0.1 {
+		t.Fatalf("weights = %+v", w)
+	}
+	for _, bad := range []string{"", "topic", "topic=x", "nope=1", "topic=-1"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCLIWeightsFlag(t *testing.T) {
+	out, _ := runCLI(t,
+		"-keywords", "rdf",
+		"-author", "Maria Garcia",
+		"-weights", "impact=1",
+		"-top-k", "5", "-scholars", "300", "-json")
+	var res core.Result
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatal(err)
+	}
+	// Impact-only ranking is citation-ordered.
+	for i := 1; i < len(res.Recommendations); i++ {
+		if res.Recommendations[i-1].Reviewer.Citations < res.Recommendations[i].Reviewer.Citations {
+			t.Fatal("impact-only CLI ranking not citation-ordered")
+		}
+	}
+}
+
+func TestCLIAbstractDerivation(t *testing.T) {
+	out, _ := runCLI(t,
+		"-abstract", "We study RDF stream processing and SPARQL query evaluation over linked open data.",
+		"-author", "Maria Garcia",
+		"-top-k", "2", "-scholars", "300")
+	if !strings.Contains(out, "rdf") {
+		t.Fatalf("abstract-derived keywords missing:\n%s", out)
+	}
+}

@@ -1,0 +1,93 @@
+// Command simweb serves the simulated scholarly web (DBLP, Google
+// Scholar, Publons, ACM DL, ORCID, ResearcherID) over one HTTP listener,
+// for poking with curl or backing a minaret-server instance.
+//
+// Usage:
+//
+//	simweb -addr :8081 -scholars 2000 -seed 42
+//	curl 'localhost:8081/dblp/search/author?q=Lei+Zhou'
+//	curl 'localhost:8081/scholar/citations?view_op=search_authors&mauthors=label:semantic_web'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8081", "listen address")
+		scholars  = flag.Int("scholars", 2000, "corpus size")
+		seed      = flag.Int64("seed", 42, "corpus seed")
+		latency   = flag.Duration("latency", 0, "injected per-request latency")
+		jitter    = flag.Duration("jitter", 0, "injected latency jitter")
+		errRate   = flag.Float64("error-rate", 0, "injected HTTP 500 probability")
+		rateLimit = flag.Int("rate-limit", 0, "per-site requests/second (0 = unlimited)")
+		loadPath  = flag.String("load-corpus", "", "load a corpus snapshot instead of generating")
+		savePath  = flag.String("save-corpus", "", "save the corpus snapshot to this file after generation")
+	)
+	flag.Parse()
+
+	o := ontology.Default()
+	start := time.Now()
+	var corpus *scholarly.Corpus
+	if *loadPath != "" {
+		f, err := os.Open(*loadPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		corpus, err = scholarly.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load corpus: %v", err)
+		}
+		log.Printf("loaded corpus snapshot %s (%d scholars, seed %d)",
+			*loadPath, len(corpus.Scholars), corpus.Seed)
+	} else {
+		log.Printf("generating corpus: %d scholars, seed %d ...", *scholars, *seed)
+		corpus = scholarly.MustGenerate(scholarly.GeneratorConfig{
+			Seed:        *seed,
+			NumScholars: *scholars,
+			Topics:      o.Topics(),
+			Related:     o.RelatedMap(),
+		})
+	}
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := corpus.Save(f); err != nil {
+			log.Fatalf("save corpus: %v", err)
+		}
+		f.Close()
+		log.Printf("corpus snapshot written to %s", *savePath)
+	}
+	st := corpus.ComputeStats()
+	log.Printf("corpus ready in %v: %d publications, %d venues, %d reviews",
+		time.Since(start).Round(time.Millisecond), st.Publications, st.Venues, st.Reviews)
+
+	web := simweb.New(corpus, simweb.Config{
+		Latency:       *latency,
+		LatencyJitter: *jitter,
+		ErrorRate:     *errRate,
+		RatePerSecond: *rateLimit,
+		Seed:          *seed,
+	})
+	fmt.Printf("simulated scholarly web on %s\n", *addr)
+	fmt.Println("  /dblp/search/author?q=NAME        /dblp/pid/PID.xml")
+	fmt.Println("  /scholar/citations?user=TOKEN     /scholar/citations?view_op=search_authors&mauthors=QUERY")
+	fmt.Println("  /publons/api/researcher/?name=N   /publons/api/researcher/ID/")
+	fmt.Println("  /acm/search?q=NAME                /acm/profile/ID")
+	fmt.Println("  /orcid/search?q=NAME              /orcid/v2.0/ORCID/record")
+	fmt.Println("  /rid/search?name=NAME             /rid/profile/RID")
+	log.Fatal(http.ListenAndServe(*addr, web.Mux()))
+}

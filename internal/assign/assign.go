@@ -1,0 +1,377 @@
+// Package assign implements batch paper-reviewer assignment for
+// conference mode. The paper's Section 3 notes MINARET "can be also
+// integrated with conference management systems to automate the
+// paper-reviewer assignment"; this package provides that automation:
+// given per-(paper, reviewer) affinity scores (from the ranking engine)
+// and conflict pairs (from the COI engine), it assigns k reviewers per
+// paper under per-reviewer load caps, balancing total affinity against
+// fairness — the concern of the "good and fair assignment" literature
+// the paper cites (Long et al., ICDM 2013; Kou et al., PVLDB 2015).
+package assign
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Problem is one batch-assignment instance. Papers and reviewers are
+// dense indices; the caller keeps its own id mapping.
+type Problem struct {
+	NumPapers    int
+	NumReviewers int
+	// Score returns the affinity of reviewer r for paper p, higher
+	// better. Scores must be >= 0.
+	Score [][]float64 // [paper][reviewer]
+	// Forbidden marks (paper, reviewer) pairs excluded by COI or policy.
+	Forbidden [][]bool // [paper][reviewer], nil = nothing forbidden
+	// PerPaper is the number of reviewers each paper needs (k).
+	PerPaper int
+	// Capacity is the maximum papers per reviewer (L).
+	Capacity int
+}
+
+// Validate checks structural sanity and global feasibility (capacity
+// must cover demand). Per-paper feasibility under Forbidden is checked
+// during solving.
+func (p *Problem) Validate() error {
+	if p.NumPapers <= 0 || p.NumReviewers <= 0 {
+		return errors.New("assign: empty problem")
+	}
+	if p.PerPaper <= 0 {
+		return errors.New("assign: PerPaper must be positive")
+	}
+	if p.Capacity <= 0 {
+		return errors.New("assign: Capacity must be positive")
+	}
+	if p.PerPaper > p.NumReviewers {
+		return fmt.Errorf("assign: need %d reviewers per paper but only %d exist", p.PerPaper, p.NumReviewers)
+	}
+	if len(p.Score) != p.NumPapers {
+		return fmt.Errorf("assign: Score has %d rows, want %d", len(p.Score), p.NumPapers)
+	}
+	for i, row := range p.Score {
+		if len(row) != p.NumReviewers {
+			return fmt.Errorf("assign: Score[%d] has %d cols, want %d", i, len(row), p.NumReviewers)
+		}
+		for j, s := range row {
+			if s < 0 || math.IsNaN(s) {
+				return fmt.Errorf("assign: Score[%d][%d] = %v invalid", i, j, s)
+			}
+		}
+	}
+	if p.Forbidden != nil && len(p.Forbidden) != p.NumPapers {
+		return fmt.Errorf("assign: Forbidden has %d rows, want %d", len(p.Forbidden), p.NumPapers)
+	}
+	if p.NumPapers*p.PerPaper > p.NumReviewers*p.Capacity {
+		return fmt.Errorf("assign: demand %d exceeds capacity %d",
+			p.NumPapers*p.PerPaper, p.NumReviewers*p.Capacity)
+	}
+	return nil
+}
+
+func (p *Problem) forbidden(paper, reviewer int) bool {
+	return p.Forbidden != nil && p.Forbidden[paper][reviewer]
+}
+
+// Assignment is a solution: PaperReviewers[p] lists the reviewers
+// assigned to paper p, in assignment order.
+type Assignment struct {
+	PaperReviewers [][]int
+	// Total is the summed affinity of all assignments.
+	Total float64
+}
+
+// Load returns per-reviewer paper counts.
+func (a *Assignment) Load(numReviewers int) []int {
+	load := make([]int, numReviewers)
+	for _, rs := range a.PaperReviewers {
+		for _, r := range rs {
+			load[r]++
+		}
+	}
+	return load
+}
+
+// Check verifies the assignment satisfies the problem's constraints.
+func (a *Assignment) Check(p *Problem) error {
+	if len(a.PaperReviewers) != p.NumPapers {
+		return fmt.Errorf("assign: %d papers assigned, want %d", len(a.PaperReviewers), p.NumPapers)
+	}
+	load := make([]int, p.NumReviewers)
+	for paper, rs := range a.PaperReviewers {
+		if len(rs) != p.PerPaper {
+			return fmt.Errorf("assign: paper %d has %d reviewers, want %d", paper, len(rs), p.PerPaper)
+		}
+		seen := map[int]bool{}
+		for _, r := range rs {
+			if r < 0 || r >= p.NumReviewers {
+				return fmt.Errorf("assign: paper %d has invalid reviewer %d", paper, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("assign: paper %d repeats reviewer %d", paper, r)
+			}
+			seen[r] = true
+			if p.forbidden(paper, r) {
+				return fmt.Errorf("assign: paper %d assigned forbidden reviewer %d", paper, r)
+			}
+			load[r]++
+		}
+	}
+	for r, l := range load {
+		if l > p.Capacity {
+			return fmt.Errorf("assign: reviewer %d load %d exceeds capacity %d", r, l, p.Capacity)
+		}
+	}
+	return nil
+}
+
+// ErrInfeasible reports that no feasible assignment was found by the
+// solver (it may still exist; the solvers are heuristics).
+var ErrInfeasible = errors.New("assign: no feasible assignment found")
+
+// Greedy assigns globally best (paper, reviewer) pairs first. Fast and
+// strong on total affinity, but can starve late papers — the unfairness
+// the balanced solver addresses.
+func Greedy(p *Problem) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	type edge struct {
+		paper, reviewer int
+		score           float64
+	}
+	edges := make([]edge, 0, p.NumPapers*p.NumReviewers)
+	for i := 0; i < p.NumPapers; i++ {
+		for j := 0; j < p.NumReviewers; j++ {
+			if !p.forbidden(i, j) {
+				edges = append(edges, edge{i, j, p.Score[i][j]})
+			}
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].score != edges[b].score {
+			return edges[a].score > edges[b].score
+		}
+		if edges[a].paper != edges[b].paper {
+			return edges[a].paper < edges[b].paper
+		}
+		return edges[a].reviewer < edges[b].reviewer
+	})
+	out := &Assignment{PaperReviewers: make([][]int, p.NumPapers)}
+	load := make([]int, p.NumReviewers)
+	assigned := make([]map[int]bool, p.NumPapers)
+	for i := range assigned {
+		assigned[i] = map[int]bool{}
+	}
+	for _, e := range edges {
+		if len(out.PaperReviewers[e.paper]) >= p.PerPaper ||
+			load[e.reviewer] >= p.Capacity || assigned[e.paper][e.reviewer] {
+			continue
+		}
+		out.PaperReviewers[e.paper] = append(out.PaperReviewers[e.paper], e.reviewer)
+		assigned[e.paper][e.reviewer] = true
+		load[e.reviewer]++
+		out.Total += e.score
+	}
+	for i := range out.PaperReviewers {
+		for len(out.PaperReviewers[i]) < p.PerPaper {
+			if !repair(p, out, load, assigned, i) {
+				return nil, fmt.Errorf("%w: paper %d got %d of %d reviewers",
+					ErrInfeasible, i, len(out.PaperReviewers[i]), p.PerPaper)
+			}
+		}
+	}
+	return out, nil
+}
+
+// repair fills one missing slot of an underfilled paper. It first tries
+// a free reviewer; failing that, it searches a single-swap augmenting
+// move: take reviewer r (at capacity) from some paper q that can be
+// re-served by a free reviewer r2, then give r to the underfilled paper.
+func repair(p *Problem, out *Assignment, load []int, assigned []map[int]bool, paper int) bool {
+	// Direct: any free compatible reviewer.
+	best, bestScore := -1, -1.0
+	for j := 0; j < p.NumReviewers; j++ {
+		if p.forbidden(paper, j) || assigned[paper][j] || load[j] >= p.Capacity {
+			continue
+		}
+		if s := p.Score[paper][j]; s > bestScore {
+			best, bestScore = j, s
+		}
+	}
+	if best >= 0 {
+		out.PaperReviewers[paper] = append(out.PaperReviewers[paper], best)
+		assigned[paper][best] = true
+		load[best]++
+		out.Total += bestScore
+		return true
+	}
+	// Augmenting swap.
+	for r := 0; r < p.NumReviewers; r++ {
+		if p.forbidden(paper, r) || assigned[paper][r] {
+			continue
+		}
+		// r is at capacity; find a donor paper q holding r that has a
+		// free substitute r2.
+		for q := 0; q < p.NumPapers; q++ {
+			if q == paper || !assigned[q][r] {
+				continue
+			}
+			for r2 := 0; r2 < p.NumReviewers; r2++ {
+				if p.forbidden(q, r2) || assigned[q][r2] || load[r2] >= p.Capacity {
+					continue
+				}
+				// Move q: r -> r2; give r to paper.
+				for i, x := range out.PaperReviewers[q] {
+					if x == r {
+						out.PaperReviewers[q][i] = r2
+						break
+					}
+				}
+				delete(assigned[q], r)
+				assigned[q][r2] = true
+				load[r2]++
+				out.Total += p.Score[q][r2] - p.Score[q][r]
+
+				out.PaperReviewers[paper] = append(out.PaperReviewers[paper], r)
+				assigned[paper][r] = true
+				out.Total += p.Score[paper][r]
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Balanced assigns one reviewer per paper per round, processing papers
+// by descending regret (the gap between their best and PerPaper-th best
+// remaining option): papers with the most to lose pick first. This is
+// the classic fairness-aware heuristic for reviewer assignment.
+func Balanced(p *Problem) (*Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	out := &Assignment{PaperReviewers: make([][]int, p.NumPapers)}
+	load := make([]int, p.NumReviewers)
+	assigned := make([]map[int]bool, p.NumPapers)
+	for i := range assigned {
+		assigned[i] = map[int]bool{}
+	}
+	for round := 0; round < p.PerPaper; round++ {
+		order := papersByRegret(p, load, assigned)
+		for _, paper := range order {
+			best, bestScore := -1, -1.0
+			for j := 0; j < p.NumReviewers; j++ {
+				if p.forbidden(paper, j) || assigned[paper][j] || load[j] >= p.Capacity {
+					continue
+				}
+				if s := p.Score[paper][j]; s > bestScore {
+					best, bestScore = j, s
+				}
+			}
+			if best < 0 {
+				// Capacity corner: try the same single-swap repair the
+				// greedy solver uses before declaring infeasibility.
+				if !repair(p, out, load, assigned, paper) {
+					return nil, fmt.Errorf("%w: paper %d stuck in round %d", ErrInfeasible, paper, round)
+				}
+				continue
+			}
+			out.PaperReviewers[paper] = append(out.PaperReviewers[paper], best)
+			assigned[paper][best] = true
+			load[best]++
+			out.Total += bestScore
+		}
+	}
+	return out, nil
+}
+
+// papersByRegret orders papers by descending regret given current loads.
+func papersByRegret(p *Problem, load []int, assigned []map[int]bool) []int {
+	type pr struct {
+		paper  int
+		regret float64
+	}
+	prs := make([]pr, 0, p.NumPapers)
+	for i := 0; i < p.NumPapers; i++ {
+		var avail []float64
+		for j := 0; j < p.NumReviewers; j++ {
+			if !p.forbidden(i, j) && !assigned[i][j] && load[j] < p.Capacity {
+				avail = append(avail, p.Score[i][j])
+			}
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(avail)))
+		regret := 0.0
+		if len(avail) > 0 {
+			k := p.PerPaper
+			if k >= len(avail) {
+				k = len(avail) - 1
+			}
+			regret = avail[0] - avail[k]
+		}
+		prs = append(prs, pr{paper: i, regret: regret})
+	}
+	sort.Slice(prs, func(a, b int) bool {
+		if prs[a].regret != prs[b].regret {
+			return prs[a].regret > prs[b].regret
+		}
+		return prs[a].paper < prs[b].paper
+	})
+	order := make([]int, len(prs))
+	for i, x := range prs {
+		order[i] = x.paper
+	}
+	return order
+}
+
+// Metrics summarizes assignment quality for the E7 experiment.
+type Metrics struct {
+	// Total affinity across all assignments.
+	Total float64
+	// MeanPaper and MinPaper are per-paper affinity sums; MinPaper is the
+	// fairness floor ("is any paper badly served?").
+	MeanPaper float64
+	MinPaper  float64
+	// MaxLoad and LoadStddev describe reviewer workload balance.
+	MaxLoad    int
+	LoadStddev float64
+}
+
+// Measure computes Metrics for a checked assignment.
+func Measure(a *Assignment, p *Problem) Metrics {
+	m := Metrics{Total: a.Total, MinPaper: math.Inf(1)}
+	for paper, rs := range a.PaperReviewers {
+		sum := 0.0
+		for _, r := range rs {
+			sum += p.Score[paper][r]
+		}
+		m.MeanPaper += sum
+		if sum < m.MinPaper {
+			m.MinPaper = sum
+		}
+	}
+	if p.NumPapers > 0 {
+		m.MeanPaper /= float64(p.NumPapers)
+	}
+	load := a.Load(p.NumReviewers)
+	mean := 0.0
+	for _, l := range load {
+		if l > m.MaxLoad {
+			m.MaxLoad = l
+		}
+		mean += float64(l)
+	}
+	mean /= float64(len(load))
+	varsum := 0.0
+	for _, l := range load {
+		d := float64(l) - mean
+		varsum += d * d
+	}
+	m.LoadStddev = math.Sqrt(varsum / float64(len(load)))
+	if math.IsInf(m.MinPaper, 1) {
+		m.MinPaper = 0
+	}
+	return m
+}

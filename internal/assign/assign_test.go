@@ -1,0 +1,206 @@
+package assign
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func uniformProblem(papers, reviewers, k, cap int, seed int64) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Problem{
+		NumPapers: papers, NumReviewers: reviewers,
+		PerPaper: k, Capacity: cap,
+		Score: make([][]float64, papers),
+	}
+	for i := range p.Score {
+		p.Score[i] = make([]float64, reviewers)
+		for j := range p.Score[i] {
+			p.Score[i][j] = rng.Float64()
+		}
+	}
+	return p
+}
+
+func TestValidate(t *testing.T) {
+	good := uniformProblem(4, 6, 2, 3, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*Problem){
+		func(p *Problem) { p.NumPapers = 0 },
+		func(p *Problem) { p.PerPaper = 0 },
+		func(p *Problem) { p.Capacity = 0 },
+		func(p *Problem) { p.PerPaper = 99 },
+		func(p *Problem) { p.Score = p.Score[:1] },
+		func(p *Problem) { p.Score[0][0] = -1 },
+		func(p *Problem) { p.Capacity = 1; p.NumPapers = 4; p.PerPaper = 2 }, // demand 8 > cap 6
+	}
+	for i, mutate := range cases {
+		p := uniformProblem(4, 6, 2, 3, 1)
+		mutate(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid problem accepted", i)
+		}
+	}
+}
+
+func TestGreedyAndBalancedFeasible(t *testing.T) {
+	for _, solver := range []struct {
+		name string
+		fn   func(*Problem) (*Assignment, error)
+	}{{"greedy", Greedy}, {"balanced", Balanced}} {
+		p := uniformProblem(10, 8, 3, 5, 7)
+		a, err := solver.fn(p)
+		if err != nil {
+			t.Fatalf("%s: %v", solver.name, err)
+		}
+		if err := a.Check(p); err != nil {
+			t.Fatalf("%s produced invalid assignment: %v", solver.name, err)
+		}
+		if a.Total <= 0 {
+			t.Fatalf("%s total = %v", solver.name, a.Total)
+		}
+	}
+}
+
+func TestForbiddenPairsRespected(t *testing.T) {
+	p := uniformProblem(4, 6, 2, 4, 3)
+	p.Forbidden = make([][]bool, p.NumPapers)
+	for i := range p.Forbidden {
+		p.Forbidden[i] = make([]bool, p.NumReviewers)
+	}
+	// Paper 0 conflicts with reviewers 0-2.
+	p.Forbidden[0][0], p.Forbidden[0][1], p.Forbidden[0][2] = true, true, true
+	for _, fn := range []func(*Problem) (*Assignment, error){Greedy, Balanced} {
+		a, err := fn(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range a.PaperReviewers[0] {
+			if r <= 2 {
+				t.Fatalf("forbidden reviewer %d assigned to paper 0", r)
+			}
+		}
+	}
+}
+
+func TestInfeasibleDetected(t *testing.T) {
+	p := uniformProblem(2, 3, 2, 2, 5)
+	p.Forbidden = [][]bool{
+		{true, true, true}, // paper 0 conflicts with everyone
+		{false, false, false},
+	}
+	for _, fn := range []func(*Problem) (*Assignment, error){Greedy, Balanced} {
+		if _, err := fn(p); !errors.Is(err, ErrInfeasible) {
+			t.Fatalf("err = %v, want ErrInfeasible", err)
+		}
+	}
+}
+
+func TestCapacityBindsGreedy(t *testing.T) {
+	// One superstar reviewer: every paper wants them, capacity allows 2.
+	p := uniformProblem(4, 5, 1, 2, 9)
+	for i := 0; i < p.NumPapers; i++ {
+		p.Score[i][0] = 10 // reviewer 0 dominates
+	}
+	a, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load := a.Load(p.NumReviewers)[0]; load != 2 {
+		t.Fatalf("superstar load = %d, want capacity 2", load)
+	}
+}
+
+func TestBalancedFairness(t *testing.T) {
+	// Construct a instance where greedy starves the last paper: two
+	// papers compete for one shared good reviewer; paper 1 has no
+	// alternative nearly as good.
+	p := &Problem{
+		NumPapers: 2, NumReviewers: 3, PerPaper: 1, Capacity: 1,
+		Score: [][]float64{
+			{0.9, 0.8, 0.1}, // paper 0: two good options
+			{0.9, 0.1, 0.1}, // paper 1: only reviewer 0 is good
+		},
+	}
+	g, err := Greedy(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Balanced(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, mb := Measure(g, p), Measure(b, p)
+	// Balanced must protect the fairness floor at least as well.
+	if mb.MinPaper < mg.MinPaper {
+		t.Fatalf("balanced min %v worse than greedy min %v", mb.MinPaper, mg.MinPaper)
+	}
+	// In this instance regret ordering gives paper 1 the shared reviewer.
+	if b.PaperReviewers[1][0] != 0 {
+		t.Fatalf("balanced gave paper 1 reviewer %d, want 0", b.PaperReviewers[1][0])
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	p := &Problem{
+		NumPapers: 2, NumReviewers: 2, PerPaper: 1, Capacity: 2,
+		Score: [][]float64{{1, 0}, {0, 0.5}},
+	}
+	a := &Assignment{PaperReviewers: [][]int{{0}, {1}}, Total: 1.5}
+	if err := a.Check(p); err != nil {
+		t.Fatal(err)
+	}
+	m := Measure(a, p)
+	if m.Total != 1.5 || m.MinPaper != 0.5 || m.MeanPaper != 0.75 || m.MaxLoad != 1 {
+		t.Fatalf("metrics = %+v", m)
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	p := uniformProblem(2, 4, 2, 1, 11)
+	bad := []*Assignment{
+		{PaperReviewers: [][]int{{0, 1}}},            // missing paper
+		{PaperReviewers: [][]int{{0}, {1, 2}}},       // wrong count
+		{PaperReviewers: [][]int{{0, 0}, {1, 2}}},    // duplicate
+		{PaperReviewers: [][]int{{0, 9}, {1, 2}}},    // out of range
+		{PaperReviewers: [][]int{{0, 1}, {0, 2}}},    // capacity 1 exceeded
+	}
+	for i, a := range bad {
+		if err := a.Check(p); err == nil {
+			t.Errorf("bad assignment %d accepted", i)
+		}
+	}
+}
+
+// Property: on random feasible instances both solvers return assignments
+// that pass Check, and greedy's total is never worse than half the
+// balanced total (greedy is a 2-approximation-flavoured heuristic here;
+// the loose bound guards against catastrophic regressions).
+func TestSolversRandomized(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		papers := 2 + rng.Intn(8)
+		k := 1 + rng.Intn(3)
+		reviewers := k + 1 + rng.Intn(10)
+		cap := 1 + rng.Intn(4)
+		for papers*k > reviewers*cap {
+			cap++
+		}
+		p := uniformProblem(papers, reviewers, k, cap, seed)
+		g, err1 := Greedy(p)
+		b, err2 := Balanced(p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if g.Check(p) != nil || b.Check(p) != nil {
+			return false
+		}
+		return g.Total*2 >= b.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package baselines implements the comparator algorithms from the
+// paper-reviewer-assignment literature the MINARET paper cites, to give
+// the extended evaluation something to compare against:
+//
+//   - Random: lower bound.
+//   - KeywordMatch: exact keyword-interest matching, no semantic
+//     expansion — what an editor gets from a site's own search box.
+//   - TPMSStyle: topic-vector cosine similarity between the manuscript
+//     and each reviewer's publication record (Toronto Paper Matching
+//     System flavour; cf. Kou et al. 2015).
+//   - TimeAware: topical match discounted by publication age (Peng et
+//     al. 2017 flavour).
+//   - OWA: Order Weighted Averaging over per-criterion scores (Nguyen
+//     et al. 2018 flavour).
+//
+// Baselines rank corpus scholars directly (no HTTP extraction): they
+// model competing *algorithms*, not competing integrations.
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+)
+
+// Query is the baseline-facing manuscript view.
+type Query struct {
+	Keywords  []string
+	AuthorIDs []scholarly.ScholarID
+	// Venue is the target outlet (used by criteria-aware baselines).
+	Venue scholarly.VenueID
+	// ExcludeCOI removes ground-truth conflicted scholars (co-authors and
+	// university colleagues of the authors) before ranking. MINARET's
+	// filtering phase does this; giving baselines the same oracle keeps
+	// the comparison about *ranking* quality.
+	ExcludeCOI bool
+}
+
+// Baseline ranks corpus scholars for a query.
+type Baseline interface {
+	Name() string
+	// Rank returns the top-k scholar ids, best first.
+	Rank(c *scholarly.Corpus, q Query, k int) []scholarly.ScholarID
+}
+
+// scored supports deterministic top-k selection.
+type scored struct {
+	id    scholarly.ScholarID
+	score float64
+}
+
+func topK(items []scored, k int) []scholarly.ScholarID {
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].score != items[j].score {
+			return items[i].score > items[j].score
+		}
+		return items[i].id < items[j].id
+	})
+	if k > len(items) {
+		k = len(items)
+	}
+	out := make([]scholarly.ScholarID, k)
+	for i := 0; i < k; i++ {
+		out[i] = items[i].id
+	}
+	return out
+}
+
+// eligible returns the candidate pool for a query, honouring ExcludeCOI
+// and always excluding the authors themselves.
+func eligible(c *scholarly.Corpus, q Query) []scholarly.ScholarID {
+	authorSet := map[scholarly.ScholarID]bool{}
+	for _, a := range q.AuthorIDs {
+		authorSet[a] = true
+	}
+	var conflicted map[scholarly.ScholarID]bool
+	if q.ExcludeCOI {
+		conflicted = map[scholarly.ScholarID]bool{}
+		instSet := map[string]bool{}
+		for _, a := range q.AuthorIDs {
+			for co := range c.CoAuthors(a) {
+				conflicted[co] = true
+			}
+			for _, aff := range c.Scholar(a).Affiliations {
+				instSet[strings.ToLower(aff.Institution)] = true
+			}
+		}
+		for i := range c.Scholars {
+			s := &c.Scholars[i]
+			for _, aff := range s.Affiliations {
+				if instSet[strings.ToLower(aff.Institution)] {
+					conflicted[s.ID] = true
+					break
+				}
+			}
+		}
+	}
+	var out []scholarly.ScholarID
+	for i := range c.Scholars {
+		id := c.Scholars[i].ID
+		if authorSet[id] {
+			continue
+		}
+		if conflicted != nil && conflicted[id] {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Random ranks a uniform sample — the floor every real method must beat.
+type Random struct {
+	Seed int64
+}
+
+// Name implements Baseline.
+func (r *Random) Name() string { return "random" }
+
+// Rank implements Baseline.
+func (r *Random) Rank(c *scholarly.Corpus, q Query, k int) []scholarly.ScholarID {
+	pool := eligible(c, q)
+	rng := rand.New(rand.NewSource(r.Seed))
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	if k > len(pool) {
+		k = len(pool)
+	}
+	return pool[:k]
+}
+
+// KeywordMatch counts exact keyword-interest matches; ties break by
+// citation count. No expansion — the ablation contrast for E2.
+type KeywordMatch struct{}
+
+// Name implements Baseline.
+func (KeywordMatch) Name() string { return "keyword-match" }
+
+// Rank implements Baseline.
+func (KeywordMatch) Rank(c *scholarly.Corpus, q Query, k int) []scholarly.ScholarID {
+	kws := map[string]bool{}
+	for _, kw := range q.Keywords {
+		kws[ontology.Normalize(kw)] = true
+	}
+	var items []scored
+	for _, id := range eligible(c, q) {
+		s := c.Scholar(id)
+		matches := 0
+		for _, in := range s.Interests {
+			if kws[ontology.Normalize(in)] {
+				matches++
+			}
+		}
+		if matches == 0 {
+			continue
+		}
+		// Citation tie-break folded into the score's fraction digits.
+		items = append(items, scored{id: id,
+			score: float64(matches) + math.Log1p(float64(c.CitationCount(id)))/1e3})
+	}
+	return topK(items, k)
+}
+
+// TPMSStyle builds a topic vector for the manuscript (expanded keywords)
+// and for each reviewer (keywords of their publications, recency-
+// agnostic) and ranks by cosine similarity.
+type TPMSStyle struct {
+	Ont *ontology.Ontology
+}
+
+// Name implements Baseline.
+func (*TPMSStyle) Name() string { return "tpms-style" }
+
+// Rank implements Baseline.
+func (b *TPMSStyle) Rank(c *scholarly.Corpus, q Query, k int) []scholarly.ScholarID {
+	mvec := b.manuscriptVector(q.Keywords)
+	var items []scored
+	for _, id := range eligible(c, q) {
+		s := c.Scholar(id)
+		rvec := map[string]float64{}
+		for _, pid := range s.Publications {
+			for _, kw := range c.Publication(pid).Keywords {
+				rvec[ontology.Normalize(kw)]++
+			}
+		}
+		if sim := cosine(mvec, rvec); sim > 0 {
+			items = append(items, scored{id: id, score: sim})
+		}
+	}
+	return topK(items, k)
+}
+
+func (b *TPMSStyle) manuscriptVector(keywords []string) map[string]float64 {
+	vec := map[string]float64{}
+	for _, kw := range keywords {
+		if b.Ont != nil {
+			for _, e := range b.Ont.Expand(kw, ontology.ExpandOptions{MinScore: 0.3, IncludeSeed: true}) {
+				if e.Score > vec[e.Keyword] {
+					vec[e.Keyword] = e.Score
+				}
+			}
+		} else {
+			vec[ontology.Normalize(kw)] = 1
+		}
+	}
+	return vec
+}
+
+func cosine(a, b map[string]float64) float64 {
+	var dot, na, nb float64
+	for k, va := range a {
+		na += va * va
+		if vb, ok := b[k]; ok {
+			dot += va * vb
+		}
+	}
+	for _, vb := range b {
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
+// TimeAware weights each on-topic publication by exponential recency
+// decay, following the time-aware assignment line of work.
+type TimeAware struct {
+	Ont *ontology.Ontology
+	// HalfLifeYears controls decay (default 4).
+	HalfLifeYears float64
+}
+
+// Name implements Baseline.
+func (*TimeAware) Name() string { return "time-aware" }
+
+// Rank implements Baseline.
+func (b *TimeAware) Rank(c *scholarly.Corpus, q Query, k int) []scholarly.ScholarID {
+	hl := b.HalfLifeYears
+	if hl == 0 {
+		hl = 4
+	}
+	kwSet := map[string]bool{}
+	for _, kw := range q.Keywords {
+		kwSet[ontology.Normalize(kw)] = true
+		if b.Ont != nil {
+			for _, e := range b.Ont.Expand(kw, ontology.ExpandOptions{MinScore: 0.5, IncludeSeed: true}) {
+				kwSet[e.Keyword] = true
+			}
+		}
+	}
+	var items []scored
+	for _, id := range eligible(c, q) {
+		s := c.Scholar(id)
+		score := 0.0
+		for _, pid := range s.Publications {
+			p := c.Publication(pid)
+			onTopic := false
+			for _, kw := range p.Keywords {
+				if kwSet[ontology.Normalize(kw)] {
+					onTopic = true
+					break
+				}
+			}
+			if onTopic {
+				age := float64(c.HorizonYear - p.Year)
+				score += math.Pow(0.5, age/hl)
+			}
+		}
+		if score > 0 {
+			items = append(items, scored{id: id, score: score})
+		}
+	}
+	return topK(items, k)
+}
+
+// OWA scores each reviewer on four criteria (topic match, impact,
+// recency, review experience), sorts the criterion values descending and
+// applies order weights — the Ordered Weighted Averaging operator used
+// for conference assignment decision support.
+type OWA struct {
+	Ont *ontology.Ontology
+	// OrderWeights apply to the sorted criterion values, largest first.
+	// Default [0.4, 0.3, 0.2, 0.1] (optimistic-leaning).
+	OrderWeights []float64
+}
+
+// Name implements Baseline.
+func (*OWA) Name() string { return "owa" }
+
+// Rank implements Baseline.
+func (b *OWA) Rank(c *scholarly.Corpus, q Query, k int) []scholarly.ScholarID {
+	weights := b.OrderWeights
+	if len(weights) != 4 {
+		weights = []float64{0.4, 0.3, 0.2, 0.1}
+	}
+	var items []scored
+	for _, id := range eligible(c, q) {
+		s := c.Scholar(id)
+		crit := []float64{
+			b.topicMatch(c, s, q.Keywords),
+			math.Min(1, math.Log1p(float64(c.CitationCount(id)))/math.Log1p(20000)),
+			b.recency(c, s, q.Keywords),
+			math.Min(1, math.Log1p(float64(len(s.Reviews)))/math.Log1p(200)),
+		}
+		if crit[0] == 0 {
+			continue // no topical basis at all
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(crit)))
+		score := 0.0
+		for i, w := range weights {
+			score += w * crit[i]
+		}
+		items = append(items, scored{id: id, score: score})
+	}
+	return topK(items, k)
+}
+
+func (b *OWA) topicMatch(c *scholarly.Corpus, s *scholarly.Scholar, keywords []string) float64 {
+	if len(keywords) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, kw := range keywords {
+		best := 0.0
+		for _, in := range s.Interests {
+			var sim float64
+			if b.Ont != nil {
+				sim = b.Ont.Similarity(kw, in)
+			} else if ontology.Normalize(kw) == ontology.Normalize(in) {
+				sim = 1
+			}
+			if sim > best {
+				best = sim
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(keywords))
+}
+
+func (b *OWA) recency(c *scholarly.Corpus, s *scholarly.Scholar, keywords []string) float64 {
+	last := 0
+	for _, kw := range keywords {
+		if y := c.LastYearOnTopic(s.ID, kw); y > last {
+			last = y
+		}
+	}
+	if last == 0 {
+		return 0
+	}
+	return math.Pow(0.5, float64(c.HorizonYear-last)/3.0)
+}
+
+// All returns the standard comparator set, sharing one ontology.
+func All(ont *ontology.Ontology, seed int64) []Baseline {
+	return []Baseline{
+		&Random{Seed: seed},
+		KeywordMatch{},
+		&TPMSStyle{Ont: ont},
+		&TimeAware{Ont: ont},
+		&OWA{Ont: ont},
+	}
+}

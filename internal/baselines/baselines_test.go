@@ -1,0 +1,148 @@
+package baselines
+
+import (
+	"testing"
+
+	"minaret/internal/evalmetrics"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/workload"
+)
+
+func testCorpus(seed int64) (*scholarly.Corpus, *ontology.Ontology) {
+	o := ontology.Default()
+	c := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: seed, NumScholars: 600, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	return c, o
+}
+
+func queryFrom(it workload.Item, c *scholarly.Corpus) Query {
+	q := Query{Keywords: it.Manuscript.Keywords, AuthorIDs: it.AuthorIDs, ExcludeCOI: true}
+	if v, ok := c.VenueByName(it.Manuscript.TargetVenue); ok {
+		q.Venue = v.ID
+	}
+	return q
+}
+
+func TestAllBaselinesProduceValidRankings(t *testing.T) {
+	c, o := testCorpus(31)
+	items := workload.NewGenerator(c, o, workload.Config{Seed: 2, NumManuscripts: 3}).Generate()
+	for _, b := range All(o, 1) {
+		nonEmpty := 0
+		for _, it := range items {
+			ids := b.Rank(c, queryFrom(it, c), 20)
+			if len(ids) > 0 {
+				nonEmpty++
+			}
+			seen := map[scholarly.ScholarID]bool{}
+			authorSet := map[scholarly.ScholarID]bool{}
+			for _, a := range it.AuthorIDs {
+				authorSet[a] = true
+			}
+			for _, id := range ids {
+				if seen[id] {
+					t.Errorf("%s ranked %d twice", b.Name(), id)
+				}
+				seen[id] = true
+				if authorSet[id] {
+					t.Errorf("%s recommended an author", b.Name())
+				}
+				if int(id) >= len(c.Scholars) {
+					t.Errorf("%s produced invalid id %d", b.Name(), id)
+				}
+			}
+			if len(ids) > 20 {
+				t.Errorf("%s ignored k", b.Name())
+			}
+		}
+		// Exact keyword match can legitimately come up empty for a
+		// manuscript whose keywords nobody registers verbatim, but a
+		// baseline must not be empty across the whole workload.
+		if nonEmpty == 0 {
+			t.Errorf("%s returned empty rankings for every manuscript", b.Name())
+		}
+	}
+}
+
+func TestExcludeCOIRemovesConflicts(t *testing.T) {
+	c, o := testCorpus(32)
+	items := workload.NewGenerator(c, o, workload.Config{Seed: 3, NumManuscripts: 3}).Generate()
+	b := KeywordMatch{}
+	for _, it := range items {
+		q := queryFrom(it, c)
+		for _, id := range b.Rank(c, q, 50) {
+			for _, a := range it.AuthorIDs {
+				if _, co := c.CoAuthors(a)[id]; co {
+					t.Fatalf("COI-excluded ranking contains co-author %d", id)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselinesDeterministic(t *testing.T) {
+	c, o := testCorpus(33)
+	items := workload.NewGenerator(c, o, workload.Config{Seed: 4, NumManuscripts: 2}).Generate()
+	for _, b := range All(o, 7) {
+		q := queryFrom(items[0], c)
+		a1 := b.Rank(c, q, 15)
+		a2 := b.Rank(c, q, 15)
+		if len(a1) != len(a2) {
+			t.Fatalf("%s nondeterministic length", b.Name())
+		}
+		for i := range a1 {
+			if a1[i] != a2[i] {
+				t.Fatalf("%s nondeterministic at %d", b.Name(), i)
+			}
+		}
+	}
+}
+
+// TestInformedBeatRandom pins the expected quality ordering: every
+// informed baseline must beat the random floor on NDCG@10 over a small
+// workload. This is the sanity anchor for experiment E1.
+func TestInformedBeatRandom(t *testing.T) {
+	c, o := testCorpus(34)
+	items := workload.NewGenerator(c, o, workload.Config{Seed: 5, NumManuscripts: 8}).Generate()
+	score := func(b Baseline) float64 {
+		vals := make([]float64, 0, len(items))
+		for _, it := range items {
+			ids := b.Rank(c, queryFrom(it, c), 10)
+			vals = append(vals, evalmetrics.NDCGAtK(workload.Keys(ids), it.GainKeys(), 10))
+		}
+		return evalmetrics.Mean(vals)
+	}
+	random := score(&Random{Seed: 99})
+	for _, b := range []Baseline{KeywordMatch{}, &TPMSStyle{Ont: o}, &TimeAware{Ont: o}, &OWA{Ont: o}} {
+		if s := score(b); s <= random {
+			t.Errorf("%s NDCG %.3f does not beat random %.3f", b.Name(), s, random)
+		}
+	}
+}
+
+func TestCosine(t *testing.T) {
+	a := map[string]float64{"x": 1, "y": 1}
+	if got := cosine(a, a); got < 0.999 || got > 1.001 {
+		t.Fatalf("self cosine = %v", got)
+	}
+	if got := cosine(a, map[string]float64{"z": 1}); got != 0 {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if cosine(a, map[string]float64{}) != 0 {
+		t.Fatal("empty cosine should be 0")
+	}
+}
+
+func TestBaselineNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, b := range All(ontology.Default(), 1) {
+		if b.Name() == "" || names[b.Name()] {
+			t.Fatalf("bad or duplicate name %q", b.Name())
+		}
+		names[b.Name()] = true
+	}
+	if len(names) != 5 {
+		t.Fatalf("baseline count = %d", len(names))
+	}
+}

@@ -1,0 +1,258 @@
+// Package coi implements MINARET's conflict-of-interest detection. A
+// candidate reviewer conflicts with a manuscript when they previously
+// co-authored with any of its authors, or when they share an affiliation
+// with an author — at the university or country level, as configured by
+// the editor (paper, Section 2.2).
+package coi
+
+import (
+	"fmt"
+	"strings"
+
+	"minaret/internal/nameres"
+	"minaret/internal/profile"
+	"minaret/internal/sources"
+)
+
+// AffiliationLevel selects how strictly shared affiliations conflict.
+type AffiliationLevel int
+
+const (
+	// AffiliationOff disables the shared-affiliation rule.
+	AffiliationOff AffiliationLevel = iota
+	// AffiliationUniversity conflicts reviewers sharing an institution
+	// with an author.
+	AffiliationUniversity
+	// AffiliationCountry additionally conflicts reviewers sharing a
+	// country with an author.
+	AffiliationCountry
+)
+
+func (l AffiliationLevel) String() string {
+	switch l {
+	case AffiliationOff:
+		return "off"
+	case AffiliationUniversity:
+		return "university"
+	case AffiliationCountry:
+		return "country"
+	default:
+		return fmt.Sprintf("AffiliationLevel(%d)", int(l))
+	}
+}
+
+// Config is the editor-facing COI policy.
+type Config struct {
+	// CoAuthorship enables the prior co-authorship rule.
+	CoAuthorship bool
+	// CoAuthorWindowYears limits co-authorship conflicts to papers within
+	// the last N years before the horizon; 0 means any time.
+	CoAuthorWindowYears int
+	// Affiliation selects the shared-affiliation strictness.
+	Affiliation AffiliationLevel
+	// AffiliationWindowYears limits affiliation overlap to periods active
+	// within the last N years; 0 means entire history.
+	AffiliationWindowYears int
+	// HorizonYear is "now" for window computations.
+	HorizonYear int
+}
+
+// DefaultConfig mirrors the demo's defaults: both rules on, university
+// level, co-authorship at any time, affiliations from the whole history.
+func DefaultConfig(horizon int) Config {
+	return Config{
+		CoAuthorship: true,
+		Affiliation:  AffiliationUniversity,
+		HorizonYear:  horizon,
+	}
+}
+
+// Rule names the COI rule that fired.
+type Rule string
+
+const (
+	RuleCoAuthorship      Rule = "co-authorship"
+	RuleSharedUniversity  Rule = "shared-university"
+	RuleSharedCountry     Rule = "shared-country"
+)
+
+// Evidence is one detected conflict with its explanation.
+type Evidence struct {
+	Rule Rule
+	// Author is the manuscript author involved.
+	Author string
+	// Detail is human-readable ("co-authored 'X' in 2016",
+	// "both at University of Tartu").
+	Detail string
+	// Year is the year of the conflicting event (0 when not applicable).
+	Year int
+}
+
+func (e Evidence) String() string {
+	return fmt.Sprintf("%s with %s: %s", e.Rule, e.Author, e.Detail)
+}
+
+// Detector evaluates the COI policy against assembled profiles.
+type Detector struct {
+	cfg Config
+}
+
+// NewDetector builds a Detector.
+func NewDetector(cfg Config) *Detector { return &Detector{cfg: cfg} }
+
+// Config returns the detector's policy.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Detect returns all conflicts between the reviewer and any manuscript
+// author. Empty result means no conflict under the configured policy.
+func (d *Detector) Detect(reviewer *profile.Profile, authors []*profile.Profile) []Evidence {
+	var out []Evidence
+	for _, a := range authors {
+		if d.cfg.CoAuthorship {
+			out = append(out, d.coAuthorship(reviewer, a)...)
+		}
+		if d.cfg.Affiliation >= AffiliationUniversity {
+			out = append(out, d.sharedUniversity(reviewer, a)...)
+		}
+		if d.cfg.Affiliation >= AffiliationCountry {
+			out = append(out, d.sharedCountry(reviewer, a)...)
+		}
+	}
+	return out
+}
+
+// HasConflict is Detect with an early-exit boolean.
+func (d *Detector) HasConflict(reviewer *profile.Profile, authors []*profile.Profile) bool {
+	return len(d.Detect(reviewer, authors)) > 0
+}
+
+// coAuthorship detects shared publications two ways: by publication
+// identity (normalized title + year appearing in both track records) and
+// by the author's name appearing in a reviewer paper's co-author list.
+// The double check matters because sources differ in linking quality.
+func (d *Detector) coAuthorship(reviewer, author *profile.Profile) []Evidence {
+	minYear := 0
+	if d.cfg.CoAuthorWindowYears > 0 {
+		minYear = d.cfg.HorizonYear - d.cfg.CoAuthorWindowYears + 1
+	}
+	authorPubs := map[string]bool{}
+	for _, p := range author.Publications {
+		if p.Year >= minYear {
+			authorPubs[profile.NormalizeTitle(p.Title)+"|"+fmt.Sprint(p.Year)] = true
+		}
+	}
+	var out []Evidence
+	seen := map[string]bool{}
+	for _, p := range reviewer.Publications {
+		if p.Year < minYear {
+			continue
+		}
+		key := profile.NormalizeTitle(p.Title) + "|" + fmt.Sprint(p.Year)
+		matched := authorPubs[key]
+		if !matched {
+			for _, co := range p.CoAuthors {
+				if nameres.NamesCompatible(co, author.Name) {
+					matched = true
+					break
+				}
+			}
+		}
+		if matched && !seen[key] {
+			seen[key] = true
+			out = append(out, Evidence{
+				Rule:   RuleCoAuthorship,
+				Author: author.Name,
+				Detail: fmt.Sprintf("co-authored %q (%d)", p.Title, p.Year),
+				Year:   p.Year,
+			})
+		}
+	}
+	return out
+}
+
+func (d *Detector) sharedUniversity(reviewer, author *profile.Profile) []Evidence {
+	minYear := 0
+	if d.cfg.AffiliationWindowYears > 0 {
+		minYear = d.cfg.HorizonYear - d.cfg.AffiliationWindowYears + 1
+	}
+	var out []Evidence
+	for _, ra := range reviewer.AffiliationHistory {
+		if !activeSince(ra, minYear, d.cfg.HorizonYear) {
+			continue
+		}
+		for _, aa := range author.AffiliationHistory {
+			if !activeSince(aa, minYear, d.cfg.HorizonYear) {
+				continue
+			}
+			if ra.Institution != "" && strings.EqualFold(ra.Institution, aa.Institution) {
+				out = append(out, Evidence{
+					Rule:   RuleSharedUniversity,
+					Author: author.Name,
+					Detail: "both affiliated with " + ra.Institution,
+					Year:   maxInt(ra.StartYear, aa.StartYear),
+				})
+				return out // one institution conflict is enough per author
+			}
+		}
+	}
+	return out
+}
+
+func (d *Detector) sharedCountry(reviewer, author *profile.Profile) []Evidence {
+	minYear := 0
+	if d.cfg.AffiliationWindowYears > 0 {
+		minYear = d.cfg.HorizonYear - d.cfg.AffiliationWindowYears + 1
+	}
+	countries := map[string]bool{}
+	for _, aa := range author.AffiliationHistory {
+		if activeSince(aa, minYear, d.cfg.HorizonYear) && aa.Country != "" {
+			countries[strings.ToLower(aa.Country)] = true
+		}
+	}
+	if author.Country != "" {
+		countries[strings.ToLower(author.Country)] = true
+	}
+	var out []Evidence
+	for _, ra := range reviewer.AffiliationHistory {
+		if !activeSince(ra, minYear, d.cfg.HorizonYear) || ra.Country == "" {
+			continue
+		}
+		if countries[strings.ToLower(ra.Country)] {
+			out = append(out, Evidence{
+				Rule:   RuleSharedCountry,
+				Author: author.Name,
+				Detail: "both in " + ra.Country,
+			})
+			return out
+		}
+	}
+	if reviewer.Country != "" && countries[strings.ToLower(reviewer.Country)] && len(out) == 0 {
+		out = append(out, Evidence{
+			Rule:   RuleSharedCountry,
+			Author: author.Name,
+			Detail: "both in " + reviewer.Country,
+		})
+	}
+	return out
+}
+
+// activeSince reports whether an affiliation period was active in
+// [minYear, horizon]. minYear 0 accepts everything; an EndYear of 0
+// means the affiliation is current.
+func activeSince(a sources.AffPeriod, minYear, horizon int) bool {
+	if minYear == 0 {
+		return true
+	}
+	end := a.EndYear
+	if end == 0 {
+		end = horizon
+	}
+	return end >= minYear && (a.StartYear == 0 || a.StartYear <= horizon)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"minaret/internal/coi"
+	"minaret/internal/fetch"
+	"minaret/internal/filter"
+	"minaret/internal/nameres"
+	"minaret/internal/ontology"
+	"minaret/internal/ranking"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+type world struct {
+	corpus   *scholarly.Corpus
+	registry *sources.Registry
+	ont      *ontology.Ontology
+}
+
+func newWorld(t *testing.T, seed int64, scholars int) *world {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed:        seed,
+		NumScholars: scholars,
+		Topics:      o.Topics(),
+		Related:     o.RelatedMap(),
+	})
+	web := simweb.New(corpus, simweb.Config{})
+	srv := httptest.NewServer(web.Mux())
+	t.Cleanup(srv.Close)
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	return &world{
+		corpus:   corpus,
+		registry: sources.DefaultRegistry(f, sources.SingleHost(srv.URL)),
+		ont:      o,
+	}
+}
+
+// pickAuthor returns a corpus scholar suitable as a manuscript author:
+// multi-source, publishing, with co-authors (so COI filtering has work).
+func (w *world) pickAuthor(t *testing.T) *scholarly.Scholar {
+	t.Helper()
+	for i := range w.corpus.Scholars {
+		s := &w.corpus.Scholars[i]
+		if s.Presence.DBLP && s.Presence.GoogleScholar && len(s.Publications) >= 5 &&
+			len(w.corpus.CoAuthors(s.ID)) >= 3 && len(s.Interests) >= 1 {
+			return s
+		}
+	}
+	t.Fatal("no suitable author in corpus")
+	return nil
+}
+
+func (w *world) manuscriptFor(author *scholarly.Scholar) Manuscript {
+	// Keywords from the author's true topics: realistic submission.
+	kws := author.Interests
+	if len(kws) > 4 {
+		kws = kws[:4]
+	}
+	var venue string
+	for i := range w.corpus.Venues {
+		if w.corpus.Venues[i].Type == scholarly.Journal {
+			venue = w.corpus.Venues[i].Name
+			break
+		}
+	}
+	return Manuscript{
+		Title:    "A Test Submission",
+		Keywords: kws,
+		Authors: []Author{{
+			Name:        author.Name.Full(),
+			Affiliation: author.CurrentAffiliation().Institution,
+		}},
+		TargetVenue: venue,
+	}
+}
+
+func defaultEngine(w *world, cfg Config) *Engine {
+	if cfg.Filter.COI.HorizonYear == 0 {
+		cfg.Filter.COI = coi.DefaultConfig(w.corpus.HorizonYear)
+	}
+	if cfg.Ranking.HorizonYear == 0 {
+		cfg.Ranking.HorizonYear = w.corpus.HorizonYear
+	}
+	return New(w.registry, w.ont, cfg)
+}
+
+func TestRecommendEndToEnd(t *testing.T) {
+	w := newWorld(t, 101, 400)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	eng := defaultEngine(w, Config{TopK: 8, MaxCandidates: 60})
+
+	res, err := eng.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if len(res.Recommendations) > 8 {
+		t.Fatalf("TopK violated: %d", len(res.Recommendations))
+	}
+	// Sorted desc, ranks sequential, components bounded.
+	for i, rec := range res.Recommendations {
+		if rec.Rank != i+1 {
+			t.Errorf("rank[%d] = %d", i, rec.Rank)
+		}
+		if i > 0 && res.Recommendations[i-1].Total < rec.Total {
+			t.Error("recommendations not sorted by total desc")
+		}
+		if rec.Total < 0 || rec.Total > 1 {
+			t.Errorf("total out of range: %v", rec.Total)
+		}
+		for name, v := range rec.Breakdown.Components {
+			if v < 0 || v > 1 {
+				t.Errorf("component %s = %v", name, v)
+			}
+		}
+		if len(rec.Matches) == 0 {
+			t.Errorf("recommendation %d has no keyword matches", i)
+		}
+		// Author must never be recommended.
+		if nameres.NamesCompatible(rec.Reviewer.Name, author.Name.Full()) {
+			t.Errorf("author recommended as reviewer: %s", rec.Reviewer.Name)
+		}
+	}
+	// Workflow stats trace (the F2 experiment's substance).
+	st := res.Stats
+	if st.AuthorsVerified != 1 || st.ExpandedKeywords == 0 ||
+		st.CandidatesRetrieved == 0 || st.ProfilesAssembled == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.CandidatesRetrieved < st.ProfilesAssembled {
+		t.Error("assembled more profiles than candidates")
+	}
+}
+
+// TestRecommendNoGroundTruthCOI verifies the central filtering guarantee
+// against corpus ground truth: no recommended reviewer co-authored with
+// the manuscript author or shares their university.
+func TestRecommendNoGroundTruthCOI(t *testing.T) {
+	w := newWorld(t, 102, 400)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	eng := defaultEngine(w, Config{TopK: 10, MaxCandidates: 80})
+
+	res, err := eng.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coAuthors := w.corpus.CoAuthors(author.ID)
+	for _, rec := range res.Recommendations {
+		// Identify the recommended reviewer in the corpus via any site id.
+		var rid scholarly.ScholarID = -1
+		for src, id := range rec.Reviewer.SiteIDs {
+			var ok bool
+			var got scholarly.ScholarID
+			switch src {
+			case "scholar":
+				got, ok = simweb.ParseScholarUser(id)
+			case "publons":
+				got, ok = simweb.ParsePublonsID(id)
+			case "dblp":
+				got, ok = simweb.ParseDBLPPID(id)
+			case "orcid":
+				got, ok = simweb.ParseORCID(id)
+			}
+			if ok {
+				rid = got
+				break
+			}
+		}
+		if rid < 0 {
+			t.Errorf("cannot identify reviewer %q in corpus", rec.Reviewer.Name)
+			continue
+		}
+		if _, conflict := coAuthors[rid]; conflict {
+			t.Errorf("recommended reviewer %q (id %d) co-authored with the author", rec.Reviewer.Name, rid)
+		}
+		rs := w.corpus.Scholar(rid)
+		for _, ra := range rs.Affiliations {
+			for _, aa := range author.Affiliations {
+				if strings.EqualFold(ra.Institution, aa.Institution) {
+					t.Errorf("recommended reviewer %q shares affiliation %q with author", rec.Reviewer.Name, ra.Institution)
+				}
+			}
+		}
+	}
+}
+
+func TestExpansionWidensCandidatePool(t *testing.T) {
+	w := newWorld(t, 103, 400)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	m.Keywords = m.Keywords[:1] // single keyword: expansion matters most
+
+	with := defaultEngine(w, Config{MaxCandidates: 4000, TopK: 5})
+	without := defaultEngine(w, Config{MaxCandidates: 4000, TopK: 5, DisableExpansion: true})
+
+	rw, err := with.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rwo, err := without.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Stats.CandidatesRetrieved <= rwo.Stats.CandidatesRetrieved {
+		t.Fatalf("expansion did not widen pool: with=%d without=%d",
+			rw.Stats.CandidatesRetrieved, rwo.Stats.CandidatesRetrieved)
+	}
+	if rw.Stats.ExpandedKeywords <= rwo.Stats.ExpandedKeywords {
+		t.Fatalf("expanded keywords: with=%d without=%d",
+			rw.Stats.ExpandedKeywords, rwo.Stats.ExpandedKeywords)
+	}
+}
+
+func TestKeywordThresholdFilters(t *testing.T) {
+	w := newWorld(t, 104, 300)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+
+	loose := defaultEngine(w, Config{TopK: 50, MaxCandidates: 60})
+	strict := defaultEngine(w, Config{TopK: 50, MaxCandidates: 60,
+		Filter: filter.Config{COI: coi.DefaultConfig(w.corpus.HorizonYear), MinKeywordScore: 0.99}})
+
+	rl, err := loose.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := strict.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range rs.Recommendations {
+		if rec.BestKeywordScore < 0.99 {
+			t.Errorf("strict run kept candidate with score %v", rec.BestKeywordScore)
+		}
+	}
+	if len(rs.Recommendations) > len(rl.Recommendations) {
+		t.Error("strict threshold produced more recommendations")
+	}
+}
+
+func TestExpertiseConstraintApplied(t *testing.T) {
+	w := newWorld(t, 105, 300)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	eng := defaultEngine(w, Config{TopK: 20, MaxCandidates: 60,
+		Filter: filter.Config{
+			COI:       coi.DefaultConfig(w.corpus.HorizonYear),
+			Expertise: filter.ExpertiseConstraints{MinHIndex: 8},
+		}})
+	res, err := eng.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Recommendations {
+		if rec.Reviewer.HIndex < 8 {
+			t.Errorf("reviewer %q h-index %d below constraint", rec.Reviewer.Name, rec.Reviewer.HIndex)
+		}
+	}
+}
+
+func TestConferencePCMode(t *testing.T) {
+	w := newWorld(t, 106, 300)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	// PC of the first conference venue.
+	var pc []string
+	for i := range w.corpus.Venues {
+		v := &w.corpus.Venues[i]
+		if v.Type == scholarly.Conference && len(v.PC) > 0 {
+			for _, id := range v.PC {
+				pc = append(pc, w.corpus.Scholar(id).Name.Full())
+			}
+			m.TargetVenue = v.Name
+			break
+		}
+	}
+	if len(pc) == 0 {
+		t.Fatal("no conference PC in corpus")
+	}
+	eng := defaultEngine(w, Config{TopK: 20, MaxCandidates: 60,
+		Filter: filter.Config{COI: coi.DefaultConfig(w.corpus.HorizonYear), PCMembers: pc}})
+	res, err := eng.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcSet := map[string]bool{}
+	for _, n := range pc {
+		pcSet[strings.ToLower(n)] = true
+	}
+	for _, rec := range res.Recommendations {
+		if !pcSet[strings.ToLower(rec.Reviewer.Name)] {
+			t.Errorf("non-PC reviewer %q recommended in conference mode", rec.Reviewer.Name)
+		}
+	}
+	// At least some candidates should have been excluded as non-PC.
+	foundPCExclusion := false
+	for _, ex := range res.ExcludedCandidates {
+		for _, r := range ex.Reasons {
+			if r.Kind == "not-pc-member" {
+				foundPCExclusion = true
+			}
+		}
+	}
+	if !foundPCExclusion && len(res.ExcludedCandidates) > 0 {
+		t.Log("no non-PC exclusions recorded (possible but unusual)")
+	}
+}
+
+func TestRecommendFromAbstractOnly(t *testing.T) {
+	w := newWorld(t, 111, 300)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	kw := m.Keywords[0]
+	m.Keywords = nil
+	m.Abstract = "This manuscript studies scalable " + kw + " techniques. " +
+		"We build on advances in " + kw + " and evaluate against real workloads."
+	eng := defaultEngine(w, Config{TopK: 5, MaxCandidates: 40})
+	res, err := eng.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.DerivedKeywords) == 0 {
+		t.Fatal("no derived keywords recorded")
+	}
+	found := false
+	for _, g := range res.DerivedKeywords {
+		if g.Topic == w.ont.Topics()[0] || strings.EqualFold(g.Topic, kw) {
+			found = true
+		}
+	}
+	if !found {
+		// The derived set should at least contain the seeded topic.
+		t.Fatalf("derived keywords %v missing %q", res.DerivedKeywords, kw)
+	}
+	if len(res.Recommendations) == 0 {
+		t.Fatal("abstract-only manuscript produced no recommendations")
+	}
+	if len(res.Manuscript.Keywords) == 0 {
+		t.Fatal("result manuscript keywords not backfilled")
+	}
+}
+
+func TestDiversityReducesAffiliationClumping(t *testing.T) {
+	w := newWorld(t, 112, 500)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	run := func(lambda float64) *Result {
+		eng := defaultEngine(w, Config{TopK: 10, MaxCandidates: 80, DiversityLambda: lambda})
+		res, err := eng.Recommend(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain := run(0)
+	diverse := run(0.6)
+	distinct := func(res *Result) int {
+		seen := map[string]bool{}
+		for _, rec := range res.Recommendations {
+			seen[strings.ToLower(rec.Reviewer.Affiliation)] = true
+		}
+		return len(seen)
+	}
+	if len(plain.Recommendations) != len(diverse.Recommendations) {
+		t.Fatalf("diversification changed count: %d vs %d",
+			len(plain.Recommendations), len(diverse.Recommendations))
+	}
+	if d, p := distinct(diverse), distinct(plain); d < p {
+		t.Fatalf("diversified panel has fewer distinct affiliations: %d < %d", d, p)
+	}
+	// The top pick is preserved (MMR always seats the best first).
+	if plain.Recommendations[0].Reviewer.Name != diverse.Recommendations[0].Reviewer.Name {
+		t.Fatal("diversification displaced the top pick")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	w := newWorld(t, 107, 50)
+	eng := defaultEngine(w, Config{})
+	ctx := context.Background()
+	if _, err := eng.Recommend(ctx, Manuscript{Authors: []Author{{Name: "X"}}}); err == nil {
+		t.Error("no keywords and no abstract accepted")
+	}
+	if _, err := eng.Recommend(ctx, Manuscript{
+		Authors:  []Author{{Name: "X"}},
+		Abstract: "entirely ungroundable prose about nothing topical whatsoever",
+	}); err == nil {
+		t.Error("ungroundable abstract accepted")
+	}
+	if _, err := eng.Recommend(ctx, Manuscript{Keywords: []string{"rdf"}}); err == nil {
+		t.Error("no authors accepted")
+	}
+	if _, err := eng.Recommend(ctx, Manuscript{Keywords: []string{"rdf"}, Authors: []Author{{Name: "  "}}}); err == nil {
+		t.Error("blank author accepted")
+	}
+}
+
+func TestRecommendDeterministic(t *testing.T) {
+	w := newWorld(t, 108, 300)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	eng := defaultEngine(w, Config{TopK: 5, MaxCandidates: 40})
+	ctx := context.Background()
+	r1, err := eng.Recommend(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := eng.Recommend(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Recommendations) != len(r2.Recommendations) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1.Recommendations), len(r2.Recommendations))
+	}
+	for i := range r1.Recommendations {
+		a, b := r1.Recommendations[i], r2.Recommendations[i]
+		if a.Reviewer.Name != b.Reviewer.Name || a.Total != b.Total {
+			t.Fatalf("run divergence at %d: %s/%v vs %s/%v", i, a.Reviewer.Name, a.Total, b.Reviewer.Name, b.Total)
+		}
+	}
+}
+
+func TestPartialSourceOutage(t *testing.T) {
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 109, NumScholars: 300, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	web := simweb.New(corpus, simweb.Config{Down: map[string]bool{"dblp": true, "acm": true}})
+	srv := httptest.NewServer(web.Mux())
+	defer srv.Close()
+	f := fetch.New(fetch.Options{Timeout: 5 * time.Second, BaseBackoff: time.Millisecond, MaxRetries: 1, PerHostRate: -1})
+	w := &world{corpus: corpus, registry: sources.DefaultRegistry(f, sources.SingleHost(srv.URL)), ont: o}
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	eng := defaultEngine(w, Config{TopK: 5, MaxCandidates: 30})
+	res, err := eng.Recommend(context.Background(), m)
+	if err != nil {
+		t.Fatalf("pipeline failed under partial outage: %v", err)
+	}
+	if len(res.Recommendations) == 0 {
+		t.Fatal("no recommendations despite scholar+publons being up")
+	}
+	if len(res.SourceErrors) == 0 {
+		t.Error("outage not recorded in SourceErrors")
+	}
+}
+
+func TestCustomWeightsChangeOrdering(t *testing.T) {
+	w := newWorld(t, 110, 400)
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	mk := func(weights ranking.Weights) *Result {
+		eng := defaultEngine(w, Config{TopK: 30, MaxCandidates: 60,
+			Ranking: ranking.Config{Weights: weights, HorizonYear: w.corpus.HorizonYear}})
+		res, err := eng.Recommend(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	coverage := mk(ranking.Weights{TopicCoverage: 1})
+	impact := mk(ranking.Weights{Impact: 1})
+	if len(coverage.Recommendations) == 0 || len(impact.Recommendations) == 0 {
+		t.Skip("not enough candidates to compare orderings")
+	}
+	// Impact-only ordering must be sorted by citations.
+	for i := 1; i < len(impact.Recommendations); i++ {
+		if impact.Recommendations[i-1].Reviewer.Citations < impact.Recommendations[i].Reviewer.Citations {
+			t.Fatal("impact-only ranking not citation-ordered")
+		}
+	}
+	// The two configurations should disagree somewhere (different signal).
+	same := true
+	n := len(coverage.Recommendations)
+	if len(impact.Recommendations) < n {
+		n = len(impact.Recommendations)
+	}
+	for i := 0; i < n; i++ {
+		if coverage.Recommendations[i].Reviewer.Name != impact.Recommendations[i].Reviewer.Name {
+			same = false
+			break
+		}
+	}
+	if same && n > 3 {
+		t.Error("coverage-only and impact-only rankings identical; weights have no effect")
+	}
+}

@@ -1,0 +1,217 @@
+// Package evalmetrics provides ranking-quality metrics for the
+// recommendation experiments: precision/recall at k, mean average
+// precision, NDCG, MRR, Kendall's tau, and coverage. The demo paper
+// reports no quantitative evaluation; these metrics power the extended
+// experiments (E1-E6) that a non-demo version would need.
+//
+// All functions assume rankings do not repeat items; recommendation
+// lists are deduplicated by construction.
+package evalmetrics
+
+import (
+	"math"
+	"sort"
+)
+
+// PrecisionAtK is the fraction of the first k ranked items that are
+// relevant. Ranked items beyond len(ranked) count as misses.
+func PrecisionAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k && i < len(ranked); i++ {
+		if relevant[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK is the fraction of all relevant items found in the first k.
+func RecallAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k && i < len(ranked); i++ {
+		if relevant[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// AveragePrecision is the mean of precision@i over the ranks i of
+// relevant retrieved items, divided by the total number of relevant
+// items (standard AP).
+func AveragePrecision(ranked []string, relevant map[string]bool) float64 {
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	sum := 0.0
+	for i, id := range ranked {
+		if relevant[id] {
+			hits++
+			sum += float64(hits) / float64(i+1)
+		}
+	}
+	return sum / float64(len(relevant))
+}
+
+// MAP is the mean AveragePrecision over queries; each query is a
+// (ranking, relevance set) pair.
+func MAP(rankings [][]string, relevants []map[string]bool) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range rankings {
+		sum += AveragePrecision(rankings[i], relevants[i])
+	}
+	return sum / float64(len(rankings))
+}
+
+// NDCGAtK computes normalized discounted cumulative gain with graded
+// relevance gains. Items absent from gains have zero gain.
+func NDCGAtK(ranked []string, gains map[string]float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	dcg := 0.0
+	for i := 0; i < k && i < len(ranked); i++ {
+		g := gains[ranked[i]]
+		if g > 0 {
+			dcg += (math.Pow(2, g) - 1) / math.Log2(float64(i+2))
+		}
+	}
+	// Ideal ordering: gains sorted descending.
+	ideal := make([]float64, 0, len(gains))
+	for _, g := range gains {
+		if g > 0 {
+			ideal = append(ideal, g)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := 0.0
+	for i := 0; i < k && i < len(ideal); i++ {
+		idcg += (math.Pow(2, ideal[i]) - 1) / math.Log2(float64(i+2))
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// BinaryNDCGAtK is NDCGAtK with unit gains for relevant items.
+func BinaryNDCGAtK(ranked []string, relevant map[string]bool, k int) float64 {
+	gains := make(map[string]float64, len(relevant))
+	for id, rel := range relevant {
+		if rel {
+			gains[id] = 1
+		}
+	}
+	return NDCGAtK(ranked, gains, k)
+}
+
+// MRR is the mean reciprocal rank of the first relevant item per query.
+func MRR(rankings [][]string, relevants []map[string]bool) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for q := range rankings {
+		for i, id := range rankings[q] {
+			if relevants[q][id] {
+				sum += 1.0 / float64(i+1)
+				break
+			}
+		}
+	}
+	return sum / float64(len(rankings))
+}
+
+// KendallTau computes the rank correlation between two orderings of the
+// same item set, in [-1, 1]. Items missing from either ranking are
+// ignored. Returns 0 when fewer than two shared items exist.
+func KendallTau(a, b []string) float64 {
+	posB := make(map[string]int, len(b))
+	for i, id := range b {
+		posB[id] = i
+	}
+	var shared []int // positions in b of a's items, in a's order
+	for _, id := range a {
+		if p, ok := posB[id]; ok {
+			shared = append(shared, p)
+		}
+	}
+	n := len(shared)
+	if n < 2 {
+		return 0
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if shared[i] < shared[j] {
+				concordant++
+			} else if shared[i] > shared[j] {
+				discordant++
+			}
+		}
+	}
+	total := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(total)
+}
+
+// Coverage is the fraction of the candidate universe that appears in at
+// least one of the rankings — a diversity measure across queries.
+func Coverage(rankings [][]string, universe int) float64 {
+	if universe <= 0 {
+		return 0
+	}
+	seen := map[string]bool{}
+	for _, r := range rankings {
+		for _, id := range r {
+			seen[id] = true
+		}
+	}
+	return float64(len(seen)) / float64(universe)
+}
+
+// F1AtK is the harmonic mean of precision and recall at k.
+func F1AtK(ranked []string, relevant map[string]bool, k int) float64 {
+	p := PrecisionAtK(ranked, relevant, k)
+	r := RecallAtK(ranked, relevant, k)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Mean averages a slice (0 for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev is the population standard deviation (0 for fewer than two
+// samples).
+func Stddev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}

@@ -1,0 +1,207 @@
+package evalmetrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func rel(ids ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, id := range ids {
+		m[id] = true
+	}
+	return m
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []string{"a", "b", "c", "d"}
+	r := rel("a", "c", "x")
+	if got := PrecisionAtK(ranked, r, 2); got != 0.5 {
+		t.Errorf("P@2 = %v", got)
+	}
+	if got := PrecisionAtK(ranked, r, 4); got != 0.5 {
+		t.Errorf("P@4 = %v", got)
+	}
+	// k beyond list length counts misses.
+	if got := PrecisionAtK(ranked, r, 8); got != 0.25 {
+		t.Errorf("P@8 = %v", got)
+	}
+	if PrecisionAtK(ranked, r, 0) != 0 {
+		t.Error("P@0 should be 0")
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	ranked := []string{"a", "b", "c"}
+	r := rel("a", "c", "z", "w")
+	if got := RecallAtK(ranked, r, 3); got != 0.5 {
+		t.Errorf("R@3 = %v", got)
+	}
+	if got := RecallAtK(ranked, map[string]bool{}, 3); got != 0 {
+		t.Errorf("empty relevance R = %v", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// Relevant at ranks 1 and 3 of 2 total: AP = (1/1 + 2/3)/2 = 5/6.
+	ranked := []string{"a", "b", "c"}
+	got := AveragePrecision(ranked, rel("a", "c"))
+	if math.Abs(got-5.0/6.0) > 1e-12 {
+		t.Errorf("AP = %v, want 5/6", got)
+	}
+	// Perfect ranking: AP = 1.
+	if got := AveragePrecision([]string{"a", "b"}, rel("a", "b")); got != 1 {
+		t.Errorf("perfect AP = %v", got)
+	}
+	// Relevant item never retrieved lowers AP.
+	if got := AveragePrecision([]string{"a"}, rel("a", "missing")); got != 0.5 {
+		t.Errorf("partial AP = %v", got)
+	}
+}
+
+func TestMAPAndMRR(t *testing.T) {
+	rankings := [][]string{{"a", "b"}, {"x", "y"}}
+	relevants := []map[string]bool{rel("a"), rel("y")}
+	if got := MAP(rankings, relevants); got != (1.0+0.5)/2 {
+		t.Errorf("MAP = %v", got)
+	}
+	if got := MRR(rankings, relevants); got != (1.0+0.5)/2 {
+		t.Errorf("MRR = %v", got)
+	}
+	if MAP(nil, nil) != 0 || MRR(nil, nil) != 0 {
+		t.Error("empty queries should be 0")
+	}
+}
+
+func TestNDCG(t *testing.T) {
+	gains := map[string]float64{"a": 3, "b": 2, "c": 1}
+	// Ideal order: a b c.
+	if got := NDCGAtK([]string{"a", "b", "c"}, gains, 3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("ideal NDCG = %v", got)
+	}
+	worse := NDCGAtK([]string{"c", "b", "a"}, gains, 3)
+	if worse >= 1 || worse <= 0 {
+		t.Errorf("reversed NDCG = %v", worse)
+	}
+	if got := NDCGAtK([]string{"z"}, gains, 1); got != 0 {
+		t.Errorf("irrelevant NDCG = %v", got)
+	}
+	if NDCGAtK(nil, map[string]float64{}, 5) != 0 {
+		t.Error("no gains should be 0")
+	}
+}
+
+func TestBinaryNDCG(t *testing.T) {
+	r := rel("a", "b")
+	perfect := BinaryNDCGAtK([]string{"a", "b", "c"}, r, 3)
+	if math.Abs(perfect-1) > 1e-12 {
+		t.Errorf("binary perfect = %v", perfect)
+	}
+	late := BinaryNDCGAtK([]string{"c", "a", "b"}, r, 3)
+	if late >= perfect {
+		t.Error("late relevant items should lower NDCG")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	if got := KendallTau([]string{"a", "b", "c"}, []string{"a", "b", "c"}); got != 1 {
+		t.Errorf("identical tau = %v", got)
+	}
+	if got := KendallTau([]string{"a", "b", "c"}, []string{"c", "b", "a"}); got != -1 {
+		t.Errorf("reversed tau = %v", got)
+	}
+	mid := KendallTau([]string{"a", "b", "c"}, []string{"a", "c", "b"})
+	if math.Abs(mid-1.0/3.0) > 1e-12 {
+		t.Errorf("one swap tau = %v, want 1/3", mid)
+	}
+	// Disjoint rankings.
+	if got := KendallTau([]string{"a"}, []string{"b"}); got != 0 {
+		t.Errorf("disjoint tau = %v", got)
+	}
+}
+
+func TestKendallTauIgnoresMissing(t *testing.T) {
+	// Items only in one list are ignored.
+	got := KendallTau([]string{"x", "a", "b"}, []string{"a", "b", "y"})
+	if got != 1 {
+		t.Errorf("tau with extras = %v, want 1", got)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	rankings := [][]string{{"a", "b"}, {"b", "c"}}
+	if got := Coverage(rankings, 4); got != 0.75 {
+		t.Errorf("coverage = %v", got)
+	}
+	if Coverage(rankings, 0) != 0 {
+		t.Error("zero universe should be 0")
+	}
+}
+
+func TestF1AtK(t *testing.T) {
+	ranked := []string{"a", "b"}
+	r := rel("a", "z")
+	p, rc := 0.5, 0.5
+	want := 2 * p * rc / (p + rc)
+	if got := F1AtK(ranked, r, 2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", got, want)
+	}
+	if F1AtK(nil, rel("q"), 3) != 0 {
+		t.Error("no hits F1 should be 0")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty Mean should be 0")
+	}
+	if got := Stddev([]float64{2, 4}); got != 1 {
+		t.Errorf("Stddev = %v", got)
+	}
+	if Stddev([]float64{5}) != 0 {
+		t.Error("single-sample Stddev should be 0")
+	}
+}
+
+// Property: metrics stay in their documented ranges for random inputs.
+func TestMetricBounds(t *testing.T) {
+	f := func(perm []uint8, relMask []bool, k uint8) bool {
+		// Rankings are duplicate-free by contract; dedupe the draw.
+		seen := map[string]bool{}
+		var ids []string
+		for _, p := range perm {
+			id := string(rune('a' + int(p)%26))
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		relevant := map[string]bool{}
+		for i, m := range relMask {
+			if m && i < len(ids) {
+				relevant[ids[i]] = true
+			}
+		}
+		kk := int(k)%10 + 1
+		for _, v := range []float64{
+			PrecisionAtK(ids, relevant, kk),
+			RecallAtK(ids, relevant, kk),
+			AveragePrecision(ids, relevant),
+			BinaryNDCGAtK(ids, relevant, kk),
+			F1AtK(ids, relevant, kk),
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		tau := KendallTau(ids, ids)
+		return tau >= -1 && tau <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"minaret/internal/core"
+	"minaret/internal/evalmetrics"
+	"minaret/internal/workload"
+)
+
+// E9 sweeps the MMR diversification parameter: how much panel diversity
+// (distinct affiliations/countries in the top-10) is bought for how much
+// ranking quality. Editors composing a review panel care about both.
+func E9(env *Env, numManuscripts int) *Table {
+	if numManuscripts == 0 {
+		numManuscripts = 8
+	}
+	items := workload.NewGenerator(env.Corpus, env.Ont, workload.Config{
+		Seed: env.Corpus.Seed + 9, NumManuscripts: numManuscripts,
+	}).Generate()
+	t := &Table{
+		ID:      "E9",
+		Title:   fmt.Sprintf("Diversification sweep (MMR lambda, %d manuscripts, top-10)", len(items)),
+		Columns: []string{"lambda", "mean distinct affiliations", "mean distinct countries", "mean NDCG@10"},
+	}
+	for _, lambda := range []float64{0, 0.9, 0.7, 0.5} {
+		var affs, countries, ndcg []float64
+		for _, it := range items {
+			ids, res, err := runPipeline(env, it, core.Config{
+				TopK: 10, MaxCandidates: 100, DiversityLambda: lambda,
+			})
+			if err != nil {
+				continue
+			}
+			affSet, ctySet := map[string]bool{}, map[string]bool{}
+			for _, rec := range res.Recommendations {
+				if a := strings.ToLower(rec.Reviewer.Affiliation); a != "" {
+					affSet[a] = true
+				}
+				if c := strings.ToLower(rec.Reviewer.Country); c != "" {
+					ctySet[c] = true
+				}
+			}
+			affs = append(affs, float64(len(affSet)))
+			countries = append(countries, float64(len(ctySet)))
+			ndcg = append(ndcg, evalmetrics.NDCGAtK(workload.Keys(ids), it.GainKeys(), 10))
+		}
+		label := fmt.Sprintf("%.1f", lambda)
+		if lambda == 0 {
+			label = "off"
+		}
+		t.AddRow(label, evalmetrics.Mean(affs), evalmetrics.Mean(countries), evalmetrics.Mean(ndcg))
+	}
+	t.Note("expected shape: lower lambda -> more distinct institutions/countries, mild NDCG cost")
+	return t
+}

@@ -1,0 +1,134 @@
+// Package experiments regenerates the paper's figures (F1-F5) and runs
+// the extended quantitative evaluation (E1-E6) listed in DESIGN.md. Each
+// experiment returns a Table that cmd/experiments prints and
+// EXPERIMENTS.md records.
+package experiments
+
+import (
+	"net/http/httptest"
+	"time"
+
+	"minaret/internal/coi"
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// Env is a self-contained experiment world: corpus, simulated web,
+// extraction clients.
+type Env struct {
+	Corpus   *scholarly.Corpus
+	Ont      *ontology.Ontology
+	Web      *simweb.Web
+	Registry *sources.Registry
+	Fetcher  *fetch.Client
+
+	server *httptest.Server
+}
+
+// EnvConfig sizes an Env.
+type EnvConfig struct {
+	Seed     int64
+	Scholars int
+	Sim      simweb.Config
+	// Fetch overrides the default fetch options (zero = defaults tuned
+	// for the in-process web: tight backoff, no politeness delay).
+	Fetch *fetch.Options
+}
+
+// NewEnv builds and starts an experiment environment. Close releases it.
+func NewEnv(cfg EnvConfig) *Env {
+	if cfg.Scholars == 0 {
+		cfg.Scholars = 1000
+	}
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed:        cfg.Seed,
+		NumScholars: cfg.Scholars,
+		Topics:      o.Topics(),
+		Related:     o.RelatedMap(),
+	})
+	web := simweb.New(corpus, cfg.Sim)
+	server := httptest.NewServer(web.Mux())
+	fopts := fetch.Options{Timeout: 30 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1}
+	if cfg.Fetch != nil {
+		fopts = *cfg.Fetch
+	}
+	f := fetch.New(fopts)
+	return &Env{
+		Corpus:   corpus,
+		Ont:      o,
+		Web:      web,
+		Registry: sources.DefaultRegistry(f, sources.SingleHost(server.URL)),
+		Fetcher:  f,
+		server:   server,
+	}
+}
+
+// Close shuts the simulated web down.
+func (e *Env) Close() { e.server.Close() }
+
+// BaseURL returns the simulated web's root URL.
+func (e *Env) BaseURL() string { return e.server.URL }
+
+// Engine builds a pipeline engine with experiment defaults over this env.
+func (e *Env) Engine(cfg core.Config) *core.Engine {
+	if cfg.Filter.COI.HorizonYear == 0 {
+		cfg.Filter.COI = coi.DefaultConfig(e.Corpus.HorizonYear)
+	}
+	if cfg.Ranking.HorizonYear == 0 {
+		cfg.Ranking.HorizonYear = e.Corpus.HorizonYear
+	}
+	return core.New(e.Registry, e.Ont, cfg)
+}
+
+// ScholarIDOf maps an assembled profile back to its corpus identity via
+// any invertible site id. The boolean is false when no id parses.
+func ScholarIDOf(siteIDs map[string]string) (scholarly.ScholarID, bool) {
+	if id, ok := siteIDs["scholar"]; ok {
+		if s, ok := simweb.ParseScholarUser(id); ok {
+			return s, true
+		}
+	}
+	if id, ok := siteIDs["publons"]; ok {
+		if s, ok := simweb.ParsePublonsID(id); ok {
+			return s, true
+		}
+	}
+	if id, ok := siteIDs["dblp"]; ok {
+		if s, ok := simweb.ParseDBLPPID(id); ok {
+			return s, true
+		}
+	}
+	if id, ok := siteIDs["orcid"]; ok {
+		if s, ok := simweb.ParseORCID(id); ok {
+			return s, true
+		}
+	}
+	if id, ok := siteIDs["acm"]; ok {
+		if s, ok := simweb.ParseACMID(id); ok {
+			return s, true
+		}
+	}
+	if id, ok := siteIDs["rid"]; ok {
+		if s, ok := simweb.ParseRID(id); ok {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// RecommendationIDs extracts corpus ids from a pipeline result, in rank
+// order, skipping unmappable entries.
+func RecommendationIDs(res *core.Result) []scholarly.ScholarID {
+	var out []scholarly.ScholarID
+	for _, rec := range res.Recommendations {
+		if id, ok := ScholarIDOf(rec.Reviewer.SiteIDs); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// One shared small env keeps the suite fast; experiments only read it.
+func smallEnv(t *testing.T) *Env {
+	t.Helper()
+	env := NewEnv(EnvConfig{Seed: 55, Scholars: 400})
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestF1GrowthShape(t *testing.T) {
+	env := smallEnv(t)
+	tab := F1(env)
+	if len(tab.Rows) < 10 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Total of last row must exceed total of first row (growth).
+	first, _ := strconv.Atoi(tab.Rows[0][3])
+	last, _ := strconv.Atoi(tab.Rows[len(tab.Rows)-1][3])
+	if last <= first {
+		t.Fatalf("no growth: first=%d last=%d", first, last)
+	}
+	// Journal + conference = total on every row.
+	for _, row := range tab.Rows {
+		j, _ := strconv.Atoi(row[1])
+		c, _ := strconv.Atoi(row[2])
+		tot, _ := strconv.Atoi(row[3])
+		if j+c != tot {
+			t.Fatalf("row %v inconsistent", row)
+		}
+	}
+}
+
+func TestF2TraceStages(t *testing.T) {
+	env := smallEnv(t)
+	tab := F2(env)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("stages = %d, want 7", len(tab.Rows))
+	}
+	stages := []string{"input", "verify authors", "keyword expansion",
+		"candidate retrieval", "profile assembly", "filtering", "ranking"}
+	for i, want := range stages {
+		if tab.Rows[i][0] != want {
+			t.Fatalf("stage[%d] = %q, want %q", i, tab.Rows[i][0], want)
+		}
+	}
+}
+
+func TestF3ValidationMatrix(t *testing.T) {
+	env := smallEnv(t)
+	tab := F3(env)
+	byCase := map[string]string{}
+	for _, row := range tab.Rows {
+		byCase[row[0]] = row[1]
+	}
+	if byCase["complete form"] != "yes" || byCase["no keywords"] != "no" ||
+		byCase["no authors"] != "no" || byCase["blank author name"] != "no" ||
+		byCase["no target venue (allowed)"] != "yes" {
+		t.Fatalf("matrix = %v", byCase)
+	}
+}
+
+func TestF4DisambiguationImproves(t *testing.T) {
+	env := smallEnv(t)
+	tab := F4(env)
+	if len(tab.Rows) != 2 {
+		t.Skipf("no ambiguous names: %v", tab.Notes)
+	}
+	nameOnly, _ := strconv.ParseFloat(tab.Rows[0][3], 64)
+	withAff, _ := strconv.ParseFloat(tab.Rows[1][3], 64)
+	if withAff < nameOnly {
+		t.Fatalf("affiliation hint lowered accuracy: %v -> %v", nameOnly, withAff)
+	}
+	if withAff < 0.5 {
+		t.Fatalf("accuracy with affiliation = %v, want >= 0.5", withAff)
+	}
+}
+
+func TestF5Breakdown(t *testing.T) {
+	env := smallEnv(t)
+	tab := F5(env)
+	if len(tab.Rows) == 0 {
+		t.Fatalf("no recommendations: %v", tab.Notes)
+	}
+	for _, row := range tab.Rows {
+		total, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || total < 0 || total > 1 {
+			t.Fatalf("bad total %q", row[3])
+		}
+	}
+	// Rank ordering is descending by total.
+	prev := 2.0
+	for _, row := range tab.Rows {
+		total, _ := strconv.ParseFloat(row[3], 64)
+		if total > prev {
+			t.Fatal("F5 not sorted by total")
+		}
+		prev = total
+	}
+}
+
+func TestE1QualityOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := smallEnv(t)
+	tab := E1(env, 6)
+	scores := map[string]float64{}
+	for _, row := range tab.Rows {
+		ndcg, _ := strconv.ParseFloat(row[3], 64)
+		scores[row[0]] = ndcg
+	}
+	minaret := scores["minaret (full pipeline)"]
+	random := scores["random"]
+	if minaret <= random {
+		t.Fatalf("minaret NDCG %.3f does not beat random %.3f", minaret, random)
+	}
+}
+
+func TestE2ExpansionWidens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := smallEnv(t)
+	tab := E2(env, 4)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	offCands, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	onCands, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
+	if onCands <= offCands {
+		t.Fatalf("expansion did not widen pool: off=%v on=%v", offCands, onCands)
+	}
+}
+
+func TestE3COILeakage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := smallEnv(t)
+	tab := E3(env, 4)
+	leaks := map[string]int{}
+	for _, row := range tab.Rows {
+		n, _ := strconv.Atoi(row[2])
+		leaks[row[0]] = n
+	}
+	full := leaks["co-authorship + university"]
+	if full != 0 {
+		t.Fatalf("full policy leaked %d ground-truth conflicts", full)
+	}
+	if off, ok := leaks["off"]; ok && off < full {
+		t.Fatalf("off policy (%d) leaks less than full policy (%d)?", off, full)
+	}
+}
+
+func TestE4AblationRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := smallEnv(t)
+	tab := E4(env, 3)
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || v < 0 || v > 1 {
+			t.Fatalf("NDCG %q out of range", row[1])
+		}
+	}
+}
+
+func TestE5CacheEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := smallEnv(t)
+	tab := E5(env)
+	if len(tab.Rows) < 4 {
+		t.Fatalf("rows = %d: %v", len(tab.Rows), tab.Notes)
+	}
+	// Warm-cache run needs far fewer HTTP calls than the cold run.
+	coldCalls, _ := strconv.Atoi(tab.Rows[0][2])
+	warmCalls, _ := strconv.Atoi(tab.Rows[len(tab.Rows)-1][2])
+	if warmCalls*2 > coldCalls {
+		t.Fatalf("cache ineffective: cold=%d warm=%d http calls", coldCalls, warmCalls)
+	}
+}
+
+func TestE6PCNarrowsPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := smallEnv(t)
+	tab := E6(env, 3)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	open, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	pc, _ := strconv.ParseFloat(tab.Rows[1][1], 64)
+	if pc >= open {
+		t.Fatalf("PC mode pool %v not smaller than open %v", pc, open)
+	}
+}
+
+func TestE7AssignmentQuality(t *testing.T) {
+	env := smallEnv(t)
+	tab := E7(env, 6)
+	scores := map[string][]float64{}
+	for _, row := range tab.Rows {
+		total, _ := strconv.ParseFloat(row[1], 64)
+		minPaper, _ := strconv.ParseFloat(row[3], 64)
+		scores[row[0]] = []float64{total, minPaper}
+	}
+	g, b, r := scores["greedy"], scores["balanced (regret)"], scores["random feasible"]
+	if g == nil || b == nil || r == nil {
+		t.Fatalf("missing solvers: %v / notes %v", tab.Rows, tab.Notes)
+	}
+	if g[0] < r[0] || b[0] < r[0] {
+		t.Fatalf("informed solvers below random: greedy=%v balanced=%v random=%v", g[0], b[0], r[0])
+	}
+	if b[1] < r[1] {
+		t.Fatalf("balanced fairness %v below random %v", b[1], r[1])
+	}
+}
+
+func TestE8Robustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tab := E8(66, 400, 3)
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	get := func(label string, col int) float64 {
+		for _, row := range tab.Rows {
+			if row[0] == label {
+				v, _ := strconv.ParseFloat(row[col], 64)
+				return v
+			}
+		}
+		t.Fatalf("row %q missing", label)
+		return 0
+	}
+	healthyC := get("healthy", 3)
+	scholarDownC := get("google scholar down", 3)
+	if scholarDownC >= healthyC {
+		t.Fatalf("scholar outage did not shrink candidate pool: %v vs %v", scholarDownC, healthyC)
+	}
+	// Pipeline survives every condition (runs ok never 0/n).
+	for _, row := range tab.Rows {
+		if strings.HasPrefix(row[1], "0/") {
+			t.Fatalf("condition %q killed every run", row[0])
+		}
+	}
+}
+
+func TestE9DiversitySweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	env := smallEnv(t)
+	tab := E9(env, 3)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	off, _ := strconv.ParseFloat(tab.Rows[0][1], 64)
+	strongest, _ := strconv.ParseFloat(tab.Rows[len(tab.Rows)-1][1], 64)
+	if strongest < off {
+		t.Fatalf("diversification reduced distinct affiliations: %v -> %v", off, strongest)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("x", 1.23456)
+	tab.AddRow(7, "y")
+	tab.Note("hello %d", 42)
+	s := tab.String()
+	if !strings.Contains(s, "== X: demo ==") || !strings.Contains(s, "1.235") ||
+		!strings.Contains(s, "note: hello 42") {
+		t.Fatalf("String = %q", s)
+	}
+	md := tab.Markdown()
+	if !strings.Contains(md, "### X — demo") || !strings.Contains(md, "| a | b |") {
+		t.Fatalf("Markdown = %q", md)
+	}
+}
+
+func TestScholarIDOfPriority(t *testing.T) {
+	env := smallEnv(t)
+	s := &env.Corpus.Scholars[0]
+	id, ok := ScholarIDOf(map[string]string{"scholar": "zzz", "publons": "P-000000"})
+	if !ok || id != 0 {
+		t.Fatalf("fallback mapping = %v %v", id, ok)
+	}
+	if _, ok := ScholarIDOf(map[string]string{"scholar": "!!"}); ok {
+		t.Fatal("garbage ids mapped")
+	}
+	_ = s
+}

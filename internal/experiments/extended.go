@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"minaret/internal/baselines"
+	"minaret/internal/coi"
+	"minaret/internal/core"
+	"minaret/internal/evalmetrics"
+	"minaret/internal/filter"
+	"minaret/internal/ranking"
+	"minaret/internal/scholarly"
+	"minaret/internal/workload"
+)
+
+// runPipeline executes MINARET for one workload item and returns the
+// recommended corpus ids in rank order.
+func runPipeline(env *Env, item workload.Item, cfg core.Config) ([]scholarly.ScholarID, *core.Result, error) {
+	eng := env.Engine(cfg)
+	res, err := eng.Recommend(context.Background(), item.Manuscript)
+	if err != nil {
+		return nil, nil, err
+	}
+	return RecommendationIDs(res), res, nil
+}
+
+// E1 compares MINARET's end-to-end recommendation quality against the
+// literature baselines on a ground-truth workload.
+func E1(env *Env, numManuscripts int) *Table {
+	if numManuscripts == 0 {
+		numManuscripts = 20
+	}
+	items := workload.NewGenerator(env.Corpus, env.Ont, workload.Config{
+		Seed: env.Corpus.Seed + 1, NumManuscripts: numManuscripts,
+	}).Generate()
+
+	t := &Table{
+		ID:      "E1",
+		Title:   fmt.Sprintf("Recommendation quality vs baselines (%d manuscripts)", len(items)),
+		Columns: []string{"method", "P@5", "P@10", "NDCG@10", "MAP", "MRR"},
+	}
+
+	type rankings struct {
+		lists [][]string
+		rels  []map[string]bool
+	}
+	score := func(r rankings, gains []map[string]float64) (p5, p10, ndcg, mapv, mrr float64) {
+		var a5, a10, an []float64
+		for i := range r.lists {
+			a5 = append(a5, evalmetrics.PrecisionAtK(r.lists[i], r.rels[i], 5))
+			a10 = append(a10, evalmetrics.PrecisionAtK(r.lists[i], r.rels[i], 10))
+			an = append(an, evalmetrics.NDCGAtK(r.lists[i], gains[i], 10))
+		}
+		return evalmetrics.Mean(a5), evalmetrics.Mean(a10), evalmetrics.Mean(an),
+			evalmetrics.MAP(r.lists, r.rels), evalmetrics.MRR(r.lists, r.rels)
+	}
+
+	var gains []map[string]float64
+	var rels []map[string]bool
+	for _, it := range items {
+		gains = append(gains, it.GainKeys())
+		rels = append(rels, it.RelevantKeys())
+	}
+
+	// MINARET end to end.
+	var mr rankings
+	mr.rels = rels
+	failures := 0
+	for _, it := range items {
+		ids, _, err := runPipeline(env, it, core.Config{TopK: 20, MaxCandidates: 120})
+		if err != nil {
+			failures++
+			ids = nil
+		}
+		mr.lists = append(mr.lists, workload.Keys(ids))
+	}
+	p5, p10, nd, mp, mrr := score(mr, gains)
+	t.AddRow("minaret (full pipeline)", p5, p10, nd, mp, mrr)
+
+	// Baselines over the corpus directly, with the same COI oracle.
+	for _, b := range baselines.All(env.Ont, env.Corpus.Seed+2) {
+		var br rankings
+		br.rels = rels
+		for _, it := range items {
+			q := baselines.Query{
+				Keywords:   it.Manuscript.Keywords,
+				AuthorIDs:  it.AuthorIDs,
+				ExcludeCOI: true,
+			}
+			if v, ok := env.Corpus.VenueByName(it.Manuscript.TargetVenue); ok {
+				q.Venue = v.ID
+			}
+			br.lists = append(br.lists, workload.Keys(b.Rank(env.Corpus, q, 20)))
+		}
+		p5, p10, nd, mp, mrr := score(br, gains)
+		t.AddRow(b.Name(), p5, p10, nd, mp, mrr)
+	}
+	if failures > 0 {
+		t.Note("%d pipeline runs failed and scored as empty rankings", failures)
+	}
+	t.Note("expected shape: minaret and informed baselines >> random; semantic methods >= exact keyword match")
+	return t
+}
+
+// E2 ablates semantic keyword expansion: candidate pool width and
+// ranking quality with expansion on/off and across score thresholds.
+func E2(env *Env, numManuscripts int) *Table {
+	if numManuscripts == 0 {
+		numManuscripts = 10
+	}
+	items := workload.NewGenerator(env.Corpus, env.Ont, workload.Config{
+		Seed: env.Corpus.Seed + 3, NumManuscripts: numManuscripts,
+	}).Generate()
+	t := &Table{
+		ID:      "E2",
+		Title:   fmt.Sprintf("Keyword-expansion ablation (%d manuscripts)", len(items)),
+		Columns: []string{"config", "mean candidates", "mean recall@50", "mean NDCG@10"},
+	}
+	run := func(label string, cfg core.Config) {
+		var cands, recall, ndcg []float64
+		for _, it := range items {
+			ids, res, err := runPipeline(env, it, cfg)
+			if err != nil {
+				continue
+			}
+			cands = append(cands, float64(res.Stats.CandidatesRetrieved))
+			keys := workload.Keys(ids)
+			recall = append(recall, evalmetrics.RecallAtK(keys, it.RelevantKeys(), 50))
+			ndcg = append(ndcg, evalmetrics.NDCGAtK(keys, it.GainKeys(), 10))
+		}
+		t.AddRow(label, evalmetrics.Mean(cands), evalmetrics.Mean(recall), evalmetrics.Mean(ndcg))
+	}
+	base := core.Config{TopK: 50, MaxCandidates: 200}
+	noExp := base
+	noExp.DisableExpansion = true
+	run("expansion off (exact keywords)", noExp)
+	for _, minScore := range []float64{0.7, 0.5, 0.3} {
+		cfg := base
+		cfg.Expansion.MinScore = minScore
+		run(fmt.Sprintf("expansion on, min score %.1f", minScore), cfg)
+	}
+	t.Note("expected shape: expansion widens the pool and lifts recall (paper Section 2.1); lower thresholds widen further")
+	return t
+}
+
+// E3 measures COI-filter effectiveness: ground-truth conflicted scholars
+// leaking into recommendations under each policy level.
+func E3(env *Env, numManuscripts int) *Table {
+	if numManuscripts == 0 {
+		numManuscripts = 10
+	}
+	items := workload.NewGenerator(env.Corpus, env.Ont, workload.Config{
+		Seed: env.Corpus.Seed + 4, NumManuscripts: numManuscripts,
+	}).Generate()
+	t := &Table{
+		ID:      "E3",
+		Title:   fmt.Sprintf("COI filtering effectiveness (%d manuscripts)", len(items)),
+		Columns: []string{"policy", "recommendations", "ground-truth conflicts leaked", "coi exclusions recorded"},
+	}
+	policies := []struct {
+		label string
+		cfg   coi.Config
+	}{
+		{"off", coi.Config{HorizonYear: env.Corpus.HorizonYear}},
+		{"co-authorship only", coi.Config{CoAuthorship: true, HorizonYear: env.Corpus.HorizonYear}},
+		{"co-authorship + university", coi.DefaultConfig(env.Corpus.HorizonYear)},
+		{"co-authorship + country", func() coi.Config {
+			c := coi.DefaultConfig(env.Corpus.HorizonYear)
+			c.Affiliation = coi.AffiliationCountry
+			return c
+		}()},
+	}
+	for _, pol := range policies {
+		totalRecs, leaked, excluded := 0, 0, 0
+		for _, it := range items {
+			cfg := core.Config{TopK: 20, MaxCandidates: 120,
+				Filter: filter.Config{COI: pol.cfg}}
+			ids, res, err := runPipeline(env, it, cfg)
+			if err != nil {
+				continue
+			}
+			totalRecs += len(ids)
+			for _, id := range ids {
+				if it.Conflicted[id] {
+					leaked++
+				}
+			}
+			for _, ex := range res.ExcludedCandidates {
+				for _, r := range ex.Reasons {
+					if r.Kind == "coi" {
+						excluded++
+						break
+					}
+				}
+			}
+		}
+		t.AddRow(pol.label, totalRecs, leaked, excluded)
+	}
+	t.Note("expected shape: leaks drop to ~0 once both rules are on; stricter levels exclude more")
+	t.Note("ground truth 'conflicted' = topically relevant scholars with co-authorship or shared university")
+	return t
+}
+
+// E4 ablates the ranking components: NDCG@10 with the full weight set
+// versus dropping each component, re-ranking the same candidate pools
+// offline.
+func E4(env *Env, numManuscripts int) *Table {
+	if numManuscripts == 0 {
+		numManuscripts = 10
+	}
+	items := workload.NewGenerator(env.Corpus, env.Ont, workload.Config{
+		Seed: env.Corpus.Seed + 5, NumManuscripts: numManuscripts,
+	}).Generate()
+
+	// One pipeline pass per manuscript with a huge TopK captures every
+	// kept candidate's profile; re-ranking is then pure computation.
+	type pool struct {
+		item  workload.Item
+		profs []*profRec
+	}
+	var pools []pool
+	for _, it := range items {
+		_, res, err := runPipeline(env, it, core.Config{TopK: 100000, MaxCandidates: 120})
+		if err != nil {
+			continue
+		}
+		p := pool{item: it}
+		for _, rec := range res.Recommendations {
+			if id, ok := ScholarIDOf(rec.Reviewer.SiteIDs); ok {
+				p.profs = append(p.profs, &profRec{id: id, rec: rec})
+			}
+		}
+		pools = append(pools, p)
+	}
+
+	weightVariants := []struct {
+		label string
+		w     ranking.Weights
+	}{
+		{"full (paper defaults)", ranking.DefaultWeights()},
+		{"- topic coverage", dropComponent(ranking.DefaultWeights(), "topic")},
+		{"- impact", dropComponent(ranking.DefaultWeights(), "impact")},
+		{"- recency", dropComponent(ranking.DefaultWeights(), "recency")},
+		{"- review experience", dropComponent(ranking.DefaultWeights(), "experience")},
+		{"- outlet familiarity", dropComponent(ranking.DefaultWeights(), "outlet")},
+		{"topic coverage only", ranking.Weights{TopicCoverage: 1}},
+		{"impact only", ranking.Weights{Impact: 1}},
+	}
+	t := &Table{
+		ID:      "E4",
+		Title:   fmt.Sprintf("Ranking-component ablation (%d manuscripts, offline re-rank)", len(pools)),
+		Columns: []string{"weights", "mean NDCG@10", "delta vs full"},
+	}
+	var full float64
+	for i, v := range weightVariants {
+		var scores []float64
+		for _, p := range pools {
+			rk := ranking.New(ranking.Config{
+				Weights:     v.w,
+				HorizonYear: env.Corpus.HorizonYear,
+				TargetVenue: p.item.Manuscript.TargetVenue,
+			}, env.Ont)
+			type scoredID struct {
+				id    scholarly.ScholarID
+				total float64
+				name  string
+			}
+			var ranked []scoredID
+			for _, pr := range p.profs {
+				bd := rk.Score(pr.rec.Reviewer, p.item.Manuscript.Keywords)
+				ranked = append(ranked, scoredID{id: pr.id, total: bd.Total, name: pr.rec.Reviewer.Name})
+			}
+			sortScored(ranked, func(a, b scoredID) bool {
+				if a.total != b.total {
+					return a.total > b.total
+				}
+				return a.name < b.name
+			})
+			keys := make([]string, 0, len(ranked))
+			for _, r := range ranked {
+				keys = append(keys, workload.Key(r.id))
+			}
+			scores = append(scores, evalmetrics.NDCGAtK(keys, p.item.GainKeys(), 10))
+		}
+		mean := evalmetrics.Mean(scores)
+		if i == 0 {
+			full = mean
+			t.AddRow(v.label, mean, "-")
+		} else {
+			t.AddRow(v.label, mean, fmt.Sprintf("%+.3f", mean-full))
+		}
+	}
+	t.Note("expected shape: dropping topic coverage hurts most; single-signal rankers underperform the fusion")
+	return t
+}
+
+type profRec struct {
+	id  scholarly.ScholarID
+	rec core.Recommendation
+}
+
+// sortScored is a tiny generic insertion-free sort wrapper to keep E4
+// readable.
+func sortScored[T any](items []T, less func(a, b T) bool) {
+	// Simple stable sort via sort.SliceStable semantics.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && less(items[j], items[j-1]); j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+}
+
+func dropComponent(w ranking.Weights, name string) ranking.Weights {
+	switch name {
+	case "topic":
+		w.TopicCoverage = 0
+	case "impact":
+		w.Impact = 0
+	case "recency":
+		w.Recency = 0
+	case "experience":
+		w.ReviewExperience = 0
+	case "outlet":
+		w.OutletFamiliarity = 0
+	}
+	return w
+}
+
+// E5 measures extraction scalability: end-to-end latency against fetch
+// concurrency and the response cache, on one representative manuscript.
+func E5(env *Env) *Table {
+	t := &Table{
+		ID:      "E5",
+		Title:   "Extraction scalability: concurrency and caching",
+		Columns: []string{"config", "latency", "http calls", "cache hits"},
+	}
+	m := sampleManuscript(env)
+	for _, workers := range []int{1, 4, 16} {
+		env.Fetcher.InvalidateCache()
+		before := env.Fetcher.Stats()
+		start := time.Now()
+		eng := env.Engine(core.Config{TopK: 10, MaxCandidates: 60, Workers: workers})
+		if _, err := eng.Recommend(context.Background(), m); err != nil {
+			t.Note("workers=%d failed: %v", workers, err)
+			continue
+		}
+		after := env.Fetcher.Stats()
+		t.AddRow(fmt.Sprintf("cold cache, %d workers", workers),
+			time.Since(start).Round(time.Millisecond).String(),
+			after.HTTPCalls-before.HTTPCalls, after.CacheHits-before.CacheHits)
+	}
+	// Warm cache: repeat without invalidation.
+	before := env.Fetcher.Stats()
+	start := time.Now()
+	eng := env.Engine(core.Config{TopK: 10, MaxCandidates: 60, Workers: 16})
+	if _, err := eng.Recommend(context.Background(), m); err == nil {
+		after := env.Fetcher.Stats()
+		t.AddRow("warm cache, 16 workers",
+			time.Since(start).Round(time.Millisecond).String(),
+			after.HTTPCalls-before.HTTPCalls, after.CacheHits-before.CacheHits)
+	}
+	t.Note("expected shape: latency falls with workers; warm cache needs ~0 http calls")
+	return t
+}
+
+// E6 contrasts open-universe journal mode with conference PC mode: pool
+// size and precision when the reviewer universe is closed.
+func E6(env *Env, numManuscripts int) *Table {
+	if numManuscripts == 0 {
+		numManuscripts = 8
+	}
+	items := workload.NewGenerator(env.Corpus, env.Ont, workload.Config{
+		Seed: env.Corpus.Seed + 6, NumManuscripts: numManuscripts,
+	}).Generate()
+	// Build a PC from the first few conferences' committees.
+	var pcNames []string
+	pcSet := map[scholarly.ScholarID]bool{}
+	for i := range env.Corpus.Venues {
+		v := &env.Corpus.Venues[i]
+		if v.Type != scholarly.Conference {
+			continue
+		}
+		for _, id := range v.PC {
+			if !pcSet[id] {
+				pcSet[id] = true
+				pcNames = append(pcNames, env.Corpus.Scholar(id).Name.Full())
+			}
+		}
+		if len(pcNames) >= 120 {
+			break
+		}
+	}
+	t := &Table{
+		ID:      "E6",
+		Title:   fmt.Sprintf("Journal (open) vs conference (PC) mode (%d manuscripts, PC=%d)", len(items), len(pcNames)),
+		Columns: []string{"mode", "mean ranked pool", "mean recommendations", "mean P@10"},
+	}
+	run := func(label string, pc []string) {
+		var pools, recs, p10 []float64
+		for _, it := range items {
+			cfg := core.Config{TopK: 10, MaxCandidates: 120,
+				Filter: filter.Config{COI: coi.DefaultConfig(env.Corpus.HorizonYear), PCMembers: pc}}
+			ids, res, err := runPipeline(env, it, cfg)
+			if err != nil {
+				continue
+			}
+			pools = append(pools, float64(res.Stats.CandidatesRanked))
+			recs = append(recs, float64(len(ids)))
+			p10 = append(p10, evalmetrics.PrecisionAtK(workload.Keys(ids), it.RelevantKeys(), 10))
+		}
+		t.AddRow(label, evalmetrics.Mean(pools), evalmetrics.Mean(recs), evalmetrics.Mean(p10))
+	}
+	run("journal (open universe)", nil)
+	run("conference (PC only)", pcNames)
+	t.Note("expected shape: PC mode shrinks the ranked pool sharply (paper Section 3 integration)")
+	return t
+}

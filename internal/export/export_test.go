@@ -1,0 +1,155 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"minaret/internal/core"
+	"minaret/internal/filter"
+	"minaret/internal/nameres"
+	"minaret/internal/profile"
+	"minaret/internal/ranking"
+)
+
+func sampleResult() *core.Result {
+	return &core.Result{
+		Manuscript: core.Manuscript{
+			Title:       "Test Paper",
+			Keywords:    []string{"rdf", "big data"},
+			Authors:     []core.Author{{Name: "Ana Costa", Affiliation: "U Alpha"}},
+			TargetVenue: "TODS",
+		},
+		AuthorVerification: []*nameres.Result{
+			{Query: nameres.Query{Name: "Ana Costa"}, Resolved: false},
+		},
+		Recommendations: []core.Recommendation{
+			{
+				Rank: 1,
+				Reviewer: &profile.Profile{
+					Name: "Lei Zhou", Affiliation: "U Beta", Country: "Japan",
+					Citations: 1000, HIndex: 20, ReviewCount: 30,
+					SourcesUsed: []string{"dblp", "scholar"},
+				},
+				Total: 0.75,
+				Breakdown: ranking.Breakdown{
+					Total: 0.75,
+					Components: map[string]float64{
+						ranking.CompTopicCoverage: 0.9,
+						ranking.CompImpact:        0.6,
+					},
+				},
+				BestKeywordScore: 0.85,
+			},
+			{
+				Rank: 2,
+				Reviewer: &profile.Profile{
+					Name: "Mei Ito", Affiliation: "U Gamma",
+				},
+				Total: 0.60,
+				Breakdown: ranking.Breakdown{
+					Total: 0.60,
+					Components: map[string]float64{
+						ranking.CompTopicCoverage: 0.8,
+						ranking.CompImpact:        0.4,
+					},
+				},
+				BestKeywordScore: 0.7,
+			},
+		},
+		ExcludedCandidates: []core.Excluded{
+			{Name: "Bo Li", Reasons: []filter.Reason{{Kind: "coi", Detail: "co-author"}}},
+		},
+		SourceErrors: map[string]string{"publons": "503"},
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CSV(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	header := rows[0]
+	// Active components appear as columns, in canonical order.
+	if header[len(header)-2] != ranking.CompTopicCoverage || header[len(header)-1] != ranking.CompImpact {
+		t.Fatalf("component columns = %v", header[len(header)-2:])
+	}
+	if rows[1][1] != "Lei Zhou" || rows[1][0] != "1" {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+	if rows[1][len(header)-2] != "0.9000" {
+		t.Fatalf("topic coverage cell = %q", rows[1][len(header)-2])
+	}
+	if !strings.Contains(rows[1][9], "dblp;scholar") {
+		t.Fatalf("sources cell = %q", rows[1][9])
+	}
+}
+
+func TestJSONExportRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	if err := JSON(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	var back core.Result
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Recommendations) != 2 || back.Recommendations[0].Reviewer.Name != "Lei Zhou" {
+		t.Fatalf("round trip lost data: %+v", back.Recommendations)
+	}
+}
+
+func TestMarkdownExport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Markdown(&buf, sampleResult()); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{
+		"# Reviewer recommendations — Test Paper",
+		"**Keywords:** rdf, big data",
+		"| 1 | Lei Zhou |",
+		"could not be auto-resolved",
+		"## Excluded candidates (1)",
+		"- Bo Li — coi",
+		"## Source degradations",
+		"`publons`",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestMarkdownUntitled(t *testing.T) {
+	res := sampleResult()
+	res.Manuscript.Title = " "
+	var buf bytes.Buffer
+	if err := Markdown(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(untitled manuscript)") {
+		t.Fatal("untitled fallback missing")
+	}
+}
+
+func TestUsedComponentsOrderAndExtras(t *testing.T) {
+	res := sampleResult()
+	res.Recommendations[0].Breakdown.Components["custom-signal"] = 0.1
+	comps := usedComponents(res)
+	if comps[len(comps)-1] != "custom-signal" {
+		t.Fatalf("extras not last: %v", comps)
+	}
+	if comps[0] != ranking.CompTopicCoverage {
+		t.Fatalf("canonical order broken: %v", comps)
+	}
+}

@@ -1,0 +1,84 @@
+package fetch
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// lruCache is a TTL-bounded LRU of response bodies. It is safe for
+// concurrent use.
+type lruCache struct {
+	mu      sync.Mutex
+	maxSize int
+	ttl     time.Duration
+	now     func() time.Time
+	order   *list.List // front = most recently used
+	entries map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	body    []byte
+	fetched time.Time
+}
+
+func newLRUCache(maxSize int, ttl time.Duration, now func() time.Time) *lruCache {
+	return &lruCache{
+		maxSize: maxSize,
+		ttl:     ttl,
+		now:     now,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if c.now().Sub(ent.fetched) > c.ttl {
+		// Expired: evict eagerly.
+		c.order.Remove(el)
+		delete(c.entries, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return ent.body, true
+}
+
+func (c *lruCache) put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.body = body
+		ent.fetched = c.now()
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, body: body, fetched: c.now()})
+	c.entries[key] = el
+	for c.order.Len() > c.maxSize {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+func (c *lruCache) clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.entries = make(map[string]*list.Element)
+}

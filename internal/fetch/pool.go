@@ -1,0 +1,93 @@
+package fetch
+
+import (
+	"context"
+	"sync"
+)
+
+// Task is one unit of extraction work executed by the Pool.
+type Task func(ctx context.Context) error
+
+// Pool runs tasks with bounded concurrency; the extraction phase fans
+// out one task per (source × scholar). Errors are collected rather than
+// aborting the batch: the paper's pipeline degrades gracefully when a
+// single scholarly site is slow or down.
+type Pool struct {
+	workers int
+}
+
+// NewPool builds a pool with the given concurrency (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{workers: workers}
+}
+
+// Run executes all tasks and returns the per-task errors, indexed like
+// tasks (nil for success). Context cancellation stops dispatching new
+// tasks; already-running tasks see the cancelled context.
+func (p *Pool) Run(ctx context.Context, tasks []Task) []error {
+	errs := make([]error, len(tasks))
+	if len(tasks) == 0 {
+		return errs
+	}
+	sem := make(chan struct{}, p.workers)
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		if ctx.Err() != nil {
+			errs[i] = ctx.Err()
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, t Task) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = t(ctx)
+		}(i, t)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Map runs fn over every input with bounded concurrency and returns the
+// outputs in input order together with per-input errors.
+func Map[I, O any](ctx context.Context, workers int, inputs []I, fn func(context.Context, I) (O, error)) ([]O, []error) {
+	outs := make([]O, len(inputs))
+	tasks := make([]Task, len(inputs))
+	for i := range inputs {
+		i := i
+		tasks[i] = func(ctx context.Context) error {
+			o, err := fn(ctx, inputs[i])
+			if err != nil {
+				return err
+			}
+			outs[i] = o
+			return nil
+		}
+	}
+	errs := NewPool(workers).Run(ctx, tasks)
+	return outs, errs
+}
+
+// FirstError returns the first non-nil error in errs, or nil.
+func FirstError(errs []error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// CountErrors returns how many entries of errs are non-nil.
+func CountErrors(errs []error) int {
+	n := 0
+	for _, e := range errs {
+		if e != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,174 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"minaret/internal/assign"
+	"minaret/internal/core"
+)
+
+// AssignRequest is the POST /api/assign body: a batch of conference
+// submissions to staff from one programme committee — the paper's
+// Section 3 integration, as an API call.
+type AssignRequest struct {
+	Manuscripts []core.Manuscript `json:"manuscripts"`
+	// PCMembers is the programme committee (reviewer universe).
+	PCMembers []string `json:"pc_members"`
+	// ReviewersPerPaper is k (default 3).
+	ReviewersPerPaper int `json:"reviewers_per_paper,omitempty"`
+	// Capacity is the per-reviewer paper cap (default: fitted to demand
+	// with slack).
+	Capacity int `json:"capacity,omitempty"`
+	// Solver is "balanced" (default) or "greedy".
+	Solver string `json:"solver,omitempty"`
+}
+
+// AssignedReviewer is one (reviewer, affinity) pair in the response.
+type AssignedReviewer struct {
+	Name  string  `json:"name"`
+	Score float64 `json:"score"`
+}
+
+// AssignedPaper is the assignment for one submission.
+type AssignedPaper struct {
+	Title     string             `json:"title"`
+	Reviewers []AssignedReviewer `json:"reviewers"`
+}
+
+// AssignResponse is the /api/assign result.
+type AssignResponse struct {
+	Solver string          `json:"solver"`
+	Papers []AssignedPaper `json:"papers"`
+	// TotalAffinity, MinPaperAffinity and MaxLoad summarize solution
+	// quality (see internal/assign.Metrics).
+	TotalAffinity    float64 `json:"total_affinity"`
+	MinPaperAffinity float64 `json:"min_paper_affinity"`
+	MaxLoad          int     `json:"max_load"`
+}
+
+func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	var req AssignRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Manuscripts) == 0 || len(req.PCMembers) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "manuscripts and pc_members required"})
+		return
+	}
+	if req.ReviewersPerPaper == 0 {
+		req.ReviewersPerPaper = 3
+	}
+	if req.Capacity == 0 {
+		req.Capacity = (len(req.Manuscripts)*req.ReviewersPerPaper)/len(req.PCMembers) + 2
+	}
+
+	// Index PC members by normalized name.
+	pcIndex := make(map[string]int, len(req.PCMembers))
+	for i, name := range req.PCMembers {
+		pcIndex[normPC(name)] = i
+	}
+
+	prob := &assign.Problem{
+		NumPapers:    len(req.Manuscripts),
+		NumReviewers: len(req.PCMembers),
+		PerPaper:     req.ReviewersPerPaper,
+		Capacity:     req.Capacity,
+		Score:        make([][]float64, len(req.Manuscripts)),
+		Forbidden:    make([][]bool, len(req.Manuscripts)),
+	}
+
+	// Score each (paper, PC member) by running the pipeline in
+	// conference mode: kept candidates carry their ranking total,
+	// COI-excluded ones become forbidden pairs, the rest score 0.
+	for i, m := range req.Manuscripts {
+		prob.Score[i] = make([]float64, len(req.PCMembers))
+		prob.Forbidden[i] = make([]bool, len(req.PCMembers))
+
+		cfg, err := s.configFor(&RecommendRequest{Manuscript: m, PCMembers: req.PCMembers, TopK: len(req.PCMembers)})
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		cfg.TopK = len(req.PCMembers) // keep every ranked PC member
+		engine := core.New(s.registry, s.ont, cfg)
+		res, err := engine.Recommend(r.Context(), m)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{
+				Error: fmt.Sprintf("manuscript %d: %v", i, err),
+			})
+			return
+		}
+		for _, rec := range res.Recommendations {
+			if j, ok := pcIndex[normPC(rec.Reviewer.Name)]; ok {
+				prob.Score[i][j] = rec.Total
+			}
+		}
+		for _, ex := range res.ExcludedCandidates {
+			j, ok := pcIndex[normPC(ex.Name)]
+			if !ok {
+				continue
+			}
+			for _, reason := range ex.Reasons {
+				if reason.Kind == "coi" || reason.Kind == "is-author" {
+					prob.Forbidden[i][j] = true
+				}
+			}
+		}
+		// Authors can never review their own submission even if the
+		// extraction missed them.
+		for _, a := range m.Authors {
+			if j, ok := pcIndex[normPC(a.Name)]; ok {
+				prob.Forbidden[i][j] = true
+			}
+		}
+	}
+
+	var solution *assign.Assignment
+	var err error
+	solver := strings.ToLower(req.Solver)
+	switch solver {
+	case "", "balanced":
+		solver = "balanced"
+		solution, err = assign.Balanced(prob)
+	case "greedy":
+		solution, err = assign.Greedy(prob)
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown solver %q", req.Solver)})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{Error: err.Error()})
+		return
+	}
+
+	m := assign.Measure(solution, prob)
+	resp := AssignResponse{
+		Solver:           solver,
+		TotalAffinity:    m.Total,
+		MinPaperAffinity: m.MinPaper,
+		MaxLoad:          m.MaxLoad,
+	}
+	for i, rs := range solution.PaperReviewers {
+		paper := AssignedPaper{Title: req.Manuscripts[i].Title}
+		for _, j := range rs {
+			paper.Reviewers = append(paper.Reviewers, AssignedReviewer{
+				Name:  req.PCMembers[j],
+				Score: prob.Score[i][j],
+			})
+		}
+		resp.Papers = append(resp.Papers, paper)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func normPC(name string) string {
+	return strings.Join(strings.Fields(strings.ToLower(name)), " ")
+}

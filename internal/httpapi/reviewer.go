@@ -1,0 +1,50 @@
+package httpapi
+
+import (
+	"net/http"
+	"strings"
+
+	"minaret/internal/nameres"
+	"minaret/internal/profile"
+)
+
+// GET /api/reviewer?name=...&affiliation=... resolves a scholar identity
+// and returns the assembled multi-source profile — the editor's "open a
+// candidate's full track record" view, as an API.
+
+func (s *Server) handleReviewer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET required"})
+		return
+	}
+	name := strings.TrimSpace(r.URL.Query().Get("name"))
+	if name == "" {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "name parameter required"})
+		return
+	}
+	verifier := nameres.NewVerifier(s.registry, s.base.Verify)
+	vr := verifier.Verify(r.Context(), nameres.Query{
+		Name:        name,
+		Affiliation: strings.TrimSpace(r.URL.Query().Get("affiliation")),
+	})
+	best := vr.Best()
+	if best == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no identity found for " + name})
+		return
+	}
+	assembler := profile.NewAssembler(s.registry, s.base.Workers)
+	p, err := assembler.Assemble(r.Context(), best.SiteIDs)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, ErrorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Resolved   bool               `json:"resolved"`
+		Candidates []nameres.Identity `json:"candidates"`
+		Profile    *profile.Profile   `json:"profile"`
+	}{
+		Resolved:   vr.Resolved,
+		Candidates: vr.Candidates,
+		Profile:    p,
+	})
+}

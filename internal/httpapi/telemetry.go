@@ -1,0 +1,132 @@
+package httpapi
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"minaret/internal/fetch"
+)
+
+// Telemetry collects per-route request counts, error counts and latency
+// histograms. The /api/stats endpoint exposes it together with the fetch
+// layer's counters, giving operators the extraction-cost visibility a
+// production deployment of an on-the-fly scraper needs.
+
+// latencyBucketBounds are the histogram upper bounds; the last bucket is
+// open-ended.
+var latencyBucketBounds = []time.Duration{
+	time.Millisecond,
+	10 * time.Millisecond,
+	50 * time.Millisecond,
+	250 * time.Millisecond,
+	time.Second,
+	5 * time.Second,
+}
+
+// bucketLabels renders the bounds for the JSON payload.
+func bucketLabels() []string {
+	out := make([]string, 0, len(latencyBucketBounds)+1)
+	for _, b := range latencyBucketBounds {
+		out = append(out, "<="+b.String())
+	}
+	return append(out, ">"+latencyBucketBounds[len(latencyBucketBounds)-1].String())
+}
+
+type routeStats struct {
+	Count    int64   `json:"count"`
+	Errors   int64   `json:"errors"` // responses with status >= 400
+	Buckets  []int64 `json:"latency_buckets"`
+	TotalMs  int64   `json:"total_ms"`
+}
+
+type telemetry struct {
+	mu     sync.Mutex
+	routes map[string]*routeStats
+}
+
+func newTelemetry() *telemetry {
+	return &telemetry{routes: make(map[string]*routeStats)}
+}
+
+func (t *telemetry) record(route string, status int, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rs, ok := t.routes[route]
+	if !ok {
+		rs = &routeStats{Buckets: make([]int64, len(latencyBucketBounds)+1)}
+		t.routes[route] = rs
+	}
+	rs.Count++
+	if status >= 400 {
+		rs.Errors++
+	}
+	rs.TotalMs += elapsed.Milliseconds()
+	idx := len(latencyBucketBounds)
+	for i, b := range latencyBucketBounds {
+		if elapsed <= b {
+			idx = i
+			break
+		}
+	}
+	rs.Buckets[idx]++
+}
+
+// snapshot copies the stats for serialization.
+func (t *telemetry) snapshot() map[string]routeStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]routeStats, len(t.routes))
+	for route, rs := range t.routes {
+		cp := *rs
+		cp.Buckets = append([]int64(nil), rs.Buckets...)
+		out[route] = cp
+	}
+	return out
+}
+
+// statusRecorder captures the response status for telemetry.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with telemetry under the given route label.
+func (t *telemetry) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		t.record(route, rec.status, time.Since(start))
+	}
+}
+
+// StatsResponse is the /api/stats payload.
+type StatsResponse struct {
+	Routes        map[string]routeStats `json:"routes"`
+	BucketBounds  []string              `json:"bucket_bounds"`
+	Fetch         *fetch.Stats          `json:"fetch,omitempty"`
+	RouteOrder    []string              `json:"route_order"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		Routes:       s.tele.snapshot(),
+		BucketBounds: bucketLabels(),
+	}
+	for route := range resp.Routes {
+		resp.RouteOrder = append(resp.RouteOrder, route)
+	}
+	sort.Strings(resp.RouteOrder)
+	if s.fetcher != nil {
+		st := s.fetcher.Stats()
+		resp.Fetch = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

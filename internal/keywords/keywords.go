@@ -1,0 +1,256 @@
+// Package keywords extracts topic keywords from manuscript text. The
+// paper's form asks authors for 3-5 keywords, but real submissions often
+// arrive with none (or with free-text phrasing that matches no profile
+// label); this package derives candidate keywords from the title and
+// abstract with a RAKE-style co-occurrence method, then grounds them in
+// the topic ontology so retrieval can proceed exactly as if the author
+// had supplied them.
+package keywords
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+
+	"minaret/internal/ontology"
+)
+
+// Scored is one extracted candidate phrase.
+type Scored struct {
+	Phrase string
+	// Score is the RAKE degree/frequency score, normalized to [0,1]
+	// within the extraction (the best phrase scores 1).
+	Score float64
+}
+
+// Options tunes extraction.
+type Options struct {
+	// MaxPhrases caps the result length. Default 10.
+	MaxPhrases int
+	// MaxWords limits phrase length; longer runs are split. Default 3.
+	MaxWords int
+	// MinChars drops very short candidates ("ad", "we"). Default 3.
+	MinChars int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPhrases == 0 {
+		o.MaxPhrases = 10
+	}
+	if o.MaxWords == 0 {
+		o.MaxWords = 3
+	}
+	if o.MinChars == 0 {
+		o.MinChars = 3
+	}
+	return o
+}
+
+// Extract runs RAKE over the text: candidate phrases are maximal runs of
+// non-stopwords within sentence fragments; each word scores
+// degree/frequency over the co-occurrence graph; a phrase scores the sum
+// of its word scores. Results are normalized and sorted best-first
+// (ties alphabetical).
+func Extract(text string, opts Options) []Scored {
+	opts = opts.withDefaults()
+	phrases := candidatePhrases(text, opts)
+	if len(phrases) == 0 {
+		return nil
+	}
+	freq := map[string]float64{}
+	degree := map[string]float64{}
+	for _, words := range phrases {
+		for _, w := range words {
+			freq[w]++
+			degree[w] += float64(len(words) - 1)
+		}
+	}
+	type agg struct {
+		score float64
+		count int
+	}
+	scored := map[string]*agg{}
+	for _, words := range phrases {
+		s := 0.0
+		for _, w := range words {
+			s += (degree[w] + freq[w]) / freq[w]
+		}
+		key := strings.Join(words, " ")
+		a, ok := scored[key]
+		if !ok {
+			a = &agg{}
+			scored[key] = a
+		}
+		// Repeated phrases accumulate: frequency matters for abstracts.
+		a.score += s
+		a.count++
+	}
+	out := make([]Scored, 0, len(scored))
+	best := 0.0
+	for phrase, a := range scored {
+		if a.score > best {
+			best = a.score
+		}
+		out = append(out, Scored{Phrase: phrase, Score: a.score})
+	}
+	for i := range out {
+		out[i].Score /= best
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Phrase < out[j].Phrase
+	})
+	if len(out) > opts.MaxPhrases {
+		out = out[:opts.MaxPhrases]
+	}
+	return out
+}
+
+// candidatePhrases tokenizes into sentence fragments and splits on
+// stopwords, yielding word slices.
+func candidatePhrases(text string, opts Options) [][]string {
+	var phrases [][]string
+	var current []string
+	flush := func() {
+		for len(current) > 0 {
+			n := len(current)
+			if n > opts.MaxWords {
+				n = opts.MaxWords
+			}
+			phrase := current[:n]
+			current = current[n:]
+			joined := strings.Join(phrase, " ")
+			if len(joined) >= opts.MinChars && !allDigits(joined) {
+				phrases = append(phrases, phrase)
+			}
+		}
+		current = nil
+	}
+	for _, token := range tokenize(text) {
+		if token.sentenceBreak {
+			flush()
+			continue
+		}
+		w := token.word
+		if stopwords[w] {
+			flush()
+			continue
+		}
+		current = append(current, w)
+	}
+	flush()
+	return phrases
+}
+
+type token struct {
+	word          string
+	sentenceBreak bool
+}
+
+// tokenize lower-cases and splits text into word tokens and sentence
+// breaks (punctuation).
+func tokenize(text string) []token {
+	var out []token
+	var b strings.Builder
+	emit := func() {
+		if b.Len() > 0 {
+			out = append(out, token{word: b.String()})
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(r)
+		case r == '-' || r == '\'':
+			// Intra-word punctuation: keep hyphenated terms together.
+			if b.Len() > 0 {
+				b.WriteRune(r)
+			}
+		case unicode.IsSpace(r):
+			emit()
+		default:
+			emit()
+			out = append(out, token{sentenceBreak: true})
+		}
+	}
+	emit()
+	return out
+}
+
+func allDigits(s string) bool {
+	for _, r := range s {
+		if !unicode.IsDigit(r) && r != ' ' {
+			return false
+		}
+	}
+	return true
+}
+
+// Grounded is an extracted phrase resolved against the ontology.
+type Grounded struct {
+	// Topic is the canonical ontology label.
+	Topic string
+	// Phrase is the source phrase from the text.
+	Phrase string
+	// Score combines extraction score and match quality.
+	Score float64
+}
+
+// Ground maps extracted phrases onto ontology topics: exact
+// (label/synonym) matches first, then sub-phrase matches ("distributed
+// stream processing" -> "stream processing"). Each topic keeps its best
+// score; results are sorted best-first.
+func Ground(ont *ontology.Ontology, extracted []Scored, maxTopics int) []Grounded {
+	if maxTopics == 0 {
+		maxTopics = 5
+	}
+	best := map[string]Grounded{}
+	consider := func(topic, phrase string, score float64) {
+		if cur, ok := best[topic]; !ok || score > cur.Score {
+			best[topic] = Grounded{Topic: topic, Phrase: phrase, Score: score}
+		}
+	}
+	for _, s := range extracted {
+		if _, ok := ont.Lookup(s.Phrase); ok {
+			consider(ont.Canonical(s.Phrase), s.Phrase, s.Score)
+			continue
+		}
+		// Sub-phrase grounding: every contiguous word n-gram can ground a
+		// topic ("rdf stream processing" grounds both "rdf" and "stream
+		// processing"); the coverage discount favours longer matches.
+		words := strings.Fields(s.Phrase)
+		for n := len(words); n >= 1; n-- {
+			for i := 0; i+n <= len(words); i++ {
+				sub := strings.Join(words[i:i+n], " ")
+				if _, ok := ont.Lookup(sub); ok {
+					coverage := float64(n) / float64(len(words))
+					consider(ont.Canonical(sub), s.Phrase, s.Score*coverage)
+				}
+			}
+		}
+	}
+	out := make([]Grounded, 0, len(best))
+	for _, g := range best {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Topic < out[j].Topic
+	})
+	if len(out) > maxTopics {
+		out = out[:maxTopics]
+	}
+	return out
+}
+
+// FromText is the one-call pipeline: extract phrases from title+abstract
+// and ground them, returning up to maxTopics ontology keywords.
+func FromText(ont *ontology.Ontology, title, abstract string, maxTopics int) []Grounded {
+	text := title + ". " + abstract
+	return Ground(ont, Extract(text, Options{MaxPhrases: 20}), maxTopics)
+}

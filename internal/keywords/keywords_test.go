@@ -1,0 +1,212 @@
+package keywords
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minaret/internal/ontology"
+)
+
+const sampleAbstract = `We present a system for scalable RDF stream
+processing over distributed infrastructures. Our system compiles SPARQL
+queries into dataflow programs and executes them over a shared-nothing
+cluster. Experiments on real and synthetic workloads demonstrate that
+the system outperforms existing stream processing engines while
+supporting the full semantics of SPARQL. We further discuss how linked
+open data sources can be integrated at query time.`
+
+func TestExtractFindsDomainPhrases(t *testing.T) {
+	got := Extract(sampleAbstract, Options{MaxPhrases: 20})
+	if len(got) == 0 {
+		t.Fatal("no phrases extracted")
+	}
+	phrases := map[string]float64{}
+	for _, s := range got {
+		phrases[s.Phrase] = s.Score
+	}
+	for _, want := range []string{"stream processing", "sparql"} {
+		found := false
+		for p := range phrases {
+			if strings.Contains(p, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("extraction missed %q; got %v", want, keys(phrases))
+		}
+	}
+	// Boilerplate must not surface as a phrase.
+	for p := range phrases {
+		for _, bad := range []string{"we present", "demonstrate", "paper"} {
+			if p == bad {
+				t.Errorf("boilerplate phrase %q extracted", p)
+			}
+		}
+	}
+}
+
+func TestExtractScoresNormalizedAndSorted(t *testing.T) {
+	got := Extract(sampleAbstract, Options{})
+	if got[0].Score != 1.0 {
+		t.Fatalf("top score = %v, want 1.0", got[0].Score)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Score < got[i].Score {
+			t.Fatal("not sorted")
+		}
+		if got[i].Score <= 0 || got[i].Score > 1 {
+			t.Fatalf("score %v out of range", got[i].Score)
+		}
+	}
+}
+
+func TestExtractEmptyAndStopwordOnly(t *testing.T) {
+	if got := Extract("", Options{}); got != nil {
+		t.Fatalf("empty text = %v", got)
+	}
+	if got := Extract("the of and we are", Options{}); got != nil {
+		t.Fatalf("stopword-only text = %v", got)
+	}
+}
+
+func TestExtractMaxWordsSplitsRuns(t *testing.T) {
+	got := Extract("alpha beta gamma delta epsilon", Options{MaxWords: 2, MaxPhrases: 10})
+	for _, s := range got {
+		if len(strings.Fields(s.Phrase)) > 2 {
+			t.Fatalf("phrase %q exceeds MaxWords", s.Phrase)
+		}
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	a := Extract(sampleAbstract, Options{})
+	b := Extract(sampleAbstract, Options{})
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGroundExactAndSubPhrase(t *testing.T) {
+	ont := ontology.Default()
+	extracted := []Scored{
+		{Phrase: "sparql", Score: 1.0},                       // exact label
+		{Phrase: "scalable rdf stream", Score: 0.9},          // sub-phrase: rdf
+		{Phrase: "quantum basket weaving", Score: 0.8},       // no match
+		{Phrase: "nlp", Score: 0.7},                          // synonym
+	}
+	got := Ground(ont, extracted, 5)
+	topics := map[string]float64{}
+	for _, g := range got {
+		topics[g.Topic] = g.Score
+	}
+	if topics["sparql"] != 1.0 {
+		t.Errorf("exact match score = %v", topics["sparql"])
+	}
+	if _, ok := topics["rdf"]; !ok {
+		t.Errorf("sub-phrase grounding missed rdf: %v", topics)
+	}
+	if topics["rdf"] >= 0.9 {
+		t.Errorf("sub-phrase should be discounted: %v", topics["rdf"])
+	}
+	if topics["natural language processing"] != 0.7 {
+		t.Errorf("synonym grounding = %v", topics["natural language processing"])
+	}
+	if _, ok := topics["quantum basket weaving"]; ok {
+		t.Error("ungroundable phrase surfaced as topic")
+	}
+}
+
+func TestFromTextEndToEnd(t *testing.T) {
+	ont := ontology.Default()
+	got := FromText(ont, "Scaling RDF Stream Processing", sampleAbstract, 5)
+	if len(got) == 0 {
+		t.Fatal("no grounded keywords")
+	}
+	want := map[string]bool{"rdf": false, "stream processing": false, "sparql": false}
+	for _, g := range got {
+		if _, ok := want[g.Topic]; ok {
+			want[g.Topic] = true
+		}
+	}
+	missing := 0
+	for topic, found := range want {
+		if !found {
+			t.Logf("topic %q not in top-5 (acceptable if crowded out)", topic)
+			missing++
+		}
+	}
+	if missing > 1 {
+		t.Fatalf("grounding missed %d of 3 expected topics: %v", missing, got)
+	}
+	if len(got) > 5 {
+		t.Fatalf("maxTopics ignored: %d", len(got))
+	}
+}
+
+func TestGroundTopicsDeduplicated(t *testing.T) {
+	ont := ontology.Default()
+	extracted := []Scored{
+		{Phrase: "rdf", Score: 1.0},
+		{Phrase: "resource description framework", Score: 0.5},
+	}
+	got := Ground(ont, extracted, 5)
+	if len(got) != 1 || got[0].Topic != "rdf" || got[0].Score != 1.0 {
+		t.Fatalf("synonym dedup failed: %v", got)
+	}
+}
+
+// Property: extraction never panics and always returns normalized,
+// bounded scores for arbitrary input text.
+func TestExtractInvariants(t *testing.T) {
+	f := func(text string) bool {
+		if len(text) > 2000 {
+			text = text[:2000]
+		}
+		got := Extract(text, Options{})
+		for i, s := range got {
+			if s.Score <= 0 || s.Score > 1 || s.Phrase == "" {
+				return false
+			}
+			if i > 0 && got[i-1].Score < s.Score {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// FuzzExtract must never panic and always honour score bounds.
+func FuzzExtract(f *testing.F) {
+	f.Add(sampleAbstract)
+	f.Add("")
+	f.Add("the of and")
+	f.Add("RDF! SPARQL? streams; graphs")
+	f.Fuzz(func(t *testing.T, text string) {
+		if len(text) > 4096 {
+			text = text[:4096]
+		}
+		for _, s := range Extract(text, Options{}) {
+			if s.Score <= 0 || s.Score > 1 || s.Phrase == "" {
+				t.Fatalf("bad extraction %+v", s)
+			}
+		}
+	})
+}

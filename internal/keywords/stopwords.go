@@ -1,0 +1,51 @@
+package keywords
+
+// English stopword list for RAKE candidate splitting, extended with
+// academic boilerplate ("paper", "propose", "approach") so abstract
+// phrases split at rhetorical glue rather than absorbing it.
+var stopwords = map[string]bool{}
+
+func init() {
+	for _, w := range []string{
+		// Core function words.
+		"a", "about", "above", "after", "again", "against", "all", "also",
+		"am", "an", "and", "any", "are", "aren't", "as", "at", "be",
+		"because", "been", "before", "being", "below", "between", "both",
+		"but", "by", "can", "cannot", "could", "did", "do", "does",
+		"doing", "down", "during", "each", "few", "for", "from",
+		"further", "had", "has", "have", "having", "he", "her", "here",
+		"hers", "him", "his", "how", "however", "i", "if", "in", "into",
+		"is", "it", "its", "itself", "let", "many", "may", "me", "might",
+		"more", "most", "much", "must", "my", "no", "nor", "not", "of",
+		"off", "on", "once", "one", "only", "or", "other", "ought",
+		"our", "ours", "out", "over", "own", "same", "she", "should",
+		"so", "some", "such", "than", "that", "the", "their", "theirs",
+		"them", "then", "there", "these", "they", "this", "those",
+		"through", "to", "too", "two", "under", "until", "up", "upon",
+		"us", "very", "was", "we", "were", "what", "when", "where",
+		"which", "while", "who", "whom", "why", "will", "with", "would",
+		"you", "your", "yours", "via", "per", "e", "g", "ie", "eg",
+		"etc", "et", "al", "i.e", "e.g",
+		// Academic boilerplate.
+		"paper", "papers", "present", "presents", "presented", "propose",
+		"proposes", "proposed", "approach", "approaches", "method",
+		"methods", "technique", "techniques", "show", "shows", "shown",
+		"demonstrate", "demonstrates", "demonstrated", "evaluate",
+		"evaluates", "evaluated", "evaluation", "result", "results",
+		"study", "studies", "work", "works", "problem", "problems",
+		"novel", "new", "existing", "state-of-the-art", "based",
+		"using", "used", "use", "uses", "introduce", "introduces",
+		"describe", "describes", "address", "addresses", "consider",
+		"considers", "provide", "provides", "achieve", "achieves",
+		"significantly", "effectively", "efficiently", "experimental",
+		"experiments", "extensive", "furthermore", "moreover", "finally",
+		"first", "second", "third", "recently", "various", "several",
+		"well", "known", "make", "makes", "given", "thus", "therefore",
+		"called", "named", "moreover", "respectively", "high", "low",
+		"large", "small", "better", "best", "good", "important",
+		"challenging", "key", "main", "major", "common", "general",
+		"specific", "different", "able", "need", "needs", "widely",
+	} {
+		stopwords[w] = true
+	}
+}

@@ -1,0 +1,294 @@
+package nameres
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"minaret/internal/sources"
+)
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string][]string{
+		"Lei Zhou":        {"lei", "zhou"},
+		"L. Zhou":         {"l", "zhou"},
+		"Zhou, Lei":       {"zhou", "lei"},
+		"  Maria  GARCIA": {"maria", "garcia"},
+		"O'Brien":         {"o", "brien"},
+		"":                nil,
+	}
+	for in, want := range cases {
+		got := NormalizeName(in)
+		if strings.Join(got, "|") != strings.Join(want, "|") {
+			t.Errorf("NormalizeName(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestNamesCompatible(t *testing.T) {
+	yes := [][2]string{
+		{"Lei Zhou", "Lei Zhou"},
+		{"L. Zhou", "Lei Zhou"},
+		{"Lei Zhou", "L. Zhou"},
+		{"Zhou, Lei", "Lei Zhou"},
+		{"maria garcia", "Maria Garcia"},
+		{"M. Garcia", "Maria Garcia"},
+	}
+	no := [][2]string{
+		{"Lei Zhou", "Wei Zhou"},
+		{"Lei Zhou", "Lei Zhang"},
+		{"Maria Garcia", "Mario Garcia"},
+		{"", "Lei Zhou"},
+		{"David Smith", "Daniel Smith"}, // same initial but full forms differ
+	}
+	for _, c := range yes {
+		if !NamesCompatible(c[0], c[1]) {
+			t.Errorf("NamesCompatible(%q, %q) = false, want true", c[0], c[1])
+		}
+	}
+	for _, c := range no {
+		if NamesCompatible(c[0], c[1]) {
+			t.Errorf("NamesCompatible(%q, %q) = true, want false", c[0], c[1])
+		}
+	}
+}
+
+func TestNamesCompatibleSymmetric(t *testing.T) {
+	names := []string{"Lei Zhou", "L. Zhou", "Zhou, Lei", "Wei Wang", "Maria Garcia", "M. Garcia"}
+	for _, a := range names {
+		for _, b := range names {
+			if NamesCompatible(a, b) != NamesCompatible(b, a) {
+				t.Errorf("asymmetric compatibility for %q / %q", a, b)
+			}
+		}
+	}
+}
+
+func TestNameSimilarity(t *testing.T) {
+	if s := NameSimilarity("Lei Zhou", "lei  zhou"); s != 1.0 {
+		t.Errorf("identical = %v", s)
+	}
+	if s := NameSimilarity("L. Zhou", "Lei Zhou"); s != 0.85 {
+		t.Errorf("initialed = %v, want 0.85", s)
+	}
+	s := NameSimilarity("Lei Zhou", "Wei Wang")
+	if s < 0 || s >= 0.85 {
+		t.Errorf("unrelated = %v, want in [0, 0.85)", s)
+	}
+	if NameSimilarity("", "x") != 0 {
+		t.Error("empty name should score 0")
+	}
+	// Typo similarity beats unrelated.
+	typo := NameSimilarity("Maria Garcia", "Maria Garciaa")
+	other := NameSimilarity("Maria Garcia", "Boris Petrov")
+	if typo <= other {
+		t.Errorf("typo %v should beat unrelated %v", typo, other)
+	}
+}
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		if len(a) > 50 {
+			a = a[:50]
+		}
+		if len(b) > 50 {
+			b = b[:50]
+		}
+		d := Levenshtein(a, b)
+		if d != Levenshtein(b, a) {
+			return false // symmetry
+		}
+		la, lb := len([]rune(a)), len([]rune(b))
+		max := la
+		if lb > max {
+			max = lb
+		}
+		diff := la - lb
+		if diff < 0 {
+			diff = -diff
+		}
+		return d >= diff && d <= max // bounds
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeClient is an in-memory sources.Client for clustering tests.
+type fakeClient struct {
+	source string
+	hits   []sources.Hit
+	err    error
+}
+
+func (f *fakeClient) Source() string { return f.source }
+func (f *fakeClient) SearchAuthor(ctx context.Context, name string) ([]sources.Hit, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	// Behave like a real site: only return hits matching the query.
+	var out []sources.Hit
+	for _, h := range f.hits {
+		if strings.Contains(strings.ToLower(h.Name), strings.ToLower(name)) || NamesCompatible(h.Name, name) {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+func (f *fakeClient) Profile(ctx context.Context, id string) (*sources.Record, error) {
+	return &sources.Record{Source: f.source, SiteID: id}, nil
+}
+
+func TestVerifyClustersAcrossSources(t *testing.T) {
+	reg := sources.NewRegistry(
+		&fakeClient{source: "dblp", hits: []sources.Hit{
+			{Source: "dblp", SiteID: "d1", Name: "Lei Zhou", Affiliation: "University of Tartu"},
+			{Source: "dblp", SiteID: "d2", Name: "Lei Zhou", Affiliation: "Beijing University"},
+		}},
+		&fakeClient{source: "scholar", hits: []sources.Hit{
+			{Source: "scholar", SiteID: "s1", Name: "Lei Zhou", Affiliation: "University of Tartu"},
+		}},
+	)
+	v := NewVerifier(reg, Options{})
+	res := v.Verify(context.Background(), Query{Name: "Lei Zhou", Affiliation: "University of Tartu"})
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2 (Tartu merged, Beijing separate)", len(res.Candidates))
+	}
+	top := res.Best()
+	if top.Affiliation != "University of Tartu" {
+		t.Fatalf("best affiliation = %q", top.Affiliation)
+	}
+	if len(top.SiteIDs) != 2 || top.SiteIDs["dblp"] != "d1" || top.SiteIDs["scholar"] != "s1" {
+		t.Fatalf("best siteIDs = %v", top.SiteIDs)
+	}
+	if !res.Resolved {
+		t.Fatal("affiliation-matched homonym should auto-resolve")
+	}
+	if res.Candidates[1].Score >= top.Score {
+		t.Fatal("wrong ordering")
+	}
+}
+
+func TestVerifyAmbiguousWithoutAffiliation(t *testing.T) {
+	reg := sources.NewRegistry(
+		&fakeClient{source: "dblp", hits: []sources.Hit{
+			{Source: "dblp", SiteID: "d1", Name: "Lei Zhou", Affiliation: "A University"},
+			{Source: "dblp", SiteID: "d2", Name: "Lei Zhou", Affiliation: "B University"},
+		}},
+	)
+	v := NewVerifier(reg, Options{})
+	res := v.Verify(context.Background(), Query{Name: "Lei Zhou"})
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d", len(res.Candidates))
+	}
+	if res.Resolved {
+		t.Fatal("two equal-scored homonyms must not auto-resolve")
+	}
+}
+
+func TestVerifySourceFailureIsPartial(t *testing.T) {
+	reg := sources.NewRegistry(
+		&fakeClient{source: "dblp", err: context.DeadlineExceeded},
+		&fakeClient{source: "scholar", hits: []sources.Hit{
+			{Source: "scholar", SiteID: "s1", Name: "Maria Garcia", Affiliation: "X"},
+		}},
+	)
+	v := NewVerifier(reg, Options{})
+	res := v.Verify(context.Background(), Query{Name: "Maria Garcia"})
+	if len(res.SourceErrors) != 1 {
+		t.Fatalf("source errors = %v", res.SourceErrors)
+	}
+	if res.Best() == nil {
+		t.Fatal("surviving source's hits were lost")
+	}
+}
+
+func TestVerifyInitialedFormJoinsCluster(t *testing.T) {
+	reg := sources.NewRegistry(
+		&fakeClient{source: "dblp", hits: []sources.Hit{
+			{Source: "dblp", SiteID: "d1", Name: "Lei Zhou", Affiliation: "University of Tartu"},
+		}},
+		&fakeClient{source: "acm", hits: []sources.Hit{
+			{Source: "acm", SiteID: "a1", Name: "L. Zhou", Affiliation: "University of Tartu"},
+		}},
+	)
+	v := NewVerifier(reg, Options{})
+	res := v.Verify(context.Background(), Query{Name: "Lei Zhou", Affiliation: "University of Tartu"})
+	if len(res.Candidates) != 1 {
+		t.Fatalf("candidates = %d, want 1 merged", len(res.Candidates))
+	}
+	if res.Best().Name != "Lei Zhou" {
+		t.Fatalf("display name = %q, want fullest form", res.Best().Name)
+	}
+}
+
+func TestVerifyAllOrder(t *testing.T) {
+	reg := sources.NewRegistry(
+		&fakeClient{source: "dblp", hits: []sources.Hit{
+			{Source: "dblp", SiteID: "d1", Name: "Ana Costa", Affiliation: "X"},
+		}},
+	)
+	v := NewVerifier(reg, Options{})
+	queries := []Query{{Name: "Ana Costa"}, {Name: "Nobody Here"}}
+	results := v.VerifyAll(context.Background(), queries)
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Query.Name != "Ana Costa" || results[1].Query.Name != "Nobody Here" {
+		t.Fatal("result order does not match query order")
+	}
+	if results[1].Best() != nil {
+		t.Fatal("unknown name should have no candidates")
+	}
+}
+
+func TestIdentitySources(t *testing.T) {
+	id := Identity{SiteIDs: map[string]string{"scholar": "s", "dblp": "d"}}
+	got := id.Sources()
+	if len(got) != 2 || got[0] != "dblp" || got[1] != "scholar" {
+		t.Fatalf("Sources() = %v", got)
+	}
+}
+
+// FuzzNamesCompatible checks the symmetry invariant over arbitrary name
+// pairs.
+func FuzzNamesCompatible(f *testing.F) {
+	f.Add("Lei Zhou", "L. Zhou")
+	f.Add("Zhou, Lei", "Lei Zhou")
+	f.Add("", "x")
+	f.Add("Maria del Carmen Garcia", "M. d. C. Garcia")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 200 {
+			a = a[:200]
+		}
+		if len(b) > 200 {
+			b = b[:200]
+		}
+		if NamesCompatible(a, b) != NamesCompatible(b, a) {
+			t.Fatalf("asymmetric: %q vs %q", a, b)
+		}
+		if !NamesCompatible(a, a) && len(NormalizeName(a)) > 0 {
+			t.Fatalf("not reflexive: %q", a)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+package ontology
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// CSO-format CSV interchange. The paper downloads the Computer Science
+// Ontology, which ships as triples:
+//
+//	"<topicA>","<relation>","<topicB>"
+//
+// with relations superTopicOf, relatedEquivalent and
+// preferentialEquivalent (synonymy). ReadCSOCSV lets a deployment use a
+// real CSO dump in place of the embedded ontology; WriteCSOCSV exports
+// the embedded one in the same format.
+
+// CSO relation names (the CSO schema namespaces these; the local names
+// are what the CSV carries).
+const (
+	relSuperTopicOf  = "superTopicOf"
+	relRelatedEquiv  = "relatedEquivalent"
+	relPreferential  = "preferentialEquivalent"
+	relContributesTo = "contributesTo" // present in CSO dumps; treated as related
+)
+
+// ReadCSOCSV parses a CSO-style triple CSV into an Ontology. Unknown
+// relations are skipped (CSO dumps contain several auxiliary ones);
+// malformed rows produce an error with the row number.
+func ReadCSOCSV(r io.Reader) (*Ontology, error) {
+	o := New()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	cr.TrimLeadingSpace = true
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		row++
+		if err != nil {
+			return nil, fmt.Errorf("ontology: csv row %d: %w", row, err)
+		}
+		a, rel, b := cleanTopic(rec[0]), strings.TrimSpace(rec[1]), cleanTopic(rec[2])
+		if a == "" || b == "" {
+			return nil, fmt.Errorf("ontology: csv row %d: empty topic", row)
+		}
+		switch relLocal(rel) {
+		case relSuperTopicOf:
+			o.AddChild(a, b)
+		case relRelatedEquiv, relContributesTo:
+			o.AddRelated(a, b)
+		case relPreferential:
+			// b is the preferred label; a becomes its synonym.
+			o.AddTopic(b, a)
+		default:
+			// Auxiliary relation: ignore, as the paper's use of CSO does.
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// WriteCSOCSV serializes the ontology as CSO-style triples, in
+// deterministic order.
+func (o *Ontology) WriteCSOCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	var rows [][3]string
+	for _, label := range o.Topics() {
+		t := o.topics[label]
+		for _, c := range t.Children() {
+			rows = append(rows, [3]string{label, relSuperTopicOf, c})
+		}
+		for _, r := range t.Related() {
+			if label < r { // symmetric edge: emit once
+				rows = append(rows, [3]string{label, relRelatedEquiv, r})
+			}
+		}
+		syns := append([]string(nil), t.Synonyms...)
+		sort.Strings(syns)
+		for _, s := range syns {
+			rows = append(rows, [3]string{s, relPreferential, label})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i][0] != rows[j][0] {
+			return rows[i][0] < rows[j][0]
+		}
+		if rows[i][1] != rows[j][1] {
+			return rows[i][1] < rows[j][1]
+		}
+		return rows[i][2] < rows[j][2]
+	})
+	for _, r := range rows {
+		if err := cw.Write(r[:]); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// cleanTopic strips CSO URI scaffolding ("<https://...topics/x>") down
+// to the topic label, tolerating plain labels too.
+func cleanTopic(s string) string {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	s = strings.TrimSuffix(s, ">")
+	if i := strings.LastIndexAny(s, "/#"); i >= 0 {
+		s = s[i+1:]
+	}
+	s = strings.ReplaceAll(s, "_", " ")
+	s = strings.ReplaceAll(s, "%20", " ")
+	return Normalize(s)
+}
+
+// relLocal strips a namespace prefix from a relation name.
+func relLocal(rel string) string {
+	rel = strings.TrimSpace(rel)
+	rel = strings.TrimPrefix(rel, "<")
+	rel = strings.TrimSuffix(rel, ">")
+	if i := strings.LastIndexAny(rel, "/#"); i >= 0 {
+		rel = rel[i+1:]
+	}
+	return rel
+}

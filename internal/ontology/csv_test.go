@@ -1,0 +1,148 @@
+package ontology
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadCSOCSVBasic(t *testing.T) {
+	in := `semantic web,superTopicOf,rdf
+semantic web,superTopicOf,sparql
+rdf,relatedEquivalent,sparql
+resource description framework,preferentialEquivalent,rdf
+semantic web,someAuxiliaryRelation,ignored topic
+`
+	o, err := ReadCSOCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, ok := o.Lookup("semantic web")
+	if !ok {
+		t.Fatal("semantic web missing")
+	}
+	if got := sw.Children(); !reflect.DeepEqual(got, []string{"rdf", "sparql"}) {
+		t.Fatalf("children = %v", got)
+	}
+	if o.Canonical("Resource Description Framework") != "rdf" {
+		t.Fatal("synonym not registered")
+	}
+	if s := o.Similarity("rdf", "sparql"); s <= 0 {
+		t.Fatalf("related similarity = %v", s)
+	}
+	// Auxiliary relation ignored: 'ignored topic' may exist as a topic
+	// (AddTopic side effects don't apply to skipped rows).
+	if _, ok := o.Lookup("ignored topic"); ok {
+		t.Fatal("auxiliary relation created a topic")
+	}
+}
+
+func TestReadCSOCSVURIForm(t *testing.T) {
+	in := `"<https://cso.kmi.open.ac.uk/topics/semantic_web>","<http://cso.kmi.open.ac.uk/schema/cso#superTopicOf>","<https://cso.kmi.open.ac.uk/topics/linked_open_data>"
+`
+	o, err := ReadCSOCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, ok := o.Lookup("semantic web")
+	if !ok {
+		t.Fatalf("URI-form topic not cleaned: %v", o.Topics())
+	}
+	if got := sw.Children(); !reflect.DeepEqual(got, []string{"linked open data"}) {
+		t.Fatalf("children = %v", got)
+	}
+}
+
+func TestReadCSOCSVErrors(t *testing.T) {
+	cases := []string{
+		"a,superTopicOf\n",            // wrong field count
+		",superTopicOf,b\n",           // empty topic
+		"a,superTopicOf,\"unclosed\n", // csv syntax
+	}
+	for _, in := range cases {
+		if _, err := ReadCSOCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("malformed input accepted: %q", in)
+		}
+	}
+}
+
+// TestCSVRoundTrip exports the embedded ontology and re-imports it; the
+// graph must survive exactly (topics, hierarchy, related edges,
+// synonyms).
+func TestCSVRoundTrip(t *testing.T) {
+	orig := Default()
+	var buf bytes.Buffer
+	if err := orig.WriteCSOCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSOCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Topics(), back.Topics()) {
+		t.Fatalf("topic sets differ: %d vs %d", orig.Len(), back.Len())
+	}
+	for _, label := range orig.Topics() {
+		a, _ := orig.Lookup(label)
+		b, ok := back.Lookup(label)
+		if !ok {
+			t.Fatalf("topic %q lost", label)
+		}
+		if !sameSet(a.Children(), b.Children()) {
+			t.Fatalf("%q children differ: %v vs %v", label, a.Children(), b.Children())
+		}
+		if !sameSet(a.Related(), b.Related()) {
+			t.Fatalf("%q related differ: %v vs %v", label, a.Related(), b.Related())
+		}
+		if !sameSet(a.Synonyms, b.Synonyms) {
+			t.Fatalf("%q synonyms differ: %v vs %v", label, a.Synonyms, b.Synonyms)
+		}
+	}
+	// Behavioural check: the paper example works on the re-imported copy.
+	got := map[string]bool{}
+	for _, e := range back.Expand("rdf", ExpandOptions{IncludeSeed: true}) {
+		got[e.Keyword] = true
+	}
+	for _, want := range []string{"semantic web", "sparql", "linked open data"} {
+		if !got[want] {
+			t.Fatalf("re-imported ontology lost expansion %q", want)
+		}
+	}
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[string]bool{}
+	for _, x := range a {
+		m[x] = true
+	}
+	for _, x := range b {
+		if !m[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzReadCSOCSV must never panic on arbitrary CSV-ish input; valid
+// parses must produce ontologies that pass Validate (guaranteed by
+// ReadCSOCSV itself, re-checked here).
+func FuzzReadCSOCSV(f *testing.F) {
+	f.Add("a,superTopicOf,b\n")
+	f.Add("x,relatedEquivalent,y\nsyn,preferentialEquivalent,x\n")
+	f.Add("\"<https://cso/topics/a_b>\",\"<https://cso/schema#superTopicOf>\",c\n")
+	f.Add(",,\n")
+	f.Add("a,weird,b\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		o, err := ReadCSOCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("parsed ontology invalid: %v", err)
+		}
+	})
+}

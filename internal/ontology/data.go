@@ -1,0 +1,552 @@
+package ontology
+
+import "sync"
+
+// decl is the compact declaration format for the embedded ontology: a
+// parent, its children, synonym sets and lateral related pairs.
+type decl struct {
+	parent   string
+	children []string
+}
+
+type synDecl struct {
+	topic    string
+	synonyms []string
+}
+
+type relDecl struct{ a, b string }
+
+// The embedded computer-science ontology. Mirrors the areas of the
+// Computer Science Ontology (CSO) the paper downloads, at reduced scale
+// but with the same structure. The paper's worked example is encoded
+// exactly: expanding "RDF" must surface "semantic web", "linked open
+// data" and "SPARQL".
+var hierarchy = []decl{
+	{"computer science", []string{
+		"databases", "machine learning", "artificial intelligence",
+		"distributed systems", "computer networks", "information retrieval",
+		"software engineering", "security and privacy", "human computer interaction",
+		"theory of computation", "computer vision", "natural language processing",
+		"operating systems", "programming languages", "computer architecture",
+		"data mining", "bioinformatics", "robotics",
+	}},
+	{"databases", []string{
+		"relational databases", "query processing", "query optimization",
+		"transaction processing", "data integration", "data warehousing",
+		"nosql databases", "graph databases", "spatial databases",
+		"temporal databases", "distributed databases", "main memory databases",
+		"stream processing", "data provenance", "schema matching",
+		"indexing", "data cleaning", "approximate query processing",
+		"database tuning", "concurrency control",
+	}},
+	{"relational databases", []string{"sql", "relational algebra", "normalization"}},
+	{"query processing", []string{"join algorithms", "query compilation", "cardinality estimation"}},
+	{"transaction processing", []string{"serializability", "snapshot isolation", "two phase commit"}},
+	{"nosql databases", []string{"key value stores", "document stores", "column stores", "wide column stores"}},
+	{"graph databases", []string{"graph query languages", "property graphs", "graph traversal"}},
+	{"stream processing", []string{"window queries", "complex event processing", "continuous queries"}},
+	{"indexing", []string{"b-trees", "hash indexes", "learned indexes", "bitmap indexes", "lsm trees"}},
+	{"data integration", []string{"entity resolution", "record linkage", "ontology alignment"}},
+	{"machine learning", []string{
+		"deep learning", "supervised learning", "unsupervised learning",
+		"reinforcement learning", "feature engineering", "model selection",
+		"ensemble methods", "online learning", "transfer learning",
+		"automated machine learning", "federated learning", "explainable ai",
+		"probabilistic models", "kernel methods",
+	}},
+	{"deep learning", []string{
+		"convolutional neural networks", "recurrent neural networks",
+		"transformers", "generative adversarial networks", "autoencoders",
+		"attention mechanisms", "graph neural networks",
+	}},
+	{"supervised learning", []string{"classification", "regression", "support vector machines", "decision trees", "random forests"}},
+	{"unsupervised learning", []string{"clustering", "dimensionality reduction", "anomaly detection", "topic modeling"}},
+	{"reinforcement learning", []string{"q learning", "policy gradient methods", "multi armed bandits"}},
+	{"artificial intelligence", []string{
+		"knowledge representation", "automated reasoning", "planning",
+		"constraint satisfaction", "multi agent systems", "expert systems",
+		"search algorithms", "game playing",
+	}},
+	{"knowledge representation", []string{
+		"semantic web", "ontologies", "description logics", "knowledge graphs",
+		"rule based systems",
+	}},
+	{"semantic web", []string{"rdf", "sparql", "linked open data", "owl", "triple stores", "rdf schema"}},
+	{"ontologies", []string{"ontology engineering", "ontology alignment", "owl"}},
+	{"knowledge graphs", []string{"knowledge graph embeddings", "entity linking", "link prediction"}},
+	{"distributed systems", []string{
+		"consensus protocols", "replication", "fault tolerance",
+		"distributed transactions", "peer to peer systems", "cloud computing",
+		"edge computing", "microservices", "distributed storage",
+		"membership protocols", "gossip protocols",
+	}},
+	{"consensus protocols", []string{"paxos", "raft", "byzantine fault tolerance", "state machine replication"}},
+	{"cloud computing", []string{"serverless computing", "virtualization", "containers", "resource scheduling", "elasticity"}},
+	{"distributed storage", []string{"erasure coding", "consistent hashing", "object storage"}},
+	{"computer networks", []string{
+		"network protocols", "software defined networking", "network measurement",
+		"congestion control", "wireless networks", "network security",
+		"content delivery networks", "internet of things",
+	}},
+	{"network protocols", []string{"tcp", "quic", "routing protocols", "multicast"}},
+	{"information retrieval", []string{
+		"web search", "ranking models", "recommender systems",
+		"text indexing", "query expansion", "learning to rank",
+		"relevance feedback", "search evaluation", "crawling",
+		"expert finding",
+	}},
+	{"recommender systems", []string{
+		"collaborative filtering", "content based filtering",
+		"matrix factorization", "hybrid recommenders", "cold start problem",
+	}},
+	{"expert finding", []string{"reviewer assignment", "expertise retrieval", "bibliometrics"}},
+	{"bibliometrics", []string{"citation analysis", "h-index", "scientometrics", "peer review"}},
+	{"web search", []string{"pagerank", "link analysis", "web crawling", "snippet generation"}},
+	{"software engineering", []string{
+		"software testing", "program analysis", "software architecture",
+		"requirements engineering", "devops", "code review",
+		"software maintenance", "empirical software engineering",
+		"mining software repositories",
+	}},
+	{"software testing", []string{"unit testing", "fuzzing", "mutation testing", "regression testing", "property based testing"}},
+	{"security and privacy", []string{
+		"cryptography", "access control", "intrusion detection",
+		"differential privacy", "secure multiparty computation",
+		"authentication", "malware analysis", "privacy preserving data publishing",
+		"blockchain",
+	}},
+	{"cryptography", []string{"public key cryptography", "homomorphic encryption", "zero knowledge proofs", "hash functions"}},
+	{"blockchain", []string{"smart contracts", "proof of work", "proof of stake", "distributed ledgers"}},
+	{"human computer interaction", []string{
+		"user studies", "usability evaluation", "visualization",
+		"accessibility", "crowdsourcing", "ubiquitous computing",
+	}},
+	{"visualization", []string{"information visualization", "scientific visualization", "visual analytics"}},
+	{"theory of computation", []string{
+		"computational complexity", "approximation algorithms", "online algorithms",
+		"randomized algorithms", "graph algorithms", "streaming algorithms",
+		"sublinear algorithms", "combinatorial optimization",
+	}},
+	{"graph algorithms", []string{"shortest paths", "graph partitioning", "maximum flow", "matching algorithms", "community detection"}},
+	{"combinatorial optimization", []string{"integer programming", "linear programming", "assignment problem"}},
+	{"computer vision", []string{
+		"object detection", "image segmentation", "image classification",
+		"face recognition", "optical character recognition", "pose estimation",
+		"scene understanding", "video analysis",
+	}},
+	{"natural language processing", []string{
+		"machine translation", "named entity recognition", "sentiment analysis",
+		"question answering", "text summarization", "word embeddings",
+		"language models", "part of speech tagging", "information extraction",
+		"text classification", "semantic parsing", "keyword extraction",
+	}},
+	{"information extraction", []string{"relation extraction", "event extraction", "author name disambiguation"}},
+	{"operating systems", []string{
+		"kernel design", "memory management", "file systems", "scheduling",
+		"virtual memory", "device drivers",
+	}},
+	{"programming languages", []string{
+		"type systems", "compilers", "static analysis", "garbage collection",
+		"functional programming", "just in time compilation",
+		"program synthesis", "formal verification",
+	}},
+	{"compilers", []string{"register allocation", "loop optimization", "intermediate representations"}},
+	{"computer architecture", []string{
+		"cache coherence", "branch prediction", "hardware accelerators",
+		"gpu computing", "memory hierarchies", "vector processors",
+		"non volatile memory",
+	}},
+	{"data mining", []string{
+		"frequent pattern mining", "association rule mining", "graph mining",
+		"sequence mining", "outlier detection", "social network analysis",
+		"web mining", "text mining", "process mining",
+	}},
+	{"social network analysis", []string{"influence propagation", "centrality measures", "community detection"}},
+	{"text mining", []string{"document clustering", "keyword extraction", "topic modeling"}},
+	{"bioinformatics", []string{
+		"sequence alignment", "genome assembly", "protein structure prediction",
+		"phylogenetics", "gene expression analysis",
+	}},
+	{"robotics", []string{
+		"motion planning", "simultaneous localization and mapping",
+		"robot perception", "manipulation", "swarm robotics",
+	}},
+	{"big data", []string{
+		"mapreduce", "data parallel frameworks", "big data analytics",
+		"data lakes", "batch processing", "scalable machine learning",
+	}},
+	{"computer science", []string{
+		"big data", "parallel computing", "embedded systems",
+		"signal processing", "multimedia systems", "quantum computing",
+		"computational science", "digital libraries",
+	}},
+	{"parallel computing", []string{
+		"shared memory parallelism", "message passing", "data parallelism",
+		"task scheduling", "synchronization primitives", "lock free data structures",
+		"simd", "work stealing",
+	}},
+	{"lock free data structures", []string{"compare and swap", "hazard pointers"}},
+	{"embedded systems", []string{
+		"real time systems", "firmware", "sensor networks",
+		"energy efficiency", "hardware software codesign", "microcontrollers",
+	}},
+	{"real time systems", []string{"real time scheduling", "worst case execution time"}},
+	{"signal processing", []string{
+		"fourier analysis", "digital filters", "speech processing",
+		"audio processing", "compressed sensing", "time series analysis",
+	}},
+	{"speech processing", []string{"speech recognition", "speech synthesis", "speaker identification"}},
+	{"time series analysis", []string{"time series forecasting", "change point detection", "seasonal decomposition"}},
+	{"multimedia systems", []string{
+		"video streaming", "image compression", "video coding",
+		"content based retrieval", "adaptive bitrate streaming",
+	}},
+	{"quantum computing", []string{
+		"quantum algorithms", "quantum error correction", "qubit architectures",
+		"quantum cryptography", "variational quantum circuits",
+	}},
+	{"quantum algorithms", []string{"grover search", "shor factoring", "quantum annealing"}},
+	{"computational science", []string{
+		"numerical methods", "scientific computing", "finite element methods",
+		"monte carlo methods", "computational fluid dynamics",
+	}},
+	{"numerical methods", []string{"numerical linear algebra", "differential equation solvers", "optimization solvers"}},
+	{"digital libraries", []string{
+		"metadata management", "scholarly communication", "citation indexing",
+		"open access repositories", "persistent identifiers",
+	}},
+	{"scholarly communication", []string{"peer review", "preprint servers", "research data management"}},
+	{"databases", []string{
+		"self driving databases", "multi model databases", "time series databases",
+		"versioned databases", "blockchain databases",
+	}},
+	{"self driving databases", []string{"automatic index selection", "knob tuning", "workload forecasting"}},
+	{"time series databases", []string{"downsampling", "retention policies"}},
+	{"machine learning", []string{
+		"meta learning", "few shot learning", "self supervised learning",
+		"contrastive learning", "curriculum learning", "active learning",
+	}},
+	{"natural language processing", []string{
+		"dialogue systems", "coreference resolution", "text generation",
+		"prompt engineering", "retrieval augmented generation",
+	}},
+	{"information retrieval", []string{
+		"dense retrieval", "neural ranking", "passage retrieval",
+		"federated search", "session based search",
+	}},
+}
+
+var synonymDecls = []synDecl{
+	{"rdf", []string{"resource description framework"}},
+	{"sparql", []string{"sparql query language"}},
+	{"linked open data", []string{"lod", "linked data"}},
+	{"owl", []string{"web ontology language"}},
+	{"machine learning", []string{"ml", "statistical learning"}},
+	{"deep learning", []string{"deep neural networks", "dnn"}},
+	{"artificial intelligence", []string{"ai"}},
+	{"natural language processing", []string{"nlp", "computational linguistics"}},
+	{"convolutional neural networks", []string{"cnn", "convnets"}},
+	{"recurrent neural networks", []string{"rnn"}},
+	{"generative adversarial networks", []string{"gan", "gans"}},
+	{"support vector machines", []string{"svm"}},
+	{"databases", []string{"database systems", "data management"}},
+	{"nosql databases", []string{"nosql", "non relational databases"}},
+	{"key value stores", []string{"kv stores"}},
+	{"lsm trees", []string{"log structured merge trees"}},
+	{"transaction processing", []string{"oltp"}},
+	{"data warehousing", []string{"olap", "data warehouses"}},
+	{"query optimization", []string{"query optimisation"}},
+	{"distributed systems", []string{"distributed computing"}},
+	{"byzantine fault tolerance", []string{"bft"}},
+	{"software defined networking", []string{"sdn"}},
+	{"content delivery networks", []string{"cdn"}},
+	{"internet of things", []string{"iot"}},
+	{"information retrieval", []string{"ir"}},
+	{"recommender systems", []string{"recommendation systems", "recommendation engines"}},
+	{"collaborative filtering", []string{"cf"}},
+	{"learning to rank", []string{"ltr"}},
+	{"reviewer assignment", []string{"paper reviewer assignment", "reviewer recommendation"}},
+	{"peer review", []string{"manuscript review", "refereeing"}},
+	{"h-index", []string{"hirsch index", "h index"}},
+	{"security and privacy", []string{"computer security", "cybersecurity"}},
+	{"differential privacy", []string{"dp"}},
+	{"human computer interaction", []string{"hci"}},
+	{"named entity recognition", []string{"ner"}},
+	{"optical character recognition", []string{"ocr"}},
+	{"simultaneous localization and mapping", []string{"slam"}},
+	{"knowledge graphs", []string{"kg"}},
+	{"semantic web", []string{"web of data"}},
+	{"graph neural networks", []string{"gnn"}},
+	{"automated machine learning", []string{"automl"}},
+	{"gpu computing", []string{"gpgpu"}},
+	{"mapreduce", []string{"map reduce"}},
+	{"entity resolution", []string{"deduplication", "entity matching"}},
+	{"author name disambiguation", []string{"name disambiguation"}},
+	{"big data", []string{"large scale data", "big data systems"}},
+	{"stream processing", []string{"data stream processing", "streaming data"}},
+	{"two phase commit", []string{"2pc"}},
+	{"scientometrics", []string{"science of science"}},
+	{"parallel computing", []string{"parallel processing"}},
+	{"simd", []string{"single instruction multiple data"}},
+	{"real time systems", []string{"rts"}},
+	{"worst case execution time", []string{"wcet"}},
+	{"speech recognition", []string{"asr", "automatic speech recognition"}},
+	{"quantum computing", []string{"quantum information processing"}},
+	{"computational fluid dynamics", []string{"cfd"}},
+	{"retrieval augmented generation", []string{"rag"}},
+	{"time series forecasting", []string{"forecasting"}},
+	{"sensor networks", []string{"wireless sensor networks", "wsn"}},
+	{"digital libraries", []string{"dl"}},
+	{"self driving databases", []string{"autonomous databases", "self tuning databases"}},
+	{"compare and swap", []string{"cas"}},
+}
+
+var relatedDecls = []relDecl{
+	// The paper's worked example: expanding "RDF" must yield
+	// "semantic web", "linked open data", "sparql".
+	{"rdf", "sparql"},
+	{"rdf", "linked open data"},
+	{"rdf", "triple stores"},
+	{"sparql", "query processing"},
+	{"triple stores", "graph databases"},
+	{"linked open data", "knowledge graphs"},
+	{"semantic web", "knowledge graphs"},
+	{"ontologies", "knowledge graphs"},
+	{"ontology alignment", "schema matching"},
+	{"entity resolution", "author name disambiguation"},
+	{"entity linking", "named entity recognition"},
+	{"record linkage", "entity resolution"},
+
+	{"databases", "big data"},
+	{"query optimization", "cardinality estimation"},
+	{"query processing", "indexing"},
+	{"stream processing", "complex event processing"},
+	{"stream processing", "data parallel frameworks"},
+	{"distributed databases", "distributed transactions"},
+	{"distributed databases", "replication"},
+	{"concurrency control", "transaction processing"},
+	{"main memory databases", "non volatile memory"},
+	{"learned indexes", "machine learning"},
+	{"data cleaning", "data integration"},
+	{"data warehousing", "big data analytics"},
+	{"nosql databases", "distributed storage"},
+	{"column stores", "data warehousing"},
+
+	{"machine learning", "data mining"},
+	{"deep learning", "gpu computing"},
+	{"transformers", "language models"},
+	{"word embeddings", "language models"},
+	{"topic modeling", "text mining"},
+	{"clustering", "community detection"},
+	{"anomaly detection", "outlier detection"},
+	{"anomaly detection", "intrusion detection"},
+	{"classification", "text classification"},
+	{"scalable machine learning", "machine learning"},
+	{"federated learning", "distributed systems"},
+	{"matrix factorization", "dimensionality reduction"},
+	{"reinforcement learning", "game playing"},
+	{"multi armed bandits", "online learning"},
+
+	{"recommender systems", "expert finding"},
+	{"expert finding", "peer review"},
+	{"reviewer assignment", "assignment problem"},
+	{"reviewer assignment", "peer review"},
+	{"expertise retrieval", "web search"},
+	{"bibliometrics", "citation analysis"},
+	{"citation analysis", "link analysis"},
+	{"query expansion", "keyword extraction"},
+	{"query expansion", "relevance feedback"},
+	{"learning to rank", "ranking models"},
+	{"crawling", "web crawling"},
+	{"search evaluation", "usability evaluation"},
+
+	{"consensus protocols", "distributed transactions"},
+	{"raft", "state machine replication"},
+	{"paxos", "state machine replication"},
+	{"replication", "fault tolerance"},
+	{"gossip protocols", "membership protocols"},
+	{"cloud computing", "big data"},
+	{"serverless computing", "microservices"},
+	{"edge computing", "internet of things"},
+	{"blockchain", "byzantine fault tolerance"},
+	{"blockchain", "distributed ledgers"},
+	{"smart contracts", "formal verification"},
+
+	{"network security", "intrusion detection"},
+	{"congestion control", "tcp"},
+	{"quic", "tcp"},
+	{"software defined networking", "routing protocols"},
+
+	{"differential privacy", "privacy preserving data publishing"},
+	{"secure multiparty computation", "homomorphic encryption"},
+	{"access control", "authentication"},
+
+	{"program analysis", "static analysis"},
+	{"fuzzing", "program analysis"},
+	{"property based testing", "software testing"},
+	{"formal verification", "automated reasoning"},
+	{"program synthesis", "automated reasoning"},
+	{"mining software repositories", "data mining"},
+	{"code review", "peer review"},
+
+	{"visualization", "visual analytics"},
+	{"crowdsourcing", "human computer interaction"},
+	{"social network analysis", "graph mining"},
+	{"influence propagation", "social network analysis"},
+	{"graph algorithms", "graph mining"},
+	{"graph partitioning", "graph databases"},
+	{"shortest paths", "graph traversal"},
+
+	{"image classification", "classification"},
+	{"object detection", "deep learning"},
+	{"face recognition", "image classification"},
+	{"video analysis", "stream processing"},
+
+	{"machine translation", "language models"},
+	{"question answering", "information retrieval"},
+	{"text summarization", "natural language processing"},
+	{"semantic parsing", "question answering"},
+	{"information extraction", "text mining"},
+	{"keyword extraction", "text indexing"},
+
+	{"scheduling", "resource scheduling"},
+	{"file systems", "distributed storage"},
+	{"memory management", "garbage collection"},
+	{"virtual memory", "memory hierarchies"},
+	{"virtualization", "containers"},
+
+	{"compilers", "query compilation"},
+	{"just in time compilation", "query compilation"},
+	{"type systems", "formal verification"},
+
+	{"cache coherence", "memory hierarchies"},
+	{"hardware accelerators", "gpu computing"},
+	{"vector processors", "hardware accelerators"},
+
+	{"sequence alignment", "sequence mining"},
+	{"gene expression analysis", "clustering"},
+	{"protein structure prediction", "deep learning"},
+
+	{"motion planning", "planning"},
+	{"robot perception", "computer vision"},
+	{"swarm robotics", "multi agent systems"},
+
+	{"mapreduce", "batch processing"},
+	{"data parallel frameworks", "big data analytics"},
+	{"data lakes", "data integration"},
+	{"process mining", "data mining"},
+	{"constraint satisfaction", "combinatorial optimization"},
+	{"integer programming", "linear programming"},
+	{"assignment problem", "matching algorithms"},
+	{"approximation algorithms", "combinatorial optimization"},
+	{"streaming algorithms", "stream processing"},
+	{"sublinear algorithms", "streaming algorithms"},
+	{"online algorithms", "online learning"},
+	{"randomized algorithms", "hash functions"},
+	{"b-trees", "indexing"},
+	{"hash indexes", "hash functions"},
+	{"consistent hashing", "hash functions"},
+	{"pagerank", "centrality measures"},
+	{"expertise retrieval", "reviewer assignment"},
+	{"cold start problem", "recommender systems"},
+
+	// Extended areas.
+	{"parallel computing", "distributed systems"},
+	{"data parallelism", "data parallel frameworks"},
+	{"task scheduling", "scheduling"},
+	{"simd", "vector processors"},
+	{"lock free data structures", "concurrency control"},
+	{"synchronization primitives", "concurrency control"},
+	{"work stealing", "task scheduling"},
+	{"message passing", "network protocols"},
+	{"shared memory parallelism", "cache coherence"},
+	{"sensor networks", "internet of things"},
+	{"energy efficiency", "resource scheduling"},
+	{"real time scheduling", "scheduling"},
+	{"firmware", "device drivers"},
+	{"speech recognition", "natural language processing"},
+	{"audio processing", "speech processing"},
+	{"compressed sensing", "dimensionality reduction"},
+	{"time series analysis", "stream processing"},
+	{"time series forecasting", "regression"},
+	{"change point detection", "anomaly detection"},
+	{"video streaming", "content delivery networks"},
+	{"video coding", "image compression"},
+	{"content based retrieval", "information retrieval"},
+	{"adaptive bitrate streaming", "congestion control"},
+	{"quantum cryptography", "cryptography"},
+	{"quantum annealing", "combinatorial optimization"},
+	{"quantum error correction", "fault tolerance"},
+	{"variational quantum circuits", "machine learning"},
+	{"numerical linear algebra", "matrix factorization"},
+	{"monte carlo methods", "randomized algorithms"},
+	{"optimization solvers", "linear programming"},
+	{"scientific computing", "gpu computing"},
+	{"metadata management", "data integration"},
+	{"citation indexing", "citation analysis"},
+	{"scholarly communication", "bibliometrics"},
+	{"open access repositories", "digital libraries"},
+	{"persistent identifiers", "entity resolution"},
+	{"research data management", "data provenance"},
+	{"preprint servers", "scholarly communication"},
+	{"self driving databases", "database tuning"},
+	{"automatic index selection", "indexing"},
+	{"knob tuning", "database tuning"},
+	{"workload forecasting", "time series forecasting"},
+	{"multi model databases", "nosql databases"},
+	{"time series databases", "time series analysis"},
+	{"versioned databases", "temporal databases"},
+	{"blockchain databases", "blockchain"},
+	{"meta learning", "transfer learning"},
+	{"few shot learning", "transfer learning"},
+	{"self supervised learning", "unsupervised learning"},
+	{"contrastive learning", "self supervised learning"},
+	{"active learning", "supervised learning"},
+	{"curriculum learning", "reinforcement learning"},
+	{"dialogue systems", "question answering"},
+	{"text generation", "language models"},
+	{"retrieval augmented generation", "dense retrieval"},
+	{"retrieval augmented generation", "language models"},
+	{"prompt engineering", "language models"},
+	{"coreference resolution", "named entity recognition"},
+	{"dense retrieval", "word embeddings"},
+	{"neural ranking", "learning to rank"},
+	{"passage retrieval", "question answering"},
+	{"federated search", "web search"},
+	{"session based search", "relevance feedback"},
+	{"downsampling", "approximate query processing"},
+}
+
+var (
+	defaultOnce sync.Once
+	defaultOnt  *Ontology
+)
+
+// Default returns the embedded computer-science ontology. The instance is
+// shared and must be treated as read-only.
+func Default() *Ontology {
+	defaultOnce.Do(func() {
+		defaultOnt = build()
+	})
+	return defaultOnt
+}
+
+// build constructs the embedded ontology from the declarations above.
+func build() *Ontology {
+	o := New()
+	for _, d := range hierarchy {
+		for _, c := range d.children {
+			o.AddChild(d.parent, c)
+		}
+	}
+	for _, s := range synonymDecls {
+		o.AddTopic(s.topic, s.synonyms...)
+	}
+	for _, r := range relatedDecls {
+		o.AddRelated(r.a, r.b)
+	}
+	if err := o.Validate(); err != nil {
+		panic(err) // unreachable: declarations are static and validated by tests
+	}
+	return o
+}

@@ -1,0 +1,481 @@
+// Package ontology provides a computer-science topic ontology and the
+// semantic keyword expansion MINARET's candidate-retrieval step relies
+// on. It stands in for the Computer Science Ontology (CSO) download the
+// paper uses, with the same edge semantics: a topic hierarchy
+// (superTopicOf), lateral relatedness (relatedEquivalent) and synonym
+// sets (sameAs).
+package ontology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Topic is one node in the ontology graph.
+type Topic struct {
+	// Label is the canonical display label ("semantic web").
+	Label string
+	// Synonyms are alternate labels that resolve to this topic
+	// ("linked data web" -> "semantic web").
+	Synonyms []string
+
+	parents  []*Topic
+	children []*Topic
+	related  []*Topic
+}
+
+// Parents returns the labels of the topic's super-topics.
+func (t *Topic) Parents() []string { return labels(t.parents) }
+
+// Children returns the labels of the topic's sub-topics.
+func (t *Topic) Children() []string { return labels(t.children) }
+
+// Related returns the labels of laterally related topics.
+func (t *Topic) Related() []string { return labels(t.related) }
+
+func labels(ts []*Topic) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Label
+	}
+	return out
+}
+
+// Ontology is the topic graph with synonym resolution. After
+// construction it is safe for concurrent readers.
+type Ontology struct {
+	topics map[string]*Topic // canonical label -> topic
+	alias  map[string]string // normalized alias -> canonical label
+	sorted []string          // canonical labels in sorted order
+
+	// simCache memoizes per-keyword neighbourhood score maps for
+	// Similarity; keyed by canonical label.
+	simCache sync.Map // string -> map[string]float64
+}
+
+// New builds an empty ontology. Most callers want Default instead.
+func New() *Ontology {
+	return &Ontology{
+		topics: make(map[string]*Topic),
+		alias:  make(map[string]string),
+	}
+}
+
+// Normalize lower-cases and collapses whitespace so lookups are
+// insensitive to formatting ("Semantic  Web " == "semantic web").
+func Normalize(label string) string {
+	return strings.Join(strings.Fields(strings.ToLower(label)), " ")
+}
+
+// AddTopic inserts a topic with optional synonyms. Adding an existing
+// label returns the existing node, so declaration order is flexible.
+func (o *Ontology) AddTopic(label string, synonyms ...string) *Topic {
+	key := Normalize(label)
+	if t, ok := o.topics[key]; ok {
+		for _, s := range synonyms {
+			o.addAlias(s, key, t)
+		}
+		return t
+	}
+	t := &Topic{Label: key}
+	o.topics[key] = t
+	o.alias[key] = key
+	o.sorted = nil
+	for _, s := range synonyms {
+		o.addAlias(s, key, t)
+	}
+	return t
+}
+
+func (o *Ontology) addAlias(alias, canonical string, t *Topic) {
+	a := Normalize(alias)
+	if a == canonical {
+		return
+	}
+	if _, exists := o.alias[a]; !exists {
+		o.alias[a] = canonical
+		t.Synonyms = append(t.Synonyms, a)
+	}
+}
+
+// AddChild records parent superTopicOf child, creating either end if
+// needed.
+func (o *Ontology) AddChild(parent, child string) {
+	p := o.AddTopic(parent)
+	c := o.AddTopic(child)
+	for _, existing := range p.children {
+		if existing == c {
+			return
+		}
+	}
+	p.children = append(p.children, c)
+	c.parents = append(c.parents, p)
+}
+
+// AddRelated records a symmetric relatedEquivalent edge.
+func (o *Ontology) AddRelated(a, b string) {
+	ta := o.AddTopic(a)
+	tb := o.AddTopic(b)
+	for _, existing := range ta.related {
+		if existing == tb {
+			return
+		}
+	}
+	ta.related = append(ta.related, tb)
+	tb.related = append(tb.related, ta)
+}
+
+// Lookup resolves a label or synonym to its topic. The boolean is false
+// when the term is not in the ontology.
+func (o *Ontology) Lookup(label string) (*Topic, bool) {
+	canonical, ok := o.alias[Normalize(label)]
+	if !ok {
+		return nil, false
+	}
+	return o.topics[canonical], true
+}
+
+// Canonical resolves a label/synonym to the canonical label, returning
+// the normalized input unchanged when unknown (unknown keywords still
+// flow through retrieval as literal strings).
+func (o *Ontology) Canonical(label string) string {
+	if c, ok := o.alias[Normalize(label)]; ok {
+		return c
+	}
+	return Normalize(label)
+}
+
+// Len returns the number of topics.
+func (o *Ontology) Len() int { return len(o.topics) }
+
+// Topics returns all canonical labels in sorted order.
+func (o *Ontology) Topics() []string {
+	if o.sorted == nil {
+		o.sorted = make([]string, 0, len(o.topics))
+		for k := range o.topics {
+			o.sorted = append(o.sorted, k)
+		}
+		sort.Strings(o.sorted)
+	}
+	return o.sorted
+}
+
+// RelatedMap materializes, for every topic, its one-hop semantic
+// neighbourhood (children, parents, related, siblings). The corpus
+// generator uses it to smear keywords.
+func (o *Ontology) RelatedMap() map[string][]string {
+	out := make(map[string][]string, len(o.topics))
+	for _, label := range o.Topics() {
+		t := o.topics[label]
+		seen := map[string]bool{label: true}
+		var nbrs []string
+		add := func(ts []*Topic) {
+			for _, n := range ts {
+				if !seen[n.Label] {
+					seen[n.Label] = true
+					nbrs = append(nbrs, n.Label)
+				}
+			}
+		}
+		add(t.children)
+		add(t.parents)
+		add(t.related)
+		for _, p := range t.parents {
+			add(p.children)
+		}
+		sort.Strings(nbrs)
+		out[label] = nbrs
+	}
+	return out
+}
+
+// Relation names how an expansion was reached from the seed keyword.
+type Relation string
+
+const (
+	RelSelf    Relation = "self"
+	RelSynonym Relation = "synonym"
+	RelChild   Relation = "child"
+	RelParent  Relation = "parent"
+	RelRelated Relation = "related"
+	RelSibling Relation = "sibling"
+	// RelPath marks multi-hop expansions; the score already reflects the
+	// full path decay.
+	RelPath Relation = "path"
+)
+
+// Expansion is one expanded keyword with its similarity score sc in
+// [0,1], as Section 2.1 of the paper defines.
+type Expansion struct {
+	Keyword  string
+	Score    float64
+	Relation Relation
+	// Hops is the graph distance from the seed keyword (0 for the seed
+	// itself and its synonyms).
+	Hops int
+}
+
+// ExpandOptions tunes the expansion walk.
+type ExpandOptions struct {
+	// MaxHops bounds the walk depth. Default 2.
+	MaxHops int
+	// MinScore drops expansions scoring below it. Default 0.3.
+	MinScore float64
+	// MaxResults caps the result length (0 = unlimited). Highest scores
+	// are kept.
+	MaxResults int
+	// IncludeSeed controls whether the seed keyword itself (score 1.0)
+	// appears in the result. Default true via Expand; retrieval wants it.
+	IncludeSeed bool
+}
+
+func (e ExpandOptions) withDefaults() ExpandOptions {
+	if e.MaxHops == 0 {
+		e.MaxHops = 2
+	}
+	if e.MinScore == 0 {
+		e.MinScore = 0.3
+	}
+	return e
+}
+
+// Edge decay factors: one hop along each edge type multiplies the score.
+// Children are more specific (better reviewer pool) than parents, hence
+// the asymmetry.
+const (
+	decayChild   = 0.85
+	decayParent  = 0.70
+	decayRelated = 0.80
+	decaySibling = 0.60
+)
+
+// Expand performs a best-first walk from the seed keyword and returns
+// scored expansions, highest score first (ties broken alphabetically for
+// determinism). The seed maps to score 1.0; synonyms of any reached topic
+// inherit its score. Unknown keywords yield only the seed itself.
+func (o *Ontology) Expand(keyword string, opts ExpandOptions) []Expansion {
+	opts = opts.withDefaults()
+	seedLabel := Normalize(keyword)
+
+	best := map[string]Expansion{}
+	consider := func(label string, score float64, rel Relation, hops int) {
+		if score < opts.MinScore {
+			return
+		}
+		if cur, ok := best[label]; ok && cur.Score >= score {
+			return
+		}
+		best[label] = Expansion{Keyword: label, Score: score, Relation: rel, Hops: hops}
+	}
+
+	seed, known := o.Lookup(keyword)
+	if opts.IncludeSeed {
+		consider(seedLabel, 1.0, RelSelf, 0)
+	}
+	if known {
+		if opts.IncludeSeed && seed.Label != seedLabel {
+			// The input was a synonym: surface the canonical label too.
+			consider(seed.Label, 1.0, RelSynonym, 0)
+		}
+		type frontier struct {
+			t     *Topic
+			score float64
+			hops  int
+			rel   Relation
+		}
+		queue := []frontier{{t: seed, score: 1.0, hops: 0, rel: RelSelf}}
+		visited := map[*Topic]float64{seed: 1.0}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			if cur.hops >= opts.MaxHops {
+				continue
+			}
+			step := func(next *Topic, decay float64, rel Relation) {
+				score := cur.score * decay
+				if score < opts.MinScore {
+					return
+				}
+				if prev, ok := visited[next]; ok && prev >= score {
+					return
+				}
+				visited[next] = score
+				outRel := rel
+				if cur.hops > 0 {
+					outRel = RelPath
+				}
+				consider(next.Label, score, outRel, cur.hops+1)
+				for _, syn := range next.Synonyms {
+					consider(syn, score, RelSynonym, cur.hops+1)
+				}
+				queue = append(queue, frontier{t: next, score: score, hops: cur.hops + 1, rel: outRel})
+			}
+			for _, c := range cur.t.children {
+				step(c, decayChild, RelChild)
+			}
+			for _, p := range cur.t.parents {
+				step(p, decayParent, RelParent)
+			}
+			for _, r := range cur.t.related {
+				step(r, decayRelated, RelRelated)
+			}
+			// Siblings: same parent, one conceptual hop.
+			if cur.hops == 0 {
+				for _, p := range cur.t.parents {
+					for _, sib := range p.children {
+						if sib != cur.t {
+							step(sib, decaySibling, RelSibling)
+						}
+					}
+				}
+			}
+		}
+		// Seed synonyms score 1.0.
+		if opts.IncludeSeed {
+			for _, syn := range seed.Synonyms {
+				consider(syn, 1.0, RelSynonym, 0)
+			}
+		}
+	}
+
+	out := make([]Expansion, 0, len(best))
+	for _, e := range best {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Keyword < out[j].Keyword
+	})
+	if opts.MaxResults > 0 && len(out) > opts.MaxResults {
+		out = out[:opts.MaxResults]
+	}
+	return out
+}
+
+// ExpandAll expands every keyword of a manuscript and merges the results:
+// a topic reachable from several seeds keeps its maximum score and
+// records every seed that reached it.
+func (o *Ontology) ExpandAll(keywords []string, opts ExpandOptions) []MergedExpansion {
+	merged := map[string]*MergedExpansion{}
+	for _, kw := range keywords {
+		for _, e := range o.Expand(kw, opts) {
+			m, ok := merged[e.Keyword]
+			if !ok {
+				m = &MergedExpansion{Expansion: e}
+				merged[e.Keyword] = m
+			} else if e.Score > m.Score {
+				m.Expansion = e
+			}
+			m.Seeds = append(m.Seeds, Normalize(kw))
+		}
+	}
+	out := make([]MergedExpansion, 0, len(merged))
+	for _, m := range merged {
+		sort.Strings(m.Seeds)
+		m.Seeds = dedupeSorted(m.Seeds)
+		out = append(out, *m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Keyword < out[j].Keyword
+	})
+	return out
+}
+
+// MergedExpansion is an Expansion annotated with the seed keywords that
+// reached it.
+type MergedExpansion struct {
+	Expansion
+	Seeds []string
+}
+
+// Similarity returns a semantic similarity in [0,1] between two keywords:
+// 1.0 for identical/synonymous terms, the path-decayed expansion score
+// when one reaches the other within two hops, else 0. Neighbourhoods are
+// memoized, so repeated queries from scoring loops are cheap.
+func (o *Ontology) Similarity(a, b string) float64 {
+	ca, cb := o.Canonical(a), o.Canonical(b)
+	if ca == cb {
+		return 1.0
+	}
+	return o.neighbourhood(ca)[cb]
+}
+
+// neighbourhood returns the memoized canonical-label -> score map of a
+// keyword's two-hop semantic neighbourhood.
+func (o *Ontology) neighbourhood(canonical string) map[string]float64 {
+	if m, ok := o.simCache.Load(canonical); ok {
+		return m.(map[string]float64)
+	}
+	m := map[string]float64{}
+	for _, e := range o.Expand(canonical, ExpandOptions{MaxHops: 2, MinScore: 0.05, IncludeSeed: true}) {
+		// Store by canonical label so lookups hit regardless of synonym
+		// form.
+		ck := o.Canonical(e.Keyword)
+		if e.Score > m[ck] {
+			m[ck] = e.Score
+		}
+	}
+	actual, _ := o.simCache.LoadOrStore(canonical, m)
+	return actual.(map[string]float64)
+}
+
+// Validate checks structural invariants: every alias resolves, every
+// edge is bidirectional, no topic is its own parent. It returns the
+// first violation found.
+func (o *Ontology) Validate() error {
+	for alias, canonical := range o.alias {
+		if _, ok := o.topics[canonical]; !ok {
+			return fmt.Errorf("ontology: alias %q points to missing topic %q", alias, canonical)
+		}
+	}
+	for label, t := range o.topics {
+		for _, c := range t.children {
+			if c == t {
+				return fmt.Errorf("ontology: topic %q is its own child", label)
+			}
+			if !containsTopic(c.parents, t) {
+				return fmt.Errorf("ontology: child edge %q->%q lacks parent backlink", label, c.Label)
+			}
+		}
+		for _, p := range t.parents {
+			if !containsTopic(p.children, t) {
+				return fmt.Errorf("ontology: parent edge %q->%q lacks child backlink", label, p.Label)
+			}
+		}
+		for _, r := range t.related {
+			if r == t {
+				return fmt.Errorf("ontology: topic %q is related to itself", label)
+			}
+			if !containsTopic(r.related, t) {
+				return fmt.Errorf("ontology: related edge %q->%q is not symmetric", label, r.Label)
+			}
+		}
+	}
+	return nil
+}
+
+func containsTopic(ts []*Topic, t *Topic) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

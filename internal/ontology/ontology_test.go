@@ -1,0 +1,289 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultBuildsAndValidates(t *testing.T) {
+	o := Default()
+	if err := o.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if o.Len() < 250 {
+		t.Fatalf("ontology too small: %d topics", o.Len())
+	}
+}
+
+// TestPaperExample encodes the worked example from Section 2.1: expanding
+// "RDF" must surface "Semantic Web", "Linked Open Data" and "SPARQL".
+func TestPaperExample(t *testing.T) {
+	o := Default()
+	got := map[string]float64{}
+	for _, e := range o.Expand("RDF", ExpandOptions{IncludeSeed: true}) {
+		got[e.Keyword] = e.Score
+	}
+	for _, want := range []string{"semantic web", "linked open data", "sparql"} {
+		sc, ok := got[want]
+		if !ok {
+			t.Errorf("Expand(RDF) missing %q; got %v", want, keys(got))
+			continue
+		}
+		if sc <= 0 || sc > 1 {
+			t.Errorf("Expand(RDF)[%q] score %v out of (0,1]", want, sc)
+		}
+	}
+	if got["rdf"] != 1.0 {
+		t.Errorf("seed keyword score = %v, want 1.0", got["rdf"])
+	}
+}
+
+func TestExpandScoresSortedAndBounded(t *testing.T) {
+	o := Default()
+	for _, kw := range []string{"databases", "deep learning", "raft", "peer review"} {
+		exp := o.Expand(kw, ExpandOptions{IncludeSeed: true})
+		if len(exp) == 0 {
+			t.Fatalf("Expand(%q) empty", kw)
+		}
+		for i, e := range exp {
+			if e.Score <= 0 || e.Score > 1 {
+				t.Errorf("Expand(%q)[%d] score %v out of (0,1]", kw, i, e.Score)
+			}
+			if i > 0 && exp[i-1].Score < e.Score {
+				t.Errorf("Expand(%q) not sorted at %d: %v < %v", kw, i, exp[i-1].Score, e.Score)
+			}
+		}
+	}
+}
+
+func TestExpandUnknownKeyword(t *testing.T) {
+	o := Default()
+	exp := o.Expand("quantum basket weaving", ExpandOptions{IncludeSeed: true})
+	if len(exp) != 1 {
+		t.Fatalf("unknown keyword expansion = %v, want only the seed", exp)
+	}
+	if exp[0].Keyword != "quantum basket weaving" || exp[0].Score != 1.0 {
+		t.Fatalf("seed = %+v", exp[0])
+	}
+}
+
+func TestExpandMinScoreFilters(t *testing.T) {
+	o := Default()
+	loose := o.Expand("databases", ExpandOptions{MinScore: 0.05, IncludeSeed: true})
+	tight := o.Expand("databases", ExpandOptions{MinScore: 0.84, IncludeSeed: true})
+	if len(tight) >= len(loose) {
+		t.Fatalf("tight threshold should shrink results: %d vs %d", len(tight), len(loose))
+	}
+	for _, e := range tight {
+		if e.Score < 0.84 {
+			t.Errorf("result %q score %v below threshold", e.Keyword, e.Score)
+		}
+	}
+}
+
+func TestExpandMaxResults(t *testing.T) {
+	o := Default()
+	exp := o.Expand("machine learning", ExpandOptions{MaxResults: 5, IncludeSeed: true})
+	if len(exp) != 5 {
+		t.Fatalf("MaxResults=5 returned %d", len(exp))
+	}
+}
+
+func TestSynonymsResolve(t *testing.T) {
+	o := Default()
+	cases := map[string]string{
+		"NLP":            "natural language processing",
+		"ml":             "machine learning",
+		"Linked Data":    "linked open data",
+		"2PC":            "two phase commit",
+		"OLTP":           "transaction processing",
+		"database  systems": "databases",
+	}
+	for alias, canonical := range cases {
+		if got := o.Canonical(alias); got != canonical {
+			t.Errorf("Canonical(%q) = %q, want %q", alias, got, canonical)
+		}
+	}
+}
+
+func TestSynonymExpansionMatchesCanonical(t *testing.T) {
+	o := Default()
+	a := o.Expand("nlp", ExpandOptions{IncludeSeed: false})
+	b := o.Expand("natural language processing", ExpandOptions{IncludeSeed: false})
+	// The non-seed neighbourhoods must be identical.
+	am, bm := map[string]float64{}, map[string]float64{}
+	for _, e := range a {
+		am[e.Keyword] = e.Score
+	}
+	for _, e := range b {
+		bm[e.Keyword] = e.Score
+	}
+	delete(am, "natural language processing")
+	delete(bm, "nlp")
+	for k, v := range bm {
+		if am[k] != v {
+			t.Errorf("neighbourhood mismatch at %q: alias %v vs canonical %v", k, am[k], v)
+		}
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	o := Default()
+	if s := o.Similarity("rdf", "RDF"); s != 1.0 {
+		t.Errorf("identical keywords similarity = %v, want 1", s)
+	}
+	if s := o.Similarity("nlp", "natural language processing"); s != 1.0 {
+		t.Errorf("synonym similarity = %v, want 1", s)
+	}
+	s := o.Similarity("rdf", "sparql")
+	if s <= 0 || s >= 1 {
+		t.Errorf("related similarity = %v, want in (0,1)", s)
+	}
+	if s := o.Similarity("rdf", "swarm robotics"); s != 0 {
+		t.Errorf("unrelated similarity = %v, want 0", s)
+	}
+}
+
+func TestExpandAllMergesSeeds(t *testing.T) {
+	o := Default()
+	merged := o.ExpandAll([]string{"rdf", "sparql"}, ExpandOptions{IncludeSeed: true})
+	var sw *MergedExpansion
+	for i := range merged {
+		if merged[i].Keyword == "semantic web" {
+			sw = &merged[i]
+		}
+	}
+	if sw == nil {
+		t.Fatal("semantic web missing from merged expansion")
+	}
+	if len(sw.Seeds) != 2 {
+		t.Fatalf("semantic web seeds = %v, want both rdf and sparql", sw.Seeds)
+	}
+}
+
+func TestRelatedMapSymmetricNeighbourhood(t *testing.T) {
+	o := Default()
+	rm := o.RelatedMap()
+	if len(rm) != o.Len() {
+		t.Fatalf("RelatedMap size %d != topic count %d", len(rm), o.Len())
+	}
+	nbrs := rm["rdf"]
+	want := map[string]bool{"semantic web": true, "sparql": true, "linked open data": true}
+	for _, n := range nbrs {
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("rdf neighbourhood missing %v (got %v)", want, nbrs)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := map[string]string{
+		" Semantic  Web ": "semantic web",
+		"RDF":             "rdf",
+		"a\tb":            "a b",
+		"":                "",
+	}
+	for in, want := range cases {
+		if got := Normalize(in); got != want {
+			t.Errorf("Normalize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestAddChildIdempotent(t *testing.T) {
+	o := New()
+	o.AddChild("a", "b")
+	o.AddChild("a", "b")
+	ta, _ := o.Lookup("a")
+	if len(ta.Children()) != 1 {
+		t.Fatalf("duplicate AddChild created %d edges", len(ta.Children()))
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddRelatedSymmetricAndIdempotent(t *testing.T) {
+	o := New()
+	o.AddRelated("x", "y")
+	o.AddRelated("x", "y")
+	o.AddRelated("y", "x")
+	tx, _ := o.Lookup("x")
+	ty, _ := o.Lookup("y")
+	if len(tx.Related()) != 1 || len(ty.Related()) != 1 {
+		t.Fatalf("related edges: x=%d y=%d, want 1 each", len(tx.Related()), len(ty.Related()))
+	}
+}
+
+// Property: Canonical is idempotent and case-insensitive for every topic
+// and synonym in the default ontology.
+func TestCanonicalIdempotent(t *testing.T) {
+	o := Default()
+	for _, label := range o.Topics() {
+		c1 := o.Canonical(label)
+		if c2 := o.Canonical(c1); c2 != c1 {
+			t.Fatalf("Canonical not idempotent: %q -> %q -> %q", label, c1, c2)
+		}
+		if c := o.Canonical(strings.ToUpper(label)); c != c1 {
+			t.Fatalf("Canonical case-sensitive for %q", label)
+		}
+	}
+}
+
+// Property (quick): Similarity is symmetric within one expansion hop
+// scoring tolerance for arbitrary topic pairs from the ontology.
+func TestSimilaritySelfIsOne(t *testing.T) {
+	o := Default()
+	topics := o.Topics()
+	f := func(i uint) bool {
+		label := topics[i%uint(len(topics))]
+		return o.Similarity(label, label) == 1.0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (quick): every expansion score stays in (0,1] and hop counts
+// never exceed MaxHops.
+func TestExpandInvariants(t *testing.T) {
+	o := Default()
+	topics := o.Topics()
+	f := func(i uint, hops uint8) bool {
+		label := topics[i%uint(len(topics))]
+		maxHops := int(hops%3) + 1
+		for _, e := range o.Expand(label, ExpandOptions{MaxHops: maxHops, MinScore: 0.05, IncludeSeed: true}) {
+			if e.Score <= 0 || e.Score > 1 {
+				return false
+			}
+			if e.Hops > maxHops {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	o := New()
+	a := o.AddTopic("a")
+	b := o.AddTopic("b")
+	// Corrupt: one-directional related edge.
+	a.related = append(a.related, b)
+	if err := o.Validate(); err == nil {
+		t.Fatal("Validate accepted asymmetric related edge")
+	}
+}
+
+func keys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package ranking
+
+import (
+	"sort"
+	"strings"
+
+	"minaret/internal/profile"
+)
+
+// Diversification re-ranks a scored candidate list with maximal marginal
+// relevance (MMR): each pick balances the candidate's own score against
+// its redundancy with already-picked reviewers. Editors want a review
+// panel that is not three colleagues from one lab — diversity across
+// institutions, countries and sub-topics is itself a fairness property
+// of the paper's setting.
+
+// DiversifyOptions tunes MMR re-ranking.
+type DiversifyOptions struct {
+	// Lambda in [0,1] weighs relevance vs diversity: 1 = pure score
+	// (no re-ranking), 0 = pure diversity. Typical 0.7.
+	Lambda float64
+	// K bounds how many entries are re-ranked (0 = all).
+	K int
+}
+
+// ReviewerSimilarity estimates redundancy of two reviewers in [0,1]:
+// shared institution dominates, then shared country, plus interest
+// overlap (Jaccard).
+func ReviewerSimilarity(a, b *profile.Profile) float64 {
+	s := 0.0
+	if a.Affiliation != "" && strings.EqualFold(a.Affiliation, b.Affiliation) {
+		s = 0.8
+	} else if a.Country != "" && strings.EqualFold(a.Country, b.Country) {
+		s = 0.35
+	}
+	// Interest Jaccard contributes up to 0.5.
+	setA := map[string]bool{}
+	for _, in := range a.Interests {
+		setA[strings.ToLower(in)] = true
+	}
+	inter, union := 0, len(setA)
+	for _, in := range b.Interests {
+		k := strings.ToLower(in)
+		if setA[k] {
+			inter++
+		} else {
+			union++
+		}
+	}
+	if union > 0 {
+		s += 0.5 * float64(inter) / float64(union)
+	}
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+// Diversify applies MMR over a Ranked list (already sorted best-first)
+// and returns the re-ranked list. The input is not modified.
+func Diversify(ranked []Ranked, opts DiversifyOptions) []Ranked {
+	if opts.Lambda >= 1 || len(ranked) <= 1 {
+		return append([]Ranked(nil), ranked...)
+	}
+	if opts.Lambda < 0 {
+		opts.Lambda = 0
+	}
+	k := opts.K
+	if k <= 0 || k > len(ranked) {
+		k = len(ranked)
+	}
+	remaining := append([]Ranked(nil), ranked...)
+	out := make([]Ranked, 0, len(ranked))
+	for len(out) < k && len(remaining) > 0 {
+		bestIdx, bestVal := 0, -1.0
+		for i, cand := range remaining {
+			redundancy := 0.0
+			for _, picked := range out {
+				if sim := ReviewerSimilarity(cand.Reviewer, picked.Reviewer); sim > redundancy {
+					redundancy = sim
+				}
+			}
+			val := opts.Lambda*cand.Breakdown.Total - (1-opts.Lambda)*redundancy
+			if val > bestVal {
+				bestIdx, bestVal = i, val
+			}
+		}
+		out = append(out, remaining[bestIdx])
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	// Entries beyond K keep their score order after the diversified head.
+	if len(remaining) > 0 {
+		sort.SliceStable(remaining, func(i, j int) bool {
+			return remaining[i].Breakdown.Total > remaining[j].Breakdown.Total
+		})
+		out = append(out, remaining...)
+	}
+	return out
+}

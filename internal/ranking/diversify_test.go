@@ -1,0 +1,101 @@
+package ranking
+
+import (
+	"testing"
+
+	"minaret/internal/profile"
+)
+
+func mkRanked(name, affiliation, country string, interests []string, total float64) Ranked {
+	return Ranked{
+		Reviewer: &profile.Profile{
+			Name: name, Affiliation: affiliation, Country: country, Interests: interests,
+		},
+		Breakdown: Breakdown{Total: total},
+	}
+}
+
+func TestReviewerSimilarity(t *testing.T) {
+	a := &profile.Profile{Affiliation: "U Alpha", Country: "X", Interests: []string{"rdf", "sparql"}}
+	sameLab := &profile.Profile{Affiliation: "u alpha", Country: "X", Interests: []string{"rdf", "sparql"}}
+	sameCountry := &profile.Profile{Affiliation: "U Beta", Country: "x", Interests: []string{"databases"}}
+	unrelated := &profile.Profile{Affiliation: "U Gamma", Country: "Y", Interests: []string{"robotics"}}
+	if s := ReviewerSimilarity(a, sameLab); s < 0.8 {
+		t.Fatalf("same lab similarity = %v", s)
+	}
+	if s := ReviewerSimilarity(a, sameCountry); s < 0.3 || s >= 0.8 {
+		t.Fatalf("same country similarity = %v", s)
+	}
+	if s := ReviewerSimilarity(a, unrelated); s != 0 {
+		t.Fatalf("unrelated similarity = %v", s)
+	}
+	if s := ReviewerSimilarity(a, a); s != 1.0 {
+		t.Fatalf("self similarity = %v (cap at 1)", s)
+	}
+}
+
+func TestDiversifyBreaksUpLab(t *testing.T) {
+	// Three candidates from one lab at the top, one outsider barely
+	// behind: MMR should promote the outsider to slot 2.
+	ranked := []Ranked{
+		mkRanked("A1", "U Alpha", "X", []string{"rdf"}, 0.90),
+		mkRanked("A2", "U Alpha", "X", []string{"rdf"}, 0.89),
+		mkRanked("A3", "U Alpha", "X", []string{"rdf"}, 0.88),
+		mkRanked("B1", "U Beta", "Y", []string{"sparql"}, 0.85),
+	}
+	out := Diversify(ranked, DiversifyOptions{Lambda: 0.6})
+	if out[0].Reviewer.Name != "A1" {
+		t.Fatalf("top pick changed: %s", out[0].Reviewer.Name)
+	}
+	if out[1].Reviewer.Name != "B1" {
+		t.Fatalf("slot 2 = %s, want the outsider B1", out[1].Reviewer.Name)
+	}
+	if len(out) != 4 {
+		t.Fatalf("lost candidates: %d", len(out))
+	}
+}
+
+func TestDiversifyLambdaOneIsIdentity(t *testing.T) {
+	ranked := []Ranked{
+		mkRanked("A", "U", "X", nil, 0.9),
+		mkRanked("B", "U", "X", nil, 0.8),
+	}
+	out := Diversify(ranked, DiversifyOptions{Lambda: 1})
+	for i := range ranked {
+		if out[i].Reviewer.Name != ranked[i].Reviewer.Name {
+			t.Fatal("lambda=1 changed order")
+		}
+	}
+	// Input untouched.
+	out[0], out[1] = out[1], out[0]
+	if ranked[0].Reviewer.Name != "A" {
+		t.Fatal("Diversify mutated its input")
+	}
+}
+
+func TestDiversifyKBoundsHead(t *testing.T) {
+	ranked := []Ranked{
+		mkRanked("A1", "U Alpha", "X", nil, 0.9),
+		mkRanked("A2", "U Alpha", "X", nil, 0.89),
+		mkRanked("B1", "U Beta", "Y", nil, 0.88),
+		mkRanked("A3", "U Alpha", "X", nil, 0.87),
+	}
+	out := Diversify(ranked, DiversifyOptions{Lambda: 0.5, K: 2})
+	if out[0].Reviewer.Name != "A1" || out[1].Reviewer.Name != "B1" {
+		t.Fatalf("head = %s,%s", out[0].Reviewer.Name, out[1].Reviewer.Name)
+	}
+	// Tail keeps score order.
+	if out[2].Reviewer.Name != "A2" || out[3].Reviewer.Name != "A3" {
+		t.Fatalf("tail = %s,%s", out[2].Reviewer.Name, out[3].Reviewer.Name)
+	}
+}
+
+func TestDiversifyEmptyAndSingle(t *testing.T) {
+	if got := Diversify(nil, DiversifyOptions{Lambda: 0.5}); len(got) != 0 {
+		t.Fatal("nil input")
+	}
+	one := []Ranked{mkRanked("A", "U", "X", nil, 0.5)}
+	if got := Diversify(one, DiversifyOptions{Lambda: 0.5}); len(got) != 1 {
+		t.Fatal("single input")
+	}
+}

@@ -1,0 +1,327 @@
+package ranking
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"minaret/internal/ontology"
+	"minaret/internal/profile"
+	"minaret/internal/sources"
+)
+
+func ranker(cfg Config) *Ranker {
+	cfg.HorizonYear = 2018
+	return New(cfg, ontology.Default())
+}
+
+// TestPaperCoverageExample encodes the Section 2.3 worked example:
+// keywords {"semantic web","big data"}; reviewer B covering both topics
+// must outrank reviewer A covering only "semantic web" (plus unrelated
+// extras), under the topic-coverage component.
+func TestPaperCoverageExample(t *testing.T) {
+	r := ranker(Config{})
+	a := &profile.Profile{Name: "A", Interests: []string{"semantic web", "ontologies", "rdf"}}
+	b := &profile.Profile{Name: "B", Interests: []string{"semantic web", "big data"}}
+	kw := []string{"semantic web", "big data"}
+	ca, cb := r.TopicCoverage(a, kw), r.TopicCoverage(b, kw)
+	if cb <= ca {
+		t.Fatalf("coverage(B)=%v must exceed coverage(A)=%v", cb, ca)
+	}
+	if cb != 1.0 {
+		t.Fatalf("full coverage = %v, want 1.0", cb)
+	}
+}
+
+func TestTopicCoverageSemanticCredit(t *testing.T) {
+	r := ranker(Config{})
+	// Reviewer registers "sparql", related to keyword "rdf": partial credit.
+	p := &profile.Profile{Interests: []string{"sparql"}}
+	c := r.TopicCoverage(p, []string{"rdf"})
+	if c <= 0 || c >= 1 {
+		t.Fatalf("semantic credit = %v, want in (0,1)", c)
+	}
+	// No ontology: exact-only matching.
+	rNoOnt := New(Config{HorizonYear: 2018}, nil)
+	if got := rNoOnt.TopicCoverage(p, []string{"rdf"}); got != 0 {
+		t.Fatalf("exact-only coverage = %v", got)
+	}
+	if got := rNoOnt.TopicCoverage(p, []string{"SPARQL"}); got != 1 {
+		t.Fatalf("exact-only self coverage = %v", got)
+	}
+}
+
+func TestTopicCoverageEmpty(t *testing.T) {
+	r := ranker(Config{})
+	if r.TopicCoverage(&profile.Profile{}, nil) != 0 {
+		t.Fatal("empty keywords should score 0")
+	}
+	if r.TopicCoverage(&profile.Profile{}, []string{"rdf"}) != 0 {
+		t.Fatal("no interests should score 0")
+	}
+}
+
+func TestImpactScoreMonotonic(t *testing.T) {
+	r := ranker(Config{})
+	prev := -1.0
+	for _, c := range []int{0, 1, 10, 100, 1000, 10000, 100000} {
+		s := r.ImpactScore(&profile.Profile{Citations: c})
+		if s < prev {
+			t.Fatalf("impact not monotonic at %d: %v < %v", c, s, prev)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("impact out of range at %d: %v", c, s)
+		}
+		prev = s
+	}
+}
+
+func TestImpactMetricSelection(t *testing.T) {
+	p := &profile.Profile{Citations: 0, HIndex: 30}
+	rc := ranker(Config{Impact: ImpactCitations})
+	rh := ranker(Config{Impact: ImpactHIndex})
+	if rc.ImpactScore(p) != 0 {
+		t.Fatal("citations metric should ignore h-index")
+	}
+	if rh.ImpactScore(p) <= 0 {
+		t.Fatal("h-index metric should score the h-index")
+	}
+}
+
+func TestRecencyDecay(t *testing.T) {
+	r := ranker(Config{RecencyHalfLifeYears: 3})
+	mk := func(year int) *profile.Profile {
+		return &profile.Profile{Publications: []profile.Publication{
+			{Title: "work on rdf stores", Year: year},
+		}}
+	}
+	s2018 := r.RecencyScore(mk(2018), []string{"rdf"})
+	s2015 := r.RecencyScore(mk(2015), []string{"rdf"})
+	s2009 := r.RecencyScore(mk(2009), []string{"rdf"})
+	if s2018 != 1.0 {
+		t.Fatalf("current-year recency = %v", s2018)
+	}
+	if math.Abs(s2015-0.5) > 1e-9 {
+		t.Fatalf("half-life recency = %v, want 0.5", s2015)
+	}
+	if !(s2009 < s2015 && s2015 < s2018) {
+		t.Fatal("recency not decaying")
+	}
+	// Never on topic: zero.
+	if got := r.RecencyScore(mk(2018), []string{"swarm robotics"}); got != 0 {
+		t.Fatalf("off-topic recency = %v", got)
+	}
+}
+
+func TestRecencyInterestFallback(t *testing.T) {
+	r := ranker(Config{})
+	// Titles never mention the keyword, but interests cover it: the last
+	// publication year stands in.
+	p := &profile.Profile{
+		Interests:    []string{"rdf"},
+		Publications: []profile.Publication{{Title: "Untitled Work", Year: 2016}},
+	}
+	if got := r.RecencyScore(p, []string{"rdf"}); got <= 0 {
+		t.Fatalf("fallback recency = %v", got)
+	}
+}
+
+func TestReviewExperienceScore(t *testing.T) {
+	r := ranker(Config{})
+	if r.ReviewExperienceScore(&profile.Profile{ReviewCount: 0}) != 0 {
+		t.Fatal("zero reviews should score 0")
+	}
+	lo := r.ReviewExperienceScore(&profile.Profile{ReviewCount: 5})
+	hi := r.ReviewExperienceScore(&profile.Profile{ReviewCount: 100})
+	max := r.ReviewExperienceScore(&profile.Profile{ReviewCount: 100000})
+	if !(lo < hi && hi <= 1 && max == 1) {
+		t.Fatalf("experience scores: lo=%v hi=%v max=%v", lo, hi, max)
+	}
+}
+
+func TestOutletFamiliarity(t *testing.T) {
+	r := ranker(Config{TargetVenue: "TODS"})
+	none := &profile.Profile{}
+	both := &profile.Profile{
+		Reviews: []sources.ReviewRecord{
+			{Venue: "TODS", Year: 2017}, {Venue: "TODS", Year: 2016}, {Venue: "Other", Year: 2015},
+		},
+		Publications: []profile.Publication{{Title: "X", Year: 2016, Venue: "TODS"}},
+	}
+	onlyReviews := &profile.Profile{
+		Reviews: []sources.ReviewRecord{{Venue: "tods", Year: 2017}},
+	}
+	if r.OutletFamiliarityScore(none) != 0 {
+		t.Fatal("no history should score 0")
+	}
+	sb, sr := r.OutletFamiliarityScore(both), r.OutletFamiliarityScore(onlyReviews)
+	if !(sb > sr && sr > 0) {
+		t.Fatalf("familiarity: both=%v reviews-only=%v", sb, sr)
+	}
+	// No target venue configured: component is 0.
+	r2 := ranker(Config{})
+	if r2.OutletFamiliarityScore(both) != 0 {
+		t.Fatal("no target venue should score 0")
+	}
+}
+
+func TestResponsivenessScore(t *testing.T) {
+	r := ranker(Config{})
+	fast := &profile.Profile{Reviews: []sources.ReviewRecord{{Days: 10}}}
+	slow := &profile.Profile{Reviews: []sources.ReviewRecord{{Days: 120}}}
+	unknown := &profile.Profile{}
+	sf, ss, su := r.ResponsivenessScore(fast), r.ResponsivenessScore(slow), r.ResponsivenessScore(unknown)
+	if !(sf > su && su > ss) {
+		t.Fatalf("responsiveness fast=%v unknown=%v slow=%v", sf, su, ss)
+	}
+}
+
+func TestReviewQualityScore(t *testing.T) {
+	r := ranker(Config{})
+	good := &profile.Profile{Reviews: []sources.ReviewRecord{
+		{Quality: 0.9}, {Quality: 0.7},
+	}}
+	bad := &profile.Profile{Reviews: []sources.ReviewRecord{{Quality: 0.2}}}
+	unknown := &profile.Profile{}
+	ungraded := &profile.Profile{Reviews: []sources.ReviewRecord{{Days: 20}}}
+	if got := r.ReviewQualityScore(good); math.Abs(got-0.8) > 1e-9 {
+		t.Fatalf("good quality = %v, want 0.8", got)
+	}
+	if got := r.ReviewQualityScore(bad); got != 0.2 {
+		t.Fatalf("bad quality = %v", got)
+	}
+	if r.ReviewQualityScore(unknown) != 0.5 || r.ReviewQualityScore(ungraded) != 0.5 {
+		t.Fatal("missing grades should be neutral 0.5")
+	}
+	// Component participates in fusion when weighted.
+	rq := ranker(Config{Weights: Weights{ReviewQuality: 1}})
+	b := rq.Score(good, []string{"rdf"})
+	if math.Abs(b.Total-0.8) > 1e-9 {
+		t.Fatalf("quality-only fusion = %v", b.Total)
+	}
+	if _, ok := b.Components[CompReviewQuality]; !ok {
+		t.Fatal("component missing from breakdown")
+	}
+}
+
+func TestScoreWeightedFusion(t *testing.T) {
+	p := &profile.Profile{
+		Interests:    []string{"rdf"},
+		Citations:    1000,
+		ReviewCount:  50,
+		Publications: []profile.Publication{{Title: "rdf engines", Year: 2018, Venue: "TODS"}},
+		Reviews:      []sources.ReviewRecord{{Venue: "TODS", Year: 2017, Days: 20}},
+	}
+	kw := []string{"rdf"}
+	// Only topic coverage weighted: total equals coverage.
+	r1 := ranker(Config{Weights: Weights{TopicCoverage: 1}})
+	b := r1.Score(p, kw)
+	if math.Abs(b.Total-b.Components[CompTopicCoverage]) > 1e-9 {
+		t.Fatalf("single-component fusion: %v", b)
+	}
+	if _, ok := b.Components[CompImpact]; ok {
+		t.Fatal("zero-weight component computed")
+	}
+	// All weights: total in [0,1] and equals manual fusion.
+	r2 := ranker(Config{
+		Weights:     Weights{TopicCoverage: 0.3, Impact: 0.2, Recency: 0.2, ReviewExperience: 0.15, OutletFamiliarity: 0.15},
+		TargetVenue: "TODS",
+	})
+	b2 := r2.Score(p, kw)
+	if b2.Total <= 0 || b2.Total > 1 {
+		t.Fatalf("total = %v", b2.Total)
+	}
+	manual := (0.3*b2.Components[CompTopicCoverage] + 0.2*b2.Components[CompImpact] +
+		0.2*b2.Components[CompRecency] + 0.15*b2.Components[CompReviewExperience] +
+		0.15*b2.Components[CompOutletFamiliarity]) / 1.0
+	if math.Abs(manual-b2.Total) > 1e-9 {
+		t.Fatalf("fusion mismatch: %v vs %v", manual, b2.Total)
+	}
+}
+
+func TestWeightsNeedNotSumToOne(t *testing.T) {
+	p := &profile.Profile{Interests: []string{"rdf"}, Citations: 100}
+	a := ranker(Config{Weights: Weights{TopicCoverage: 1, Impact: 1}})
+	b := ranker(Config{Weights: Weights{TopicCoverage: 10, Impact: 10}})
+	sa, sb := a.Score(p, []string{"rdf"}), b.Score(p, []string{"rdf"})
+	if math.Abs(sa.Total-sb.Total) > 1e-9 {
+		t.Fatalf("scaled weights changed total: %v vs %v", sa.Total, sb.Total)
+	}
+}
+
+func TestRankOrderingAndDeterminism(t *testing.T) {
+	r := ranker(Config{Weights: Weights{TopicCoverage: 1}})
+	cands := []*profile.Profile{
+		{Name: "Low", Interests: []string{"databases"}},
+		{Name: "High", Interests: []string{"rdf", "semantic web"}},
+		{Name: "Mid", Interests: []string{"sparql"}},
+	}
+	kw := []string{"rdf", "semantic web"}
+	ranked := r.Rank(cands, kw)
+	if ranked[0].Reviewer.Name != "High" {
+		t.Fatalf("top = %q", ranked[0].Reviewer.Name)
+	}
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i-1].Breakdown.Total < ranked[i].Breakdown.Total {
+			t.Fatal("not sorted")
+		}
+	}
+	// Determinism across runs.
+	again := r.Rank(cands, kw)
+	for i := range ranked {
+		if ranked[i].Reviewer.Name != again[i].Reviewer.Name {
+			t.Fatal("nondeterministic ranking")
+		}
+	}
+}
+
+func TestDefaultConfigApplied(t *testing.T) {
+	r := New(Config{HorizonYear: 2018}, nil)
+	cfg := r.Config()
+	if cfg.Impact != ImpactCitations || cfg.RecencyHalfLifeYears != 3 ||
+		cfg.Weights.total() == 0 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+// Property: every component and the total stay in [0,1] for arbitrary
+// profiles.
+func TestScoreBounds(t *testing.T) {
+	r := ranker(Config{TargetVenue: "V", Weights: Weights{
+		TopicCoverage: 1, Impact: 1, Recency: 1, ReviewExperience: 1,
+		OutletFamiliarity: 1, Responsiveness: 1,
+	}})
+	f := func(cit, h, reviews uint16, year uint8, days uint8) bool {
+		p := &profile.Profile{
+			Interests:   []string{"rdf"},
+			Citations:   int(cit),
+			HIndex:      int(h),
+			ReviewCount: int(reviews),
+			Publications: []profile.Publication{
+				{Title: "rdf work", Year: 1990 + int(year)%29, Venue: "V"},
+			},
+			Reviews: []sources.ReviewRecord{{Venue: "V", Days: int(days)}},
+		}
+		b := r.Score(p, []string{"rdf", "big data"})
+		if b.Total < 0 || b.Total > 1 {
+			return false
+		}
+		for _, v := range b.Components {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Components: map[string]float64{CompImpact: 0.5}, Total: 0.25}
+	s := b.String()
+	if s == "" || s[:5] != "total" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,447 @@
+package scholarly
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"minaret/internal/ontology"
+)
+
+func testConfig(seed int64) GeneratorConfig {
+	o := ontology.Default()
+	return GeneratorConfig{
+		Seed:        seed,
+		NumScholars: 400,
+		Topics:      o.Topics(),
+		Related:     o.RelatedMap(),
+		StartYear:   1995,
+		HorizonYear: 2018,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(testConfig(7))
+	b := MustGenerate(testConfig(7))
+	if len(a.Scholars) != len(b.Scholars) || len(a.Publications) != len(b.Publications) {
+		t.Fatalf("sizes differ: %d/%d vs %d/%d", len(a.Scholars), len(a.Publications), len(b.Scholars), len(b.Publications))
+	}
+	for i := range a.Scholars {
+		sa, sb := a.Scholars[i], b.Scholars[i]
+		if sa.Name != sb.Name || sa.CareerStart != sb.CareerStart ||
+			!reflect.DeepEqual(sa.Interests, sb.Interests) ||
+			!reflect.DeepEqual(sa.Publications, sb.Publications) {
+			t.Fatalf("scholar %d differs between identical seeds", i)
+		}
+	}
+	for i := range a.Publications {
+		if !reflect.DeepEqual(a.Publications[i], b.Publications[i]) {
+			t.Fatalf("publication %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := MustGenerate(testConfig(1))
+	b := MustGenerate(testConfig(2))
+	same := 0
+	n := len(a.Scholars)
+	if len(b.Scholars) < n {
+		n = len(b.Scholars)
+	}
+	for i := 0; i < n; i++ {
+		if a.Scholars[i].Name == b.Scholars[i].Name {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical scholar names")
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(GeneratorConfig{Seed: 1}); err == nil {
+		t.Error("empty Topics accepted")
+	}
+	cfg := testConfig(1)
+	cfg.StartYear = 2020
+	cfg.HorizonYear = 2010
+	if _, err := Generate(cfg); err == nil {
+		t.Error("inverted year range accepted")
+	}
+}
+
+func TestScholarInvariants(t *testing.T) {
+	c := MustGenerate(testConfig(3))
+	for i := range c.Scholars {
+		s := &c.Scholars[i]
+		if ScholarID(i) != s.ID {
+			t.Fatalf("scholar %d has ID %d", i, s.ID)
+		}
+		if len(s.Affiliations) == 0 {
+			t.Fatalf("scholar %d has no affiliations", i)
+		}
+		last := s.Affiliations[len(s.Affiliations)-1]
+		if !last.Current() {
+			t.Errorf("scholar %d last affiliation ended in %d", i, last.EndYear)
+		}
+		for j := 1; j < len(s.Affiliations); j++ {
+			prev, cur := s.Affiliations[j-1], s.Affiliations[j]
+			if prev.EndYear == 0 {
+				t.Errorf("scholar %d: non-final affiliation %d is open-ended", i, j-1)
+			}
+			if cur.StartYear < prev.EndYear {
+				t.Errorf("scholar %d: affiliations overlap (%d < %d)", i, cur.StartYear, prev.EndYear)
+			}
+		}
+		if s.Responsiveness < 0 || s.Responsiveness > 1 {
+			t.Errorf("scholar %d responsiveness %v out of range", i, s.Responsiveness)
+		}
+		total := 0.0
+		for _, w := range s.TrueTopics {
+			if w <= 0 {
+				t.Errorf("scholar %d has non-positive topic weight", i)
+			}
+			total += w
+		}
+		if len(s.TrueTopics) > 0 && (total < 0.999 || total > 1.001) {
+			t.Errorf("scholar %d topic weights sum to %v", i, total)
+		}
+		// Publications sorted most recent first.
+		for j := 1; j < len(s.Publications); j++ {
+			if c.Publication(s.Publications[j-1]).Year < c.Publication(s.Publications[j]).Year {
+				t.Errorf("scholar %d publications not sorted desc by year", i)
+				break
+			}
+		}
+		for _, pid := range s.Publications {
+			if !c.Publication(pid).HasAuthor(s.ID) {
+				t.Errorf("scholar %d lists publication %d not authored by them", i, pid)
+			}
+		}
+	}
+}
+
+func TestPublicationInvariants(t *testing.T) {
+	c := MustGenerate(testConfig(4))
+	if len(c.Publications) == 0 {
+		t.Fatal("no publications generated")
+	}
+	for i := range c.Publications {
+		p := &c.Publications[i]
+		if p.ID != PubID(i) {
+			t.Fatalf("publication %d has ID %d", i, p.ID)
+		}
+		if len(p.Authors) == 0 {
+			t.Errorf("publication %d has no authors", i)
+		}
+		seen := map[ScholarID]bool{}
+		for _, a := range p.Authors {
+			if seen[a] {
+				t.Errorf("publication %d repeats author %d", i, a)
+			}
+			seen[a] = true
+			if c.Scholar(a).CareerStart > p.Year {
+				t.Errorf("publication %d (year %d) authored by scholar %d before career start %d",
+					i, p.Year, a, c.Scholar(a).CareerStart)
+			}
+		}
+		if len(p.Keywords) < 3 || len(p.Keywords) > 5 {
+			t.Errorf("publication %d has %d keywords, want 3-5", i, len(p.Keywords))
+		}
+		if p.Citations < 0 {
+			t.Errorf("publication %d has negative citations", i)
+		}
+		if p.Title == "" {
+			t.Errorf("publication %d has empty title", i)
+		}
+	}
+}
+
+func TestNameCollisionsExist(t *testing.T) {
+	c := MustGenerate(testConfig(5))
+	collisions := 0
+	for _, ids := range c.byName {
+		if len(ids) > 1 {
+			collisions++
+		}
+	}
+	if collisions == 0 {
+		t.Fatal("no shared full names; disambiguation experiments need collisions")
+	}
+	// The paper's canonical example name should be ambiguous at this size.
+	if ids := c.ScholarsByName("Lei Zhou"); len(ids) < 2 {
+		t.Logf("Lei Zhou has %d scholars at this corpus size (collision pool hit)", len(ids))
+	}
+}
+
+func TestHIndexAgainstManualComputation(t *testing.T) {
+	// Craft a tiny corpus by hand: one scholar with citation profile
+	// [10, 8, 5, 4, 3, 0] has h-index 4.
+	c := &Corpus{
+		Scholars: []Scholar{{ID: 0}},
+		Venues:   []Venue{{ID: 0, Type: Journal}},
+	}
+	for i, cites := range []int{10, 8, 5, 4, 3, 0} {
+		c.Publications = append(c.Publications, Publication{
+			ID: PubID(i), Venue: 0, Authors: []ScholarID{0}, Citations: cites,
+		})
+		c.Scholars[0].Publications = append(c.Scholars[0].Publications, PubID(i))
+	}
+	if h := c.HIndex(0); h != 4 {
+		t.Fatalf("HIndex = %d, want 4", h)
+	}
+	if i10 := c.I10Index(0); i10 != 1 {
+		t.Fatalf("I10Index = %d, want 1", i10)
+	}
+	if cc := c.CitationCount(0); cc != 30 {
+		t.Fatalf("CitationCount = %d, want 30", cc)
+	}
+}
+
+func TestHIndexProperties(t *testing.T) {
+	c := MustGenerate(testConfig(6))
+	f := func(raw uint) bool {
+		id := ScholarID(raw % uint(len(c.Scholars)))
+		h := c.HIndex(id)
+		n := len(c.Scholar(id).Publications)
+		if h < 0 || h > n {
+			return false
+		}
+		// h <= total citations (each of h papers has >= h >= 1 citations
+		// when h >= 1).
+		if h > 0 && c.CitationCount(id) < h*h {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoAuthors(t *testing.T) {
+	c := MustGenerate(testConfig(8))
+	// Pick a scholar with publications and verify co-author map matches a
+	// manual scan.
+	for i := range c.Scholars {
+		s := &c.Scholars[i]
+		if len(s.Publications) == 0 {
+			continue
+		}
+		co := c.CoAuthors(s.ID)
+		if _, self := co[s.ID]; self {
+			t.Fatalf("scholar %d listed as own co-author", i)
+		}
+		for other, year := range co {
+			found := false
+			for _, pid := range s.Publications {
+				p := c.Publication(pid)
+				if p.Year == year && p.HasAuthor(other) && p.HasAuthor(s.ID) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("co-author map for %d claims %d in %d but no such paper", s.ID, other, year)
+			}
+		}
+		return // one detailed check is enough
+	}
+}
+
+func TestInterestIndex(t *testing.T) {
+	c := MustGenerate(testConfig(9))
+	checked := 0
+	for i := range c.Scholars {
+		s := &c.Scholars[i]
+		for _, in := range s.Interests {
+			ids := c.ScholarsByInterest(in)
+			found := false
+			for _, id := range ids {
+				if id == s.ID {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("scholar %d missing from interest index %q", i, in)
+			}
+			checked++
+		}
+		if checked > 200 {
+			break
+		}
+	}
+	if c.ScholarsByInterest("no such topic at all") != nil {
+		t.Error("unknown interest returned scholars")
+	}
+}
+
+func TestVenuesAndPCs(t *testing.T) {
+	c := MustGenerate(testConfig(10))
+	journals, confs := 0, 0
+	for i := range c.Venues {
+		v := &c.Venues[i]
+		switch v.Type {
+		case Journal:
+			journals++
+			if len(v.PC) != 0 {
+				t.Errorf("journal %q has a PC", v.Name)
+			}
+		case Conference:
+			confs++
+			if len(v.PC) == 0 {
+				t.Errorf("conference %q has empty PC", v.Name)
+			}
+			seen := map[ScholarID]bool{}
+			for _, m := range v.PC {
+				if seen[m] {
+					t.Errorf("conference %q PC repeats member %d", v.Name, m)
+				}
+				seen[m] = true
+			}
+		}
+		if v.Prestige <= 0 || v.Prestige > 1 {
+			t.Errorf("venue %q prestige %v out of range", v.Name, v.Prestige)
+		}
+		if len(v.Topics) == 0 {
+			t.Errorf("venue %q has no topics", v.Name)
+		}
+	}
+	if journals == 0 || confs == 0 {
+		t.Fatalf("venue mix journals=%d confs=%d", journals, confs)
+	}
+}
+
+func TestVenueByName(t *testing.T) {
+	c := MustGenerate(testConfig(11))
+	v := &c.Venues[0]
+	got, ok := c.VenueByName(v.Name)
+	if !ok || got.ID != v.ID {
+		t.Fatalf("VenueByName(%q) = %v, %v", v.Name, got, ok)
+	}
+	if _, ok := c.VenueByName("Journal of Nonexistence"); ok {
+		t.Error("VenueByName matched a nonexistent outlet")
+	}
+}
+
+func TestReviewsInvariants(t *testing.T) {
+	c := MustGenerate(testConfig(12))
+	total := 0
+	for i := range c.Scholars {
+		s := &c.Scholars[i]
+		for j, r := range s.Reviews {
+			total++
+			if r.Reviewer != s.ID {
+				t.Fatalf("scholar %d review %d has reviewer %d", i, j, r.Reviewer)
+			}
+			if r.Year < s.CareerStart+3 || r.Year > c.HorizonYear {
+				t.Errorf("scholar %d review year %d outside eligibility", i, r.Year)
+			}
+			if r.DaysToComplete < 3 {
+				t.Errorf("scholar %d review turnaround %d days", i, r.DaysToComplete)
+			}
+			if r.Quality < 0 || r.Quality > 1 {
+				t.Errorf("scholar %d review quality %v", i, r.Quality)
+			}
+			if j > 0 && s.Reviews[j-1].Year < r.Year {
+				t.Errorf("scholar %d reviews not sorted desc", i)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no reviews generated")
+	}
+}
+
+func TestStatsGrowthShape(t *testing.T) {
+	c := MustGenerate(testConfig(13))
+	st := c.ComputeStats()
+	if st.Publications != len(c.Publications) {
+		t.Fatalf("stats pubs %d != %d", st.Publications, len(c.Publications))
+	}
+	if st.JournalPapers+st.ConfPapers != st.Publications {
+		t.Fatal("journal+conference papers != total")
+	}
+	// Figure 1 shape: output in the last year must well exceed the first
+	// full decade's average (super-linear growth).
+	early, late := 0, st.ByYear[c.HorizonYear]+st.ByYear[c.HorizonYear-1]
+	for y := 1995; y < 2005; y++ {
+		early += st.ByYear[y]
+	}
+	if late*5 < early {
+		t.Errorf("no growth: early decade %d vs last two years %d", early, late)
+	}
+}
+
+func TestLastYearOnTopic(t *testing.T) {
+	c := MustGenerate(testConfig(14))
+	for i := range c.Scholars {
+		s := &c.Scholars[i]
+		if len(s.Publications) == 0 {
+			continue
+		}
+		p := c.Publication(s.Publications[0])
+		kw := p.Keywords[0]
+		got := c.LastYearOnTopic(s.ID, kw)
+		if got < p.Year {
+			// The most recent paper carries kw, so the last year on kw is
+			// at least that paper's year.
+			t.Fatalf("LastYearOnTopic(%d, %q) = %d, want >= %d", s.ID, kw, got, p.Year)
+		}
+		if c.LastYearOnTopic(s.ID, "definitely-not-a-topic") != 0 {
+			t.Fatal("unknown topic should yield 0")
+		}
+		return
+	}
+}
+
+func TestAffiliationOverlapsHelper(t *testing.T) {
+	a := Affiliation{Institution: "X", StartYear: 2000, EndYear: 2005}
+	if !a.Overlaps(2003, 2010, 2018) {
+		t.Error("overlap missed")
+	}
+	if a.Overlaps(2006, 2010, 2018) {
+		t.Error("false overlap")
+	}
+	open := Affiliation{Institution: "Y", StartYear: 2010}
+	if !open.Overlaps(2015, 2016, 2018) {
+		t.Error("open-ended affiliation should overlap within horizon")
+	}
+	if open.Overlaps(2005, 2009, 2018) {
+		t.Error("open-ended affiliation overlapped before start")
+	}
+}
+
+func TestSourcePresenceCount(t *testing.T) {
+	all := SourcePresence{DBLP: true, GoogleScholar: true, Publons: true, ACMDL: true, ORCID: true, ResearcherID: true}
+	if all.Count() != 6 {
+		t.Fatalf("Count = %d, want 6", all.Count())
+	}
+	if (SourcePresence{}).Count() != 0 {
+		t.Fatal("empty presence count != 0")
+	}
+}
+
+func TestNameForms(t *testing.T) {
+	n := Name{Given: "Lei", Family: "Zhou"}
+	if n.Full() != "Lei Zhou" {
+		t.Errorf("Full = %q", n.Full())
+	}
+	if n.Initialed() != "L. Zhou" {
+		t.Errorf("Initialed = %q", n.Initialed())
+	}
+	if n.Reversed() != "Zhou, Lei" {
+		t.Errorf("Reversed = %q", n.Reversed())
+	}
+}
+
+func TestVenueTypeString(t *testing.T) {
+	if Journal.String() != "journal" || Conference.String() != "conference" {
+		t.Fatal("VenueType strings wrong")
+	}
+	if VenueType(9).String() == "" {
+		t.Fatal("unknown VenueType should still stringify")
+	}
+}

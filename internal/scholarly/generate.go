@@ -1,0 +1,651 @@
+package scholarly
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// GeneratorConfig controls the synthetic corpus. Every field has a sane
+// default applied by (*GeneratorConfig).withDefaults, so the zero value
+// plus a seed produces a usable mid-size corpus.
+type GeneratorConfig struct {
+	Seed int64
+
+	NumScholars     int // default 2000
+	NumInstitutions int // default 80 (capped at the name pool)
+	NumJournals     int // default 24
+	NumConferences  int // default 24
+
+	StartYear   int // default 1990
+	HorizonYear int // default 2018 (the paper's "now")
+
+	// Topics is the vocabulary of research topics. Scholars draw their
+	// true topics from it, publications draw keywords from it, and
+	// interests registered on profile sites come from it. Required; the
+	// ontology package supplies the canonical list.
+	Topics []string
+
+	// Related maps a topic to semantically adjacent topics. Used to smear
+	// publication keywords and registered interests so that exact keyword
+	// match under-retrieves (motivating the paper's semantic expansion).
+	// Optional.
+	Related map[string][]string
+
+	// AmbiguousFraction of scholars draw their name from the small
+	// popular-name pool, producing full-name collisions. Default 0.06.
+	AmbiguousFraction float64
+
+	// PapersPerScholarYear is the expected papers led per active scholar
+	// per year. Default 0.55 (papers also accrue via co-authorship).
+	PapersPerScholarYear float64
+
+	// ReviewsPerScholarYear is the expected reviews per eligible scholar
+	// per year. Default 2.0.
+	ReviewsPerScholarYear float64
+}
+
+func (cfg GeneratorConfig) withDefaults() GeneratorConfig {
+	if cfg.NumScholars == 0 {
+		cfg.NumScholars = 2000
+	}
+	if cfg.NumInstitutions == 0 {
+		cfg.NumInstitutions = 80
+	}
+	if cfg.NumInstitutions > len(institutionStems) {
+		cfg.NumInstitutions = len(institutionStems)
+	}
+	if cfg.NumJournals == 0 {
+		cfg.NumJournals = 24
+	}
+	if cfg.NumConferences == 0 {
+		cfg.NumConferences = 24
+	}
+	if cfg.StartYear == 0 {
+		cfg.StartYear = 1990
+	}
+	if cfg.HorizonYear == 0 {
+		cfg.HorizonYear = 2018
+	}
+	if cfg.AmbiguousFraction == 0 {
+		cfg.AmbiguousFraction = 0.06
+	}
+	if cfg.PapersPerScholarYear == 0 {
+		cfg.PapersPerScholarYear = 0.55
+	}
+	if cfg.ReviewsPerScholarYear == 0 {
+		cfg.ReviewsPerScholarYear = 2.0
+	}
+	return cfg
+}
+
+// Generate builds a deterministic corpus from the configuration. It
+// returns an error only for invalid configurations (no topics, inverted
+// year range); generation itself cannot fail.
+func Generate(cfg GeneratorConfig) (*Corpus, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Topics) == 0 {
+		return nil, fmt.Errorf("scholarly: GeneratorConfig.Topics must not be empty")
+	}
+	if cfg.HorizonYear <= cfg.StartYear {
+		return nil, fmt.Errorf("scholarly: HorizonYear %d must exceed StartYear %d", cfg.HorizonYear, cfg.StartYear)
+	}
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		c: &Corpus{
+			HorizonYear: cfg.HorizonYear,
+			Seed:        cfg.Seed,
+		},
+	}
+	g.makeInstitutions()
+	g.makeVenues()
+	g.makeScholars()
+	g.makePublications()
+	g.assignCitations()
+	g.makeReviews()
+	g.appointProgramCommittees()
+	g.c.buildIndexes()
+	return g.c, nil
+}
+
+// MustGenerate is Generate for tests and examples with known-good configs.
+func MustGenerate(cfg GeneratorConfig) *Corpus {
+	c, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type institution struct {
+	name    string
+	country string
+}
+
+type generator struct {
+	cfg GeneratorConfig
+	rng *rand.Rand
+	c   *Corpus
+
+	institutions []institution
+	// topicScholars maps topic -> scholars whose true topics include it,
+	// in decreasing affinity order. Used for co-author and PC selection.
+	topicScholars map[string][]ScholarID
+}
+
+func (g *generator) makeInstitutions() {
+	stems := append([]string(nil), institutionStems...)
+	g.rng.Shuffle(len(stems), func(i, j int) { stems[i], stems[j] = stems[j], stems[i] })
+	for i := 0; i < g.cfg.NumInstitutions; i++ {
+		stem := stems[i]
+		kind := institutionKinds[g.rng.Intn(len(institutionKinds))]
+		g.institutions = append(g.institutions, institution{
+			name:    fmt.Sprintf(kind, stem),
+			country: institutionCountry[stem],
+		})
+	}
+}
+
+func (g *generator) makeVenues() {
+	topics := g.cfg.Topics
+	for i := 0; i < g.cfg.NumJournals; i++ {
+		scope := g.pickTopics(topics, 2+g.rng.Intn(3))
+		main := scope[0]
+		word := venueWords[g.rng.Intn(len(venueWords))]
+		name := fmt.Sprintf("%s on %s", word, titleCase(main))
+		g.c.Venues = append(g.c.Venues, Venue{
+			ID:       VenueID(len(g.c.Venues)),
+			Name:     name,
+			Abbrev:   abbrev(name),
+			Type:     Journal,
+			Topics:   scope,
+			Prestige: 0.2 + 0.8*g.rng.Float64(),
+		})
+	}
+	for i := 0; i < g.cfg.NumConferences; i++ {
+		scope := g.pickTopics(topics, 2+g.rng.Intn(3))
+		main := scope[0]
+		name := fmt.Sprintf("International Conference on %s", titleCase(main))
+		g.c.Venues = append(g.c.Venues, Venue{
+			ID:       VenueID(len(g.c.Venues)),
+			Name:     name,
+			Abbrev:   abbrev(name),
+			Type:     Conference,
+			Topics:   scope,
+			Prestige: 0.2 + 0.8*g.rng.Float64(),
+		})
+	}
+}
+
+// pickTopics samples n distinct topics, preferring a contiguous semantic
+// neighbourhood when Related edges exist.
+func (g *generator) pickTopics(topics []string, n int) []string {
+	first := topics[g.rng.Intn(len(topics))]
+	out := []string{first}
+	seen := map[string]bool{first: true}
+	frontier := append([]string(nil), g.cfg.Related[first]...)
+	for len(out) < n {
+		var next string
+		if len(frontier) > 0 && g.rng.Float64() < 0.7 {
+			next = frontier[g.rng.Intn(len(frontier))]
+		} else {
+			next = topics[g.rng.Intn(len(topics))]
+		}
+		if seen[next] {
+			// Collision: fall back to a uniform draw to guarantee progress.
+			next = topics[g.rng.Intn(len(topics))]
+			if seen[next] {
+				continue
+			}
+		}
+		seen[next] = true
+		out = append(out, next)
+		frontier = append(frontier, g.cfg.Related[next]...)
+	}
+	return out
+}
+
+func (g *generator) makeScholars() {
+	for i := 0; i < g.cfg.NumScholars; i++ {
+		id := ScholarID(i)
+		var name Name
+		if g.rng.Float64() < g.cfg.AmbiguousFraction {
+			name = popularNames[g.rng.Intn(len(popularNames))]
+		} else {
+			name = Name{
+				Given:  givenNames[g.rng.Intn(len(givenNames))],
+				Family: familyNames[g.rng.Intn(len(familyNames))],
+			}
+		}
+
+		span := g.cfg.HorizonYear - g.cfg.StartYear
+		careerStart := g.cfg.StartYear + g.rng.Intn(span)
+
+		trueTopics := g.drawTopicAffinity()
+		interests := g.registeredInterests(trueTopics)
+
+		s := Scholar{
+			ID:               id,
+			Name:             name,
+			CareerStart:      careerStart,
+			Affiliations:     g.affiliationHistory(careerStart),
+			Interests:        interests,
+			TrueTopics:       trueTopics,
+			Responsiveness:   clamp01(g.rng.NormFloat64()*0.2 + 0.6),
+			MedianReviewDays: 10 + g.rng.Intn(80),
+			Presence:         g.drawPresence(),
+		}
+		g.c.Scholars = append(g.c.Scholars, s)
+	}
+
+	g.topicScholars = make(map[string][]ScholarID)
+	for i := range g.c.Scholars {
+		for t := range g.c.Scholars[i].TrueTopics {
+			g.topicScholars[t] = append(g.topicScholars[t], g.c.Scholars[i].ID)
+		}
+	}
+	// Deterministic order within each topic bucket.
+	for t := range g.topicScholars {
+		ids := g.topicScholars[t]
+		sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	}
+}
+
+// drawTopicAffinity picks 1-4 true topics with Dirichlet-ish weights.
+func (g *generator) drawTopicAffinity() map[string]float64 {
+	n := 1 + g.rng.Intn(4)
+	picked := g.pickTopics(g.cfg.Topics, n)
+	weights := make([]float64, n)
+	sum := 0.0
+	for i := range weights {
+		weights[i] = -math.Log(1 - g.rng.Float64())
+		sum += weights[i]
+	}
+	out := make(map[string]float64, n)
+	for i, t := range picked {
+		out[t] = weights[i] / sum
+	}
+	return out
+}
+
+// registeredInterests derives the public interest labels from true
+// topics: most true topics are registered, a related topic is sometimes
+// added, and occasionally a noise topic appears.
+func (g *generator) registeredInterests(trueTopics map[string]float64) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(t string) {
+		k := strings.ToLower(t)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	// Sorted key order: map iteration order would leak nondeterminism
+	// into the RNG stream.
+	keys := make([]string, 0, len(trueTopics))
+	for t := range trueTopics {
+		keys = append(keys, t)
+	}
+	sort.Strings(keys)
+	for _, t := range keys {
+		if g.rng.Float64() < 0.85 {
+			add(t)
+		}
+		if rel := g.cfg.Related[t]; len(rel) > 0 && g.rng.Float64() < 0.4 {
+			add(rel[g.rng.Intn(len(rel))])
+		}
+	}
+	if g.rng.Float64() < 0.15 {
+		add(g.cfg.Topics[g.rng.Intn(len(g.cfg.Topics))])
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (g *generator) affiliationHistory(careerStart int) []Affiliation {
+	var hist []Affiliation
+	year := careerStart
+	for {
+		inst := g.institutions[g.rng.Intn(len(g.institutions))]
+		stay := 3 + g.rng.Intn(12)
+		end := year + stay
+		if end >= g.cfg.HorizonYear || g.rng.Float64() < 0.55 {
+			hist = append(hist, Affiliation{Institution: inst.name, Country: inst.country, StartYear: year})
+			return hist
+		}
+		hist = append(hist, Affiliation{Institution: inst.name, Country: inst.country, StartYear: year, EndYear: end})
+		year = end
+	}
+}
+
+func (g *generator) drawPresence() SourcePresence {
+	return SourcePresence{
+		DBLP:          g.rng.Float64() < 0.97,
+		GoogleScholar: g.rng.Float64() < 0.85,
+		Publons:       g.rng.Float64() < 0.55,
+		ACMDL:         g.rng.Float64() < 0.75,
+		ORCID:         g.rng.Float64() < 0.70,
+		ResearcherID:  g.rng.Float64() < 0.40,
+	}
+}
+
+func (g *generator) makePublications() {
+	for year := g.cfg.StartYear; year <= g.cfg.HorizonYear; year++ {
+		// Community growth: later years see more active scholars and a
+		// higher per-scholar rate, approximating the super-linear DBLP
+		// growth in the paper's Figure 1.
+		progress := float64(year-g.cfg.StartYear) / float64(g.cfg.HorizonYear-g.cfg.StartYear)
+		rate := g.cfg.PapersPerScholarYear * (0.35 + 1.3*progress)
+		for i := range g.c.Scholars {
+			s := &g.c.Scholars[i]
+			if s.CareerStart > year {
+				continue
+			}
+			for n := g.poisson(rate); n > 0; n-- {
+				g.emitPublication(s.ID, year)
+			}
+		}
+	}
+	// Most-recent-first publication lists, matching profile-site display
+	// order, which the source renderers rely on.
+	for i := range g.c.Scholars {
+		pubs := g.c.Scholars[i].Publications
+		sort.Slice(pubs, func(a, b int) bool {
+			pa, pb := g.c.Publication(pubs[a]), g.c.Publication(pubs[b])
+			if pa.Year != pb.Year {
+				return pa.Year > pb.Year
+			}
+			return pa.ID < pb.ID
+		})
+	}
+}
+
+func (g *generator) emitPublication(lead ScholarID, year int) {
+	s := g.c.Scholar(lead)
+	topic := g.sampleTopic(s.TrueTopics)
+
+	authors := []ScholarID{lead}
+	seen := map[ScholarID]bool{lead: true}
+	nCo := g.poisson(1.8)
+	if nCo > 6 {
+		nCo = 6
+	}
+	for k := 0; k < nCo; k++ {
+		co, ok := g.pickCoAuthor(lead, topic, year, seen)
+		if !ok {
+			break
+		}
+		seen[co] = true
+		authors = append(authors, co)
+	}
+
+	keywords := g.paperKeywords(topic)
+	venue := g.pickVenue(topic)
+
+	id := PubID(len(g.c.Publications))
+	g.c.Publications = append(g.c.Publications, Publication{
+		ID:       id,
+		Title:    g.title(keywords),
+		Year:     year,
+		Venue:    venue,
+		Authors:  authors,
+		Keywords: keywords,
+	})
+	for _, a := range authors {
+		sa := g.c.Scholar(a)
+		sa.Publications = append(sa.Publications, id)
+	}
+}
+
+// pickCoAuthor prefers (in order tried) previous co-authors, same-topic
+// scholars, and finally anyone active, modelling collaboration locality.
+func (g *generator) pickCoAuthor(lead ScholarID, topic string, year int, seen map[ScholarID]bool) (ScholarID, bool) {
+	s := g.c.Scholar(lead)
+	// Previous co-authors: sample from the lead's existing papers.
+	if len(s.Publications) > 0 && g.rng.Float64() < 0.45 {
+		p := g.c.Publication(s.Publications[g.rng.Intn(len(s.Publications))])
+		if len(p.Authors) > 1 {
+			co := p.Authors[g.rng.Intn(len(p.Authors))]
+			if co != lead && !seen[co] && g.c.Scholar(co).CareerStart <= year {
+				return co, true
+			}
+		}
+	}
+	// Same-topic scholars.
+	if pool := g.topicScholars[topic]; len(pool) > 1 {
+		for tries := 0; tries < 8; tries++ {
+			co := pool[g.rng.Intn(len(pool))]
+			if co != lead && !seen[co] && g.c.Scholar(co).CareerStart <= year {
+				return co, true
+			}
+		}
+	}
+	// Uniform fallback.
+	for tries := 0; tries < 8; tries++ {
+		co := ScholarID(g.rng.Intn(len(g.c.Scholars)))
+		if co != lead && !seen[co] && g.c.Scholar(co).CareerStart <= year {
+			return co, true
+		}
+	}
+	return 0, false
+}
+
+func (g *generator) sampleTopic(aff map[string]float64) string {
+	r := g.rng.Float64()
+	acc := 0.0
+	var last string
+	// Map iteration order is random at runtime but we need determinism:
+	// iterate in sorted key order.
+	keys := make([]string, 0, len(aff))
+	for k := range aff {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		acc += aff[k]
+		last = k
+		if r < acc {
+			return k
+		}
+	}
+	return last
+}
+
+// paperKeywords returns 3-5 keywords: the main topic plus related and/or
+// random topics, mirroring the "three to five keywords defined by the
+// authors" the paper describes.
+func (g *generator) paperKeywords(topic string) []string {
+	out := []string{topic}
+	seen := map[string]bool{topic: true}
+	want := 3 + g.rng.Intn(3)
+	rel := g.cfg.Related[topic]
+	for len(out) < want {
+		var k string
+		if len(rel) > 0 && g.rng.Float64() < 0.65 {
+			k = rel[g.rng.Intn(len(rel))]
+		} else {
+			k = g.cfg.Topics[g.rng.Intn(len(g.cfg.Topics))]
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// pickVenue prefers venues whose scope covers the topic, weighted by
+// prestige.
+func (g *generator) pickVenue(topic string) VenueID {
+	var candidates []VenueID
+	for i := range g.c.Venues {
+		for _, t := range g.c.Venues[i].Topics {
+			if t == topic {
+				candidates = append(candidates, g.c.Venues[i].ID)
+				break
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		return VenueID(g.rng.Intn(len(g.c.Venues)))
+	}
+	// Prestige-weighted draw.
+	total := 0.0
+	for _, id := range candidates {
+		total += g.c.Venue(id).Prestige
+	}
+	r := g.rng.Float64() * total
+	for _, id := range candidates {
+		r -= g.c.Venue(id).Prestige
+		if r <= 0 {
+			return id
+		}
+	}
+	return candidates[len(candidates)-1]
+}
+
+func (g *generator) title(keywords []string) string {
+	pat := titlePatterns[g.rng.Intn(len(titlePatterns))]
+	a := titleCase(keywords[0])
+	b := "Data Systems"
+	if len(keywords) > 1 {
+		b = titleCase(keywords[1])
+	}
+	return fmt.Sprintf(pat, a, b)
+}
+
+// assignCitations gives each paper citations drawn from a heavy-tailed
+// distribution scaled by age and venue prestige.
+func (g *generator) assignCitations() {
+	for i := range g.c.Publications {
+		p := &g.c.Publications[i]
+		age := g.cfg.HorizonYear - p.Year + 1
+		prestige := g.c.Venue(p.Venue).Prestige
+		base := math.Exp(g.rng.NormFloat64()*1.1 + 0.6) // lognormal, median ~1.8
+		p.Citations = int(base * float64(age) * (0.4 + 1.6*prestige))
+	}
+}
+
+// makeReviews populates Publons-style review logs. Scholars become
+// eligible three years into their career; review volume grows with
+// seniority and responsiveness.
+func (g *generator) makeReviews() {
+	for i := range g.c.Scholars {
+		s := &g.c.Scholars[i]
+		for year := s.CareerStart + 3; year <= g.cfg.HorizonYear; year++ {
+			seniority := math.Min(float64(year-s.CareerStart)/15.0, 1.0)
+			rate := g.cfg.ReviewsPerScholarYear * (0.3 + 1.4*seniority) * s.Responsiveness
+			for n := g.poisson(rate); n > 0; n-- {
+				venue := g.pickVenue(g.sampleTopic(s.TrueTopics))
+				days := int(float64(s.MedianReviewDays) * math.Exp(g.rng.NormFloat64()*0.35))
+				if days < 3 {
+					days = 3
+				}
+				s.Reviews = append(s.Reviews, Review{
+					Reviewer:       s.ID,
+					Venue:          venue,
+					Year:           year,
+					DaysToComplete: days,
+					Quality:        clamp01(g.rng.NormFloat64()*0.15 + 0.55 + 0.3*seniority),
+				})
+			}
+		}
+		// Most recent first, matching profile display order.
+		sort.Slice(s.Reviews, func(a, b int) bool { return s.Reviews[a].Year > s.Reviews[b].Year })
+	}
+}
+
+// appointProgramCommittees staffs each conference with topic-matched,
+// senior scholars.
+func (g *generator) appointProgramCommittees() {
+	for i := range g.c.Venues {
+		v := &g.c.Venues[i]
+		if v.Type != Conference {
+			continue
+		}
+		want := 20 + g.rng.Intn(30)
+		seen := map[ScholarID]bool{}
+		for _, t := range v.Topics {
+			pool := g.topicScholars[t]
+			// Rank pool members by publication count (seniority proxy).
+			ranked := append([]ScholarID(nil), pool...)
+			sort.Slice(ranked, func(a, b int) bool {
+				na := len(g.c.Scholar(ranked[a]).Publications)
+				nb := len(g.c.Scholar(ranked[b]).Publications)
+				if na != nb {
+					return na > nb
+				}
+				return ranked[a] < ranked[b]
+			})
+			take := want / len(v.Topics)
+			for _, id := range ranked {
+				if take == 0 {
+					break
+				}
+				if !seen[id] {
+					seen[id] = true
+					v.PC = append(v.PC, id)
+					take--
+				}
+			}
+		}
+		sort.Slice(v.PC, func(a, b int) bool { return v.PC[a] < v.PC[b] })
+	}
+}
+
+// poisson samples a Poisson variate by inversion; rates here are small
+// (< 10) so the loop is short.
+func (g *generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 100 {
+			return k
+		}
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+func titleCase(s string) string {
+	words := strings.Fields(s)
+	for i, w := range words {
+		if len(w) > 0 {
+			words[i] = strings.ToUpper(w[:1]) + w[1:]
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+func abbrev(name string) string {
+	var b strings.Builder
+	for _, w := range strings.Fields(name) {
+		switch strings.ToLower(w) {
+		case "on", "of", "the", "and", "for", "in":
+			continue
+		}
+		b.WriteByte(w[0])
+	}
+	return strings.ToUpper(b.String())
+}

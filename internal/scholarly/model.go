@@ -1,0 +1,455 @@
+// Package scholarly defines the data model for the synthetic scholarly
+// corpus that stands in for the live scholarly web (DBLP, Google Scholar,
+// Publons, ACM DL, ORCID, ResearcherID) used by the MINARET paper.
+//
+// The corpus is fully deterministic given a seed, and it records ground
+// truth (true research interests, true co-authorships, true affiliation
+// overlaps, true review logs) so that the extraction, filtering and
+// ranking stages built on top of it can be evaluated against oracles.
+package scholarly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ScholarID uniquely identifies a scholar in the corpus. The simulated
+// source websites derive their own per-site identifiers from it (for
+// example an ORCID-style id or a DBLP-style pid), which the name
+// resolution layer must reconcile.
+type ScholarID int
+
+// PubID uniquely identifies a publication.
+type PubID int
+
+// VenueID uniquely identifies a publication outlet (journal or conference).
+type VenueID int
+
+// VenueType distinguishes the two outlet kinds the paper discusses:
+// journals (open reviewer universe) and conferences (closed PC universe).
+type VenueType int
+
+const (
+	// Journal outlets accept submissions year-round and draw reviewers
+	// from the open universe of scholars.
+	Journal VenueType = iota
+	// Conference outlets review through a programme committee.
+	Conference
+)
+
+func (t VenueType) String() string {
+	switch t {
+	case Journal:
+		return "journal"
+	case Conference:
+		return "conference"
+	default:
+		return fmt.Sprintf("VenueType(%d)", int(t))
+	}
+}
+
+// Affiliation is one period of employment at an institution. EndYear of
+// zero means the affiliation is current.
+type Affiliation struct {
+	Institution string
+	Country     string
+	StartYear   int
+	EndYear     int // 0 = current
+}
+
+// Current reports whether the affiliation is ongoing.
+func (a Affiliation) Current() bool { return a.EndYear == 0 }
+
+// Overlaps reports whether the affiliation period intersects [from, to].
+// Open-ended affiliations extend to the given horizon year.
+func (a Affiliation) Overlaps(from, to, horizon int) bool {
+	end := a.EndYear
+	if end == 0 {
+		end = horizon
+	}
+	return a.StartYear <= to && end >= from
+}
+
+// Name carries the scholar's name in enough detail for the name
+// disambiguation experiments: the corpus deliberately includes scholars
+// who share full names (the paper cites "Lei Zhou" on DBLP as an example
+// of a heavily shared name).
+type Name struct {
+	Given  string
+	Family string
+}
+
+// Full returns "Given Family".
+func (n Name) Full() string { return n.Given + " " + n.Family }
+
+// Initialed returns the "G. Family" abbreviation commonly found on
+// bibliographic sites.
+func (n Name) Initialed() string {
+	if n.Given == "" {
+		return n.Family
+	}
+	return n.Given[:1] + ". " + n.Family
+}
+
+// Reversed returns "Family, Given", the index form used by library
+// catalogues.
+func (n Name) Reversed() string { return n.Family + ", " + n.Given }
+
+// Review is one completed manuscript review, as a Publons-style service
+// would record it.
+type Review struct {
+	Reviewer ScholarID
+	Venue    VenueID
+	Year     int
+	// DaysToComplete is the turnaround the reviewer took. It feeds the
+	// responsiveness ranking component.
+	DaysToComplete int
+	// Quality in [0,1] is the editor-assessed usefulness of the review.
+	Quality float64
+}
+
+// Publication is a single paper.
+type Publication struct {
+	ID       PubID
+	Title    string
+	Year     int
+	Venue    VenueID
+	Authors  []ScholarID // in author order
+	Keywords []string    // topic labels, drawn from the ontology vocabulary
+	// Citations is the total citation count accumulated by the horizon
+	// year of the corpus.
+	Citations int
+}
+
+// HasAuthor reports whether s appears in the author list.
+func (p *Publication) HasAuthor(s ScholarID) bool {
+	for _, a := range p.Authors {
+		if a == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Venue is a publication outlet.
+type Venue struct {
+	ID     VenueID
+	Name   string
+	Abbrev string
+	Type   VenueType
+	Topics []string // the outlet's scope, as topic labels
+	// Prestige in [0,1] drives citation accumulation and scholar
+	// submission preferences.
+	Prestige float64
+	// PC lists the programme committee for conference venues; empty for
+	// journals.
+	PC []ScholarID
+}
+
+// SourcePresence records on which simulated scholarly websites a scholar
+// maintains a profile. Real scholars are not uniformly indexed: many have
+// no Publons account, some have no Google Scholar page. The extraction
+// layer must tolerate these gaps.
+type SourcePresence struct {
+	DBLP          bool
+	GoogleScholar bool
+	Publons       bool
+	ACMDL         bool
+	ORCID         bool
+	ResearcherID  bool
+}
+
+// Count returns how many sources index the scholar.
+func (sp SourcePresence) Count() int {
+	n := 0
+	for _, b := range []bool{sp.DBLP, sp.GoogleScholar, sp.Publons, sp.ACMDL, sp.ORCID, sp.ResearcherID} {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Scholar is one researcher in the corpus.
+type Scholar struct {
+	ID   ScholarID
+	Name Name
+
+	// CareerStart is the year of the scholar's first publication.
+	CareerStart int
+
+	// Affiliations is the employment history, oldest first. The last
+	// entry with EndYear==0 is the current affiliation.
+	Affiliations []Affiliation
+
+	// Interests are the topic labels the scholar registers as research
+	// interests on profile sites (a noisy subset/superset of the topics
+	// they actually publish on).
+	Interests []string
+
+	// TrueTopics is ground truth: the topics the generator actually drew
+	// the scholar's publications from, with affinity weights summing to 1.
+	TrueTopics map[string]float64
+
+	// Publications lists the scholar's papers, most recent first.
+	Publications []PubID
+
+	// Reviews lists completed reviews, most recent first.
+	Reviews []Review
+
+	// Responsiveness models the "likelihood to accept and timely return"
+	// criterion the paper names: probability in [0,1] that a review
+	// invitation is accepted.
+	Responsiveness float64
+	// MedianReviewDays is the typical turnaround when a review is accepted.
+	MedianReviewDays int
+
+	Presence SourcePresence
+}
+
+// CurrentAffiliation returns the scholar's present institution, or a zero
+// Affiliation if none is current (retired scholars keep their last record
+// open in this corpus, so this should not normally happen).
+func (s *Scholar) CurrentAffiliation() Affiliation {
+	for i := len(s.Affiliations) - 1; i >= 0; i-- {
+		if s.Affiliations[i].Current() {
+			return s.Affiliations[i]
+		}
+	}
+	if len(s.Affiliations) > 0 {
+		return s.Affiliations[len(s.Affiliations)-1]
+	}
+	return Affiliation{}
+}
+
+// AffiliatedWith reports whether the scholar was employed by institution
+// at any point. Matching is case-insensitive on the full institution name.
+func (s *Scholar) AffiliatedWith(institution string) bool {
+	for _, a := range s.Affiliations {
+		if strings.EqualFold(a.Institution, institution) {
+			return true
+		}
+	}
+	return false
+}
+
+// Corpus is the complete synthetic scholarly world. All slices are
+// indexed by their ID types (Scholars[i].ID == ScholarID(i)).
+type Corpus struct {
+	Scholars     []Scholar
+	Publications []Publication
+	Venues       []Venue
+
+	// HorizonYear is "now" for the corpus: the last generated year.
+	HorizonYear int
+	// Seed reproduces the corpus exactly.
+	Seed int64
+
+	// byName indexes scholars by lower-cased full name. Multiple scholars
+	// may share a name; that is the point of the disambiguation
+	// experiments.
+	byName map[string][]ScholarID
+	// byInterest indexes scholars by registered interest label.
+	byInterest map[string][]ScholarID
+}
+
+// Scholar returns the scholar with the given id. It panics on an invalid
+// id, which always indicates a bug in the caller: IDs only come from the
+// corpus itself.
+func (c *Corpus) Scholar(id ScholarID) *Scholar {
+	return &c.Scholars[int(id)]
+}
+
+// Publication returns the publication with the given id.
+func (c *Corpus) Publication(id PubID) *Publication {
+	return &c.Publications[int(id)]
+}
+
+// Venue returns the venue with the given id.
+func (c *Corpus) Venue(id VenueID) *Venue {
+	return &c.Venues[int(id)]
+}
+
+// VenueByName finds a venue by exact name or abbreviation
+// (case-insensitive). The second result is false if no venue matches.
+func (c *Corpus) VenueByName(name string) (*Venue, bool) {
+	for i := range c.Venues {
+		v := &c.Venues[i]
+		if strings.EqualFold(v.Name, name) || strings.EqualFold(v.Abbrev, name) {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// buildIndexes populates the name and interest indexes. The generator
+// calls it once after construction.
+func (c *Corpus) buildIndexes() {
+	c.byName = make(map[string][]ScholarID)
+	c.byInterest = make(map[string][]ScholarID)
+	for i := range c.Scholars {
+		s := &c.Scholars[i]
+		key := strings.ToLower(s.Name.Full())
+		c.byName[key] = append(c.byName[key], s.ID)
+		for _, in := range s.Interests {
+			k := strings.ToLower(in)
+			c.byInterest[k] = append(c.byInterest[k], s.ID)
+		}
+	}
+}
+
+// ScholarsByName returns all scholars sharing the given full name
+// (case-insensitive). The returned slice is shared; callers must not
+// modify it.
+func (c *Corpus) ScholarsByName(full string) []ScholarID {
+	return c.byName[strings.ToLower(strings.TrimSpace(full))]
+}
+
+// ScholarsByInterest returns all scholars who register the given topic
+// label as a research interest.
+func (c *Corpus) ScholarsByInterest(topic string) []ScholarID {
+	return c.byInterest[strings.ToLower(strings.TrimSpace(topic))]
+}
+
+// CitationCount returns the scholar's total citations over all papers.
+func (c *Corpus) CitationCount(id ScholarID) int {
+	total := 0
+	for _, pid := range c.Scholar(id).Publications {
+		total += c.Publication(pid).Citations
+	}
+	return total
+}
+
+// HIndex computes the scholar's h-index: the largest h such that h of the
+// scholar's papers have at least h citations each.
+func (c *Corpus) HIndex(id ScholarID) int {
+	s := c.Scholar(id)
+	cites := make([]int, 0, len(s.Publications))
+	for _, pid := range s.Publications {
+		cites = append(cites, c.Publication(pid).Citations)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(cites)))
+	h := 0
+	for i, ct := range cites {
+		if ct >= i+1 {
+			h = i + 1
+		} else {
+			break
+		}
+	}
+	return h
+}
+
+// I10Index counts papers with at least ten citations (a Google
+// Scholar-specific metric).
+func (c *Corpus) I10Index(id ScholarID) int {
+	n := 0
+	for _, pid := range c.Scholar(id).Publications {
+		if c.Publication(pid).Citations >= 10 {
+			n++
+		}
+	}
+	return n
+}
+
+// CoAuthors returns the distinct co-authors of the scholar, with the year
+// of the most recent shared paper.
+func (c *Corpus) CoAuthors(id ScholarID) map[ScholarID]int {
+	out := make(map[ScholarID]int)
+	for _, pid := range c.Scholar(id).Publications {
+		p := c.Publication(pid)
+		for _, a := range p.Authors {
+			if a == id {
+				continue
+			}
+			if y, ok := out[a]; !ok || p.Year > y {
+				out[a] = p.Year
+			}
+		}
+	}
+	return out
+}
+
+// ReviewsForVenue counts the scholar's reviews for a specific outlet.
+func (c *Corpus) ReviewsForVenue(id ScholarID, venue VenueID) int {
+	n := 0
+	for _, r := range c.Scholar(id).Reviews {
+		if r.Venue == venue {
+			n++
+		}
+	}
+	return n
+}
+
+// PublicationsInVenue counts the scholar's papers published in a specific
+// outlet.
+func (c *Corpus) PublicationsInVenue(id ScholarID, venue VenueID) int {
+	n := 0
+	for _, pid := range c.Scholar(id).Publications {
+		if c.Publication(pid).Venue == venue {
+			n++
+		}
+	}
+	return n
+}
+
+// LastYearOnTopic returns the most recent year in which the scholar
+// published a paper carrying the given keyword, or 0 if never.
+func (c *Corpus) LastYearOnTopic(id ScholarID, topic string) int {
+	best := 0
+	for _, pid := range c.Scholar(id).Publications {
+		p := c.Publication(pid)
+		if p.Year <= best {
+			continue
+		}
+		for _, k := range p.Keywords {
+			if strings.EqualFold(k, topic) {
+				best = p.Year
+				break
+			}
+		}
+	}
+	return best
+}
+
+// Stats summarises the corpus; the F1 experiment (paper Figure 1) prints
+// per-year, per-type record counts from it.
+type Stats struct {
+	Scholars       int
+	Publications   int
+	Venues         int
+	Reviews        int
+	JournalPapers  int
+	ConfPapers     int
+	ByYear         map[int]int
+	ByYearJournals map[int]int
+	ByYearConfs    map[int]int
+}
+
+// ComputeStats walks the corpus once and aggregates counts.
+func (c *Corpus) ComputeStats() Stats {
+	st := Stats{
+		Scholars:       len(c.Scholars),
+		Publications:   len(c.Publications),
+		Venues:         len(c.Venues),
+		ByYear:         make(map[int]int),
+		ByYearJournals: make(map[int]int),
+		ByYearConfs:    make(map[int]int),
+	}
+	for i := range c.Scholars {
+		st.Reviews += len(c.Scholars[i].Reviews)
+	}
+	for i := range c.Publications {
+		p := &c.Publications[i]
+		st.ByYear[p.Year]++
+		if c.Venue(p.Venue).Type == Journal {
+			st.JournalPapers++
+			st.ByYearJournals[p.Year]++
+		} else {
+			st.ConfPapers++
+			st.ByYearConfs[p.Year]++
+		}
+	}
+	return st
+}

@@ -1,0 +1,154 @@
+package scholarly
+
+// Name pools for the synthetic scholar population. The pools mix regions
+// so that the corpus exhibits the name-collision structure the paper's
+// verification step exists for: a small set of very popular (given,
+// family) combinations is reused across many distinct scholars, echoing
+// the paper's "Lei Zhou" DBLP example.
+
+var givenNames = []string{
+	"Ada", "Ahmed", "Aisha", "Alan", "Alexandra", "Alice", "Amir", "Ana",
+	"Andrei", "Anna", "Antonio", "Barbara", "Bart", "Bing", "Boris",
+	"Carlos", "Carol", "Chen", "Chiara", "Claire", "Daniel", "David",
+	"Diego", "Dmitri", "Elena", "Emma", "Erik", "Fatima", "Felix",
+	"Fernando", "Gabriel", "Grace", "Hana", "Hans", "Hiroshi", "Ibrahim",
+	"Ines", "Ingrid", "Irene", "Ivan", "James", "Jan", "Javier", "Jing",
+	"Joao", "Johan", "John", "Jun", "Kai", "Karim", "Katarina", "Kenji",
+	"Lars", "Laura", "Lei", "Leila", "Li", "Lin", "Linda", "Luca",
+	"Lucia", "Magnus", "Marco", "Maria", "Marie", "Mark", "Marta",
+	"Martin", "Mei", "Michael", "Miguel", "Mikhail", "Min", "Mohamed",
+	"Nadia", "Natalia", "Nikolai", "Nina", "Olga", "Omar", "Paolo",
+	"Paul", "Pedro", "Peter", "Petra", "Pierre", "Priya", "Qiang",
+	"Rafael", "Raj", "Rania", "Ricardo", "Richard", "Robert", "Rosa",
+	"Ruth", "Salma", "Samir", "Sara", "Sergei", "Sofia", "Stefan",
+	"Susan", "Sven", "Takeshi", "Tamara", "Tariq", "Thomas", "Tim",
+	"Tomas", "Ulrich", "Vera", "Victor", "Wei", "William", "Xin", "Yan",
+	"Yasmin", "Ying", "Yuki", "Yusuf", "Zeynep", "Zhang", "Zoe",
+}
+
+var familyNames = []string{
+	"Abbas", "Abe", "Ahmed", "Almeida", "Andersen", "Andersson", "Bauer",
+	"Becker", "Bell", "Bergstrom", "Bianchi", "Brown", "Carvalho",
+	"Castro", "Clark", "Costa", "Dias", "Dubois", "Duran", "Eriksson",
+	"Evans", "Fernandez", "Ferrari", "Fischer", "Fonseca", "Fortin",
+	"Fujita", "Garcia", "Gomez", "Gonzalez", "Haddad", "Hansen", "Hassan",
+	"Hernandez", "Hoffmann", "Hughes", "Ibrahim", "Ito", "Ivanov",
+	"Jansen", "Jensen", "Johansson", "Jones", "Kato", "Keller", "Khan",
+	"Kim", "Klein", "Koch", "Kowalski", "Kumar", "Larsen", "Laurent",
+	"Lee", "Lefebvre", "Lehmann", "Lindgren", "Lopez", "Mancini",
+	"Martin", "Martinez", "Mehta", "Meyer", "Miller", "Mori", "Moreau",
+	"Moretti", "Muller", "Nakamura", "Nguyen", "Nielsen", "Novak",
+	"Olsen", "Oliveira", "Park", "Patel", "Pereira", "Petrov", "Popov",
+	"Reyes", "Ricci", "Rivera", "Roberts", "Rodriguez", "Romano", "Rossi",
+	"Russo", "Said", "Saito", "Sanchez", "Santos", "Sato", "Schmidt",
+	"Schneider", "Schulz", "Sharma", "Silva", "Singh", "Smirnov", "Smith",
+	"Sousa", "Suzuki", "Takahashi", "Tanaka", "Taylor", "Thompson",
+	"Torres", "Tran", "Turner", "Vasquez", "Vogel", "Wagner", "Walker",
+	"Watanabe", "Weber", "White", "Wilson", "Wolf", "Wright", "Yamamoto",
+	"Yilmaz", "Zimmermann",
+}
+
+// popularNames is the deliberately small pool that produces cross-scholar
+// full-name collisions for the disambiguation experiments.
+var popularNames = []Name{
+	{Given: "Lei", Family: "Zhou"},
+	{Given: "Wei", Family: "Wang"},
+	{Given: "Wei", Family: "Zhang"},
+	{Given: "Jing", Family: "Li"},
+	{Given: "Li", Family: "Wei"},
+	{Given: "Yan", Family: "Liu"},
+	{Given: "Min", Family: "Chen"},
+	{Given: "Jun", Family: "Yang"},
+	{Given: "Xin", Family: "Wu"},
+	{Given: "Ying", Family: "Huang"},
+	{Given: "Mohamed", Family: "Ahmed"},
+	{Given: "David", Family: "Smith"},
+	{Given: "Maria", Family: "Garcia"},
+	{Given: "John", Family: "Lee"},
+	{Given: "Anna", Family: "Kim"},
+	{Given: "Raj", Family: "Kumar"},
+}
+
+// institutionStems and institutionKinds combine into institution names
+// ("University of Tartu", "Delft Institute of Technology", ...).
+var institutionStems = []string{
+	"Tartu", "Delft", "Uppsala", "Bologna", "Coimbra", "Heidelberg",
+	"Leuven", "Zurich", "Vienna", "Prague", "Warsaw", "Helsinki", "Oslo",
+	"Copenhagen", "Dublin", "Edinburgh", "Manchester", "Lyon", "Grenoble",
+	"Madrid", "Barcelona", "Lisbon", "Porto", "Athens", "Budapest",
+	"Ljubljana", "Zagreb", "Bucharest", "Sofia", "Riga", "Vilnius",
+	"Kyoto", "Osaka", "Nagoya", "Seoul", "Busan", "Beijing", "Shanghai",
+	"Nanjing", "Wuhan", "Shenzhen", "Singapore", "Melbourne", "Sydney",
+	"Auckland", "Toronto", "Montreal", "Vancouver", "Waterloo", "Austin",
+	"Berkeley", "Princeton", "Ithaca", "Madison", "Ann Arbor", "Atlanta",
+	"Pittsburgh", "Seattle", "Portland", "Cairo", "Alexandria", "Tunis",
+	"Rabat", "Nairobi", "Cape Town", "Sao Paulo", "Campinas", "Santiago",
+	"Buenos Aires", "Bogota", "Mexico City", "Ankara", "Istanbul",
+	"Tehran", "Riyadh", "Doha", "Abu Dhabi", "Mumbai", "Chennai",
+	"Bangalore", "Hyderabad", "Kanpur", "Kharagpur",
+}
+
+// institutionCountry maps each stem to its country; shared-country
+// affiliation is one of the paper's configurable COI rules.
+var institutionCountry = map[string]string{
+	"Tartu": "Estonia", "Delft": "Netherlands", "Uppsala": "Sweden",
+	"Bologna": "Italy", "Coimbra": "Portugal", "Heidelberg": "Germany",
+	"Leuven": "Belgium", "Zurich": "Switzerland", "Vienna": "Austria",
+	"Prague": "Czechia", "Warsaw": "Poland", "Helsinki": "Finland",
+	"Oslo": "Norway", "Copenhagen": "Denmark", "Dublin": "Ireland",
+	"Edinburgh": "United Kingdom", "Manchester": "United Kingdom",
+	"Lyon": "France", "Grenoble": "France", "Madrid": "Spain",
+	"Barcelona": "Spain", "Lisbon": "Portugal", "Porto": "Portugal",
+	"Athens": "Greece", "Budapest": "Hungary", "Ljubljana": "Slovenia",
+	"Zagreb": "Croatia", "Bucharest": "Romania", "Sofia": "Bulgaria",
+	"Riga": "Latvia", "Vilnius": "Lithuania", "Kyoto": "Japan",
+	"Osaka": "Japan", "Nagoya": "Japan", "Seoul": "South Korea",
+	"Busan": "South Korea", "Beijing": "China", "Shanghai": "China",
+	"Nanjing": "China", "Wuhan": "China", "Shenzhen": "China",
+	"Singapore": "Singapore", "Melbourne": "Australia",
+	"Sydney": "Australia", "Auckland": "New Zealand", "Toronto": "Canada",
+	"Montreal": "Canada", "Vancouver": "Canada", "Waterloo": "Canada",
+	"Austin": "United States", "Berkeley": "United States",
+	"Princeton": "United States", "Ithaca": "United States",
+	"Madison": "United States", "Ann Arbor": "United States",
+	"Atlanta": "United States", "Pittsburgh": "United States",
+	"Seattle": "United States", "Portland": "United States",
+	"Cairo": "Egypt", "Alexandria": "Egypt", "Tunis": "Tunisia",
+	"Rabat": "Morocco", "Nairobi": "Kenya", "Cape Town": "South Africa",
+	"Sao Paulo": "Brazil", "Campinas": "Brazil", "Santiago": "Chile",
+	"Buenos Aires": "Argentina", "Bogota": "Colombia",
+	"Mexico City": "Mexico", "Ankara": "Turkey", "Istanbul": "Turkey",
+	"Tehran": "Iran", "Riyadh": "Saudi Arabia", "Doha": "Qatar",
+	"Abu Dhabi": "United Arab Emirates", "Mumbai": "India",
+	"Chennai": "India", "Bangalore": "India", "Hyderabad": "India",
+	"Kanpur": "India", "Kharagpur": "India",
+}
+
+var institutionKinds = []string{
+	"University of %s",
+	"%s University",
+	"%s Institute of Technology",
+	"%s Technical University",
+	"%s Research Institute",
+}
+
+// titlePatterns turn a paper's keywords into plausible titles.
+var titlePatterns = []string{
+	"On %s for %s",
+	"Towards Scalable %s in %s",
+	"%s: A %s Perspective",
+	"Efficient %s with %s",
+	"A Survey of %s and %s",
+	"Rethinking %s for Modern %s",
+	"%s Meets %s: Challenges and Opportunities",
+	"Learning %s from %s",
+	"Adaptive %s over %s Workloads",
+	"%s at Scale: Lessons from %s",
+	"Benchmarking %s under %s",
+	"Declarative %s for %s Applications",
+}
+
+var venueWords = []string{
+	"Advances", "Transactions", "Journal", "Letters", "Systems",
+	"Foundations", "Records", "Bulletin", "Review", "Annals",
+}

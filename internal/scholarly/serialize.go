@@ -1,0 +1,124 @@
+package scholarly
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Corpus serialization: a gzipped JSON snapshot so a generated world can
+// be saved once and reused across simweb runs and experiments without
+// paying regeneration (or to hand-edit a scenario). The format carries a
+// version header line followed by one JSON document.
+
+// serializedCorpus is the on-disk shape. Index maps are rebuilt on load.
+type serializedCorpus struct {
+	Version      int           `json:"version"`
+	Seed         int64         `json:"seed"`
+	HorizonYear  int           `json:"horizon_year"`
+	Scholars     []Scholar     `json:"scholars"`
+	Publications []Publication `json:"publications"`
+	Venues       []Venue       `json:"venues"`
+}
+
+const corpusFormatVersion = 1
+
+// Save writes the corpus as gzipped JSON.
+func (c *Corpus) Save(w io.Writer) error {
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	err := enc.Encode(serializedCorpus{
+		Version:      corpusFormatVersion,
+		Seed:         c.Seed,
+		HorizonYear:  c.HorizonYear,
+		Scholars:     c.Scholars,
+		Publications: c.Publications,
+		Venues:       c.Venues,
+	})
+	if err != nil {
+		return fmt.Errorf("scholarly: save: %w", err)
+	}
+	return gz.Close()
+}
+
+// Load reads a corpus written by Save, rebuilding indexes and checking
+// structural integrity.
+func Load(r io.Reader) (*Corpus, error) {
+	gz, err := gzip.NewReader(bufio.NewReader(r))
+	if err != nil {
+		return nil, fmt.Errorf("scholarly: load: not a corpus snapshot (gzip): %w", err)
+	}
+	defer gz.Close()
+	var s serializedCorpus
+	if err := json.NewDecoder(gz).Decode(&s); err != nil {
+		return nil, fmt.Errorf("scholarly: load: %w", err)
+	}
+	if s.Version != corpusFormatVersion {
+		return nil, fmt.Errorf("scholarly: load: unsupported corpus version %d (want %d)", s.Version, corpusFormatVersion)
+	}
+	c := &Corpus{
+		Seed:         s.Seed,
+		HorizonYear:  s.HorizonYear,
+		Scholars:     s.Scholars,
+		Publications: s.Publications,
+		Venues:       s.Venues,
+	}
+	if err := c.checkIntegrity(); err != nil {
+		return nil, err
+	}
+	c.buildIndexes()
+	return c, nil
+}
+
+// checkIntegrity validates cross-references so a corrupt or hand-edited
+// snapshot fails loudly instead of panicking later.
+func (c *Corpus) checkIntegrity() error {
+	for i := range c.Scholars {
+		s := &c.Scholars[i]
+		if int(s.ID) != i {
+			return fmt.Errorf("scholarly: scholar %d carries ID %d", i, s.ID)
+		}
+		for _, pid := range s.Publications {
+			if int(pid) < 0 || int(pid) >= len(c.Publications) {
+				return fmt.Errorf("scholarly: scholar %d references missing publication %d", i, pid)
+			}
+		}
+		for _, r := range s.Reviews {
+			if int(r.Venue) < 0 || int(r.Venue) >= len(c.Venues) {
+				return fmt.Errorf("scholarly: scholar %d review references missing venue %d", i, r.Venue)
+			}
+		}
+	}
+	for i := range c.Publications {
+		p := &c.Publications[i]
+		if int(p.ID) != i {
+			return fmt.Errorf("scholarly: publication %d carries ID %d", i, p.ID)
+		}
+		if int(p.Venue) < 0 || int(p.Venue) >= len(c.Venues) {
+			return fmt.Errorf("scholarly: publication %d references missing venue %d", i, p.Venue)
+		}
+		for _, a := range p.Authors {
+			if int(a) < 0 || int(a) >= len(c.Scholars) {
+				return fmt.Errorf("scholarly: publication %d references missing author %d", i, a)
+			}
+		}
+	}
+	for i := range c.Venues {
+		v := &c.Venues[i]
+		if int(v.ID) != i {
+			return fmt.Errorf("scholarly: venue %d carries ID %d", i, v.ID)
+		}
+		for _, m := range v.PC {
+			if int(m) < 0 || int(m) >= len(c.Scholars) {
+				return fmt.Errorf("scholarly: venue %q PC references missing scholar %d", v.Name, m)
+			}
+		}
+		if strings.TrimSpace(v.Name) == "" {
+			return fmt.Errorf("scholarly: venue %d has empty name", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package simweb
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"strings"
+
+	"minaret/internal/scholarly"
+)
+
+// ACM DL serves HTML profile pages. A quirk the extraction layer must
+// handle: ACM renders author names in initialed form ("L. Zhou"), so
+// name reconciliation cannot rely on exact string equality across
+// sources.
+//
+//	GET /profile/<acmid>  -> profile page with publications
+//	GET /search?q=<name>  -> author search results
+
+func (w *Web) acmHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		hits := w.findByName(q, func(p scholarly.SourcePresence) bool { return p.ACMDL }, 40)
+		var b strings.Builder
+		b.WriteString("<html><body><ul class=\"search-result\">\n")
+		for _, s := range hits {
+			fmt.Fprintf(&b, "<li class=\"people-item\"><a class=\"author-name\" href=\"/profile/%s\">%s</a><span class=\"institution\">%s</span></li>\n",
+				ACMID(s.ID), html.EscapeString(s.Name.Initialed()),
+				html.EscapeString(s.CurrentAffiliation().Institution))
+		}
+		b.WriteString("</ul></body></html>\n")
+		writeHTML(rw, b.String())
+	})
+	mux.HandleFunc("/profile/", func(rw http.ResponseWriter, r *http.Request) {
+		aid := strings.Trim(strings.TrimPrefix(r.URL.Path, "/profile/"), "/")
+		id, ok := ParseACMID(aid)
+		if !ok || int(id) >= len(w.corpus.Scholars) || !w.corpus.Scholar(id).Presence.ACMDL {
+			http.NotFound(rw, r)
+			return
+		}
+		s := w.corpus.Scholar(id)
+		var b strings.Builder
+		b.WriteString("<html><body>\n")
+		fmt.Fprintf(&b, "<h1 class=\"author-name\">%s</h1>\n", html.EscapeString(s.Name.Initialed()))
+		fmt.Fprintf(&b, "<div class=\"institution\">%s</div>\n",
+			html.EscapeString(s.CurrentAffiliation().Institution))
+		fmt.Fprintf(&b, "<div class=\"metrics\"><span class=\"citation-count\">%d</span></div>\n",
+			w.corpus.CitationCount(id))
+		b.WriteString("<ul class=\"publications\">\n")
+		for _, pubID := range s.Publications {
+			p := w.corpus.Publication(pubID)
+			fmt.Fprintf(&b, "<li class=\"pub-item\"><span class=\"pub-title\">%s</span><span class=\"pub-venue\">%s</span><span class=\"pub-year\">%d</span><span class=\"pub-cites\">%d</span></li>\n",
+				html.EscapeString(p.Title), html.EscapeString(w.corpus.Venue(p.Venue).Name), p.Year, p.Citations)
+		}
+		b.WriteString("</ul></body></html>\n")
+		writeHTML(rw, b.String())
+	})
+	return mux
+}

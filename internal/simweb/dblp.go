@@ -1,0 +1,127 @@
+package simweb
+
+import (
+	"encoding/xml"
+	"net/http"
+	"strings"
+
+	"minaret/internal/scholarly"
+)
+
+// DBLP serves XML, mirroring the real dblp.org API shape:
+//
+//	GET /search/author?q=<name>   -> author hit list
+//	GET /pid/<pid>.xml            -> person record with publications
+//
+// The "note" on an author hit carries the current affiliation, which is
+// how real DBLP disambiguates homonyms.
+
+type dblpAuthors struct {
+	XMLName xml.Name       `xml:"authors"`
+	Hits    []dblpAuthorEl `xml:"author"`
+}
+
+type dblpAuthorEl struct {
+	PID  string `xml:"pid,attr"`
+	Name string `xml:",chardata"`
+	Note string `xml:"note,attr,omitempty"`
+}
+
+type dblpPerson struct {
+	XMLName xml.Name  `xml:"dblpperson"`
+	Name    string    `xml:"name,attr"`
+	PID     string    `xml:"pid,attr"`
+	N       int       `xml:"n,attr"`
+	Records []dblpRec `xml:"r"`
+}
+
+type dblpRec struct {
+	Article *dblpArticle `xml:"article,omitempty"`
+	Inproc  *dblpArticle `xml:"inproceedings,omitempty"`
+}
+
+type dblpArticle struct {
+	Key      string       `xml:"key,attr"`
+	Year     int          `xml:"year"`
+	Title    string       `xml:"title"`
+	Authors  []dblpAuthEl `xml:"author"`
+	Journal  string       `xml:"journal,omitempty"`
+	Booktitle string      `xml:"booktitle,omitempty"`
+	Cites    int          `xml:"cites,omitempty"` // simulation extension
+}
+
+type dblpAuthEl struct {
+	PID  string `xml:"pid,attr"`
+	Name string `xml:",chardata"`
+}
+
+func (w *Web) dblpHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search/author", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		hits := w.findByName(q, func(p scholarly.SourcePresence) bool { return p.DBLP }, 30)
+		resp := dblpAuthors{}
+		for _, s := range hits {
+			resp.Hits = append(resp.Hits, dblpAuthorEl{
+				PID:  DBLPPID(s.ID),
+				Name: s.Name.Full(),
+				Note: s.CurrentAffiliation().Institution,
+			})
+		}
+		writeXML(rw, resp)
+	})
+	mux.HandleFunc("/pid/", func(rw http.ResponseWriter, r *http.Request) {
+		pid := strings.TrimSuffix(strings.TrimPrefix(r.URL.Path, "/pid/"), ".xml")
+		id, ok := ParseDBLPPID(pid)
+		if !ok || int(id) >= len(w.corpus.Scholars) || !w.corpus.Scholar(id).Presence.DBLP {
+			http.NotFound(rw, r)
+			return
+		}
+		s := w.corpus.Scholar(id)
+		person := dblpPerson{Name: s.Name.Full(), PID: pid, N: len(s.Publications)}
+		for _, pubID := range s.Publications {
+			p := w.corpus.Publication(pubID)
+			art := dblpArticle{
+				Key:   "rec/" + pid + "/" + p.Title[:min(8, len(p.Title))],
+				Year:  p.Year,
+				Title: p.Title,
+				Cites: p.Citations,
+			}
+			for _, a := range p.Authors {
+				co := w.corpus.Scholar(a)
+				el := dblpAuthEl{Name: co.Name.Full()}
+				if co.Presence.DBLP {
+					el.PID = DBLPPID(a)
+				}
+				art.Authors = append(art.Authors, el)
+			}
+			v := w.corpus.Venue(p.Venue)
+			rec := dblpRec{}
+			if v.Type == scholarly.Journal {
+				art.Journal = v.Name
+				rec.Article = &art
+			} else {
+				art.Booktitle = v.Name
+				rec.Inproc = &art
+			}
+			person.Records = append(person.Records, rec)
+		}
+		writeXML(rw, person)
+	})
+	return mux
+}
+
+func writeXML(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	rw.Write([]byte(xml.Header))
+	enc := xml.NewEncoder(rw)
+	enc.Indent("", "  ")
+	enc.Encode(v)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

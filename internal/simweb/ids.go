@@ -1,0 +1,155 @@
+package simweb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"minaret/internal/scholarly"
+)
+
+// Per-site identifier schemes. Each simulated site keys scholars by its
+// own identifier format, as the real sites do; the name-resolution layer
+// has to reconcile them. All derivations are deterministic and
+// invertible so the oracle side of experiments can check correctness.
+
+// DBLPPID renders a DBLP-style persistent id like "42/1234".
+func DBLPPID(id scholarly.ScholarID) string {
+	return fmt.Sprintf("%02d/%d", int(id)%97, 1000+int(id))
+}
+
+// ParseDBLPPID inverts DBLPPID. It returns false for malformed pids.
+func ParseDBLPPID(pid string) (scholarly.ScholarID, bool) {
+	parts := strings.Split(pid, "/")
+	if len(parts) != 2 {
+		return 0, false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil || n < 1000 {
+		return 0, false
+	}
+	id := scholarly.ScholarID(n - 1000)
+	if DBLPPID(id) != pid {
+		return 0, false
+	}
+	return id, true
+}
+
+const scholarAlphabet = "AbCdEfGhIjKlMnOpQrStUvWxYz0123456789-_"
+
+// ScholarUser renders a Google Scholar-style 12-character user token.
+func ScholarUser(id scholarly.ScholarID) string {
+	// Mixed-radix encoding of (id+1) with a recognizable suffix.
+	n := uint64(id) + 1
+	var b [12]byte
+	for i := 0; i < 12; i++ {
+		b[i] = scholarAlphabet[n%uint64(len(scholarAlphabet))]
+		n /= uint64(len(scholarAlphabet))
+	}
+	return string(b[:])
+}
+
+// ParseScholarUser inverts ScholarUser.
+func ParseScholarUser(user string) (scholarly.ScholarID, bool) {
+	if len(user) != 12 {
+		return 0, false
+	}
+	var n uint64
+	for i := 11; i >= 0; i-- {
+		idx := strings.IndexByte(scholarAlphabet, user[i])
+		if idx < 0 {
+			return 0, false
+		}
+		n = n*uint64(len(scholarAlphabet)) + uint64(idx)
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return scholarly.ScholarID(n - 1), true
+}
+
+// ORCIDOf renders an ORCID iD like "0000-0002-0123-4567".
+func ORCIDOf(id scholarly.ScholarID) string {
+	n := int(id)
+	return fmt.Sprintf("0000-%04d-%04d-%04d", 2+n/100000000, (n/10000)%10000, n%10000)
+}
+
+// ParseORCID inverts ORCIDOf.
+func ParseORCID(orcid string) (scholarly.ScholarID, bool) {
+	parts := strings.Split(orcid, "-")
+	if len(parts) != 4 || parts[0] != "0000" {
+		return 0, false
+	}
+	a, err1 := strconv.Atoi(parts[1])
+	b, err2 := strconv.Atoi(parts[2])
+	c, err3 := strconv.Atoi(parts[3])
+	if err1 != nil || err2 != nil || err3 != nil || a < 2 {
+		return 0, false
+	}
+	id := scholarly.ScholarID((a-2)*100000000 + b*10000 + c)
+	if ORCIDOf(id) != orcid {
+		return 0, false
+	}
+	return id, true
+}
+
+// PublonsID renders a Publons researcher id like "P-001234".
+func PublonsID(id scholarly.ScholarID) string {
+	return fmt.Sprintf("P-%06d", int(id))
+}
+
+// ParsePublonsID inverts PublonsID.
+func ParsePublonsID(pid string) (scholarly.ScholarID, bool) {
+	if !strings.HasPrefix(pid, "P-") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(pid[2:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return scholarly.ScholarID(n), true
+}
+
+// ACMID renders an ACM DL profile id like "81000000042".
+func ACMID(id scholarly.ScholarID) string {
+	return fmt.Sprintf("81%09d", int(id))
+}
+
+// ParseACMID inverts ACMID.
+func ParseACMID(aid string) (scholarly.ScholarID, bool) {
+	if len(aid) != 11 || !strings.HasPrefix(aid, "81") {
+		return 0, false
+	}
+	n, err := strconv.Atoi(aid[2:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return scholarly.ScholarID(n), true
+}
+
+// RIDOf renders a ResearcherID like "A-1234-2008".
+func RIDOf(id scholarly.ScholarID) string {
+	letter := rune('A' + int(id)%26)
+	return fmt.Sprintf("%c-%04d-%d", letter, int(id)/26, 2008+int(id)%11)
+}
+
+// ParseRID inverts RIDOf.
+func ParseRID(rid string) (scholarly.ScholarID, bool) {
+	parts := strings.Split(rid, "-")
+	if len(parts) != 3 || len(parts[0]) != 1 {
+		return 0, false
+	}
+	letter := parts[0][0]
+	if letter < 'A' || letter > 'Z' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, false
+	}
+	id := scholarly.ScholarID(n*26 + int(letter-'A'))
+	if RIDOf(id) != rid {
+		return 0, false
+	}
+	return id, true
+}

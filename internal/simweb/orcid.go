@@ -1,0 +1,113 @@
+package simweb
+
+import (
+	"net/http"
+	"strings"
+
+	"minaret/internal/scholarly"
+)
+
+// ORCID serves JSON records. ORCID is the only source exposing full
+// *employment history*, which the COI engine needs for the
+// "previous similar affiliations" rule.
+//
+//	GET /v2.0/<orcid>/record   -> full record (person + employments + works)
+//	GET /search?q=<name>       -> expanded search results
+
+type orcidSearchResponse struct {
+	NumFound int              `json:"num-found"`
+	Result   []orcidSearchHit `json:"result"`
+}
+
+type orcidSearchHit struct {
+	ORCID       string `json:"orcid-id"`
+	GivenNames  string `json:"given-names"`
+	FamilyNames string `json:"family-names"`
+	Institution string `json:"institution-name"`
+}
+
+type orcidRecord struct {
+	ORCID       string            `json:"orcid-identifier"`
+	Person      orcidPerson       `json:"person"`
+	Employments []orcidEmployment `json:"employments"`
+	Works       []orcidWork       `json:"works"`
+}
+
+type orcidPerson struct {
+	GivenNames string   `json:"given-names"`
+	FamilyName string   `json:"family-name"`
+	Keywords   []string `json:"keywords"`
+}
+
+type orcidEmployment struct {
+	Organization string `json:"organization"`
+	Country      string `json:"country"`
+	StartYear    int    `json:"start-year"`
+	EndYear      int    `json:"end-year,omitempty"` // 0/absent = current
+}
+
+type orcidWork struct {
+	Title   string `json:"title"`
+	Year    int    `json:"publication-year"`
+	Journal string `json:"journal-title"`
+}
+
+func (w *Web) ridHandlerPresent(p scholarly.SourcePresence) bool { return p.ResearcherID }
+
+func (w *Web) orcidHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		hits := w.findByName(q, func(p scholarly.SourcePresence) bool { return p.ORCID }, 40)
+		resp := orcidSearchResponse{NumFound: len(hits)}
+		for _, s := range hits {
+			resp.Result = append(resp.Result, orcidSearchHit{
+				ORCID:       ORCIDOf(s.ID),
+				GivenNames:  s.Name.Given,
+				FamilyNames: s.Name.Family,
+				Institution: s.CurrentAffiliation().Institution,
+			})
+		}
+		writeJSON(rw, resp)
+	})
+	mux.HandleFunc("/v2.0/", func(rw http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v2.0/")
+		orcid, ok := strings.CutSuffix(rest, "/record")
+		if !ok {
+			http.NotFound(rw, r)
+			return
+		}
+		id, valid := ParseORCID(orcid)
+		if !valid || int(id) >= len(w.corpus.Scholars) || !w.corpus.Scholar(id).Presence.ORCID {
+			http.NotFound(rw, r)
+			return
+		}
+		s := w.corpus.Scholar(id)
+		rec := orcidRecord{
+			ORCID: orcid,
+			Person: orcidPerson{
+				GivenNames: s.Name.Given,
+				FamilyName: s.Name.Family,
+				Keywords:   s.Interests,
+			},
+		}
+		for _, a := range s.Affiliations {
+			rec.Employments = append(rec.Employments, orcidEmployment{
+				Organization: a.Institution,
+				Country:      a.Country,
+				StartYear:    a.StartYear,
+				EndYear:      a.EndYear,
+			})
+		}
+		for _, pubID := range s.Publications {
+			p := w.corpus.Publication(pubID)
+			rec.Works = append(rec.Works, orcidWork{
+				Title:   p.Title,
+				Year:    p.Year,
+				Journal: w.corpus.Venue(p.Venue).Name,
+			})
+		}
+		writeJSON(rw, rec)
+	})
+	return mux
+}

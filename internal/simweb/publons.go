@@ -1,0 +1,136 @@
+package simweb
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"minaret/internal/scholarly"
+)
+
+// Publons serves JSON, mirroring the academic review-history API:
+//
+//	GET /api/researcher/?name=<q>        -> researcher search
+//	GET /api/researcher/?interest=<q>    -> search by research interest
+//	GET /api/researcher/<id>/            -> researcher detail with reviews
+//
+// Publons is the paper's source for "experience with manuscript
+// reviewing": per-reviewer review logs with venue and turnaround.
+
+type publonsSearchResponse struct {
+	Count   int                `json:"count"`
+	Next    string             `json:"next,omitempty"`
+	Results []publonsSearchHit `json:"results"`
+}
+
+// publonsPageSize mirrors the real API's paginated researcher search.
+const publonsPageSize = 20
+
+type publonsSearchHit struct {
+	ID          string `json:"id"`
+	Name        string `json:"publishing_name"`
+	Institution string `json:"institution"`
+	Country     string `json:"country"`
+	NumReviews  int    `json:"num_reviews"`
+}
+
+type publonsResearcher struct {
+	ID          string          `json:"id"`
+	Name        string          `json:"publishing_name"`
+	Institution string          `json:"institution"`
+	Country     string          `json:"country"`
+	Interests   []string        `json:"research_fields"`
+	NumReviews  int             `json:"num_reviews"`
+	Reviews     []publonsReview `json:"reviews"`
+}
+
+type publonsReview struct {
+	Journal        string  `json:"journal"`
+	Year           int     `json:"year"`
+	DaysToComplete int     `json:"days_to_complete"`
+	Quality        float64 `json:"quality_score"`
+}
+
+func (w *Web) publonsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/researcher/", func(rw http.ResponseWriter, r *http.Request) {
+		rest := strings.Trim(strings.TrimPrefix(r.URL.Path, "/api/researcher/"), "/")
+		if rest == "" {
+			w.publonsSearch(rw, r)
+			return
+		}
+		w.publonsDetail(rw, r, rest)
+	})
+	return mux
+}
+
+func (w *Web) publonsSearch(rw http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	present := func(p scholarly.SourcePresence) bool { return p.Publons }
+	page, _ := strconv.Atoi(q.Get("page"))
+	if page < 1 {
+		page = 1
+	}
+	offset := (page - 1) * publonsPageSize
+	var hits []*scholarly.Scholar
+	var more bool
+	if name := q.Get("name"); name != "" {
+		hits, more = w.findByNamePaged(name, present, offset, publonsPageSize)
+	} else if interest := q.Get("interest"); interest != "" {
+		hits, more = w.findByInterestPaged(interest, present, offset, publonsPageSize)
+	}
+	resp := publonsSearchResponse{Count: len(hits)}
+	if more {
+		next := *r.URL
+		nq := next.Query()
+		nq.Set("page", strconv.Itoa(page+1))
+		next.RawQuery = nq.Encode()
+		resp.Next = next.String()
+	}
+	for _, s := range hits {
+		aff := s.CurrentAffiliation()
+		resp.Results = append(resp.Results, publonsSearchHit{
+			ID:          PublonsID(s.ID),
+			Name:        s.Name.Full(),
+			Institution: aff.Institution,
+			Country:     aff.Country,
+			NumReviews:  len(s.Reviews),
+		})
+	}
+	writeJSON(rw, resp)
+}
+
+func (w *Web) publonsDetail(rw http.ResponseWriter, r *http.Request, pid string) {
+	id, ok := ParsePublonsID(pid)
+	if !ok || int(id) >= len(w.corpus.Scholars) || !w.corpus.Scholar(id).Presence.Publons {
+		http.NotFound(rw, r)
+		return
+	}
+	s := w.corpus.Scholar(id)
+	aff := s.CurrentAffiliation()
+	resp := publonsResearcher{
+		ID:          pid,
+		Name:        s.Name.Full(),
+		Institution: aff.Institution,
+		Country:     aff.Country,
+		Interests:   s.Interests,
+		NumReviews:  len(s.Reviews),
+	}
+	for _, rev := range s.Reviews {
+		resp.Reviews = append(resp.Reviews, publonsReview{
+			Journal:        w.corpus.Venue(rev.Venue).Name,
+			Year:           rev.Year,
+			DaysToComplete: rev.DaysToComplete,
+			Quality:        rev.Quality,
+		})
+	}
+	writeJSON(rw, resp)
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}

@@ -1,0 +1,78 @@
+package simweb
+
+import (
+	"net/http"
+	"strings"
+)
+
+// ResearcherID (Web of Science) serves JSON with summary metrics only —
+// the thinnest of the six sources, exercising the "merge a sparse record"
+// path in profile assembly.
+//
+//	GET /profile/<rid>    -> metrics summary
+//	GET /search?name=<q>  -> hit list
+
+type ridSearchResponse struct {
+	Hits []ridSearchHit `json:"hits"`
+}
+
+type ridSearchHit struct {
+	RID         string `json:"researcher_id"`
+	Name        string `json:"name"`
+	Institution string `json:"institution"`
+}
+
+type ridProfile struct {
+	RID       string     `json:"researcher_id"`
+	Name      string     `json:"name"`
+	Keywords  []string   `json:"keywords"`
+	Metrics   ridMetrics `json:"metrics"`
+	Country   string     `json:"country"`
+	Institute string     `json:"institution"`
+}
+
+type ridMetrics struct {
+	Citations    int `json:"total_times_cited"`
+	HIndex       int `json:"h_index"`
+	Publications int `json:"publication_count"`
+}
+
+func (w *Web) ridHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("name")
+		hits := w.findByName(q, w.ridHandlerPresent, 40)
+		resp := ridSearchResponse{}
+		for _, s := range hits {
+			resp.Hits = append(resp.Hits, ridSearchHit{
+				RID:         RIDOf(s.ID),
+				Name:        s.Name.Reversed(),
+				Institution: s.CurrentAffiliation().Institution,
+			})
+		}
+		writeJSON(rw, resp)
+	})
+	mux.HandleFunc("/profile/", func(rw http.ResponseWriter, r *http.Request) {
+		rid := strings.Trim(strings.TrimPrefix(r.URL.Path, "/profile/"), "/")
+		id, ok := ParseRID(rid)
+		if !ok || int(id) >= len(w.corpus.Scholars) || !w.corpus.Scholar(id).Presence.ResearcherID {
+			http.NotFound(rw, r)
+			return
+		}
+		s := w.corpus.Scholar(id)
+		aff := s.CurrentAffiliation()
+		writeJSON(rw, ridProfile{
+			RID:       rid,
+			Name:      s.Name.Reversed(),
+			Keywords:  s.Interests,
+			Country:   aff.Country,
+			Institute: aff.Institution,
+			Metrics: ridMetrics{
+				Citations:    w.corpus.CitationCount(id),
+				HIndex:       w.corpus.HIndex(id),
+				Publications: len(s.Publications),
+			},
+		})
+	})
+	return mux
+}

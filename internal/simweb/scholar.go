@@ -1,0 +1,141 @@
+package simweb
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"minaret/internal/scholarly"
+)
+
+// Google Scholar serves HTML, mirroring the real site's structure and
+// CSS class names closely enough that the scraping layer has to do real
+// HTML work:
+//
+//	GET /citations?user=<token>                          -> profile page
+//	GET /citations?view_op=search_authors&mauthors=<q>   -> author search
+//
+// As on the real site, an interest search uses the "label:" prefix with
+// underscores for spaces (label:semantic_web).
+
+func (w *Web) scholarHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/citations", func(rw http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if user := q.Get("user"); user != "" {
+			w.scholarProfile(rw, r, user)
+			return
+		}
+		if q.Get("view_op") == "search_authors" {
+			astart, _ := strconv.Atoi(q.Get("astart"))
+			if astart < 0 {
+				astart = 0
+			}
+			w.scholarSearch(rw, q.Get("mauthors"), astart)
+			return
+		}
+		http.Error(rw, "bad request", http.StatusBadRequest)
+	})
+	return mux
+}
+
+// scholarPageSize is the author-search page size, matching the real
+// site's 10-per-page pagination via the astart parameter.
+const scholarPageSize = 10
+
+func (w *Web) scholarSearch(rw http.ResponseWriter, query string, astart int) {
+	present := func(p scholarly.SourcePresence) bool { return p.GoogleScholar }
+	var hits []*scholarly.Scholar
+	var more bool
+	if lbl, ok := strings.CutPrefix(query, "label:"); ok {
+		topic := strings.ReplaceAll(lbl, "_", " ")
+		hits, more = w.findByInterestPaged(topic, present, astart, scholarPageSize)
+	} else {
+		hits, more = w.findByNamePaged(query, present, astart, scholarPageSize)
+	}
+	var b strings.Builder
+	b.WriteString("<html><body><div id=\"gsc_sa_ccl\">\n")
+	for _, s := range hits {
+		fmt.Fprintf(&b, "<div class=\"gsc_1usr\">")
+		fmt.Fprintf(&b, "<h3 class=\"gs_ai_name\"><a href=\"/citations?user=%s\">%s</a></h3>",
+			ScholarUser(s.ID), html.EscapeString(s.Name.Full()))
+		fmt.Fprintf(&b, "<div class=\"gs_ai_aff\">%s</div>",
+			html.EscapeString(s.CurrentAffiliation().Institution))
+		b.WriteString("<div class=\"gs_ai_int\">")
+		for _, in := range s.Interests {
+			fmt.Fprintf(&b, "<a class=\"gs_ai_one_int\" href=\"/citations?view_op=search_authors&mauthors=label:%s\">%s</a> ",
+				strings.ReplaceAll(in, " ", "_"), html.EscapeString(in))
+		}
+		b.WriteString("</div>")
+		fmt.Fprintf(&b, "<div class=\"gs_ai_cby\">Cited by %d</div>", w.corpus.CitationCount(s.ID))
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("</div>\n")
+	if more {
+		fmt.Fprintf(&b, "<div id=\"gsc_authors_bottom_pag\"><a class=\"gs_btnPR\" href=\"/citations?view_op=search_authors&mauthors=%s&astart=%d\">Next</a></div>\n",
+			url.QueryEscape(query), astart+scholarPageSize)
+	}
+	b.WriteString("</body></html>\n")
+	writeHTML(rw, b.String())
+}
+
+// scholarPubPageSize is the profile publication-list page size, matching
+// the real site's cstart/pagesize "show more" pagination.
+const scholarPubPageSize = 20
+
+func (w *Web) scholarProfile(rw http.ResponseWriter, r *http.Request, user string) {
+	id, ok := ParseScholarUser(user)
+	if !ok || int(id) >= len(w.corpus.Scholars) || !w.corpus.Scholar(id).Presence.GoogleScholar {
+		http.NotFound(rw, r)
+		return
+	}
+	cstart, _ := strconv.Atoi(r.URL.Query().Get("cstart"))
+	if cstart < 0 {
+		cstart = 0
+	}
+	s := w.corpus.Scholar(id)
+	var b strings.Builder
+	b.WriteString("<html><body>\n")
+	fmt.Fprintf(&b, "<div id=\"gsc_prf_in\">%s</div>\n", html.EscapeString(s.Name.Full()))
+	fmt.Fprintf(&b, "<div class=\"gsc_prf_il\" id=\"gsc_prf_i\">%s</div>\n",
+		html.EscapeString(s.CurrentAffiliation().Institution))
+	b.WriteString("<div id=\"gsc_prf_int\">")
+	for _, in := range s.Interests {
+		fmt.Fprintf(&b, "<a class=\"gs_ibl\" href=\"/citations?view_op=search_authors&mauthors=label:%s\">%s</a>",
+			strings.ReplaceAll(in, " ", "_"), html.EscapeString(in))
+	}
+	b.WriteString("</div>\n")
+	// Citation metrics table, as on the real profile sidebar.
+	fmt.Fprintf(&b, `<table id="gsc_rsb_st"><tbody>
+<tr><td class="gsc_rsb_sc1">Citations</td><td class="gsc_rsb_std">%d</td></tr>
+<tr><td class="gsc_rsb_sc1">h-index</td><td class="gsc_rsb_std">%d</td></tr>
+<tr><td class="gsc_rsb_sc1">i10-index</td><td class="gsc_rsb_std">%d</td></tr>
+</tbody></table>
+`, w.corpus.CitationCount(id), w.corpus.HIndex(id), w.corpus.I10Index(id))
+	// Publication rows, one page at a time like the real profile's
+	// "show more" button.
+	b.WriteString("<table id=\"gsc_a_t\"><tbody>\n")
+	end := cstart + scholarPubPageSize
+	if end > len(s.Publications) {
+		end = len(s.Publications)
+	}
+	for _, pubID := range s.Publications[min(cstart, len(s.Publications)):end] {
+		p := w.corpus.Publication(pubID)
+		fmt.Fprintf(&b, "<tr class=\"gsc_a_tr\"><td class=\"gsc_a_t\"><a class=\"gsc_a_at\">%s</a><div class=\"gs_gray\">%s</div></td><td class=\"gsc_a_c\">%d</td><td class=\"gsc_a_y\">%d</td></tr>\n",
+			html.EscapeString(p.Title), html.EscapeString(w.corpus.Venue(p.Venue).Name), p.Citations, p.Year)
+	}
+	b.WriteString("</tbody></table>\n")
+	if end < len(s.Publications) {
+		fmt.Fprintf(&b, "<a id=\"gsc_bpf_more\" href=\"/citations?user=%s&cstart=%d\">Show more</a>\n", user, end)
+	}
+	b.WriteString("</body></html>\n")
+	writeHTML(rw, b.String())
+}
+
+func writeHTML(rw http.ResponseWriter, body string) {
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	rw.Write([]byte(body))
+}

@@ -1,0 +1,227 @@
+// Package simweb simulates the six scholarly websites MINARET extracts
+// from: DBLP, Google Scholar, Publons, ACM DL, ORCID and ResearcherID.
+//
+// Each site serves its own wire format (DBLP: XML, Google Scholar and
+// ACM DL: HTML, Publons/ORCID/ResearcherID: JSON) rendered from one
+// consistent synthetic corpus, so the extraction layer above exercises
+// exactly the code paths the paper's live scrapers need: heterogeneous
+// parsing, per-site identifiers, entity reconciliation, and tolerance of
+// sites that are slow, rate limited, or down.
+package simweb
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"minaret/internal/scholarly"
+)
+
+// Source names the simulated sites. These strings are shared with the
+// sources package and with provenance records.
+const (
+	SourceDBLP         = "dblp"
+	SourceScholar      = "scholar"
+	SourcePublons      = "publons"
+	SourceACM          = "acm"
+	SourceORCID        = "orcid"
+	SourceResearcherID = "rid"
+)
+
+// AllSources lists every simulated site in canonical order.
+var AllSources = []string{
+	SourceDBLP, SourceScholar, SourcePublons,
+	SourceACM, SourceORCID, SourceResearcherID,
+}
+
+// Config controls failure injection and latency for the simulated web.
+type Config struct {
+	// Latency is the fixed service time added to every request, plus up
+	// to LatencyJitter of uniformly random extra time.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// ErrorRate is the probability that a request fails with HTTP 500.
+	ErrorRate float64
+	// RatePerSecond, if positive, caps each site's request rate;
+	// excess requests receive HTTP 429 (which the fetch layer retries).
+	RatePerSecond int
+	// Down lists sites that answer 503 to everything.
+	Down map[string]bool
+	// Seed drives the failure-injection RNG.
+	Seed int64
+}
+
+// Web is the simulated scholarly web over a corpus.
+type Web struct {
+	corpus *scholarly.Corpus
+	cfg    Config
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	reqHits map[string]*rateWindow
+
+	requests map[string]*int64 // per-site request counters (behind mu)
+}
+
+type rateWindow struct {
+	second int64
+	count  int
+}
+
+// New builds the simulated web over the given corpus.
+func New(corpus *scholarly.Corpus, cfg Config) *Web {
+	w := &Web{
+		corpus:   corpus,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		reqHits:  make(map[string]*rateWindow),
+		requests: make(map[string]*int64),
+	}
+	for _, s := range AllSources {
+		var n int64
+		w.requests[s] = &n
+	}
+	return w
+}
+
+// Corpus exposes the backing corpus (experiments need ground truth).
+func (w *Web) Corpus() *scholarly.Corpus { return w.corpus }
+
+// RequestCount reports how many requests a site has served (including
+// injected failures).
+func (w *Web) RequestCount(source string) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if p, ok := w.requests[source]; ok {
+		return *p
+	}
+	return 0
+}
+
+// Mux mounts all six sites under path prefixes /dblp/, /scholar/,
+// /publons/, /acm/, /orcid/ and /rid/.
+func (w *Web) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/dblp/", http.StripPrefix("/dblp", w.instrument(SourceDBLP, w.dblpHandler())))
+	mux.Handle("/scholar/", http.StripPrefix("/scholar", w.instrument(SourceScholar, w.scholarHandler())))
+	mux.Handle("/publons/", http.StripPrefix("/publons", w.instrument(SourcePublons, w.publonsHandler())))
+	mux.Handle("/acm/", http.StripPrefix("/acm", w.instrument(SourceACM, w.acmHandler())))
+	mux.Handle("/orcid/", http.StripPrefix("/orcid", w.instrument(SourceORCID, w.orcidHandler())))
+	mux.Handle("/rid/", http.StripPrefix("/rid", w.instrument(SourceResearcherID, w.ridHandler())))
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	return mux
+}
+
+// instrument applies the failure-injection policy around a site handler.
+func (w *Web) instrument(source string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		w.mu.Lock()
+		*w.requests[source]++
+		down := w.cfg.Down[source]
+		fail := w.cfg.ErrorRate > 0 && w.rng.Float64() < w.cfg.ErrorRate
+		var extra time.Duration
+		if w.cfg.LatencyJitter > 0 {
+			extra = time.Duration(w.rng.Int63n(int64(w.cfg.LatencyJitter)))
+		}
+		limited := false
+		if w.cfg.RatePerSecond > 0 {
+			nowSec := time.Now().Unix()
+			win, ok := w.reqHits[source]
+			if !ok || win.second != nowSec {
+				win = &rateWindow{second: nowSec}
+				w.reqHits[source] = win
+			}
+			win.count++
+			limited = win.count > w.cfg.RatePerSecond
+		}
+		w.mu.Unlock()
+
+		if w.cfg.Latency+extra > 0 {
+			time.Sleep(w.cfg.Latency + extra)
+		}
+		switch {
+		case down:
+			http.Error(rw, "service unavailable", http.StatusServiceUnavailable)
+		case limited:
+			http.Error(rw, "rate limit exceeded", http.StatusTooManyRequests)
+		case fail:
+			http.Error(rw, "internal error", http.StatusInternalServerError)
+		default:
+			h.ServeHTTP(rw, r)
+		}
+	})
+}
+
+// matchName reports whether a scholar's name matches a free-text query:
+// case-insensitive substring on the full name, or exact family name.
+func matchName(n scholarly.Name, query string) bool {
+	q := strings.ToLower(strings.TrimSpace(query))
+	if q == "" {
+		return false
+	}
+	full := strings.ToLower(n.Full())
+	return strings.Contains(full, q) || strings.EqualFold(n.Family, q)
+}
+
+// findByName returns scholars whose names match the query and who are
+// present on the given source, capped at limit.
+func (w *Web) findByName(query string, present func(scholarly.SourcePresence) bool, limit int) []*scholarly.Scholar {
+	out, _ := w.findByNamePaged(query, present, 0, limit)
+	return out
+}
+
+// findByNamePaged returns one page of name matches plus whether more
+// matches exist beyond it.
+func (w *Web) findByNamePaged(query string, present func(scholarly.SourcePresence) bool, offset, limit int) ([]*scholarly.Scholar, bool) {
+	var out []*scholarly.Scholar
+	skipped := 0
+	for i := range w.corpus.Scholars {
+		s := &w.corpus.Scholars[i]
+		if !present(s.Presence) || !matchName(s.Name, query) {
+			continue
+		}
+		if skipped < offset {
+			skipped++
+			continue
+		}
+		if len(out) == limit {
+			return out, true
+		}
+		out = append(out, s)
+	}
+	return out, false
+}
+
+// findByInterest returns scholars registering the interest, present on
+// the source, capped at limit.
+func (w *Web) findByInterest(topic string, present func(scholarly.SourcePresence) bool, limit int) []*scholarly.Scholar {
+	out, _ := w.findByInterestPaged(topic, present, 0, limit)
+	return out
+}
+
+// findByInterestPaged returns one page of interest matches plus whether
+// more exist.
+func (w *Web) findByInterestPaged(topic string, present func(scholarly.SourcePresence) bool, offset, limit int) ([]*scholarly.Scholar, bool) {
+	var out []*scholarly.Scholar
+	skipped := 0
+	for _, id := range w.corpus.ScholarsByInterest(topic) {
+		s := w.corpus.Scholar(id)
+		if !present(s.Presence) {
+			continue
+		}
+		if skipped < offset {
+			skipped++
+			continue
+		}
+		if len(out) == limit {
+			return out, true
+		}
+		out = append(out, s)
+	}
+	return out, false
+}

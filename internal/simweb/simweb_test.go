@@ -1,0 +1,370 @@
+package simweb
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+)
+
+func testWeb(t *testing.T, cfg Config) (*Web, *httptest.Server) {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 61, NumScholars: 200, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	w := New(corpus, cfg)
+	srv := httptest.NewServer(w.Mux())
+	t.Cleanup(srv.Close)
+	return w, srv
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func pickPresent(w *Web, pred func(scholarly.SourcePresence) bool) *scholarly.Scholar {
+	for i := range w.corpus.Scholars {
+		s := &w.corpus.Scholars[i]
+		if pred(s.Presence) && len(s.Publications) > 0 {
+			return s
+		}
+	}
+	return nil
+}
+
+func TestHealthz(t *testing.T) {
+	_, srv := testWeb(t, Config{})
+	resp, body := get(t, srv.URL+"/healthz")
+	if resp.StatusCode != 200 || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestDBLPServesWellFormedXML(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	s := pickPresent(w, func(p scholarly.SourcePresence) bool { return p.DBLP })
+	resp, body := get(t, srv.URL+"/dblp/pid/"+DBLPPID(s.ID)+".xml")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "xml") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var person struct {
+		Name string `xml:"name,attr"`
+		N    int    `xml:"n,attr"`
+	}
+	if err := xml.Unmarshal(body, &person); err != nil {
+		t.Fatalf("invalid XML: %v", err)
+	}
+	if person.Name != s.Name.Full() || person.N != len(s.Publications) {
+		t.Fatalf("person = %+v", person)
+	}
+}
+
+func TestScholarServesHTML(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	s := pickPresent(w, func(p scholarly.SourcePresence) bool { return p.GoogleScholar })
+	resp, body := get(t, srv.URL+"/scholar/citations?user="+ScholarUser(s.ID))
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	html := string(body)
+	for _, want := range []string{"gsc_prf_in", "gsc_rsb_st", "gsc_a_tr", s.Name.Full()} {
+		if !strings.Contains(html, want) {
+			t.Errorf("profile HTML missing %q", want)
+		}
+	}
+}
+
+func TestPublonsServesJSON(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	s := pickPresent(w, func(p scholarly.SourcePresence) bool { return p.Publons })
+	resp, body := get(t, srv.URL+"/publons/api/researcher/"+PublonsID(s.ID)+"/")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var r struct {
+		Name       string `json:"publishing_name"`
+		NumReviews int    `json:"num_reviews"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if r.Name != s.Name.Full() || r.NumReviews != len(s.Reviews) {
+		t.Fatalf("researcher = %+v", r)
+	}
+}
+
+func TestUnknownIDs404(t *testing.T) {
+	_, srv := testWeb(t, Config{})
+	for _, path := range []string{
+		"/dblp/pid/zz-99.xml",
+		"/scholar/citations?user=nope",
+		"/publons/api/researcher/P-999999/",
+		"/acm/profile/81999999999",
+		"/orcid/v2.0/0000-0000-0000-0000/record",
+		"/rid/profile/Z-9999-2020",
+	} {
+		resp, _ := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s -> %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestDownSite503(t *testing.T) {
+	_, srv := testWeb(t, Config{Down: map[string]bool{SourceDBLP: true}})
+	resp, _ := get(t, srv.URL+"/dblp/search/author?q=x")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("down site = %d", resp.StatusCode)
+	}
+	resp2, _ := get(t, srv.URL+"/orcid/search?q=x")
+	if resp2.StatusCode != 200 {
+		t.Fatalf("healthy site = %d", resp2.StatusCode)
+	}
+}
+
+func TestErrorInjection(t *testing.T) {
+	_, srv := testWeb(t, Config{ErrorRate: 1.0, Seed: 3})
+	resp, _ := get(t, srv.URL+"/orcid/search?q=x")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("error rate 1.0 returned %d", resp.StatusCode)
+	}
+}
+
+func TestRateLimit429(t *testing.T) {
+	_, srv := testWeb(t, Config{RatePerSecond: 2})
+	limited := false
+	for i := 0; i < 10; i++ {
+		resp, _ := get(t, srv.URL+"/rid/search?name=x")
+		if resp.StatusCode == http.StatusTooManyRequests {
+			limited = true
+			break
+		}
+	}
+	if !limited {
+		t.Fatal("rate limit never triggered in 10 rapid requests")
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	_, srv := testWeb(t, Config{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	get(t, srv.URL+"/healthz") // healthz is uninstrumented
+	fast := time.Since(start)
+	start = time.Now()
+	get(t, srv.URL+"/orcid/search?q=x")
+	slow := time.Since(start)
+	if slow < 30*time.Millisecond {
+		t.Fatalf("instrumented request took %v, want >= 30ms", slow)
+	}
+	_ = fast
+}
+
+func TestRequestCounting(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	before := w.RequestCount(SourceORCID)
+	get(t, srv.URL+"/orcid/search?q=x")
+	get(t, srv.URL+"/orcid/search?q=y")
+	if got := w.RequestCount(SourceORCID) - before; got != 2 {
+		t.Fatalf("request count delta = %d", got)
+	}
+	if w.RequestCount("unknown") != 0 {
+		t.Fatal("unknown source count != 0")
+	}
+}
+
+func TestInterestSearchHonoursPresence(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	// A scholar absent from Google Scholar must not appear in its
+	// interest search even when the interest matches.
+	var absent *scholarly.Scholar
+	for i := range w.corpus.Scholars {
+		s := &w.corpus.Scholars[i]
+		if !s.Presence.GoogleScholar && len(s.Interests) > 0 {
+			absent = s
+			break
+		}
+	}
+	if absent == nil {
+		t.Skip("everyone on scholar")
+	}
+	q := strings.ReplaceAll(absent.Interests[0], " ", "_")
+	_, body := get(t, srv.URL+"/scholar/citations?view_op=search_authors&mauthors=label:"+q)
+	if strings.Contains(string(body), ScholarUser(absent.ID)) {
+		t.Fatal("absent scholar leaked into interest search")
+	}
+}
+
+func TestScholarSearchPagination(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	// Find an interest with more than one page of scholars.
+	counts := map[string]int{}
+	for i := range w.corpus.Scholars {
+		s := &w.corpus.Scholars[i]
+		if !s.Presence.GoogleScholar {
+			continue
+		}
+		for _, in := range s.Interests {
+			counts[in]++
+		}
+	}
+	topic, n := "", 0
+	for in, c := range counts {
+		if c > n {
+			topic, n = in, c
+		}
+	}
+	if n <= scholarPageSize {
+		t.Skipf("max interest popularity %d <= page size", n)
+	}
+	q := strings.ReplaceAll(topic, " ", "_")
+	_, body := get(t, srv.URL+"/scholar/citations?view_op=search_authors&mauthors=label:"+q)
+	html := string(body)
+	if !strings.Contains(html, "gs_btnPR") {
+		t.Fatal("first page missing next-page link")
+	}
+	if c := strings.Count(html, "gsc_1usr"); c != scholarPageSize {
+		t.Fatalf("page 1 has %d cards, want %d", c, scholarPageSize)
+	}
+	// Last page has no next link.
+	lastStart := ((n - 1) / scholarPageSize) * scholarPageSize
+	_, body2 := get(t, srv.URL+"/scholar/citations?view_op=search_authors&mauthors=label:"+q+
+		"&astart="+itoa(lastStart))
+	if strings.Contains(string(body2), "gs_btnPR") {
+		t.Fatal("last page still links next")
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestACMUsesInitialedNames(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	s := pickPresent(w, func(p scholarly.SourcePresence) bool { return p.ACMDL })
+	_, body := get(t, srv.URL+"/acm/profile/"+ACMID(s.ID))
+	if !strings.Contains(string(body), s.Name.Initialed()) {
+		t.Fatalf("ACM profile missing initialed name %q", s.Name.Initialed())
+	}
+}
+
+func TestSearchEndpointsAcrossSources(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	s := pickPresent(w, func(p scholarly.SourcePresence) bool {
+		return p.ACMDL && p.ORCID && p.ResearcherID && p.Publons
+	})
+	if s == nil {
+		t.Skip("no scholar present everywhere")
+	}
+	q := s.Name.Family
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/acm/search?q=" + q, "people-item"},
+		{"/orcid/search?q=" + q, "orcid-id"},
+		{"/rid/search?name=" + q, "researcher_id"},
+		{"/publons/api/researcher/?name=" + q, "publishing_name"},
+		{"/dblp/search/author?q=" + q, "<author"},
+	}
+	for _, c := range cases {
+		resp, body := get(t, srv.URL+strings.ReplaceAll(c.path, " ", "+"))
+		if resp.StatusCode != 200 {
+			t.Errorf("%s -> %d", c.path, resp.StatusCode)
+			continue
+		}
+		if !strings.Contains(string(body), c.want) {
+			t.Errorf("%s missing %q in body", c.path, c.want)
+		}
+	}
+}
+
+func TestScholarBadRequest(t *testing.T) {
+	_, srv := testWeb(t, Config{})
+	resp, _ := get(t, srv.URL+"/scholar/citations")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("citations without params = %d", resp.StatusCode)
+	}
+}
+
+func TestORCIDMalformedPaths(t *testing.T) {
+	_, srv := testWeb(t, Config{})
+	for _, path := range []string{
+		"/orcid/v2.0/0000-0002-0000-0001", // missing /record
+		"/orcid/v2.0/",
+	} {
+		resp, _ := get(t, srv.URL+path)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestPublonsEmptySearch(t *testing.T) {
+	_, srv := testWeb(t, Config{})
+	resp, body := get(t, srv.URL+"/publons/api/researcher/?name=zzzznobody")
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var r struct {
+		Count int `json:"count"`
+	}
+	if err := json.Unmarshal(body, &r); err != nil || r.Count != 0 {
+		t.Fatalf("empty search: %v count=%d", err, r.Count)
+	}
+}
+
+func TestORCIDEmploymentHistory(t *testing.T) {
+	w, srv := testWeb(t, Config{})
+	var multi *scholarly.Scholar
+	for i := range w.corpus.Scholars {
+		s := &w.corpus.Scholars[i]
+		if s.Presence.ORCID && len(s.Affiliations) >= 2 {
+			multi = s
+			break
+		}
+	}
+	if multi == nil {
+		t.Skip("no multi-affiliation scholar")
+	}
+	_, body := get(t, srv.URL+"/orcid/v2.0/"+ORCIDOf(multi.ID)+"/record")
+	var rec struct {
+		Employments []struct {
+			Organization string `json:"organization"`
+		} `json:"employments"`
+	}
+	if err := json.Unmarshal(body, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Employments) != len(multi.Affiliations) {
+		t.Fatalf("employments = %d, want %d", len(rec.Employments), len(multi.Affiliations))
+	}
+}

@@ -1,0 +1,103 @@
+package sources
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"minaret/internal/fetch"
+)
+
+// ACM DL client: scrapes HTML profile pages. ACM reports names in
+// initialed form ("L. Zhou"); downstream name resolution must match
+// these against full names from other sources.
+
+// ACMClient extracts from an ACM DL-shaped site.
+type ACMClient struct {
+	f    *fetch.Client
+	base string
+}
+
+// NewACM builds a client rooted at base.
+func NewACM(f *fetch.Client, base string) *ACMClient {
+	return &ACMClient{f: f, base: base}
+}
+
+// Source implements Client.
+func (c *ACMClient) Source() string { return "acm" }
+
+// SearchAuthor implements Client.
+func (c *ACMClient) SearchAuthor(ctx context.Context, name string) ([]Hit, error) {
+	body, err := c.f.Get(ctx, c.base+"/search?q="+url.QueryEscape(name))
+	if err != nil {
+		return nil, fmt.Errorf("acm search %q: %w", name, err)
+	}
+	doc := ParseHTML(body)
+	var hits []Hit
+	for _, item := range doc.ByClass("people-item") {
+		hit := Hit{Source: c.Source()}
+		if a := item.Find(func(n *HTMLNode) bool { return n.HasClass("author-name") }); a != nil {
+			hit.Name = a.InnerText()
+			hit.SiteID = profileIDFromHref(a.Attr("href"))
+		}
+		if inst := item.Find(func(n *HTMLNode) bool { return n.HasClass("institution") }); inst != nil {
+			hit.Affiliation = inst.InnerText()
+		}
+		if hit.SiteID != "" {
+			hits = append(hits, hit)
+		}
+	}
+	return hits, nil
+}
+
+// Profile implements Client.
+func (c *ACMClient) Profile(ctx context.Context, acmID string) (*Record, error) {
+	body, err := c.f.Get(ctx, c.base+"/profile/"+url.PathEscape(acmID))
+	if err != nil {
+		return nil, fmt.Errorf("acm profile %q: %w", acmID, err)
+	}
+	doc := ParseHTML(body)
+	rec := &Record{Source: c.Source(), SiteID: acmID}
+	if el := doc.Find(func(n *HTMLNode) bool { return n.HasClass("author-name") }); el != nil {
+		rec.Name = el.InnerText()
+	}
+	if el := doc.Find(func(n *HTMLNode) bool { return n.HasClass("institution") }); el != nil {
+		rec.Affiliation = el.InnerText()
+	}
+	if el := doc.Find(func(n *HTMLNode) bool { return n.HasClass("citation-count") }); el != nil {
+		rec.Citations, _ = strconv.Atoi(strings.TrimSpace(el.InnerText()))
+	}
+	for _, item := range doc.ByClass("pub-item") {
+		pub := PubRecord{}
+		if t := item.Find(func(n *HTMLNode) bool { return n.HasClass("pub-title") }); t != nil {
+			pub.Title = t.InnerText()
+		}
+		if v := item.Find(func(n *HTMLNode) bool { return n.HasClass("pub-venue") }); v != nil {
+			pub.Venue = v.InnerText()
+		}
+		if y := item.Find(func(n *HTMLNode) bool { return n.HasClass("pub-year") }); y != nil {
+			pub.Year, _ = strconv.Atoi(y.InnerText())
+		}
+		if ct := item.Find(func(n *HTMLNode) bool { return n.HasClass("pub-cites") }); ct != nil {
+			pub.Citations, _ = strconv.Atoi(ct.InnerText())
+		}
+		if pub.Title != "" {
+			rec.Publications = append(rec.Publications, pub)
+		}
+	}
+	rec.PubCount = len(rec.Publications)
+	if rec.Name == "" {
+		return nil, fmt.Errorf("acm profile %q: page missing name (layout change?)", acmID)
+	}
+	return rec, nil
+}
+
+func profileIDFromHref(href string) string {
+	idx := strings.LastIndex(href, "/")
+	if idx < 0 {
+		return ""
+	}
+	return href[idx+1:]
+}

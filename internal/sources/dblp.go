@@ -1,0 +1,119 @@
+package sources
+
+import (
+	"context"
+	"encoding/xml"
+	"fmt"
+	"net/url"
+
+	"minaret/internal/fetch"
+)
+
+// DBLP client: parses the XML author search and person record endpoints.
+
+// DBLP wire format (decoded independently of the simulator's encoder, as
+// a real scraper would be written against the documented API).
+type dblpAuthorsXML struct {
+	Hits []struct {
+		PID  string `xml:"pid,attr"`
+		Note string `xml:"note,attr"`
+		Name string `xml:",chardata"`
+	} `xml:"author"`
+}
+
+type dblpPersonXML struct {
+	Name    string `xml:"name,attr"`
+	PID     string `xml:"pid,attr"`
+	Records []struct {
+		Article *dblpArticleXML `xml:"article"`
+		Inproc  *dblpArticleXML `xml:"inproceedings"`
+	} `xml:"r"`
+}
+
+type dblpArticleXML struct {
+	Year    int    `xml:"year"`
+	Title   string `xml:"title"`
+	Journal string `xml:"journal"`
+	Booktitle string `xml:"booktitle"`
+	Cites   int    `xml:"cites"`
+	Authors []struct {
+		PID  string `xml:"pid,attr"`
+		Name string `xml:",chardata"`
+	} `xml:"author"`
+}
+
+// DBLPClient extracts from a DBLP-shaped site.
+type DBLPClient struct {
+	f    *fetch.Client
+	base string
+}
+
+// NewDBLP builds a DBLP client rooted at base (no trailing slash).
+func NewDBLP(f *fetch.Client, base string) *DBLPClient {
+	return &DBLPClient{f: f, base: base}
+}
+
+// Source implements Client.
+func (c *DBLPClient) Source() string { return "dblp" }
+
+// SearchAuthor implements Client.
+func (c *DBLPClient) SearchAuthor(ctx context.Context, name string) ([]Hit, error) {
+	body, err := c.f.Get(ctx, c.base+"/search/author?q="+url.QueryEscape(name))
+	if err != nil {
+		return nil, fmt.Errorf("dblp search %q: %w", name, err)
+	}
+	var parsed dblpAuthorsXML
+	if err := xml.Unmarshal(body, &parsed); err != nil {
+		return nil, fmt.Errorf("dblp search %q: parse: %w", name, err)
+	}
+	var hits []Hit
+	for _, h := range parsed.Hits {
+		hits = append(hits, Hit{
+			Source:      c.Source(),
+			SiteID:      h.PID,
+			Name:        h.Name,
+			Affiliation: h.Note,
+		})
+	}
+	return hits, nil
+}
+
+// Profile implements Client.
+func (c *DBLPClient) Profile(ctx context.Context, pid string) (*Record, error) {
+	body, err := c.f.Get(ctx, c.base+"/pid/"+pid+".xml")
+	if err != nil {
+		return nil, fmt.Errorf("dblp profile %q: %w", pid, err)
+	}
+	var parsed dblpPersonXML
+	if err := xml.Unmarshal(body, &parsed); err != nil {
+		return nil, fmt.Errorf("dblp profile %q: parse: %w", pid, err)
+	}
+	rec := &Record{Source: c.Source(), SiteID: pid, Name: parsed.Name}
+	for _, r := range parsed.Records {
+		art := r.Article
+		if art == nil {
+			art = r.Inproc
+		}
+		if art == nil {
+			continue
+		}
+		venue := art.Journal
+		if venue == "" {
+			venue = art.Booktitle
+		}
+		pub := PubRecord{
+			Title:     art.Title,
+			Year:      art.Year,
+			Venue:     venue,
+			Citations: art.Cites,
+		}
+		for _, a := range art.Authors {
+			pub.CoAuthors = append(pub.CoAuthors, a.Name)
+			pub.CoAuthorIDs = append(pub.CoAuthorIDs, a.PID)
+		}
+		rec.Publications = append(rec.Publications, pub)
+		rec.Citations += art.Cites
+	}
+	rec.PubCount = len(rec.Publications)
+	return rec, nil
+}

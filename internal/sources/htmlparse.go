@@ -1,0 +1,297 @@
+package sources
+
+import (
+	"strings"
+)
+
+// Minimal tolerant HTML parser. The stdlib has no HTML package and this
+// repo is stdlib-only, so the scrapers parse pages with this small tree
+// builder. It handles the subset of HTML real profile pages use: nested
+// elements, attributes with single/double/no quotes, void elements,
+// comments, and entity-escaped text. Unknown or malformed input degrades
+// to text rather than failing: scrapers prefer partial data to errors.
+
+// HTMLNode is one element or text node.
+type HTMLNode struct {
+	// Tag is the lower-cased element name; empty for text nodes.
+	Tag string
+	// Attrs holds the element's attributes, keys lower-cased.
+	Attrs map[string]string
+	// Text is the decoded text content for text nodes.
+	Text     string
+	Children []*HTMLNode
+	Parent   *HTMLNode
+}
+
+// voidElements never have children.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// implicitClose maps a tag to the open tags that a new occurrence
+// auto-closes (HTML's optional end tags: a new <li> closes an open <li>).
+var implicitClose = map[string][]string{
+	"li": {"li"}, "tr": {"tr", "td", "th"}, "td": {"td", "th"},
+	"th": {"td", "th"}, "p": {"p"}, "option": {"option"},
+}
+
+// ParseHTML builds a node tree from raw HTML. It never returns an error;
+// pathological input produces a tree containing whatever could be
+// recovered.
+func ParseHTML(raw []byte) *HTMLNode {
+	root := &HTMLNode{Tag: "#root"}
+	cur := root
+	s := string(raw)
+	i := 0
+	for i < len(s) {
+		if s[i] != '<' {
+			j := strings.IndexByte(s[i:], '<')
+			if j < 0 {
+				j = len(s) - i
+			}
+			text := decodeEntities(s[i : i+j])
+			if strings.TrimSpace(text) != "" {
+				cur.Children = append(cur.Children, &HTMLNode{Text: text, Parent: cur})
+			}
+			i += j
+			continue
+		}
+		// Comment?
+		if strings.HasPrefix(s[i:], "<!--") {
+			end := strings.Index(s[i+4:], "-->")
+			if end < 0 {
+				break
+			}
+			i += 4 + end + 3
+			continue
+		}
+		// Doctype or processing instruction: skip to '>'.
+		if strings.HasPrefix(s[i:], "<!") || strings.HasPrefix(s[i:], "<?") {
+			end := strings.IndexByte(s[i:], '>')
+			if end < 0 {
+				break
+			}
+			i += end + 1
+			continue
+		}
+		end := strings.IndexByte(s[i:], '>')
+		if end < 0 {
+			break
+		}
+		tag := s[i+1 : i+end]
+		i += end + 1
+		if strings.HasPrefix(tag, "/") {
+			// Closing tag: pop to the nearest matching open element.
+			name := strings.ToLower(strings.TrimSpace(tag[1:]))
+			for n := cur; n != nil && n != root; n = n.Parent {
+				if n.Tag == name {
+					cur = n.Parent
+					break
+				}
+			}
+			continue
+		}
+		selfClose := strings.HasSuffix(tag, "/")
+		tag = strings.TrimSuffix(tag, "/")
+		name, attrs := parseTag(tag)
+		if name == "" {
+			continue
+		}
+		// script/style: swallow raw content.
+		if name == "script" || name == "style" {
+			closer := "</" + name
+			idx := strings.Index(strings.ToLower(s[i:]), closer)
+			if idx < 0 {
+				break
+			}
+			gt := strings.IndexByte(s[i+idx:], '>')
+			if gt < 0 {
+				break
+			}
+			i += idx + gt + 1
+			continue
+		}
+		for _, auto := range implicitClose[name] {
+			if cur.Tag == auto {
+				cur = cur.Parent
+				break
+			}
+		}
+		node := &HTMLNode{Tag: name, Attrs: attrs, Parent: cur}
+		cur.Children = append(cur.Children, node)
+		if !selfClose && !voidElements[name] {
+			cur = node
+		}
+	}
+	return root
+}
+
+// parseTag splits "div class='x' id=y" into name and attribute map.
+func parseTag(tag string) (string, map[string]string) {
+	tag = strings.TrimSpace(tag)
+	if tag == "" {
+		return "", nil
+	}
+	nameEnd := strings.IndexAny(tag, " \t\r\n")
+	if nameEnd < 0 {
+		return strings.ToLower(tag), nil
+	}
+	name := strings.ToLower(tag[:nameEnd])
+	rest := tag[nameEnd:]
+	attrs := map[string]string{}
+	i := 0
+	for i < len(rest) {
+		for i < len(rest) && isSpace(rest[i]) {
+			i++
+		}
+		if i >= len(rest) {
+			break
+		}
+		// Attribute name.
+		start := i
+		for i < len(rest) && rest[i] != '=' && !isSpace(rest[i]) {
+			i++
+		}
+		key := strings.ToLower(rest[start:i])
+		if key == "" {
+			i++
+			continue
+		}
+		for i < len(rest) && isSpace(rest[i]) {
+			i++
+		}
+		if i >= len(rest) || rest[i] != '=' {
+			attrs[key] = "" // bare attribute
+			continue
+		}
+		i++ // past '='
+		for i < len(rest) && isSpace(rest[i]) {
+			i++
+		}
+		if i >= len(rest) {
+			attrs[key] = ""
+			break
+		}
+		var val string
+		if rest[i] == '"' || rest[i] == '\'' {
+			q := rest[i]
+			i++
+			endq := strings.IndexByte(rest[i:], q)
+			if endq < 0 {
+				val = rest[i:]
+				i = len(rest)
+			} else {
+				val = rest[i : i+endq]
+				i += endq + 1
+			}
+		} else {
+			start := i
+			for i < len(rest) && !isSpace(rest[i]) {
+				i++
+			}
+			val = rest[start:i]
+		}
+		attrs[key] = decodeEntities(val)
+	}
+	return name, attrs
+}
+
+func isSpace(b byte) bool { return b == ' ' || b == '\t' || b == '\n' || b == '\r' }
+
+var entityReplacer = strings.NewReplacer(
+	"&amp;", "&", "&lt;", "<", "&gt;", ">",
+	"&quot;", `"`, "&#39;", "'", "&#34;", `"`, "&apos;", "'",
+	"&nbsp;", " ",
+)
+
+func decodeEntities(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	return entityReplacer.Replace(s)
+}
+
+// HasClass reports whether the node's class attribute contains cls as a
+// whole word.
+func (n *HTMLNode) HasClass(cls string) bool {
+	for _, c := range strings.Fields(n.Attrs["class"]) {
+		if c == cls {
+			return true
+		}
+	}
+	return false
+}
+
+// Attr returns an attribute value ("" when absent).
+func (n *HTMLNode) Attr(key string) string { return n.Attrs[key] }
+
+// InnerText concatenates all descendant text, trimmed, single-spaced.
+func (n *HTMLNode) InnerText() string {
+	var b strings.Builder
+	n.walk(func(x *HTMLNode) bool {
+		if x.Tag == "" {
+			if b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(strings.TrimSpace(x.Text))
+		}
+		return true
+	})
+	return strings.TrimSpace(b.String())
+}
+
+func (n *HTMLNode) walk(visit func(*HTMLNode) bool) {
+	if !visit(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.walk(visit)
+	}
+}
+
+// FindAll returns every descendant (depth-first) satisfying the
+// predicate.
+func (n *HTMLNode) FindAll(pred func(*HTMLNode) bool) []*HTMLNode {
+	var out []*HTMLNode
+	n.walk(func(x *HTMLNode) bool {
+		if x != n && pred(x) {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Find returns the first descendant satisfying the predicate, or nil.
+func (n *HTMLNode) Find(pred func(*HTMLNode) bool) *HTMLNode {
+	var found *HTMLNode
+	n.walk(func(x *HTMLNode) bool {
+		if found != nil {
+			return false
+		}
+		if x != n && pred(x) {
+			found = x
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ByClass finds all descendants carrying the CSS class.
+func (n *HTMLNode) ByClass(cls string) []*HTMLNode {
+	return n.FindAll(func(x *HTMLNode) bool { return x.Tag != "" && x.HasClass(cls) })
+}
+
+// ByID finds the descendant with the given id, or nil.
+func (n *HTMLNode) ByID(id string) *HTMLNode {
+	return n.Find(func(x *HTMLNode) bool { return x.Attrs["id"] == id })
+}
+
+// ByTag finds all descendants with the element name.
+func (n *HTMLNode) ByTag(tag string) []*HTMLNode {
+	tag = strings.ToLower(tag)
+	return n.FindAll(func(x *HTMLNode) bool { return x.Tag == tag })
+}

@@ -1,0 +1,202 @@
+package sources
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseHTMLBasicTree(t *testing.T) {
+	doc := ParseHTML([]byte(`<html><body><div class="a b"><p id="x">hello <b>world</b></p></div></body></html>`))
+	div := doc.ByClass("a")
+	if len(div) != 1 {
+		t.Fatalf("found %d .a nodes", len(div))
+	}
+	if !div[0].HasClass("b") || div[0].HasClass("c") {
+		t.Fatal("HasClass wrong")
+	}
+	p := doc.ByID("x")
+	if p == nil {
+		t.Fatal("ByID failed")
+	}
+	if got := p.InnerText(); got != "hello world" {
+		t.Fatalf("InnerText = %q", got)
+	}
+}
+
+func TestParseHTMLAttributes(t *testing.T) {
+	doc := ParseHTML([]byte(`<a href="/citations?user=AbC" data-x='single' bare>link</a>`))
+	a := doc.ByTag("a")[0]
+	if a.Attr("href") != "/citations?user=AbC" {
+		t.Fatalf("href = %q", a.Attr("href"))
+	}
+	if a.Attr("data-x") != "single" {
+		t.Fatalf("single-quoted attr = %q", a.Attr("data-x"))
+	}
+	if _, ok := a.Attrs["bare"]; !ok {
+		t.Fatal("bare attribute lost")
+	}
+	if a.Attr("missing") != "" {
+		t.Fatal("missing attr should be empty")
+	}
+}
+
+func TestParseHTMLEntities(t *testing.T) {
+	doc := ParseHTML([]byte(`<p>Tom &amp; Jerry &lt;3 &quot;cartoons&quot;</p>`))
+	if got := doc.ByTag("p")[0].InnerText(); got != `Tom & Jerry <3 "cartoons"` {
+		t.Fatalf("entities = %q", got)
+	}
+}
+
+func TestParseHTMLVoidElements(t *testing.T) {
+	doc := ParseHTML([]byte(`<div>a<br>b<img src="x">c</div>`))
+	div := doc.ByTag("div")[0]
+	if got := div.InnerText(); got != "a b c" {
+		t.Fatalf("text around voids = %q", got)
+	}
+	if len(doc.ByTag("br")) != 1 || len(doc.ByTag("img")) != 1 {
+		t.Fatal("void elements missing from tree")
+	}
+}
+
+func TestParseHTMLImplicitClose(t *testing.T) {
+	doc := ParseHTML([]byte(`<ul><li>one<li>two<li>three</ul>`))
+	items := doc.ByTag("li")
+	if len(items) != 3 {
+		t.Fatalf("li count = %d, want 3", len(items))
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		if got := items[i].InnerText(); got != want {
+			t.Fatalf("li[%d] = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestParseHTMLTableRows(t *testing.T) {
+	doc := ParseHTML([]byte(`<table><tr><td>a</td><td>b</td><tr><td>c</td></table>`))
+	rows := doc.ByTag("tr")
+	if len(rows) != 2 {
+		t.Fatalf("tr count = %d", len(rows))
+	}
+	if cells := rows[0].ByTag("td"); len(cells) != 2 {
+		t.Fatalf("row 0 cells = %d", len(cells))
+	}
+}
+
+func TestParseHTMLCommentsAndDoctype(t *testing.T) {
+	doc := ParseHTML([]byte(`<!DOCTYPE html><!-- a comment --><p>text</p><!-- trailing`))
+	if got := doc.ByTag("p")[0].InnerText(); got != "text" {
+		t.Fatalf("text = %q", got)
+	}
+}
+
+func TestParseHTMLScriptSwallowed(t *testing.T) {
+	doc := ParseHTML([]byte(`<div><script>var x = "<p>not html</p>";</script><p>real</p></div>`))
+	ps := doc.ByTag("p")
+	if len(ps) != 1 || ps[0].InnerText() != "real" {
+		t.Fatalf("script content leaked: %d p tags", len(ps))
+	}
+}
+
+func TestParseHTMLMalformedInputs(t *testing.T) {
+	// None of these may panic; recovering partial content is enough.
+	cases := []string{
+		"", "<", "<>", "</closes-nothing>", "<div", "<div class=",
+		"<div class='unterminated", "plain text only",
+		"<a href=\"x>text", strings.Repeat("<div>", 1000),
+		"<!-- unterminated comment", "<b><i>cross</b></i>",
+	}
+	for _, c := range cases {
+		doc := ParseHTML([]byte(c))
+		if doc == nil {
+			t.Fatalf("ParseHTML(%q) returned nil", c)
+		}
+	}
+}
+
+// Property: the parser never panics and always produces a tree whose
+// parent pointers are consistent, for arbitrary byte soup.
+func TestParseHTMLNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		doc := ParseHTML(raw)
+		ok := true
+		var check func(n *HTMLNode)
+		check = func(n *HTMLNode) {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					ok = false
+				}
+				check(c)
+			}
+		}
+		check(doc)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFindStopsEarly(t *testing.T) {
+	doc := ParseHTML([]byte(`<div><span class="t">first</span><span class="t">second</span></div>`))
+	n := doc.Find(func(x *HTMLNode) bool { return x.HasClass("t") })
+	if n == nil || n.InnerText() != "first" {
+		t.Fatalf("Find returned %v", n)
+	}
+}
+
+func TestUnreverseName(t *testing.T) {
+	cases := map[string]string{
+		"Zhou, Lei":  "Lei Zhou",
+		"Lei Zhou":   "Lei Zhou",
+		" Smith , D": "D Smith",
+		"":           "",
+	}
+	for in, want := range cases {
+		if got := unreverseName(in); got != want {
+			t.Errorf("unreverseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTrailingInt(t *testing.T) {
+	cases := map[string]int{
+		"Cited by 1234": 1234,
+		"no digits":     0,
+		"42":            42,
+		"":              0,
+	}
+	for in, want := range cases {
+		if got := trailingInt(in); got != want {
+			t.Errorf("trailingInt(%q) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+// FuzzParseHTML drives the tolerant parser with arbitrary bytes; it must
+// never panic and must keep parent pointers consistent.
+func FuzzParseHTML(f *testing.F) {
+	seeds := []string{
+		"<div class='a'><p>x</p></div>",
+		"<ul><li>1<li>2</ul>",
+		"<script>var x='<p>'</script><b>t</b>",
+		"<!DOCTYPE html><!-- c --><a href=x>y</a>",
+		"<<<>>>", "", "plain", "<div", "&amp;&lt;",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		doc := ParseHTML(raw)
+		var check func(n *HTMLNode)
+		check = func(n *HTMLNode) {
+			for _, c := range n.Children {
+				if c.Parent != n {
+					t.Fatal("broken parent pointer")
+				}
+				check(c)
+			}
+		}
+		check(doc)
+	})
+}

@@ -1,0 +1,119 @@
+package sources
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+
+	"minaret/internal/fetch"
+)
+
+// ORCID client: the only source exposing full employment history, which
+// feeds the affiliation-overlap COI rule.
+
+type orcidSearchJSON struct {
+	Result []struct {
+		ORCID       string `json:"orcid-id"`
+		GivenNames  string `json:"given-names"`
+		FamilyNames string `json:"family-names"`
+		Institution string `json:"institution-name"`
+	} `json:"result"`
+}
+
+type orcidRecordJSON struct {
+	ORCID  string `json:"orcid-identifier"`
+	Person struct {
+		GivenNames string   `json:"given-names"`
+		FamilyName string   `json:"family-name"`
+		Keywords   []string `json:"keywords"`
+	} `json:"person"`
+	Employments []struct {
+		Organization string `json:"organization"`
+		Country      string `json:"country"`
+		StartYear    int    `json:"start-year"`
+		EndYear      int    `json:"end-year"`
+	} `json:"employments"`
+	Works []struct {
+		Title   string `json:"title"`
+		Year    int    `json:"publication-year"`
+		Journal string `json:"journal-title"`
+	} `json:"works"`
+}
+
+// ORCIDClient extracts from an ORCID-shaped registry.
+type ORCIDClient struct {
+	f    *fetch.Client
+	base string
+}
+
+// NewORCID builds a client rooted at base.
+func NewORCID(f *fetch.Client, base string) *ORCIDClient {
+	return &ORCIDClient{f: f, base: base}
+}
+
+// Source implements Client.
+func (c *ORCIDClient) Source() string { return "orcid" }
+
+// SearchAuthor implements Client.
+func (c *ORCIDClient) SearchAuthor(ctx context.Context, name string) ([]Hit, error) {
+	body, err := c.f.Get(ctx, c.base+"/search?q="+url.QueryEscape(name))
+	if err != nil {
+		return nil, fmt.Errorf("orcid search %q: %w", name, err)
+	}
+	var parsed orcidSearchJSON
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		return nil, fmt.Errorf("orcid search %q: parse: %w", name, err)
+	}
+	var hits []Hit
+	for _, h := range parsed.Result {
+		hits = append(hits, Hit{
+			Source:      c.Source(),
+			SiteID:      h.ORCID,
+			Name:        h.GivenNames + " " + h.FamilyNames,
+			Affiliation: h.Institution,
+		})
+	}
+	return hits, nil
+}
+
+// Profile implements Client.
+func (c *ORCIDClient) Profile(ctx context.Context, orcid string) (*Record, error) {
+	body, err := c.f.Get(ctx, c.base+"/v2.0/"+url.PathEscape(orcid)+"/record")
+	if err != nil {
+		return nil, fmt.Errorf("orcid record %q: %w", orcid, err)
+	}
+	var parsed orcidRecordJSON
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		return nil, fmt.Errorf("orcid record %q: parse: %w", orcid, err)
+	}
+	rec := &Record{
+		Source:    c.Source(),
+		SiteID:    orcid,
+		Given:     parsed.Person.GivenNames,
+		Family:    parsed.Person.FamilyName,
+		Name:      parsed.Person.GivenNames + " " + parsed.Person.FamilyName,
+		Interests: parsed.Person.Keywords,
+	}
+	for _, e := range parsed.Employments {
+		rec.AffiliationHistory = append(rec.AffiliationHistory, AffPeriod{
+			Institution: e.Organization,
+			Country:     e.Country,
+			StartYear:   e.StartYear,
+			EndYear:     e.EndYear,
+		})
+		if e.EndYear == 0 {
+			rec.Affiliation = e.Organization
+			rec.Country = e.Country
+		}
+	}
+	for _, w := range parsed.Works {
+		rec.Publications = append(rec.Publications, PubRecord{
+			Title: w.Title,
+			Year:  w.Year,
+			Venue: w.Journal,
+		})
+	}
+	rec.PubCount = len(rec.Publications)
+	return rec, nil
+}

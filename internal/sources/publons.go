@@ -1,0 +1,131 @@
+package sources
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strings"
+
+	"minaret/internal/fetch"
+)
+
+// Publons client: JSON API for reviewer histories — the paper's source
+// for the "experience with manuscript reviewing" ranking component.
+
+type publonsSearchJSON struct {
+	Next    string `json:"next"`
+	Results []struct {
+		ID          string `json:"id"`
+		Name        string `json:"publishing_name"`
+		Institution string `json:"institution"`
+		Country     string `json:"country"`
+		NumReviews  int    `json:"num_reviews"`
+	} `json:"results"`
+}
+
+type publonsResearcherJSON struct {
+	ID          string   `json:"id"`
+	Name        string   `json:"publishing_name"`
+	Institution string   `json:"institution"`
+	Country     string   `json:"country"`
+	Interests   []string `json:"research_fields"`
+	NumReviews  int      `json:"num_reviews"`
+	Reviews     []struct {
+		Journal        string  `json:"journal"`
+		Year           int     `json:"year"`
+		DaysToComplete int     `json:"days_to_complete"`
+		Quality        float64 `json:"quality_score"`
+	} `json:"reviews"`
+}
+
+// PublonsClient extracts from a Publons-shaped review-history API.
+type PublonsClient struct {
+	f    *fetch.Client
+	base string
+}
+
+// NewPublons builds a client rooted at base.
+func NewPublons(f *fetch.Client, base string) *PublonsClient {
+	return &PublonsClient{f: f, base: base}
+}
+
+// Source implements Client.
+func (c *PublonsClient) Source() string { return "publons" }
+
+// SearchAuthor implements Client.
+func (c *PublonsClient) SearchAuthor(ctx context.Context, name string) ([]Hit, error) {
+	return c.search(ctx, "name="+url.QueryEscape(name))
+}
+
+// SearchInterest implements InterestSearcher.
+func (c *PublonsClient) SearchInterest(ctx context.Context, topic string) ([]Hit, error) {
+	return c.search(ctx, "interest="+url.QueryEscape(topic))
+}
+
+func (c *PublonsClient) search(ctx context.Context, query string) ([]Hit, error) {
+	u := c.base + "/api/researcher/?" + query
+	var hits []Hit
+	for page := 0; page < maxSearchPages && u != ""; page++ {
+		body, err := c.f.Get(ctx, u)
+		if err != nil {
+			if page > 0 {
+				return hits, nil // later pages degrade, not fail
+			}
+			return nil, fmt.Errorf("publons search %q: %w", query, err)
+		}
+		var parsed publonsSearchJSON
+		if err := json.Unmarshal(body, &parsed); err != nil {
+			return nil, fmt.Errorf("publons search %q: parse: %w", query, err)
+		}
+		for _, h := range parsed.Results {
+			hits = append(hits, Hit{
+				Source:      c.Source(),
+				SiteID:      h.ID,
+				Name:        h.Name,
+				Affiliation: h.Institution,
+				ReviewCount: h.NumReviews,
+			})
+		}
+		if parsed.Next == "" {
+			break
+		}
+		// The API returns a relative or absolute next URL.
+		if strings.HasPrefix(parsed.Next, "http") {
+			u = parsed.Next
+		} else {
+			u = c.base + parsed.Next
+		}
+	}
+	return hits, nil
+}
+
+// Profile implements Client.
+func (c *PublonsClient) Profile(ctx context.Context, pid string) (*Record, error) {
+	body, err := c.f.Get(ctx, c.base+"/api/researcher/"+url.PathEscape(pid)+"/")
+	if err != nil {
+		return nil, fmt.Errorf("publons profile %q: %w", pid, err)
+	}
+	var parsed publonsResearcherJSON
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		return nil, fmt.Errorf("publons profile %q: parse: %w", pid, err)
+	}
+	rec := &Record{
+		Source:      c.Source(),
+		SiteID:      pid,
+		Name:        parsed.Name,
+		Affiliation: parsed.Institution,
+		Country:     parsed.Country,
+		Interests:   parsed.Interests,
+		ReviewCount: parsed.NumReviews,
+	}
+	for _, r := range parsed.Reviews {
+		rec.Reviews = append(rec.Reviews, ReviewRecord{
+			Venue:   r.Journal,
+			Year:    r.Year,
+			Days:    r.DaysToComplete,
+			Quality: r.Quality,
+		})
+	}
+	return rec, nil
+}

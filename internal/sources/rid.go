@@ -1,0 +1,105 @@
+package sources
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strings"
+
+	"minaret/internal/fetch"
+)
+
+// ResearcherID client: summary metrics only. Names arrive in reversed
+// index form ("Zhou, Lei"); the client normalizes them before handing
+// records to name resolution.
+
+type ridSearchJSON struct {
+	Hits []struct {
+		RID         string `json:"researcher_id"`
+		Name        string `json:"name"`
+		Institution string `json:"institution"`
+	} `json:"hits"`
+}
+
+type ridProfileJSON struct {
+	RID       string   `json:"researcher_id"`
+	Name      string   `json:"name"`
+	Keywords  []string `json:"keywords"`
+	Country   string   `json:"country"`
+	Institute string   `json:"institution"`
+	Metrics   struct {
+		Citations    int `json:"total_times_cited"`
+		HIndex       int `json:"h_index"`
+		Publications int `json:"publication_count"`
+	} `json:"metrics"`
+}
+
+// ResearcherIDClient extracts from a ResearcherID-shaped API.
+type ResearcherIDClient struct {
+	f    *fetch.Client
+	base string
+}
+
+// NewResearcherID builds a client rooted at base.
+func NewResearcherID(f *fetch.Client, base string) *ResearcherIDClient {
+	return &ResearcherIDClient{f: f, base: base}
+}
+
+// Source implements Client.
+func (c *ResearcherIDClient) Source() string { return "rid" }
+
+// SearchAuthor implements Client.
+func (c *ResearcherIDClient) SearchAuthor(ctx context.Context, name string) ([]Hit, error) {
+	body, err := c.f.Get(ctx, c.base+"/search?name="+url.QueryEscape(name))
+	if err != nil {
+		return nil, fmt.Errorf("rid search %q: %w", name, err)
+	}
+	var parsed ridSearchJSON
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		return nil, fmt.Errorf("rid search %q: parse: %w", name, err)
+	}
+	var hits []Hit
+	for _, h := range parsed.Hits {
+		hits = append(hits, Hit{
+			Source:      c.Source(),
+			SiteID:      h.RID,
+			Name:        unreverseName(h.Name),
+			Affiliation: h.Institution,
+		})
+	}
+	return hits, nil
+}
+
+// Profile implements Client.
+func (c *ResearcherIDClient) Profile(ctx context.Context, rid string) (*Record, error) {
+	body, err := c.f.Get(ctx, c.base+"/profile/"+url.PathEscape(rid))
+	if err != nil {
+		return nil, fmt.Errorf("rid profile %q: %w", rid, err)
+	}
+	var parsed ridProfileJSON
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		return nil, fmt.Errorf("rid profile %q: parse: %w", rid, err)
+	}
+	return &Record{
+		Source:      c.Source(),
+		SiteID:      rid,
+		Name:        unreverseName(parsed.Name),
+		Affiliation: parsed.Institute,
+		Country:     parsed.Country,
+		Interests:   parsed.Keywords,
+		Citations:   parsed.Metrics.Citations,
+		HIndex:      parsed.Metrics.HIndex,
+		PubCount:    parsed.Metrics.Publications,
+	}, nil
+}
+
+// unreverseName turns "Family, Given" into "Given Family", leaving
+// already-normal names unchanged.
+func unreverseName(name string) string {
+	parts := strings.SplitN(name, ",", 2)
+	if len(parts) != 2 {
+		return strings.TrimSpace(name)
+	}
+	return strings.TrimSpace(parts[1]) + " " + strings.TrimSpace(parts[0])
+}

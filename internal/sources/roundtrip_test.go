@@ -1,0 +1,535 @@
+package sources
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"minaret/internal/fetch"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+)
+
+// The round-trip suite: render the corpus through the simulated sites and
+// verify every client recovers ground truth through its wire format.
+
+type fixture struct {
+	corpus   *scholarly.Corpus
+	web      *simweb.Web
+	registry *Registry
+	fetcher  *fetch.Client
+}
+
+func newFixture(t *testing.T, cfg simweb.Config) *fixture {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed:        42,
+		NumScholars: 300,
+		Topics:      o.Topics(),
+		Related:     o.RelatedMap(),
+	})
+	web := simweb.New(corpus, cfg)
+	srv := httptest.NewServer(web.Mux())
+	t.Cleanup(srv.Close)
+	f := fetch.New(fetch.Options{Timeout: 5 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	return &fixture{
+		corpus:   corpus,
+		web:      web,
+		registry: DefaultRegistry(f, SingleHost(srv.URL)),
+		fetcher:  f,
+	}
+}
+
+// pick returns a scholar present on all six sources with publications and
+// reviews.
+func (fx *fixture) pick(t *testing.T) *scholarly.Scholar {
+	t.Helper()
+	for i := range fx.corpus.Scholars {
+		s := &fx.corpus.Scholars[i]
+		if s.Presence.Count() == 6 && len(s.Publications) > 2 && len(s.Reviews) > 0 {
+			return s
+		}
+	}
+	t.Fatal("no fully-present scholar in fixture corpus")
+	return nil
+}
+
+func TestRegistryWiring(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	if got := fx.registry.Names(); !reflect.DeepEqual(got, simweb.AllSources) {
+		t.Fatalf("registry sources = %v", got)
+	}
+	if n := len(fx.registry.InterestSearchers()); n != 2 {
+		t.Fatalf("interest searchers = %d, want 2 (scholar, publons)", n)
+	}
+	if _, ok := fx.registry.Get("dblp"); !ok {
+		t.Fatal("dblp missing")
+	}
+	if _, ok := fx.registry.Get("nope"); ok {
+		t.Fatal("unknown source present")
+	}
+}
+
+func TestDBLPRoundTrip(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	ctx := context.Background()
+	cl, _ := fx.registry.Get("dblp")
+
+	hits, err := cl.SearchAuthor(ctx, s.Name.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit *Hit
+	for i := range hits {
+		if hits[i].SiteID == simweb.DBLPPID(s.ID) {
+			hit = &hits[i]
+		}
+	}
+	if hit == nil {
+		t.Fatalf("search %q missed pid %s in %d hits", s.Name.Full(), simweb.DBLPPID(s.ID), len(hits))
+	}
+	if hit.Affiliation != s.CurrentAffiliation().Institution {
+		t.Errorf("affiliation note = %q, want %q", hit.Affiliation, s.CurrentAffiliation().Institution)
+	}
+
+	rec, err := cl.Profile(ctx, hit.SiteID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != s.Name.Full() {
+		t.Errorf("name = %q", rec.Name)
+	}
+	if rec.PubCount != len(s.Publications) {
+		t.Errorf("pub count = %d, want %d", rec.PubCount, len(s.Publications))
+	}
+	// First publication matches the scholar's most recent paper.
+	p0 := fx.corpus.Publication(s.Publications[0])
+	if rec.Publications[0].Title != p0.Title || rec.Publications[0].Year != p0.Year {
+		t.Errorf("pub[0] = %+v, want %q/%d", rec.Publications[0], p0.Title, p0.Year)
+	}
+	if len(rec.Publications[0].CoAuthors) != len(p0.Authors) {
+		t.Errorf("coauthors = %d, want %d", len(rec.Publications[0].CoAuthors), len(p0.Authors))
+	}
+	if rec.Citations != fx.corpus.CitationCount(s.ID) {
+		t.Errorf("citations = %d, want %d", rec.Citations, fx.corpus.CitationCount(s.ID))
+	}
+}
+
+func TestGoogleScholarRoundTrip(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	ctx := context.Background()
+	cl, _ := fx.registry.Get("scholar")
+
+	rec, err := cl.Profile(ctx, simweb.ScholarUser(s.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Name != s.Name.Full() {
+		t.Errorf("name = %q, want %q", rec.Name, s.Name.Full())
+	}
+	if rec.Affiliation != s.CurrentAffiliation().Institution {
+		t.Errorf("affiliation = %q", rec.Affiliation)
+	}
+	if !reflect.DeepEqual(rec.Interests, s.Interests) {
+		t.Errorf("interests = %v, want %v", rec.Interests, s.Interests)
+	}
+	if rec.Citations != fx.corpus.CitationCount(s.ID) {
+		t.Errorf("citations = %d, want %d", rec.Citations, fx.corpus.CitationCount(s.ID))
+	}
+	if rec.HIndex != fx.corpus.HIndex(s.ID) {
+		t.Errorf("h-index = %d, want %d", rec.HIndex, fx.corpus.HIndex(s.ID))
+	}
+	if rec.I10Index != fx.corpus.I10Index(s.ID) {
+		t.Errorf("i10 = %d, want %d", rec.I10Index, fx.corpus.I10Index(s.ID))
+	}
+	if rec.PubCount != len(s.Publications) {
+		t.Errorf("pubs = %d, want %d", rec.PubCount, len(s.Publications))
+	}
+}
+
+func TestGoogleScholarInterestSearch(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	if len(s.Interests) == 0 {
+		t.Skip("picked scholar has no interests")
+	}
+	cl, _ := fx.registry.Get("scholar")
+	is := cl.(InterestSearcher)
+	hits, err := is.SearchInterest(context.Background(), s.Interests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.SiteID == simweb.ScholarUser(s.ID) {
+			found = true
+			if len(h.Interests) == 0 {
+				t.Error("hit missing interests")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("interest search %q missed scholar %d (%d hits)", s.Interests[0], s.ID, len(hits))
+	}
+}
+
+func TestPublonsRoundTrip(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	ctx := context.Background()
+	cl, _ := fx.registry.Get("publons")
+
+	rec, err := cl.Profile(ctx, simweb.PublonsID(s.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.ReviewCount != len(s.Reviews) {
+		t.Errorf("review count = %d, want %d", rec.ReviewCount, len(s.Reviews))
+	}
+	if len(rec.Reviews) != len(s.Reviews) {
+		t.Fatalf("reviews = %d, want %d", len(rec.Reviews), len(s.Reviews))
+	}
+	r0, want0 := rec.Reviews[0], s.Reviews[0]
+	if r0.Year != want0.Year || r0.Days != want0.DaysToComplete {
+		t.Errorf("review[0] = %+v, want year %d days %d", r0, want0.Year, want0.DaysToComplete)
+	}
+	if r0.Venue != fx.corpus.Venue(want0.Venue).Name {
+		t.Errorf("review venue = %q", r0.Venue)
+	}
+	if rec.Country != s.CurrentAffiliation().Country {
+		t.Errorf("country = %q", rec.Country)
+	}
+
+	is := cl.(InterestSearcher)
+	if len(s.Interests) > 0 {
+		hits, err := is.SearchInterest(ctx, s.Interests[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, h := range hits {
+			if h.SiteID == simweb.PublonsID(s.ID) && h.ReviewCount == len(s.Reviews) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("publons interest search missed scholar")
+		}
+	}
+}
+
+func TestACMRoundTrip(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	ctx := context.Background()
+	cl, _ := fx.registry.Get("acm")
+
+	rec, err := cl.Profile(ctx, simweb.ACMID(s.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ACM reports initialed names.
+	if rec.Name != s.Name.Initialed() {
+		t.Errorf("name = %q, want %q", rec.Name, s.Name.Initialed())
+	}
+	if rec.PubCount != len(s.Publications) {
+		t.Errorf("pubs = %d, want %d", rec.PubCount, len(s.Publications))
+	}
+	if rec.Citations != fx.corpus.CitationCount(s.ID) {
+		t.Errorf("citations = %d", rec.Citations)
+	}
+	hits, err := cl.SearchAuthor(ctx, s.Name.Family)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("family-name search returned nothing")
+	}
+}
+
+func TestORCIDRoundTrip(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	ctx := context.Background()
+	cl, _ := fx.registry.Get("orcid")
+
+	rec, err := cl.Profile(ctx, simweb.ORCIDOf(s.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Given != s.Name.Given || rec.Family != s.Name.Family {
+		t.Errorf("split name = %q/%q", rec.Given, rec.Family)
+	}
+	if len(rec.AffiliationHistory) != len(s.Affiliations) {
+		t.Fatalf("employment periods = %d, want %d", len(rec.AffiliationHistory), len(s.Affiliations))
+	}
+	for i, a := range s.Affiliations {
+		got := rec.AffiliationHistory[i]
+		if got.Institution != a.Institution || got.Country != a.Country ||
+			got.StartYear != a.StartYear || got.EndYear != a.EndYear {
+			t.Errorf("employment[%d] = %+v, want %+v", i, got, a)
+		}
+	}
+	if rec.Affiliation != s.CurrentAffiliation().Institution {
+		t.Errorf("current affiliation = %q", rec.Affiliation)
+	}
+}
+
+func TestResearcherIDRoundTrip(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	ctx := context.Background()
+	cl, _ := fx.registry.Get("rid")
+
+	rec, err := cl.Profile(ctx, simweb.RIDOf(s.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RID serves reversed names; client must unreverse.
+	if rec.Name != s.Name.Full() {
+		t.Errorf("name = %q, want %q", rec.Name, s.Name.Full())
+	}
+	if rec.HIndex != fx.corpus.HIndex(s.ID) {
+		t.Errorf("h-index = %d", rec.HIndex)
+	}
+	if rec.PubCount != len(s.Publications) {
+		t.Errorf("pub count = %d", rec.PubCount)
+	}
+}
+
+// popularInterest finds a topic registered by more than `want` scholars
+// present on the source.
+func popularInterest(fx *fixture, present func(scholarly.SourcePresence) bool, want int) (string, int) {
+	counts := map[string]int{}
+	for i := range fx.corpus.Scholars {
+		s := &fx.corpus.Scholars[i]
+		if !present(s.Presence) {
+			continue
+		}
+		for _, in := range s.Interests {
+			counts[strings.ToLower(in)]++
+		}
+	}
+	best, bestN := "", 0
+	for in, n := range counts {
+		if n > bestN {
+			best, bestN = in, n
+		}
+	}
+	if bestN < want {
+		return "", 0
+	}
+	return best, bestN
+}
+
+func TestScholarSearchFollowsPagination(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	topic, n := popularInterest(fx, func(p scholarly.SourcePresence) bool { return p.GoogleScholar }, 11)
+	if topic == "" {
+		t.Skip("no interest popular enough to paginate")
+	}
+	cl, _ := fx.registry.Get("scholar")
+	hits, err := cl.(InterestSearcher).SearchInterest(context.Background(), topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n
+	if want > 80 { // 8 pages x 10
+		want = 80
+	}
+	if len(hits) != want {
+		t.Fatalf("paginated search returned %d hits, ground truth %d (want %d)", len(hits), n, want)
+	}
+	seen := map[string]bool{}
+	for _, h := range hits {
+		if seen[h.SiteID] {
+			t.Fatalf("duplicate hit %s across pages", h.SiteID)
+		}
+		seen[h.SiteID] = true
+	}
+}
+
+func TestScholarProfileFollowsShowMore(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	// A prolific scholar whose publication list spans multiple pages.
+	var prolific *scholarly.Scholar
+	for i := range fx.corpus.Scholars {
+		s := &fx.corpus.Scholars[i]
+		if s.Presence.GoogleScholar && len(s.Publications) > 25 {
+			prolific = s
+			break
+		}
+	}
+	if prolific == nil {
+		t.Skip("no scholar with >25 publications in fixture")
+	}
+	cl, _ := fx.registry.Get("scholar")
+	before := fx.web.RequestCount(simweb.SourceScholar)
+	rec, err := cl.Profile(context.Background(), simweb.ScholarUser(prolific.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.PubCount != len(prolific.Publications) {
+		t.Fatalf("paginated profile recovered %d pubs, want %d", rec.PubCount, len(prolific.Publications))
+	}
+	if pages := fx.web.RequestCount(simweb.SourceScholar) - before; pages < 2 {
+		t.Fatalf("profile crawl made %d requests, want >= 2 pages", pages)
+	}
+	// No duplicate titles across pages.
+	seen := map[string]bool{}
+	for _, p := range rec.Publications {
+		key := p.Title + "|" + string(rune(p.Year))
+		if seen[key] {
+			t.Fatalf("duplicate publication %q across pages", p.Title)
+		}
+		seen[key] = true
+	}
+}
+
+func TestPublonsSearchFollowsPagination(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	topic, n := popularInterest(fx, func(p scholarly.SourcePresence) bool { return p.Publons }, 21)
+	if topic == "" {
+		t.Skip("no interest popular enough to paginate publons")
+	}
+	cl, _ := fx.registry.Get("publons")
+	hits, err := cl.(InterestSearcher).SearchInterest(context.Background(), topic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := n
+	if want > 100 { // 5 pages x 20
+		want = 100
+	}
+	if len(hits) != want {
+		t.Fatalf("paginated publons search returned %d, want %d", len(hits), want)
+	}
+}
+
+func TestAbsentScholarIs404(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	// Find a scholar absent from Publons.
+	var absent *scholarly.Scholar
+	for i := range fx.corpus.Scholars {
+		if !fx.corpus.Scholars[i].Presence.Publons {
+			absent = &fx.corpus.Scholars[i]
+			break
+		}
+	}
+	if absent == nil {
+		t.Skip("everyone is on publons in this corpus")
+	}
+	cl, _ := fx.registry.Get("publons")
+	_, err := cl.Profile(context.Background(), simweb.PublonsID(absent.ID))
+	if !fetch.IsNotFound(err) {
+		t.Fatalf("err = %v, want 404", err)
+	}
+}
+
+func TestFailureInjectionIsRetried(t *testing.T) {
+	fx := newFixture(t, simweb.Config{ErrorRate: 0.3, Seed: 11})
+	s := fx.pick(t)
+	ctx := context.Background()
+	// With 30% failures and 3 retries, repeated profile fetches should
+	// still succeed; cache is keyed per URL so hit distinct ones.
+	cl, _ := fx.registry.Get("orcid")
+	okCount := 0
+	for i := 0; i < 20; i++ {
+		id := scholarly.ScholarID((int(s.ID) + i) % len(fx.corpus.Scholars))
+		if !fx.corpus.Scholar(id).Presence.ORCID {
+			continue
+		}
+		if _, err := cl.Profile(ctx, simweb.ORCIDOf(id)); err == nil {
+			okCount++
+		}
+	}
+	if okCount == 0 {
+		t.Fatal("no fetch survived 30% injected failures despite retries")
+	}
+}
+
+func TestDownSiteFailsFast(t *testing.T) {
+	fx := newFixture(t, simweb.Config{Down: map[string]bool{"dblp": true}})
+	cl, _ := fx.registry.Get("dblp")
+	if _, err := cl.SearchAuthor(context.Background(), "Smith"); err == nil {
+		t.Fatal("down site returned success")
+	}
+	// Other sites unaffected.
+	cl2, _ := fx.registry.Get("orcid")
+	if _, err := cl2.SearchAuthor(context.Background(), "Smith"); err != nil {
+		t.Fatalf("healthy site failed: %v", err)
+	}
+}
+
+func TestSearchIsCaseInsensitive(t *testing.T) {
+	fx := newFixture(t, simweb.Config{})
+	s := fx.pick(t)
+	cl, _ := fx.registry.Get("dblp")
+	hits, err := cl.SearchAuthor(context.Background(), strings.ToUpper(s.Name.Full()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, h := range hits {
+		if h.SiteID == simweb.DBLPPID(s.ID) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("uppercase query missed scholar")
+	}
+}
+
+func TestSortHits(t *testing.T) {
+	hits := []Hit{
+		{Source: "b", SiteID: "2"},
+		{Source: "a", SiteID: "9"},
+		{Source: "a", SiteID: "1"},
+	}
+	SortHits(hits)
+	want := []Hit{{Source: "a", SiteID: "1"}, {Source: "a", SiteID: "9"}, {Source: "b", SiteID: "2"}}
+	if !reflect.DeepEqual(hits, want) {
+		t.Fatalf("sorted = %v", hits)
+	}
+}
+
+func TestIDCodecs(t *testing.T) {
+	for _, id := range []scholarly.ScholarID{0, 1, 42, 999, 123456} {
+		if got, ok := simweb.ParseDBLPPID(simweb.DBLPPID(id)); !ok || got != id {
+			t.Errorf("DBLP codec failed for %d: %v %v", id, got, ok)
+		}
+		if got, ok := simweb.ParseScholarUser(simweb.ScholarUser(id)); !ok || got != id {
+			t.Errorf("Scholar codec failed for %d", id)
+		}
+		if got, ok := simweb.ParseORCID(simweb.ORCIDOf(id)); !ok || got != id {
+			t.Errorf("ORCID codec failed for %d", id)
+		}
+		if got, ok := simweb.ParsePublonsID(simweb.PublonsID(id)); !ok || got != id {
+			t.Errorf("Publons codec failed for %d", id)
+		}
+		if got, ok := simweb.ParseACMID(simweb.ACMID(id)); !ok || got != id {
+			t.Errorf("ACM codec failed for %d", id)
+		}
+		if got, ok := simweb.ParseRID(simweb.RIDOf(id)); !ok || got != id {
+			t.Errorf("RID codec failed for %d", id)
+		}
+	}
+	for _, bad := range []string{"", "x", "0000-0000", "99/3", "P-", "81x", "ZZ-1-1"} {
+		if _, ok := simweb.ParseDBLPPID(bad); ok {
+			t.Errorf("ParseDBLPPID accepted %q", bad)
+		}
+		if _, ok := simweb.ParseORCID(bad); ok {
+			t.Errorf("ParseORCID accepted %q", bad)
+		}
+		if _, ok := simweb.ParseRID(bad); ok {
+			t.Errorf("ParseRID accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package sources
+
+import (
+	"context"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"minaret/internal/fetch"
+)
+
+// Google Scholar client: scrapes the profile and author-search HTML the
+// way the paper's live integration must, keyed on the site's stable CSS
+// class names (gs_ai_name, gsc_rsb_std, gsc_a_tr, ...).
+
+// GoogleScholarClient extracts from a Google Scholar-shaped site.
+type GoogleScholarClient struct {
+	f    *fetch.Client
+	base string
+}
+
+// NewGoogleScholar builds a client rooted at base.
+func NewGoogleScholar(f *fetch.Client, base string) *GoogleScholarClient {
+	return &GoogleScholarClient{f: f, base: base}
+}
+
+// Source implements Client.
+func (c *GoogleScholarClient) Source() string { return "scholar" }
+
+// SearchAuthor implements Client.
+func (c *GoogleScholarClient) SearchAuthor(ctx context.Context, name string) ([]Hit, error) {
+	return c.search(ctx, name)
+}
+
+// SearchInterest implements InterestSearcher using the site's
+// "label:topic_with_underscores" query convention.
+func (c *GoogleScholarClient) SearchInterest(ctx context.Context, topic string) ([]Hit, error) {
+	return c.search(ctx, "label:"+strings.ReplaceAll(strings.TrimSpace(topic), " ", "_"))
+}
+
+// maxSearchPages bounds pagination-following per query across all
+// paginated sources; real crawls cap depth for politeness.
+const maxSearchPages = 8
+
+func (c *GoogleScholarClient) search(ctx context.Context, mauthors string) ([]Hit, error) {
+	var all []Hit
+	for page := 0; page < maxSearchPages; page++ {
+		u := fmt.Sprintf("%s/citations?view_op=search_authors&mauthors=%s&astart=%d",
+			c.base, url.QueryEscape(mauthors), page*10)
+		hits, more, err := c.searchPage(ctx, u, mauthors)
+		if err != nil {
+			// Later pages failing is degradation, not total failure.
+			if page > 0 {
+				return all, nil
+			}
+			return nil, err
+		}
+		all = append(all, hits...)
+		if !more {
+			break
+		}
+	}
+	return all, nil
+}
+
+func (c *GoogleScholarClient) searchPage(ctx context.Context, u, mauthors string) ([]Hit, bool, error) {
+	body, err := c.f.Get(ctx, u)
+	if err != nil {
+		return nil, false, fmt.Errorf("scholar search %q: %w", mauthors, err)
+	}
+	doc := ParseHTML(body)
+	var hits []Hit
+	for _, card := range doc.ByClass("gsc_1usr") {
+		hit := Hit{Source: c.Source()}
+		if nameEl := card.Find(func(n *HTMLNode) bool { return n.HasClass("gs_ai_name") }); nameEl != nil {
+			hit.Name = nameEl.InnerText()
+			if a := nameEl.Find(func(n *HTMLNode) bool { return n.Tag == "a" }); a != nil {
+				hit.SiteID = userFromHref(a.Attr("href"))
+			}
+		}
+		if aff := card.Find(func(n *HTMLNode) bool { return n.HasClass("gs_ai_aff") }); aff != nil {
+			hit.Affiliation = aff.InnerText()
+		}
+		for _, in := range card.ByClass("gs_ai_one_int") {
+			hit.Interests = append(hit.Interests, in.InnerText())
+		}
+		if cby := card.Find(func(n *HTMLNode) bool { return n.HasClass("gs_ai_cby") }); cby != nil {
+			hit.Citations = trailingInt(cby.InnerText())
+		}
+		if hit.SiteID != "" {
+			hits = append(hits, hit)
+		}
+	}
+	more := doc.Find(func(n *HTMLNode) bool { return n.HasClass("gs_btnPR") }) != nil
+	return hits, more, nil
+}
+
+// maxProfilePages bounds "show more" publication-page crawling.
+const maxProfilePages = 20
+
+// Profile implements Client. The publication list paginates via the
+// site's "show more" link (cstart); the client crawls all pages.
+func (c *GoogleScholarClient) Profile(ctx context.Context, user string) (*Record, error) {
+	body, err := c.f.Get(ctx, c.base+"/citations?user="+url.QueryEscape(user))
+	if err != nil {
+		return nil, fmt.Errorf("scholar profile %q: %w", user, err)
+	}
+	doc := ParseHTML(body)
+	rec := &Record{Source: c.Source(), SiteID: user}
+	if el := doc.ByID("gsc_prf_in"); el != nil {
+		rec.Name = el.InnerText()
+	}
+	if el := doc.ByID("gsc_prf_i"); el != nil {
+		rec.Affiliation = el.InnerText()
+	}
+	if el := doc.ByID("gsc_prf_int"); el != nil {
+		for _, a := range el.ByTag("a") {
+			rec.Interests = append(rec.Interests, a.InnerText())
+		}
+	}
+	// Metrics sidebar: label cell (gsc_rsb_sc1) followed by value cell
+	// (gsc_rsb_std) in each row.
+	if tbl := doc.ByID("gsc_rsb_st"); tbl != nil {
+		for _, tr := range tbl.ByTag("tr") {
+			label, value := "", 0
+			if lc := tr.Find(func(n *HTMLNode) bool { return n.HasClass("gsc_rsb_sc1") }); lc != nil {
+				label = strings.ToLower(lc.InnerText())
+			}
+			if vc := tr.Find(func(n *HTMLNode) bool { return n.HasClass("gsc_rsb_std") }); vc != nil {
+				value, _ = strconv.Atoi(vc.InnerText())
+			}
+			switch {
+			case strings.Contains(label, "citations"):
+				rec.Citations = value
+			case strings.Contains(label, "h-index"):
+				rec.HIndex = value
+			case strings.Contains(label, "i10"):
+				rec.I10Index = value
+			}
+		}
+	}
+	appendPubRows(doc, rec)
+	// Follow "show more" pagination for long publication lists.
+	for page := 1; page < maxProfilePages; page++ {
+		more := doc.Find(func(n *HTMLNode) bool { return n.Attr("id") == "gsc_bpf_more" })
+		if more == nil {
+			break
+		}
+		next := more.Attr("href")
+		if next == "" {
+			break
+		}
+		body, err := c.f.Get(ctx, c.base+next)
+		if err != nil {
+			break // partial list beats failure
+		}
+		doc = ParseHTML(body)
+		appendPubRows(doc, rec)
+	}
+	rec.PubCount = len(rec.Publications)
+	if rec.Name == "" {
+		return nil, fmt.Errorf("scholar profile %q: page missing name (layout change?)", user)
+	}
+	return rec, nil
+}
+
+// appendPubRows parses one profile page's publication rows into rec.
+func appendPubRows(doc *HTMLNode, rec *Record) {
+	for _, tr := range doc.ByClass("gsc_a_tr") {
+		pub := PubRecord{}
+		if t := tr.Find(func(n *HTMLNode) bool { return n.HasClass("gsc_a_at") }); t != nil {
+			pub.Title = t.InnerText()
+		}
+		if v := tr.Find(func(n *HTMLNode) bool { return n.HasClass("gs_gray") }); v != nil {
+			pub.Venue = v.InnerText()
+		}
+		if cEl := tr.Find(func(n *HTMLNode) bool { return n.HasClass("gsc_a_c") }); cEl != nil {
+			pub.Citations, _ = strconv.Atoi(cEl.InnerText())
+		}
+		if y := tr.Find(func(n *HTMLNode) bool { return n.HasClass("gsc_a_y") }); y != nil {
+			pub.Year, _ = strconv.Atoi(y.InnerText())
+		}
+		if pub.Title != "" {
+			rec.Publications = append(rec.Publications, pub)
+		}
+	}
+}
+
+// userFromHref pulls the user token out of "/citations?user=XyZ".
+func userFromHref(href string) string {
+	u, err := url.Parse(href)
+	if err != nil {
+		return ""
+	}
+	return u.Query().Get("user")
+}
+
+// trailingInt parses the last integer in a string ("Cited by 1234" ->
+// 1234), returning 0 when none.
+func trailingInt(s string) int {
+	fields := strings.Fields(s)
+	for i := len(fields) - 1; i >= 0; i-- {
+		if n, err := strconv.Atoi(fields[i]); err == nil {
+			return n
+		}
+	}
+	return 0
+}

@@ -1,0 +1,212 @@
+// Package sources implements the extraction clients ("scrapers") for the
+// six scholarly websites MINARET integrates: DBLP, Google Scholar,
+// Publons, ACM DL, ORCID and ResearcherID. Each client speaks its site's
+// wire format (XML, HTML or JSON) and normalizes results into the shared
+// Record/Hit types that the profile-assembly and name-resolution layers
+// consume.
+//
+// The framework is "flexibly designed to include any further information
+// from any additional scholarly resource" (paper, Section 2.1): adding a
+// source means implementing Client (plus InterestSearcher if the site
+// supports interest queries) and registering it.
+package sources
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"minaret/internal/fetch"
+)
+
+// Hit is one result of an author search on a source.
+type Hit struct {
+	Source      string
+	SiteID      string
+	Name        string
+	Affiliation string
+	// ReviewCount is filled by review-tracking sources (Publons).
+	ReviewCount int
+	// Citations is filled by sources that expose it in search results.
+	Citations int
+	// Interests is filled when the search result lists them (Scholar).
+	Interests []string
+}
+
+// AffPeriod is one employment period as reported by a source.
+type AffPeriod struct {
+	Institution string
+	Country     string
+	StartYear   int
+	EndYear     int // 0 = current
+}
+
+// PubRecord is one publication as reported by a source.
+type PubRecord struct {
+	Title     string
+	Year      int
+	Venue     string
+	CoAuthors []string // display names, including the profile owner
+	// CoAuthorIDs carries site-local ids when the source links co-authors
+	// (DBLP does); empty strings for unlinked authors.
+	CoAuthorIDs []string
+	Citations   int
+}
+
+// ReviewRecord is one review as reported by a review-tracking source.
+type ReviewRecord struct {
+	Venue   string
+	Year    int
+	Days    int
+	Quality float64
+}
+
+// Record is a source's view of one scholar. Fields a source does not
+// expose stay zero; profile assembly merges records across sources.
+type Record struct {
+	Source string
+	SiteID string
+
+	Name   string
+	Given  string // split form, when the source provides it (ORCID)
+	Family string
+
+	Affiliation string // current institution
+	Country     string
+	// AffiliationHistory is full employment history (ORCID only).
+	AffiliationHistory []AffPeriod
+
+	Interests []string
+
+	Publications []PubRecord
+	PubCount     int
+
+	Citations int
+	HIndex    int
+	I10Index  int
+
+	Reviews     []ReviewRecord
+	ReviewCount int
+}
+
+// Client is the per-site extraction interface.
+type Client interface {
+	// Source returns the canonical source name (simweb.Source*).
+	Source() string
+	// SearchAuthor finds scholars by free-text name.
+	SearchAuthor(ctx context.Context, name string) ([]Hit, error)
+	// Profile fetches a scholar's full record by site-local id.
+	Profile(ctx context.Context, siteID string) (*Record, error)
+}
+
+// InterestSearcher is implemented by sources that can find scholars by
+// registered research interest; candidate retrieval queries these
+// (the paper uses Google Scholar and Publons).
+type InterestSearcher interface {
+	Client
+	SearchInterest(ctx context.Context, topic string) ([]Hit, error)
+}
+
+// Registry holds the configured source clients.
+type Registry struct {
+	clients map[string]Client
+	order   []string
+}
+
+// NewRegistry builds a registry from clients; order of registration is
+// preserved for deterministic iteration.
+func NewRegistry(clients ...Client) *Registry {
+	r := &Registry{clients: make(map[string]Client)}
+	for _, c := range clients {
+		if _, dup := r.clients[c.Source()]; dup {
+			panic(fmt.Sprintf("sources: duplicate client for %q", c.Source()))
+		}
+		r.clients[c.Source()] = c
+		r.order = append(r.order, c.Source())
+	}
+	return r
+}
+
+// Get returns the client for a source name; the bool is false when the
+// source is not configured.
+func (r *Registry) Get(source string) (Client, bool) {
+	c, ok := r.clients[source]
+	return c, ok
+}
+
+// All returns the clients in registration order.
+func (r *Registry) All() []Client {
+	out := make([]Client, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.clients[name])
+	}
+	return out
+}
+
+// Names returns the registered source names in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// InterestSearchers returns the clients capable of interest search.
+func (r *Registry) InterestSearchers() []InterestSearcher {
+	var out []InterestSearcher
+	for _, name := range r.order {
+		if is, ok := r.clients[name].(InterestSearcher); ok {
+			out = append(out, is)
+		}
+	}
+	return out
+}
+
+// BaseURLs maps source name -> base URL for DefaultRegistry.
+type BaseURLs map[string]string
+
+// SingleHost returns BaseURLs for a simweb instance mounted at root on
+// one host: each site lives under its path prefix.
+func SingleHost(root string) BaseURLs {
+	return BaseURLs{
+		"dblp":    root + "/dblp",
+		"scholar": root + "/scholar",
+		"publons": root + "/publons",
+		"acm":     root + "/acm",
+		"orcid":   root + "/orcid",
+		"rid":     root + "/rid",
+	}
+}
+
+// DefaultRegistry wires all six clients against the given base URLs
+// using one shared fetch client. Sources missing from urls are skipped,
+// so a deployment can run with any subset.
+func DefaultRegistry(f *fetch.Client, urls BaseURLs) *Registry {
+	var clients []Client
+	if u, ok := urls["dblp"]; ok {
+		clients = append(clients, NewDBLP(f, u))
+	}
+	if u, ok := urls["scholar"]; ok {
+		clients = append(clients, NewGoogleScholar(f, u))
+	}
+	if u, ok := urls["publons"]; ok {
+		clients = append(clients, NewPublons(f, u))
+	}
+	if u, ok := urls["acm"]; ok {
+		clients = append(clients, NewACM(f, u))
+	}
+	if u, ok := urls["orcid"]; ok {
+		clients = append(clients, NewORCID(f, u))
+	}
+	if u, ok := urls["rid"]; ok {
+		clients = append(clients, NewResearcherID(f, u))
+	}
+	return NewRegistry(clients...)
+}
+
+// SortHits orders hits deterministically: by source, then site id.
+func SortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Source != hits[j].Source {
+			return hits[i].Source < hits[j].Source
+		}
+		return hits[i].SiteID < hits[j].SiteID
+	})
+}

@@ -1,0 +1,333 @@
+// Package workload generates evaluation workloads over a synthetic
+// corpus: manuscripts with keywords and author lists, plus ground-truth
+// relevance judgments for candidate reviewers. Because the corpus
+// records each scholar's *true* topic affinities and collaboration
+// graph, relevance and conflicts are known exactly — something the
+// paper's live-web setting could never provide.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"minaret/internal/core"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+)
+
+// Item is one evaluation query: a manuscript plus ground truth.
+type Item struct {
+	Manuscript core.Manuscript
+	// AuthorIDs are the corpus identities of the manuscript authors.
+	AuthorIDs []scholarly.ScholarID
+	// Relevance maps scholar -> graded topical relevance in (0,1].
+	// Authors themselves are excluded.
+	Relevance map[scholarly.ScholarID]float64
+	// Relevant is the binary eligible-relevant set: topically relevant
+	// scholars with no ground-truth COI against any author.
+	Relevant map[scholarly.ScholarID]bool
+	// Conflicted lists topically relevant scholars excluded for
+	// ground-truth COI (co-authorship or shared university).
+	Conflicted map[scholarly.ScholarID]bool
+}
+
+// Config tunes workload generation.
+type Config struct {
+	Seed int64
+	// NumManuscripts to generate. Default 50.
+	NumManuscripts int
+	// RelevanceThreshold is the minimum graded relevance to count a
+	// scholar as relevant. Default 0.35.
+	RelevanceThreshold float64
+	// MinReviewerPubs excludes scholars with thinner track records from
+	// the relevant set. Default 3.
+	MinReviewerPubs int
+	// MaxCoAuthors caps the number of manuscript co-authors. Default 2.
+	MaxCoAuthors int
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumManuscripts == 0 {
+		c.NumManuscripts = 50
+	}
+	if c.RelevanceThreshold == 0 {
+		c.RelevanceThreshold = 0.35
+	}
+	if c.MinReviewerPubs == 0 {
+		c.MinReviewerPubs = 3
+	}
+	if c.MaxCoAuthors == 0 {
+		c.MaxCoAuthors = 2
+	}
+	return c
+}
+
+// Generator builds evaluation items.
+type Generator struct {
+	cfg     Config
+	corpus  *scholarly.Corpus
+	ont     *ontology.Ontology
+	rng     *rand.Rand
+	related map[string][]string // cached ontology neighbourhoods
+}
+
+// NewGenerator builds a Generator over a corpus and ontology.
+func NewGenerator(corpus *scholarly.Corpus, ont *ontology.Ontology, cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	return &Generator{
+		cfg:     cfg,
+		corpus:  corpus,
+		ont:     ont,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		related: ont.RelatedMap(),
+	}
+}
+
+// Generate produces the workload. Leads that yield no judgeable
+// manuscript are skipped; generation is bounded so a pathological corpus
+// returns a short workload rather than spinning.
+func (g *Generator) Generate() []Item {
+	items := make([]Item, 0, g.cfg.NumManuscripts)
+	for attempts := 0; len(items) < g.cfg.NumManuscripts && attempts < 60*g.cfg.NumManuscripts; attempts++ {
+		if item, ok := g.generateOne(); ok {
+			items = append(items, item)
+		}
+	}
+	return items
+}
+
+func (g *Generator) generateOne() (Item, bool) {
+	lead := g.pickLead()
+	if lead == nil {
+		return Item{}, false
+	}
+	authors := []scholarly.ScholarID{lead.ID}
+	// Co-authors from the lead's collaboration network.
+	coAuthors := sortedCoAuthors(g.corpus, lead.ID)
+	nCo := g.rng.Intn(g.cfg.MaxCoAuthors + 1)
+	for i := 0; i < nCo && i < len(coAuthors); i++ {
+		authors = append(authors, coAuthors[i])
+	}
+
+	keywords := g.manuscriptKeywords(lead)
+	if len(keywords) == 0 {
+		return Item{}, false
+	}
+	venue := g.pickJournal(keywords[0])
+
+	m := core.Manuscript{
+		Title:       fmt.Sprintf("Submission on %s", keywords[0]),
+		Keywords:    keywords,
+		TargetVenue: venue,
+	}
+	for _, id := range authors {
+		s := g.corpus.Scholar(id)
+		m.Authors = append(m.Authors, core.Author{
+			Name:        s.Name.Full(),
+			Affiliation: s.CurrentAffiliation().Institution,
+		})
+	}
+
+	item := Item{
+		Manuscript: m,
+		AuthorIDs:  authors,
+		Relevance:  map[scholarly.ScholarID]float64{},
+		Relevant:   map[scholarly.ScholarID]bool{},
+		Conflicted: map[scholarly.ScholarID]bool{},
+	}
+	g.judge(&item)
+	if len(item.Relevant) == 0 {
+		return Item{}, false
+	}
+	return item, true
+}
+
+// pickLead prefers scholars with publications, co-authors and interests.
+func (g *Generator) pickLead() *scholarly.Scholar {
+	for tries := 0; tries < 50; tries++ {
+		s := &g.corpus.Scholars[g.rng.Intn(len(g.corpus.Scholars))]
+		if len(s.Publications) >= 3 && len(s.TrueTopics) > 0 {
+			return s
+		}
+	}
+	return nil
+}
+
+// manuscriptKeywords draws 3-5 keywords from the lead's true topics and
+// their semantic neighbourhood — the realistic case where authors pick
+// keywords adjacent to, not identical with, reviewer interest labels.
+func (g *Generator) manuscriptKeywords(lead *scholarly.Scholar) []string {
+	topics := make([]string, 0, len(lead.TrueTopics))
+	for t := range lead.TrueTopics {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	var out []string
+	seen := map[string]bool{}
+	add := func(t string) {
+		k := strings.ToLower(t)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range topics {
+		add(t)
+	}
+	want := 3 + g.rng.Intn(3)
+	// Bounded draw: a lead whose semantic neighbourhood is smaller than
+	// `want` yields fewer keywords rather than looping.
+	for tries := 0; len(out) < want && tries < 20; tries++ {
+		base := topics[g.rng.Intn(len(topics))]
+		nbrs := g.related[base]
+		if len(nbrs) == 0 {
+			continue
+		}
+		add(nbrs[g.rng.Intn(len(nbrs))])
+	}
+	if len(out) > want {
+		out = out[:want]
+	}
+	return out
+}
+
+func (g *Generator) pickJournal(topic string) string {
+	var fallback string
+	for i := range g.corpus.Venues {
+		v := &g.corpus.Venues[i]
+		if v.Type != scholarly.Journal {
+			continue
+		}
+		if fallback == "" {
+			fallback = v.Name
+		}
+		for _, t := range v.Topics {
+			if t == topic {
+				return v.Name
+			}
+		}
+	}
+	return fallback
+}
+
+// judge computes graded relevance for every scholar and splits the
+// relevant set by ground-truth COI.
+func (g *Generator) judge(item *Item) {
+	authorSet := map[scholarly.ScholarID]bool{}
+	for _, a := range item.AuthorIDs {
+		authorSet[a] = true
+	}
+	// Ground-truth conflict sets.
+	coAuthorOf := map[scholarly.ScholarID]bool{}
+	authorInstitutions := map[string]bool{}
+	for _, a := range item.AuthorIDs {
+		for co := range g.corpus.CoAuthors(a) {
+			coAuthorOf[co] = true
+		}
+		for _, aff := range g.corpus.Scholar(a).Affiliations {
+			authorInstitutions[strings.ToLower(aff.Institution)] = true
+		}
+	}
+
+	for i := range g.corpus.Scholars {
+		s := &g.corpus.Scholars[i]
+		if authorSet[s.ID] || len(s.Publications) < g.cfg.MinReviewerPubs {
+			continue
+		}
+		rel := g.topicalRelevance(s, item.Manuscript.Keywords)
+		if rel < g.cfg.RelevanceThreshold {
+			continue
+		}
+		item.Relevance[s.ID] = rel
+		conflicted := coAuthorOf[s.ID]
+		if !conflicted {
+			for _, aff := range s.Affiliations {
+				if authorInstitutions[strings.ToLower(aff.Institution)] {
+					conflicted = true
+					break
+				}
+			}
+		}
+		if conflicted {
+			item.Conflicted[s.ID] = true
+		} else {
+			item.Relevant[s.ID] = true
+		}
+	}
+}
+
+// topicalRelevance grades a scholar against manuscript keywords using
+// true topic affinities and ontology similarity: mean over keywords of
+// the best affinity-weighted similarity.
+func (g *Generator) topicalRelevance(s *scholarly.Scholar, keywords []string) float64 {
+	if len(keywords) == 0 {
+		return 0
+	}
+	topics := make([]string, 0, len(s.TrueTopics))
+	for t := range s.TrueTopics {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	sum := 0.0
+	for _, kw := range keywords {
+		best := 0.0
+		for _, t := range topics {
+			sim := g.ont.Similarity(kw, t)
+			w := 0.5 + 0.5*s.TrueTopics[t] // affinity softening
+			if v := sim * w; v > best {
+				best = v
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(keywords))
+}
+
+// sortedCoAuthors returns co-author ids sorted by recency then id.
+func sortedCoAuthors(c *scholarly.Corpus, id scholarly.ScholarID) []scholarly.ScholarID {
+	m := c.CoAuthors(id)
+	out := make([]scholarly.ScholarID, 0, len(m))
+	for co := range m {
+		out = append(out, co)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if m[out[i]] != m[out[j]] {
+			return m[out[i]] > m[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// Key renders a scholar id as the string key used with evalmetrics.
+func Key(id scholarly.ScholarID) string { return fmt.Sprintf("s%d", id) }
+
+// Keys converts an id slice to metric keys.
+func Keys(ids []scholarly.ScholarID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = Key(id)
+	}
+	return out
+}
+
+// RelevantKeys converts the binary relevant set to metric form.
+func (it *Item) RelevantKeys() map[string]bool {
+	out := make(map[string]bool, len(it.Relevant))
+	for id := range it.Relevant {
+		out[Key(id)] = true
+	}
+	return out
+}
+
+// GainKeys converts graded relevance (eligible scholars only) to metric
+// form for NDCG.
+func (it *Item) GainKeys() map[string]float64 {
+	out := make(map[string]float64, len(it.Relevant))
+	for id := range it.Relevant {
+		out[Key(id)] = it.Relevance[id]
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"testing"
+
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+)
+
+func testCorpus(seed int64) (*scholarly.Corpus, *ontology.Ontology) {
+	o := ontology.Default()
+	c := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: seed, NumScholars: 500, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	return c, o
+}
+
+func TestGenerateWorkload(t *testing.T) {
+	c, o := testCorpus(21)
+	g := NewGenerator(c, o, Config{Seed: 1, NumManuscripts: 10})
+	items := g.Generate()
+	if len(items) != 10 {
+		t.Fatalf("items = %d", len(items))
+	}
+	for i, it := range items {
+		if err := it.Manuscript.Validate(); err != nil {
+			t.Errorf("item %d invalid manuscript: %v", i, err)
+		}
+		if len(it.Manuscript.Keywords) < 1 || len(it.Manuscript.Keywords) > 5 {
+			t.Errorf("item %d keywords = %d", i, len(it.Manuscript.Keywords))
+		}
+		if len(it.AuthorIDs) != len(it.Manuscript.Authors) {
+			t.Errorf("item %d author ids/names mismatch", i)
+		}
+		if len(it.Relevant) == 0 {
+			t.Errorf("item %d has no relevant reviewers", i)
+		}
+		// Authors never relevant.
+		for _, a := range it.AuthorIDs {
+			if it.Relevant[a] || it.Conflicted[a] {
+				t.Errorf("item %d lists author %d as reviewer", i, a)
+			}
+		}
+		// Relevant and conflicted are disjoint; both subsets of graded.
+		for id := range it.Relevant {
+			if it.Conflicted[id] {
+				t.Errorf("item %d: scholar %d both relevant and conflicted", i, id)
+			}
+			if _, ok := it.Relevance[id]; !ok {
+				t.Errorf("item %d: relevant scholar %d has no grade", i, id)
+			}
+		}
+		for id, g := range it.Relevance {
+			if g <= 0 || g > 1 {
+				t.Errorf("item %d: grade %v for %d out of range", i, g, id)
+			}
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	c, o := testCorpus(22)
+	a := NewGenerator(c, o, Config{Seed: 5, NumManuscripts: 5}).Generate()
+	b := NewGenerator(c, o, Config{Seed: 5, NumManuscripts: 5}).Generate()
+	for i := range a {
+		if a[i].Manuscript.Title != b[i].Manuscript.Title ||
+			len(a[i].Relevant) != len(b[i].Relevant) {
+			t.Fatalf("workload not deterministic at %d", i)
+		}
+	}
+}
+
+func TestConflictedScholarsAreGroundTruthConflicts(t *testing.T) {
+	c, o := testCorpus(23)
+	items := NewGenerator(c, o, Config{Seed: 7, NumManuscripts: 5}).Generate()
+	for _, it := range items {
+		for id := range it.Conflicted {
+			conflict := false
+			for _, a := range it.AuthorIDs {
+				if _, ok := c.CoAuthors(a)[id]; ok {
+					conflict = true
+					break
+				}
+				for _, aAff := range c.Scholar(a).Affiliations {
+					for _, rAff := range c.Scholar(id).Affiliations {
+						if aAff.Institution == rAff.Institution {
+							conflict = true
+						}
+					}
+				}
+			}
+			if !conflict {
+				t.Fatalf("scholar %d marked conflicted without ground-truth conflict", id)
+			}
+		}
+	}
+}
+
+func TestRelevanceThresholdRespected(t *testing.T) {
+	c, o := testCorpus(24)
+	g := NewGenerator(c, o, Config{Seed: 9, NumManuscripts: 3, RelevanceThreshold: 0.6})
+	for _, it := range g.Generate() {
+		for id, grade := range it.Relevance {
+			if grade < 0.6 {
+				t.Fatalf("scholar %d grade %v below threshold", id, grade)
+			}
+		}
+	}
+}
+
+func TestKeyHelpers(t *testing.T) {
+	if Key(42) != "s42" {
+		t.Fatalf("Key = %q", Key(42))
+	}
+	ks := Keys([]scholarly.ScholarID{1, 2})
+	if len(ks) != 2 || ks[0] != "s1" || ks[1] != "s2" {
+		t.Fatalf("Keys = %v", ks)
+	}
+	it := Item{
+		Relevant:  map[scholarly.ScholarID]bool{7: true},
+		Relevance: map[scholarly.ScholarID]float64{7: 0.9, 8: 0.5},
+	}
+	rk := it.RelevantKeys()
+	if !rk["s7"] || len(rk) != 1 {
+		t.Fatalf("RelevantKeys = %v", rk)
+	}
+	gk := it.GainKeys()
+	if gk["s7"] != 0.9 || len(gk) != 1 {
+		t.Fatalf("GainKeys = %v (conflicted/irrelevant must be excluded)", gk)
+	}
+}
