@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke server ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Fails when any file needs reformatting (CI gate).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+bench-smoke:
+	$(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -run '^$$' .
+
+server:
+	$(GO) run ./cmd/minaret-server
+
+ci: fmt-check vet build race bench-smoke

@@ -1,0 +1,136 @@
+// The batch subcommand: process a whole submission queue through one
+// shared engine, amortizing extraction across manuscripts.
+//
+// Usage:
+//
+//	minaret batch -in manuscripts.json -workers 4 -top-k 5
+//	minaret batch -in manuscripts.json -json > results.json
+//
+// The input file is either a JSON array of manuscripts or an object
+// with a "manuscripts" array (the same shape POST /v1/batch accepts).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+	"minaret/internal/filter"
+	"minaret/internal/ontology"
+	"minaret/internal/ranking"
+)
+
+func runBatch(args []string) {
+	fs := flag.NewFlagSet("minaret batch", flag.ExitOnError)
+	var (
+		inPath      = fs.String("in", "", "JSON file with the manuscripts (array, or object with a 'manuscripts' key)")
+		workers     = fs.Int("workers", 4, "manuscripts processed concurrently")
+		topK        = fs.Int("top-k", 10, "recommendations per manuscript")
+		coiLevel    = fs.String("coi", "university", "COI affiliation level: off|university|country")
+		minScore    = fs.Float64("min-keyword-score", 0, "expanded-keyword similarity threshold")
+		impact      = fs.String("impact", "citations", "impact metric: citations|h-index")
+		noExpansion = fs.Bool("no-expansion", false, "disable semantic keyword expansion")
+		sourcesURL  = fs.String("sources-url", "", "base URL of a running simweb (default: in-process)")
+		scholars    = fs.Int("scholars", 1500, "in-process corpus size")
+		seed        = fs.Int64("seed", 42, "in-process corpus seed")
+		asJSON      = fs.Bool("json", false, "print the full summary as JSON")
+	)
+	fs.Parse(args)
+	if *inPath == "" {
+		log.Fatal("minaret batch: -in is required")
+	}
+	manuscripts, err := readManuscripts(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(manuscripts) == 0 {
+		log.Fatalf("minaret batch: %s contains no manuscripts", *inPath)
+	}
+
+	o := ontology.Default()
+	w, err := setupWorld(o, *sourcesURL, *scholars, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer w.cleanup()
+
+	ccfg, err := coiConfigFor(*coiLevel, w.horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rcfg := ranking.Config{HorizonYear: w.horizon, Impact: impactFor(*impact)}
+	shared := core.NewShared(core.SharedOptions{})
+	eng := core.NewWithShared(w.registry, o, core.Config{
+		TopK:             *topK,
+		DisableExpansion: *noExpansion,
+		Filter:           filter.Config{COI: ccfg, MinKeywordScore: *minScore},
+		Ranking:          rcfg,
+	}, shared)
+
+	sum := batch.New(eng, batch.Options{Workers: *workers}).Process(context.Background(), manuscripts)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(sum)
+	} else {
+		printBatchSummary(sum)
+	}
+	if sum.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// readManuscripts accepts both a bare JSON array and the /v1/batch
+// request shape.
+func readManuscripts(path string) ([]core.Manuscript, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var list []core.Manuscript
+	if err := json.Unmarshal(b, &list); err == nil {
+		return list, nil
+	}
+	var wrapped struct {
+		Manuscripts []core.Manuscript `json:"manuscripts"`
+	}
+	if err := json.Unmarshal(b, &wrapped); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return wrapped.Manuscripts, nil
+}
+
+func printBatchSummary(sum *batch.Summary) {
+	fmt.Printf("%-4s %-9s %-10s %-5s %-28s %s\n", "idx", "status", "elapsed", "recs", "top reviewer", "error")
+	var itemTotal time.Duration
+	for _, it := range sum.Items {
+		itemTotal += it.Elapsed
+		top, recs := "", 0
+		if it.Result != nil {
+			recs = len(it.Result.Recommendations)
+			if recs > 0 {
+				top = it.Result.Recommendations[0].Reviewer.Name
+			}
+		}
+		fmt.Printf("%-4d %-9s %-10v %-5d %-28s %s\n",
+			it.Index, it.Status, it.Elapsed.Round(time.Millisecond), recs, trunc(top, 28), it.Error)
+	}
+	speedup := 0.0
+	if sum.Elapsed > 0 {
+		speedup = float64(itemTotal) / float64(sum.Elapsed)
+	}
+	fmt.Printf("\nbatch: %d ok, %d failed, %d canceled in %v (item time %v, %.1fx parallel speedup)\n",
+		sum.Succeeded, sum.Failed, sum.Canceled,
+		sum.Elapsed.Round(time.Millisecond), itemTotal.Round(time.Millisecond), speedup)
+	c := sum.Cache
+	fmt.Printf("shared caches: profiles %d hit / %d miss, verifies %d hit / %d miss, expansions %d hit / %d miss\n",
+		c.Profiles.Hits+c.Profiles.Shares, c.Profiles.Misses,
+		c.Verifies.Hits+c.Verifies.Shares, c.Verifies.Misses,
+		c.Expansions.Hits+c.Expansions.Shares, c.Expansions.Misses)
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+)
+
+func writeManuscripts(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "manuscripts.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func batchInput() []core.Manuscript {
+	m := core.Manuscript{
+		Title:    "Batch CLI",
+		Keywords: []string{"rdf", "stream processing"},
+		Authors:  []core.Author{{Name: "Maria Garcia"}},
+	}
+	return []core.Manuscript{m, m, {
+		Title:    "Second topic",
+		Keywords: []string{"machine learning"},
+		Authors:  []core.Author{{Name: "David Smith"}},
+	}}
+}
+
+func TestCLIBatchTable(t *testing.T) {
+	path := writeManuscripts(t, batchInput())
+	out, _ := runCLI(t, "batch", "-in", path, "-workers", "2", "-top-k", "3", "-scholars", "300")
+	for _, want := range []string{"idx", "status", "3 ok, 0 failed", "shared caches:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIBatchJSON(t *testing.T) {
+	// The wrapped {"manuscripts": [...]} shape must parse too.
+	path := writeManuscripts(t, map[string]any{"manuscripts": batchInput()})
+	out, _ := runCLI(t, "batch", "-in", path, "-top-k", "2", "-scholars", "300", "-json")
+	var sum batch.Summary
+	if err := json.Unmarshal([]byte(out), &sum); err != nil {
+		t.Fatalf("JSON output invalid: %v", err)
+	}
+	if sum.Succeeded != 3 || sum.Failed != 0 {
+		t.Fatalf("succeeded/failed = %d/%d", sum.Succeeded, sum.Failed)
+	}
+	for i, it := range sum.Items {
+		if it.Status != batch.StatusOK || it.Result == nil {
+			t.Fatalf("item %d: %+v", i, it)
+		}
+		if len(it.Result.Recommendations) == 0 || len(it.Result.Recommendations) > 2 {
+			t.Fatalf("item %d recommendations = %d", i, len(it.Result.Recommendations))
+		}
+	}
+	// The two identical manuscripts must have shared cached work.
+	if hits := sum.Cache.Profiles.Hits + sum.Cache.Profiles.Shares; hits == 0 {
+		t.Fatalf("no profile cache sharing: %+v", sum.Cache)
+	}
+}
+
+func TestReadManuscriptsErrors(t *testing.T) {
+	if _, err := readManuscripts(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readManuscripts(bad); err == nil {
+		t.Fatal("malformed file accepted")
+	}
+}

@@ -60,7 +60,57 @@ func (a *authorList) Set(v string) error {
 	return nil
 }
 
+// world is the extraction environment a CLI run recommends against: the
+// source registry plus the fetch client behind it, backed either by an
+// external simweb or an in-process one.
+type world struct {
+	registry *sources.Registry
+	fetcher  *fetch.Client
+	horizon  int
+	cleanup  func()
+}
+
+// setupWorld builds the registry; when sourcesURL is empty it generates
+// a corpus and serves the simulated scholarly web in-process.
+func setupWorld(o *ontology.Ontology, sourcesURL string, scholars int, seed int64) (*world, error) {
+	horizon := 2018
+	base := sourcesURL
+	cleanup := func() {}
+	if base == "" {
+		corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+			Seed: seed, NumScholars: scholars, Topics: o.Topics(), Related: o.RelatedMap(),
+		})
+		horizon = corpus.HorizonYear
+		web := simweb.New(corpus, simweb.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go http.Serve(ln, web.Mux())
+		base = "http://" + ln.Addr().String()
+		cleanup = func() { ln.Close() }
+		fmt.Fprintf(os.Stderr, "using in-process scholarly web (%d scholars) at %s\n", scholars, base)
+	}
+	fopts := fetch.Options{Timeout: 20 * time.Second, BaseBackoff: 5 * time.Millisecond}
+	if sourcesURL == "" {
+		// The in-process web hosts all six sites on one listener; the
+		// per-host politeness limit would throttle it artificially.
+		fopts.PerHostRate = -1
+	}
+	f := fetch.New(fopts)
+	return &world{
+		registry: sources.DefaultRegistry(f, sources.SingleHost(base)),
+		fetcher:  f,
+		horizon:  horizon,
+		cleanup:  cleanup,
+	}, nil
+}
+
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "batch" {
+		runBatch(os.Args[2:])
+		return
+	}
 	var authors authorList
 	var blocked stringList
 	var (
@@ -108,49 +158,18 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loaded ontology: %d topics from %s\n", o.Len(), *ontologyCSV)
 	}
-	horizon := 2018
-	base := *sourcesURL
-	if base == "" {
-		corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
-			Seed: *seed, NumScholars: *scholars, Topics: o.Topics(), Related: o.RelatedMap(),
-		})
-		horizon = corpus.HorizonYear
-		web := simweb.New(corpus, simweb.Config{})
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer ln.Close()
-		go http.Serve(ln, web.Mux())
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "using in-process scholarly web (%d scholars) at %s\n", *scholars, base)
+	w, err := setupWorld(o, *sourcesURL, *scholars, *seed)
+	if err != nil {
+		log.Fatal(err)
 	}
+	defer w.cleanup()
+	registry, horizon := w.registry, w.horizon
 
-	fopts := fetch.Options{Timeout: 20 * time.Second, BaseBackoff: 5 * time.Millisecond}
-	if *sourcesURL == "" {
-		// The in-process web hosts all six sites on one listener; the
-		// per-host politeness limit would throttle it artificially.
-		fopts.PerHostRate = -1
+	ccfg, err := coiConfigFor(*coiLevel, horizon)
+	if err != nil {
+		log.Fatal(err)
 	}
-	f := fetch.New(fopts)
-	registry := sources.DefaultRegistry(f, sources.SingleHost(base))
-
-	ccfg := coi.DefaultConfig(horizon)
-	switch strings.ToLower(*coiLevel) {
-	case "off":
-		ccfg.CoAuthorship = false
-		ccfg.Affiliation = coi.AffiliationOff
-	case "university":
-		ccfg.Affiliation = coi.AffiliationUniversity
-	case "country":
-		ccfg.Affiliation = coi.AffiliationCountry
-	default:
-		log.Fatalf("unknown -coi %q", *coiLevel)
-	}
-	rcfg := ranking.Config{HorizonYear: horizon}
-	if strings.EqualFold(*impactMetric, "h-index") {
-		rcfg.Impact = ranking.ImpactHIndex
-	}
+	rcfg := ranking.Config{HorizonYear: horizon, Impact: impactFor(*impactMetric)}
 	if *weightsSpec != "" {
 		w, err := parseWeights(*weightsSpec)
 		if err != nil {
@@ -204,6 +223,32 @@ func writeExport(path string, res *core.Result, fn func(io.Writer, *core.Result)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 	return f.Close()
+}
+
+// coiConfigFor maps the -coi flag onto a COI policy; "off" also
+// disables the co-authorship rule.
+func coiConfigFor(level string, horizon int) (coi.Config, error) {
+	ccfg := coi.DefaultConfig(horizon)
+	switch strings.ToLower(level) {
+	case "off":
+		ccfg.CoAuthorship = false
+		ccfg.Affiliation = coi.AffiliationOff
+	case "university":
+		ccfg.Affiliation = coi.AffiliationUniversity
+	case "country":
+		ccfg.Affiliation = coi.AffiliationCountry
+	default:
+		return ccfg, fmt.Errorf("unknown -coi %q (want off|university|country)", level)
+	}
+	return ccfg, nil
+}
+
+// impactFor maps the -impact flag onto the ranking metric.
+func impactFor(name string) ranking.ImpactMetric {
+	if strings.EqualFold(name, "h-index") {
+		return ranking.ImpactHIndex
+	}
+	return ranking.ImpactCitations
 }
 
 // parseWeights turns "topic=0.4,impact=0.2" into ranking.Weights.

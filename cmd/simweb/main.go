@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"time"
@@ -82,12 +83,18 @@ func main() {
 		RatePerSecond: *rateLimit,
 		Seed:          *seed,
 	})
-	fmt.Printf("simulated scholarly web on %s\n", *addr)
+	// Listen before announcing so -addr :0 (tests, parallel local runs)
+	// reports the actual port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated scholarly web on %s\n", ln.Addr())
 	fmt.Println("  /dblp/search/author?q=NAME        /dblp/pid/PID.xml")
 	fmt.Println("  /scholar/citations?user=TOKEN     /scholar/citations?view_op=search_authors&mauthors=QUERY")
 	fmt.Println("  /publons/api/researcher/?name=N   /publons/api/researcher/ID/")
 	fmt.Println("  /acm/search?q=NAME                /acm/profile/ID")
 	fmt.Println("  /orcid/search?q=NAME              /orcid/v2.0/ORCID/record")
 	fmt.Println("  /rid/search?name=NAME             /rid/profile/RID")
-	log.Fatal(http.ListenAndServe(*addr, web.Mux()))
+	log.Fatal(http.Serve(ln, web.Mux()))
 }

@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startSimweb builds and launches the binary on an ephemeral port,
+// returning its base URL. The process is killed at test cleanup.
+func startSimweb(t *testing.T, extraArgs ...string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "simweb")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	args := append([]string{"-addr", "127.0.0.1:0", "-scholars", "100"}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	// The announcement line carries the actual address.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "simulated scholarly web on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr
+	case <-time.After(60 * time.Second):
+		t.Fatal("simweb never announced its address")
+		return ""
+	}
+}
+
+func TestSimwebServesAllSites(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	base := startSimweb(t)
+	for _, path := range []string{
+		"/dblp/search/author?q=a",
+		"/scholar/citations?view_op=search_authors&mauthors=label:databases",
+		"/publons/api/researcher/?name=a",
+		"/acm/search?q=a",
+		"/orcid/search?q=a",
+		"/rid/search?name=a",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s = %d", path, resp.StatusCode)
+		}
+		if len(body) == 0 {
+			t.Errorf("GET %s returned an empty body", path)
+		}
+	}
+}
+
+func TestSimwebCorpusSnapshotRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	snap := filepath.Join(t.TempDir(), "corpus.snapshot")
+	base := startSimweb(t, "-save-corpus", snap)
+	if _, err := http.Get(base + "/dblp/search/author?q=a"); err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	// A second instance loading the snapshot must serve the same corpus.
+	base2 := startSimweb(t, "-load-corpus", snap)
+	for _, b := range []string{base, base2} {
+		resp, err := http.Get(fmt.Sprintf("%s/dblp/search/author?q=a", b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("loaded corpus not served from %s: %d", b, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Build-and-run coverage for the examples: each examples/* main starts
+// its own in-process simulated scholarly web, so running the binary
+// end-to-end is a full-stack smoke test of the public API surface.
+package minaret_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example binary")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			bin := filepath.Join(t.TempDir(), name)
+			if out, err := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name)).CombinedOutput(); err != nil {
+				t.Fatalf("build: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			done := make(chan struct{})
+			go func() {
+				select {
+				case <-done:
+				case <-time.After(4 * time.Minute):
+					cmd.Process.Kill()
+				}
+			}()
+			out, err := cmd.CombinedOutput()
+			close(done)
+			if err != nil {
+				t.Fatalf("run: %v\n%s", err, out)
+			}
+			if len(out) == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module minaret
+
+go 1.21

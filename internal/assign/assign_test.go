@@ -162,11 +162,11 @@ func TestMeasure(t *testing.T) {
 func TestCheckCatchesViolations(t *testing.T) {
 	p := uniformProblem(2, 4, 2, 1, 11)
 	bad := []*Assignment{
-		{PaperReviewers: [][]int{{0, 1}}},            // missing paper
-		{PaperReviewers: [][]int{{0}, {1, 2}}},       // wrong count
-		{PaperReviewers: [][]int{{0, 0}, {1, 2}}},    // duplicate
-		{PaperReviewers: [][]int{{0, 9}, {1, 2}}},    // out of range
-		{PaperReviewers: [][]int{{0, 1}, {0, 2}}},    // capacity 1 exceeded
+		{PaperReviewers: [][]int{{0, 1}}},         // missing paper
+		{PaperReviewers: [][]int{{0}, {1, 2}}},    // wrong count
+		{PaperReviewers: [][]int{{0, 0}, {1, 2}}}, // duplicate
+		{PaperReviewers: [][]int{{0, 9}, {1, 2}}}, // out of range
+		{PaperReviewers: [][]int{{0, 1}, {0, 2}}}, // capacity 1 exceeded
 	}
 	for i, a := range bad {
 		if err := a.Check(p); err == nil {

@@ -1,0 +1,156 @@
+// Package batch processes many manuscripts concurrently through one
+// shared recommendation Engine — the production shape of MINARET, where
+// a venue's whole submission queue is recommended on at once and the
+// candidate pools of different manuscripts overlap heavily. A bounded
+// worker pool drives core.Engine.Recommend per manuscript; the engine's
+// Shared caches (expansion memo, verification cache, profile cache) and
+// the fetch layer's HTTP cache + singleflight turn that overlap into
+// cache hits, so a batch costs far less than the sum of its parts.
+package batch
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"minaret/internal/core"
+)
+
+// Options tunes a Processor; zero values select the defaults.
+type Options struct {
+	// Workers bounds how many manuscripts are in flight at once.
+	// Default 4.
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// Item statuses.
+const (
+	StatusOK       = "ok"
+	StatusError    = "error"
+	StatusCanceled = "canceled"
+)
+
+// Item is the outcome of one manuscript in a batch.
+type Item struct {
+	// Index is the manuscript's position in the input slice.
+	Index  int    `json:"index"`
+	Status string `json:"status"`
+	// Error holds the failure message for StatusError/StatusCanceled.
+	Error string `json:"error,omitempty"`
+	// Elapsed is this item's pipeline wall time.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Result is the full pipeline output for StatusOK items.
+	Result *core.Result `json:"result,omitempty"`
+}
+
+// Summary aggregates a processed batch.
+type Summary struct {
+	Items     []Item `json:"items"`
+	Succeeded int    `json:"succeeded"`
+	Failed    int    `json:"failed"`
+	Canceled  int    `json:"canceled"`
+	// Elapsed is the batch wall time (not the sum of item times).
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Cache is the change in the engine's shared-cache counters over
+	// this batch — the amortization ledger. Zero when the engine has no
+	// Shared wired.
+	Cache core.SharedStats `json:"cache"`
+}
+
+// Processor runs batches against one engine. The engine should be built
+// with core.NewWithShared so overlapping work is amortized; a plain
+// engine works but only the fetch layer deduplicates.
+type Processor struct {
+	eng  *core.Engine
+	opts Options
+}
+
+// New builds a Processor over eng.
+func New(eng *core.Engine, opts Options) *Processor {
+	return &Processor{eng: eng, opts: opts.withDefaults()}
+}
+
+// Process recommends on every manuscript with bounded concurrency and
+// returns per-item outcomes in input order. A failing manuscript marks
+// its item and never aborts the rest; cancelling ctx marks the items
+// not yet finished as canceled and returns promptly.
+func (p *Processor) Process(ctx context.Context, manuscripts []core.Manuscript) *Summary {
+	sum := &Summary{Items: make([]Item, len(manuscripts))}
+	var before core.SharedStats
+	if sh := p.eng.Shared(); sh != nil {
+		before = sh.Stats()
+	}
+	start := time.Now()
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := p.opts.Workers
+	if workers > len(manuscripts) {
+		workers = len(manuscripts)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sum.Items[i] = p.processOne(ctx, i, manuscripts[i])
+			}
+		}()
+	}
+dispatch:
+	for i := range manuscripts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			// Mark everything not dispatched; in-flight items finish (or
+			// fail fast on the dead context) in their workers.
+			for j := i; j < len(manuscripts); j++ {
+				sum.Items[j] = Item{Index: j, Status: StatusCanceled, Error: ctx.Err().Error()}
+			}
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	sum.Elapsed = time.Since(start)
+	for _, it := range sum.Items {
+		switch it.Status {
+		case StatusOK:
+			sum.Succeeded++
+		case StatusCanceled:
+			sum.Canceled++
+		default:
+			sum.Failed++
+		}
+	}
+	if sh := p.eng.Shared(); sh != nil {
+		sum.Cache = sh.Stats().Sub(before)
+	}
+	return sum
+}
+
+func (p *Processor) processOne(ctx context.Context, i int, m core.Manuscript) Item {
+	itemStart := time.Now()
+	res, err := p.eng.Recommend(ctx, m)
+	item := Item{Index: i, Elapsed: time.Since(itemStart)}
+	switch {
+	case err == nil:
+		item.Status = StatusOK
+		item.Result = res
+	case ctx.Err() != nil:
+		item.Status = StatusCanceled
+		item.Error = ctx.Err().Error()
+	default:
+		item.Status = StatusError
+		item.Error = err.Error()
+	}
+	return item
+}

@@ -1,0 +1,249 @@
+package batch
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+	"minaret/internal/workload"
+)
+
+// fixture is one simulated world shared by every test in the package
+// (corpus generation dominates otherwise). Tests must not mutate it.
+type fixture struct {
+	corpus   *scholarly.Corpus
+	ont      *ontology.Ontology
+	registry *sources.Registry
+	fetcher  *fetch.Client
+}
+
+var shared *fixture
+
+func env(t *testing.T) *fixture {
+	t.Helper()
+	if shared == nil {
+		o := ontology.Default()
+		corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+			Seed: 4242, NumScholars: 400, Topics: o.Topics(), Related: o.RelatedMap(),
+		})
+		srv := httptest.NewServer(simweb.New(corpus, simweb.Config{}).Mux())
+		// Deliberately leaked for the process lifetime; one server backs
+		// the whole package's tests.
+		f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+		shared = &fixture{
+			corpus:   corpus,
+			ont:      o,
+			registry: sources.DefaultRegistry(f, sources.SingleHost(srv.URL)),
+			fetcher:  f,
+		}
+	}
+	return shared
+}
+
+func (f *fixture) engine(sh *core.Shared) *core.Engine {
+	cfg := core.Config{TopK: 5, MaxCandidates: 30}
+	if sh == nil {
+		return core.New(f.registry, f.ont, cfg)
+	}
+	return core.NewWithShared(f.registry, f.ont, cfg, sh)
+}
+
+func (f *fixture) manuscripts(t *testing.T, seed int64, n int) []core.Manuscript {
+	t.Helper()
+	items := workload.NewGenerator(f.corpus, f.ont, workload.Config{
+		Seed: seed, NumManuscripts: n,
+	}).Generate()
+	if len(items) < n {
+		t.Fatalf("workload generated %d manuscripts, want %d", len(items), n)
+	}
+	ms := make([]core.Manuscript, n)
+	for i := range ms {
+		ms[i] = items[i].Manuscript
+	}
+	return ms
+}
+
+func TestProcessPoolSizing(t *testing.T) {
+	e := env(t)
+	ms := e.manuscripts(t, 100, 4)
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"default", 0},
+		{"serial", 1},
+		{"matched", 4},
+		{"oversized", 32},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(e.engine(core.NewShared(core.SharedOptions{})), Options{Workers: tc.workers})
+			sum := p.Process(context.Background(), ms)
+			if len(sum.Items) != len(ms) {
+				t.Fatalf("items = %d, want %d", len(sum.Items), len(ms))
+			}
+			if sum.Succeeded != len(ms) || sum.Failed != 0 || sum.Canceled != 0 {
+				t.Fatalf("succeeded/failed/canceled = %d/%d/%d, want %d/0/0",
+					sum.Succeeded, sum.Failed, sum.Canceled, len(ms))
+			}
+			for i, it := range sum.Items {
+				if it.Index != i {
+					t.Fatalf("item %d has index %d", i, it.Index)
+				}
+				if it.Status != StatusOK {
+					t.Fatalf("item %d status %q: %s", i, it.Status, it.Error)
+				}
+				if it.Result == nil || len(it.Result.Recommendations) == 0 {
+					t.Fatalf("item %d has no recommendations", i)
+				}
+				if it.Elapsed <= 0 {
+					t.Fatalf("item %d elapsed = %v", i, it.Elapsed)
+				}
+			}
+			if sum.Elapsed <= 0 {
+				t.Fatalf("batch elapsed = %v", sum.Elapsed)
+			}
+		})
+	}
+}
+
+func TestProcessPartialFailure(t *testing.T) {
+	e := env(t)
+	ms := e.manuscripts(t, 200, 3)
+	// Slot 1 is invalid: no keywords, no abstract, no authors.
+	ms[1] = core.Manuscript{Title: "broken"}
+	p := New(e.engine(core.NewShared(core.SharedOptions{})), Options{Workers: 2})
+	sum := p.Process(context.Background(), ms)
+	if sum.Succeeded != 2 || sum.Failed != 1 {
+		t.Fatalf("succeeded/failed = %d/%d, want 2/1", sum.Succeeded, sum.Failed)
+	}
+	if sum.Items[1].Status != StatusError {
+		t.Fatalf("item 1 status = %q, want error", sum.Items[1].Status)
+	}
+	if sum.Items[1].Error == "" || sum.Items[1].Result != nil {
+		t.Fatalf("item 1 error/result = %q/%v", sum.Items[1].Error, sum.Items[1].Result)
+	}
+	for _, i := range []int{0, 2} {
+		if sum.Items[i].Status != StatusOK {
+			t.Fatalf("item %d status = %q: %s", i, sum.Items[i].Status, sum.Items[i].Error)
+		}
+	}
+}
+
+func TestProcessCacheAccounting(t *testing.T) {
+	e := env(t)
+	ms := e.manuscripts(t, 300, 3)
+	// Duplicate the batch so every identity and keyword set recurs.
+	ms = append(ms, ms...)
+	sh := core.NewShared(core.SharedOptions{})
+	p := New(e.engine(sh), Options{Workers: 3})
+
+	first := p.Process(context.Background(), ms)
+	if first.Succeeded != len(ms) {
+		t.Fatalf("first batch: %d/%d succeeded", first.Succeeded, len(ms))
+	}
+	if first.Cache.Profiles.Misses == 0 {
+		t.Fatal("first batch assembled no profiles through the cache")
+	}
+	if hits := first.Cache.Profiles.Hits + first.Cache.Profiles.Shares; hits == 0 {
+		t.Fatal("duplicated batch produced no profile-cache sharing")
+	}
+
+	// A warm re-run must be almost entirely cache hits: the only misses
+	// allowed are identities evicted between runs (none at this size).
+	second := p.Process(context.Background(), ms)
+	if second.Succeeded != len(ms) {
+		t.Fatalf("second batch: %d/%d succeeded", second.Succeeded, len(ms))
+	}
+	if second.Cache.Profiles.Misses != 0 {
+		t.Fatalf("warm batch had %d profile misses", second.Cache.Profiles.Misses)
+	}
+	if second.Cache.Expansions.Misses != 0 {
+		t.Fatalf("warm batch had %d expansion misses", second.Cache.Expansions.Misses)
+	}
+	if second.Cache.Verifies.Misses != 0 {
+		t.Fatalf("warm batch had %d verify misses", second.Cache.Verifies.Misses)
+	}
+	if second.Cache.Profiles.Hits == 0 || second.Cache.Expansions.Hits == 0 {
+		t.Fatalf("warm batch cache hits = %+v", second.Cache)
+	}
+}
+
+func TestProcessSharedAcrossEngines(t *testing.T) {
+	// Two engines with different TopK share one Shared: the second
+	// engine must reuse the first's profile work.
+	e := env(t)
+	ms := e.manuscripts(t, 400, 2)
+	sh := core.NewShared(core.SharedOptions{})
+	cfgA := core.Config{TopK: 5, MaxCandidates: 30}
+	cfgB := core.Config{TopK: 3, MaxCandidates: 30}
+	sumA := New(core.NewWithShared(e.registry, e.ont, cfgA, sh), Options{}).Process(context.Background(), ms)
+	if sumA.Succeeded != len(ms) {
+		t.Fatalf("first engine: %d/%d succeeded", sumA.Succeeded, len(ms))
+	}
+	sumB := New(core.NewWithShared(e.registry, e.ont, cfgB, sh), Options{}).Process(context.Background(), ms)
+	if sumB.Succeeded != len(ms) {
+		t.Fatalf("second engine: %d/%d succeeded", sumB.Succeeded, len(ms))
+	}
+	if sumB.Cache.Profiles.Misses != 0 {
+		t.Fatalf("second engine re-assembled %d profiles", sumB.Cache.Profiles.Misses)
+	}
+}
+
+func TestProcessContextCancellation(t *testing.T) {
+	e := env(t)
+	ms := e.manuscripts(t, 500, 6)
+	// Shared engine deliberately: a cancelled context used to leave nil
+	// verification results on this path (panic regression).
+	p := New(e.engine(core.NewShared(core.SharedOptions{})), Options{Workers: 1})
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		sum := p.Process(ctx, ms)
+		if sum.Canceled == 0 || sum.Succeeded != 0 {
+			t.Fatalf("canceled/succeeded = %d/%d, want all canceled", sum.Canceled, sum.Succeeded)
+		}
+		for i, it := range sum.Items {
+			if it.Status != StatusCanceled {
+				t.Fatalf("item %d status = %q, want canceled", i, it.Status)
+			}
+		}
+	})
+
+	t.Run("mid-batch", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan *Summary, 1)
+		go func() { done <- p.Process(ctx, ms) }()
+		cancel()
+		select {
+		case sum := <-done:
+			if got := sum.Succeeded + sum.Failed + sum.Canceled; got != len(ms) {
+				t.Fatalf("accounted items = %d, want %d", got, len(ms))
+			}
+			if sum.Canceled == 0 {
+				t.Fatal("mid-batch cancellation canceled nothing")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("Process did not return after cancellation")
+		}
+	})
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	for _, tc := range []struct {
+		in, want int
+	}{
+		{0, 4}, {-3, 4}, {1, 1}, {16, 16},
+	} {
+		if got := (Options{Workers: tc.in}).withDefaults().Workers; got != tc.want {
+			t.Errorf("withDefaults(%d).Workers = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+// Package cache provides a small concurrency-safe LRU map with
+// hit/miss accounting and single-flight computation. It is the shared
+// memory of the batch subsystem: cross-request profile, verification and
+// expansion caches are all instances of cache.Map, sized independently
+// and safe under arbitrary goroutine fan-out.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Stats are cumulative counters for one cache, safe to read while the
+// cache is in use.
+type Stats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Shares counts callers that piggybacked on another goroutine's
+	// in-flight computation of the same key.
+	Shares uint64 `json:"shares"`
+	Size   int    `json:"size"`
+}
+
+// Sub returns the change from prev to s (Size is taken from s as-is).
+func (s Stats) Sub(prev Stats) Stats {
+	return Stats{
+		Hits:      s.Hits - prev.Hits,
+		Misses:    s.Misses - prev.Misses,
+		Evictions: s.Evictions - prev.Evictions,
+		Shares:    s.Shares - prev.Shares,
+		Size:      s.Size,
+	}
+}
+
+// entry is one cached key/value pair, linked into the recency list.
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// flight is one in-progress computation other goroutines can wait on.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+	// gen is the cache generation the flight started under; Clear bumps
+	// the generation so stale flights don't re-populate the cache.
+	gen uint64
+}
+
+// Map is a bounded LRU cache. The zero value is not usable; construct
+// with New. All methods are safe for concurrent use.
+type Map[K comparable, V any] struct {
+	mu       sync.Mutex
+	max      int
+	entries  map[K]*list.Element // -> *entry[K,V]
+	order    *list.List          // front = most recently used
+	inflight map[K]*flight[V]
+	gen      uint64 // bumped by Clear
+
+	hits, misses, evictions, shares atomic.Uint64
+}
+
+// New builds a Map holding at most max entries (minimum 1).
+func New[K comparable, V any](max int) *Map[K, V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Map[K, V]{
+		max:      max,
+		entries:  make(map[K]*list.Element),
+		order:    list.New(),
+		inflight: make(map[K]*flight[V]),
+	}
+}
+
+// Get returns the cached value for k, marking it recently used.
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[k]; ok {
+		m.order.MoveToFront(el)
+		m.hits.Add(1)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	m.misses.Add(1)
+	var zero V
+	return zero, false
+}
+
+// Put stores v under k, evicting the least recently used entry when the
+// cache is full.
+func (m *Map[K, V]) Put(k K, v V) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.put(k, v)
+}
+
+// put stores with m.mu held.
+func (m *Map[K, V]) put(k K, v V) {
+	if el, ok := m.entries[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		m.order.MoveToFront(el)
+		return
+	}
+	m.entries[k] = m.order.PushFront(&entry[K, V]{key: k, val: v})
+	if m.order.Len() > m.max {
+		oldest := m.order.Back()
+		m.order.Remove(oldest)
+		delete(m.entries, oldest.Value.(*entry[K, V]).key)
+		m.evictions.Add(1)
+	}
+}
+
+// Do returns the cached value for k, or computes it with fn exactly once
+// even when many goroutines miss concurrently: one caller runs fn, the
+// rest wait for its result (or their own context). Errors are not
+// cached — the next miss recomputes.
+func (m *Map[K, V]) Do(ctx context.Context, k K, fn func() (V, error)) (V, error) {
+	var zero V
+	for {
+		m.mu.Lock()
+		if el, ok := m.entries[k]; ok {
+			m.order.MoveToFront(el)
+			m.hits.Add(1)
+			v := el.Value.(*entry[K, V]).val
+			m.mu.Unlock()
+			return v, nil
+		}
+		if fl, ok := m.inflight[k]; ok {
+			m.mu.Unlock()
+			m.shares.Add(1)
+			select {
+			case <-fl.done:
+			case <-ctx.Done():
+				return zero, ctx.Err()
+			}
+			if fl.err == nil {
+				return fl.val, nil
+			}
+			// The winner failed; loop to retry (or take over the flight).
+			if ctx.Err() != nil {
+				return zero, ctx.Err()
+			}
+			continue
+		}
+		fl := &flight[V]{done: make(chan struct{}), gen: m.gen}
+		m.inflight[k] = fl
+		m.misses.Add(1)
+		m.mu.Unlock()
+
+		fl.val, fl.err = fn()
+		m.mu.Lock()
+		// A Clear during the computation means the result derives from
+		// pre-invalidation state: hand it to this caller but don't cache.
+		if fl.err == nil && fl.gen == m.gen {
+			m.put(k, fl.val)
+		}
+		if m.inflight[k] == fl {
+			delete(m.inflight, k)
+		}
+		m.mu.Unlock()
+		close(fl.done)
+		return fl.val, fl.err
+	}
+}
+
+// Len returns the number of cached entries.
+func (m *Map[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.order.Len()
+}
+
+// Clear drops every entry (counters are preserved). In-flight Do
+// computations finish and serve their waiters, but their results are
+// not inserted: they derive from pre-Clear state.
+func (m *Map[K, V]) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = make(map[K]*list.Element)
+	m.order.Init()
+	m.gen++
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Map[K, V]) Stats() Stats {
+	m.mu.Lock()
+	size := m.order.Len()
+	m.mu.Unlock()
+	return Stats{
+		Hits:      m.hits.Load(),
+		Misses:    m.misses.Load(),
+		Evictions: m.evictions.Load(),
+		Shares:    m.shares.Load(),
+		Size:      size,
+	}
+}

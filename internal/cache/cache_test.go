@@ -1,0 +1,199 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	m := New[string, int](2)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %d, %v", v, ok)
+	}
+	// "b" is now LRU; inserting "c" must evict it, not "a".
+	m.Put("c", 3)
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("a should have survived eviction")
+	}
+	st := m.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Size != 2 {
+		t.Fatalf("size = %d, want 2", st.Size)
+	}
+}
+
+func TestPutOverwrite(t *testing.T) {
+	m := New[string, int](4)
+	m.Put("a", 1)
+	m.Put("a", 2)
+	if v, _ := m.Get("a"); v != 2 {
+		t.Fatalf("overwrite lost: got %d", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d, want 1", m.Len())
+	}
+}
+
+func TestDoComputesOnce(t *testing.T) {
+	m := New[string, int](8)
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	st := m.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Shares != 15 {
+		t.Fatalf("hits+shares = %d, want 15", st.Hits+st.Shares)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	m := New[string, int](8)
+	boom := errors.New("boom")
+	if _, err := m.Do(context.Background(), "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, err := m.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry after error = %d, %v", v, err)
+	}
+}
+
+func TestDoContextCancelledWaiter(t *testing.T) {
+	m := New[string, int](8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		m.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.Do(ctx, "k", func() (int, error) { return 2, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(release)
+}
+
+func TestClear(t *testing.T) {
+	m := New[int, string](4)
+	m.Put(1, "x")
+	m.Put(2, "y")
+	m.Clear()
+	if m.Len() != 0 {
+		t.Fatalf("len after clear = %d", m.Len())
+	}
+	if _, ok := m.Get(1); ok {
+		t.Fatal("hit after clear")
+	}
+}
+
+func TestClearDuringFlight(t *testing.T) {
+	// A result computed from pre-Clear state must reach its caller but
+	// never land in the cache.
+	m := New[string, int](8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	got := make(chan int, 1)
+	go func() {
+		v, _ := m.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+		got <- v
+	}()
+	<-started
+	m.Clear()
+	close(release)
+	if v := <-got; v != 1 {
+		t.Fatalf("winner got %d, want its own result 1", v)
+	}
+	if _, ok := m.Get("k"); ok {
+		t.Fatal("stale flight re-populated the cache after Clear")
+	}
+	// The next Do must recompute.
+	v, err := m.Do(context.Background(), "k", func() (int, error) { return 2, nil })
+	if err != nil || v != 2 {
+		t.Fatalf("post-clear Do = %d, %v, want fresh 2", v, err)
+	}
+}
+
+func TestStatsSub(t *testing.T) {
+	a := Stats{Hits: 10, Misses: 4, Evictions: 2, Shares: 1, Size: 3}
+	b := Stats{Hits: 7, Misses: 1, Evictions: 2, Shares: 0, Size: 9}
+	d := a.Sub(b)
+	if d.Hits != 3 || d.Misses != 3 || d.Evictions != 0 || d.Shares != 1 || d.Size != 3 {
+		t.Fatalf("Sub = %+v", d)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	m := New[int, int](32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (g*7 + i) % 48
+				switch i % 3 {
+				case 0:
+					m.Put(k, i)
+				case 1:
+					m.Get(k)
+				case 2:
+					m.Do(context.Background(), k, func() (int, error) { return i, nil })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() > 32 {
+		t.Fatalf("len %d exceeds bound 32", m.Len())
+	}
+}
+
+func ExampleMap() {
+	m := New[string, int](128)
+	m.Put("answer", 42)
+	v, _ := m.Get("answer")
+	fmt.Println(v)
+	// Output: 42
+}

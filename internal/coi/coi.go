@@ -71,9 +71,9 @@ func DefaultConfig(horizon int) Config {
 type Rule string
 
 const (
-	RuleCoAuthorship      Rule = "co-authorship"
-	RuleSharedUniversity  Rule = "shared-university"
-	RuleSharedCountry     Rule = "shared-country"
+	RuleCoAuthorship     Rule = "co-authorship"
+	RuleSharedUniversity Rule = "shared-university"
+	RuleSharedCountry    Rule = "shared-country"
 )
 
 // Evidence is one detected conflict with its explanation.

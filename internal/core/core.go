@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"minaret/internal/fetch"
 	"minaret/internal/filter"
 	"minaret/internal/keywords"
 	"minaret/internal/nameres"
@@ -176,13 +177,18 @@ type Result struct {
 	SourceErrors map[string]string `json:"source_errors,omitempty"`
 }
 
-// Engine runs the pipeline against a source registry.
+// Engine runs the pipeline against a source registry. An Engine is safe
+// for concurrent use: it holds no per-request state, and its optional
+// Shared caches are concurrency-safe.
 type Engine struct {
 	registry  *sources.Registry
 	ont       *ontology.Ontology
 	cfg       Config
 	verifier  *nameres.Verifier
 	assembler *profile.Assembler
+	// shared, when non-nil, memoizes expansion, verification and profile
+	// assembly across requests (see NewWithShared).
+	shared *Shared
 }
 
 // New builds an Engine. ont must not be nil.
@@ -197,8 +203,23 @@ func New(registry *sources.Registry, ont *ontology.Ontology, cfg Config) *Engine
 	}
 }
 
+// NewWithShared builds an Engine whose expensive per-request
+// computations (keyword expansion, identity verification, profile
+// assembly) are memoized in shared, amortizing work across overlapping
+// requests — the batch subsystem's common case. A nil shared degrades to
+// New. Many Engines (with differing configs) may share one Shared.
+func NewWithShared(registry *sources.Registry, ont *ontology.Ontology, cfg Config, shared *Shared) *Engine {
+	e := New(registry, ont, cfg)
+	e.shared = shared
+	return e
+}
+
 // Config returns the engine's defaulted configuration.
 func (e *Engine) Config() Config { return e.cfg }
+
+// Shared returns the engine's cross-request cache set (nil when the
+// engine was built with New).
+func (e *Engine) Shared() *Shared { return e.shared }
 
 // candidate accumulates retrieval state before profile assembly.
 type candidate struct {
@@ -274,7 +295,7 @@ func (e *Engine) verifyAuthors(ctx context.Context, m Manuscript, res *Result) e
 	for i, a := range m.Authors {
 		queries[i] = nameres.Query{Name: a.Name, Affiliation: a.Affiliation}
 	}
-	res.AuthorVerification = e.verifier.VerifyAll(ctx, queries)
+	res.AuthorVerification = e.verifyAll(ctx, queries)
 	for _, vr := range res.AuthorVerification {
 		res.Stats.AuthorsVerified++
 		if !vr.Resolved {
@@ -289,7 +310,7 @@ func (e *Engine) verifyAuthors(ctx context.Context, m Manuscript, res *Result) e
 		if best == nil {
 			continue
 		}
-		p, err := e.assembler.Assemble(ctx, best.SiteIDs)
+		p, err := e.assembleProfile(ctx, best.SiteIDs)
 		if err != nil {
 			// A manuscript author we cannot profile weakens COI checking
 			// but does not abort the run; record and continue.
@@ -297,9 +318,12 @@ func (e *Engine) verifyAuthors(ctx context.Context, m Manuscript, res *Result) e
 			continue
 		}
 		// Authors typed their affiliation on the form; trust it over the
-		// extracted consensus when present.
+		// extracted consensus when present. Cached profiles are shared
+		// across requests, so patch a copy, never the cached value.
 		if vr.Query.Affiliation != "" && p.Affiliation == "" {
-			p.Affiliation = vr.Query.Affiliation
+			patched := *p
+			patched.Affiliation = vr.Query.Affiliation
+			p = &patched
 		}
 		res.AuthorProfiles = append(res.AuthorProfiles, p)
 	}
@@ -309,7 +333,36 @@ func (e *Engine) verifyAuthors(ctx context.Context, m Manuscript, res *Result) e
 	return nil
 }
 
+// verifyAll resolves an author list concurrently, through the shared
+// verification cache when one is wired.
+func (e *Engine) verifyAll(ctx context.Context, queries []nameres.Query) []*nameres.Result {
+	if e.shared == nil {
+		return e.verifier.VerifyAll(ctx, queries)
+	}
+	out, _ := fetch.Map(ctx, e.cfg.Workers, queries,
+		func(ctx context.Context, q nameres.Query) (*nameres.Result, error) {
+			return e.verifyIdentity(ctx, q), nil
+		})
+	return nameres.Backfill(out, queries)
+}
+
+// expandKeywords expands the manuscript keywords, consulting the shared
+// memo when one is wired. The returned slice may be shared across
+// requests and must be treated as read-only.
 func (e *Engine) expandKeywords(keywords []string) []ontology.MergedExpansion {
+	if e.shared == nil {
+		return e.expandKeywordsUncached(keywords)
+	}
+	key := e.expansionKey(keywords)
+	if cached, ok := e.shared.expansions.Get(key); ok {
+		return cached
+	}
+	expanded := e.expandKeywordsUncached(keywords)
+	e.shared.expansions.Put(key, expanded)
+	return expanded
+}
+
+func (e *Engine) expandKeywordsUncached(keywords []string) []ontology.MergedExpansion {
 	if e.cfg.DisableExpansion {
 		out := make([]ontology.MergedExpansion, 0, len(keywords))
 		for _, kw := range keywords {
@@ -456,7 +509,7 @@ func (e *Engine) assembleCandidates(ctx context.Context, cands []*candidate, res
 			defer func() { <-sem; done <- struct{}{} }()
 			ids := c.siteIDs
 			if *e.cfg.EnrichProfiles {
-				vr := e.verifier.Verify(ctx, nameres.Query{Name: c.name, Affiliation: c.affiliation})
+				vr := e.verifyIdentity(ctx, nameres.Query{Name: c.name, Affiliation: c.affiliation})
 				if best := vr.Best(); best != nil && vr.Resolved {
 					merged := map[string]string{}
 					for s, id := range best.SiteIDs {
@@ -470,7 +523,7 @@ func (e *Engine) assembleCandidates(ctx context.Context, cands []*candidate, res
 					ids = merged
 				}
 			}
-			p, err := e.assembler.Assemble(ctx, ids)
+			p, err := e.assembleProfile(ctx, ids)
 			if err != nil {
 				return // candidate unprofilable: drop silently, logged below
 			}
@@ -507,8 +560,22 @@ func (e *Engine) filterCandidates(profiles map[*candidate]*profile.Profile, res 
 	})
 
 	var kept []*scoredProfile
+	// Distinct retrieval candidates can resolve to one scholar (name
+	// variants enriched to the same accounts) — with the shared profile
+	// cache they then share one *Profile. Keep only the first (highest
+	// best-score) occurrence so a person is never recommended twice and
+	// downstream pointer-keyed maps stay one-to-one.
+	seen := make(map[*profile.Profile]bool, len(cands))
 	for _, c := range cands {
 		p := profiles[c]
+		if seen[p] {
+			res.ExcludedCandidates = append(res.ExcludedCandidates, Excluded{
+				Name:    p.Name,
+				Reasons: []filter.Reason{{Kind: "duplicate-identity", Detail: "resolved to an already-kept candidate"}},
+			})
+			continue
+		}
+		seen[p] = true
 		// A manuscript author can surface as their own reviewer
 		// candidate; always exclude.
 		isAuthor := false

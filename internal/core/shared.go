@@ -1,0 +1,179 @@
+// Shared cross-request state: the batch subsystem runs many manuscripts
+// through one Engine, and submissions to one venue overlap heavily in
+// candidate reviewers and keyword vocabulary. Shared memoizes the three
+// expensive per-request computations — semantic keyword expansion,
+// author-identity verification, and profile assembly — behind
+// concurrency-safe bounded LRU caches so overlapping work is done once
+// across requests instead of once per request.
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"minaret/internal/cache"
+	"minaret/internal/nameres"
+	"minaret/internal/ontology"
+	"minaret/internal/profile"
+)
+
+// SharedOptions sizes the cross-request caches; zero values select the
+// documented defaults.
+type SharedOptions struct {
+	// ProfileEntries bounds the assembled-profile cache. Default 4096.
+	ProfileEntries int
+	// VerifyEntries bounds the identity-verification cache. Default 8192.
+	VerifyEntries int
+	// ExpansionEntries bounds the keyword-expansion memo. Default 1024.
+	ExpansionEntries int
+}
+
+func (o SharedOptions) withDefaults() SharedOptions {
+	if o.ProfileEntries == 0 {
+		o.ProfileEntries = 4096
+	}
+	if o.VerifyEntries == 0 {
+		o.VerifyEntries = 8192
+	}
+	if o.ExpansionEntries == 0 {
+		o.ExpansionEntries = 1024
+	}
+	return o
+}
+
+// Shared holds caches safe for concurrent use by many Engines and many
+// in-flight Recommend calls at once. Cache keys incorporate the config
+// knobs that affect the cached computation, so Engines with different
+// configurations can share one Shared without cross-contamination.
+//
+// Cached values (profiles, verification results, expansions) are shared
+// across requests and must be treated as immutable by consumers.
+type Shared struct {
+	profiles   *cache.Map[string, *profile.Profile]
+	verifies   *cache.Map[string, *nameres.Result]
+	expansions *cache.Map[string, []ontology.MergedExpansion]
+}
+
+// NewShared builds the cross-request cache set.
+func NewShared(opts SharedOptions) *Shared {
+	o := opts.withDefaults()
+	return &Shared{
+		profiles:   cache.New[string, *profile.Profile](o.ProfileEntries),
+		verifies:   cache.New[string, *nameres.Result](o.VerifyEntries),
+		expansions: cache.New[string, []ontology.MergedExpansion](o.ExpansionEntries),
+	}
+}
+
+// SharedStats snapshots per-cache hit/miss accounting.
+type SharedStats struct {
+	Profiles   cache.Stats `json:"profiles"`
+	Verifies   cache.Stats `json:"verifies"`
+	Expansions cache.Stats `json:"expansions"`
+}
+
+// Sub returns the change from prev to s.
+func (s SharedStats) Sub(prev SharedStats) SharedStats {
+	return SharedStats{
+		Profiles:   s.Profiles.Sub(prev.Profiles),
+		Verifies:   s.Verifies.Sub(prev.Verifies),
+		Expansions: s.Expansions.Sub(prev.Expansions),
+	}
+}
+
+// Stats returns a snapshot of all cache counters.
+func (s *Shared) Stats() SharedStats {
+	return SharedStats{
+		Profiles:   s.profiles.Stats(),
+		Verifies:   s.verifies.Stats(),
+		Expansions: s.expansions.Stats(),
+	}
+}
+
+// Clear drops every cached entry (counters are preserved); the API's
+// cache-invalidation endpoint calls this alongside the fetch cache so a
+// forced fresh extraction really is fresh.
+func (s *Shared) Clear() {
+	s.profiles.Clear()
+	s.verifies.Clear()
+	s.expansions.Clear()
+}
+
+// identityKey canonicalizes a resolved author identity — the site-id
+// set — into a cache key: sorted source=id pairs. Two candidates
+// retrieved by different manuscripts map to the same key exactly when
+// they resolved to the same scholar accounts.
+func identityKey(siteIDs map[string]string) string {
+	parts := make([]string, 0, len(siteIDs))
+	for s, id := range siteIDs {
+		parts = append(parts, s+"="+id)
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// verifyKey keys a verification query under the engine's verify options.
+func (e *Engine) verifyKey(q nameres.Query) string {
+	return fmt.Sprintf("%+v|%s|%s", e.cfg.Verify, strings.ToLower(q.Name), strings.ToLower(q.Affiliation))
+}
+
+// expansionKey keys an expansion request under every config knob that
+// shapes its result. Keyword order is preserved: the expansion-disabled
+// path returns seeds in input order.
+func (e *Engine) expansionKey(keywords []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%v|%+v|%d",
+		e.cfg.DisableExpansion, e.cfg.Expansion, e.cfg.MaxExpandedKeywords)
+	// %q-quote each keyword so one keyword containing a separator can
+	// never collide with a split keyword list.
+	for _, kw := range keywords {
+		fmt.Fprintf(&b, "|%q", ontology.Normalize(kw))
+	}
+	return b.String()
+}
+
+// assembleProfile runs profile assembly through the shared cache (when
+// wired): identical identities across concurrent requests are assembled
+// once and the result shared. Assembly errors are never cached.
+func (e *Engine) assembleProfile(ctx context.Context, siteIDs map[string]string) (*profile.Profile, error) {
+	if e.shared == nil {
+		return e.assembler.Assemble(ctx, siteIDs)
+	}
+	return e.shared.profiles.Do(ctx, identityKey(siteIDs), func() (*profile.Profile, error) {
+		p, err := e.assembler.Assemble(ctx, siteIDs)
+		if err == nil && ctx.Err() != nil {
+			// Sources that failed under the dying context were merged as
+			// absent; caching that partial profile would serve it to
+			// every later request. Error instead — errors aren't cached.
+			return nil, ctx.Err()
+		}
+		return p, err
+	})
+}
+
+// verifyIdentity runs identity verification through the shared cache
+// (when wired). Verification never errors at this level — source
+// failures are recorded inside the Result — so a cached entry is always
+// usable.
+func (e *Engine) verifyIdentity(ctx context.Context, q nameres.Query) *nameres.Result {
+	if e.shared == nil {
+		return e.verifier.Verify(ctx, q)
+	}
+	res, err := e.shared.verifies.Do(ctx, e.verifyKey(q), func() (*nameres.Result, error) {
+		r := e.verifier.Verify(ctx, q)
+		if err := ctx.Err(); err != nil {
+			// Verify never errors — cancellation surfaces as a Result
+			// with every source failed. Caching that would poison every
+			// later lookup of this author; error instead.
+			return nil, err
+		}
+		return r, nil
+	})
+	if err != nil {
+		// A cancelled wait or a cancelled winner; the direct call fails
+		// fast on the same dead context without polluting the cache.
+		return e.verifier.Verify(ctx, q)
+	}
+	return res
+}

@@ -97,12 +97,12 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 
 // Stats are cumulative client counters, safe to read concurrently.
 type Stats struct {
-	Requests    int64 // logical Get calls
-	CacheHits   int64
-	HTTPCalls   int64 // physical attempts (includes retries)
-	Retries     int64
-	Failures    int64 // Gets that ultimately failed
-	RateWaits   int64 // times a request waited on the limiter
+	Requests  int64 // logical Get calls
+	CacheHits int64
+	HTTPCalls int64 // physical attempts (includes retries)
+	Retries   int64
+	Failures  int64 // Gets that ultimately failed
+	RateWaits int64 // times a request waited on the limiter
 	// FlightShares counts Gets served by piggybacking on an identical
 	// in-flight request (singleflight hits).
 	FlightShares int64

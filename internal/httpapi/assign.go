@@ -92,13 +92,13 @@ func (s *Server) handleAssign(w http.ResponseWriter, r *http.Request) {
 		prob.Score[i] = make([]float64, len(req.PCMembers))
 		prob.Forbidden[i] = make([]bool, len(req.PCMembers))
 
-		cfg, err := s.configFor(&RecommendRequest{Manuscript: m, PCMembers: req.PCMembers, TopK: len(req.PCMembers)})
+		cfg, err := s.configFor(&RecommendOptions{PCMembers: req.PCMembers, TopK: len(req.PCMembers)})
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 			return
 		}
 		cfg.TopK = len(req.PCMembers) // keep every ranked PC member
-		engine := core.New(s.registry, s.ont, cfg)
+		engine := core.NewWithShared(s.registry, s.ont, cfg, s.shared)
 		res, err := engine.Recommend(r.Context(), m)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, ErrorResponse{

@@ -1,0 +1,88 @@
+// POST /v1/batch: process a whole submission queue through one shared
+// engine. Per-item status lets the editor act on partial results; the
+// aggregate timing and cache block quantify the amortization the batch
+// subsystem exists for.
+package httpapi
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+)
+
+// MaxBatchManuscripts bounds one /v1/batch request; larger queues
+// should be split client-side.
+const MaxBatchManuscripts = 256
+
+// BatchRequest is the POST /v1/batch body: the manuscripts plus one set
+// of configuration knobs applied to all of them.
+type BatchRequest struct {
+	Manuscripts []core.Manuscript `json:"manuscripts"`
+	// Workers bounds how many manuscripts run concurrently (default 4).
+	Workers int `json:"workers,omitempty"`
+	RecommendOptions
+}
+
+// BatchResponse reports per-item outcomes in input order plus batch
+// aggregates.
+type BatchResponse struct {
+	Items     []batch.Item `json:"items"`
+	Count     int          `json:"count"`
+	Succeeded int          `json:"succeeded"`
+	Failed    int          `json:"failed"`
+	Canceled  int          `json:"canceled"`
+	// ElapsedNS is the batch wall time; ItemElapsedNS sums the per-item
+	// pipeline times. Their ratio is the effective parallel speedup.
+	ElapsedNS     time.Duration `json:"elapsed_ns"`
+	ItemElapsedNS time.Duration `json:"item_elapsed_ns"`
+	// Cache is the shared-cache hit/miss delta over this batch.
+	Cache core.SharedStats `json:"cache"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
+		return
+	}
+	if len(req.Manuscripts) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "manuscripts required"})
+		return
+	}
+	if len(req.Manuscripts) > MaxBatchManuscripts {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("batch of %d exceeds limit %d", len(req.Manuscripts), MaxBatchManuscripts),
+		})
+		return
+	}
+	cfg, err := s.configFor(&req.RecommendOptions)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	engine := core.NewWithShared(s.registry, s.ont, cfg, s.shared)
+	proc := batch.New(engine, batch.Options{Workers: req.Workers})
+	sum := proc.Process(r.Context(), req.Manuscripts)
+
+	resp := BatchResponse{
+		Items:     sum.Items,
+		Count:     len(sum.Items),
+		Succeeded: sum.Succeeded,
+		Failed:    sum.Failed,
+		Canceled:  sum.Canceled,
+		ElapsedNS: sum.Elapsed,
+		Cache:     sum.Cache,
+	}
+	for _, it := range sum.Items {
+		resp.ItemElapsedNS += it.Elapsed
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

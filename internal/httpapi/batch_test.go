@@ -1,0 +1,141 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+)
+
+func batchManuscripts(t *testing.T, fx *apiFixture, n int) []core.Manuscript {
+	t.Helper()
+	a := fx.author(t)
+	ms := make([]core.Manuscript, n)
+	for i := range ms {
+		ms[i] = core.Manuscript{
+			Title:    "Batch submission",
+			Keywords: a.Interests[:1],
+			Authors: []core.Author{{
+				Name: a.Name.Full(), Affiliation: a.CurrentAffiliation().Institution,
+			}},
+		}
+	}
+	return ms
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	fx := newAPIFixture(t)
+	req := BatchRequest{
+		Manuscripts:      batchManuscripts(t, fx, 3),
+		Workers:          2,
+		RecommendOptions: RecommendOptions{TopK: 3},
+	}
+	resp := postJSON(t, fx.api.URL+"/v1/batch", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Count != 3 || br.Succeeded != 3 || br.Failed != 0 {
+		t.Fatalf("count/succeeded/failed = %d/%d/%d", br.Count, br.Succeeded, br.Failed)
+	}
+	for i, it := range br.Items {
+		if it.Index != i || it.Status != batch.StatusOK {
+			t.Fatalf("item %d: index=%d status=%q error=%q", i, it.Index, it.Status, it.Error)
+		}
+		if it.Result == nil || len(it.Result.Recommendations) == 0 {
+			t.Fatalf("item %d has no recommendations", i)
+		}
+		if len(it.Result.Recommendations) > 3 {
+			t.Fatalf("item %d ignored top_k: %d recommendations", i, len(it.Result.Recommendations))
+		}
+	}
+	if br.ElapsedNS <= 0 || br.ItemElapsedNS <= 0 {
+		t.Fatalf("timings = %d/%d", br.ElapsedNS, br.ItemElapsedNS)
+	}
+	// Identical manuscripts must share cached work within the batch.
+	if hits := br.Cache.Profiles.Hits + br.Cache.Profiles.Shares; hits == 0 {
+		t.Fatalf("no profile cache sharing across identical manuscripts: %+v", br.Cache)
+	}
+}
+
+func TestBatchPartialFailure(t *testing.T) {
+	fx := newAPIFixture(t)
+	ms := batchManuscripts(t, fx, 3)
+	ms[1] = core.Manuscript{Title: "empty"} // invalid: no keywords/authors
+	resp := postJSON(t, fx.api.URL+"/v1/batch", BatchRequest{Manuscripts: ms})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Succeeded != 2 || br.Failed != 1 {
+		t.Fatalf("succeeded/failed = %d/%d, want 2/1", br.Succeeded, br.Failed)
+	}
+	if br.Items[1].Status != batch.StatusError || br.Items[1].Error == "" {
+		t.Fatalf("item 1 = %+v, want error status", br.Items[1])
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	fx := newAPIFixture(t)
+	for _, tc := range []struct {
+		name string
+		req  BatchRequest
+		want int
+	}{
+		{"empty", BatchRequest{}, http.StatusBadRequest},
+		{"oversized", BatchRequest{Manuscripts: make([]core.Manuscript, MaxBatchManuscripts+1)}, http.StatusBadRequest},
+		{"bad-option", BatchRequest{
+			Manuscripts:      batchManuscripts(t, fx, 1),
+			RecommendOptions: RecommendOptions{COILevel: "galaxy"},
+		}, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, fx.api.URL+"/v1/batch", tc.req)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	t.Run("get-rejected", func(t *testing.T) {
+		resp, err := http.Get(fx.api.URL + "/v1/batch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("status = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+func TestBatchAmortizesAcrossRequests(t *testing.T) {
+	// The server-wide Shared means a second /v1/batch over the same
+	// manuscripts is pure cache hits.
+	fx := newAPIFixture(t)
+	req := BatchRequest{Manuscripts: batchManuscripts(t, fx, 2)}
+	resp := postJSON(t, fx.api.URL+"/v1/batch", req)
+	resp.Body.Close()
+	resp = postJSON(t, fx.api.URL+"/v1/batch", req)
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Succeeded != 2 {
+		t.Fatalf("second batch succeeded = %d", br.Succeeded)
+	}
+	if br.Cache.Profiles.Misses != 0 || br.Cache.Expansions.Misses != 0 {
+		t.Fatalf("second batch missed caches: %+v", br.Cache)
+	}
+}

@@ -24,7 +24,12 @@ import (
 // of the demo's Figure 3 plus the editor's configuration knobs.
 type RecommendRequest struct {
 	core.Manuscript
+	RecommendOptions
+}
 
+// RecommendOptions are the per-request configuration knobs shared by
+// the single-manuscript and batch endpoints.
+type RecommendOptions struct {
 	// TopK bounds the returned list (default 10).
 	TopK int `json:"top_k,omitempty"`
 	// MinKeywordScore is the expansion-similarity threshold.
@@ -69,6 +74,10 @@ type Server struct {
 	horizonYear int
 	fetcher     *fetch.Client
 	tele        *telemetry
+	// shared is the server-wide cross-request cache set: every
+	// recommend and batch request runs through it, so concurrent
+	// traffic amortizes expansion, verification and profile assembly.
+	shared *core.Shared
 }
 
 // SetFetcher wires the shared fetch client so the API can expose cache
@@ -81,7 +90,8 @@ func (s *Server) SetFetcher(f *fetch.Client) { s.fetcher = f }
 func New(registry *sources.Registry, ont *ontology.Ontology, base core.Config, horizonYear int) *Server {
 	return &Server{
 		registry: registry, ont: ont, base: base, horizonYear: horizonYear,
-		tele: newTelemetry(),
+		tele:   newTelemetry(),
+		shared: core.NewShared(core.SharedOptions{}),
 	}
 }
 
@@ -95,6 +105,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/assign", s.tele.instrument("assign", s.handleAssign))
 	mux.HandleFunc("/api/reviewer", s.tele.instrument("reviewer", s.handleReviewer))
 	mux.HandleFunc("/api/invalidate-cache", s.tele.instrument("invalidate-cache", s.handleInvalidate))
+	mux.HandleFunc("/v1/batch", s.tele.instrument("batch", s.handleBatch))
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -113,12 +124,12 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
 		return
 	}
-	cfg, err := s.configFor(&req)
+	cfg, err := s.configFor(&req.RecommendOptions)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	engine := core.New(s.registry, s.ont, cfg)
+	engine := core.NewWithShared(s.registry, s.ont, cfg, s.shared)
 	res, err := engine.Recommend(r.Context(), req.Manuscript)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -132,7 +143,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 }
 
 // configFor maps request options onto the base engine config.
-func (s *Server) configFor(req *RecommendRequest) (core.Config, error) {
+func (s *Server) configFor(req *RecommendOptions) (core.Config, error) {
 	cfg := s.base
 	if req.TopK > 0 {
 		cfg.TopK = req.TopK
@@ -242,6 +253,9 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.fetcher.InvalidateCache()
+	// The derived caches hold parsed views of the fetched pages; a
+	// forced fresh extraction must drop them too.
+	s.shared.Clear()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "cache invalidated"})
 }
 

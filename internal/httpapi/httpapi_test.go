@@ -78,7 +78,7 @@ func TestRecommendEndpoint(t *testing.T) {
 				Name: a.Name.Full(), Affiliation: a.CurrentAffiliation().Institution,
 			}},
 		},
-		TopK: 3,
+		RecommendOptions: RecommendOptions{TopK: 3},
 	}
 	resp := postJSON(t, fx.api.URL+"/api/recommend", req)
 	defer resp.Body.Close()
@@ -143,8 +143,8 @@ func TestRecommendBadOptions(t *testing.T) {
 		Authors:  []core.Author{{Name: a.Name.Full()}},
 	}
 	for _, req := range []RecommendRequest{
-		{Manuscript: base, COILevel: "planet"},
-		{Manuscript: base, ImpactMetric: "shoe-size"},
+		{Manuscript: base, RecommendOptions: RecommendOptions{COILevel: "planet"}},
+		{Manuscript: base, RecommendOptions: RecommendOptions{ImpactMetric: "shoe-size"}},
 	} {
 		resp := postJSON(t, fx.api.URL+"/api/recommend", req)
 		resp.Body.Close()
@@ -465,8 +465,7 @@ func TestConferenceModeViaAPI(t *testing.T) {
 			Keywords: a.Interests[:1],
 			Authors:  []core.Author{{Name: a.Name.Full()}},
 		},
-		PCMembers: pc,
-		TopK:      10,
+		RecommendOptions: RecommendOptions{PCMembers: pc, TopK: 10},
 	}
 	resp := postJSON(t, fx.api.URL+"/api/recommend", req)
 	defer resp.Body.Close()

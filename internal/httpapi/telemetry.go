@@ -35,10 +35,10 @@ func bucketLabels() []string {
 }
 
 type routeStats struct {
-	Count    int64   `json:"count"`
-	Errors   int64   `json:"errors"` // responses with status >= 400
-	Buckets  []int64 `json:"latency_buckets"`
-	TotalMs  int64   `json:"total_ms"`
+	Count   int64   `json:"count"`
+	Errors  int64   `json:"errors"` // responses with status >= 400
+	Buckets []int64 `json:"latency_buckets"`
+	TotalMs int64   `json:"total_ms"`
 }
 
 type telemetry struct {
@@ -109,10 +109,10 @@ func (t *telemetry) instrument(route string, h http.HandlerFunc) http.HandlerFun
 
 // StatsResponse is the /api/stats payload.
 type StatsResponse struct {
-	Routes        map[string]routeStats `json:"routes"`
-	BucketBounds  []string              `json:"bucket_bounds"`
-	Fetch         *fetch.Stats          `json:"fetch,omitempty"`
-	RouteOrder    []string              `json:"route_order"`
+	Routes       map[string]routeStats `json:"routes"`
+	BucketBounds []string              `json:"bucket_bounds"`
+	Fetch        *fetch.Stats          `json:"fetch,omitempty"`
+	RouteOrder   []string              `json:"route_order"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

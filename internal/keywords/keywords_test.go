@@ -96,10 +96,10 @@ func TestExtractDeterministic(t *testing.T) {
 func TestGroundExactAndSubPhrase(t *testing.T) {
 	ont := ontology.Default()
 	extracted := []Scored{
-		{Phrase: "sparql", Score: 1.0},                       // exact label
-		{Phrase: "scalable rdf stream", Score: 0.9},          // sub-phrase: rdf
-		{Phrase: "quantum basket weaving", Score: 0.8},       // no match
-		{Phrase: "nlp", Score: 0.7},                          // synonym
+		{Phrase: "sparql", Score: 1.0},                 // exact label
+		{Phrase: "scalable rdf stream", Score: 0.9},    // sub-phrase: rdf
+		{Phrase: "quantum basket weaving", Score: 0.8}, // no match
+		{Phrase: "nlp", Score: 0.7},                    // synonym
 	}
 	got := Ground(ont, extracted, 5)
 	topics := map[string]float64{}

@@ -137,12 +137,25 @@ func (v *Verifier) Verify(ctx context.Context, q Query) *Result {
 	return res
 }
 
-// VerifyAll resolves a whole author list concurrently.
+// VerifyAll resolves a whole author list concurrently. Every slot of
+// the returned list is non-nil, even when cancellation mid-dispatch
+// kept some queries from running.
 func (v *Verifier) VerifyAll(ctx context.Context, queries []Query) []*Result {
 	out, _ := fetch.Map(ctx, v.opts.Workers, queries,
 		func(ctx context.Context, q Query) (*Result, error) {
 			return v.Verify(ctx, q), nil
 		})
+	return Backfill(out, queries)
+}
+
+// Backfill replaces nil slots of a parallel verification (queries whose
+// dispatch a cancelled context skipped) with empty, iterable Results.
+func Backfill(out []*Result, queries []Query) []*Result {
+	for i, r := range out {
+		if r == nil {
+			out[i] = &Result{Query: queries[i], SourceErrors: map[string]string{}}
+		}
+	}
 	return out
 }
 

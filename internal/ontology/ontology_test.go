@@ -93,11 +93,11 @@ func TestExpandMaxResults(t *testing.T) {
 func TestSynonymsResolve(t *testing.T) {
 	o := Default()
 	cases := map[string]string{
-		"NLP":            "natural language processing",
-		"ml":             "machine learning",
-		"Linked Data":    "linked open data",
-		"2PC":            "two phase commit",
-		"OLTP":           "transaction processing",
+		"NLP":               "natural language processing",
+		"ml":                "machine learning",
+		"Linked Data":       "linked open data",
+		"2PC":               "two phase commit",
+		"OLTP":              "transaction processing",
 		"database  systems": "databases",
 	}
 	for alias, canonical := range cases {

@@ -206,9 +206,9 @@ func TestSynthesizedAffiliationHistory(t *testing.T) {
 
 func TestNormalizeTitle(t *testing.T) {
 	cases := map[string]string{
-		"On Graphs, for Streams!":  "on graphs for streams",
-		"  Spaced   Out  ":         "spaced out",
-		"MixedCASE-2018 (v2)":      "mixedcase2018 v2",
+		"On Graphs, for Streams!": "on graphs for streams",
+		"  Spaced   Out  ":        "spaced out",
+		"MixedCASE-2018 (v2)":     "mixedcase2018 v2",
 	}
 	for in, want := range cases {
 		if got := NormalizeTitle(in); got != want {

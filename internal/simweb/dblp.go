@@ -41,13 +41,13 @@ type dblpRec struct {
 }
 
 type dblpArticle struct {
-	Key      string       `xml:"key,attr"`
-	Year     int          `xml:"year"`
-	Title    string       `xml:"title"`
-	Authors  []dblpAuthEl `xml:"author"`
-	Journal  string       `xml:"journal,omitempty"`
-	Booktitle string      `xml:"booktitle,omitempty"`
-	Cites    int          `xml:"cites,omitempty"` // simulation extension
+	Key       string       `xml:"key,attr"`
+	Year      int          `xml:"year"`
+	Title     string       `xml:"title"`
+	Authors   []dblpAuthEl `xml:"author"`
+	Journal   string       `xml:"journal,omitempty"`
+	Booktitle string       `xml:"booktitle,omitempty"`
+	Cites     int          `xml:"cites,omitempty"` // simulation extension
 }
 
 type dblpAuthEl struct {

@@ -31,12 +31,12 @@ type dblpPersonXML struct {
 }
 
 type dblpArticleXML struct {
-	Year    int    `xml:"year"`
-	Title   string `xml:"title"`
-	Journal string `xml:"journal"`
+	Year      int    `xml:"year"`
+	Title     string `xml:"title"`
+	Journal   string `xml:"journal"`
 	Booktitle string `xml:"booktitle"`
-	Cites   int    `xml:"cites"`
-	Authors []struct {
+	Cites     int    `xml:"cites"`
+	Authors   []struct {
 		PID  string `xml:"pid,attr"`
 		Name string `xml:",chardata"`
 	} `xml:"author"`
