@@ -25,10 +25,13 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 bench:
-	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) test -bench=. -benchmem -run '^$$' . ./internal/core
 
+# CI gate: the batch pipeline plus the indexed retrieval clusterer (a
+# regression there reverts clustering to the quadratic scan).
 bench-smoke:
 	$(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -run '^$$' .
+	$(GO) test -bench=BenchmarkRetrieveCluster -benchtime=1x -run '^$$' ./internal/core
 
 server:
 	$(GO) run ./cmd/minaret-server

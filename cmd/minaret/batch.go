@@ -129,8 +129,9 @@ func printBatchSummary(sum *batch.Summary) {
 		sum.Succeeded, sum.Failed, sum.Canceled,
 		sum.Elapsed.Round(time.Millisecond), itemTotal.Round(time.Millisecond), speedup)
 	c := sum.Cache
-	fmt.Printf("shared caches: profiles %d hit / %d miss, verifies %d hit / %d miss, expansions %d hit / %d miss\n",
+	fmt.Printf("shared caches: profiles %d hit / %d miss, verifies %d hit / %d miss, expansions %d hit / %d miss, retrievals %d hit / %d miss\n",
 		c.Profiles.Hits+c.Profiles.Shares, c.Profiles.Misses,
 		c.Verifies.Hits+c.Verifies.Shares, c.Verifies.Misses,
-		c.Expansions.Hits+c.Expansions.Shares, c.Expansions.Misses)
+		c.Expansions.Hits+c.Expansions.Shares, c.Expansions.Misses,
+		c.Retrievals.Hits+c.Retrievals.Shares, c.Retrievals.Misses)
 }

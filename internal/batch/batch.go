@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"minaret/internal/cache"
 	"minaret/internal/core"
 )
 
@@ -58,9 +59,12 @@ type Summary struct {
 	Canceled  int    `json:"canceled"`
 	// Elapsed is the batch wall time (not the sum of item times).
 	Elapsed time.Duration `json:"elapsed_ns"`
-	// Cache is the change in the engine's shared-cache counters over
-	// this batch — the amortization ledger. Zero when the engine has no
-	// Shared wired.
+	// Cache is the shared-cache activity attributed to this batch alone
+	// — the amortization ledger. The counters are collected per batch
+	// (cache.Collector), so concurrent Process calls sharing one
+	// core.Shared never contaminate each other's summaries; only the
+	// Size fields reflect the caches' global occupancy. Zero when the
+	// engine has no Shared wired.
 	Cache core.SharedStats `json:"cache"`
 }
 
@@ -83,9 +87,13 @@ func New(eng *core.Engine, opts Options) *Processor {
 // not yet finished as canceled and returns promptly.
 func (p *Processor) Process(ctx context.Context, manuscripts []core.Manuscript) *Summary {
 	sum := &Summary{Items: make([]Item, len(manuscripts))}
-	var before core.SharedStats
-	if sh := p.eng.Shared(); sh != nil {
-		before = sh.Stats()
+	// Scope cache accounting to this batch: the Shared caches are global,
+	// but a collector attached to the context attributes each hit/miss to
+	// the batch that caused it, so concurrent batches report disjoint
+	// deltas.
+	col := cache.NewCollector()
+	if p.eng.Shared() != nil {
+		ctx = cache.WithCollector(ctx, col)
 	}
 	start := time.Now()
 
@@ -132,7 +140,7 @@ dispatch:
 		}
 	}
 	if sh := p.eng.Shared(); sh != nil {
-		sum.Cache = sh.Stats().Sub(before)
+		sum.Cache = sh.ScopedStats(col)
 	}
 	return sum
 }

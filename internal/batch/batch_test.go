@@ -3,6 +3,7 @@ package batch
 import (
 	"context"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -234,6 +235,126 @@ func TestProcessContextCancellation(t *testing.T) {
 			t.Fatal("Process did not return after cancellation")
 		}
 	})
+}
+
+// slowSource is an interest source whose searches block until the
+// context dies — a hung scholarly site mid-retrieval.
+type slowSource struct {
+	started   chan struct{}
+	startOnce sync.Once
+}
+
+func (s *slowSource) Source() string { return "scholar" }
+func (s *slowSource) SearchAuthor(ctx context.Context, name string) ([]sources.Hit, error) {
+	return nil, nil
+}
+func (s *slowSource) Profile(ctx context.Context, id string) (*sources.Record, error) {
+	return &sources.Record{Source: "scholar", SiteID: id, Name: "Nobody"}, nil
+}
+func (s *slowSource) SearchInterest(ctx context.Context, topic string) ([]sources.Hit, error) {
+	s.startOnce.Do(func() { close(s.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestProcessCancelMidRetrievalNeverOK: an item whose pipeline is
+// cancelled while the source fan-out is in flight must come back
+// StatusCanceled with no Result — before Recommend's cancellation
+// contract, such runs ranked the partial hit set and were marked ok.
+func TestProcessCancelMidRetrievalNeverOK(t *testing.T) {
+	slow := &slowSource{started: make(chan struct{})}
+	eng := core.NewWithShared(sources.NewRegistry(slow), ontology.Default(),
+		core.Config{DisableExpansion: true, Workers: 2}, core.NewShared(core.SharedOptions{}))
+	ms := make([]core.Manuscript, 4)
+	for i := range ms {
+		ms[i] = core.Manuscript{
+			Title:    "Stuck",
+			Keywords: []string{"rdf", "stream processing"},
+			Authors:  []core.Author{{Name: "Probe Author"}},
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan *Summary, 1)
+	go func() { done <- New(eng, Options{Workers: 2}).Process(ctx, ms) }()
+	select {
+	case <-slow.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no retrieval ever started")
+	}
+	cancel()
+	var sum *Summary
+	select {
+	case sum = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Process hung after cancellation")
+	}
+	if sum.Succeeded != 0 || sum.Canceled != len(ms) {
+		t.Fatalf("succeeded/canceled = %d/%d, want 0/%d", sum.Succeeded, sum.Canceled, len(ms))
+	}
+	for i, it := range sum.Items {
+		if it.Status != StatusCanceled {
+			t.Fatalf("item %d status = %q, want canceled", i, it.Status)
+		}
+		if it.Result != nil {
+			t.Fatalf("item %d carries a partial Result despite cancellation", i)
+		}
+		if it.Error == "" {
+			t.Fatalf("item %d has no error message", i)
+		}
+	}
+}
+
+// TestProcessConcurrentCacheScoping: two batches sharing one
+// core.Shared must report disjoint cache deltas. The warm batch sees
+// zero misses even while a cold batch generates misses concurrently —
+// before per-batch collectors, each summary absorbed the other's
+// counters.
+func TestProcessConcurrentCacheScoping(t *testing.T) {
+	e := env(t)
+	sh := core.NewShared(core.SharedOptions{})
+	proc := New(e.engine(sh), Options{Workers: 2})
+	warm := e.manuscripts(t, 600, 3)
+	cold := e.manuscripts(t, 700, 3)
+	ctx := context.Background()
+
+	if sum := proc.Process(ctx, warm); sum.Succeeded != len(warm) {
+		t.Fatalf("warm-up: %d/%d succeeded", sum.Succeeded, len(warm))
+	}
+
+	var warmSum, coldSum *Summary
+	var wg sync.WaitGroup
+	coldStarted := make(chan struct{})
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		close(coldStarted)
+		coldSum = proc.Process(ctx, cold)
+	}()
+	go func() {
+		defer wg.Done()
+		<-coldStarted // overlap the two batches
+		warmSum = proc.Process(ctx, warm)
+	}()
+	wg.Wait()
+
+	if warmSum.Succeeded != len(warm) || coldSum.Succeeded != len(cold) {
+		t.Fatalf("succeeded warm/cold = %d/%d", warmSum.Succeeded, coldSum.Succeeded)
+	}
+	wc := warmSum.Cache
+	if wc.Profiles.Misses != 0 || wc.Verifies.Misses != 0 ||
+		wc.Expansions.Misses != 0 || wc.Retrievals.Misses != 0 {
+		t.Fatalf("warm batch reported misses from the concurrent cold batch: %+v", wc)
+	}
+	if wc.Profiles.Hits == 0 || wc.Retrievals.Hits == 0 {
+		t.Fatalf("warm batch reported no hits of its own: %+v", wc)
+	}
+	// Distinct manuscripts key distinct expansion-memo entries, so the
+	// cold batch always misses there — proving the warm summary above
+	// really was scoped, not just lucky.
+	if coldSum.Cache.Expansions.Misses == 0 {
+		t.Fatalf("cold batch reported no expansion misses: %+v", coldSum.Cache)
+	}
 }
 
 func TestOptionsDefaults(t *testing.T) {

@@ -54,6 +54,7 @@ type flight[V any] struct {
 // Map is a bounded LRU cache. The zero value is not usable; construct
 // with New. All methods are safe for concurrent use.
 type Map[K comparable, V any] struct {
+	name     string
 	mu       sync.Mutex
 	max      int
 	entries  map[K]*list.Element // -> *entry[K,V]
@@ -66,10 +67,18 @@ type Map[K comparable, V any] struct {
 
 // New builds a Map holding at most max entries (minimum 1).
 func New[K comparable, V any](max int) *Map[K, V] {
+	return NewNamed[K, V]("", max)
+}
+
+// NewNamed builds a Map that reports its Do events to any Collector
+// attached to the caller's context under the given name (see
+// WithCollector). The name is purely an accounting label.
+func NewNamed[K comparable, V any](name string, max int) *Map[K, V] {
 	if max < 1 {
 		max = 1
 	}
 	return &Map[K, V]{
+		name:     name,
 		max:      max,
 		entries:  make(map[K]*list.Element),
 		order:    list.New(),
@@ -99,12 +108,12 @@ func (m *Map[K, V]) Put(k K, v V) {
 	m.put(k, v)
 }
 
-// put stores with m.mu held.
-func (m *Map[K, V]) put(k K, v V) {
+// put stores with m.mu held and reports whether it evicted an entry.
+func (m *Map[K, V]) put(k K, v V) bool {
 	if el, ok := m.entries[k]; ok {
 		el.Value.(*entry[K, V]).val = v
 		m.order.MoveToFront(el)
-		return
+		return false
 	}
 	m.entries[k] = m.order.PushFront(&entry[K, V]{key: k, val: v})
 	if m.order.Len() > m.max {
@@ -112,15 +121,19 @@ func (m *Map[K, V]) put(k K, v V) {
 		m.order.Remove(oldest)
 		delete(m.entries, oldest.Value.(*entry[K, V]).key)
 		m.evictions.Add(1)
+		return true
 	}
+	return false
 }
 
 // Do returns the cached value for k, or computes it with fn exactly once
 // even when many goroutines miss concurrently: one caller runs fn, the
 // rest wait for its result (or their own context). Errors are not
-// cached — the next miss recomputes.
+// cached — the next miss recomputes. When ctx carries a Collector (see
+// WithCollector), the outcome is additionally attributed to it.
 func (m *Map[K, V]) Do(ctx context.Context, k K, fn func() (V, error)) (V, error) {
 	var zero V
+	col := collectorFrom(ctx)
 	for {
 		m.mu.Lock()
 		if el, ok := m.entries[k]; ok {
@@ -128,11 +141,13 @@ func (m *Map[K, V]) Do(ctx context.Context, k K, fn func() (V, error)) (V, error
 			m.hits.Add(1)
 			v := el.Value.(*entry[K, V]).val
 			m.mu.Unlock()
+			col.record(m.name, func(s *Stats) { s.Hits++ })
 			return v, nil
 		}
 		if fl, ok := m.inflight[k]; ok {
 			m.mu.Unlock()
 			m.shares.Add(1)
+			col.record(m.name, func(s *Stats) { s.Shares++ })
 			select {
 			case <-fl.done:
 			case <-ctx.Done():
@@ -151,18 +166,23 @@ func (m *Map[K, V]) Do(ctx context.Context, k K, fn func() (V, error)) (V, error
 		m.inflight[k] = fl
 		m.misses.Add(1)
 		m.mu.Unlock()
+		col.record(m.name, func(s *Stats) { s.Misses++ })
 
 		fl.val, fl.err = fn()
 		m.mu.Lock()
 		// A Clear during the computation means the result derives from
 		// pre-invalidation state: hand it to this caller but don't cache.
+		evicted := false
 		if fl.err == nil && fl.gen == m.gen {
-			m.put(k, fl.val)
+			evicted = m.put(k, fl.val)
 		}
 		if m.inflight[k] == fl {
 			delete(m.inflight, k)
 		}
 		m.mu.Unlock()
+		if evicted {
+			col.record(m.name, func(s *Stats) { s.Evictions++ })
+		}
 		close(fl.done)
 		return fl.val, fl.err
 	}
@@ -198,4 +218,57 @@ func (m *Map[K, V]) Stats() Stats {
 		Shares:    m.shares.Load(),
 		Size:      size,
 	}
+}
+
+// Collector accumulates the cache events of one logical scope — one
+// batch, one request — across any number of named Maps. A Map's global
+// counters always advance; when the context passed to Do also carries a
+// Collector, the event is attributed to that Collector under the Map's
+// name. Two scopes sharing the same Maps therefore get disjoint,
+// non-contaminated accountings. Get/Put take no context and are never
+// attributed. Safe for concurrent use.
+type Collector struct {
+	mu    sync.Mutex
+	stats map[string]Stats
+}
+
+// NewCollector builds an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{stats: make(map[string]Stats)}
+}
+
+// Stats returns the collected counters for the named cache. Size is
+// always zero: a scope has no view of a shared cache's occupancy.
+func (c *Collector) Stats(name string) Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats[name]
+}
+
+// record applies f to the named cache's counters; a nil Collector is a
+// no-op so call sites need no guard.
+func (c *Collector) record(name string, f func(*Stats)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	s := c.stats[name]
+	f(&s)
+	c.stats[name] = s
+	c.mu.Unlock()
+}
+
+// collectorKey is the context key for WithCollector.
+type collectorKey struct{}
+
+// WithCollector returns a context whose Do calls are attributed to col
+// in addition to each Map's global counters.
+func WithCollector(ctx context.Context, col *Collector) context.Context {
+	return context.WithValue(ctx, collectorKey{}, col)
+}
+
+// collectorFrom extracts the attached Collector, or nil.
+func collectorFrom(ctx context.Context) *Collector {
+	col, _ := ctx.Value(collectorKey{}).(*Collector)
+	return col
 }

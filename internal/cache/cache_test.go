@@ -155,6 +155,81 @@ func TestClearDuringFlight(t *testing.T) {
 	}
 }
 
+func TestCollectorScopesDoEvents(t *testing.T) {
+	m := NewNamed[string, int]("widgets", 8)
+	colA := NewCollector()
+	colB := NewCollector()
+	ctxA := WithCollector(context.Background(), colA)
+	ctxB := WithCollector(context.Background(), colB)
+
+	// A misses then hits; B only hits the entry A computed.
+	if _, err := m.Do(ctxA, "k", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Do(ctxB, "k", func() (int, error) { return 0, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := colA.Stats("widgets"), colB.Stats("widgets")
+	if a.Misses != 1 || a.Hits != 0 {
+		t.Fatalf("collector A = %+v, want 1 miss", a)
+	}
+	if b.Misses != 0 || b.Hits != 3 {
+		t.Fatalf("collector B = %+v, want 3 hits and no misses", b)
+	}
+	// Global counters aggregate both scopes.
+	if st := m.Stats(); st.Misses != 1 || st.Hits != 3 {
+		t.Fatalf("global stats = %+v", st)
+	}
+	// A context without a collector still works and attributes nowhere.
+	if _, err := m.Do(context.Background(), "k", func() (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := colA.Stats("widgets").Hits + colB.Stats("widgets").Hits; got != 3 {
+		t.Fatalf("unscoped Do leaked into a collector: %d hits", got)
+	}
+}
+
+func TestCollectorSeesEvictionsAndShares(t *testing.T) {
+	m := NewNamed[string, int]("tiny", 1)
+	col := NewCollector()
+	ctx := WithCollector(context.Background(), col)
+	m.Do(ctx, "a", func() (int, error) { return 1, nil })
+	m.Do(ctx, "b", func() (int, error) { return 2, nil }) // evicts "a"
+	if st := col.Stats("tiny"); st.Evictions != 1 || st.Misses != 2 {
+		t.Fatalf("collector = %+v, want 2 misses + 1 eviction", st)
+	}
+
+	// A waiter piggybacking on an in-flight computation records a share.
+	big := NewNamed[string, int]("big", 8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go func() {
+		big.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 1, nil
+		})
+	}()
+	<-started
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, err := big.Do(ctx, "k", func() (int, error) { return 2, nil }); err != nil || v != 1 {
+			t.Errorf("waiter got %d, %v", v, err)
+		}
+	}()
+	for col.Stats("big").Shares == 0 {
+		// The waiter registers its share before blocking on the flight.
+	}
+	close(release)
+	<-done
+	if st := col.Stats("big"); st.Shares != 1 || st.Misses != 0 {
+		t.Fatalf("collector = %+v, want 1 share", st)
+	}
+}
+
 func TestStatsSub(t *testing.T) {
 	a := Stats{Hits: 10, Misses: 4, Evictions: 2, Shares: 1, Size: 3}
 	b := Stats{Hits: 7, Misses: 1, Evictions: 2, Shares: 0, Size: 9}

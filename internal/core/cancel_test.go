@@ -1,0 +1,178 @@
+// Tests for the Phase-1 cancellation contract and the shared retrieval
+// memo, driven by in-process fake sources (no HTTP): a blocking fake
+// proves Recommend aborts the fan-out promptly, a counting fake proves
+// overlapping requests stop re-querying sources.
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minaret/internal/ontology"
+	"minaret/internal/ranking"
+	"minaret/internal/sources"
+)
+
+// fakeInterestSource implements sources.InterestSearcher. With block
+// set, SearchInterest parks until ctx is done (a hung scholarly site);
+// otherwise it returns one stable hit per source, so every keyword
+// retrieves the same scholar account.
+type fakeInterestSource struct {
+	name      string
+	block     bool
+	calls     atomic.Int64
+	started   chan struct{}
+	startOnce sync.Once
+}
+
+func newFakeSource(name string, block bool) *fakeInterestSource {
+	return &fakeInterestSource{name: name, block: block, started: make(chan struct{})}
+}
+
+func (f *fakeInterestSource) Source() string { return f.name }
+
+func (f *fakeInterestSource) SearchAuthor(ctx context.Context, name string) ([]sources.Hit, error) {
+	return nil, nil
+}
+
+func (f *fakeInterestSource) Profile(ctx context.Context, siteID string) (*sources.Record, error) {
+	return &sources.Record{Source: f.name, SiteID: siteID, Name: "Tuan Osei"}, nil
+}
+
+func (f *fakeInterestSource) SearchInterest(ctx context.Context, topic string) ([]sources.Hit, error) {
+	f.calls.Add(1)
+	f.startOnce.Do(func() { close(f.started) })
+	if f.block {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	return []sources.Hit{{
+		Source: f.name, SiteID: "acct-1", Name: "Tuan Osei", Affiliation: "TU Wien",
+	}}, nil
+}
+
+func fakeManuscript(keywords ...string) Manuscript {
+	return Manuscript{
+		Title:    "Cancellation Probe",
+		Keywords: keywords,
+		Authors:  []Author{{Name: "Probe Author"}},
+	}
+}
+
+// TestRecommendCancellationMidRetrieval: cancelling during the Phase-1
+// source fan-out must return ctx.Err() promptly — never a partial
+// Result — and stop dispatching, leaving at most Workers source calls
+// in flight out of the keyword × source product.
+func TestRecommendCancellationMidRetrieval(t *testing.T) {
+	off := false
+	for _, tc := range []struct {
+		name   string
+		shared *Shared
+	}{
+		{"direct", nil},
+		{"through-shared-memo", NewShared(SharedOptions{})},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srcA := newFakeSource("scholar", true)
+			srcB := newFakeSource("publons", true)
+			reg := sources.NewRegistry(srcA, srcB)
+			eng := NewWithShared(reg, ontology.Default(), Config{
+				DisableExpansion: true, Workers: 2, EnrichProfiles: &off,
+			}, tc.shared)
+			// 4 keywords × 2 sources = 8 queries; only Workers=2 may start.
+			m := fakeManuscript("rdf", "sparql", "stream processing", "provenance")
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			type outcome struct {
+				res *Result
+				err error
+			}
+			done := make(chan outcome, 1)
+			go func() {
+				res, err := eng.Recommend(ctx, m)
+				done <- outcome{res, err}
+			}()
+			select {
+			case <-srcA.started:
+			case <-srcB.started:
+			case <-time.After(10 * time.Second):
+				t.Fatal("retrieval fan-out never started")
+			}
+			cancel()
+			select {
+			case o := <-done:
+				if !errors.Is(o.err, context.Canceled) {
+					t.Fatalf("Recommend err = %v, want context.Canceled", o.err)
+				}
+				if o.res != nil {
+					t.Fatalf("cancelled Recommend returned a partial Result: %+v", o.res.Stats)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("Recommend did not return promptly after cancellation")
+			}
+			if calls := srcA.calls.Load() + srcB.calls.Load(); calls > 2 {
+				t.Fatalf("fan-out dispatched %d source calls after cancel, want <= Workers (2)", calls)
+			}
+		})
+	}
+}
+
+// TestRetrievalMemoAmortizes: with a Shared wired, a second Recommend
+// over the same keywords must hit the retrieval memo instead of
+// re-querying the sources, and the stats must say so.
+func TestRetrievalMemoAmortizes(t *testing.T) {
+	off := false
+	srcA := newFakeSource("scholar", false)
+	srcB := newFakeSource("publons", false)
+	reg := sources.NewRegistry(srcA, srcB)
+	sh := NewShared(SharedOptions{})
+	eng := NewWithShared(reg, ontology.Default(), Config{
+		DisableExpansion: true, EnrichProfiles: &off,
+	}, sh)
+	m := fakeManuscript("rdf", "sparql")
+	ctx := context.Background()
+
+	r1, err := eng.Recommend(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := srcA.calls.Load() + srcB.calls.Load()
+	if afterFirst != 4 { // 2 keywords × 2 sources
+		t.Fatalf("first run made %d source calls, want 4", afterFirst)
+	}
+	r2, err := eng.Recommend(ctx, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls := srcA.calls.Load() + srcB.calls.Load(); calls != afterFirst {
+		t.Fatalf("second run re-queried sources: %d calls, want still %d", calls, afterFirst)
+	}
+	st := sh.Stats().Retrievals
+	if st.Misses != 4 || st.Hits != 4 {
+		t.Fatalf("retrieval memo stats = %+v, want 4 misses + 4 hits", st)
+	}
+	if r1.Stats.CandidatesRetrieved != r2.Stats.CandidatesRetrieved {
+		t.Fatalf("memoized retrieval changed the candidate pool: %d vs %d",
+			r1.Stats.CandidatesRetrieved, r2.Stats.CandidatesRetrieved)
+	}
+}
+
+// TestRecommendRejectsInvalidRankingConfig: an engine carrying a
+// ranking config Validate rejects must fail the request up front, not
+// rank with recency scores above 1.
+func TestRecommendRejectsInvalidRankingConfig(t *testing.T) {
+	reg := sources.NewRegistry(newFakeSource("scholar", false))
+	eng := New(reg, ontology.Default(), Config{
+		Ranking: ranking.Config{RecencyHalfLifeYears: -1},
+	})
+	_, err := eng.Recommend(context.Background(), fakeManuscript("rdf"))
+	if err == nil || !strings.Contains(err.Error(), "RecencyHalfLifeYears") {
+		t.Fatalf("err = %v, want RecencyHalfLifeYears rejection", err)
+	}
+}

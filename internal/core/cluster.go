@@ -1,0 +1,197 @@
+// Indexed candidate clustering for Phase-1 retrieval. The naive
+// clusterer compares every incoming hit against every existing candidate
+// (O(hits × candidates)); at the scale the retrieval memo and batch
+// subsystem make routine — tens of thousands of hits per request — that
+// quadratic scan dominates extraction time. clusterIndex replaces it
+// with two blocking structures:
+//
+//   - an exact (source, site-id) index: two hits naming the same account
+//     are the same scholar, no name arithmetic needed;
+//   - a normalized-name-token index keyed by the first and last name
+//     tokens: nameres.NamesCompatible can only hold when the two names
+//     share an end token (the family name under one of the rotations it
+//     tries), so candidates outside the block can never merge.
+//
+// Within a block the full compatibility checks of the naive clusterer
+// run unchanged, in candidate-creation order, so clustering decisions
+// match the linear scan except that exact site-id matches now merge
+// unconditionally (same account = same person).
+package core
+
+import (
+	"strings"
+
+	"minaret/internal/nameres"
+	"minaret/internal/sources"
+)
+
+// clusterIndex accumulates candidates from retrieval hits.
+type clusterIndex struct {
+	cands  []*candidate
+	bySite map[string]*candidate   // "source\x00siteID" -> first owner
+	byName map[string][]*candidate // normalized end token -> members
+}
+
+func newClusterIndex() *clusterIndex {
+	return &clusterIndex{
+		bySite: make(map[string]*candidate),
+		byName: make(map[string][]*candidate),
+	}
+}
+
+func siteKey(source, siteID string) string {
+	return source + "\x00" + siteID
+}
+
+// endTokens returns the normalized first and last name tokens — the only
+// tokens a compatible name must share under nameres's rotation rules.
+func endTokens(name string) []string {
+	toks := nameres.NormalizeName(name)
+	switch len(toks) {
+	case 0:
+		return nil
+	case 1:
+		return toks[:1]
+	}
+	first, last := toks[0], toks[len(toks)-1]
+	if first == last {
+		return []string{first}
+	}
+	return []string{first, last}
+}
+
+// add clusters one hit: merge into an existing candidate or create a new
+// one. kw/score record which expanded keyword retrieved the hit.
+func (ix *clusterIndex) add(h sources.Hit, kw string, score float64) {
+	// An empty site id is a malformed record, not an account: it must
+	// never key the exact-match index, or every id-less hit from a
+	// source would merge into one candidate with no name check.
+	if h.SiteID != "" {
+		if c, ok := ix.bySite[siteKey(h.Source, h.SiteID)]; ok {
+			ix.merge(c, h, kw, score)
+			return
+		}
+	}
+	for _, c := range ix.block(h.Name) {
+		// The same checks, in the same candidate order, as the linear
+		// scan this index replaces.
+		if id, dup := c.siteIDs[h.Source]; dup && id != h.SiteID {
+			continue
+		}
+		if !nameres.NamesCompatible(c.name, h.Name) {
+			continue
+		}
+		if c.affiliation != "" && h.Affiliation != "" &&
+			!strings.EqualFold(c.affiliation, h.Affiliation) {
+			continue
+		}
+		ix.merge(c, h, kw, score)
+		return
+	}
+	c := &candidate{
+		name:        h.Name,
+		affiliation: h.Affiliation,
+		siteIDs:     map[string]string{h.Source: h.SiteID},
+		matches:     map[string]float64{kw: score},
+		best:        score,
+		ord:         len(ix.cands),
+	}
+	ix.cands = append(ix.cands, c)
+	if h.SiteID != "" {
+		ix.bySite[siteKey(h.Source, h.SiteID)] = c
+	}
+	ix.indexName(c)
+}
+
+// block returns the candidates sharing an end token with name, in
+// creation order, deduplicated across the (at most two) token lists.
+// indexName keeps every token list ord-sorted, so single-list paths
+// return as-is and the two-list path is a linear merge.
+func (ix *clusterIndex) block(name string) []*candidate {
+	toks := endTokens(name)
+	switch len(toks) {
+	case 0:
+		return nil
+	case 1:
+		return ix.byName[toks[0]]
+	}
+	a, b := ix.byName[toks[0]], ix.byName[toks[1]]
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]*candidate, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].ord < b[j].ord:
+			out = append(out, a[i])
+			i++
+		case a[i].ord > b[j].ord:
+			out = append(out, b[j])
+			j++
+		default: // same candidate under both tokens
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// merge folds a hit into an existing candidate, keeping the indexes
+// consistent as the candidate's identity grows.
+func (ix *clusterIndex) merge(c *candidate, h sources.Hit, kw string, score float64) {
+	if _, ok := c.siteIDs[h.Source]; !ok {
+		c.siteIDs[h.Source] = h.SiteID
+		if _, claimed := ix.bySite[siteKey(h.Source, h.SiteID)]; !claimed {
+			ix.bySite[siteKey(h.Source, h.SiteID)] = c
+		}
+	}
+	if len(h.Name) > len(c.name) {
+		c.name = h.Name
+		// A longer display form can change the end tokens ("L. Zhou" ->
+		// "Lei Zhou"); index the new ones so future hits still block to
+		// this candidate. Old tokens stay indexed: stale entries only
+		// widen a block, the compatibility checks keep correctness.
+		ix.indexName(c)
+	}
+	if c.affiliation == "" {
+		c.affiliation = h.Affiliation
+	}
+	if old, ok := c.matches[kw]; !ok || score > old {
+		c.matches[kw] = score
+	}
+	if score > c.best {
+		c.best = score
+	}
+}
+
+// indexName registers the candidate under its current end tokens,
+// skipping tokens it is already indexed under. Lists stay sorted by
+// creation order: a candidate gaining a token late (name growth) is
+// inserted in ord position, not appended, so block() scans candidates
+// exactly as the linear reference would.
+func (ix *clusterIndex) indexName(c *candidate) {
+	for _, tok := range endTokens(c.name) {
+		already := false
+		for _, t := range c.blockTokens {
+			if t == tok {
+				already = true
+				break
+			}
+		}
+		if already {
+			continue
+		}
+		c.blockTokens = append(c.blockTokens, tok)
+		list := append(ix.byName[tok], c)
+		for i := len(list) - 1; i > 0 && list[i-1].ord > c.ord; i-- {
+			list[i-1], list[i] = list[i], list[i-1]
+		}
+		ix.byName[tok] = list
+	}
+}

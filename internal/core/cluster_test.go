@@ -1,0 +1,311 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"minaret/internal/nameres"
+	"minaret/internal/sources"
+)
+
+// addHitLinear is the O(hits × candidates) clusterer clusterIndex
+// replaced, kept here as the reference implementation for equivalence
+// tests and as the baseline for BenchmarkRetrieveCluster.
+func addHitLinear(cands *[]*candidate, h sources.Hit, kw string, score float64) {
+	for _, c := range *cands {
+		if _, dup := c.siteIDs[h.Source]; dup && c.siteIDs[h.Source] != h.SiteID {
+			continue
+		}
+		if !nameres.NamesCompatible(c.name, h.Name) {
+			continue
+		}
+		if c.affiliation != "" && h.Affiliation != "" &&
+			!strings.EqualFold(c.affiliation, h.Affiliation) {
+			continue
+		}
+		c.siteIDs[h.Source] = h.SiteID
+		if len(h.Name) > len(c.name) {
+			c.name = h.Name
+		}
+		if c.affiliation == "" {
+			c.affiliation = h.Affiliation
+		}
+		if old, ok := c.matches[kw]; !ok || score > old {
+			c.matches[kw] = score
+		}
+		if score > c.best {
+			c.best = score
+		}
+		return
+	}
+	*cands = append(*cands, &candidate{
+		name:        h.Name,
+		affiliation: h.Affiliation,
+		siteIDs:     map[string]string{h.Source: h.SiteID},
+		matches:     map[string]float64{kw: score},
+		best:        score,
+	})
+}
+
+// clusterHit pairs a hit with the keyword match that retrieved it.
+type clusterHit struct {
+	h     sources.Hit
+	kw    string
+	score float64
+}
+
+// genHits synthesizes a realistic retrieval stream: a population of
+// scholars, each present on up to two interest sources with a stable
+// per-source id, whose display name renders either in full or with an
+// initialed given name, retrieved by several keywords. The given names
+// share no first letter, so with persons <= 100 every person's name
+// forms are mutually unambiguous — the regime where the indexed and
+// linear clusterers must agree exactly.
+func genHits(seed int64, persons, n int) []clusterHit {
+	rng := rand.New(rand.NewSource(seed))
+	givens := []string{"Lei", "Anna", "Marco", "Sofia", "Wei", "Derya", "Pierre", "Keiko", "Ivan", "Tuan"}
+	families := []string{"Zhou", "Rossi", "Novak", "Tanaka", "Dubois", "Garcia", "Osei", "Lindgren", "Petrov", "Haddad"}
+	affs := []string{"", "University of Tartu", "TU Wien", "Kyoto University"}
+	keywords := []string{"rdf", "stream processing", "query optimization", "provenance"}
+	srcs := []string{"scholar", "publons"}
+	out := make([]clusterHit, 0, n)
+	for i := 0; i < n; i++ {
+		p := rng.Intn(persons)
+		given := givens[p%len(givens)]
+		family := families[(p/len(givens))%len(families)]
+		name := given + " " + family
+		if rng.Intn(3) == 0 {
+			name = given[:1] + ". " + family
+		}
+		src := srcs[rng.Intn(len(srcs))]
+		id := fmt.Sprintf("%s-%d", src, p)
+		if rng.Intn(12) == 0 {
+			id = "" // malformed record: the occasional id-less hit
+		}
+		out = append(out, clusterHit{
+			h: sources.Hit{
+				Source:      src,
+				SiteID:      id,
+				Name:        name,
+				Affiliation: affs[p%len(affs)],
+			},
+			kw:    keywords[rng.Intn(len(keywords))],
+			score: float64(rng.Intn(10)+1) / 10,
+		})
+	}
+	return out
+}
+
+// canon renders a candidate list order-independently for comparison.
+func canon(cands []*candidate) []string {
+	out := make([]string, 0, len(cands))
+	for _, c := range cands {
+		ids := make([]string, 0, len(c.siteIDs))
+		for s, id := range c.siteIDs {
+			ids = append(ids, s+"="+id)
+		}
+		sort.Strings(ids)
+		ms := make([]string, 0, len(c.matches))
+		for kw, sc := range c.matches {
+			ms = append(ms, fmt.Sprintf("%s=%.2f", kw, sc))
+		}
+		sort.Strings(ms)
+		out = append(out, fmt.Sprintf("%s|%s|%.2f|%s|%s",
+			c.name, c.affiliation, c.best, strings.Join(ids, ","), strings.Join(ms, ",")))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestClusterIndexMatchesLinear: on realistic hit streams (stable ids,
+// compatible name variants) the indexed clusterer must produce exactly
+// the clusters of the linear reference scan.
+func TestClusterIndexMatchesLinear(t *testing.T) {
+	for _, tc := range []struct {
+		seed       int64
+		persons, n int
+	}{
+		{1, 10, 200},
+		{2, 60, 1500},
+		{3, 100, 5000},
+	} {
+		t.Run(fmt.Sprintf("persons=%d,hits=%d", tc.persons, tc.n), func(t *testing.T) {
+			hits := genHits(tc.seed, tc.persons, tc.n)
+			var linear []*candidate
+			ix := newClusterIndex()
+			for _, ch := range hits {
+				addHitLinear(&linear, ch.h, ch.kw, ch.score)
+				ix.add(ch.h, ch.kw, ch.score)
+			}
+			got, want := canon(ix.cands), canon(linear)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("clusterings diverge: indexed %d candidates, linear %d\nindexed[0:3]=%v\nlinear[0:3]=%v",
+					len(got), len(want), got[:min(3, len(got))], want[:min(3, len(want))])
+			}
+		})
+	}
+}
+
+// TestClusterIndexAmbiguousNamesSiteConsistent covers the regime where
+// the two clusterers legitimately differ: homonyms (persons beyond the
+// unique-name pool share display names, and initialed forms are
+// ambiguous). There the linear scan can attach a known account to
+// whichever homonym cluster it meets first, splitting one account
+// across clusters; the indexed clusterer's authoritative site-id match
+// must keep every (source, site-id) in exactly one cluster and never
+// produce more clusters than the linear scan.
+func TestClusterIndexAmbiguousNamesSiteConsistent(t *testing.T) {
+	hits := genHits(7, 400, 6000) // 400 persons over 100 names: heavy homonymy
+	var linear []*candidate
+	ix := newClusterIndex()
+	for _, ch := range hits {
+		addHitLinear(&linear, ch.h, ch.kw, ch.score)
+		ix.add(ch.h, ch.kw, ch.score)
+	}
+	owner := map[string]int{}
+	for i, c := range ix.cands {
+		for s, id := range c.siteIDs {
+			if id == "" {
+				continue // malformed records carry no account identity
+			}
+			key := s + "\x00" + id
+			if prev, ok := owner[key]; ok {
+				t.Fatalf("account %s=%s claimed by clusters %d and %d", s, id, prev, i)
+			}
+			owner[key] = i
+		}
+	}
+	if len(ix.cands) > len(linear) {
+		t.Fatalf("indexed produced %d clusters, linear %d — site-id blocking should only consolidate",
+			len(ix.cands), len(linear))
+	}
+}
+
+// TestClusterIndexEmptySiteIDNotAuthoritative: id-less hits are
+// malformed records, not accounts — they must cluster by name like any
+// other hit, never merge with each other just for sharing a source.
+func TestClusterIndexEmptySiteIDNotAuthoritative(t *testing.T) {
+	ix := newClusterIndex()
+	ix.add(sources.Hit{Source: "publons", SiteID: "", Name: "Alice Wong"}, "rdf", 0.9)
+	ix.add(sources.Hit{Source: "publons", SiteID: "", Name: "John Smith"}, "rdf", 0.8)
+	if len(ix.cands) != 2 {
+		t.Fatalf("unrelated id-less hits merged into %d candidate(s)", len(ix.cands))
+	}
+	// Compatible id-less hits still merge — through the name path.
+	ix.add(sources.Hit{Source: "publons", SiteID: "", Name: "A. Wong"}, "sparql", 0.7)
+	if len(ix.cands) != 2 {
+		t.Fatalf("compatible id-less hit failed to name-merge: %d candidates", len(ix.cands))
+	}
+}
+
+// TestClusterIndexBlockOrderAfterNameGrowth: a candidate that gains a
+// block token late (its name grew) must still be scanned in creation
+// order — the single-token block path once returned token lists in
+// token-acquisition order, merging family-only hits into the wrong
+// (younger) candidate.
+func TestClusterIndexBlockOrderAfterNameGrowth(t *testing.T) {
+	run := func(add func(ix *clusterIndex, h sources.Hit)) []*candidate {
+		ix := newClusterIndex()
+		for _, h := range []sources.Hit{
+			{Source: "scholar", SiteID: "s1", Name: "Lei Zhou"},
+			{Source: "scholar", SiteID: "s2", Name: "Ming Xiao"},
+			// Grows candidate 0's name; "xiao" becomes one of its end
+			// tokens after candidate 1 already owns that token list.
+			{Source: "orcid", SiteID: "o1", Name: "Zhou, Lei Xiao"},
+			// Family-only form, compatible with both candidates: the
+			// linear reference merges into the older candidate 0.
+			{Source: "publons", SiteID: "p2", Name: "Xiao"},
+		} {
+			add(ix, h)
+		}
+		return ix.cands
+	}
+	indexed := run(func(ix *clusterIndex, h sources.Hit) { ix.add(h, "rdf", 0.5) })
+	var linear []*candidate
+	run(func(_ *clusterIndex, h sources.Hit) { addHitLinear(&linear, h, "rdf", 0.5) })
+	got, want := canon(indexed), canon(linear)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("indexed %v\nlinear  %v", got, want)
+	}
+	if indexed[0].siteIDs["publons"] != "p2" {
+		t.Fatalf("family-only hit merged into the wrong candidate: %v", canon(indexed))
+	}
+}
+
+// TestClusterIndexSiteIDAuthoritative: two hits naming the same
+// (source, site-id) account are the same scholar and must merge even
+// when affiliations disagree — the account is the ground truth.
+func TestClusterIndexSiteIDAuthoritative(t *testing.T) {
+	ix := newClusterIndex()
+	ix.add(sources.Hit{Source: "scholar", SiteID: "u1", Name: "Lei Zhou", Affiliation: "TU Wien"}, "rdf", 0.9)
+	ix.add(sources.Hit{Source: "scholar", SiteID: "u1", Name: "Lei Zhou", Affiliation: "Kyoto University"}, "sparql", 0.5)
+	if len(ix.cands) != 1 {
+		t.Fatalf("same account split into %d candidates", len(ix.cands))
+	}
+	c := ix.cands[0]
+	if len(c.matches) != 2 || c.best != 0.9 {
+		t.Fatalf("merge lost match state: %+v", c)
+	}
+}
+
+// TestClusterIndexNameGrowthReindexes: a candidate first seen under an
+// initialed form must still block-match after adopting the longer name.
+func TestClusterIndexNameGrowthReindexes(t *testing.T) {
+	ix := newClusterIndex()
+	ix.add(sources.Hit{Source: "scholar", SiteID: "s1", Name: "L. Zhou"}, "rdf", 0.8)
+	// Longer form from another source: merges (compatible), name grows.
+	ix.add(sources.Hit{Source: "publons", SiteID: "p1", Name: "Lei Zhou"}, "rdf", 0.6)
+	if len(ix.cands) != 1 {
+		t.Fatalf("name variants split into %d candidates", len(ix.cands))
+	}
+	if ix.cands[0].name != "Lei Zhou" {
+		t.Fatalf("name = %q, want longest form", ix.cands[0].name)
+	}
+	// A third hit rendered with the grown first token must find the
+	// candidate through the re-indexed token ("lei").
+	ix.add(sources.Hit{Source: "publons", SiteID: "p1", Name: "Lei Zhou"}, "sparql", 0.7)
+	if len(ix.cands) != 1 {
+		t.Fatalf("re-indexed candidate not found: %d candidates", len(ix.cands))
+	}
+}
+
+// BenchmarkRetrieveCluster measures clustering cost at retrieval scale:
+// the indexed clusterer must beat the linear reference scan by a
+// widening margin as the hit count grows (the linear scan is
+// O(hits × candidates)). bench-smoke runs this at -benchtime=1x to
+// catch index regressions in CI.
+func BenchmarkRetrieveCluster(b *testing.B) {
+	for _, size := range []struct{ persons, hits int }{
+		{400, 2000},
+		{2000, 10000},
+		{6000, 30000},
+	} {
+		hits := genHits(42, size.persons, size.hits)
+		b.Run(fmt.Sprintf("indexed/hits=%d", size.hits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ix := newClusterIndex()
+				for _, ch := range hits {
+					ix.add(ch.h, ch.kw, ch.score)
+				}
+				if len(ix.cands) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("linear/hits=%d", size.hits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cands []*candidate
+				for _, ch := range hits {
+					addHitLinear(&cands, ch.h, ch.kw, ch.score)
+				}
+				if len(cands) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+	}
+}

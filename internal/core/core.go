@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"minaret/internal/fetch"
@@ -228,11 +229,24 @@ type candidate struct {
 	siteIDs     map[string]string
 	matches     map[string]float64 // expanded keyword -> score
 	best        float64
+	// ord is the creation sequence number; blockTokens are the name
+	// tokens the clusterIndex has registered this candidate under.
+	ord         int
+	blockTokens []string
 }
 
 // Recommend runs the full pipeline.
+//
+// Cancellation contract: when ctx is cancelled mid-pipeline, Recommend
+// returns ctx.Err() — never a silently-partial Result. The Phase-1
+// fan-outs stop dispatching immediately and wait only for the already
+// in-flight source calls (bounded by Config.Workers), which themselves
+// honor ctx.
 func (e *Engine) Recommend(ctx context.Context, m Manuscript) (*Result, error) {
 	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.cfg.Ranking.Validate(); err != nil {
 		return nil, err
 	}
 	res := &Result{Manuscript: m, SourceErrors: map[string]string{}}
@@ -260,7 +274,7 @@ func (e *Engine) Recommend(ctx context.Context, m Manuscript) (*Result, error) {
 	}
 
 	// Phase 1b: semantic keyword expansion.
-	res.Expanded = e.expandKeywords(m.Keywords)
+	res.Expanded = e.expandKeywords(ctx, m.Keywords)
 	res.Stats.ExpandedKeywords = len(res.Expanded)
 
 	// Phase 1c: retrieve candidate reviewers by expanded interest.
@@ -271,7 +285,10 @@ func (e *Engine) Recommend(ctx context.Context, m Manuscript) (*Result, error) {
 	res.Stats.CandidatesRetrieved = len(cands)
 
 	// Phase 1d: assemble candidate profiles (bounded).
-	profiles := e.assembleCandidates(ctx, cands, res)
+	profiles, err := e.assembleCandidates(ctx, cands)
+	if err != nil {
+		return nil, err
+	}
 	res.Stats.ProfilesAssembled = len(profiles)
 	res.Stats.ExtractionTime = time.Since(extractStart)
 
@@ -349,16 +366,20 @@ func (e *Engine) verifyAll(ctx context.Context, queries []nameres.Query) []*name
 // expandKeywords expands the manuscript keywords, consulting the shared
 // memo when one is wired. The returned slice may be shared across
 // requests and must be treated as read-only.
-func (e *Engine) expandKeywords(keywords []string) []ontology.MergedExpansion {
+func (e *Engine) expandKeywords(ctx context.Context, keywords []string) []ontology.MergedExpansion {
 	if e.shared == nil {
 		return e.expandKeywordsUncached(keywords)
 	}
-	key := e.expansionKey(keywords)
-	if cached, ok := e.shared.expansions.Get(key); ok {
-		return cached
+	expanded, err := e.shared.expansions.Do(ctx, e.expansionKey(keywords),
+		func() ([]ontology.MergedExpansion, error) {
+			return e.expandKeywordsUncached(keywords), nil
+		})
+	if err != nil {
+		// Only a cancelled wait can error; expansion is pure CPU, so just
+		// compute uncached rather than fail a request that may still have
+		// time to finish (retrieval checks ctx next).
+		return e.expandKeywordsUncached(keywords)
 	}
-	expanded := e.expandKeywordsUncached(keywords)
-	e.shared.expansions.Put(key, expanded)
 	return expanded
 }
 
@@ -385,7 +406,13 @@ func (e *Engine) expandKeywordsUncached(keywords []string) []ontology.MergedExpa
 }
 
 // retrieveCandidates queries every interest-capable source for every
-// expanded keyword and clusters hits into candidates.
+// expanded keyword (through the shared retrieval memo when wired) and
+// clusters hits into candidates with the indexed clusterer.
+//
+// The fan-out is cancellation-correct: a cancelled ctx stops dispatch
+// immediately, waits only for the calls already in flight (at most
+// Config.Workers, each of which honors ctx itself), and returns
+// ctx.Err() — partial hit sets are never ranked as if complete.
 func (e *Engine) retrieveCandidates(ctx context.Context, expanded []ontology.MergedExpansion, res *Result) ([]*candidate, error) {
 	searchers := e.registry.InterestSearchers()
 	if len(searchers) == 0 {
@@ -403,47 +430,68 @@ func (e *Engine) retrieveCandidates(ctx context.Context, expanded []ontology.Mer
 		}
 	}
 	type qres struct {
-		kw    string
-		score float64
-		hits  []sources.Hit
+		hits []sources.Hit
+		err  error
 	}
 	results := make([]qres, len(queries))
-	errsPerQ := make([]error, len(queries))
-	// Bounded fan-out over (keyword × source).
-	sem := make(chan struct{}, e.cfg.Workers)
-	done := make(chan int)
-	for i := range queries {
-		go func(i int) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- i }()
-			q := queries[i]
-			hits, err := q.src.SearchInterest(ctx, q.kw)
-			if err != nil {
-				errsPerQ[i] = err
-				return
+	// Bounded fan-out over (keyword × source): workers pull query
+	// indices, so cancellation leaves at most len(workers) calls to
+	// drain instead of the full keyword × source product.
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.cfg.Workers
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// The dispatch select can race a freed worker against
+				// cancellation; never touch a source once ctx is dead.
+				if ctx.Err() != nil {
+					continue
+				}
+				q := queries[i]
+				hits, err := e.searchInterest(ctx, q.src, q.kw)
+				results[i] = qres{hits: hits, err: err}
 			}
-			results[i] = qres{kw: q.kw, score: q.score, hits: hits}
-		}(i)
+		}()
 	}
-	for range queries {
-		<-done
+dispatch:
+	for i := range queries {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
-	for i, err := range errsPerQ {
-		if err != nil {
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		// Cancellation is the caller's signal, not a per-source failure:
+		// surface it instead of ranking on whatever arrived in time.
+		return nil, err
+	}
+	for i, qr := range results {
+		if qr.err != nil {
 			src := queries[i].src.Source()
 			if _, ok := res.SourceErrors[src]; !ok {
-				res.SourceErrors[src] = err.Error()
+				res.SourceErrors[src] = qr.err.Error()
 			}
 		}
 	}
 
-	// Cluster hits into candidates across sources.
-	var cands []*candidate
-	for _, qr := range results {
+	// Cluster hits into candidates across sources. Query order is
+	// deterministic, so clustering is too.
+	ix := newClusterIndex()
+	for i, qr := range results {
 		for _, h := range qr.hits {
-			e.addHit(&cands, h, qr.kw, qr.score)
+			ix.add(h, queries[i].kw, queries[i].score)
 		}
 	}
+	cands := ix.cands
 	// Deterministic: best keyword score desc, then name.
 	sort.SliceStable(cands, func(i, j int) bool {
 		if cands[i].best != cands[j].best {
@@ -454,92 +502,74 @@ func (e *Engine) retrieveCandidates(ctx context.Context, expanded []ontology.Mer
 	return cands, nil
 }
 
-func (e *Engine) addHit(cands *[]*candidate, h sources.Hit, kw string, score float64) {
-	for _, c := range *cands {
-		if _, dup := c.siteIDs[h.Source]; dup && c.siteIDs[h.Source] != h.SiteID {
-			continue
-		}
-		if !nameres.NamesCompatible(c.name, h.Name) {
-			continue
-		}
-		if c.affiliation != "" && h.Affiliation != "" &&
-			!strings.EqualFold(c.affiliation, h.Affiliation) {
-			continue
-		}
-		c.siteIDs[h.Source] = h.SiteID
-		if len(h.Name) > len(c.name) {
-			c.name = h.Name
-		}
-		if c.affiliation == "" {
-			c.affiliation = h.Affiliation
-		}
-		if old, ok := c.matches[kw]; !ok || score > old {
-			c.matches[kw] = score
-		}
-		if score > c.best {
-			c.best = score
-		}
-		return
-	}
-	*cands = append(*cands, &candidate{
-		name:        h.Name,
-		affiliation: h.Affiliation,
-		siteIDs:     map[string]string{h.Source: h.SiteID},
-		matches:     map[string]float64{kw: score},
-		best:        score,
-	})
-}
-
 // assembleCandidates builds full profiles for the top candidates,
 // optionally enriching each with ids found on the non-interest sources.
-func (e *Engine) assembleCandidates(ctx context.Context, cands []*candidate, res *Result) map[*candidate]*profile.Profile {
+// A cancelled ctx stops dispatching, drains the in-flight assemblies and
+// returns ctx.Err(); individual unprofilable candidates are dropped.
+func (e *Engine) assembleCandidates(ctx context.Context, cands []*candidate) (map[*candidate]*profile.Profile, error) {
 	if len(cands) > e.cfg.MaxCandidates {
 		cands = cands[:e.cfg.MaxCandidates]
 	}
-	type out struct {
-		c *candidate
-		p *profile.Profile
+	assembled := make([]*profile.Profile, len(cands))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := e.cfg.Workers
+	if workers > len(cands) {
+		workers = len(cands)
 	}
-	outs := make([]out, len(cands))
-	sem := make(chan struct{}, e.cfg.Workers)
-	done := make(chan struct{})
-	for i, c := range cands {
-		go func(i int, c *candidate) {
-			sem <- struct{}{}
-			defer func() { <-sem; done <- struct{}{} }()
-			ids := c.siteIDs
-			if *e.cfg.EnrichProfiles {
-				vr := e.verifyIdentity(ctx, nameres.Query{Name: c.name, Affiliation: c.affiliation})
-				if best := vr.Best(); best != nil && vr.Resolved {
-					merged := map[string]string{}
-					for s, id := range best.SiteIDs {
-						merged[s] = id
-					}
-					// Interest-search ids win on conflict: they are the
-					// ground the candidate stands on.
-					for s, id := range ids {
-						merged[s] = id
-					}
-					ids = merged
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue
 				}
+				c := cands[i]
+				ids := c.siteIDs
+				if *e.cfg.EnrichProfiles {
+					vr := e.verifyIdentity(ctx, nameres.Query{Name: c.name, Affiliation: c.affiliation})
+					if best := vr.Best(); best != nil && vr.Resolved {
+						merged := map[string]string{}
+						for s, id := range best.SiteIDs {
+							merged[s] = id
+						}
+						// Interest-search ids win on conflict: they are the
+						// ground the candidate stands on.
+						for s, id := range ids {
+							merged[s] = id
+						}
+						ids = merged
+					}
+				}
+				p, err := e.assembleProfile(ctx, ids)
+				if err != nil {
+					continue // candidate unprofilable: drop
+				}
+				assembled[i] = p
 			}
-			p, err := e.assembleProfile(ctx, ids)
-			if err != nil {
-				return // candidate unprofilable: drop silently, logged below
-			}
-			outs[i] = out{c: c, p: p}
-		}(i, c)
+		}()
 	}
-	for range cands {
-		<-done
-	}
-	profiles := make(map[*candidate]*profile.Profile, len(cands))
-	for _, o := range outs {
-		if o.p != nil {
-			profiles[o.c] = o.p
+dispatch:
+	for i := range cands {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
 		}
 	}
-	return profiles
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	profiles := make(map[*candidate]*profile.Profile, len(cands))
+	for i, p := range assembled {
+		if p != nil {
+			profiles[cands[i]] = p
+		}
+	}
+	return profiles, nil
 }
 
 // filterCandidates applies author-self exclusion plus the configured

@@ -17,6 +17,15 @@ import (
 	"minaret/internal/nameres"
 	"minaret/internal/ontology"
 	"minaret/internal/profile"
+	"minaret/internal/sources"
+)
+
+// Cache names used for per-scope attribution (cache.Collector).
+const (
+	cacheProfiles   = "profiles"
+	cacheVerifies   = "verifies"
+	cacheExpansions = "expansions"
+	cacheRetrievals = "retrievals"
 )
 
 // SharedOptions sizes the cross-request caches; zero values select the
@@ -28,6 +37,9 @@ type SharedOptions struct {
 	VerifyEntries int
 	// ExpansionEntries bounds the keyword-expansion memo. Default 1024.
 	ExpansionEntries int
+	// RetrievalEntries bounds the interest-retrieval memo (one entry per
+	// expanded keyword × source). Default 8192.
+	RetrievalEntries int
 }
 
 func (o SharedOptions) withDefaults() SharedOptions {
@@ -39,6 +51,9 @@ func (o SharedOptions) withDefaults() SharedOptions {
 	}
 	if o.ExpansionEntries == 0 {
 		o.ExpansionEntries = 1024
+	}
+	if o.RetrievalEntries == 0 {
+		o.RetrievalEntries = 8192
 	}
 	return o
 }
@@ -54,15 +69,21 @@ type Shared struct {
 	profiles   *cache.Map[string, *profile.Profile]
 	verifies   *cache.Map[string, *nameres.Result]
 	expansions *cache.Map[string, []ontology.MergedExpansion]
+	// retrievals memoizes interest search per (source × keyword):
+	// overlapping batch manuscripts expand to heavily intersecting
+	// keyword sets, and without this memo every manuscript re-queries
+	// every source for the shared keywords.
+	retrievals *cache.Map[string, []sources.Hit]
 }
 
 // NewShared builds the cross-request cache set.
 func NewShared(opts SharedOptions) *Shared {
 	o := opts.withDefaults()
 	return &Shared{
-		profiles:   cache.New[string, *profile.Profile](o.ProfileEntries),
-		verifies:   cache.New[string, *nameres.Result](o.VerifyEntries),
-		expansions: cache.New[string, []ontology.MergedExpansion](o.ExpansionEntries),
+		profiles:   cache.NewNamed[string, *profile.Profile](cacheProfiles, o.ProfileEntries),
+		verifies:   cache.NewNamed[string, *nameres.Result](cacheVerifies, o.VerifyEntries),
+		expansions: cache.NewNamed[string, []ontology.MergedExpansion](cacheExpansions, o.ExpansionEntries),
+		retrievals: cache.NewNamed[string, []sources.Hit](cacheRetrievals, o.RetrievalEntries),
 	}
 }
 
@@ -71,6 +92,7 @@ type SharedStats struct {
 	Profiles   cache.Stats `json:"profiles"`
 	Verifies   cache.Stats `json:"verifies"`
 	Expansions cache.Stats `json:"expansions"`
+	Retrievals cache.Stats `json:"retrievals"`
 }
 
 // Sub returns the change from prev to s.
@@ -79,6 +101,7 @@ func (s SharedStats) Sub(prev SharedStats) SharedStats {
 		Profiles:   s.Profiles.Sub(prev.Profiles),
 		Verifies:   s.Verifies.Sub(prev.Verifies),
 		Expansions: s.Expansions.Sub(prev.Expansions),
+		Retrievals: s.Retrievals.Sub(prev.Retrievals),
 	}
 }
 
@@ -88,7 +111,27 @@ func (s *Shared) Stats() SharedStats {
 		Profiles:   s.profiles.Stats(),
 		Verifies:   s.verifies.Stats(),
 		Expansions: s.expansions.Stats(),
+		Retrievals: s.retrievals.Stats(),
 	}
+}
+
+// ScopedStats assembles the SharedStats attributed to one
+// cache.Collector scope (one batch). Counters come from the collector;
+// the Size fields are the caches' current global occupancy, the only
+// meaningful size a scope can report.
+func (s *Shared) ScopedStats(col *cache.Collector) SharedStats {
+	sizes := s.Stats()
+	out := SharedStats{
+		Profiles:   col.Stats(cacheProfiles),
+		Verifies:   col.Stats(cacheVerifies),
+		Expansions: col.Stats(cacheExpansions),
+		Retrievals: col.Stats(cacheRetrievals),
+	}
+	out.Profiles.Size = sizes.Profiles.Size
+	out.Verifies.Size = sizes.Verifies.Size
+	out.Expansions.Size = sizes.Expansions.Size
+	out.Retrievals.Size = sizes.Retrievals.Size
+	return out
 }
 
 // Clear drops every cached entry (counters are preserved); the API's
@@ -98,6 +141,7 @@ func (s *Shared) Clear() {
 	s.profiles.Clear()
 	s.verifies.Clear()
 	s.expansions.Clear()
+	s.retrievals.Clear()
 }
 
 // identityKey canonicalizes a resolved author identity — the site-id
@@ -149,6 +193,31 @@ func (e *Engine) assembleProfile(ctx context.Context, siteIDs map[string]string)
 			return nil, ctx.Err()
 		}
 		return p, err
+	})
+}
+
+// searchInterest runs one (source × keyword) interest query through the
+// shared retrieval memo (when wired): overlapping requests expanding to
+// the same keyword hit each source once, concurrent duplicates share one
+// in-flight query via singleflight. Cached hit slices are shared across
+// requests and must be treated as read-only. Errors (including
+// cancellation) are never cached.
+func (e *Engine) searchInterest(ctx context.Context, src sources.InterestSearcher, keyword string) ([]sources.Hit, error) {
+	if e.shared == nil {
+		return src.SearchInterest(ctx, keyword)
+	}
+	// %q-quote the keyword so no keyword can collide with another
+	// source's namespace.
+	key := fmt.Sprintf("%s|%q", src.Source(), keyword)
+	return e.shared.retrievals.Do(ctx, key, func() ([]sources.Hit, error) {
+		hits, err := src.SearchInterest(ctx, keyword)
+		if err == nil && ctx.Err() != nil {
+			// A result delivered under a dying context may be partial
+			// (sources can degrade instead of erroring); don't let it
+			// poison later requests — errors are not cached.
+			return nil, ctx.Err()
+		}
+		return hits, err
 	})
 }
 

@@ -19,12 +19,20 @@ import (
 	"time"
 )
 
+// NoRetry is a sentinel for Options.MaxRetries: every Get makes exactly
+// one attempt. (MaxRetries: 0 selects the default of 3; any negative
+// value behaves like NoRetry.)
+const NoRetry = -1
+
 // Options configures a Client. Zero values select documented defaults.
 type Options struct {
 	// Timeout bounds a single HTTP attempt. Default 10s.
 	Timeout time.Duration
 	// MaxRetries is the number of re-attempts after a retryable failure
-	// (network error, HTTP 429/5xx). Default 3.
+	// (network error, HTTP 429/5xx). Zero-value semantics: 0 selects the
+	// default of 3 (a zero Options must behave sensibly); to disable
+	// retries entirely pass any negative value (the NoRetry sentinel),
+	// which is normalized to 0 re-attempts.
 	MaxRetries int
 	// BaseBackoff is the first retry delay; it doubles per attempt with
 	// ±25% jitter. Default 50ms.
@@ -56,6 +64,8 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxRetries == 0 {
 		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0 // NoRetry sentinel: single attempt, no re-tries
 	}
 	if o.BaseBackoff == 0 {
 		o.BaseBackoff = 50 * time.Millisecond

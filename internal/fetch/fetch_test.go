@@ -117,6 +117,31 @@ func TestRetryOn500ThenSuccess(t *testing.T) {
 	}
 }
 
+func TestNoRetrySentinel(t *testing.T) {
+	var calls int64
+	c, base := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&calls, 1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}), Options{MaxRetries: NoRetry})
+	if _, err := c.Get(context.Background(), base); err == nil {
+		t.Fatal("want error from single failing attempt")
+	}
+	if calls != 1 {
+		t.Fatalf("server saw %d calls, want exactly 1 (retries disabled)", calls)
+	}
+	if st := c.Stats(); st.Retries != 0 || st.HTTPCalls != 1 {
+		t.Fatalf("stats = %+v, want no retries", st)
+	}
+	// Any negative value disables retrying, not just -1.
+	if got := (Options{MaxRetries: -7}).withDefaults().MaxRetries; got != 0 {
+		t.Fatalf("MaxRetries(-7) normalized to %d, want 0", got)
+	}
+	// The documented zero-value default is unchanged.
+	if got := (Options{}).withDefaults().MaxRetries; got != 3 {
+		t.Fatalf("MaxRetries(0) defaulted to %d, want 3", got)
+	}
+}
+
 func TestRetryExhaustion(t *testing.T) {
 	c, base := newTestClient(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "boom", http.StatusInternalServerError)

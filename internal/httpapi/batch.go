@@ -39,7 +39,9 @@ type BatchResponse struct {
 	// pipeline times. Their ratio is the effective parallel speedup.
 	ElapsedNS     time.Duration `json:"elapsed_ns"`
 	ItemElapsedNS time.Duration `json:"item_elapsed_ns"`
-	// Cache is the shared-cache hit/miss delta over this batch.
+	// Cache is the shared-cache activity attributed to this batch alone
+	// (profiles, verifies, expansions, retrievals) — scoped per batch, so
+	// concurrent /v1/batch requests never inflate each other's numbers.
 	Cache core.SharedStats `json:"cache"`
 }
 

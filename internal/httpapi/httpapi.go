@@ -206,6 +206,9 @@ func (s *Server) configFor(req *RecommendOptions) (core.Config, error) {
 	default:
 		return cfg, fmt.Errorf("unknown impact_metric %q (want citations|h-index)", req.ImpactMetric)
 	}
+	if err := rcfg.Validate(); err != nil {
+		return cfg, err
+	}
 	cfg.Ranking = rcfg
 	return cfg, nil
 }

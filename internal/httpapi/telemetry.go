@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"minaret/internal/core"
 	"minaret/internal/fetch"
 )
 
@@ -112,7 +113,11 @@ type StatsResponse struct {
 	Routes       map[string]routeStats `json:"routes"`
 	BucketBounds []string              `json:"bucket_bounds"`
 	Fetch        *fetch.Stats          `json:"fetch,omitempty"`
-	RouteOrder   []string              `json:"route_order"`
+	// Shared reports the server-wide cross-request caches (profiles,
+	// verifies, expansions, retrievals) — cumulative since start; the
+	// per-batch delta appears in each /v1/batch response instead.
+	Shared     *core.SharedStats `json:"shared,omitempty"`
+	RouteOrder []string          `json:"route_order"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -127,6 +132,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.fetcher != nil {
 		st := s.fetcher.Stats()
 		resp.Fetch = &st
+	}
+	if s.shared != nil {
+		sh := s.shared.Stats()
+		resp.Shared = &sh
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

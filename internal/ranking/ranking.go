@@ -6,10 +6,12 @@
 package ranking
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"minaret/internal/ontology"
 	"minaret/internal/profile"
@@ -65,10 +67,19 @@ type Config struct {
 	Weights Weights
 	// Impact selects citations or h-index. Default citations.
 	Impact ImpactMetric
-	// HorizonYear is "now" for recency computations.
+	// HorizonYear is "now" for recency computations. When zero it
+	// defaults to the current year from Clock (or the wall clock) —
+	// previously an unset horizon made every reviewer's age negative,
+	// clamp to zero, and score a perfect 1.0 recency.
 	HorizonYear int
+	// Clock supplies "now" when HorizonYear is unset; nil means
+	// time.Now. Tests inject a fixed clock for determinism.
+	Clock func() time.Time
 	// RecencyHalfLifeYears controls recency decay: a reviewer whose last
-	// on-topic paper is one half-life old scores 0.5. Default 3.
+	// on-topic paper is one half-life old scores 0.5. Default 3;
+	// negative values are rejected by Validate (and clamped to the
+	// default by New as a last resort, since recency would otherwise
+	// grow unbounded above 1).
 	RecencyHalfLifeYears float64
 	// TargetVenue is the submission outlet for the familiarity component.
 	TargetVenue string
@@ -80,11 +91,30 @@ type Config struct {
 	ReviewCap int
 }
 
+// Validate reports configuration values no defaulting can repair.
+// core.Engine.Recommend and the HTTP API call it before ranking runs.
+func (c Config) Validate() error {
+	if c.RecencyHalfLifeYears < 0 {
+		return fmt.Errorf("ranking: RecencyHalfLifeYears %v is negative (recency would exceed 1)", c.RecencyHalfLifeYears)
+	}
+	if c.HorizonYear < 0 {
+		return errors.New("ranking: HorizonYear is negative")
+	}
+	return nil
+}
+
 func (c Config) withDefaults() Config {
 	if c.Impact == "" {
 		c.Impact = ImpactCitations
 	}
-	if c.RecencyHalfLifeYears == 0 {
+	if c.HorizonYear == 0 {
+		now := time.Now
+		if c.Clock != nil {
+			now = c.Clock
+		}
+		c.HorizonYear = now().Year()
+	}
+	if c.RecencyHalfLifeYears <= 0 {
 		c.RecencyHalfLifeYears = 3
 	}
 	if c.CitationCap == 0 {

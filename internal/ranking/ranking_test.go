@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"minaret/internal/ontology"
 	"minaret/internal/profile"
@@ -281,6 +282,50 @@ func TestDefaultConfigApplied(t *testing.T) {
 	if cfg.Impact != ImpactCitations || cfg.RecencyHalfLifeYears != 3 ||
 		cfg.Weights.total() == 0 {
 		t.Fatalf("defaults = %+v", cfg)
+	}
+}
+
+// TestHorizonYearDefaultsFromClock: an unset HorizonYear must anchor to
+// "now" (the injected clock), not to 0 — with horizon 0 every age went
+// negative, clamped to 0, and all reviewers scored a perfect recency.
+func TestHorizonYearDefaultsFromClock(t *testing.T) {
+	clock := func() time.Time { return time.Date(2021, 6, 1, 0, 0, 0, 0, time.UTC) }
+	r := New(Config{Clock: clock}, nil)
+	if got := r.Config().HorizonYear; got != 2021 {
+		t.Fatalf("HorizonYear = %d, want 2021 from injected clock", got)
+	}
+	mk := func(year int) *profile.Profile {
+		return &profile.Profile{Publications: []profile.Publication{
+			{Title: "work on rdf", Year: year},
+		}}
+	}
+	if s := r.RecencyScore(mk(2021), []string{"rdf"}); s != 1.0 {
+		t.Fatalf("current-year recency = %v", s)
+	}
+	// The pre-fix symptom: an old publication must no longer score 1.0.
+	if s := r.RecencyScore(mk(2010), []string{"rdf"}); s >= 0.1 {
+		t.Fatalf("2010 publication scores %v under a 2021 horizon, want decayed", s)
+	}
+	// No clock injected: the wall clock stands in.
+	if got := New(Config{}, nil).Config().HorizonYear; got != time.Now().Year() {
+		t.Fatalf("HorizonYear = %d, want current year", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+	if err := (Config{RecencyHalfLifeYears: -1}).Validate(); err == nil {
+		t.Fatal("negative RecencyHalfLifeYears accepted")
+	}
+	if err := (Config{HorizonYear: -2000}).Validate(); err == nil {
+		t.Fatal("negative HorizonYear accepted")
+	}
+	// New clamps a negative half-life to the default as a last resort so
+	// recency can never exceed 1 even if Validate was skipped.
+	if got := New(Config{HorizonYear: 2018, RecencyHalfLifeYears: -2}, nil).Config().RecencyHalfLifeYears; got != 3 {
+		t.Fatalf("clamped half-life = %v, want 3", got)
 	}
 }
 
