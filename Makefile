@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke server ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke server docs-check ci
 
 all: build
 
@@ -36,4 +36,32 @@ bench-smoke:
 server:
 	$(GO) run ./cmd/minaret-server
 
-ci: fmt-check vet build race bench-smoke
+# Documentation gate: the docs tree exists, every relative markdown link
+# in README.md and docs/ resolves, every internal package carries a
+# package comment, and the tree is gofmt/vet clean.
+docs-check: fmt-check vet
+	@for f in README.md docs/API.md docs/ARCHITECTURE.md; do \
+		[ -f "$$f" ] || { echo "docs-check: missing $$f"; exit 1; }; \
+	done
+	@fail=0; \
+	for f in README.md docs/*.md; do \
+		dir=$$(dirname "$$f"); \
+		for link in $$(grep -oE '\]\([^)]+\)' "$$f" | sed -e 's/^](//' -e 's/)$$//'); do \
+			case "$$link" in http://*|https://*|mailto:*|\#*) continue;; esac; \
+			target=$${link%%\#*}; \
+			[ -n "$$target" ] || continue; \
+			[ -e "$$dir/$$target" ] || { echo "docs-check: $$f: broken link $$link"; fail=1; }; \
+		done; \
+	done; \
+	for d in internal/*/; do \
+		ok=0; \
+		for g in "$$d"*.go; do \
+			case "$$g" in *_test.go) continue;; esac; \
+			awk 'prev ~ /^\/\// && !(prev ~ /^\/\/go:/) && /^package / {found=1} {prev=$$0} END {exit !found}' "$$g" && { ok=1; break; }; \
+		done; \
+		[ "$$ok" -eq 1 ] || { echo "docs-check: $$d has no package comment"; fail=1; }; \
+	done; \
+	[ "$$fail" -eq 0 ] || exit 1
+	@echo "docs-check: ok"
+
+ci: fmt-check vet build race bench-smoke docs-check

@@ -3,9 +3,18 @@
 // simulated scholarly web to extract from; point -sources-url at a
 // stand-alone simweb instance to separate the two.
 //
+// The cross-request caches can outlive the process: -cache-snapshot
+// names a file the server warm-starts from at boot, saves periodically,
+// and saves once more on SIGINT/SIGTERM, so a restart keeps the venue's
+// extracted state. The -cache-ttl-* flags bound each cache's entry
+// lifetime (0 = never expire), ageing out stale scholarly data without
+// manual invalidation.
+//
 // Usage:
 //
-//	minaret-server -addr :8080
+//	minaret-server -addr :8080 \
+//	    -cache-snapshot /var/lib/minaret/cache.snap \
+//	    -cache-ttl-profiles 6h -cache-ttl-retrievals 1h
 //	curl -X POST localhost:8080/api/recommend -d '{
 //	  "keywords": ["rdf", "stream processing"],
 //	  "authors": [{"name": "Lei Zhou", "affiliation": "University of Tartu"}],
@@ -13,11 +22,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"minaret/internal/core"
@@ -36,8 +50,33 @@ func main() {
 		scholars   = flag.Int("scholars", 2000, "in-process corpus size")
 		seed       = flag.Int64("seed", 42, "in-process corpus seed")
 		topK       = flag.Int("top-k", 10, "default recommendation count")
+
+		snapPath     = flag.String("cache-snapshot", "", "file to warm-start the shared caches from and persist them to (empty: caches die with the process)")
+		snapInterval = flag.Duration("cache-snapshot-interval", 5*time.Minute, "how often to save the cache snapshot (also saved on shutdown)")
+		ttlProfiles  = flag.Duration("cache-ttl-profiles", 0, "assembled-profile lifetime (0 = never expire)")
+		ttlVerifies  = flag.Duration("cache-ttl-verifies", 0, "identity-verification lifetime (0 = never expire)")
+		ttlExpand    = flag.Duration("cache-ttl-expansions", 0, "keyword-expansion lifetime (0 = never expire)")
+		ttlRetrieve  = flag.Duration("cache-ttl-retrievals", 0, "retrieval hit-list lifetime (0 = never expire)")
+		sweepEvery   = flag.Duration("cache-sweep-interval", time.Minute, "janitor sweep cadence for expired entries (used only when a TTL is set)")
 	)
 	flag.Parse()
+
+	sharedOpts := core.SharedOptions{
+		ProfileTTL:   *ttlProfiles,
+		VerifyTTL:    *ttlVerifies,
+		ExpansionTTL: *ttlExpand,
+		RetrievalTTL: *ttlRetrieve,
+	}
+	if err := sharedOpts.Validate(); err != nil {
+		log.Fatalf("minaret-server: %v", err)
+	}
+	if *snapPath != "" && *snapInterval <= 0 {
+		log.Fatalf("minaret-server: -cache-snapshot-interval %v must be positive", *snapInterval)
+	}
+	anyTTL := sharedOpts.ProfileTTL+sharedOpts.VerifyTTL+sharedOpts.ExpansionTTL+sharedOpts.RetrievalTTL > 0
+	if anyTTL && *sweepEvery <= 0 {
+		log.Fatalf("minaret-server: -cache-sweep-interval %v must be positive when a TTL is set", *sweepEvery)
+	}
 
 	o := ontology.Default()
 	horizon := 2018
@@ -72,10 +111,75 @@ func main() {
 	server := httpapi.New(registry, o, core.Config{TopK: *topK}, horizon)
 	server.SetFetcher(f)
 
+	// Cache lifecycle: build the TTL'd cache set, warm-start it from the
+	// snapshot, and keep it swept and saved in the background. The
+	// snapshot scope pins the file to this data universe, so a snapshot
+	// taken against one corpus (or external source set) is rejected —
+	// not silently served — against another.
+	if *sourcesURL != "" {
+		sharedOpts.SnapshotScope = "sources=" + *sourcesURL
+	} else {
+		sharedOpts.SnapshotScope = fmt.Sprintf("inproc seed=%d scholars=%d", *seed, *scholars)
+	}
+	shared := core.NewShared(sharedOpts)
+	var restore *core.RestoreStats
+	if *snapPath != "" {
+		stats, ok, err := shared.LoadSnapshot(*snapPath)
+		if err != nil {
+			// A corrupt snapshot must not keep the service down; serve
+			// cold and overwrite it on the next save.
+			log.Printf("cache snapshot: %v (starting cold)", err)
+		} else if ok {
+			restore = &stats
+			log.Printf("cache snapshot: warm start from %s (saved %s): %d loaded, %d expired, %d corrupt, %d over capacity",
+				*snapPath, stats.SavedAt.Format(time.RFC3339), stats.Loaded, stats.Expired, stats.Corrupt, stats.Overflow)
+		} else {
+			log.Printf("cache snapshot: %s absent, starting cold", *snapPath)
+		}
+	}
+	server.SetShared(shared, restore)
+
+	if anyTTL {
+		stopJanitor := shared.StartJanitor(*sweepEvery)
+		defer stopJanitor()
+	}
+	var stopSnapshotter func() error
+	if *snapPath != "" {
+		stopSnapshotter = shared.StartSnapshotter(*snapPath, *snapInterval, log.Printf)
+	}
+
 	fmt.Printf("MINARET API on %s\n", *addr)
 	fmt.Println("  GET  /                     web form")
 	fmt.Println("  POST /api/recommend        run the full pipeline")
 	fmt.Println("  POST /api/verify-authors   author identity verification")
 	fmt.Println("  GET  /api/expand?keyword=  semantic keyword expansion")
-	log.Fatal(http.ListenAndServe(*addr, server.Handler()))
+	fmt.Println("  see docs/API.md for the full route reference")
+
+	// Serve until SIGINT/SIGTERM, then drain and take the final
+	// snapshot — the save-on-shutdown that makes restarts warm.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		// Release the signal handler now: a second SIGINT/SIGTERM during
+		// the drain regains default behavior and kills the process.
+		stop()
+		log.Printf("shutting down")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	if stopSnapshotter != nil {
+		if err := stopSnapshotter(); err != nil {
+			log.Fatalf("final cache snapshot: %v", err)
+		}
+		log.Printf("cache snapshot saved to %s", *snapPath)
+	}
 }

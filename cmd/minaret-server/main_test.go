@@ -9,6 +9,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
@@ -92,6 +93,132 @@ func TestServerEndToEnd(t *testing.T) {
 	}
 	if stats.Routes["recommend"].Count != 1 || stats.Routes["expand"].Count != 1 {
 		t.Fatalf("telemetry = %+v", stats.Routes)
+	}
+}
+
+// TestServerSnapshotSurvivesRestart is the acceptance scenario end to
+// end, across real processes: a server started with -cache-snapshot is
+// warmed by a batch, killed with SIGTERM (triggering the final save),
+// restarted on the same snapshot, and must serve its first post-restart
+// /v1/batch with nonzero shared-cache hits.
+func TestServerSnapshotSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	snap := filepath.Join(dir, "cache.snap")
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-scholars", "300", "-top-k", "3",
+			"-cache-snapshot", snap, "-cache-ttl-retrievals", "24h")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+
+	batchBody, _ := json.Marshal(map[string]any{
+		"manuscripts": []map[string]any{
+			{"title": "A", "keywords": []string{"rdf", "stream processing"}, "authors": []map[string]string{{"name": "Wei Wang"}}},
+			{"title": "B", "keywords": []string{"machine learning"}, "authors": []map[string]string{{"name": "Maria Garcia"}}},
+		},
+		"workers": 2, "top_k": 3,
+	})
+	runBatch := func() (cacheStats map[string]struct {
+		Hits   uint64 `json:"hits"`
+		Misses uint64 `json:"misses"`
+	}) {
+		resp, err := http.Post(base+"/v1/batch", "application/json", bytes.NewReader(batchBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body := struct {
+			Succeeded int                        `json:"succeeded"`
+			Cache     map[string]json.RawMessage `json:"cache"`
+		}{}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		if body.Succeeded != 2 {
+			t.Fatalf("batch succeeded = %d, want 2", body.Succeeded)
+		}
+		cacheStats = make(map[string]struct {
+			Hits   uint64 `json:"hits"`
+			Misses uint64 `json:"misses"`
+		})
+		for name, raw := range body.Cache {
+			var cs struct {
+				Hits   uint64 `json:"hits"`
+				Misses uint64 `json:"misses"`
+			}
+			if err := json.Unmarshal(raw, &cs); err != nil {
+				t.Fatal(err)
+			}
+			cacheStats[name] = cs
+		}
+		return cacheStats
+	}
+
+	// First life: warm the caches, then die gracefully.
+	cmd := start()
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	cold := runBatch()
+	if cold["retrievals"].Misses == 0 {
+		t.Fatalf("cold batch had no retrieval misses: %+v", cold)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("no snapshot after shutdown: %v", err)
+	}
+
+	// Second life: warm start. The first batch must hit.
+	cmd2 := start()
+	t.Cleanup(func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	})
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	warm := runBatch()
+	var hits uint64
+	for _, cs := range warm {
+		hits += cs.Hits
+	}
+	if hits == 0 {
+		t.Fatalf("first post-restart batch had zero shared-cache hits: %+v", warm)
+	}
+
+	// The boot restore is reported in /api/stats.
+	resp, err := http.Get(base + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Shared struct {
+			Restore *struct {
+				Loaded int `json:"loaded"`
+			} `json:"restore"`
+		} `json:"shared"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Shared.Restore == nil || stats.Shared.Restore.Loaded == 0 {
+		t.Fatalf("stats missing restore block: %+v", stats.Shared.Restore)
 	}
 }
 

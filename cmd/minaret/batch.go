@@ -5,9 +5,14 @@
 //
 //	minaret batch -in manuscripts.json -workers 4 -top-k 5
 //	minaret batch -in manuscripts.json -json > results.json
+//	minaret batch -in manuscripts.json -cache-snapshot cache.snap
 //
 // The input file is either a JSON array of manuscripts or an object
 // with a "manuscripts" array (the same shape POST /v1/batch accepts).
+// With -cache-snapshot, the shared caches are warm-started from the
+// named file before processing and saved back afterwards, so successive
+// runs over overlapping queues skip the extraction they already did;
+// the -cache-ttl-* flags age out entries that are too old to trust.
 package main
 
 import (
@@ -40,10 +45,25 @@ func runBatch(args []string) {
 		scholars    = fs.Int("scholars", 1500, "in-process corpus size")
 		seed        = fs.Int64("seed", 42, "in-process corpus seed")
 		asJSON      = fs.Bool("json", false, "print the full summary as JSON")
+
+		snapPath    = fs.String("cache-snapshot", "", "warm-start the shared caches from this file and save them back after the batch")
+		ttlProfiles = fs.Duration("cache-ttl-profiles", 0, "assembled-profile lifetime (0 = never expire)")
+		ttlVerifies = fs.Duration("cache-ttl-verifies", 0, "identity-verification lifetime (0 = never expire)")
+		ttlExpand   = fs.Duration("cache-ttl-expansions", 0, "keyword-expansion lifetime (0 = never expire)")
+		ttlRetrieve = fs.Duration("cache-ttl-retrievals", 0, "retrieval hit-list lifetime (0 = never expire)")
 	)
 	fs.Parse(args)
 	if *inPath == "" {
 		log.Fatal("minaret batch: -in is required")
+	}
+	sharedOpts := core.SharedOptions{
+		ProfileTTL:   *ttlProfiles,
+		VerifyTTL:    *ttlVerifies,
+		ExpansionTTL: *ttlExpand,
+		RetrievalTTL: *ttlRetrieve,
+	}
+	if err := sharedOpts.Validate(); err != nil {
+		log.Fatalf("minaret batch: %v", err)
 	}
 	manuscripts, err := readManuscripts(*inPath)
 	if err != nil {
@@ -65,7 +85,26 @@ func runBatch(args []string) {
 		log.Fatal(err)
 	}
 	rcfg := ranking.Config{HorizonYear: w.horizon, Impact: impactFor(*impact)}
-	shared := core.NewShared(core.SharedOptions{})
+	// Pin the snapshot to this data universe: a file saved against a
+	// different corpus or source set must cold-start, not serve stale
+	// entries.
+	if *sourcesURL != "" {
+		sharedOpts.SnapshotScope = "sources=" + *sourcesURL
+	} else {
+		sharedOpts.SnapshotScope = fmt.Sprintf("inproc seed=%d scholars=%d", *seed, *scholars)
+	}
+	shared := core.NewShared(sharedOpts)
+	var restore *core.RestoreStats
+	if *snapPath != "" {
+		stats, ok, err := shared.LoadSnapshot(*snapPath)
+		if err != nil {
+			// A corrupt snapshot costs warmth, not the batch; it is
+			// overwritten by the save below.
+			log.Printf("minaret batch: cache snapshot: %v (starting cold)", err)
+		} else if ok {
+			restore = &stats
+		}
+	}
 	eng := core.NewWithShared(w.registry, o, core.Config{
 		TopK:             *topK,
 		DisableExpansion: *noExpansion,
@@ -74,6 +113,12 @@ func runBatch(args []string) {
 	}, shared)
 
 	sum := batch.New(eng, batch.Options{Workers: *workers}).Process(context.Background(), manuscripts)
+	sum.Restore = restore
+	if *snapPath != "" {
+		if err := shared.SaveSnapshot(*snapPath); err != nil {
+			log.Printf("minaret batch: cache snapshot save: %v", err)
+		}
+	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -134,4 +179,11 @@ func printBatchSummary(sum *batch.Summary) {
 		c.Verifies.Hits+c.Verifies.Shares, c.Verifies.Misses,
 		c.Expansions.Hits+c.Expansions.Shares, c.Expansions.Misses,
 		c.Retrievals.Hits+c.Retrievals.Shares, c.Retrievals.Misses)
+	if expired := c.Profiles.Expired + c.Verifies.Expired + c.Expansions.Expired + c.Retrievals.Expired; expired > 0 {
+		fmt.Printf("ttl: %d entries expired during the batch\n", expired)
+	}
+	if r := sum.Restore; r != nil {
+		fmt.Printf("snapshot: warm start loaded %d entries (%d expired on disk, %d corrupt, %d over capacity), saved %s\n",
+			r.Loaded, r.Expired, r.Corrupt, r.Overflow, r.SavedAt.Format(time.RFC3339))
+	}
 }

@@ -72,6 +72,49 @@ func TestCLIBatchJSON(t *testing.T) {
 	}
 }
 
+// TestCLIBatchSnapshotWarmStart runs the same queue twice in two
+// separate processes sharing a -cache-snapshot file: the second run
+// must warm-start from the first run's saved caches.
+func TestCLIBatchSnapshotWarmStart(t *testing.T) {
+	path := writeManuscripts(t, batchInput())
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+	args := []string{"batch", "-in", path, "-top-k", "2", "-scholars", "300", "-cache-snapshot", snap}
+
+	out1, _ := runCLI(t, append(args, "-json")...)
+	var cold batch.Summary
+	if err := json.Unmarshal([]byte(out1), &cold); err != nil {
+		t.Fatalf("run 1 JSON: %v", err)
+	}
+	if cold.Restore != nil {
+		t.Fatalf("first run restored from a nonexistent snapshot: %+v", cold.Restore)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("snapshot not saved: %v", err)
+	}
+
+	out2, _ := runCLI(t, append(args, "-json")...)
+	var warm batch.Summary
+	if err := json.Unmarshal([]byte(out2), &warm); err != nil {
+		t.Fatalf("run 2 JSON: %v", err)
+	}
+	if warm.Restore == nil || warm.Restore.Loaded == 0 {
+		t.Fatalf("second run did not warm-start: %+v", warm.Restore)
+	}
+	if warm.Cache.Retrievals.Hits == 0 {
+		t.Fatalf("retrieval memo cold across processes: %+v", warm.Cache.Retrievals)
+	}
+	if warm.Cache.Retrievals.Misses >= cold.Cache.Retrievals.Misses+cold.Cache.Retrievals.Hits {
+		t.Fatalf("warm run re-extracted everything: cold %+v warm %+v",
+			cold.Cache.Retrievals, warm.Cache.Retrievals)
+	}
+
+	// The human-readable summary reports the warm start too.
+	out3, _ := runCLI(t, args...)
+	if !strings.Contains(out3, "snapshot: warm start loaded") {
+		t.Errorf("table output missing snapshot line:\n%s", out3)
+	}
+}
+
 func TestReadManuscriptsErrors(t *testing.T) {
 	if _, err := readManuscripts(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing file accepted")

@@ -66,6 +66,11 @@ type Summary struct {
 	// Size fields reflect the caches' global occupancy. Zero when the
 	// engine has no Shared wired.
 	Cache core.SharedStats `json:"cache"`
+	// Restore, when the caller warm-started the Shared caches from a
+	// snapshot before processing, records what that restore loaded and
+	// dropped — set by the caller (Process doesn't load snapshots), so
+	// one summary tells the whole warm-start story.
+	Restore *core.RestoreStats `json:"restore,omitempty"`
 }
 
 // Processor runs batches against one engine. The engine should be built

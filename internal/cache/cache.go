@@ -1,7 +1,9 @@
 // Package cache provides a small concurrency-safe LRU map with
-// hit/miss accounting and single-flight computation. It is the shared
-// memory of the batch subsystem: cross-request profile, verification and
-// expansion caches are all instances of cache.Map, sized independently
+// hit/miss accounting, single-flight computation, optional per-entry
+// TTL (lazy expiry on access plus janitor sweeps) and export/import for
+// snapshot persistence. It is the shared memory of the batch subsystem:
+// the cross-request profile, verification, expansion and retrieval
+// caches are all instances of cache.Map, sized and aged independently
 // and safe under arbitrary goroutine fan-out.
 package cache
 
@@ -10,6 +12,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Stats are cumulative counters for one cache, safe to read while the
@@ -21,7 +24,11 @@ type Stats struct {
 	// Shares counts callers that piggybacked on another goroutine's
 	// in-flight computation of the same key.
 	Shares uint64 `json:"shares"`
-	Size   int    `json:"size"`
+	// Expired counts entries dropped because their TTL elapsed — lazily
+	// on access or by a janitor Sweep. An expired access also counts as
+	// a miss.
+	Expired uint64 `json:"expired"`
+	Size    int    `json:"size"`
 }
 
 // Sub returns the change from prev to s (Size is taken from s as-is).
@@ -31,6 +38,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		Misses:    s.Misses - prev.Misses,
 		Evictions: s.Evictions - prev.Evictions,
 		Shares:    s.Shares - prev.Shares,
+		Expired:   s.Expired - prev.Expired,
 		Size:      s.Size,
 	}
 }
@@ -39,6 +47,9 @@ func (s Stats) Sub(prev Stats) Stats {
 type entry[K comparable, V any] struct {
 	key K
 	val V
+	// exp is the absolute expiry instant; zero means the entry never
+	// expires.
+	exp time.Time
 }
 
 // flight is one in-progress computation other goroutines can wait on.
@@ -51,10 +62,13 @@ type flight[V any] struct {
 	gen uint64
 }
 
-// Map is a bounded LRU cache. The zero value is not usable; construct
-// with New. All methods are safe for concurrent use.
+// Map is a bounded LRU cache with optional per-entry TTL. The zero
+// value is not usable; construct with New. All methods are safe for
+// concurrent use.
 type Map[K comparable, V any] struct {
 	name     string
+	ttl      time.Duration // 0 = entries never expire
+	now      func() time.Time
 	mu       sync.Mutex
 	max      int
 	entries  map[K]*list.Element // -> *entry[K,V]
@@ -62,23 +76,58 @@ type Map[K comparable, V any] struct {
 	inflight map[K]*flight[V]
 	gen      uint64 // bumped by Clear
 
-	hits, misses, evictions, shares atomic.Uint64
+	hits, misses, evictions, shares, expired atomic.Uint64
+}
+
+// Option tunes a Map at construction time.
+type Option func(*mapConfig)
+
+type mapConfig struct {
+	ttl time.Duration
+	now func() time.Time
+}
+
+// WithTTL bounds every entry's lifetime: an entry older than d is
+// dropped on access (counted as Expired plus a miss) or by a Sweep.
+// d <= 0 means no expiry, the default.
+func WithTTL(d time.Duration) Option {
+	return func(c *mapConfig) {
+		if d > 0 {
+			c.ttl = d
+		}
+	}
+}
+
+// WithClock injects the time source used for TTL stamping and expiry
+// checks; tests pass a fake clock to step time deterministically.
+func WithClock(now func() time.Time) Option {
+	return func(c *mapConfig) {
+		if now != nil {
+			c.now = now
+		}
+	}
 }
 
 // New builds a Map holding at most max entries (minimum 1).
-func New[K comparable, V any](max int) *Map[K, V] {
-	return NewNamed[K, V]("", max)
+func New[K comparable, V any](max int, opts ...Option) *Map[K, V] {
+	return NewNamed[K, V]("", max, opts...)
 }
 
 // NewNamed builds a Map that reports its Do events to any Collector
 // attached to the caller's context under the given name (see
 // WithCollector). The name is purely an accounting label.
-func NewNamed[K comparable, V any](name string, max int) *Map[K, V] {
+func NewNamed[K comparable, V any](name string, max int, opts ...Option) *Map[K, V] {
 	if max < 1 {
 		max = 1
 	}
+	cfg := mapConfig{now: time.Now}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	return &Map[K, V]{
 		name:     name,
+		ttl:      cfg.ttl,
+		now:      cfg.now,
 		max:      max,
 		entries:  make(map[K]*list.Element),
 		order:    list.New(),
@@ -86,14 +135,34 @@ func NewNamed[K comparable, V any](name string, max int) *Map[K, V] {
 	}
 }
 
-// Get returns the cached value for k, marking it recently used.
+// TTL returns the per-entry lifetime (0 = entries never expire).
+func (m *Map[K, V]) TTL() time.Duration { return m.ttl }
+
+// alive reports whether e is still usable at instant now.
+func (e *entry[K, V]) alive(now time.Time) bool {
+	return e.exp.IsZero() || now.Before(e.exp)
+}
+
+// removeLocked unlinks el with m.mu held.
+func (m *Map[K, V]) removeLocked(el *list.Element) {
+	m.order.Remove(el)
+	delete(m.entries, el.Value.(*entry[K, V]).key)
+}
+
+// Get returns the cached value for k, marking it recently used. An
+// entry past its TTL is dropped and reported as a miss.
 func (m *Map[K, V]) Get(k K) (V, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if el, ok := m.entries[k]; ok {
-		m.order.MoveToFront(el)
-		m.hits.Add(1)
-		return el.Value.(*entry[K, V]).val, true
+		e := el.Value.(*entry[K, V])
+		if e.alive(m.now()) {
+			m.order.MoveToFront(el)
+			m.hits.Add(1)
+			return e.val, true
+		}
+		m.removeLocked(el)
+		m.expired.Add(1)
 	}
 	m.misses.Add(1)
 	var zero V
@@ -109,13 +178,26 @@ func (m *Map[K, V]) Put(k K, v V) {
 }
 
 // put stores with m.mu held and reports whether it evicted an entry.
+// The entry's expiry is stamped from the cache TTL (zero TTL = never).
 func (m *Map[K, V]) put(k K, v V) bool {
+	var exp time.Time
+	if m.ttl > 0 {
+		exp = m.now().Add(m.ttl)
+	}
+	return m.putExp(k, v, exp)
+}
+
+// putExp stores with an explicit absolute expiry (zero = never), with
+// m.mu held, and reports whether it evicted an entry.
+func (m *Map[K, V]) putExp(k K, v V, exp time.Time) bool {
 	if el, ok := m.entries[k]; ok {
-		el.Value.(*entry[K, V]).val = v
+		e := el.Value.(*entry[K, V])
+		e.val = v
+		e.exp = exp
 		m.order.MoveToFront(el)
 		return false
 	}
-	m.entries[k] = m.order.PushFront(&entry[K, V]{key: k, val: v})
+	m.entries[k] = m.order.PushFront(&entry[K, V]{key: k, val: v, exp: exp})
 	if m.order.Len() > m.max {
 		oldest := m.order.Back()
 		m.order.Remove(oldest)
@@ -137,12 +219,20 @@ func (m *Map[K, V]) Do(ctx context.Context, k K, fn func() (V, error)) (V, error
 	for {
 		m.mu.Lock()
 		if el, ok := m.entries[k]; ok {
-			m.order.MoveToFront(el)
-			m.hits.Add(1)
-			v := el.Value.(*entry[K, V]).val
-			m.mu.Unlock()
-			col.record(m.name, func(s *Stats) { s.Hits++ })
-			return v, nil
+			e := el.Value.(*entry[K, V])
+			if e.alive(m.now()) {
+				m.order.MoveToFront(el)
+				m.hits.Add(1)
+				v := e.val
+				m.mu.Unlock()
+				col.record(m.name, func(s *Stats) { s.Hits++ })
+				return v, nil
+			}
+			// Past its TTL: drop it and fall through to the miss path —
+			// a stale entry is never served.
+			m.removeLocked(el)
+			m.expired.Add(1)
+			col.record(m.name, func(s *Stats) { s.Expired++ })
 		}
 		if fl, ok := m.inflight[k]; ok {
 			m.mu.Unlock()
@@ -216,8 +306,134 @@ func (m *Map[K, V]) Stats() Stats {
 		Misses:    m.misses.Load(),
 		Evictions: m.evictions.Load(),
 		Shares:    m.shares.Load(),
+		Expired:   m.expired.Load(),
 		Size:      size,
 	}
+}
+
+// Sweep removes every entry past its TTL and returns how many it
+// dropped. Expiry is also enforced lazily on access; Sweep exists so a
+// background janitor can reclaim memory for entries nobody asks for.
+func (m *Map[K, V]) Sweep() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	n := 0
+	for el := m.order.Back(); el != nil; {
+		prev := el.Prev()
+		if !el.Value.(*entry[K, V]).alive(now) {
+			m.removeLocked(el)
+			n++
+		}
+		el = prev
+	}
+	m.expired.Add(uint64(n))
+	return n
+}
+
+// Sweeper is the janitor-facing surface of a cache; *Map[K, V]
+// implements it for any K, V, which is how a single Janitor goroutine
+// sweeps heterogeneously-typed caches.
+type Sweeper interface {
+	Sweep() int
+}
+
+// Janitor starts one background goroutine that sweeps every cache each
+// interval, reclaiming expired entries nobody accesses. The returned
+// stop is idempotent and blocks until the goroutine has exited.
+func Janitor(interval time.Duration, caches ...Sweeper) (stop func()) {
+	ticker := time.NewTicker(interval)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-ticker.C:
+				for _, c := range caches {
+					c.Sweep()
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			ticker.Stop()
+			close(done)
+			<-finished
+		})
+	}
+}
+
+// Entry is one exported key/value pair with its absolute expiry (zero =
+// never expires). Export/Import move entries across process lifetimes;
+// keeping the original deadline means a restored entry expires exactly
+// when it would have in the previous process.
+type Entry[K comparable, V any] struct {
+	Key     K
+	Val     V
+	Expires time.Time
+}
+
+// Export returns the live entries most-recently-used first, skipping
+// ones already past their TTL.
+func (m *Map[K, V]) Export() []Entry[K, V] {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	out := make([]Entry[K, V], 0, m.order.Len())
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if !e.alive(now) {
+			continue
+		}
+		out = append(out, Entry[K, V]{Key: e.key, Val: e.val, Expires: e.exp})
+	}
+	return out
+}
+
+// Import inserts entries in Export order (most-recently-used first),
+// preserving recency. It returns how many were inserted, how many were
+// dropped as already expired, and how many were dropped because they
+// exceed capacity — the freshest entries survive a shrunken cache.
+// Import drops do not advance the Expired counter: they never lived in
+// this cache.
+//
+// An entry's deadline is clamped to this cache's TTL: when the cache
+// has one, an imported entry never outlives now+TTL — so a snapshot
+// saved without TTLs (or under longer ones) obeys the receiving
+// process's freshness policy. Original (shorter) deadlines are kept;
+// with no TTL configured, deadlines pass through untouched.
+func (m *Map[K, V]) Import(entries []Entry[K, V]) (loaded, expired, overflow int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	kept := make([]Entry[K, V], 0, len(entries))
+	for _, e := range entries {
+		if !e.Expires.IsZero() && !now.Before(e.Expires) {
+			expired++
+			continue
+		}
+		if len(kept) == m.max {
+			overflow++
+			continue
+		}
+		if m.ttl > 0 {
+			if latest := now.Add(m.ttl); e.Expires.IsZero() || e.Expires.After(latest) {
+				e.Expires = latest
+			}
+		}
+		kept = append(kept, e)
+	}
+	// Insert least-recent first so the list ends up in Export order.
+	for i := len(kept) - 1; i >= 0; i-- {
+		m.putExp(kept[i].Key, kept[i].Val, kept[i].Expires)
+		loaded++
+	}
+	return loaded, expired, overflow
 }
 
 // Collector accumulates the cache events of one logical scope — one

@@ -1,0 +1,271 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-stepped time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2019, 3, 26, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTTLGetExpires(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	m.Put("a", 1)
+
+	clk.Advance(59 * time.Second)
+	if v, ok := m.Get("a"); !ok || v != 1 {
+		t.Fatalf("before TTL: got %v %v, want 1 true", v, ok)
+	}
+	clk.Advance(2 * time.Second)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("entry served after TTL elapsed")
+	}
+	st := m.Stats()
+	if st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", st.Expired)
+	}
+	// The expired access is also a miss, and the entry is gone.
+	if st.Misses != 1 || st.Size != 0 {
+		t.Fatalf("stats = %+v, want 1 miss and size 0", st)
+	}
+}
+
+func TestTTLDoRecomputesExpired(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	ctx := context.Background()
+	calls := 0
+	fn := func() (int, error) { calls++; return calls, nil }
+
+	if v, _ := m.Do(ctx, "k", fn); v != 1 {
+		t.Fatalf("first Do = %d, want 1", v)
+	}
+	if v, _ := m.Do(ctx, "k", fn); v != 1 {
+		t.Fatalf("cached Do = %d, want 1", v)
+	}
+	clk.Advance(61 * time.Second)
+	if v, _ := m.Do(ctx, "k", fn); v != 2 {
+		t.Fatalf("post-TTL Do = %d, want recompute (2)", v)
+	}
+	st := m.Stats()
+	if st.Expired != 1 || st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats = %+v, want 1 expired, 2 misses, 1 hit", st)
+	}
+}
+
+func TestTTLDoAttributesExpiryToCollector(t *testing.T) {
+	clk := newFakeClock()
+	m := NewNamed[string, int]("c", 8, WithTTL(time.Minute), WithClock(clk.Now))
+	col := NewCollector()
+	ctx := WithCollector(context.Background(), col)
+	m.Do(ctx, "k", func() (int, error) { return 1, nil })
+	clk.Advance(2 * time.Minute)
+	m.Do(ctx, "k", func() (int, error) { return 2, nil })
+	got := col.Stats("c")
+	if got.Expired != 1 || got.Misses != 2 {
+		t.Fatalf("collector stats = %+v, want 1 expired, 2 misses", got)
+	}
+}
+
+func TestTTLRefreshedOnOverwrite(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	m.Put("a", 1)
+	clk.Advance(45 * time.Second)
+	m.Put("a", 2) // overwrite restamps the deadline
+	clk.Advance(45 * time.Second)
+	if v, ok := m.Get("a"); !ok || v != 2 {
+		t.Fatalf("got %v %v, want refreshed entry 2 true", v, ok)
+	}
+}
+
+func TestNoTTLNeverExpires(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithClock(clk.Now))
+	m.Put("a", 1)
+	clk.Advance(1000 * time.Hour)
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("TTL-less entry expired")
+	}
+	if m.TTL() != 0 {
+		t.Fatalf("TTL() = %v, want 0", m.TTL())
+	}
+}
+
+func TestSweep(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	m.Put("a", 1)
+	m.Put("b", 2)
+	clk.Advance(30 * time.Second)
+	m.Put("c", 3)
+	clk.Advance(45 * time.Second) // a, b past TTL; c has 15s left
+
+	if n := m.Sweep(); n != 2 {
+		t.Fatalf("Sweep = %d, want 2", n)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	if _, ok := m.Get("c"); !ok {
+		t.Fatal("survivor c missing after sweep")
+	}
+	if st := m.Stats(); st.Expired != 2 {
+		t.Fatalf("Expired = %d, want 2", st.Expired)
+	}
+	if n := m.Sweep(); n != 0 {
+		t.Fatalf("second Sweep = %d, want 0", n)
+	}
+}
+
+func TestJanitorSweeps(t *testing.T) {
+	clk := newFakeClock()
+	a := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	b := New[int, string](8, WithTTL(time.Minute), WithClock(clk.Now))
+	a.Put("x", 1)
+	b.Put(1, "y")
+	clk.Advance(2 * time.Minute)
+
+	stop := Janitor(time.Millisecond, a, b)
+	defer stop()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Len()+b.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.Len() != 0 || b.Len() != 0 {
+		t.Fatalf("janitor left %d+%d entries", a.Len(), b.Len())
+	}
+	stop()
+	stop() // idempotent
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	m.Put("old", 1)
+	clk.Advance(30 * time.Second)
+	m.Put("new", 2)
+	m.Get("old") // old becomes MRU
+
+	exp := m.Export()
+	if len(exp) != 2 || exp[0].Key != "old" || exp[1].Key != "new" {
+		t.Fatalf("export order = %+v, want [old new]", exp)
+	}
+
+	m2 := New[string, int](8, WithClock(clk.Now))
+	loaded, expired, overflow := m2.Import(exp)
+	if loaded != 2 || expired != 0 || overflow != 0 {
+		t.Fatalf("import = (%d,%d,%d), want (2,0,0)", loaded, expired, overflow)
+	}
+	// Recency preserved: filling the cache evicts "new" (LRU) first.
+	if got := m2.Export(); got[0].Key != "old" {
+		t.Fatalf("restored MRU = %q, want old", got[0].Key)
+	}
+	// Original deadlines preserved: "old" expires 30s before "new".
+	clk.Advance(31 * time.Second)
+	if _, ok := m2.Get("old"); ok {
+		t.Fatal("restored entry outlived its original deadline")
+	}
+	if _, ok := m2.Get("new"); !ok {
+		t.Fatal("restored entry expired early")
+	}
+}
+
+func TestImportDropsExpiredAndOverflow(t *testing.T) {
+	clk := newFakeClock()
+	entries := []Entry[string, int]{
+		{Key: "fresh1", Val: 1, Expires: clk.Now().Add(time.Hour)},
+		{Key: "stale", Val: 2, Expires: clk.Now().Add(-time.Second)},
+		{Key: "fresh2", Val: 3}, // no deadline
+		{Key: "fresh3", Val: 4, Expires: clk.Now().Add(time.Hour)},
+	}
+	m := New[string, int](2, WithClock(clk.Now))
+	loaded, expired, overflow := m.Import(entries)
+	if loaded != 2 || expired != 1 || overflow != 1 {
+		t.Fatalf("import = (%d,%d,%d), want (2,1,1)", loaded, expired, overflow)
+	}
+	// The freshest (earliest in Export order) survive a shrunken cache.
+	if _, ok := m.Get("fresh1"); !ok {
+		t.Fatal("fresh1 missing")
+	}
+	if _, ok := m.Get("fresh2"); !ok {
+		t.Fatal("fresh2 missing")
+	}
+	// Import drops are not Expired events: those count entries this
+	// cache actually held.
+	if st := m.Stats(); st.Expired != 0 {
+		t.Fatalf("Expired = %d, want 0", st.Expired)
+	}
+}
+
+func TestImportClampsToConfiguredTTL(t *testing.T) {
+	clk := newFakeClock()
+	entries := []Entry[string, int]{
+		{Key: "no-deadline", Val: 1},                                      // saved by a TTL-less process
+		{Key: "long-deadline", Val: 2, Expires: clk.Now().Add(time.Hour)}, // saved under a longer TTL
+		{Key: "short-deadline", Val: 3, Expires: clk.Now().Add(time.Second)},
+	}
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	if loaded, _, _ := m.Import(entries); loaded != 3 {
+		t.Fatalf("loaded %d, want 3", loaded)
+	}
+	// The receiving cache's 1m TTL bounds the first two; the original
+	// shorter deadline is kept for the third.
+	clk.Advance(2 * time.Second)
+	if _, ok := m.Get("short-deadline"); ok {
+		t.Fatal("original shorter deadline not honored")
+	}
+	clk.Advance(59 * time.Second) // 61s total, past the 1m clamp
+	if _, ok := m.Get("no-deadline"); ok {
+		t.Fatal("deadline-less entry outlived the configured TTL")
+	}
+	if _, ok := m.Get("long-deadline"); ok {
+		t.Fatal("imported entry outlived the configured TTL")
+	}
+}
+
+func TestExportSkipsExpired(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	m.Put("a", 1)
+	clk.Advance(2 * time.Minute)
+	m.Put("b", 2)
+	if exp := m.Export(); len(exp) != 1 || exp[0].Key != "b" {
+		t.Fatalf("export = %+v, want just b", exp)
+	}
+}
+
+func TestTTLDoErrorStillNotCached(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Minute), WithClock(clk.Now))
+	boom := errors.New("boom")
+	if _, err := m.Do(context.Background(), "k", func() (int, error) { return 0, boom }); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if m.Len() != 0 {
+		t.Fatal("error cached")
+	}
+}

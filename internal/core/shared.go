@@ -1,10 +1,14 @@
 // Shared cross-request state: the batch subsystem runs many manuscripts
 // through one Engine, and submissions to one venue overlap heavily in
-// candidate reviewers and keyword vocabulary. Shared memoizes the three
+// candidate reviewers and keyword vocabulary. Shared memoizes the four
 // expensive per-request computations — semantic keyword expansion,
-// author-identity verification, and profile assembly — behind
-// concurrency-safe bounded LRU caches so overlapping work is done once
-// across requests instead of once per request.
+// author-identity verification, profile assembly, and per-(source ×
+// keyword) interest retrieval — behind concurrency-safe bounded LRU
+// caches so overlapping work is done once across requests instead of
+// once per request. Each cache can carry its own TTL (stale scholarly
+// data ages out on its own) and the whole set can be snapshotted to
+// disk and restored on boot (see snapshot.go), so the warmth survives
+// process restarts.
 package core
 
 import (
@@ -12,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"minaret/internal/cache"
 	"minaret/internal/nameres"
@@ -28,8 +33,11 @@ const (
 	cacheRetrievals = "retrievals"
 )
 
-// SharedOptions sizes the cross-request caches; zero values select the
-// documented defaults.
+// SharedOptions sizes the cross-request caches and bounds their entry
+// lifetimes; zero values select the documented defaults (TTL zero =
+// entries never expire). Distinct TTLs per cache reflect how fast each
+// kind of scholarly data goes stale: a verified identity outlives a
+// citation count.
 type SharedOptions struct {
 	// ProfileEntries bounds the assembled-profile cache. Default 4096.
 	ProfileEntries int
@@ -40,6 +48,59 @@ type SharedOptions struct {
 	// RetrievalEntries bounds the interest-retrieval memo (one entry per
 	// expanded keyword × source). Default 8192.
 	RetrievalEntries int
+
+	// ProfileTTL bounds an assembled profile's lifetime. 0 = no expiry.
+	ProfileTTL time.Duration
+	// VerifyTTL bounds a verification result's lifetime. 0 = no expiry.
+	VerifyTTL time.Duration
+	// ExpansionTTL bounds a keyword expansion's lifetime. 0 = no expiry.
+	ExpansionTTL time.Duration
+	// RetrievalTTL bounds a retrieval hit list's lifetime. 0 = no expiry.
+	RetrievalTTL time.Duration
+
+	// Clock injects the time source used for TTL stamping and expiry;
+	// nil means time.Now. Tests pass a fake clock.
+	Clock func() time.Time
+
+	// SnapshotScope is an opaque identifier of the data universe the
+	// caches are filled from (for the binaries: the corpus seed/size or
+	// the external sources URL). It is written into snapshots and
+	// checked on restore: a snapshot whose scope differs is rejected
+	// whole, so a warm start can never serve entries extracted from a
+	// different corpus. Empty disables the check.
+	SnapshotScope string
+}
+
+// Validate rejects options NewShared would have to guess at: negative
+// sizes and negative TTLs. The zero value is always valid.
+func (o SharedOptions) Validate() error {
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"ProfileEntries", o.ProfileEntries},
+		{"VerifyEntries", o.VerifyEntries},
+		{"ExpansionEntries", o.ExpansionEntries},
+		{"RetrievalEntries", o.RetrievalEntries},
+	} {
+		if c.n < 0 {
+			return fmt.Errorf("shared cache: %s %d is negative", c.name, c.n)
+		}
+	}
+	for _, c := range []struct {
+		name string
+		d    time.Duration
+	}{
+		{"ProfileTTL", o.ProfileTTL},
+		{"VerifyTTL", o.VerifyTTL},
+		{"ExpansionTTL", o.ExpansionTTL},
+		{"RetrievalTTL", o.RetrievalTTL},
+	} {
+		if c.d < 0 {
+			return fmt.Errorf("shared cache: %s %v is negative (0 disables expiry)", c.name, c.d)
+		}
+	}
+	return nil
 }
 
 func (o SharedOptions) withDefaults() SharedOptions {
@@ -54,6 +115,9 @@ func (o SharedOptions) withDefaults() SharedOptions {
 	}
 	if o.RetrievalEntries == 0 {
 		o.RetrievalEntries = 8192
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
 	}
 	return o
 }
@@ -74,16 +138,30 @@ type Shared struct {
 	// keyword sets, and without this memo every manuscript re-queries
 	// every source for the shared keywords.
 	retrievals *cache.Map[string, []sources.Hit]
+	// now is the injected time source (SharedOptions.Clock), also used
+	// to stamp snapshots so file metadata and entry deadlines share one
+	// clock.
+	now func() time.Time
+	// scope is SharedOptions.SnapshotScope (see there).
+	scope string
 }
 
-// NewShared builds the cross-request cache set.
+// NewShared builds the cross-request cache set. It panics when opts
+// fail Validate; callers turning user input into options should call
+// Validate themselves first for a recoverable error.
 func NewShared(opts SharedOptions) *Shared {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	o := opts.withDefaults()
+	clock := cache.WithClock(o.Clock)
 	return &Shared{
-		profiles:   cache.NewNamed[string, *profile.Profile](cacheProfiles, o.ProfileEntries),
-		verifies:   cache.NewNamed[string, *nameres.Result](cacheVerifies, o.VerifyEntries),
-		expansions: cache.NewNamed[string, []ontology.MergedExpansion](cacheExpansions, o.ExpansionEntries),
-		retrievals: cache.NewNamed[string, []sources.Hit](cacheRetrievals, o.RetrievalEntries),
+		profiles:   cache.NewNamed[string, *profile.Profile](cacheProfiles, o.ProfileEntries, cache.WithTTL(o.ProfileTTL), clock),
+		verifies:   cache.NewNamed[string, *nameres.Result](cacheVerifies, o.VerifyEntries, cache.WithTTL(o.VerifyTTL), clock),
+		expansions: cache.NewNamed[string, []ontology.MergedExpansion](cacheExpansions, o.ExpansionEntries, cache.WithTTL(o.ExpansionTTL), clock),
+		retrievals: cache.NewNamed[string, []sources.Hit](cacheRetrievals, o.RetrievalEntries, cache.WithTTL(o.RetrievalTTL), clock),
+		now:        o.Clock,
+		scope:      o.SnapshotScope,
 	}
 }
 
@@ -142,6 +220,38 @@ func (s *Shared) Clear() {
 	s.verifies.Clear()
 	s.expansions.Clear()
 	s.retrievals.Clear()
+}
+
+// ClearNamed drops one cache by name — "profiles", "verifies",
+// "expansions" or "retrievals" — or every cache for "all" / "". It
+// backs the API's selective invalidation: dropping just the profile
+// cache refreshes citation counts without re-running identity
+// verification for the whole venue.
+func (s *Shared) ClearNamed(name string) error {
+	switch name {
+	case "", "all":
+		s.Clear()
+	case cacheProfiles:
+		s.profiles.Clear()
+	case cacheVerifies:
+		s.verifies.Clear()
+	case cacheExpansions:
+		s.expansions.Clear()
+	case cacheRetrievals:
+		s.retrievals.Clear()
+	default:
+		return fmt.Errorf("unknown cache %q (want profiles|verifies|expansions|retrievals|all)", name)
+	}
+	return nil
+}
+
+// StartJanitor launches one background goroutine that sweeps expired
+// entries out of every cache each interval, so memory is reclaimed even
+// for keys nobody asks for again. The returned stop is idempotent and
+// blocks until the goroutine exits. Pointless (but harmless) when no
+// TTL is configured.
+func (s *Shared) StartJanitor(interval time.Duration) (stop func()) {
+	return cache.Janitor(interval, s.profiles, s.verifies, s.expansions, s.retrievals)
 }
 
 // identityKey canonicalizes a resolved author identity — the site-id

@@ -1,0 +1,374 @@
+// Snapshot persistence for the Shared cache set. MINARET's on-the-fly
+// design re-extracts everything from the scholarly web, so a process
+// restart used to mean a stone-cold cache and minutes of re-scraping a
+// venue's candidate pool. A snapshot is a versioned, checksummed dump of
+// the four caches' entries — values JSON-encoded per entry, absolute
+// expiry deadlines preserved — written periodically and on shutdown,
+// and loaded on boot for a warm start. Entries that expired while the
+// process was down, and entries that fail to decode, are dropped
+// individually and counted; a corrupt or incompatible file rejects as a
+// whole without touching the caches.
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"minaret/internal/cache"
+	"minaret/internal/nameres"
+	"minaret/internal/ontology"
+	"minaret/internal/profile"
+	"minaret/internal/sources"
+)
+
+// Snapshot envelope: an 8-byte magic, a version, the payload length and
+// a CRC of the payload, then the JSON payload itself. The checksum
+// turns a torn write (power loss mid-save) into a clean load error
+// instead of a half-restored cache.
+const (
+	snapshotMagic   = "MINSNAP\x00"
+	snapshotVersion = 1
+	// maxSnapshotPayload caps how much a Restore will read: a corrupted
+	// length field must not make the server try to allocate petabytes.
+	maxSnapshotPayload = 1 << 30
+)
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// current CPUs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// snapEntry is one cache entry on the wire: the key, the JSON-encoded
+// value, and the absolute expiry deadline (absent = never expires).
+// Deadlines survive the restart, so a restored entry expires exactly
+// when the previous process would have expired it.
+type snapEntry struct {
+	Key     string          `json:"k"`
+	Val     json.RawMessage `json:"v"`
+	Expires *time.Time      `json:"exp,omitempty"`
+}
+
+// snapshotPayload is the JSON body inside the envelope.
+type snapshotPayload struct {
+	SavedAt time.Time `json:"saved_at"`
+	// Scope identifies the data universe the entries were extracted
+	// from (SharedOptions.SnapshotScope); restore rejects a mismatch so
+	// caches filled from one corpus are never served against another.
+	Scope  string                 `json:"scope,omitempty"`
+	Caches map[string][]snapEntry `json:"caches"`
+}
+
+// CacheRestore counts one cache's restore outcome.
+type CacheRestore struct {
+	// Loaded entries went live.
+	Loaded int `json:"loaded"`
+	// Expired entries had deadlines that passed while the snapshot was
+	// on disk; they are dropped, never served.
+	Expired int `json:"expired"`
+	// Corrupt entries failed to decode and were skipped.
+	Corrupt int `json:"corrupt"`
+	// Overflow entries did not fit the (possibly re-sized) cache; the
+	// most recently used survive.
+	Overflow int `json:"overflow,omitempty"`
+}
+
+func (c *CacheRestore) add(o CacheRestore) {
+	c.Loaded += o.Loaded
+	c.Expired += o.Expired
+	c.Corrupt += o.Corrupt
+	c.Overflow += o.Overflow
+}
+
+// RestoreStats reports what a Restore did, per cache and in total.
+type RestoreStats struct {
+	// SavedAt is when the snapshot was written.
+	SavedAt time.Time               `json:"saved_at"`
+	Caches  map[string]CacheRestore `json:"caches"`
+	// Totals across all caches; Loaded+Expired+Corrupt+Overflow
+	// accounts for every entry the snapshot held.
+	Loaded   int `json:"loaded"`
+	Expired  int `json:"expired"`
+	Corrupt  int `json:"corrupt"`
+	Overflow int `json:"overflow,omitempty"`
+}
+
+// Entry-level codecs. Values are encoded one-by-one (MarshalBinary
+// style) rather than as one blob, so a single undecodable entry —
+// a hand-edited file, a field type change — costs that entry alone,
+// not the whole snapshot.
+
+func marshalProfile(p *profile.Profile) ([]byte, error) { return json.Marshal(p) }
+func marshalVerify(r *nameres.Result) ([]byte, error)   { return json.Marshal(r) }
+func marshalExpansion(e []ontology.MergedExpansion) ([]byte, error) {
+	return json.Marshal(e)
+}
+func marshalHits(h []sources.Hit) ([]byte, error) { return json.Marshal(h) }
+
+func unmarshalProfile(b []byte) (*profile.Profile, error) {
+	var p *profile.Profile
+	if err := json.Unmarshal(b, &p); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("null profile")
+	}
+	return p, nil
+}
+
+func unmarshalVerify(b []byte) (*nameres.Result, error) {
+	var r *nameres.Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, err
+	}
+	if r == nil {
+		return nil, fmt.Errorf("null verify result")
+	}
+	return r, nil
+}
+
+func unmarshalExpansion(b []byte) ([]ontology.MergedExpansion, error) {
+	var e []ontology.MergedExpansion
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func unmarshalHits(b []byte) ([]sources.Hit, error) {
+	var h []sources.Hit
+	if err := json.Unmarshal(b, &h); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// exportEntries dumps one cache's live entries in recency order.
+func exportEntries[V any](m *cache.Map[string, V], enc func(V) ([]byte, error)) ([]snapEntry, error) {
+	live := m.Export()
+	out := make([]snapEntry, 0, len(live))
+	for _, e := range live {
+		b, err := enc(e.Val)
+		if err != nil {
+			return nil, fmt.Errorf("encode %q: %w", e.Key, err)
+		}
+		se := snapEntry{Key: e.Key, Val: b}
+		if !e.Expires.IsZero() {
+			exp := e.Expires
+			se.Expires = &exp
+		}
+		out = append(out, se)
+	}
+	return out, nil
+}
+
+// restoreEntries decodes and imports one cache's entries, counting
+// per-entry drops instead of failing the restore.
+func restoreEntries[V any](m *cache.Map[string, V], in []snapEntry, dec func([]byte) (V, error)) CacheRestore {
+	var st CacheRestore
+	kept := make([]cache.Entry[string, V], 0, len(in))
+	for _, se := range in {
+		v, err := dec(se.Val)
+		if err != nil {
+			st.Corrupt++
+			continue
+		}
+		e := cache.Entry[string, V]{Key: se.Key, Val: v}
+		if se.Expires != nil {
+			e.Expires = *se.Expires
+		}
+		kept = append(kept, e)
+	}
+	st.Loaded, st.Expired, st.Overflow = m.Import(kept)
+	return st
+}
+
+// Snapshot writes a versioned, checksummed dump of the cache contents
+// to w. Each cache is exported atomically but the caches are dumped one
+// after another, so a snapshot taken under live traffic is a per-cache
+// (not cross-cache) consistent view — exactly as consequential as two
+// requests racing, i.e. not at all.
+func (s *Shared) Snapshot(w io.Writer) error {
+	profiles, err := exportEntries(s.profiles, marshalProfile)
+	if err != nil {
+		return fmt.Errorf("snapshot profiles: %w", err)
+	}
+	verifies, err := exportEntries(s.verifies, marshalVerify)
+	if err != nil {
+		return fmt.Errorf("snapshot verifies: %w", err)
+	}
+	expansions, err := exportEntries(s.expansions, marshalExpansion)
+	if err != nil {
+		return fmt.Errorf("snapshot expansions: %w", err)
+	}
+	retrievals, err := exportEntries(s.retrievals, marshalHits)
+	if err != nil {
+		return fmt.Errorf("snapshot retrievals: %w", err)
+	}
+	payload, err := json.Marshal(snapshotPayload{
+		SavedAt: s.now().UTC(),
+		Scope:   s.scope,
+		Caches: map[string][]snapEntry{
+			cacheProfiles:   profiles,
+			cacheVerifies:   verifies,
+			cacheExpansions: expansions,
+			cacheRetrievals: retrievals,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("snapshot encode: %w", err)
+	}
+
+	var header [24]byte
+	copy(header[:8], snapshotMagic)
+	binary.BigEndian.PutUint32(header[8:12], snapshotVersion)
+	binary.BigEndian.PutUint64(header[12:20], uint64(len(payload)))
+	binary.BigEndian.PutUint32(header[20:24], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// Restore loads a snapshot written by Snapshot into the caches,
+// returning what it loaded and dropped. A file with a bad magic,
+// unsupported version, wrong checksum, truncated payload or mismatched
+// scope (see SharedOptions.SnapshotScope) is rejected as a whole — the
+// error is returned and the caches are untouched.
+// Individually undecodable or expired entries are dropped and counted.
+// Restored entries land on top of whatever the caches already hold.
+func (s *Shared) Restore(r io.Reader) (RestoreStats, error) {
+	var stats RestoreStats
+	var header [24]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return stats, fmt.Errorf("snapshot header: %w", err)
+	}
+	if string(header[:8]) != snapshotMagic {
+		return stats, fmt.Errorf("not a minaret cache snapshot (bad magic)")
+	}
+	if v := binary.BigEndian.Uint32(header[8:12]); v != snapshotVersion {
+		return stats, fmt.Errorf("snapshot version %d unsupported (want %d)", v, snapshotVersion)
+	}
+	n := binary.BigEndian.Uint64(header[12:20])
+	if n > maxSnapshotPayload {
+		return stats, fmt.Errorf("snapshot payload of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return stats, fmt.Errorf("snapshot payload: %w", err)
+	}
+	if sum := crc32.Checksum(payload, crcTable); sum != binary.BigEndian.Uint32(header[20:24]) {
+		return stats, fmt.Errorf("snapshot checksum mismatch (file corrupt)")
+	}
+	var p snapshotPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return stats, fmt.Errorf("snapshot decode: %w", err)
+	}
+	if s.scope != "" && p.Scope != "" && p.Scope != s.scope {
+		// Entries extracted from one corpus are wrong answers against
+		// another; a clean cold start beats silently stale warmth.
+		return stats, fmt.Errorf("snapshot scope %q does not match %q", p.Scope, s.scope)
+	}
+
+	stats.SavedAt = p.SavedAt
+	stats.Caches = map[string]CacheRestore{
+		cacheProfiles:   restoreEntries(s.profiles, p.Caches[cacheProfiles], unmarshalProfile),
+		cacheVerifies:   restoreEntries(s.verifies, p.Caches[cacheVerifies], unmarshalVerify),
+		cacheExpansions: restoreEntries(s.expansions, p.Caches[cacheExpansions], unmarshalExpansion),
+		cacheRetrievals: restoreEntries(s.retrievals, p.Caches[cacheRetrievals], unmarshalHits),
+	}
+	var tot CacheRestore
+	for _, c := range stats.Caches {
+		tot.add(c)
+	}
+	stats.Loaded, stats.Expired, stats.Corrupt, stats.Overflow =
+		tot.Loaded, tot.Expired, tot.Corrupt, tot.Overflow
+	return stats, nil
+}
+
+// SaveSnapshot writes the snapshot to path atomically: a temp file in
+// the same directory is renamed over the target, so a crash mid-save
+// leaves the previous snapshot intact, never a half-written one.
+func (s *Shared) SaveSnapshot(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.Snapshot(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadSnapshot restores from the file at path. A missing file is not an
+// error — it is the normal cold start — and reports zero stats with
+// ok=false; any other failure (corrupt, truncated, wrong version) is
+// returned.
+func (s *Shared) LoadSnapshot(path string) (stats RestoreStats, ok bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return RestoreStats{}, false, nil
+	}
+	if err != nil {
+		return RestoreStats{}, false, err
+	}
+	defer f.Close()
+	stats, err = s.Restore(f)
+	if err != nil {
+		return RestoreStats{}, false, fmt.Errorf("restore %s: %w", path, err)
+	}
+	return stats, true, nil
+}
+
+// StartSnapshotter launches a background goroutine that saves the
+// caches to path every interval, and once more when stopped — the
+// save-on-shutdown. Save failures are reported through logf (nil
+// discards them) and retried next tick. The returned stop is idempotent,
+// blocks until the goroutine exits, and returns the final save's error.
+func (s *Shared) StartSnapshotter(path string, interval time.Duration, logf func(format string, args ...any)) (stop func() error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	ticker := time.NewTicker(interval)
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		for {
+			select {
+			case <-ticker.C:
+				if err := s.SaveSnapshot(path); err != nil {
+					logf("cache snapshot save: %v", err)
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	var finalErr error
+	return func() error {
+		once.Do(func() {
+			ticker.Stop()
+			close(done)
+			<-finished
+			finalErr = s.SaveSnapshot(path)
+			if finalErr != nil {
+				logf("cache snapshot final save: %v", finalErr)
+			}
+		})
+		return finalErr
+	}
+}

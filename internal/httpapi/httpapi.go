@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 
@@ -78,12 +79,30 @@ type Server struct {
 	// recommend and batch request runs through it, so concurrent
 	// traffic amortizes expansion, verification and profile assembly.
 	shared *core.Shared
+	// restore, when non-nil, is the boot-time snapshot restore outcome,
+	// reported in /api/stats' shared block.
+	restore *core.RestoreStats
 }
 
 // SetFetcher wires the shared fetch client so the API can expose cache
 // invalidation: the framework serves "up-to-date information" by design,
 // and an editor can force a fresh extraction for an in-flight decision.
 func (s *Server) SetFetcher(f *fetch.Client) { s.fetcher = f }
+
+// SetShared replaces the server's cross-request cache set — the binary
+// builds one with per-cache TTLs and a snapshot warm-start, then hands
+// it over before serving. restore (may be nil) is the boot restore
+// outcome to surface in /api/stats. Call before Handler sees traffic.
+func (s *Server) SetShared(sh *core.Shared, restore *core.RestoreStats) {
+	if sh != nil {
+		s.shared = sh
+	}
+	s.restore = restore
+}
+
+// Shared returns the server-wide cross-request cache set, so the
+// owning binary can snapshot it on shutdown.
+func (s *Server) Shared() *core.Shared { return s.shared }
 
 // New builds a Server. base supplies defaults that per-request options
 // override; horizonYear anchors recency and COI windows.
@@ -246,20 +265,52 @@ func (s *Server) handleExpand(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.ont.Expand(kw, opts))
 }
 
+// InvalidateRequest is the optional POST /api/invalidate-cache body.
+// An empty body (or "all") drops everything — the fetch cache plus all
+// four shared caches. Naming one shared cache drops just it and leaves
+// the fetch cache alone: selective invalidation refreshes one kind of
+// derived data (say, profiles with stale citation counts) without
+// forcing the whole venue to re-scrape.
+type InvalidateRequest struct {
+	// Cache is "profiles", "verifies", "expansions", "retrievals" or
+	// "all" (the default).
+	Cache string `json:"cache,omitempty"`
+}
+
 func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST required"})
 		return
 	}
-	if s.fetcher == nil {
-		writeJSON(w, http.StatusNotImplemented, ErrorResponse{Error: "no fetch client wired"})
-		return
+	var req InvalidateRequest
+	if r.Body != nil {
+		// An empty body means "all"; a present body must parse.
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
+			return
+		}
 	}
-	s.fetcher.InvalidateCache()
-	// The derived caches hold parsed views of the fetched pages; a
-	// forced fresh extraction must drop them too.
-	s.shared.Clear()
-	writeJSON(w, http.StatusOK, map[string]string{"status": "cache invalidated"})
+	switch req.Cache {
+	case "", "all":
+		// The derived caches hold parsed views of the fetched pages; a
+		// forced fresh extraction must drop them too. Clearing them is
+		// useful even embedded without a fetch client, so that case
+		// succeeds and reports the fetch layer as skipped.
+		s.shared.Clear()
+		resp := map[string]string{"status": "cache invalidated", "cache": "all"}
+		if s.fetcher != nil {
+			s.fetcher.InvalidateCache()
+		} else {
+			resp["fetch"] = "skipped: no fetch client wired"
+		}
+		writeJSON(w, http.StatusOK, resp)
+	default:
+		if err := s.shared.ClearNamed(req.Cache); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "cache invalidated", "cache": req.Cache})
+	}
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

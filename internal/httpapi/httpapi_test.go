@@ -430,8 +430,8 @@ func TestInvalidateCacheEndpoint(t *testing.T) {
 }
 
 func TestInvalidateCacheUnwired(t *testing.T) {
-	fx := newAPIFixture(t)
-	// A server without a fetcher answers 501.
+	// A server without a fetch client still clears the shared caches
+	// and reports the fetch layer as skipped.
 	o := ontology.Default()
 	f := fetch.New(fetch.Options{})
 	reg := sources.DefaultRegistry(f, sources.SingleHost("http://127.0.0.1:1"))
@@ -439,11 +439,15 @@ func TestInvalidateCacheUnwired(t *testing.T) {
 	srv := httptest.NewServer(bare.Handler())
 	defer srv.Close()
 	resp := postJSON(t, srv.URL+"/api/invalidate-cache", struct{}{})
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotImplemented {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("unwired invalidate = %d", resp.StatusCode)
 	}
-	_ = fx
+	var body map[string]string
+	json.NewDecoder(resp.Body).Decode(&body)
+	if !strings.Contains(body["fetch"], "skipped") {
+		t.Fatalf("fetch layer not reported skipped: %+v", body)
+	}
 }
 
 func TestConferenceModeViaAPI(t *testing.T) {

@@ -108,16 +108,27 @@ func (t *telemetry) instrument(route string, h http.HandlerFunc) http.HandlerFun
 	}
 }
 
+// SharedBlock is the "shared" object of /api/stats: the per-cache
+// counters (cumulative since start; per-batch deltas appear in each
+// /v1/batch response instead) plus, when the server warm-started from a
+// snapshot, what the boot-time restore loaded and dropped.
+type SharedBlock struct {
+	core.SharedStats
+	// Restore is present only when the server restored a snapshot at
+	// boot: entries loaded, dropped as expired while the process was
+	// down, and dropped as corrupt.
+	Restore *core.RestoreStats `json:"restore,omitempty"`
+}
+
 // StatsResponse is the /api/stats payload.
 type StatsResponse struct {
 	Routes       map[string]routeStats `json:"routes"`
 	BucketBounds []string              `json:"bucket_bounds"`
 	Fetch        *fetch.Stats          `json:"fetch,omitempty"`
 	// Shared reports the server-wide cross-request caches (profiles,
-	// verifies, expansions, retrievals) — cumulative since start; the
-	// per-batch delta appears in each /v1/batch response instead.
-	Shared     *core.SharedStats `json:"shared,omitempty"`
-	RouteOrder []string          `json:"route_order"`
+	// verifies, expansions, retrievals).
+	Shared     *SharedBlock `json:"shared,omitempty"`
+	RouteOrder []string     `json:"route_order"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -134,8 +145,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Fetch = &st
 	}
 	if s.shared != nil {
-		sh := s.shared.Stats()
-		resp.Shared = &sh
+		resp.Shared = &SharedBlock{SharedStats: s.shared.Stats(), Restore: s.restore}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,287 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// sharedFixture is an API fixture whose core.Shared the test controls —
+// the shape the binaries use: build the cache set (TTLs, snapshot
+// restore), then hand it to the server with SetShared.
+type sharedFixture struct {
+	corpus   *scholarly.Corpus
+	registry *sources.Registry
+	ont      *ontology.Ontology
+	horizon  int
+	webURL   string
+	srv      *Server
+	api      *httptest.Server
+}
+
+// newSharedFixture boots one simulated scholarly web and an API server
+// wired to sh. Call restart to simulate a process restart: a brand-new
+// Server (cold telemetry, cold engines) over the same scholarly web.
+func newSharedFixture(t *testing.T, sh *core.Shared, restore *core.RestoreStats) *sharedFixture {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 77, NumScholars: 300, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	web := simweb.New(corpus, simweb.Config{})
+	webSrv := httptest.NewServer(web.Mux())
+	t.Cleanup(webSrv.Close)
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	registry := sources.DefaultRegistry(f, sources.SingleHost(webSrv.URL))
+	fx := &sharedFixture{corpus: corpus, registry: registry, ont: o, horizon: corpus.HorizonYear, webURL: webSrv.URL}
+	fx.start(t, sh, restore, f)
+	return fx
+}
+
+func (fx *sharedFixture) start(t *testing.T, sh *core.Shared, restore *core.RestoreStats, f *fetch.Client) {
+	t.Helper()
+	fx.srv = New(fx.registry, fx.ont, core.Config{TopK: 5, MaxCandidates: 40}, fx.horizon)
+	if f != nil {
+		fx.srv.SetFetcher(f)
+	}
+	fx.srv.SetShared(sh, restore)
+	fx.api = httptest.NewServer(fx.srv.Handler())
+	t.Cleanup(fx.api.Close)
+}
+
+// restart replaces the running server with a fresh one over the same
+// scholarly web, backed by sh — everything a new process would rebuild
+// is rebuilt; only the injected cache set carries state over.
+func (fx *sharedFixture) restart(t *testing.T, sh *core.Shared, restore *core.RestoreStats) {
+	t.Helper()
+	fx.api.Close()
+	// A fresh fetch client too: the HTTP-layer cache must not be what
+	// makes the warm start warm.
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	fx.registry = sources.DefaultRegistry(f, sources.SingleHost(fx.webURL))
+	fx.start(t, sh, restore, f)
+}
+
+// batchBody builds a small batch of distinct corpus manuscripts.
+func (fx *sharedFixture) batchBody(t *testing.T, n int) BatchRequest {
+	t.Helper()
+	req := BatchRequest{Workers: 2, RecommendOptions: RecommendOptions{TopK: 3}}
+	for i := range fx.corpus.Scholars {
+		s := &fx.corpus.Scholars[i]
+		if !s.Presence.GoogleScholar || len(s.Publications) < 5 || len(s.Interests) == 0 {
+			continue
+		}
+		req.Manuscripts = append(req.Manuscripts, core.Manuscript{
+			Title:    "Warm Start " + s.Name.Full(),
+			Keywords: s.Interests[:1],
+			Authors: []core.Author{{
+				Name: s.Name.Full(), Affiliation: s.CurrentAffiliation().Institution,
+			}},
+		})
+		if len(req.Manuscripts) == n {
+			return req
+		}
+	}
+	t.Fatalf("corpus yielded only %d suitable manuscripts", len(req.Manuscripts))
+	return req
+}
+
+func runBatch(t *testing.T, url string, req BatchRequest) BatchResponse {
+	t.Helper()
+	resp := postJSON(t, url+"/v1/batch", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d", resp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Succeeded != len(req.Manuscripts) {
+		t.Fatalf("batch: %d/%d succeeded (%+v)", out.Succeeded, len(req.Manuscripts), out.Items)
+	}
+	return out
+}
+
+// TestBatchWarmStartAcrossRestart is the acceptance scenario: a server
+// is "killed" after saving a cache snapshot, restarted with the
+// snapshot restored, and its first post-restart /v1/batch is served
+// with nonzero shared-cache hits.
+func TestBatchWarmStartAcrossRestart(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "cache.snap")
+
+	sh := core.NewShared(core.SharedOptions{})
+	fx := newSharedFixture(t, sh, nil)
+	req := fx.batchBody(t, 3)
+
+	cold := runBatch(t, fx.api.URL, req)
+	if cold.Cache.Retrievals.Misses == 0 {
+		t.Fatalf("cold batch hit everything — fixture broken: %+v", cold.Cache)
+	}
+	if err := sh.SaveSnapshot(snap); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the server; boot a new one that warm-starts from the file.
+	sh2 := core.NewShared(core.SharedOptions{})
+	stats, ok, err := sh2.LoadSnapshot(snap)
+	if err != nil || !ok {
+		t.Fatalf("warm start: ok=%v err=%v", ok, err)
+	}
+	if stats.Loaded == 0 {
+		t.Fatal("snapshot restored nothing")
+	}
+	fx.restart(t, sh2, &stats)
+
+	warm := runBatch(t, fx.api.URL, req)
+	hits := warm.Cache.Profiles.Hits + warm.Cache.Verifies.Hits +
+		warm.Cache.Expansions.Hits + warm.Cache.Retrievals.Hits
+	if hits == 0 {
+		t.Fatalf("first post-restart batch had zero shared-cache hits: %+v", warm.Cache)
+	}
+	if warm.Cache.Retrievals.Hits == 0 {
+		t.Fatalf("retrieval memo cold after restart: %+v", warm.Cache.Retrievals)
+	}
+
+	// The boot-time restore is visible to operators in /api/stats.
+	resp, err := http.Get(fx.api.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Shared == nil || st.Shared.Restore == nil {
+		t.Fatal("/api/stats missing shared restore block after warm start")
+	}
+	if st.Shared.Restore.Loaded != stats.Loaded {
+		t.Fatalf("restore block loaded = %d, want %d", st.Shared.Restore.Loaded, stats.Loaded)
+	}
+}
+
+// TestSharedTTLExpiresAcrossRequests drives TTL expiry through the API:
+// after the fake clock passes the retrieval TTL, the next identical
+// batch re-misses instead of serving stale hit lists.
+func TestSharedTTLExpiresAcrossRequests(t *testing.T) {
+	clk := struct {
+		mu  sync.Mutex
+		now time.Time
+	}{now: time.Date(2019, 3, 26, 12, 0, 0, 0, time.UTC)}
+	now := func() time.Time {
+		clk.mu.Lock()
+		defer clk.mu.Unlock()
+		return clk.now
+	}
+
+	sh := core.NewShared(core.SharedOptions{RetrievalTTL: time.Hour, Clock: now})
+	fx := newSharedFixture(t, sh, nil)
+	req := fx.batchBody(t, 2)
+
+	runBatch(t, fx.api.URL, req)
+	warm := runBatch(t, fx.api.URL, req)
+	if warm.Cache.Retrievals.Hits == 0 {
+		t.Fatalf("identical batch within TTL missed: %+v", warm.Cache.Retrievals)
+	}
+
+	clk.mu.Lock()
+	clk.now = clk.now.Add(2 * time.Hour)
+	clk.mu.Unlock()
+
+	stale := runBatch(t, fx.api.URL, req)
+	// Every pre-advance entry this batch touched was dropped as expired
+	// and recomputed (a fresh miss); hits may still occur, but only on
+	// entries recomputed within this batch. Zero expirations would mean
+	// stale hit lists were served.
+	r := stale.Cache.Retrievals
+	if r.Expired == 0 {
+		t.Fatalf("no entries expired after the TTL passed: %+v", r)
+	}
+	if r.Misses < r.Expired {
+		t.Fatalf("expired entries not recomputed: %+v", r)
+	}
+}
+
+func TestInvalidateSelective(t *testing.T) {
+	sh := core.NewShared(core.SharedOptions{})
+	fx := newSharedFixture(t, sh, nil)
+	req := fx.batchBody(t, 2)
+	runBatch(t, fx.api.URL, req)
+
+	before := sh.Stats()
+	if before.Retrievals.Size == 0 || before.Profiles.Size == 0 {
+		t.Fatalf("batch populated nothing: %+v", before)
+	}
+
+	resp := postJSON(t, fx.api.URL+"/api/invalidate-cache", InvalidateRequest{Cache: "retrievals"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("selective invalidate = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	json.NewDecoder(resp.Body).Decode(&body)
+	if body["cache"] != "retrievals" {
+		t.Fatalf("response = %+v", body)
+	}
+
+	after := sh.Stats()
+	if after.Retrievals.Size != 0 {
+		t.Fatal("retrievals not dropped")
+	}
+	if after.Profiles.Size != before.Profiles.Size || after.Verifies.Size != before.Verifies.Size {
+		t.Fatalf("selective invalidation touched other caches: before %+v after %+v", before, after)
+	}
+}
+
+func TestInvalidateUnknownCache(t *testing.T) {
+	sh := core.NewShared(core.SharedOptions{})
+	fx := newSharedFixture(t, sh, nil)
+	resp := postJSON(t, fx.api.URL+"/api/invalidate-cache", InvalidateRequest{Cache: "bogus"})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown cache = %d, want 400", resp.StatusCode)
+	}
+	var e ErrorResponse
+	json.NewDecoder(resp.Body).Decode(&e)
+	if !strings.Contains(e.Error, "bogus") {
+		t.Fatalf("error = %q", e.Error)
+	}
+}
+
+// TestInvalidateEmptyBodyStillMeansAll pins the documented default: a
+// bare POST (no body) drops the fetch cache and every shared cache.
+func TestInvalidateEmptyBodyStillMeansAll(t *testing.T) {
+	sh := core.NewShared(core.SharedOptions{})
+	fx := newSharedFixture(t, sh, nil)
+	req := fx.batchBody(t, 2)
+	runBatch(t, fx.api.URL, req)
+	if sh.Stats().Retrievals.Size == 0 {
+		t.Fatal("batch populated nothing")
+	}
+
+	resp, err := http.Post(fx.api.URL+"/api/invalidate-cache", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bare invalidate = %d", resp.StatusCode)
+	}
+	st := sh.Stats()
+	if st.Profiles.Size+st.Verifies.Size+st.Expansions.Size+st.Retrievals.Size != 0 {
+		t.Fatalf("full invalidation left entries: %+v", st)
+	}
+}
