@@ -27,11 +27,13 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' . ./internal/core
 
-# CI gate: the batch pipeline plus the indexed retrieval clusterer (a
-# regression there reverts clustering to the quadratic scan).
+# CI gate: the batch pipeline, the indexed retrieval clusterer (a
+# regression there reverts clustering to the quadratic scan), and the
+# async job queue end to end over a warm Shared.
 bench-smoke:
 	$(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -run '^$$' .
 	$(GO) test -bench=BenchmarkRetrieveCluster -benchtime=1x -run '^$$' ./internal/core
+	$(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -run '^$$' .
 
 server:
 	$(GO) run ./cmd/minaret-server

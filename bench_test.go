@@ -15,6 +15,7 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"minaret/internal/assign"
 	"minaret/internal/baselines"
@@ -23,6 +24,7 @@ import (
 	"minaret/internal/core"
 	"minaret/internal/experiments"
 	"minaret/internal/fetch"
+	"minaret/internal/jobs"
 	"minaret/internal/keywords"
 	"minaret/internal/nameres"
 	"minaret/internal/ontology"
@@ -594,4 +596,84 @@ func BenchmarkHIndex(b *testing.B) {
 		id := scholarly.ScholarID(i % len(e.Corpus.Scholars))
 		_ = e.Corpus.HIndex(id)
 	}
+}
+
+// BenchmarkJobThroughput: N overlapping jobs drained through one
+// jobs.Queue over a warm Shared, against the same N submissions
+// processed as serial batch calls (the /v1/batch shape). The queue's
+// worker pool overlaps jobs, so the venue-scale workload should beat
+// serial batches while the shared caches keep per-item cost flat.
+func BenchmarkJobThroughput(b *testing.B) {
+	e := env(b)
+	items := workload.NewGenerator(e.Corpus, e.Ont, workload.Config{
+		Seed: 9200, NumManuscripts: 6,
+	}).Generate()
+	if len(items) < 6 {
+		b.Fatalf("workload generated %d manuscripts", len(items))
+	}
+	pool := make([]core.Manuscript, len(items))
+	for i, it := range items {
+		pool[i] = it.Manuscript
+	}
+	// 4 jobs of 3 manuscripts each, overlapping windows into the pool —
+	// the venue-queue shape the shared caches amortize.
+	const numJobs = 4
+	specs := make([][]core.Manuscript, numJobs)
+	for j := range specs {
+		specs[j] = []core.Manuscript{pool[j], pool[(j+1)%len(pool)], pool[(j+2)%len(pool)]}
+	}
+	cfg := core.Config{TopK: 10, MaxCandidates: 60}
+	cfg.Filter.COI = coi.DefaultConfig(e.Corpus.HorizonYear)
+	cfg.Ranking.HorizonYear = e.Corpus.HorizonYear
+	ctx := context.Background()
+
+	shared := core.NewShared(core.SharedOptions{})
+	eng := core.NewWithShared(e.Registry, e.Ont, cfg, shared)
+	// Warm both the fetch cache and the shared caches once.
+	warm := batch.New(eng, batch.Options{Workers: 4})
+	if sum := warm.Process(ctx, pool); sum.Succeeded != len(pool) {
+		b.Fatalf("warmup succeeded %d/%d", sum.Succeeded, len(pool))
+	}
+
+	b.Run("serial-batches", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, ms := range specs {
+				proc := batch.New(eng, batch.Options{Workers: 4})
+				if sum := proc.Process(ctx, ms); sum.Succeeded != len(ms) {
+					b.Fatalf("batch succeeded %d/%d", sum.Succeeded, len(ms))
+				}
+			}
+		}
+	})
+	b.Run("jobs-queue", func(b *testing.B) {
+		run := func(ctx context.Context, spec jobs.Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+			proc := batch.New(eng, batch.Options{Workers: spec.Workers, OnItem: onItem})
+			return proc.Process(ctx, spec.Manuscripts), nil
+		}
+		for i := 0; i < b.N; i++ {
+			q := jobs.New(run, jobs.Options{Workers: 2, Depth: numJobs})
+			q.Start()
+			ids := make([]string, 0, numJobs)
+			for j, ms := range specs {
+				job, err := q.Submit(jobs.Spec{
+					Venue: fmt.Sprintf("venue-%d", j%2), Manuscripts: ms, Workers: 4,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids = append(ids, job.ID)
+			}
+			for _, id := range ids {
+				job, err := q.Wait(ctx, id, time.Minute)
+				if err != nil || job.State != jobs.StateDone {
+					b.Fatalf("job %s: %v state=%s err=%s", id, err, job.State, job.Error)
+				}
+			}
+			stopCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+			if err := q.Stop(stopCtx); err != nil {
+				b.Fatal(err)
+			}
+			cancel()
+		}
+	})
 }

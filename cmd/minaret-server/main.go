@@ -10,11 +10,19 @@
 // lifetime (0 = never expire), ageing out stale scholarly data without
 // manual invalidation.
 //
+// Batch work can run asynchronously through the /v1/jobs queue:
+// -jobs-workers and -jobs-queue-depth size the worker pool and the
+// admission bound (a full queue answers 429), and -jobs-store names a
+// file where job specs and finished results persist — a job queued
+// before a SIGTERM runs to completion after the restart, and finished
+// results stay fetchable.
+//
 // Usage:
 //
 //	minaret-server -addr :8080 \
 //	    -cache-snapshot /var/lib/minaret/cache.snap \
-//	    -cache-ttl-profiles 6h -cache-ttl-retrievals 1h
+//	    -cache-ttl-profiles 6h -cache-ttl-retrievals 1h \
+//	    -jobs-store /var/lib/minaret/jobs.store -jobs-workers 2
 //	curl -X POST localhost:8080/api/recommend -d '{
 //	  "keywords": ["rdf", "stream processing"],
 //	  "authors": [{"name": "Lei Zhou", "affiliation": "University of Tartu"}],
@@ -37,6 +45,7 @@ import (
 	"minaret/internal/core"
 	"minaret/internal/fetch"
 	"minaret/internal/httpapi"
+	"minaret/internal/jobs"
 	"minaret/internal/ontology"
 	"minaret/internal/scholarly"
 	"minaret/internal/simweb"
@@ -58,6 +67,11 @@ func main() {
 		ttlExpand    = flag.Duration("cache-ttl-expansions", 0, "keyword-expansion lifetime (0 = never expire)")
 		ttlRetrieve  = flag.Duration("cache-ttl-retrievals", 0, "retrieval hit-list lifetime (0 = never expire)")
 		sweepEvery   = flag.Duration("cache-sweep-interval", time.Minute, "janitor sweep cadence for expired entries (used only when a TTL is set)")
+
+		jobsWorkers = flag.Int("jobs-workers", 2, "async jobs processed concurrently")
+		jobsDepth   = flag.Int("jobs-queue-depth", 64, "queued async jobs before POST /v1/jobs answers 429")
+		jobsStore   = flag.String("jobs-store", "", "file persisting job specs and results across restarts (empty: jobs die with the process)")
+		maxBody     = flag.Int64("max-body-bytes", httpapi.DefaultMaxBodyBytes, "largest accepted POST body; oversized requests answer 413 (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -76,6 +90,12 @@ func main() {
 	anyTTL := sharedOpts.ProfileTTL+sharedOpts.VerifyTTL+sharedOpts.ExpansionTTL+sharedOpts.RetrievalTTL > 0
 	if anyTTL && *sweepEvery <= 0 {
 		log.Fatalf("minaret-server: -cache-sweep-interval %v must be positive when a TTL is set", *sweepEvery)
+	}
+	if *jobsWorkers <= 0 {
+		log.Fatalf("minaret-server: -jobs-workers %d must be positive", *jobsWorkers)
+	}
+	if *jobsDepth <= 0 {
+		log.Fatalf("minaret-server: -jobs-queue-depth %d must be positive", *jobsDepth)
 	}
 
 	o := ontology.Default()
@@ -110,6 +130,7 @@ func main() {
 	registry := sources.DefaultRegistry(f, sources.SingleHost(base))
 	server := httpapi.New(registry, o, core.Config{TopK: *topK}, horizon)
 	server.SetFetcher(f)
+	server.SetMaxBodyBytes(*maxBody)
 
 	// Cache lifecycle: build the TTL'd cache set, warm-start it from the
 	// snapshot, and keep it swept and saved in the background. The
@@ -148,11 +169,35 @@ func main() {
 		stopSnapshotter = shared.StartSnapshotter(*snapPath, *snapInterval, log.Printf)
 	}
 
+	// Async job queue: enabled last, after the Shared caches are warm,
+	// because a restored queued job may start running immediately.
+	queue, jobsRestore, err := server.EnableJobs(jobs.Options{
+		Workers:   *jobsWorkers,
+		Depth:     *jobsDepth,
+		StorePath: *jobsStore,
+		Logf:      log.Printf,
+	})
+	if queue == nil {
+		// Invalid options — a configuration error, not a store problem.
+		log.Fatalf("minaret-server: jobs: %v", err)
+	}
+	if err != nil {
+		// A corrupt job store must not keep the service down; the next
+		// save overwrites it.
+		log.Printf("job store: %v (starting with an empty queue)", err)
+	}
+	if jobsRestore != nil {
+		log.Printf("job store: restored from %s (saved %s): %d jobs re-queued, %d finished kept, %d dropped",
+			*jobsStore, jobsRestore.SavedAt.Format(time.RFC3339),
+			jobsRestore.Resumed, jobsRestore.Finished, jobsRestore.Dropped)
+	}
+
 	fmt.Printf("MINARET API on %s\n", *addr)
 	fmt.Println("  GET  /                     web form")
 	fmt.Println("  POST /api/recommend        run the full pipeline")
 	fmt.Println("  POST /api/verify-authors   author identity verification")
 	fmt.Println("  GET  /api/expand?keyword=  semantic keyword expansion")
+	fmt.Println("  POST /v1/jobs              submit an async batch job")
 	fmt.Println("  see docs/API.md for the full route reference")
 
 	// Serve until SIGINT/SIGTERM, then drain and take the final
@@ -171,11 +216,23 @@ func main() {
 		stop()
 		log.Printf("shutting down")
 	}
+	// Stop the job queue first, on its own budget: stopping releases
+	// every in-flight ?wait long-poll (otherwise the HTTP drain below
+	// would hang on them for its full window), interrupts running jobs,
+	// and records them queued in the store for the next process.
+	stopCtx, cancelStop := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := queue.Stop(stopCtx); err != nil {
+		log.Printf("job queue stop: %v", err)
+	}
+	cancelStop()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
 	}
+	// The final cache snapshot comes last so it includes whatever the
+	// interrupted jobs extracted — the next process re-runs them mostly
+	// from cache hits.
 	if stopSnapshotter != nil {
 		if err := stopSnapshotter(); err != nil {
 			log.Fatalf("final cache snapshot: %v", err)

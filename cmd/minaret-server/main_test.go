@@ -247,3 +247,164 @@ func waitHealthy(t *testing.T, url string, timeout time.Duration) {
 	}
 	t.Fatal("server never became healthy")
 }
+
+// TestServerJobsSurviveRestart is the async-queue acceptance scenario
+// across real processes: a server with -jobs-store accepts one job
+// that finishes and another that is still pending at SIGTERM; after a
+// restart the finished job's result is still fetchable and the pending
+// job runs to completion.
+func TestServerJobsSurviveRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	store := filepath.Join(dir, "jobs.store")
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-scholars", "300", "-top-k", "3",
+			"-jobs-store", store, "-jobs-workers", "1", "-jobs-queue-depth", "8")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+
+	// Distinct keyword sets per manuscript keep the pipeline cold — the
+	// slow job really does hold the single worker for a while, so the
+	// job behind it is still pending when the SIGTERM lands.
+	kwPool := [][]string{
+		{"rdf", "stream processing"}, {"machine learning"}, {"query optimization"},
+		{"data integration"}, {"graph databases"}, {"information retrieval"},
+	}
+	submit := func(id string, n int) {
+		t.Helper()
+		ms := make([]map[string]any, n)
+		for i := range ms {
+			ms[i] = map[string]any{
+				"title":    fmt.Sprintf("%s-%d", id, i),
+				"keywords": kwPool[i%len(kwPool)],
+				"authors":  []map[string]string{{"name": "Wei Wang"}},
+			}
+		}
+		body, _ := json.Marshal(map[string]any{"id": id, "manuscripts": ms, "top_k": 3})
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s = %d, want 202", id, resp.StatusCode)
+		}
+	}
+	getJob := func(id, wait string) (state string, succeeded int) {
+		t.Helper()
+		url := base + "/v1/jobs/" + id
+		if wait != "" {
+			url += "?wait=" + wait
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("get %s = %d", id, resp.StatusCode)
+		}
+		var job struct {
+			State  string `json:"state"`
+			Result *struct {
+				Succeeded int `json:"succeeded"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		if job.Result != nil {
+			succeeded = job.Result.Succeeded
+		}
+		return job.State, succeeded
+	}
+
+	// First life: finish one job, then pile up a slow one and a pending
+	// one behind the single worker and die.
+	cmd := start()
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	submit("early", 1)
+	if state, n := getJob("early", "60s"); state != "done" || n != 1 {
+		t.Fatalf("early job = %s/%d, want done/1", state, n)
+	}
+	submit("slow", 6)    // keeps the one worker busy across the SIGTERM
+	submit("pending", 2) // still waiting when the SIGTERM lands
+	if state, _ := getJob("pending", ""); state == "done" || state == "failed" || state == "canceled" {
+		t.Fatalf("pending job already %s before SIGTERM — restart path not exercised", state)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+	}
+	if _, err := os.Stat(store); err != nil {
+		t.Fatalf("no job store after shutdown: %v", err)
+	}
+
+	// Second life: the finished result survived, the pending job runs.
+	cmd2 := start()
+	t.Cleanup(func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	})
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	if state, n := getJob("early", ""); state != "done" || n != 1 {
+		t.Fatalf("early job after restart = %s/%d, want done/1", state, n)
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		state, n := getJob("pending", "30s")
+		if state == "done" {
+			if n != 2 {
+				t.Fatalf("pending job done with %d succeeded, want 2", n)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pending job never finished after restart (state %s)", state)
+		}
+	}
+	// The stats block sees the restored queue.
+	resp, err := http.Get(base + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Jobs          *struct {
+			Done    int `json:"done"`
+			Restore *struct {
+				Resumed  int `json:"resumed"`
+				Finished int `json:"finished"`
+			} `json:"restore"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs == nil || stats.Jobs.Done < 2 {
+		t.Fatalf("stats jobs = %+v, want >= 2 done", stats.Jobs)
+	}
+	if r := stats.Jobs.Restore; r == nil || r.Resumed == 0 || r.Finished == 0 {
+		t.Fatalf("stats jobs restore = %+v, want resumed and finished jobs", stats.Jobs.Restore)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Fatalf("uptime_seconds = %v", stats.UptimeSeconds)
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"minaret/internal/batch"
@@ -56,6 +58,12 @@ func runBatch(args []string) {
 	if *inPath == "" {
 		log.Fatal("minaret batch: -in is required")
 	}
+	// Install the interrupt handler before any slow setup so a
+	// SIGINT/SIGTERM at any point cancels cleanly: in-flight manuscripts
+	// finish or mark canceled, the snapshot still saves, and the exit
+	// code says the run was incomplete.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	sharedOpts := core.SharedOptions{
 		ProfileTTL:   *ttlProfiles,
 		VerifyTTL:    *ttlVerifies,
@@ -112,7 +120,7 @@ func runBatch(args []string) {
 		Ranking:          rcfg,
 	}, shared)
 
-	sum := batch.New(eng, batch.Options{Workers: *workers}).Process(context.Background(), manuscripts)
+	sum := batch.New(eng, batch.Options{Workers: *workers}).Process(ctx, manuscripts)
 	sum.Restore = restore
 	if *snapPath != "" {
 		if err := shared.SaveSnapshot(*snapPath); err != nil {
@@ -126,7 +134,10 @@ func runBatch(args []string) {
 	} else {
 		printBatchSummary(sum)
 	}
-	if sum.Failed > 0 {
+	// An interrupted run must not look like success: canceled items are
+	// manuscripts nobody recommended on, exactly as actionable as
+	// failures for the caller's exit-code check.
+	if sum.Failed > 0 || sum.Canceled > 0 {
 		os.Exit(1)
 	}
 }
@@ -170,9 +181,13 @@ func printBatchSummary(sum *batch.Summary) {
 	if sum.Elapsed > 0 {
 		speedup = float64(itemTotal) / float64(sum.Elapsed)
 	}
-	fmt.Printf("\nbatch: %d ok, %d failed, %d canceled in %v (item time %v, %.1fx parallel speedup)\n",
+	note := ""
+	if sum.Canceled > 0 {
+		note = " — INTERRUPTED, run incomplete"
+	}
+	fmt.Printf("\nbatch: %d ok, %d failed, %d canceled in %v (item time %v, %.1fx parallel speedup)%s\n",
 		sum.Succeeded, sum.Failed, sum.Canceled,
-		sum.Elapsed.Round(time.Millisecond), itemTotal.Round(time.Millisecond), speedup)
+		sum.Elapsed.Round(time.Millisecond), itemTotal.Round(time.Millisecond), speedup, note)
 	c := sum.Cache
 	fmt.Printf("shared caches: profiles %d hit / %d miss, verifies %d hit / %d miss, expansions %d hit / %d miss, retrievals %d hit / %d miss\n",
 		c.Profiles.Hits+c.Profiles.Shares, c.Profiles.Misses,

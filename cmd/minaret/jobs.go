@@ -1,0 +1,318 @@
+// The jobs subcommand: a client for a running minaret-server's
+// /v1/jobs queue. Where `minaret batch` processes a queue in-process
+// and blocks until it finishes, `minaret jobs submit` hands the queue
+// to the server and returns immediately with a job ID; status, wait
+// and cancel manage it from there — the submission outlives the
+// terminal session, the SSH connection, and even a server restart when
+// the server runs with -jobs-store.
+//
+// Usage:
+//
+//	minaret jobs submit -server http://localhost:8080 -in manuscripts.json
+//	minaret jobs status -server http://localhost:8080 [job-id]
+//	minaret jobs wait   -server http://localhost:8080 -timeout 10m job-id
+//	minaret jobs cancel -server http://localhost:8080 job-id
+//
+// submit exits 0 once the job is accepted (202); with -wait it blocks
+// like `wait`. wait exits 0 when the job lands done, 1 when it lands
+// failed or canceled (or the timeout passes first).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"minaret/internal/jobs"
+)
+
+func runJobs(args []string) {
+	if len(args) == 0 {
+		log.Fatal("minaret jobs: want a subcommand: submit|status|wait|cancel")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "submit":
+		runJobSubmit(rest)
+	case "status":
+		runJobStatus(rest)
+	case "wait":
+		runJobWait(rest)
+	case "cancel":
+		runJobCancel(rest)
+	default:
+		log.Fatalf("minaret jobs: unknown subcommand %q (want submit|status|wait|cancel)", sub)
+	}
+}
+
+// jobsClient wraps the handful of /v1/jobs calls the subcommands need.
+type jobsClient struct {
+	base string
+	hc   *http.Client
+}
+
+func newJobsClient(server string) *jobsClient {
+	return &jobsClient{
+		base: strings.TrimRight(server, "/"),
+		// Generous: GET ?wait= long-polls hold the connection open.
+		hc: &http.Client{Timeout: 2 * time.Minute},
+	}
+}
+
+// call performs one request and decodes the response into out (unless
+// out is nil), turning the server's error envelope into a Go error.
+func (c *jobsClient) call(method, path string, body, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return resp.StatusCode, fmt.Errorf("%s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return resp.StatusCode, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("parse response: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+func runJobSubmit(args []string) {
+	fs := flag.NewFlagSet("minaret jobs submit", flag.ExitOnError)
+	var (
+		server      = fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+		inPath      = fs.String("in", "", "JSON file with the manuscripts (array, or object with a 'manuscripts' key)")
+		id          = fs.String("id", "", "caller-chosen job ID (default: server-assigned)")
+		venue       = fs.String("venue", "", "fairness venue (default: first manuscript's target venue)")
+		workers     = fs.Int("workers", 0, "manuscripts processed concurrently inside the job (0 = server default)")
+		topK        = fs.Int("top-k", 10, "recommendations per manuscript")
+		coiLevel    = fs.String("coi", "", "COI affiliation level: off|university|country (empty = server default)")
+		impact      = fs.String("impact", "", "impact metric: citations|h-index (empty = server default)")
+		noExpansion = fs.Bool("no-expansion", false, "disable semantic keyword expansion")
+		wait        = fs.Bool("wait", false, "block until the job finishes (like `minaret jobs wait`)")
+		timeout     = fs.Duration("timeout", 15*time.Minute, "with -wait: give up after this long")
+		asJSON      = fs.Bool("json", false, "print raw job JSON")
+	)
+	fs.Parse(args)
+	if *inPath == "" {
+		log.Fatal("minaret jobs submit: -in is required")
+	}
+	manuscripts, err := readManuscripts(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(manuscripts) == 0 {
+		log.Fatalf("minaret jobs submit: %s contains no manuscripts", *inPath)
+	}
+	req := map[string]any{
+		"manuscripts": manuscripts,
+		"top_k":       *topK,
+	}
+	if *id != "" {
+		req["id"] = *id
+	}
+	if *venue != "" {
+		req["venue"] = *venue
+	}
+	if *workers > 0 {
+		req["workers"] = *workers
+	}
+	if *coiLevel != "" {
+		req["coi_level"] = *coiLevel
+	}
+	if *impact != "" {
+		req["impact_metric"] = *impact
+	}
+	if *noExpansion {
+		req["disable_expansion"] = true
+	}
+
+	c := newJobsClient(*server)
+	var job jobs.Job
+	status, err := c.call(http.MethodPost, "/v1/jobs", req, &job)
+	if err != nil {
+		if status == http.StatusTooManyRequests {
+			log.Fatalf("minaret jobs submit: queue full, retry later: %v", err)
+		}
+		log.Fatalf("minaret jobs submit: %v", err)
+	}
+	if !*wait {
+		if *asJSON {
+			printJobJSON(job)
+			return
+		}
+		fmt.Printf("job %s accepted (%s, %d manuscripts)\n", job.ID, job.State, job.Progress.Total)
+		fmt.Printf("poll with: minaret jobs wait -server %s %s\n", *server, job.ID)
+		return
+	}
+	final := pollUntilTerminal(c, job.ID, *timeout)
+	reportJob(final, *asJSON)
+	exitForState(final.State)
+}
+
+func runJobStatus(args []string) {
+	fs := flag.NewFlagSet("minaret jobs status", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	asJSON := fs.Bool("json", false, "print raw JSON")
+	fs.Parse(args)
+	c := newJobsClient(*server)
+
+	if fs.NArg() == 0 {
+		// No ID: list every job the server remembers.
+		var list struct {
+			Jobs  []jobs.Job `json:"jobs"`
+			Stats jobs.Stats `json:"stats"`
+		}
+		if _, err := c.call(http.MethodGet, "/v1/jobs", nil, &list); err != nil {
+			log.Fatalf("minaret jobs status: %v", err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(list)
+			return
+		}
+		fmt.Printf("%-20s %-9s %-24s %-11s %s\n", "id", "state", "venue", "progress", "submitted")
+		for _, j := range list.Jobs {
+			fmt.Printf("%-20s %-9s %-24s %3d/%-7d %s\n",
+				j.ID, j.State, trunc(j.Venue, 24),
+				j.Progress.Completed, j.Progress.Total,
+				j.SubmittedAt.Format(time.RFC3339))
+		}
+		s := list.Stats
+		fmt.Printf("\nqueue: %d queued / %d running (depth %d, %d workers), %d done, %d failed, %d canceled, %d rejected\n",
+			s.Queued, s.Running, s.Depth, s.Workers, s.Done, s.Failed, s.Canceled, s.Rejections)
+		return
+	}
+	var job jobs.Job
+	if _, err := c.call(http.MethodGet, "/v1/jobs/"+fs.Arg(0), nil, &job); err != nil {
+		log.Fatalf("minaret jobs status: %v", err)
+	}
+	reportJob(job, *asJSON)
+}
+
+func runJobWait(args []string) {
+	fs := flag.NewFlagSet("minaret jobs wait", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	timeout := fs.Duration("timeout", 15*time.Minute, "give up after this long")
+	asJSON := fs.Bool("json", false, "print raw job JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("minaret jobs wait: want exactly one job ID")
+	}
+	c := newJobsClient(*server)
+	job := pollUntilTerminal(c, fs.Arg(0), *timeout)
+	reportJob(job, *asJSON)
+	exitForState(job.State)
+}
+
+func runJobCancel(args []string) {
+	fs := flag.NewFlagSet("minaret jobs cancel", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	asJSON := fs.Bool("json", false, "print raw job JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("minaret jobs cancel: want exactly one job ID")
+	}
+	c := newJobsClient(*server)
+	var job jobs.Job
+	if _, err := c.call(http.MethodDelete, "/v1/jobs/"+fs.Arg(0), nil, &job); err != nil {
+		log.Fatalf("minaret jobs cancel: %v", err)
+	}
+	if *asJSON {
+		printJobJSON(job)
+		return
+	}
+	fmt.Printf("job %s: cancellation requested (state %s)\n", job.ID, job.State)
+}
+
+// pollUntilTerminal long-polls the job until it finishes or the
+// timeout elapses (each request waits up to 30s server-side).
+func pollUntilTerminal(c *jobsClient, id string, timeout time.Duration) jobs.Job {
+	deadline := time.Now().Add(timeout)
+	for {
+		var job jobs.Job
+		if _, err := c.call(http.MethodGet, "/v1/jobs/"+id+"?wait=30s", nil, &job); err != nil {
+			log.Fatalf("minaret jobs: wait %s: %v", id, err)
+		}
+		if job.State.Terminal() {
+			return job
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "minaret jobs: %s still %s after %v\n", id, job.State, timeout)
+			return job
+		}
+	}
+}
+
+func printJobJSON(job jobs.Job) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(job)
+}
+
+// reportJob prints one job for humans (or raw with asJSON): state,
+// progress, and — when the result is present — the per-manuscript
+// outcome table the batch subcommand prints.
+func reportJob(job jobs.Job, asJSON bool) {
+	if asJSON {
+		printJobJSON(job)
+		return
+	}
+	fmt.Printf("job %s: %s", job.ID, job.State)
+	if job.Venue != "" {
+		fmt.Printf(" (venue %s)", job.Venue)
+	}
+	fmt.Println()
+	p := job.Progress
+	fmt.Printf("progress: %d/%d done (%d ok, %d failed, %d canceled)\n",
+		p.Completed, p.Total, p.Succeeded, p.Failed, p.Canceled)
+	if job.Error != "" {
+		fmt.Printf("error: %s\n", job.Error)
+	}
+	if job.Result != nil {
+		fmt.Println()
+		printBatchSummary(job.Result)
+	}
+}
+
+// exitForState maps a terminal state onto the process exit code: only
+// a fully-done job exits 0.
+func exitForState(s jobs.State) {
+	if s != jobs.StateDone {
+		os.Exit(1)
+	}
+}

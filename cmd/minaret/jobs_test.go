@@ -1,0 +1,200 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/httpapi"
+	"minaret/internal/jobs"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// jobsServer boots an in-process API server with the async queue
+// enabled, for the CLI binary to talk to over real HTTP.
+func jobsServer(t *testing.T) string {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 99, NumScholars: 300, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	web := httptest.NewServer(simweb.New(corpus, simweb.Config{}).Mux())
+	t.Cleanup(web.Close)
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	registry := sources.DefaultRegistry(f, sources.SingleHost(web.URL))
+	srv := httpapi.New(registry, o, core.Config{TopK: 5, MaxCandidates: 40}, corpus.HorizonYear)
+	srv.SetFetcher(f)
+	q, _, err := srv.EnableJobs(jobs.Options{Workers: 1, Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	return api.URL
+}
+
+// runCLIExit is runCLI for invocations whose exit code is part of the
+// contract.
+func runCLIExit(t *testing.T, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	cmd := exec.Command(cliBinary(t), args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("cli %v: %v", args, err)
+	}
+	return out.String(), errb.String(), code
+}
+
+func TestCLIJobsSubmitWaitStatus(t *testing.T) {
+	server := jobsServer(t)
+	path := writeManuscripts(t, batchInput())
+
+	// submit -wait drives the job to completion and prints the table.
+	out, _ := runCLI(t, "jobs", "submit", "-server", server, "-in", path,
+		"-id", "cli-job", "-top-k", "3", "-wait")
+	for _, want := range []string{"job cli-job: done", "progress: 3/3 done (3 ok", "batch: 3 ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("submit -wait output missing %q:\n%s", want, out)
+		}
+	}
+
+	// status without an ID lists the queue.
+	out, _ = runCLI(t, "jobs", "status", "-server", server)
+	if !strings.Contains(out, "cli-job") || !strings.Contains(out, "done") {
+		t.Errorf("status list missing the job:\n%s", out)
+	}
+	if !strings.Contains(out, "queue:") {
+		t.Errorf("status list missing the queue line:\n%s", out)
+	}
+
+	// status with the ID shows it; wait on a done job returns at once
+	// with exit 0.
+	stdout, _, code := runCLIExit(t, "jobs", "wait", "-server", server, "cli-job")
+	if code != 0 || !strings.Contains(stdout, "done") {
+		t.Errorf("wait exit=%d output:\n%s", code, stdout)
+	}
+}
+
+func TestCLIJobsCancel(t *testing.T) {
+	server := jobsServer(t)
+	// A fat job on the single worker so the cancel lands mid-flight.
+	ms := batchInput()
+	for len(ms) < 8 {
+		ms = append(ms, ms[0])
+	}
+	path := writeManuscripts(t, ms)
+	out, _ := runCLI(t, "jobs", "submit", "-server", server, "-in", path, "-id", "doomed")
+	if !strings.Contains(out, "doomed accepted") {
+		t.Fatalf("submit output:\n%s", out)
+	}
+	out, _ = runCLI(t, "jobs", "cancel", "-server", server, "doomed")
+	if !strings.Contains(out, "cancellation requested") {
+		t.Fatalf("cancel output:\n%s", out)
+	}
+	// wait exits nonzero for a canceled job (or 0 if the run won the
+	// race and completed — accept both, require a terminal state).
+	stdout, _, code := runCLIExit(t, "jobs", "wait", "-server", server, "doomed")
+	switch {
+	case strings.Contains(stdout, "canceled") && code == 1:
+	case strings.Contains(stdout, "done") && code == 0:
+	default:
+		t.Fatalf("wait after cancel: exit=%d output:\n%s", code, stdout)
+	}
+}
+
+func TestCLIJobsErrors(t *testing.T) {
+	server := jobsServer(t)
+	// Unknown job: wait and cancel fail loudly.
+	_, stderr, code := runCLIExit(t, "jobs", "wait", "-server", server, "job-missing")
+	if code == 0 || !strings.Contains(stderr, "no job") {
+		t.Errorf("wait missing: exit=%d stderr:\n%s", code, stderr)
+	}
+	_, stderr, code = runCLIExit(t, "jobs", "cancel", "-server", server, "job-missing")
+	if code == 0 || !strings.Contains(stderr, "not found") {
+		t.Errorf("cancel missing: exit=%d stderr:\n%s", code, stderr)
+	}
+	// Unknown subcommand.
+	_, stderr, code = runCLIExit(t, "jobs", "explode")
+	if code == 0 || !strings.Contains(stderr, "unknown subcommand") {
+		t.Errorf("bad subcommand: exit=%d stderr:\n%s", code, stderr)
+	}
+}
+
+// syncBuf is a Writer safe to read while exec's copier goroutine is
+// still writing it.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestCLIBatchInterruptExitsNonzero: a canceled batch run says so and
+// exits 1 even when nothing failed (satellite regression: Canceled was
+// ignored at the exit check).
+func TestCLIBatchInterruptExitsNonzero(t *testing.T) {
+	path := writeManuscripts(t, batchInput())
+	cmd := exec.Command(cliBinary(t), "batch", "-in", path, "-scholars", "300")
+	var out, errb syncBuf
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The signal handler is installed before the world is built; once
+	// the setup banner appears the interrupt is handled, not fatal.
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(errb.String(), "scholarly web") {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no setup banner; stderr:\n%s", errb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("exit = %v (stdout:\n%s\nstderr:\n%s)", err, out.String(), errb.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "INTERRUPTED") {
+		t.Fatalf("summary does not flag the interruption:\n%s", got)
+	}
+	if !strings.Contains(got, "canceled") {
+		t.Fatalf("summary missing canceled accounting:\n%s", got)
+	}
+}

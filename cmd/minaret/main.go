@@ -8,6 +8,10 @@
 //	minaret -keywords 'rdf, stream processing' \
 //	        -author 'Lei Zhou @ University of Tartu' -top-k 5
 //	minaret -manuscript paper.json -coi country -min-keyword-score 0.5
+//
+// Subcommands: `minaret batch` processes a whole submission queue
+// in-process (see batch.go); `minaret jobs` drives a running
+// minaret-server's async job queue (see jobs.go).
 package main
 
 import (
@@ -109,6 +113,10 @@ func setupWorld(o *ontology.Ontology, sourcesURL string, scholars int, seed int6
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "batch" {
 		runBatch(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "jobs" {
+		runJobs(os.Args[2:])
 		return
 	}
 	var authors authorList

@@ -22,6 +22,13 @@ type Options struct {
 	// Workers bounds how many manuscripts are in flight at once.
 	// Default 4.
 	Workers int
+	// OnItem, when non-nil, is called exactly once per manuscript the
+	// moment its outcome is final — the live-progress hook the job queue
+	// builds on. Calls arrive concurrently from the worker goroutines
+	// (and from the dispatch loop for items canceled before dispatch),
+	// so the callback must be safe for concurrent use. The Item is final:
+	// its fields are never mutated after the call.
+	OnItem func(Item)
 }
 
 func (o Options) withDefaults() Options {
@@ -114,6 +121,9 @@ func (p *Processor) Process(ctx context.Context, manuscripts []core.Manuscript) 
 			defer wg.Done()
 			for i := range jobs {
 				sum.Items[i] = p.processOne(ctx, i, manuscripts[i])
+				if p.opts.OnItem != nil {
+					p.opts.OnItem(sum.Items[i])
+				}
 			}
 		}()
 	}
@@ -126,6 +136,9 @@ dispatch:
 			// fail fast on the dead context) in their workers.
 			for j := i; j < len(manuscripts); j++ {
 				sum.Items[j] = Item{Index: j, Status: StatusCanceled, Error: ctx.Err().Error()}
+				if p.opts.OnItem != nil {
+					p.opts.OnItem(sum.Items[j])
+				}
 			}
 			break dispatch
 		}

@@ -368,3 +368,63 @@ func TestOptionsDefaults(t *testing.T) {
 		}
 	}
 }
+
+// TestOnItemHook: the progress callback fires exactly once per
+// manuscript with its final outcome — concurrently from workers on the
+// happy path, and from the dispatch loop for pre-dispatch cancellation.
+func TestOnItemHook(t *testing.T) {
+	e := env(t)
+	ms := e.manuscripts(t, 700, 4)
+
+	t.Run("completed", func(t *testing.T) {
+		var mu sync.Mutex
+		seen := make(map[int]Item)
+		p := New(e.engine(core.NewShared(core.SharedOptions{})), Options{
+			Workers: 2,
+			OnItem: func(it Item) {
+				mu.Lock()
+				defer mu.Unlock()
+				if _, dup := seen[it.Index]; dup {
+					t.Errorf("item %d reported twice", it.Index)
+				}
+				seen[it.Index] = it
+			},
+		})
+		sum := p.Process(context.Background(), ms)
+		mu.Lock()
+		defer mu.Unlock()
+		if len(seen) != len(ms) {
+			t.Fatalf("callback fired for %d items, want %d", len(seen), len(ms))
+		}
+		for i, it := range sum.Items {
+			got, ok := seen[i]
+			if !ok || got.Status != it.Status {
+				t.Fatalf("item %d: callback saw %+v, summary has status %q", i, got, it.Status)
+			}
+		}
+	})
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		var mu sync.Mutex
+		var calls int
+		p := New(e.engine(core.NewShared(core.SharedOptions{})), Options{
+			Workers: 2,
+			OnItem: func(it Item) {
+				mu.Lock()
+				defer mu.Unlock()
+				calls++
+				if it.Status != StatusCanceled {
+					t.Errorf("item %d status %q, want canceled", it.Index, it.Status)
+				}
+			},
+		})
+		p.Process(ctx, ms)
+		mu.Lock()
+		defer mu.Unlock()
+		if calls != len(ms) {
+			t.Fatalf("callback fired %d times, want %d", calls, len(ms))
+		}
+	})
+}

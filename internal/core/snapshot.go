@@ -11,27 +11,24 @@
 package core
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
 	"minaret/internal/cache"
+	"minaret/internal/envelope"
 	"minaret/internal/nameres"
 	"minaret/internal/ontology"
 	"minaret/internal/profile"
 	"minaret/internal/sources"
 )
 
-// Snapshot envelope: an 8-byte magic, a version, the payload length and
-// a CRC of the payload, then the JSON payload itself. The checksum
-// turns a torn write (power loss mid-save) into a clean load error
-// instead of a half-restored cache.
+// Snapshot framing (internal/envelope): an 8-byte magic, a version,
+// the payload length and a CRC of the payload, then the JSON payload
+// itself.
 const (
 	snapshotMagic   = "MINSNAP\x00"
 	snapshotVersion = 1
@@ -39,10 +36,6 @@ const (
 	// length field must not make the server try to allocate petabytes.
 	maxSnapshotPayload = 1 << 30
 )
-
-// crcTable is the Castagnoli polynomial, hardware-accelerated on
-// current CPUs.
-var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // snapEntry is one cache entry on the wire: the key, the JSON-encoded
 // value, and the absolute expiry deadline (absent = never expires).
@@ -223,17 +216,7 @@ func (s *Shared) Snapshot(w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("snapshot encode: %w", err)
 	}
-
-	var header [24]byte
-	copy(header[:8], snapshotMagic)
-	binary.BigEndian.PutUint32(header[8:12], snapshotVersion)
-	binary.BigEndian.PutUint64(header[12:20], uint64(len(payload)))
-	binary.BigEndian.PutUint32(header[20:24], crc32.Checksum(payload, crcTable))
-	if _, err := w.Write(header[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(payload)
-	return err
+	return envelope.Encode(w, snapshotMagic, snapshotVersion, payload)
 }
 
 // Restore loads a snapshot written by Snapshot into the caches,
@@ -245,26 +228,9 @@ func (s *Shared) Snapshot(w io.Writer) error {
 // Restored entries land on top of whatever the caches already hold.
 func (s *Shared) Restore(r io.Reader) (RestoreStats, error) {
 	var stats RestoreStats
-	var header [24]byte
-	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return stats, fmt.Errorf("snapshot header: %w", err)
-	}
-	if string(header[:8]) != snapshotMagic {
-		return stats, fmt.Errorf("not a minaret cache snapshot (bad magic)")
-	}
-	if v := binary.BigEndian.Uint32(header[8:12]); v != snapshotVersion {
-		return stats, fmt.Errorf("snapshot version %d unsupported (want %d)", v, snapshotVersion)
-	}
-	n := binary.BigEndian.Uint64(header[12:20])
-	if n > maxSnapshotPayload {
-		return stats, fmt.Errorf("snapshot payload of %d bytes exceeds limit", n)
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return stats, fmt.Errorf("snapshot payload: %w", err)
-	}
-	if sum := crc32.Checksum(payload, crcTable); sum != binary.BigEndian.Uint32(header[20:24]) {
-		return stats, fmt.Errorf("snapshot checksum mismatch (file corrupt)")
+	payload, err := envelope.Decode(r, snapshotMagic, snapshotVersion, maxSnapshotPayload, "cache snapshot")
+	if err != nil {
+		return stats, err
 	}
 	var p snapshotPayload
 	if err := json.Unmarshal(payload, &p); err != nil {
@@ -292,24 +258,11 @@ func (s *Shared) Restore(r io.Reader) (RestoreStats, error) {
 	return stats, nil
 }
 
-// SaveSnapshot writes the snapshot to path atomically: a temp file in
-// the same directory is renamed over the target, so a crash mid-save
-// leaves the previous snapshot intact, never a half-written one.
+// SaveSnapshot writes the snapshot to path atomically (temp file +
+// rename), so a crash mid-save leaves the previous snapshot intact,
+// never a half-written one.
 func (s *Shared) SaveSnapshot(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := s.Snapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return envelope.WriteFileAtomic(path, s.Snapshot)
 }
 
 // LoadSnapshot restores from the file at path. A missing file is not an

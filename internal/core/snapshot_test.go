@@ -193,9 +193,9 @@ func withVersion(b []byte, v uint32) []byte {
 	return out
 }
 
-// envelope wraps payload in a valid snapshot header (correct magic,
+// wrapEnvelope wraps payload in a valid snapshot header (correct magic,
 // version and checksum), for hand-crafting payload-level cases.
-func envelope(payload []byte) []byte {
+func wrapEnvelope(payload []byte) []byte {
 	out := make([]byte, 24+len(payload))
 	copy(out[:8], "MINSNAP\x00")
 	binary.BigEndian.PutUint32(out[8:12], 1)
@@ -223,7 +223,7 @@ func TestRestoreDropsCorruptEntriesIndividually(t *testing.T) {
 		t.Fatal(err)
 	}
 	dst := NewShared(SharedOptions{})
-	stats, err := dst.Restore(bytes.NewReader(envelope(payload)))
+	stats, err := dst.Restore(bytes.NewReader(wrapEnvelope(payload)))
 	if err != nil {
 		t.Fatalf("entry-level corruption must not fail the restore: %v", err)
 	}

@@ -1,0 +1,95 @@
+// Package envelope is the on-disk framing shared by MINARET's
+// persistence files — the cache snapshot (internal/core) and the job
+// store (internal/jobs): an 8-byte magic, a big-endian version, the
+// payload length and a CRC-32C (Castagnoli) of the payload, then the
+// payload itself. The checksum turns a torn write (power loss
+// mid-save) into a clean load error instead of a half-restored state;
+// the length cap stops a corrupted length field from allocating
+// petabytes; WriteFileAtomic (temp file + rename) guarantees a crash
+// mid-save leaves the previous file intact, never a half-written one.
+package envelope
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// headerLen is the fixed envelope prefix: magic(8) + version(4) +
+// payload length(8) + CRC-32C(4).
+const headerLen = 24
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on
+// current CPUs.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Encode frames payload under the given 8-byte magic and version and
+// writes it to w.
+func Encode(w io.Writer, magic string, version uint32, payload []byte) error {
+	if len(magic) != 8 {
+		return fmt.Errorf("envelope: magic %q is %d bytes, want 8", magic, len(magic))
+	}
+	var header [headerLen]byte
+	copy(header[:8], magic)
+	binary.BigEndian.PutUint32(header[8:12], version)
+	binary.BigEndian.PutUint64(header[12:20], uint64(len(payload)))
+	binary.BigEndian.PutUint32(header[20:24], crc32.Checksum(payload, crcTable))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// Decode reads one envelope from r and returns its verified payload.
+// A bad magic, unsupported version, payload beyond maxPayload,
+// truncated payload or checksum mismatch rejects the file as a whole.
+// kind names the file in error messages ("cache snapshot", "job
+// store").
+func Decode(r io.Reader, magic string, version uint32, maxPayload uint64, kind string) ([]byte, error) {
+	var header [headerLen]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("%s header: %w", kind, err)
+	}
+	if string(header[:8]) != magic {
+		return nil, fmt.Errorf("not a minaret %s (bad magic)", kind)
+	}
+	if v := binary.BigEndian.Uint32(header[8:12]); v != version {
+		return nil, fmt.Errorf("%s version %d unsupported (want %d)", kind, v, version)
+	}
+	n := binary.BigEndian.Uint64(header[12:20])
+	if n > maxPayload {
+		return nil, fmt.Errorf("%s payload of %d bytes exceeds limit", kind, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%s payload: %w", kind, err)
+	}
+	if sum := crc32.Checksum(payload, crcTable); sum != binary.BigEndian.Uint32(header[20:24]) {
+		return nil, fmt.Errorf("%s checksum mismatch (file corrupt)", kind)
+	}
+	return payload, nil
+}
+
+// WriteFileAtomic writes whatever write produces to path atomically: a
+// temp file in the same directory is renamed over the target, so a
+// crash mid-save leaves the previous file intact.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

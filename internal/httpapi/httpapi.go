@@ -15,11 +15,16 @@ import (
 	"minaret/internal/core"
 	"minaret/internal/fetch"
 	"minaret/internal/filter"
+	"minaret/internal/jobs"
 	"minaret/internal/nameres"
 	"minaret/internal/ontology"
 	"minaret/internal/ranking"
 	"minaret/internal/sources"
 )
+
+// DefaultMaxBodyBytes caps how much of a POST body any handler will
+// read (8 MiB); see SetMaxBodyBytes.
+const DefaultMaxBodyBytes = 8 << 20
 
 // RecommendRequest is the POST /api/recommend body: the manuscript form
 // of the demo's Figure 3 plus the editor's configuration knobs.
@@ -82,6 +87,14 @@ type Server struct {
 	// restore, when non-nil, is the boot-time snapshot restore outcome,
 	// reported in /api/stats' shared block.
 	restore *core.RestoreStats
+	// jobs, when non-nil, backs the /v1/jobs routes (see EnableJobs);
+	// jobsRestore is the boot-time store restore outcome, reported in
+	// /api/stats' jobs block.
+	jobs        *jobs.Queue
+	jobsRestore *jobs.RestoreStats
+	// maxBody bounds every POST body via http.MaxBytesReader; <= 0
+	// disables the cap.
+	maxBody int64
 }
 
 // SetFetcher wires the shared fetch client so the API can expose cache
@@ -109,8 +122,62 @@ func (s *Server) Shared() *core.Shared { return s.shared }
 func New(registry *sources.Registry, ont *ontology.Ontology, base core.Config, horizonYear int) *Server {
 	return &Server{
 		registry: registry, ont: ont, base: base, horizonYear: horizonYear,
-		tele:   newTelemetry(),
-		shared: core.NewShared(core.SharedOptions{}),
+		tele:    newTelemetry(),
+		shared:  core.NewShared(core.SharedOptions{}),
+		maxBody: DefaultMaxBodyBytes,
+	}
+}
+
+// SetMaxBodyBytes overrides the POST body cap (default
+// DefaultMaxBodyBytes). An oversized body answers 413 instead of being
+// decoded unbounded; n <= 0 disables the cap.
+func (s *Server) SetMaxBodyBytes(n int64) { s.maxBody = n }
+
+// limitBody applies the body cap. Handlers that decode POST bodies go
+// through decodeBody; the invalidate handler (empty body allowed)
+// calls this directly.
+func (s *Server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.maxBody > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	}
+}
+
+// decodeBody caps and decodes a JSON POST body into v, answering 413
+// (body over the cap) or 400 (malformed JSON) itself. Returns whether
+// the handler should proceed.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return s.decode(w, r, v, false)
+}
+
+// decodeOptionalBody is decodeBody for routes whose body may be empty
+// (v stays zero and the handler proceeds).
+func (s *Server) decodeOptionalBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	return s.decode(w, r, v, true)
+}
+
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any, allowEmpty bool) bool {
+	s.limitBody(w, r)
+	if r.Body == nil {
+		if allowEmpty {
+			return true
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "request body required"})
+		return false
+	}
+	err := json.NewDecoder(r.Body).Decode(v)
+	switch {
+	case err == nil, allowEmpty && err == io.EOF:
+		return true
+	default:
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+				Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			})
+			return false
+		}
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
+		return false
 	}
 }
 
@@ -125,6 +192,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/api/reviewer", s.tele.instrument("reviewer", s.handleReviewer))
 	mux.HandleFunc("/api/invalidate-cache", s.tele.instrument("invalidate-cache", s.handleInvalidate))
 	mux.HandleFunc("/v1/batch", s.tele.instrument("batch", s.handleBatch))
+	mux.HandleFunc("/v1/jobs", s.tele.instrument("jobs", s.handleJobs))
+	mux.HandleFunc("/v1/jobs/", s.tele.instrument("jobs", s.handleJobByID))
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -139,8 +208,7 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req RecommendRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	cfg, err := s.configFor(&req.RecommendOptions)
@@ -238,8 +306,7 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req VerifyRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Authors) == 0 {
@@ -283,12 +350,10 @@ func (s *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req InvalidateRequest
-	if r.Body != nil {
-		// An empty body means "all"; a present body must parse.
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil && err != io.EOF {
-			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "invalid JSON: " + err.Error()})
-			return
-		}
+	// An empty body means "all"; a present body must parse and obey the
+	// size cap like every other POST.
+	if !s.decodeOptionalBody(w, r, &req) {
+		return
 	}
 	switch req.Cache {
 	case "", "all":

@@ -22,9 +22,13 @@ import (
 type apiFixture struct {
 	corpus *scholarly.Corpus
 	api    *httptest.Server
+	srv    *Server
 }
 
-func newAPIFixture(t *testing.T) *apiFixture {
+// newServerFixture builds the Server (and its simulated world) without
+// serving it yet, so tests can finish configuring it — enabling jobs,
+// capping body sizes — before the first goroutine reads its fields.
+func newServerFixture(t *testing.T) (*scholarly.Corpus, *Server) {
 	t.Helper()
 	o := ontology.Default()
 	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
@@ -37,9 +41,15 @@ func newAPIFixture(t *testing.T) *apiFixture {
 	registry := sources.DefaultRegistry(f, sources.SingleHost(webSrv.URL))
 	srv := New(registry, o, core.Config{TopK: 5, MaxCandidates: 40}, corpus.HorizonYear)
 	srv.SetFetcher(f)
+	return corpus, srv
+}
+
+func newAPIFixture(t *testing.T) *apiFixture {
+	t.Helper()
+	corpus, srv := newServerFixture(t)
 	api := httptest.NewServer(srv.Handler())
 	t.Cleanup(api.Close)
-	return &apiFixture{corpus: corpus, api: api}
+	return &apiFixture{corpus: corpus, api: api, srv: srv}
 }
 
 func (fx *apiFixture) author(t *testing.T) *scholarly.Scholar {

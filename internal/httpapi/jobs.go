@@ -1,0 +1,230 @@
+// The /v1/jobs routes: asynchronous batch processing. POST /v1/batch
+// holds the connection for the whole run; a job instead answers 202
+// immediately with a Location to poll, sheds load with 429 when the
+// queue is full, reports live progress, long-polls via ?wait=, and —
+// when the server runs with a job store — survives restarts with
+// results still fetchable. This is the workload-management front of
+// internal/jobs.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// MaxJobWait caps the ?wait= long-poll a single request may hold.
+const MaxJobWait = 60 * time.Second
+
+// JobRequest is the POST /v1/jobs body: the /v1/batch payload plus the
+// job envelope (optional caller-chosen ID and fairness venue).
+type JobRequest struct {
+	// ID optionally names the job (must be unique); empty lets the
+	// server assign one.
+	ID string `json:"id,omitempty"`
+	// Venue is the fairness bucket; empty defaults to the first
+	// manuscript's target venue.
+	Venue string `json:"venue,omitempty"`
+	// Manuscripts is the submission queue to process.
+	Manuscripts []core.Manuscript `json:"manuscripts"`
+	// Workers bounds the batch's per-manuscript concurrency (default 4).
+	Workers int `json:"workers,omitempty"`
+	RecommendOptions
+}
+
+// JobListResponse is the GET /v1/jobs payload: every known job in
+// submission order, without results (fetch one job for its result).
+type JobListResponse struct {
+	Jobs  []jobs.Job `json:"jobs"`
+	Count int        `json:"count"`
+	Stats jobs.Stats `json:"stats"`
+}
+
+// EnableJobs builds the server's job queue over opts (opts.Workers,
+// Depth, StorePath, RetainTerminal — the runner is supplied here),
+// restores the store when one is configured, and starts the workers.
+// Invalid options return (nil, nil, err) and enable nothing. A corrupt
+// or unreadable store is returned as the error while the queue still
+// comes up (non-nil), empty and serving — availability over
+// durability, matching the cache-snapshot policy; restore is non-nil
+// only when a store file was actually loaded. Call before Handler sees
+// traffic; the caller owns Stop.
+func (s *Server) EnableJobs(opts jobs.Options) (q *jobs.Queue, restore *jobs.RestoreStats, err error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	q = jobs.New(s.runJob, opts)
+	stats, ok, err := q.Load()
+	if ok {
+		restore = &stats
+	}
+	s.jobs = q
+	s.jobsRestore = restore
+	q.Start()
+	return q, restore, err
+}
+
+// runJob is the jobs.Runner: it decodes the spec's options with the
+// same vocabulary as /v1/batch, builds an engine over the server-wide
+// Shared caches, and runs the batch with progress forwarded.
+func (s *Server) runJob(ctx context.Context, spec jobs.Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+	var opts RecommendOptions
+	if len(spec.Options) > 0 {
+		if err := json.Unmarshal(spec.Options, &opts); err != nil {
+			return nil, fmt.Errorf("job options: %w", err)
+		}
+	}
+	cfg, err := s.configFor(&opts)
+	if err != nil {
+		return nil, err
+	}
+	engine := core.NewWithShared(s.registry, s.ont, cfg, s.shared)
+	proc := batch.New(engine, batch.Options{Workers: spec.Workers, OnItem: onItem})
+	return proc.Process(ctx, spec.Manuscripts), nil
+}
+
+// handleJobs serves the collection: POST submits, GET lists.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "job queue not enabled"})
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.handleJobSubmit(w, r)
+	case http.MethodGet:
+		list := s.jobs.List()
+		writeJSON(w, http.StatusOK, JobListResponse{Jobs: list, Count: len(list), Stats: s.jobs.Stats()})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST or GET required"})
+	}
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Manuscripts) == 0 {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "manuscripts required"})
+		return
+	}
+	if len(req.Manuscripts) > MaxBatchManuscripts {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{
+			Error: fmt.Sprintf("job of %d manuscripts exceeds limit %d", len(req.Manuscripts), MaxBatchManuscripts),
+		})
+		return
+	}
+	// Reject bad options at admission, not at run time: a job that can
+	// never run must not occupy a queue slot.
+	if _, err := s.configFor(&req.RecommendOptions); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	optBytes, err := json.Marshal(req.RecommendOptions)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	job, err := s.jobs.Submit(jobs.Spec{
+		ID:          req.ID,
+		Venue:       req.Venue,
+		Manuscripts: req.Manuscripts,
+		Workers:     req.Workers,
+		Options:     optBytes,
+	})
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/jobs/"+job.ID)
+		writeJSON(w, http.StatusAccepted, job)
+	case errors.Is(err, jobs.ErrQueueFull):
+		// Explicit load-shedding: the client backs off and retries; the
+		// server never buffers unboundedly or blocks the connection.
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, jobs.ErrDuplicateID):
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	case errors.Is(err, jobs.ErrStopped):
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	}
+}
+
+// handleJobByID serves one job: GET (optionally long-polling via
+// ?wait=) and DELETE (cancel).
+func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
+	if s.jobs == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "job queue not enabled"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "job id required"})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.handleJobGet(w, r, id)
+	case http.MethodDelete:
+		job, err := s.jobs.Cancel(id)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, job)
+		case errors.Is(err, jobs.ErrNotFound):
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error()})
+		case errors.Is(err, jobs.ErrFinished):
+			writeJSON(w, http.StatusConflict, ErrorResponse{
+				Error: fmt.Sprintf("job %s already finished (%s)", id, job.State),
+			})
+		default:
+			writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+		}
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET or DELETE required"})
+	}
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string) {
+	var wait time.Duration
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("invalid wait %q", raw)})
+			return
+		}
+		if d > MaxJobWait {
+			d = MaxJobWait
+		}
+		wait = d
+	}
+	var job jobs.Job
+	var err error
+	if wait > 0 {
+		// Long-poll: return as soon as the job is terminal, or the
+		// current snapshot at the deadline. A canceled request still
+		// answers with the latest snapshot — harmless to a gone client.
+		job, err = s.jobs.Wait(r.Context(), id, wait)
+		if err != nil && errors.Is(err, context.Canceled) {
+			err = nil
+		}
+	} else {
+		job, err = s.jobs.Get(id)
+	}
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, job)
+	case errors.Is(err, jobs.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no job " + id})
+	default:
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error()})
+	}
+}

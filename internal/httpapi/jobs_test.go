@@ -1,0 +1,400 @@
+package httpapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// newJobsFixture is newAPIFixture with the async job queue enabled
+// (before the test server starts serving, so no handler ever sees a
+// half-built Server).
+func newJobsFixture(t *testing.T, opts jobs.Options) *apiFixture {
+	t.Helper()
+	corpus, srv := newServerFixture(t)
+	q, _, err := srv.EnableJobs(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	return &apiFixture{corpus: corpus, api: api, srv: srv}
+}
+
+func decodeJob(t *testing.T, resp *http.Response) jobs.Job {
+	t.Helper()
+	defer resp.Body.Close()
+	var j jobs.Job
+	if err := json.NewDecoder(resp.Body).Decode(&j); err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func httpDelete(t *testing.T, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestJobSubmitAndWait(t *testing.T) {
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+	req := JobRequest{
+		Manuscripts:      batchManuscripts(t, fx, 2),
+		RecommendOptions: RecommendOptions{TopK: 3},
+	}
+	resp := postJSON(t, fx.api.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	job := decodeJob(t, resp)
+	if job.ID == "" || loc != "/v1/jobs/"+job.ID {
+		t.Fatalf("id %q location %q", job.ID, loc)
+	}
+	if job.State != jobs.StateQueued && job.State != jobs.StateRunning {
+		t.Fatalf("submitted state = %q", job.State)
+	}
+
+	// Long-poll to completion.
+	r2, err := http.Get(fx.api.URL + loc + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("wait status = %d", r2.StatusCode)
+	}
+	done := decodeJob(t, r2)
+	if done.State != jobs.StateDone {
+		t.Fatalf("state = %q (%s), want done", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Succeeded != 2 {
+		t.Fatalf("result = %+v", done.Result)
+	}
+	for i, it := range done.Result.Items {
+		if it.Status != batch.StatusOK || it.Result == nil || len(it.Result.Recommendations) == 0 {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+		if len(it.Result.Recommendations) > 3 {
+			t.Fatalf("item %d ignored top_k", i)
+		}
+	}
+	if p := done.Progress; p.Completed != 2 || p.Succeeded != 2 {
+		t.Fatalf("progress = %+v", p)
+	}
+
+	// The list view knows the job but never ships results.
+	r3, err := http.Get(fx.api.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Body.Close()
+	var list JobListResponse
+	if err := json.NewDecoder(r3.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Count != 1 || len(list.Jobs) != 1 || list.Jobs[0].ID != job.ID {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Jobs[0].Result != nil {
+		t.Fatal("list leaked a result")
+	}
+	if list.Stats.Done != 1 {
+		t.Fatalf("list stats = %+v", list.Stats)
+	}
+
+	// /api/stats gained the jobs block and uptime.
+	r4, err := http.Get(fx.api.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r4.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(r4.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs == nil || stats.Jobs.Done != 1 || stats.Jobs.Depth != 8 {
+		t.Fatalf("stats jobs = %+v", stats.Jobs)
+	}
+	if stats.UptimeSeconds <= 0 {
+		t.Fatalf("uptime = %v", stats.UptimeSeconds)
+	}
+}
+
+func TestJobQueueFullAnswers429(t *testing.T) {
+	// One worker, one queue slot. The first job (a slow 8-manuscript
+	// batch) occupies the worker, the second the slot; the third must
+	// be shed with 429 — never buffered, never blocking.
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 1})
+	slow := JobRequest{Manuscripts: batchManuscripts(t, fx, 8)}
+	quick := JobRequest{Manuscripts: batchManuscripts(t, fx, 1)}
+
+	r1 := postJSON(t, fx.api.URL+"/v1/jobs", slow)
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d", r1.StatusCode)
+	}
+	r2 := postJSON(t, fx.api.URL+"/v1/jobs", quick)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit = %d", r2.StatusCode)
+	}
+	r3 := postJSON(t, fx.api.URL+"/v1/jobs", quick)
+	defer r3.Body.Close()
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit = %d, want 429", r3.StatusCode)
+	}
+	if r3.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	var e ErrorResponse
+	if err := json.NewDecoder(r3.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "full") {
+		t.Fatalf("429 body = %+v, %v", e, err)
+	}
+	// The rejection is counted.
+	r4, err := http.Get(fx.api.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r4.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(r4.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs == nil || stats.Jobs.Rejections != 1 {
+		t.Fatalf("stats jobs = %+v", stats.Jobs)
+	}
+}
+
+func TestJobCancel(t *testing.T) {
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+	resp := postJSON(t, fx.api.URL+"/v1/jobs", JobRequest{Manuscripts: batchManuscripts(t, fx, 8)})
+	job := decodeJob(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+
+	del := httpDelete(t, fx.api.URL+"/v1/jobs/"+job.ID)
+	del.Body.Close()
+	if del.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d", del.StatusCode)
+	}
+	r2, err := http.Get(fx.api.URL + "/v1/jobs/" + job.ID + "?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := decodeJob(t, r2)
+	if final.State != jobs.StateCanceled && final.State != jobs.StateDone {
+		t.Fatalf("state = %q, want canceled (or done if cancel raced completion)", final.State)
+	}
+	if final.State == jobs.StateCanceled {
+		// A second cancel conflicts.
+		del2 := httpDelete(t, fx.api.URL+"/v1/jobs/"+job.ID)
+		del2.Body.Close()
+		if del2.StatusCode != http.StatusConflict {
+			t.Fatalf("second cancel = %d, want 409", del2.StatusCode)
+		}
+	}
+	del3 := httpDelete(t, fx.api.URL+"/v1/jobs/job-does-not-exist")
+	del3.Body.Close()
+	if del3.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cancel = %d, want 404", del3.StatusCode)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+	for _, tc := range []struct {
+		name string
+		req  JobRequest
+		want int
+	}{
+		{"empty", JobRequest{}, http.StatusBadRequest},
+		{"oversized", JobRequest{Manuscripts: make([]core.Manuscript, MaxBatchManuscripts+1)}, http.StatusBadRequest},
+		{"bad-option", JobRequest{
+			Manuscripts:      batchManuscripts(t, fx, 1),
+			RecommendOptions: RecommendOptions{COILevel: "galaxy"},
+		}, http.StatusBadRequest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, fx.api.URL+"/v1/jobs", tc.req)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	t.Run("duplicate-id", func(t *testing.T) {
+		req := JobRequest{ID: "dup", Manuscripts: batchManuscripts(t, fx, 1)}
+		r1 := postJSON(t, fx.api.URL+"/v1/jobs", req)
+		r1.Body.Close()
+		if r1.StatusCode != http.StatusAccepted {
+			t.Fatalf("first = %d", r1.StatusCode)
+		}
+		r2 := postJSON(t, fx.api.URL+"/v1/jobs", req)
+		r2.Body.Close()
+		if r2.StatusCode != http.StatusConflict {
+			t.Fatalf("duplicate = %d, want 409", r2.StatusCode)
+		}
+	})
+	t.Run("bad-wait", func(t *testing.T) {
+		resp, err := http.Get(fx.api.URL + "/v1/jobs/whatever?wait=tomorrow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad wait = %d, want 400", resp.StatusCode)
+		}
+	})
+	t.Run("unknown-get", func(t *testing.T) {
+		resp, err := http.Get(fx.api.URL + "/v1/jobs/job-unknown")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("unknown get = %d, want 404", resp.StatusCode)
+		}
+	})
+	t.Run("bad-method", func(t *testing.T) {
+		req, _ := http.NewRequest(http.MethodPut, fx.api.URL+"/v1/jobs/some-id", nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("PUT = %d, want 405", resp.StatusCode)
+		}
+	})
+}
+
+func TestJobsDisabledAnswers503(t *testing.T) {
+	fx := newAPIFixture(t) // no EnableJobs
+	resp, err := http.Get(fx.api.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestJobStoreAcrossServers: a finished job's result survives into a
+// brand-new Server sharing only the store file — the API-level half of
+// the restart acceptance test (the process-level half lives in
+// cmd/minaret-server).
+func TestJobStoreAcrossServers(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "jobs.store")
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8, StorePath: store})
+	resp := postJSON(t, fx.api.URL+"/v1/jobs", JobRequest{ID: "keeper", Manuscripts: batchManuscripts(t, fx, 1)})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	r1, err := http.Get(fx.api.URL + "/v1/jobs/keeper?wait=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := decodeJob(t, r1); done.State != jobs.StateDone {
+		t.Fatalf("first life state = %q", done.State)
+	}
+
+	// Second server over the same store.
+	_, srv2 := newServerFixture(t)
+	q2, restore, err := srv2.EnableJobs(jobs.Options{Workers: 1, StorePath: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q2.Stop(ctx)
+	})
+	if restore == nil || restore.Finished != 1 {
+		t.Fatalf("restore = %+v", restore)
+	}
+	api2 := httptest.NewServer(srv2.Handler())
+	t.Cleanup(api2.Close)
+	r2, err := http.Get(api2.URL + "/v1/jobs/keeper")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeJob(t, r2)
+	if got.State != jobs.StateDone || got.Result == nil || got.Result.Succeeded != 1 {
+		t.Fatalf("restored job = %+v", got)
+	}
+}
+
+// TestMaxBodyBytes: every POST route answers 413 to an oversized body
+// instead of decoding it unbounded.
+func TestMaxBodyBytes(t *testing.T) {
+	_, srv := newServerFixture(t)
+	srv.SetMaxBodyBytes(512)
+	q, _, err := srv.EnableJobs(jobs.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+
+	big := bytes.Repeat([]byte("x"), 2048)
+	body := []byte(`{"title": "` + string(big) + `"}`)
+	for _, route := range []string{
+		"/api/recommend", "/v1/batch", "/v1/jobs",
+		"/api/verify-authors", "/api/assign", "/api/invalidate-cache",
+	} {
+		t.Run(route, func(t *testing.T) {
+			resp, err := http.Post(api.URL+route, "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status = %d, want 413", resp.StatusCode)
+			}
+			var e ErrorResponse
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "exceeds") {
+				t.Fatalf("413 body = %+v, %v", e, err)
+			}
+		})
+	}
+	// A small valid body still parses under the cap.
+	resp, err := http.Post(api.URL+"/api/invalidate-cache", "application/json", strings.NewReader(`{"cache":"profiles"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body = %d, want 200", resp.StatusCode)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"minaret/internal/core"
 	"minaret/internal/fetch"
+	"minaret/internal/jobs"
 )
 
 // Telemetry collects per-route request counts, error counts and latency
@@ -43,12 +44,14 @@ type routeStats struct {
 }
 
 type telemetry struct {
-	mu     sync.Mutex
-	routes map[string]*routeStats
+	// started anchors /api/stats' uptime_seconds.
+	started time.Time
+	mu      sync.Mutex
+	routes  map[string]*routeStats
 }
 
 func newTelemetry() *telemetry {
-	return &telemetry{routes: make(map[string]*routeStats)}
+	return &telemetry{started: time.Now(), routes: make(map[string]*routeStats)}
 }
 
 func (t *telemetry) record(route string, status int, elapsed time.Duration) {
@@ -122,19 +125,34 @@ type SharedBlock struct {
 
 // StatsResponse is the /api/stats payload.
 type StatsResponse struct {
-	Routes       map[string]routeStats `json:"routes"`
-	BucketBounds []string              `json:"bucket_bounds"`
-	Fetch        *fetch.Stats          `json:"fetch,omitempty"`
+	// UptimeSeconds is how long this process has been serving.
+	UptimeSeconds float64               `json:"uptime_seconds"`
+	Routes        map[string]routeStats `json:"routes"`
+	BucketBounds  []string              `json:"bucket_bounds"`
+	Fetch         *fetch.Stats          `json:"fetch,omitempty"`
 	// Shared reports the server-wide cross-request caches (profiles,
 	// verifies, expansions, retrievals).
-	Shared     *SharedBlock `json:"shared,omitempty"`
-	RouteOrder []string     `json:"route_order"`
+	Shared *SharedBlock `json:"shared,omitempty"`
+	// Jobs reports the async queue — queued/running/terminal counts,
+	// configured depth, and how much load was shed (rejections).
+	Jobs       *JobsBlock `json:"jobs,omitempty"`
+	RouteOrder []string   `json:"route_order"`
+}
+
+// JobsBlock is the "jobs" object of /api/stats: the queue counters
+// plus, when the server restored a job store at boot, what that
+// restore re-queued and kept.
+type JobsBlock struct {
+	jobs.Stats
+	// Restore is present only when a job store file was loaded at boot.
+	Restore *jobs.RestoreStats `json:"restore,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
-		Routes:       s.tele.snapshot(),
-		BucketBounds: bucketLabels(),
+		UptimeSeconds: time.Since(s.tele.started).Seconds(),
+		Routes:        s.tele.snapshot(),
+		BucketBounds:  bucketLabels(),
 	}
 	for route := range resp.Routes {
 		resp.RouteOrder = append(resp.RouteOrder, route)
@@ -146,6 +164,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.shared != nil {
 		resp.Shared = &SharedBlock{SharedStats: s.shared.Stats(), Restore: s.restore}
+	}
+	if s.jobs != nil {
+		resp.Jobs = &JobsBlock{Stats: s.jobs.Stats(), Restore: s.jobsRestore}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,727 @@
+// Package jobs is the asynchronous workload-management layer between
+// the HTTP API and the batch pipeline. POST /v1/batch holds one
+// connection open for an entire run, so a venue submitting its whole
+// review queue is hostage to proxy timeouts, flaky clients and process
+// restarts. A jobs.Queue instead accepts a submission, parks it behind
+// a bounded queue (rejecting with ErrQueueFull instead of buffering
+// unboundedly), and drains it through a small worker pool with
+// per-venue fairness — one venue's 200-manuscript dump cannot starve
+// another's single submission. Jobs expose live progress while they
+// run, can be canceled queued or running, and survive restarts: specs
+// and terminal results persist to a versioned, checksummed store (see
+// store.go), so a job queued before a SIGTERM runs to completion in the
+// next process and a finished job's result is still fetchable.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+)
+
+// State is a job's lifecycle position: queued → running → one of the
+// terminal states (done, failed, canceled).
+type State string
+
+// Job states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// QueueFullError is the typed admission rejection: the queue already
+// held Depth queued jobs when Submit was called. Callers turn it into
+// explicit load-shedding (HTTP 429) instead of blocking or buffering.
+type QueueFullError struct {
+	// Depth is the configured queue bound that was hit.
+	Depth int
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("job queue full (depth %d)", e.Depth)
+}
+
+// Is makes every QueueFullError match ErrQueueFull under errors.Is.
+func (e *QueueFullError) Is(target error) bool {
+	_, ok := target.(*QueueFullError)
+	return ok
+}
+
+// Sentinel errors. ErrQueueFull matches any QueueFullError; the rest
+// are returned as-is.
+var (
+	ErrQueueFull   error = &QueueFullError{}
+	ErrNotFound          = errors.New("job not found")
+	ErrDuplicateID       = errors.New("job id already exists")
+	ErrFinished          = errors.New("job already finished")
+	ErrStopped           = errors.New("job queue stopped")
+)
+
+// Spec is one batch submission: what to process and how. The queue
+// treats Options as opaque bytes — the Runner interprets them — so the
+// package stays decoupled from the HTTP layer's option vocabulary while
+// specs still serialize losslessly into the store.
+type Spec struct {
+	// ID names the job. Empty lets the queue assign one; a caller-chosen
+	// ID must be unique for the queue's lifetime (ErrDuplicateID).
+	ID string `json:"id,omitempty"`
+	// Venue is the fairness key: queued jobs drain FIFO within a venue,
+	// round-robin across venues. Empty defaults to the first
+	// manuscript's target venue (possibly still empty — one bucket).
+	Venue string `json:"venue,omitempty"`
+	// Manuscripts is the submission queue to process. Required.
+	Manuscripts []core.Manuscript `json:"manuscripts"`
+	// Workers bounds the batch's own per-manuscript concurrency
+	// (batch.Options.Workers); 0 selects that default.
+	Workers int `json:"workers,omitempty"`
+	// Options carries runner-interpreted configuration (for the HTTP
+	// layer: the RecommendOptions JSON), persisted verbatim.
+	Options json.RawMessage `json:"options,omitempty"`
+}
+
+// Progress is a job's live item accounting, updated as the batch's
+// OnItem hook fires.
+type Progress struct {
+	// Total is the number of manuscripts in the job.
+	Total int `json:"total"`
+	// Completed counts items with a final status; Completed == Total
+	// once the run ends.
+	Completed int `json:"completed"`
+	Succeeded int `json:"succeeded"`
+	Failed    int `json:"failed"`
+	Canceled  int `json:"canceled"`
+	// Statuses holds the per-item outcome by manuscript index ("" =
+	// still pending).
+	Statuses []string `json:"statuses,omitempty"`
+}
+
+// Job is an immutable snapshot of one job, safe to hold after the
+// queue has moved on. Result is shared, not copied — treat it as
+// read-only.
+type Job struct {
+	ID          string     `json:"id"`
+	Venue       string     `json:"venue,omitempty"`
+	State       State      `json:"state"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	Progress    Progress   `json:"progress"`
+	// Error is the failure (or cancellation) message for terminal
+	// non-done states.
+	Error string `json:"error,omitempty"`
+	// Result is the full batch outcome, present once State is done.
+	Result *batch.Summary `json:"result,omitempty"`
+}
+
+// Runner executes one job's batch. onItem must be forwarded to
+// batch.Options.OnItem (or called equivalently) so the queue can track
+// progress; the returned summary becomes the job's result. Runner
+// errors mark the job failed.
+type Runner func(ctx context.Context, spec Spec, onItem func(batch.Item)) (*batch.Summary, error)
+
+// Options tunes a Queue; zero values select the documented defaults.
+type Options struct {
+	// Workers is the number of jobs processed concurrently. Default 2.
+	Workers int
+	// Depth bounds how many jobs may sit queued (running jobs don't
+	// occupy a slot); Submit beyond it returns ErrQueueFull. Default 64.
+	Depth int
+	// StorePath names the durability file. Empty disables persistence:
+	// jobs die with the process.
+	StorePath string
+	// RetainTerminal bounds how many finished jobs (and their results)
+	// are kept fetchable; the oldest are evicted first. Default 512;
+	// negative retains everything.
+	RetainTerminal int
+	// Clock injects the time source; nil means time.Now.
+	Clock func() time.Time
+	// Logf reports background failures (store saves); nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Validate rejects options New would have to guess at.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("jobs: Workers %d is negative", o.Workers)
+	}
+	if o.Depth < 0 {
+		return fmt.Errorf("jobs: Depth %d is negative", o.Depth)
+	}
+	return nil
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.Depth == 0 {
+		o.Depth = 64
+	}
+	if o.RetainTerminal == 0 {
+		o.RetainTerminal = 512
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// record is one job's mutable server-side state, guarded by Queue.mu.
+type record struct {
+	spec        Spec
+	seq         uint64 // global submit order, FIFO tie-break
+	state       State
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	progress    Progress
+	errMsg      string
+	result      *batch.Summary
+	// cancel interrupts the run while state == running.
+	cancel context.CancelFunc
+	// userCanceled marks a Cancel call, distinguishing "the editor
+	// withdrew the job" from "the process is shutting down" — the former
+	// is terminal, the latter re-queues for the next process.
+	userCanceled bool
+}
+
+func (r *record) snapshot() Job {
+	j := Job{
+		ID:          r.spec.ID,
+		Venue:       r.spec.Venue,
+		State:       r.state,
+		SubmittedAt: r.submittedAt,
+		Progress:    r.progress,
+		Error:       r.errMsg,
+		Result:      r.result,
+	}
+	j.Progress.Statuses = append([]string(nil), r.progress.Statuses...)
+	if !r.startedAt.IsZero() {
+		t := r.startedAt
+		j.StartedAt = &t
+	}
+	if !r.finishedAt.IsZero() {
+		t := r.finishedAt
+		j.FinishedAt = &t
+	}
+	return j
+}
+
+// Queue accepts, schedules, runs, and remembers jobs. All methods are
+// safe for concurrent use.
+type Queue struct {
+	run  Runner
+	opts Options
+
+	// baseCtx parents every job run; Stop cancels it to interrupt
+	// in-flight work.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu   sync.Mutex
+	cond *sync.Cond // queued work available, or stopping
+	jobs map[string]*record
+	// venues holds the queued records per fairness bucket (FIFO each);
+	// invariant: every list in the map is non-empty and its venue is in
+	// ring exactly once.
+	venues map[string][]*record
+	ring   []string // venue round-robin order
+	rr     int      // next ring position to serve
+	queued int      // records in state queued (== sum of venue lists)
+	// terminalOrder is the finish order, oldest first, for
+	// RetainTerminal eviction.
+	terminalOrder []string
+	stopped       bool
+	// changed is closed and replaced on every externally visible state
+	// change; Wait long-polls on it.
+	changed    chan struct{}
+	seq        uint64
+	submitted  uint64
+	rejections uint64
+
+	wg sync.WaitGroup
+	// saveMu serializes store writes so a fast transition can't rename
+	// an older snapshot over a newer one.
+	saveMu sync.Mutex
+}
+
+// New builds a Queue over run. It panics when opts fail Validate
+// (callers turning user input into options should Validate first);
+// call Load to restore a previous process's jobs, then Start to begin
+// processing.
+func New(run Runner, opts Options) *Queue {
+	if run == nil {
+		panic("jobs: nil Runner")
+	}
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	q := &Queue{
+		run:        run,
+		opts:       opts.withDefaults(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*record),
+		venues:     make(map[string][]*record),
+		changed:    make(chan struct{}),
+	}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Start launches the worker pool. Call once.
+func (q *Queue) Start() {
+	for i := 0; i < q.opts.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+}
+
+// Stop shuts the queue down: no new submissions, running jobs are
+// interrupted and re-queued (in the store) for the next process, and
+// the final state is saved. It blocks for the workers up to ctx's
+// deadline; the save happens either way. Idempotent in effect — a
+// second Stop finds nothing to do.
+func (q *Queue) Stop(ctx context.Context) error {
+	q.baseCancel()
+	q.mu.Lock()
+	q.stopped = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() { q.wg.Wait(); close(done) }()
+	var waitErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		waitErr = ctx.Err()
+	}
+	if err := q.save(); err != nil {
+		return err
+	}
+	return waitErr
+}
+
+// now is the injected clock.
+func (q *Queue) now() time.Time { return q.opts.Clock() }
+
+// bumpChangedLocked wakes every Wait long-poll. Callers hold q.mu.
+func (q *Queue) bumpChangedLocked() {
+	close(q.changed)
+	q.changed = make(chan struct{})
+}
+
+// newID returns a fresh random job ID.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy: %v", err))
+	}
+	return "job-" + hex.EncodeToString(b[:])
+}
+
+// Submit admits spec, returning its queued snapshot, or rejects:
+// ErrQueueFull (typed QueueFullError) once Depth jobs are queued,
+// ErrDuplicateID for a reused caller-chosen ID, ErrStopped after Stop.
+// Admission never blocks on the workers.
+func (q *Queue) Submit(spec Spec) (Job, error) {
+	if len(spec.Manuscripts) == 0 {
+		return Job{}, errors.New("jobs: spec has no manuscripts")
+	}
+	if spec.Workers < 0 {
+		return Job{}, fmt.Errorf("jobs: spec workers %d is negative", spec.Workers)
+	}
+	if spec.Venue == "" {
+		spec.Venue = spec.Manuscripts[0].TargetVenue
+	}
+
+	q.mu.Lock()
+	if q.stopped {
+		q.mu.Unlock()
+		return Job{}, ErrStopped
+	}
+	if q.queued >= q.opts.Depth {
+		q.rejections++
+		q.mu.Unlock()
+		return Job{}, &QueueFullError{Depth: q.opts.Depth}
+	}
+	if spec.ID == "" {
+		for {
+			spec.ID = newID()
+			if _, taken := q.jobs[spec.ID]; !taken {
+				break
+			}
+		}
+	} else if _, taken := q.jobs[spec.ID]; taken {
+		q.mu.Unlock()
+		return Job{}, fmt.Errorf("%w: %q", ErrDuplicateID, spec.ID)
+	}
+	rec := &record{
+		spec:        spec,
+		seq:         q.seq,
+		state:       StateQueued,
+		submittedAt: q.now(),
+		progress: Progress{
+			Total:    len(spec.Manuscripts),
+			Statuses: make([]string, len(spec.Manuscripts)),
+		},
+	}
+	q.seq++
+	q.submitted++
+	q.jobs[spec.ID] = rec
+	q.enqueueLocked(rec)
+	q.cond.Signal()
+	q.bumpChangedLocked()
+	snap := rec.snapshot()
+	q.mu.Unlock()
+
+	q.saveLogged()
+	return snap, nil
+}
+
+// enqueueLocked appends rec to its venue's FIFO, registering the venue
+// in the round-robin ring on first use. Callers hold q.mu.
+func (q *Queue) enqueueLocked(rec *record) {
+	v := rec.spec.Venue
+	if _, ok := q.venues[v]; !ok {
+		q.ring = append(q.ring, v)
+	}
+	q.venues[v] = append(q.venues[v], rec)
+	q.queued++
+}
+
+// popLocked removes and returns the next queued record: round-robin
+// across venues, FIFO within one. Callers hold q.mu.
+func (q *Queue) popLocked() *record {
+	if len(q.ring) == 0 {
+		return nil
+	}
+	if q.rr >= len(q.ring) {
+		q.rr = 0
+	}
+	v := q.ring[q.rr]
+	list := q.venues[v]
+	rec := list[0]
+	if len(list) == 1 {
+		delete(q.venues, v)
+		q.ring = append(q.ring[:q.rr], q.ring[q.rr+1:]...)
+		// q.rr now indexes the venue after v; wrap if v was last.
+		if q.rr >= len(q.ring) {
+			q.rr = 0
+		}
+	} else {
+		q.venues[v] = list[1:]
+		q.rr = (q.rr + 1) % len(q.ring)
+	}
+	q.queued--
+	return rec
+}
+
+// removeQueuedLocked unlinks a specific queued record (Cancel path).
+// Callers hold q.mu.
+func (q *Queue) removeQueuedLocked(rec *record) {
+	v := rec.spec.Venue
+	list := q.venues[v]
+	for i, r := range list {
+		if r != rec {
+			continue
+		}
+		list = append(list[:i], list[i+1:]...)
+		if len(list) == 0 {
+			delete(q.venues, v)
+			for j, name := range q.ring {
+				if name == v {
+					q.ring = append(q.ring[:j], q.ring[j+1:]...)
+					if q.rr > j {
+						q.rr--
+					}
+					break
+				}
+			}
+			if q.rr >= len(q.ring) {
+				q.rr = 0
+			}
+		} else {
+			q.venues[v] = list
+		}
+		q.queued--
+		return
+	}
+}
+
+// worker drains the queue until Stop.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for !q.stopped && q.queued == 0 {
+			q.cond.Wait()
+		}
+		if q.stopped {
+			q.mu.Unlock()
+			return
+		}
+		rec := q.popLocked()
+		rec.state = StateRunning
+		rec.startedAt = q.now()
+		ctx, cancel := context.WithCancel(q.baseCtx)
+		rec.cancel = cancel
+		spec := rec.spec
+		q.bumpChangedLocked()
+		q.mu.Unlock()
+
+		sum, err := q.run(ctx, spec, func(it batch.Item) { q.noteItem(rec, it) })
+		cancel()
+		q.finish(rec, sum, err)
+	}
+}
+
+// noteItem folds one final batch.Item into the job's progress.
+func (q *Queue) noteItem(rec *record, it batch.Item) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if rec.state != StateRunning {
+		return
+	}
+	p := &rec.progress
+	if it.Index < 0 || it.Index >= len(p.Statuses) || p.Statuses[it.Index] != "" {
+		return
+	}
+	p.Statuses[it.Index] = it.Status
+	p.Completed++
+	switch it.Status {
+	case batch.StatusOK:
+		p.Succeeded++
+	case batch.StatusCanceled:
+		p.Canceled++
+	default:
+		p.Failed++
+	}
+	q.bumpChangedLocked()
+}
+
+// finish records a run's outcome and persists it.
+func (q *Queue) finish(rec *record, sum *batch.Summary, err error) {
+	q.mu.Lock()
+	rec.cancel = nil
+	interrupted := err != nil || (sum != nil && sum.Canceled > 0)
+	switch {
+	case rec.userCanceled && interrupted:
+		rec.state = StateCanceled
+		rec.errMsg = "canceled by request"
+		rec.result = sum
+	case q.baseCtx.Err() != nil && !rec.userCanceled:
+		// Shutdown tore the run down mid-flight: the work is not lost,
+		// it re-queues — in the store — and the next process runs it
+		// from scratch.
+		rec.state = StateQueued
+		rec.startedAt = time.Time{}
+		rec.userCanceled = false
+		rec.errMsg = ""
+		rec.result = nil
+		rec.progress = Progress{
+			Total:    len(rec.spec.Manuscripts),
+			Statuses: make([]string, len(rec.spec.Manuscripts)),
+		}
+	case err != nil:
+		rec.state = StateFailed
+		rec.errMsg = err.Error()
+	default:
+		// Per-item failures are an outcome, not a job failure — exactly
+		// like /v1/batch answering 200 with per-item statuses.
+		rec.state = StateDone
+		rec.result = sum
+	}
+	if rec.state.Terminal() {
+		rec.finishedAt = q.now()
+		q.terminalOrder = append(q.terminalOrder, rec.spec.ID)
+		q.evictTerminalLocked()
+	}
+	q.bumpChangedLocked()
+	q.mu.Unlock()
+
+	q.saveLogged()
+}
+
+// evictTerminalLocked drops the oldest finished jobs beyond
+// RetainTerminal. Callers hold q.mu.
+func (q *Queue) evictTerminalLocked() {
+	if q.opts.RetainTerminal < 0 {
+		return
+	}
+	for len(q.terminalOrder) > q.opts.RetainTerminal {
+		delete(q.jobs, q.terminalOrder[0])
+		q.terminalOrder = q.terminalOrder[1:]
+	}
+}
+
+// Cancel withdraws a job. Queued jobs become canceled immediately;
+// running jobs have their context canceled and settle to canceled once
+// the batch unwinds (a run that had already finished every item stays
+// done — cancellation raced completion). Terminal jobs return
+// ErrFinished; unknown IDs ErrNotFound. The returned snapshot is the
+// state as of the call.
+func (q *Queue) Cancel(id string) (Job, error) {
+	q.mu.Lock()
+	rec, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return Job{}, ErrNotFound
+	}
+	switch rec.state {
+	case StateQueued:
+		q.removeQueuedLocked(rec)
+		rec.userCanceled = true
+		rec.state = StateCanceled
+		rec.errMsg = "canceled by request"
+		rec.finishedAt = q.now()
+		q.terminalOrder = append(q.terminalOrder, rec.spec.ID)
+		q.evictTerminalLocked()
+		q.bumpChangedLocked()
+		snap := rec.snapshot()
+		q.mu.Unlock()
+		q.saveLogged()
+		return snap, nil
+	case StateRunning:
+		rec.userCanceled = true
+		if rec.cancel != nil {
+			rec.cancel()
+		}
+		snap := rec.snapshot()
+		q.mu.Unlock()
+		return snap, nil
+	default:
+		snap := rec.snapshot()
+		q.mu.Unlock()
+		return snap, ErrFinished
+	}
+}
+
+// Get returns the job's current snapshot.
+func (q *Queue) Get(id string) (Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	rec, ok := q.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return rec.snapshot(), nil
+}
+
+// Wait long-polls: it returns the job's snapshot as soon as it is
+// terminal, or the current snapshot once d elapses — never an error for
+// a slow job. ctx cancellation returns the latest snapshot with
+// ctx.Err(). When the queue stops, every pending Wait releases
+// immediately with the current snapshot, so a long-poll can never hold
+// an HTTP drain hostage for its full window.
+func (q *Queue) Wait(ctx context.Context, id string, d time.Duration) (Job, error) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		q.mu.Lock()
+		rec, ok := q.jobs[id]
+		if !ok {
+			q.mu.Unlock()
+			return Job{}, ErrNotFound
+		}
+		snap := rec.snapshot()
+		ch := q.changed
+		q.mu.Unlock()
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return snap, nil
+		case <-q.baseCtx.Done():
+			return snap, nil
+		case <-ctx.Done():
+			return snap, ctx.Err()
+		}
+	}
+}
+
+// List returns every known job in submission order, without results
+// (fetch one job for its result) — the collection view stays cheap no
+// matter how fat the finished summaries are.
+func (q *Queue) List() []Job {
+	q.mu.Lock()
+	recs := make([]*record, 0, len(q.jobs))
+	for _, rec := range q.jobs {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	out := make([]Job, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.snapshot()
+		out[i].Result = nil
+	}
+	q.mu.Unlock()
+	return out
+}
+
+// Stats is the queue's operational counters, the /api/stats jobs block.
+type Stats struct {
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// Depth and Workers echo the configuration.
+	Depth   int `json:"queue_depth"`
+	Workers int `json:"workers"`
+	// Submitted counts admissions; Rejections counts ErrQueueFull
+	// answers — the load the queue shed instead of buffering.
+	Submitted  uint64 `json:"submitted"`
+	Rejections uint64 `json:"rejections"`
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := Stats{
+		Depth:      q.opts.Depth,
+		Workers:    q.opts.Workers,
+		Submitted:  q.submitted,
+		Rejections: q.rejections,
+	}
+	for _, rec := range q.jobs {
+		switch rec.state {
+		case StateQueued:
+			st.Queued++
+		case StateRunning:
+			st.Running++
+		case StateDone:
+			st.Done++
+		case StateFailed:
+			st.Failed++
+		case StateCanceled:
+			st.Canceled++
+		}
+	}
+	return st
+}

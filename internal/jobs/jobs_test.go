@@ -1,0 +1,485 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+)
+
+// manuscripts builds n trivially valid manuscripts for venue v.
+func manuscripts(n int, v string) []core.Manuscript {
+	ms := make([]core.Manuscript, n)
+	for i := range ms {
+		ms[i] = core.Manuscript{
+			Title:       fmt.Sprintf("m-%d", i),
+			Keywords:    []string{"rdf"},
+			TargetVenue: v,
+		}
+	}
+	return ms
+}
+
+// okRunner simulates a batch that succeeds on every item, reporting
+// each through onItem as a real Processor would.
+func okRunner(ctx context.Context, spec Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+	sum := &batch.Summary{Items: make([]batch.Item, len(spec.Manuscripts))}
+	for i := range spec.Manuscripts {
+		if ctx.Err() != nil {
+			sum.Items[i] = batch.Item{Index: i, Status: batch.StatusCanceled, Error: ctx.Err().Error()}
+			sum.Canceled++
+		} else {
+			sum.Items[i] = batch.Item{Index: i, Status: batch.StatusOK}
+			sum.Succeeded++
+		}
+		onItem(sum.Items[i])
+	}
+	return sum, nil
+}
+
+// gatedRunner blocks each run until release is closed (or the job's
+// context dies), recording run order.
+type gatedRunner struct {
+	mu      sync.Mutex
+	order   []string
+	started chan string // receives each job ID as its run begins
+	release chan struct{}
+}
+
+func newGatedRunner() *gatedRunner {
+	return &gatedRunner{started: make(chan string, 64), release: make(chan struct{})}
+}
+
+func (g *gatedRunner) run(ctx context.Context, spec Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+	g.mu.Lock()
+	g.order = append(g.order, spec.ID)
+	g.mu.Unlock()
+	g.started <- spec.ID
+	select {
+	case <-g.release:
+		return okRunner(ctx, spec, onItem)
+	case <-ctx.Done():
+		return okRunner(ctx, spec, onItem) // every item canceled
+	}
+}
+
+func (g *gatedRunner) runOrder() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+func stopQueue(t *testing.T, q *Queue) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.Stop(ctx); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	q := New(okRunner, Options{Workers: 1, Depth: 4})
+	q.Start()
+	defer stopQueue(t, q)
+
+	job, err := q.Submit(Spec{Manuscripts: manuscripts(3, "EDBT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateQueued || job.ID == "" || job.Venue != "EDBT" {
+		t.Fatalf("submitted job = %+v", job)
+	}
+	if job.Progress.Total != 3 || job.Progress.Completed != 0 {
+		t.Fatalf("initial progress = %+v", job.Progress)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done, err := q.Wait(ctx, job.ID, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateDone {
+		t.Fatalf("state = %q (%s), want done", done.State, done.Error)
+	}
+	if done.Result == nil || done.Result.Succeeded != 3 {
+		t.Fatalf("result = %+v", done.Result)
+	}
+	p := done.Progress
+	if p.Completed != 3 || p.Succeeded != 3 || len(p.Statuses) != 3 {
+		t.Fatalf("progress = %+v", p)
+	}
+	for i, st := range p.Statuses {
+		if st != batch.StatusOK {
+			t.Fatalf("status[%d] = %q", i, st)
+		}
+	}
+	if done.StartedAt == nil || done.FinishedAt == nil {
+		t.Fatalf("timestamps missing: %+v", done)
+	}
+
+	st := q.Stats()
+	if st.Done != 1 || st.Submitted != 1 || st.Queued != 0 || st.Running != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	g := newGatedRunner()
+	defer close(g.release)
+	q := New(g.run, Options{Workers: 1, Depth: 2})
+	q.Start()
+	defer stopQueue(t, q)
+
+	// One running (off the queue) plus Depth queued.
+	if _, err := q.Submit(Spec{ID: "running", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started // the worker holds it now
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(Spec{Manuscripts: manuscripts(1, "")}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	_, err := q.Submit(Spec{Manuscripts: manuscripts(1, "")})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	var qf *QueueFullError
+	if !errors.As(err, &qf) || qf.Depth != 2 {
+		t.Fatalf("typed rejection = %#v", err)
+	}
+	st := q.Stats()
+	if st.Rejections != 1 || st.Queued != 2 || st.Running != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	q := New(okRunner, Options{})
+	defer stopQueue(t, q)
+	if _, err := q.Submit(Spec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+	if _, err := q.Submit(Spec{Manuscripts: manuscripts(1, ""), Workers: -1}); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+	if _, err := q.Submit(Spec{ID: "dup", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Submit(Spec{ID: "dup", Manuscripts: manuscripts(1, "")}); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("err = %v, want ErrDuplicateID", err)
+	}
+}
+
+func TestSubmitAfterStop(t *testing.T) {
+	q := New(okRunner, Options{Workers: 1})
+	q.Start()
+	stopQueue(t, q)
+	if _, err := q.Submit(Spec{Manuscripts: manuscripts(1, "")}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+}
+
+func TestCancelQueued(t *testing.T) {
+	g := newGatedRunner()
+	defer close(g.release)
+	q := New(g.run, Options{Workers: 1, Depth: 8})
+	q.Start()
+	defer stopQueue(t, q)
+
+	if _, err := q.Submit(Spec{ID: "plug", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	if _, err := q.Submit(Spec{ID: "victim", Manuscripts: manuscripts(2, "")}); err != nil {
+		t.Fatal(err)
+	}
+	job, err := q.Cancel("victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateCanceled || job.FinishedAt == nil {
+		t.Fatalf("canceled job = %+v", job)
+	}
+	if _, err := q.Cancel("victim"); !errors.Is(err, ErrFinished) {
+		t.Fatalf("second cancel = %v, want ErrFinished", err)
+	}
+	if _, err := q.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown cancel = %v, want ErrNotFound", err)
+	}
+	if st := q.Stats(); st.Canceled != 1 || st.Queued != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// The canceled job never runs.
+	for _, id := range g.runOrder() {
+		if id == "victim" {
+			t.Fatal("canceled job was run")
+		}
+	}
+}
+
+func TestCancelRunning(t *testing.T) {
+	g := newGatedRunner() // release stays open: only ctx ends a run
+	q := New(g.run, Options{Workers: 1, Depth: 4})
+	q.Start()
+	defer stopQueue(t, q)
+	defer close(g.release)
+
+	if _, err := q.Submit(Spec{ID: "live", Manuscripts: manuscripts(2, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	job, err := q.Cancel("live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateRunning {
+		t.Fatalf("cancel snapshot state = %q, want running", job.State)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done, err := q.Wait(ctx, "live", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled", done.State)
+	}
+	if done.Progress.Canceled == 0 {
+		t.Fatalf("progress = %+v, want canceled items", done.Progress)
+	}
+}
+
+func TestVenueFairness(t *testing.T) {
+	g := newGatedRunner()
+	q := New(g.run, Options{Workers: 1, Depth: 16})
+	q.Start()
+	defer stopQueue(t, q)
+
+	// Block the single worker, then stack venue A deep and venue B
+	// shallow behind it.
+	if _, err := q.Submit(Spec{ID: "plug", Venue: "P", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	for _, id := range []string{"a1", "a2", "a3"} {
+		if _, err := q.Submit(Spec{ID: id, Venue: "A", Manuscripts: manuscripts(1, "")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Submit(Spec{ID: "b1", Venue: "B", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	close(g.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range []string{"a3", "b1"} {
+		if job, err := q.Wait(ctx, id, 10*time.Second); err != nil || job.State != StateDone {
+			t.Fatalf("wait %s: %v %+v", id, err, job)
+		}
+	}
+	want := []string{"plug", "a1", "b1", "a2", "a3"}
+	got := g.runOrder()
+	if len(got) != len(want) {
+		t.Fatalf("run order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run order = %v, want %v (B starves behind A)", got, want)
+		}
+	}
+}
+
+func TestWaitTimeoutReturnsSnapshot(t *testing.T) {
+	g := newGatedRunner()
+	defer close(g.release)
+	q := New(g.run, Options{Workers: 1})
+	q.Start()
+	defer stopQueue(t, q)
+
+	if _, err := q.Submit(Spec{ID: "slow", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	job, err := q.Wait(context.Background(), "slow", 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateRunning {
+		t.Fatalf("state = %q, want running snapshot on timeout", job.State)
+	}
+	if _, err := q.Wait(context.Background(), "missing", time.Millisecond); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("wait unknown = %v, want ErrNotFound", err)
+	}
+}
+
+func TestListOmitsResults(t *testing.T) {
+	q := New(okRunner, Options{Workers: 1})
+	q.Start()
+	defer stopQueue(t, q)
+	ids := []string{"one", "two"}
+	for _, id := range ids {
+		if _, err := q.Submit(Spec{ID: id, Manuscripts: manuscripts(1, "")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range ids {
+		if _, err := q.Wait(ctx, id, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list := q.List()
+	if len(list) != 2 || list[0].ID != "one" || list[1].ID != "two" {
+		t.Fatalf("list = %+v", list)
+	}
+	for _, j := range list {
+		if j.Result != nil {
+			t.Fatalf("list leaked a result for %s", j.ID)
+		}
+		if j.State != StateDone {
+			t.Fatalf("job %s state = %q", j.ID, j.State)
+		}
+	}
+	// But Get serves the full result.
+	got, err := q.Get("one")
+	if err != nil || got.Result == nil {
+		t.Fatalf("get = %+v, %v", got, err)
+	}
+}
+
+func TestRetainTerminalEvicts(t *testing.T) {
+	q := New(okRunner, Options{Workers: 1, RetainTerminal: 2})
+	q.Start()
+	defer stopQueue(t, q)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range []string{"j1", "j2", "j3"} {
+		if _, err := q.Submit(Spec{ID: id, Manuscripts: manuscripts(1, "")}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := q.Wait(ctx, id, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Get("j1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest terminal job not evicted: %v", err)
+	}
+	for _, id := range []string{"j2", "j3"} {
+		if _, err := q.Get(id); err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+	}
+}
+
+// TestConcurrentSubmitCancelPoll hammers every public entry point at
+// once; run under -race this is the data-race acceptance gate.
+func TestConcurrentSubmitCancelPoll(t *testing.T) {
+	q := New(okRunner, Options{Workers: 4, Depth: 8})
+	q.Start()
+	defer stopQueue(t, q)
+
+	const n = 64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var submitted []string
+	var rejected int
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job, err := q.Submit(Spec{Venue: fmt.Sprintf("v%d", i%3), Manuscripts: manuscripts(2, "")})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				submitted = append(submitted, job.ID)
+			case errors.Is(err, ErrQueueFull):
+				rejected++
+			default:
+				t.Errorf("submit: %v", err)
+			}
+		}(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q.List()
+			q.Stats()
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	ids := append([]string(nil), submitted...)
+	mu.Unlock()
+	if len(ids)+rejected != n {
+		t.Fatalf("accounted %d+%d, want %d", len(ids), rejected, n)
+	}
+	// Cancel half while they drain, wait on the rest.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, id := range ids {
+		if i%2 == 0 {
+			wg.Add(1)
+			go func(id string) {
+				defer wg.Done()
+				if _, err := q.Cancel(id); err != nil &&
+					!errors.Is(err, ErrFinished) && !errors.Is(err, ErrNotFound) {
+					t.Errorf("cancel %s: %v", id, err)
+				}
+			}(id)
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			job, err := q.Wait(ctx, id, 30*time.Second)
+			if err != nil {
+				t.Errorf("wait %s: %v", id, err)
+				return
+			}
+			if !job.State.Terminal() {
+				t.Errorf("job %s not terminal: %q", id, job.State)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	st := q.Stats()
+	if st.Done+st.Failed+st.Canceled != len(ids) {
+		t.Fatalf("terminal %d+%d+%d, want %d (stats %+v)",
+			st.Done, st.Failed, st.Canceled, len(ids), st)
+	}
+	if int(st.Rejections) != rejected {
+		t.Fatalf("rejections = %d, want %d", st.Rejections, rejected)
+	}
+}
+
+// TestRunnerErrorFails: a runner error is a failed job, not a crash.
+func TestRunnerErrorFails(t *testing.T) {
+	boom := func(ctx context.Context, spec Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+		return nil, errors.New("engine exploded")
+	}
+	q := New(boom, Options{Workers: 1})
+	q.Start()
+	defer stopQueue(t, q)
+	if _, err := q.Submit(Spec{ID: "f", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	job, err := q.Wait(ctx, "f", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateFailed || job.Error != "engine exploded" {
+		t.Fatalf("job = %+v", job)
+	}
+}

@@ -1,0 +1,231 @@
+// Durable job state. The store is a single file holding every job the
+// queue knows — queued specs waiting their turn and terminal jobs with
+// their full results — wrapped in the same envelope discipline as the
+// cache snapshot (internal/core/snapshot.go): an 8-byte magic, a
+// version, the payload length and a CRC32C of the payload, then JSON.
+// The checksum turns a torn write into a clean load error; saves go
+// through a temp file + rename so a crash mid-save leaves the previous
+// file intact. A job observed running at save time is recorded as
+// queued: if the process dies before the run finishes, the next process
+// re-runs it from scratch rather than losing it or trusting a
+// half-done result.
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/envelope"
+)
+
+const (
+	storeMagic   = "MINJOBS\x00"
+	storeVersion = 1
+	// maxStorePayload caps what Load will allocate for a corrupted
+	// length field.
+	maxStorePayload = 1 << 30
+)
+
+// storedJob is one job on the wire.
+type storedJob struct {
+	Spec        Spec           `json:"spec"`
+	Seq         uint64         `json:"seq"`
+	State       State          `json:"state"`
+	SubmittedAt time.Time      `json:"submitted_at"`
+	StartedAt   time.Time      `json:"started_at"`
+	FinishedAt  time.Time      `json:"finished_at"`
+	Progress    *Progress      `json:"progress,omitempty"`
+	Error       string         `json:"error,omitempty"`
+	Result      *batch.Summary `json:"result,omitempty"`
+}
+
+// storePayload is the JSON body inside the envelope.
+type storePayload struct {
+	SavedAt time.Time   `json:"saved_at"`
+	Jobs    []storedJob `json:"jobs"`
+}
+
+// RestoreStats reports what a Load brought back.
+type RestoreStats struct {
+	// Resumed jobs were queued (or running) when the file was saved and
+	// are queued again — they will run in this process.
+	Resumed int `json:"resumed"`
+	// Finished jobs are terminal; their results are fetchable again.
+	Finished int `json:"finished"`
+	// Dropped jobs failed to round-trip individually (an undecodable
+	// spec) and were skipped.
+	Dropped int `json:"dropped"`
+	// SavedAt is when the store was written.
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// encodeStore writes the enveloped store for the given records.
+func encodeStore(w io.Writer, savedAt time.Time, jobs []storedJob) error {
+	payload, err := json.Marshal(storePayload{SavedAt: savedAt, Jobs: jobs})
+	if err != nil {
+		return fmt.Errorf("job store encode: %w", err)
+	}
+	return envelope.Encode(w, storeMagic, storeVersion, payload)
+}
+
+// decodeStore reads and verifies an enveloped store. A bad magic,
+// unsupported version, truncated payload or checksum mismatch rejects
+// the file as a whole.
+func decodeStore(r io.Reader) (storePayload, error) {
+	var p storePayload
+	payload, err := envelope.Decode(r, storeMagic, storeVersion, maxStorePayload, "job store")
+	if err != nil {
+		return p, err
+	}
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return p, fmt.Errorf("job store decode: %w", err)
+	}
+	return p, nil
+}
+
+// persistable snapshots the jobs worth writing, under q.mu.
+func (q *Queue) persistableLocked() []storedJob {
+	out := make([]storedJob, 0, len(q.jobs))
+	for _, rec := range q.jobs {
+		sj := storedJob{
+			Spec:        rec.spec,
+			Seq:         rec.seq,
+			State:       rec.state,
+			SubmittedAt: rec.submittedAt,
+		}
+		switch {
+		case rec.state == StateRunning:
+			// Recorded as queued: a run that hasn't finished by the time
+			// this file is read again must start over.
+			sj.State = StateQueued
+		case rec.state.Terminal():
+			sj.StartedAt = rec.startedAt
+			sj.FinishedAt = rec.finishedAt
+			p := rec.progress
+			p.Statuses = append([]string(nil), rec.progress.Statuses...)
+			sj.Progress = &p
+			sj.Error = rec.errMsg
+			sj.Result = rec.result
+		}
+		out = append(out, sj)
+	}
+	return out
+}
+
+// save writes the store atomically (temp file + rename). A queue
+// without a StorePath is memory-only and save is a no-op.
+//
+// Each save rewrites the whole file, including every retained terminal
+// result — the simple-and-durable trade: an accepted job is on disk
+// before its 202 leaves the building, at the cost of O(retained jobs)
+// write amplification per transition. RetainTerminal bounds that cost;
+// an incremental (append-style) store is the next step if it ever
+// shows up in profiles.
+func (q *Queue) save() error {
+	if q.opts.StorePath == "" {
+		return nil
+	}
+	// saveMu is held across snapshot AND write: if a slower goroutine
+	// could snapshot first but rename last, an older state would
+	// overwrite a newer one on disk.
+	q.saveMu.Lock()
+	defer q.saveMu.Unlock()
+	q.mu.Lock()
+	jobs := q.persistableLocked()
+	savedAt := q.now().UTC()
+	q.mu.Unlock()
+	return envelope.WriteFileAtomic(q.opts.StorePath, func(w io.Writer) error {
+		return encodeStore(w, savedAt, jobs)
+	})
+}
+
+// saveLogged is save for the transition paths, where a disk hiccup
+// must cost durability, not the request.
+func (q *Queue) saveLogged() {
+	if err := q.save(); err != nil {
+		q.opts.Logf("job store save: %v", err)
+	}
+}
+
+// Load restores the store file into the queue: previously queued (or
+// interrupted-running) jobs are queued again in their original submit
+// order, terminal jobs become fetchable with their results. A missing
+// file is the normal cold start (ok=false, no error); a corrupt or
+// incompatible file is rejected whole. Call before Start, on an empty
+// queue.
+func (q *Queue) Load() (stats RestoreStats, ok bool, err error) {
+	if q.opts.StorePath == "" {
+		return RestoreStats{}, false, nil
+	}
+	f, err := os.Open(q.opts.StorePath)
+	if os.IsNotExist(err) {
+		return RestoreStats{}, false, nil
+	}
+	if err != nil {
+		return RestoreStats{}, false, err
+	}
+	defer f.Close()
+	p, err := decodeStore(f)
+	if err != nil {
+		return RestoreStats{}, false, fmt.Errorf("restore %s: %w", q.opts.StorePath, err)
+	}
+	stats.SavedAt = p.SavedAt
+
+	// Queue resumed jobs in original submit order.
+	sorted := append([]storedJob(nil), p.Jobs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, sj := range sorted {
+		if sj.Spec.ID == "" || len(sj.Spec.Manuscripts) == 0 {
+			stats.Dropped++
+			continue
+		}
+		if _, dup := q.jobs[sj.Spec.ID]; dup {
+			stats.Dropped++
+			continue
+		}
+		rec := &record{
+			spec:        sj.Spec,
+			seq:         q.seq,
+			state:       sj.State,
+			submittedAt: sj.SubmittedAt,
+			startedAt:   sj.StartedAt,
+			finishedAt:  sj.FinishedAt,
+			errMsg:      sj.Error,
+			result:      sj.Result,
+		}
+		q.seq++
+		if sj.Progress != nil {
+			rec.progress = *sj.Progress
+		} else {
+			rec.progress = Progress{
+				Total:    len(sj.Spec.Manuscripts),
+				Statuses: make([]string, len(sj.Spec.Manuscripts)),
+			}
+		}
+		switch {
+		case sj.State.Terminal():
+			q.jobs[rec.spec.ID] = rec
+			q.terminalOrder = append(q.terminalOrder, rec.spec.ID)
+			stats.Finished++
+		default:
+			// Queued — and, defensively, any unknown state: losing a job
+			// to an unrecognized label would be worse than re-running it.
+			rec.state = StateQueued
+			rec.startedAt = time.Time{}
+			q.jobs[rec.spec.ID] = rec
+			q.enqueueLocked(rec)
+			stats.Resumed++
+		}
+	}
+	q.evictTerminalLocked()
+	q.cond.Broadcast()
+	return stats, true, nil
+}
