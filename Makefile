@@ -19,32 +19,46 @@ vet:
 fmt:
 	gofmt -w .
 
-# Fails when any file needs reformatting (CI gate).
+# Fails fast when any file needs reformatting (CI gate): names the
+# offending files, shows the diff, and says how to fix it.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+		echo "FAIL: gofmt found unformatted files:"; \
+		echo "$$out" | sed 's/^/  /'; \
+		echo ""; gofmt -d $$out; \
+		echo "run 'make fmt' (or 'gofmt -w .') and re-commit"; \
+		exit 1; fi
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' . ./internal/core
 
 # CI gate: the batch pipeline, the indexed retrieval clusterer (a
-# regression there reverts clustering to the quadratic scan), and the
-# async job queue end to end over a warm Shared.
+# regression there reverts clustering to the quadratic scan), the
+# async job queue end to end over a warm Shared, and a scheduler sweep
+# firing N due schedules through bounded admission.
 bench-smoke:
 	$(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -run '^$$' .
 	$(GO) test -bench=BenchmarkRetrieveCluster -benchtime=1x -run '^$$' ./internal/core
 	$(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -run '^$$' .
+	$(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -run '^$$' ./internal/jobs
 
 server:
 	$(GO) run ./cmd/minaret-server
 
 # Documentation gate: the docs tree exists, every relative markdown link
 # in README.md and docs/ resolves, every internal package carries a
-# package comment, and the tree is gofmt/vet clean.
+# package comment, every minaret-server flag is documented in the
+# OPERATIONS.md runbook, and the tree is gofmt/vet clean.
 docs-check: fmt-check vet
-	@for f in README.md docs/API.md docs/ARCHITECTURE.md; do \
+	@for f in README.md docs/API.md docs/ARCHITECTURE.md docs/OPERATIONS.md; do \
 		[ -f "$$f" ] || { echo "docs-check: missing $$f"; exit 1; }; \
 	done
+	@fail=0; \
+	for f in $$(grep -oE 'flag\.[A-Za-z0-9]+\("[a-z0-9-]+"' cmd/minaret-server/main.go | sed -E 's/.*\("([a-z0-9-]+)".*/\1/' | sort -u); do \
+		grep -q -- "\`-$$f\`" docs/OPERATIONS.md || { \
+			echo "docs-check: flag -$$f (cmd/minaret-server) is missing from docs/OPERATIONS.md"; fail=1; }; \
+	done; \
+	[ "$$fail" -eq 0 ] || exit 1
 	@fail=0; \
 	for f in README.md docs/*.md; do \
 		dir=$$(dirname "$$f"); \

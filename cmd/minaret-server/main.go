@@ -15,7 +15,12 @@
 // admission bound (a full queue answers 429), and -jobs-store names a
 // file where job specs and finished results persist — a job queued
 // before a SIGTERM runs to completion after the restart, and finished
-// results stay fetchable.
+// results stay fetchable. Jobs carry a per-venue priority and an
+// optional callback_url fired on completion (-webhook-timeout,
+// -webhook-retries, -webhook-secret tune delivery); /v1/schedules
+// installs one-shot or recurring job templates that survive restarts
+// with -schedule-store and fire every -schedule-tick. The full
+// operations runbook is docs/OPERATIONS.md.
 //
 // Usage:
 //
@@ -72,6 +77,13 @@ func main() {
 		jobsDepth   = flag.Int("jobs-queue-depth", 64, "queued async jobs before POST /v1/jobs answers 429")
 		jobsStore   = flag.String("jobs-store", "", "file persisting job specs and results across restarts (empty: jobs die with the process)")
 		maxBody     = flag.Int64("max-body-bytes", httpapi.DefaultMaxBodyBytes, "largest accepted POST body; oversized requests answer 413 (0 = unlimited)")
+
+		scheduleStore = flag.String("schedule-store", "", "file persisting job schedules across restarts (empty: schedules die with the process)")
+		scheduleTick  = flag.Duration("schedule-tick", time.Second, "how often due schedules are checked and fired")
+
+		webhookTimeout = flag.Duration("webhook-timeout", 10*time.Second, "per-attempt timeout for job completion webhooks")
+		webhookRetries = flag.Int("webhook-retries", 3, "failed webhook delivery retries (0 = deliver once, never retry)")
+		webhookSecret  = flag.String("webhook-secret", "", "HMAC-SHA256 key signing webhook bodies (empty: deliveries are unsigned)")
 	)
 	flag.Parse()
 
@@ -96,6 +108,12 @@ func main() {
 	}
 	if *jobsDepth <= 0 {
 		log.Fatalf("minaret-server: -jobs-queue-depth %d must be positive", *jobsDepth)
+	}
+	if *scheduleTick <= 0 {
+		log.Fatalf("minaret-server: -schedule-tick %v must be positive", *scheduleTick)
+	}
+	if *webhookTimeout <= 0 {
+		log.Fatalf("minaret-server: -webhook-timeout %v must be positive", *webhookTimeout)
 	}
 
 	o := ontology.Default()
@@ -169,13 +187,23 @@ func main() {
 		stopSnapshotter = shared.StartSnapshotter(*snapPath, *snapInterval, log.Printf)
 	}
 
-	// Async job queue: enabled last, after the Shared caches are warm,
+	// At the flag surface 0 means what it says — no retries — which is
+	// the jobs.Options negative sentinel (its own zero selects the
+	// package default).
+	retries := *webhookRetries
+	if retries <= 0 {
+		retries = -1
+	}
+	// Async job queue: enabled after the Shared caches are warm,
 	// because a restored queued job may start running immediately.
 	queue, jobsRestore, err := server.EnableJobs(jobs.Options{
-		Workers:   *jobsWorkers,
-		Depth:     *jobsDepth,
-		StorePath: *jobsStore,
-		Logf:      log.Printf,
+		Workers:        *jobsWorkers,
+		Depth:          *jobsDepth,
+		StorePath:      *jobsStore,
+		Logf:           log.Printf,
+		WebhookTimeout: *webhookTimeout,
+		WebhookRetries: retries,
+		WebhookSecret:  *webhookSecret,
 	})
 	if queue == nil {
 		// Invalid options — a configuration error, not a store problem.
@@ -190,6 +218,27 @@ func main() {
 		log.Printf("job store: restored from %s (saved %s): %d jobs re-queued, %d finished kept, %d dropped",
 			*jobsStore, jobsRestore.SavedAt.Format(time.RFC3339),
 			jobsRestore.Resumed, jobsRestore.Finished, jobsRestore.Dropped)
+	}
+
+	// Workload scheduler: enabled last, above the queue — a schedule
+	// restored with a due fire submits through bounded admission on the
+	// first tick.
+	sched, schedRestore, err := server.EnableSchedules(jobs.SchedulerOptions{
+		StorePath:    *scheduleStore,
+		TickInterval: *scheduleTick,
+		Logf:         log.Printf,
+	})
+	if sched == nil {
+		log.Fatalf("minaret-server: schedules: %v", err)
+	}
+	if err != nil {
+		// Same availability-over-durability policy as the job store.
+		log.Printf("schedule store: %v (starting with no schedules)", err)
+	}
+	if schedRestore != nil {
+		log.Printf("schedule store: restored from %s (saved %s): %d schedules, %d due while down, %d dropped",
+			*scheduleStore, schedRestore.SavedAt.Format(time.RFC3339),
+			schedRestore.Restored, schedRestore.Due, schedRestore.Dropped)
 	}
 
 	fmt.Printf("MINARET API on %s\n", *addr)
@@ -216,10 +265,19 @@ func main() {
 		stop()
 		log.Printf("shutting down")
 	}
-	// Stop the job queue first, on its own budget: stopping releases
-	// every in-flight ?wait long-poll (otherwise the HTTP drain below
-	// would hang on them for its full window), interrupts running jobs,
-	// and records them queued in the store for the next process.
+	// Stop the scheduler first — no new fires may land in a stopping
+	// queue — then the job queue, each on its own budget: a scheduler
+	// stop that eats its whole window must not leave the queue with an
+	// expired deadline, or running jobs would be abandoned and pending
+	// webhooks dropped. Stopping the queue releases every in-flight
+	// ?wait long-poll (otherwise the HTTP drain below would hang on
+	// them for its full window), interrupts running jobs, and records
+	// them queued in the store for the next process.
+	schedCtx, cancelSched := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := sched.Stop(schedCtx); err != nil {
+		log.Printf("scheduler stop: %v", err)
+	}
+	cancelSched()
 	stopCtx, cancelStop := context.WithTimeout(context.Background(), 10*time.Second)
 	if err := queue.Stop(stopCtx); err != nil {
 		log.Printf("job queue stop: %v", err)

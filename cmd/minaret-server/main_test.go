@@ -4,16 +4,20 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
 
 	"minaret/internal/core"
+	"minaret/internal/jobs"
 )
 
 // TestServerEndToEnd builds and boots the real server binary against an
@@ -406,5 +410,255 @@ func TestServerJobsSurviveRestart(t *testing.T) {
 	}
 	if stats.UptimeSeconds <= 0 {
 		t.Fatalf("uptime_seconds = %v", stats.UptimeSeconds)
+	}
+}
+
+// TestServerScheduleAndWebhookSurviveRestart is the scheduler/webhook
+// acceptance scenario across real processes: a one-shot schedule with
+// catch-up "once" persisted by -schedule-store comes due while the
+// server is down and fires after the reboot; a job that finished in
+// the first life delivered its webhook exactly once per terminal
+// transition (a 5xx-then-2xx retry does not double-fire, and the
+// restart does not re-fire restored terminal jobs).
+func TestServerScheduleAndWebhookSurviveRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	// The webhook receiver lives in the test process. The first request
+	// for each job is answered 503 so every delivery needs one retry —
+	// the "retries don't double-fire" half of the acceptance test.
+	const secret = "restart-secret"
+	type seen struct {
+		attempts  int
+		delivered int
+		lastBody  []byte
+		lastSig   string
+	}
+	var mu sync.Mutex
+	hooks := map[string]*seen{}
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		id := r.Header.Get(jobs.JobIDHeader)
+		mu.Lock()
+		defer mu.Unlock()
+		s := hooks[id]
+		if s == nil {
+			s = &seen{}
+			hooks[id] = s
+		}
+		s.attempts++
+		if s.attempts == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		s.delivered++
+		s.lastBody = body
+		s.lastSig = r.Header.Get(jobs.SignatureHeader)
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer hook.Close()
+	snapshotHook := func(id string) seen {
+		mu.Lock()
+		defer mu.Unlock()
+		if s := hooks[id]; s != nil {
+			cp := *s
+			return cp
+		}
+		return seen{}
+	}
+
+	jobsStore := filepath.Join(dir, "jobs.store")
+	schedStore := filepath.Join(dir, "sched.store")
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin, "-addr", addr, "-scholars", "300", "-top-k", "3",
+			"-jobs-store", jobsStore, "-jobs-workers", "1",
+			"-schedule-store", schedStore, "-schedule-tick", "100ms",
+			"-webhook-secret", secret, "-webhook-timeout", "5s", "-webhook-retries", "3")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	getJSON := func(url string, out any) int {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil && resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return resp.StatusCode
+	}
+
+	// First life.
+	cmd := start()
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+
+	// A job with a callback runs to done; its webhook must arrive
+	// exactly once (after one forced retry).
+	jobBody, _ := json.Marshal(map[string]any{
+		"id":           "early",
+		"callback_url": hook.URL,
+		"manuscripts": []map[string]any{{
+			"title": "E", "keywords": []string{"rdf", "stream processing"},
+			"authors": []map[string]string{{"name": "Wei Wang"}},
+		}},
+		"top_k": 3,
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(jobBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var early struct {
+		State string `json:"state"`
+	}
+	if st := getJSON(base+"/v1/jobs/early?wait=60s", &early); st != http.StatusOK || early.State != "done" {
+		t.Fatalf("early job = %d %+v", st, early)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for snapshotHook("early").delivered == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("early webhook never delivered: %+v", snapshotHook("early"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if s := snapshotHook("early"); s.delivered != 1 || s.attempts != 2 {
+		t.Fatalf("early webhook = %+v, want 1 delivery over 2 attempts", s)
+	} else if !jobs.VerifySignature(secret, s.lastBody, s.lastSig) {
+		t.Fatalf("early webhook signature %q does not verify", s.lastSig)
+	}
+
+	// A one-shot schedule (with its own callback) that comes due while
+	// the server is down; catch-up "once" must fire it after reboot.
+	schedBody, _ := json.Marshal(map[string]any{
+		"id":       "reboot-shot",
+		"run_at":   time.Now().Add(2 * time.Second).Format(time.RFC3339),
+		"catch_up": "once",
+		"job": map[string]any{
+			"callback_url": hook.URL,
+			"manuscripts": []map[string]any{{
+				"title": "S", "keywords": []string{"machine learning"},
+				"authors": []map[string]string{{"name": "Maria Garcia"}},
+			}},
+			"top_k": 3,
+		},
+	})
+	resp2, err := http.Post(base+"/v1/schedules", "application/json", bytes.NewReader(schedBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusCreated {
+		t.Fatalf("schedule create = %d", resp2.StatusCode)
+	}
+
+	// Die before the schedule fires; stay down past its run_at.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+	}
+	for _, f := range []string{jobsStore, schedStore} {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("no store after shutdown: %v", err)
+		}
+	}
+	time.Sleep(2500 * time.Millisecond) // run_at passes while down
+
+	// Second life: the due schedule fires its job, which completes and
+	// webhooks; the first life's terminal job does not re-fire.
+	cmd2 := start()
+	t.Cleanup(func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	})
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		var fired struct {
+			State string `json:"state"`
+		}
+		st := getJSON(base+"/v1/jobs/reboot-shot-run-1?wait=10s", &fired)
+		if st == http.StatusOK && fired.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("schedule never fired after reboot (last status %d state %q)", st, fired.State)
+		}
+	}
+	var sched struct {
+		Done  bool `json:"done"`
+		Fired int  `json:"fired"`
+	}
+	if st := getJSON(base+"/v1/schedules/reboot-shot", &sched); st != http.StatusOK || !sched.Done || sched.Fired != 1 {
+		t.Fatalf("schedule after reboot = %d %+v", st, sched)
+	}
+	deadline = time.Now().Add(30 * time.Second)
+	for snapshotHook("reboot-shot-run-1").delivered == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("fired job's webhook never delivered: %+v", snapshotHook("reboot-shot-run-1"))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	// Exactly once per terminal transition: the restored "early" job
+	// must not have re-fired across the restart.
+	time.Sleep(300 * time.Millisecond)
+	if s := snapshotHook("early"); s.delivered != 1 {
+		t.Fatalf("early webhook re-fired after restart: %+v", s)
+	}
+	if s := snapshotHook("reboot-shot-run-1"); s.delivered != 1 {
+		t.Fatalf("fired job webhook = %+v, want exactly 1 delivery", s)
+	}
+
+	// The stats surface reports both subsystems.
+	var stats struct {
+		Jobs *struct {
+			Webhooks struct {
+				Delivered uint64 `json:"delivered"`
+				Retries   uint64 `json:"retries"`
+			} `json:"webhooks"`
+		} `json:"jobs"`
+		Schedules *struct {
+			Done    int    `json:"done"`
+			Fired   uint64 `json:"fired"`
+			Restore *struct {
+				Restored int `json:"restored"`
+				Due      int `json:"due"`
+			} `json:"restore"`
+		} `json:"schedules"`
+	}
+	if st := getJSON(base+"/api/stats", &stats); st != http.StatusOK {
+		t.Fatalf("stats = %d", st)
+	}
+	if stats.Jobs == nil || stats.Jobs.Webhooks.Delivered == 0 || stats.Jobs.Webhooks.Retries == 0 {
+		t.Fatalf("stats jobs webhooks = %+v", stats.Jobs)
+	}
+	if s := stats.Schedules; s == nil || s.Fired != 1 || s.Done != 1 ||
+		s.Restore == nil || s.Restore.Restored != 1 || s.Restore.Due != 1 {
+		t.Fatalf("stats schedules = %+v", stats.Schedules)
 	}
 }

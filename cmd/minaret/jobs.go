@@ -117,6 +117,8 @@ func runJobSubmit(args []string) {
 		inPath      = fs.String("in", "", "JSON file with the manuscripts (array, or object with a 'manuscripts' key)")
 		id          = fs.String("id", "", "caller-chosen job ID (default: server-assigned)")
 		venue       = fs.String("venue", "", "fairness venue (default: first manuscript's target venue)")
+		priority    = fs.String("priority", "", "queue priority within the venue: high|normal|low (default normal)")
+		callback    = fs.String("callback", "", "URL POSTed a signed webhook when the job finishes")
 		workers     = fs.Int("workers", 0, "manuscripts processed concurrently inside the job (0 = server default)")
 		topK        = fs.Int("top-k", 10, "recommendations per manuscript")
 		coiLevel    = fs.String("coi", "", "COI affiliation level: off|university|country (empty = server default)")
@@ -146,6 +148,12 @@ func runJobSubmit(args []string) {
 	}
 	if *venue != "" {
 		req["venue"] = *venue
+	}
+	if *priority != "" {
+		req["priority"] = *priority
+	}
+	if *callback != "" {
+		req["callback_url"] = *callback
 	}
 	if *workers > 0 {
 		req["workers"] = *workers
@@ -205,10 +213,10 @@ func runJobStatus(args []string) {
 			enc.Encode(list)
 			return
 		}
-		fmt.Printf("%-20s %-9s %-24s %-11s %s\n", "id", "state", "venue", "progress", "submitted")
+		fmt.Printf("%-20s %-9s %-7s %-24s %-11s %s\n", "id", "state", "prio", "venue", "progress", "submitted")
 		for _, j := range list.Jobs {
-			fmt.Printf("%-20s %-9s %-24s %3d/%-7d %s\n",
-				j.ID, j.State, trunc(j.Venue, 24),
+			fmt.Printf("%-20s %-9s %-7s %-24s %3d/%-7d %s\n",
+				j.ID, j.State, j.Priority, trunc(j.Venue, 24),
 				j.Progress.Completed, j.Progress.Total,
 				j.SubmittedAt.Format(time.RFC3339))
 		}
@@ -295,6 +303,9 @@ func reportJob(job jobs.Job, asJSON bool) {
 	fmt.Printf("job %s: %s", job.ID, job.State)
 	if job.Venue != "" {
 		fmt.Printf(" (venue %s)", job.Venue)
+	}
+	if job.Priority != "" && job.Priority != jobs.PriorityNormal {
+		fmt.Printf(" [%s priority]", job.Priority)
 	}
 	fmt.Println()
 	p := job.Progress

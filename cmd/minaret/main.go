@@ -11,7 +11,8 @@
 //
 // Subcommands: `minaret batch` processes a whole submission queue
 // in-process (see batch.go); `minaret jobs` drives a running
-// minaret-server's async job queue (see jobs.go).
+// minaret-server's async job queue (see jobs.go); `minaret schedules`
+// manages its scheduled/recurring jobs (see schedules.go).
 package main
 
 import (
@@ -117,6 +118,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "jobs" {
 		runJobs(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "schedules" {
+		runSchedules(os.Args[2:])
 		return
 	}
 	var authors authorList

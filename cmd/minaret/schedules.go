@@ -1,0 +1,259 @@
+// The schedules subcommand: a client for a running minaret-server's
+// /v1/schedules workload scheduler. Where `minaret jobs submit` hands
+// the server one batch, `minaret schedules create` installs a durable
+// job template the server fires on its own — nightly venue re-scrapes,
+// a one-shot late-submission batch at 02:00 — surviving server
+// restarts when the server runs with -schedule-store.
+//
+// Usage:
+//
+//	minaret schedules create -server http://localhost:8080 \
+//	    -in manuscripts.json -every 24h -catch-up once -priority low
+//	minaret schedules create -in late.json -at 2026-07-29T02:00:00Z
+//	minaret schedules list   -server http://localhost:8080
+//	minaret schedules status -server http://localhost:8080 sched-id
+//	minaret schedules cancel -server http://localhost:8080 sched-id
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"minaret/internal/httpapi"
+	"minaret/internal/jobs"
+)
+
+func runSchedules(args []string) {
+	if len(args) == 0 {
+		log.Fatal("minaret schedules: want a subcommand: create|list|status|cancel")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "create":
+		runScheduleCreate(rest)
+	case "list":
+		runScheduleList(rest)
+	case "status":
+		runScheduleStatus(rest)
+	case "cancel":
+		runScheduleCancel(rest)
+	default:
+		log.Fatalf("minaret schedules: unknown subcommand %q (want create|list|status|cancel)", sub)
+	}
+}
+
+func runScheduleCreate(args []string) {
+	fs := flag.NewFlagSet("minaret schedules create", flag.ExitOnError)
+	var (
+		server      = fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+		inPath      = fs.String("in", "", "JSON file with the manuscripts (array, or object with a 'manuscripts' key)")
+		id          = fs.String("id", "", "caller-chosen schedule ID (default: server-assigned)")
+		at          = fs.String("at", "", "fire once at this RFC 3339 instant (exactly one of -at and -every)")
+		every       = fs.String("every", "", "fire repeatedly on this interval, e.g. 24h (exactly one of -at and -every)")
+		catchUp     = fs.String("catch-up", "", "missed-fire policy after a restart: skip|once (default skip)")
+		venue       = fs.String("venue", "", "fairness venue (default: first manuscript's target venue)")
+		priority    = fs.String("priority", "", "fired jobs' queue priority: high|normal|low (default normal)")
+		callback    = fs.String("callback", "", "URL POSTed a signed webhook when each fired job finishes")
+		workers     = fs.Int("workers", 0, "manuscripts processed concurrently inside each fired job (0 = server default)")
+		topK        = fs.Int("top-k", 10, "recommendations per manuscript")
+		coiLevel    = fs.String("coi", "", "COI affiliation level: off|university|country (empty = server default)")
+		impact      = fs.String("impact", "", "impact metric: citations|h-index (empty = server default)")
+		noExpansion = fs.Bool("no-expansion", false, "disable semantic keyword expansion")
+		asJSON      = fs.Bool("json", false, "print raw schedule JSON")
+	)
+	fs.Parse(args)
+	if *inPath == "" {
+		log.Fatal("minaret schedules create: -in is required")
+	}
+	if (*at == "") == (*every == "") {
+		log.Fatal("minaret schedules create: want exactly one of -at and -every")
+	}
+	manuscripts, err := readManuscripts(*inPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(manuscripts) == 0 {
+		log.Fatalf("minaret schedules create: %s contains no manuscripts", *inPath)
+	}
+
+	job := map[string]any{
+		"manuscripts": manuscripts,
+		"top_k":       *topK,
+	}
+	if *venue != "" {
+		job["venue"] = *venue
+	}
+	if *priority != "" {
+		job["priority"] = *priority
+	}
+	if *callback != "" {
+		job["callback_url"] = *callback
+	}
+	if *workers > 0 {
+		job["workers"] = *workers
+	}
+	if *coiLevel != "" {
+		job["coi_level"] = *coiLevel
+	}
+	if *impact != "" {
+		job["impact_metric"] = *impact
+	}
+	if *noExpansion {
+		job["disable_expansion"] = true
+	}
+	req := map[string]any{"job": job}
+	if *id != "" {
+		req["id"] = *id
+	}
+	if *at != "" {
+		runAt, err := time.Parse(time.RFC3339, *at)
+		if err != nil {
+			log.Fatalf("minaret schedules create: -at %q: %v", *at, err)
+		}
+		req["run_at"] = runAt
+	}
+	if *every != "" {
+		req["every"] = *every
+	}
+	if *catchUp != "" {
+		req["catch_up"] = *catchUp
+	}
+
+	c := newJobsClient(*server)
+	var sched jobs.Schedule
+	if _, err := c.call(http.MethodPost, "/v1/schedules", req, &sched); err != nil {
+		log.Fatalf("minaret schedules create: %v", err)
+	}
+	if *asJSON {
+		printScheduleJSON(sched)
+		return
+	}
+	fmt.Printf("schedule %s created (%s, %d manuscripts)\n", sched.ID, describeCadence(sched), sched.Manuscripts)
+	if sched.NextRun != nil {
+		fmt.Printf("next run: %s\n", sched.NextRun.Format(time.RFC3339))
+	}
+}
+
+func runScheduleList(args []string) {
+	fs := flag.NewFlagSet("minaret schedules list", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	asJSON := fs.Bool("json", false, "print raw JSON")
+	fs.Parse(args)
+	c := newJobsClient(*server)
+	var list httpapi.ScheduleListResponse
+	if _, err := c.call(http.MethodGet, "/v1/schedules", nil, &list); err != nil {
+		log.Fatalf("minaret schedules list: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(list)
+		return
+	}
+	fmt.Printf("%-22s %-14s %-24s %-6s %-7s %s\n", "id", "cadence", "venue", "fired", "missed", "next run")
+	for _, sc := range list.Schedules {
+		next := "-"
+		if sc.NextRun != nil {
+			next = sc.NextRun.Format(time.RFC3339)
+		}
+		if sc.Done {
+			next = "done"
+		}
+		fmt.Printf("%-22s %-14s %-24s %-6d %-7d %s\n",
+			sc.ID, describeCadence(sc), trunc(sc.Venue, 24), sc.Fired, sc.Missed, next)
+	}
+	st := list.Stats
+	fmt.Printf("\nscheduler: %d active, %d done; %d jobs fired, %d slots missed\n",
+		st.Active, st.Done, st.Fired, st.Missed)
+}
+
+func runScheduleStatus(args []string) {
+	fs := flag.NewFlagSet("minaret schedules status", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	asJSON := fs.Bool("json", false, "print raw schedule JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("minaret schedules status: want exactly one schedule ID")
+	}
+	c := newJobsClient(*server)
+	var sched jobs.Schedule
+	if _, err := c.call(http.MethodGet, "/v1/schedules/"+fs.Arg(0), nil, &sched); err != nil {
+		log.Fatalf("minaret schedules status: %v", err)
+	}
+	reportSchedule(sched, *asJSON)
+}
+
+func runScheduleCancel(args []string) {
+	fs := flag.NewFlagSet("minaret schedules cancel", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	asJSON := fs.Bool("json", false, "print raw schedule JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("minaret schedules cancel: want exactly one schedule ID")
+	}
+	c := newJobsClient(*server)
+	var sched jobs.Schedule
+	if _, err := c.call(http.MethodDelete, "/v1/schedules/"+fs.Arg(0), nil, &sched); err != nil {
+		log.Fatalf("minaret schedules cancel: %v", err)
+	}
+	if *asJSON {
+		printScheduleJSON(sched)
+		return
+	}
+	fmt.Printf("schedule %s removed (%d jobs fired; fired jobs are unaffected)\n", sched.ID, sched.Fired)
+}
+
+// describeCadence renders a schedule's firing rule for humans.
+func describeCadence(sc jobs.Schedule) string {
+	if sc.EveryText != "" {
+		return "every " + sc.EveryText
+	}
+	if sc.RunAt != nil {
+		return "once @ " + sc.RunAt.Format("15:04:05")
+	}
+	return "one-shot"
+}
+
+func printScheduleJSON(sc jobs.Schedule) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(sc)
+}
+
+func reportSchedule(sc jobs.Schedule, asJSON bool) {
+	if asJSON {
+		printScheduleJSON(sc)
+		return
+	}
+	fmt.Printf("schedule %s: %s (catch-up %s)", sc.ID, describeCadence(sc), sc.CatchUp)
+	if sc.Done {
+		fmt.Printf(" — done")
+	}
+	fmt.Println()
+	fmt.Printf("template: %d manuscripts", sc.Manuscripts)
+	if sc.Venue != "" {
+		fmt.Printf(", venue %s", sc.Venue)
+	}
+	if sc.Priority != "" && sc.Priority != jobs.PriorityNormal {
+		fmt.Printf(", %s priority", sc.Priority)
+	}
+	if sc.CallbackURL != "" {
+		fmt.Printf(", webhook %s", sc.CallbackURL)
+	}
+	fmt.Println()
+	fmt.Printf("fired %d, missed %d, misfires %d\n", sc.Fired, sc.Missed, sc.Misfires)
+	if sc.NextRun != nil {
+		fmt.Printf("next run: %s\n", sc.NextRun.Format(time.RFC3339))
+	}
+	if sc.LastRun != nil {
+		fmt.Printf("last run: %s (job %s)\n", sc.LastRun.Format(time.RFC3339), sc.LastJobID)
+	}
+	if sc.LastError != "" {
+		fmt.Printf("last error: %s\n", sc.LastError)
+	}
+}

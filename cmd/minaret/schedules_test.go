@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/httpapi"
+	"minaret/internal/jobs"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// schedulesServer is jobsServer with the workload scheduler enabled on
+// a fast tick.
+func schedulesServer(t *testing.T) string {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 99, NumScholars: 300, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	web := httptest.NewServer(simweb.New(corpus, simweb.Config{}).Mux())
+	t.Cleanup(web.Close)
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	registry := sources.DefaultRegistry(f, sources.SingleHost(web.URL))
+	srv := httpapi.New(registry, o, core.Config{TopK: 5, MaxCandidates: 40}, corpus.HorizonYear)
+	srv.SetFetcher(f)
+	q, _, err := srv.EnableJobs(jobs.Options{Workers: 1, Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, _, err := srv.EnableSchedules(jobs.SchedulerOptions{TickInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sched.Stop(ctx)
+		q.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	return api.URL
+}
+
+func TestCLISchedulesLifecycle(t *testing.T) {
+	server := schedulesServer(t)
+	path := writeManuscripts(t, batchInput())
+
+	// create a fast recurring schedule.
+	out, _ := runCLI(t, "schedules", "create", "-server", server, "-in", path,
+		"-id", "cli-sched", "-every", "100ms", "-catch-up", "once",
+		"-priority", "high", "-top-k", "3")
+	for _, want := range []string{"schedule cli-sched created", "every 100ms", "next run:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("create output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The schedule fires a real job the jobs client can wait on. The
+	// first fire lands ~100ms after create, so retry until the job
+	// exists.
+	var stdout string
+	var code int
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		stdout, _, code = runCLIExit(t, "jobs", "wait", "-server", server,
+			"-timeout", "2m", "cli-sched-run-1")
+		if code == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if code != 0 || !strings.Contains(stdout, "done") {
+		t.Fatalf("wait on fired job: exit=%d output:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "[high priority]") {
+		t.Errorf("fired job output missing priority:\n%s", stdout)
+	}
+
+	// list shows cadence and fire accounting; status shows detail.
+	out, _ = runCLI(t, "schedules", "list", "-server", server)
+	if !strings.Contains(out, "cli-sched") || !strings.Contains(out, "every 100ms") ||
+		!strings.Contains(out, "scheduler:") {
+		t.Errorf("list output:\n%s", out)
+	}
+	out, _ = runCLI(t, "schedules", "status", "-server", server, "cli-sched")
+	for _, want := range []string{"schedule cli-sched: every 100ms (catch-up once)", "high priority", "fired "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("status output missing %q:\n%s", want, out)
+		}
+	}
+
+	// cancel removes it; a second cancel fails loudly.
+	out, _ = runCLI(t, "schedules", "cancel", "-server", server, "cli-sched")
+	if !strings.Contains(out, "schedule cli-sched removed") {
+		t.Fatalf("cancel output:\n%s", out)
+	}
+	_, stderr, code := runCLIExit(t, "schedules", "cancel", "-server", server, "cli-sched")
+	if code == 0 || !strings.Contains(stderr, "no schedule") {
+		t.Errorf("second cancel: exit=%d stderr:\n%s", code, stderr)
+	}
+}
+
+func TestCLISchedulesErrors(t *testing.T) {
+	path := writeManuscripts(t, batchInput())
+	// Both -at and -every (no server call needed).
+	_, stderr, code := runCLIExit(t, "schedules", "create", "-in", path,
+		"-at", "2026-07-29T02:00:00Z", "-every", "1h")
+	if code == 0 || !strings.Contains(stderr, "exactly one of -at and -every") {
+		t.Errorf("both cadences: exit=%d stderr:\n%s", code, stderr)
+	}
+	// Neither.
+	_, stderr, code = runCLIExit(t, "schedules", "create", "-in", path)
+	if code == 0 || !strings.Contains(stderr, "exactly one of -at and -every") {
+		t.Errorf("no cadence: exit=%d stderr:\n%s", code, stderr)
+	}
+	// Unknown subcommand.
+	_, stderr, code = runCLIExit(t, "schedules", "explode")
+	if code == 0 || !strings.Contains(stderr, "unknown subcommand") {
+		t.Errorf("bad subcommand: exit=%d stderr:\n%s", code, stderr)
+	}
+}

@@ -50,28 +50,42 @@ func Encode(w io.Writer, magic string, version uint32, payload []byte) error {
 // kind names the file in error messages ("cache snapshot", "job
 // store").
 func Decode(r io.Reader, magic string, version uint32, maxPayload uint64, kind string) ([]byte, error) {
+	_, payload, err := DecodeRange(r, magic, version, version, maxPayload, kind)
+	return payload, err
+}
+
+// DecodeRange is Decode for formats that read several versions: any
+// version in [minVersion, maxVersion] is accepted and returned
+// alongside the payload, so the caller can interpret older layouts
+// (e.g. a v1 job store read by a v2 process after new optional fields
+// were added).
+func DecodeRange(r io.Reader, magic string, minVersion, maxVersion uint32, maxPayload uint64, kind string) (uint32, []byte, error) {
 	var header [headerLen]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
-		return nil, fmt.Errorf("%s header: %w", kind, err)
+		return 0, nil, fmt.Errorf("%s header: %w", kind, err)
 	}
 	if string(header[:8]) != magic {
-		return nil, fmt.Errorf("not a minaret %s (bad magic)", kind)
+		return 0, nil, fmt.Errorf("not a minaret %s (bad magic)", kind)
 	}
-	if v := binary.BigEndian.Uint32(header[8:12]); v != version {
-		return nil, fmt.Errorf("%s version %d unsupported (want %d)", kind, v, version)
+	version := binary.BigEndian.Uint32(header[8:12])
+	if version < minVersion || version > maxVersion {
+		if minVersion == maxVersion {
+			return 0, nil, fmt.Errorf("%s version %d unsupported (want %d)", kind, version, minVersion)
+		}
+		return 0, nil, fmt.Errorf("%s version %d unsupported (want %d..%d)", kind, version, minVersion, maxVersion)
 	}
 	n := binary.BigEndian.Uint64(header[12:20])
 	if n > maxPayload {
-		return nil, fmt.Errorf("%s payload of %d bytes exceeds limit", kind, n)
+		return 0, nil, fmt.Errorf("%s payload of %d bytes exceeds limit", kind, n)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("%s payload: %w", kind, err)
+		return 0, nil, fmt.Errorf("%s payload: %w", kind, err)
 	}
 	if sum := crc32.Checksum(payload, crcTable); sum != binary.BigEndian.Uint32(header[20:24]) {
-		return nil, fmt.Errorf("%s checksum mismatch (file corrupt)", kind)
+		return 0, nil, fmt.Errorf("%s checksum mismatch (file corrupt)", kind)
 	}
-	return payload, nil
+	return version, payload, nil
 }
 
 // WriteFileAtomic writes whatever write produces to path atomically: a

@@ -92,6 +92,11 @@ type Server struct {
 	// /api/stats' jobs block.
 	jobs        *jobs.Queue
 	jobsRestore *jobs.RestoreStats
+	// sched, when non-nil, backs the /v1/schedules routes (see
+	// EnableSchedules); schedRestore is the boot-time schedule-store
+	// restore outcome, reported in /api/stats' schedules block.
+	sched        *jobs.Scheduler
+	schedRestore *jobs.ScheduleRestoreStats
 	// maxBody bounds every POST body via http.MaxBytesReader; <= 0
 	// disables the cap.
 	maxBody int64
@@ -194,6 +199,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/batch", s.tele.instrument("batch", s.handleBatch))
 	mux.HandleFunc("/v1/jobs", s.tele.instrument("jobs", s.handleJobs))
 	mux.HandleFunc("/v1/jobs/", s.tele.instrument("jobs", s.handleJobByID))
+	mux.HandleFunc("/v1/schedules", s.tele.instrument("schedules", s.handleSchedules))
+	mux.HandleFunc("/v1/schedules/", s.tele.instrument("schedules", s.handleScheduleByID))
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

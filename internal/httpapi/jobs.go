@@ -37,6 +37,12 @@ type JobRequest struct {
 	Manuscripts []core.Manuscript `json:"manuscripts"`
 	// Workers bounds the batch's per-manuscript concurrency (default 4).
 	Workers int `json:"workers,omitempty"`
+	// Priority orders the job within its venue's queue: "high",
+	// "normal" (default) or "low". Fairness across venues is unaffected.
+	Priority string `json:"priority,omitempty"`
+	// CallbackURL, when set, receives a signed webhook POST once the
+	// job reaches a terminal state (see docs/API.md for the contract).
+	CallbackURL string `json:"callback_url,omitempty"`
 	RecommendOptions
 }
 
@@ -108,39 +114,51 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// specForJobRequest validates req — the shared vocabulary of direct
+// submissions and schedule templates — and maps it onto a jobs.Spec.
+// Bad options are rejected here, at admission, not at run time: a job
+// that can never run must not occupy a queue slot.
+func (s *Server) specForJobRequest(req *JobRequest) (jobs.Spec, error) {
+	var spec jobs.Spec
+	if len(req.Manuscripts) == 0 {
+		return spec, errors.New("manuscripts required")
+	}
+	if len(req.Manuscripts) > MaxBatchManuscripts {
+		return spec, fmt.Errorf("job of %d manuscripts exceeds limit %d", len(req.Manuscripts), MaxBatchManuscripts)
+	}
+	if _, err := s.configFor(&req.RecommendOptions); err != nil {
+		return spec, err
+	}
+	priority, err := jobs.ParsePriority(req.Priority)
+	if err != nil {
+		return spec, err
+	}
+	optBytes, err := json.Marshal(req.RecommendOptions)
+	if err != nil {
+		return spec, err
+	}
+	return jobs.Spec{
+		ID:          req.ID,
+		Venue:       req.Venue,
+		Manuscripts: req.Manuscripts,
+		Workers:     req.Workers,
+		Priority:    priority,
+		CallbackURL: req.CallbackURL,
+		Options:     optBytes,
+	}, nil
+}
+
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req JobRequest
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	if len(req.Manuscripts) == 0 {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "manuscripts required"})
-		return
-	}
-	if len(req.Manuscripts) > MaxBatchManuscripts {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{
-			Error: fmt.Sprintf("job of %d manuscripts exceeds limit %d", len(req.Manuscripts), MaxBatchManuscripts),
-		})
-		return
-	}
-	// Reject bad options at admission, not at run time: a job that can
-	// never run must not occupy a queue slot.
-	if _, err := s.configFor(&req.RecommendOptions); err != nil {
-		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
-		return
-	}
-	optBytes, err := json.Marshal(req.RecommendOptions)
+	spec, err := s.specForJobRequest(&req)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
 		return
 	}
-	job, err := s.jobs.Submit(jobs.Spec{
-		ID:          req.ID,
-		Venue:       req.Venue,
-		Manuscripts: req.Manuscripts,
-		Workers:     req.Workers,
-		Options:     optBytes,
-	})
+	job, err := s.jobs.Submit(spec)
 	switch {
 	case err == nil:
 		w.Header().Set("Location", "/v1/jobs/"+job.ID)

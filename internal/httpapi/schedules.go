@@ -1,0 +1,175 @@
+// The /v1/schedules routes: scheduled and recurring jobs. A schedule
+// is a durable server-side job template — "re-scrape this venue
+// nightly", "run the late-submission batch at 02:00" — that submits
+// ordinary /v1/jobs work through the same bounded admission path when
+// it comes due. This is the workload-scheduling front of
+// internal/jobs' Scheduler.
+package httpapi
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"minaret/internal/jobs"
+)
+
+// ScheduleRequest is the POST /v1/schedules body: when to fire plus
+// the job template each fire submits.
+type ScheduleRequest struct {
+	// ID optionally names the schedule (must be unique); empty lets the
+	// server assign one.
+	ID string `json:"id,omitempty"`
+	// RunAt fires once at the given instant (RFC 3339). Exactly one of
+	// RunAt and Every must be set.
+	RunAt *time.Time `json:"run_at,omitempty"`
+	// Every fires repeatedly on a fixed interval, as a Go duration
+	// string ("24h", "90m"); the first fire is creation + interval.
+	Every string `json:"every,omitempty"`
+	// CatchUp is the missed-fire policy applied after a restart: "skip"
+	// (default) drops fires that came due while the server was down,
+	// "once" fires a single catch-up job.
+	CatchUp string `json:"catch_up,omitempty"`
+	// Job is the template each fire submits: the POST /v1/jobs payload
+	// minus the id (fired jobs get derived ids, <schedule>-run-<n>).
+	Job JobRequest `json:"job"`
+}
+
+// ScheduleListResponse is the GET /v1/schedules payload.
+type ScheduleListResponse struct {
+	Schedules []jobs.Schedule     `json:"schedules"`
+	Count     int                 `json:"count"`
+	Stats     jobs.SchedulerStats `json:"stats"`
+}
+
+// EnableSchedules builds the server's scheduler over opts, submitting
+// due fires into the job queue (EnableJobs must have succeeded first),
+// restores the schedule store when one is configured, and starts the
+// tick loop. Invalid options (or a jobs-less server) return
+// (nil, nil, err) and enable nothing. A corrupt or unreadable store is
+// returned as the error while the scheduler still comes up empty and
+// serving — availability over durability, matching the job-store
+// policy. The caller owns Stop, and must stop the scheduler before the
+// queue so no fire lands in a stopped queue.
+func (s *Server) EnableSchedules(opts jobs.SchedulerOptions) (*jobs.Scheduler, *jobs.ScheduleRestoreStats, error) {
+	if s.jobs == nil {
+		return nil, nil, errors.New("httpapi: schedules need the job queue enabled first")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if opts.Lookup == nil {
+		opts.Lookup = s.jobs.Get
+	}
+	sched := jobs.NewScheduler(s.jobs.Submit, opts)
+	stats, ok, err := sched.Load()
+	var restore *jobs.ScheduleRestoreStats
+	if ok {
+		restore = &stats
+	}
+	s.sched = sched
+	s.schedRestore = restore
+	sched.Start()
+	return sched, restore, err
+}
+
+// specForScheduleRequest validates req and maps it onto a
+// jobs.ScheduleSpec (options validated with the same vocabulary as a
+// direct job submission).
+func (s *Server) specForScheduleRequest(req *ScheduleRequest) (jobs.ScheduleSpec, error) {
+	var spec jobs.ScheduleSpec
+	spec.ID = req.ID
+	if req.RunAt != nil {
+		spec.RunAt = *req.RunAt
+	}
+	if req.Every != "" {
+		d, err := time.ParseDuration(req.Every)
+		if err != nil {
+			return spec, fmt.Errorf("invalid every %q: %v", req.Every, err)
+		}
+		if d <= 0 {
+			return spec, fmt.Errorf("every %q must be positive", req.Every)
+		}
+		spec.Every = d
+	}
+	spec.CatchUp = jobs.CatchUp(req.CatchUp)
+	jobSpec, err := s.specForJobRequest(&req.Job)
+	if err != nil {
+		return spec, err
+	}
+	spec.Job = jobSpec
+	return spec, nil
+}
+
+// handleSchedules serves the collection: POST creates, GET lists.
+func (s *Server) handleSchedules(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "scheduler not enabled"})
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.handleScheduleCreate(w, r)
+	case http.MethodGet:
+		list := s.sched.List()
+		writeJSON(w, http.StatusOK, ScheduleListResponse{Schedules: list, Count: len(list), Stats: s.sched.Stats()})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST or GET required"})
+	}
+}
+
+func (s *Server) handleScheduleCreate(w http.ResponseWriter, r *http.Request) {
+	var req ScheduleRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	spec, err := s.specForScheduleRequest(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	sched, err := s.sched.Add(spec)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/schedules/"+sched.ID)
+		writeJSON(w, http.StatusCreated, sched)
+	case errors.Is(err, jobs.ErrDuplicateScheduleID):
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	}
+}
+
+// handleScheduleByID serves one schedule: GET inspects, DELETE removes
+// (already-fired jobs are unaffected).
+func (s *Server) handleScheduleByID(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "scheduler not enabled"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/schedules/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "schedule id required"})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		sched, err := s.sched.Get(id)
+		if errors.Is(err, jobs.ErrScheduleNotFound) {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no schedule " + id})
+			return
+		}
+		writeJSON(w, http.StatusOK, sched)
+	case http.MethodDelete:
+		sched, err := s.sched.Remove(id)
+		if errors.Is(err, jobs.ErrScheduleNotFound) {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no schedule " + id})
+			return
+		}
+		writeJSON(w, http.StatusOK, sched)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET or DELETE required"})
+	}
+}

@@ -1,0 +1,367 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/jobs"
+)
+
+// newSchedulesFixture is newJobsFixture with the scheduler enabled on
+// a fast tick, so API tests can watch real fires without fake clocks.
+func newSchedulesFixture(t *testing.T, jobOpts jobs.Options, schedOpts jobs.SchedulerOptions) *apiFixture {
+	t.Helper()
+	corpus, srv := newServerFixture(t)
+	q, _, err := srv.EnableJobs(jobOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schedOpts.TickInterval == 0 {
+		schedOpts.TickInterval = 10 * time.Millisecond
+	}
+	sched, _, err := srv.EnableSchedules(schedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		sched.Stop(ctx)
+		q.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	return &apiFixture{corpus: corpus, api: api, srv: srv}
+}
+
+func decodeSchedule(t *testing.T, resp *http.Response) jobs.Schedule {
+	t.Helper()
+	defer resp.Body.Close()
+	var sc jobs.Schedule
+	if err := json.NewDecoder(resp.Body).Decode(&sc); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestScheduleAPILifecycle drives the whole surface: create a fast
+// recurring schedule, watch it fire real prioritized jobs through the
+// queue, inspect it, delete it.
+func TestScheduleAPILifecycle(t *testing.T) {
+	fx := newSchedulesFixture(t, jobs.Options{Workers: 1, Depth: 16}, jobs.SchedulerOptions{})
+	req := ScheduleRequest{
+		ID:      "fast-rescrape",
+		Every:   "50ms",
+		CatchUp: "once",
+		Job: JobRequest{
+			Venue:            "EDBT",
+			Priority:         "high",
+			Manuscripts:      batchManuscripts(t, fx, 1),
+			RecommendOptions: RecommendOptions{TopK: 3},
+		},
+	}
+	resp := postJSON(t, fx.api.URL+"/v1/schedules", req)
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("create status = %d: %s", resp.StatusCode, body)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/schedules/fast-rescrape" {
+		t.Fatalf("location = %q", loc)
+	}
+	sc := decodeSchedule(t, resp)
+	if sc.ID != "fast-rescrape" || sc.EveryText != "50ms" || sc.CatchUp != jobs.CatchUpOnce ||
+		sc.Priority != jobs.PriorityHigh || sc.NextRun == nil || sc.Done {
+		t.Fatalf("created schedule = %+v", sc)
+	}
+
+	// A duplicate ID conflicts.
+	dup := postJSON(t, fx.api.URL+"/v1/schedules", req)
+	io.Copy(io.Discard, dup.Body)
+	dup.Body.Close()
+	if dup.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate create = %d, want 409", dup.StatusCode)
+	}
+
+	// The schedule fires real jobs: wait until one lands done.
+	deadline := time.Now().Add(60 * time.Second)
+	var fired jobs.Job
+	for {
+		r, err := http.Get(fx.api.URL + "/v1/jobs/fast-rescrape-run-1?wait=5s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode == http.StatusOK {
+			fired = decodeJob(t, r)
+			if fired.State.Terminal() {
+				break
+			}
+		} else {
+			io.Copy(io.Discard, r.Body)
+			r.Body.Close()
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("schedule never fired a finished job")
+		}
+	}
+	if fired.State != jobs.StateDone || fired.Priority != jobs.PriorityHigh || fired.Venue != "EDBT" {
+		t.Fatalf("fired job = %+v", fired)
+	}
+
+	// The schedule's own view records the fire.
+	r2, err := http.Get(fx.api.URL + "/v1/schedules/fast-rescrape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeSchedule(t, r2)
+	if got.Fired == 0 || got.LastJobID == "" || got.LastRun == nil {
+		t.Fatalf("schedule after fire = %+v", got)
+	}
+
+	// List + stats see it.
+	r3, err := http.Get(fx.api.URL + "/v1/schedules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list ScheduleListResponse
+	if err := json.NewDecoder(r3.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if list.Count != 1 || len(list.Schedules) != 1 || list.Stats.Active != 1 || list.Stats.Fired == 0 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Delete; a second delete (and a get) 404s; firing stops.
+	del := httpDelete(t, fx.api.URL+"/v1/schedules/fast-rescrape")
+	if del.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d", del.StatusCode)
+	}
+	io.Copy(io.Discard, del.Body)
+	del.Body.Close()
+	for _, do := range []func() *http.Response{
+		func() *http.Response { return httpDelete(t, fx.api.URL+"/v1/schedules/fast-rescrape") },
+		func() *http.Response {
+			r, err := http.Get(fx.api.URL + "/v1/schedules/fast-rescrape")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
+		},
+	} {
+		r := do()
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Fatalf("after delete = %d, want 404", r.StatusCode)
+		}
+	}
+}
+
+func TestScheduleAPIValidation(t *testing.T) {
+	fx := newSchedulesFixture(t, jobs.Options{Workers: 1, Depth: 4}, jobs.SchedulerOptions{TickInterval: time.Hour})
+	ms := batchManuscripts(t, fx, 1)
+	bad := []ScheduleRequest{
+		{Job: JobRequest{Manuscripts: ms}}, // neither at nor every
+		{Every: "1h", RunAt: timePtr(time.Now().Add(time.Hour)), Job: JobRequest{Manuscripts: ms}},            // both
+		{Every: "soon", Job: JobRequest{Manuscripts: ms}},                                                     // unparseable
+		{Every: "-5m", Job: JobRequest{Manuscripts: ms}},                                                      // negative
+		{Every: "1h", CatchUp: "twice", Job: JobRequest{Manuscripts: ms}},                                     // bad policy
+		{Every: "1h", Job: JobRequest{}},                                                                      // no manuscripts
+		{Every: "1h", Job: JobRequest{Manuscripts: ms, Priority: "urgent"}},                                   // bad priority
+		{Every: "1h", Job: JobRequest{Manuscripts: ms, CallbackURL: "gopher://x"}},                            // bad callback
+		{Every: "1h", Job: JobRequest{ID: "no", Manuscripts: ms}},                                             // template with id
+		{Every: "1h", Job: JobRequest{Manuscripts: ms, RecommendOptions: RecommendOptions{COILevel: "nope"}}}, // bad options
+	}
+	for i, req := range bad {
+		resp := postJSON(t, fx.api.URL+"/v1/schedules", req)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %d status = %d, want 400", i, resp.StatusCode)
+		}
+	}
+	// Method contract.
+	req, _ := http.NewRequest(http.MethodPut, fx.api.URL+"/v1/schedules", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSchedulesDisabledAnswers503: a server without EnableSchedules
+// (e.g. embedded use) fails closed, like the jobs routes.
+func TestSchedulesDisabledAnswers503(t *testing.T) {
+	fx := newJobsFixture(t, jobs.Options{Workers: 1})
+	for _, path := range []string{"/v1/schedules", "/v1/schedules/x"} {
+		resp, err := http.Get(fx.api.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s = %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestScheduleStoreAcrossServers: schedules created against one server
+// come back in a second server sharing the store file — the in-process
+// version of the restart acceptance test.
+func TestScheduleStoreAcrossServers(t *testing.T) {
+	store := filepath.Join(t.TempDir(), "sched.store")
+	fx := newSchedulesFixture(t, jobs.Options{Workers: 1},
+		jobs.SchedulerOptions{StorePath: store, TickInterval: time.Hour})
+	req := ScheduleRequest{
+		ID:    "persisted",
+		Every: "24h",
+		Job:   JobRequest{Manuscripts: batchManuscripts(t, fx, 1), RecommendOptions: RecommendOptions{TopK: 3}},
+	}
+	resp := postJSON(t, fx.api.URL+"/v1/schedules", req)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+
+	fx2 := newSchedulesFixture(t, jobs.Options{Workers: 1},
+		jobs.SchedulerOptions{StorePath: store, TickInterval: time.Hour})
+	r, err := http.Get(fx2.api.URL + "/v1/schedules/persisted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("restored get = %d", r.StatusCode)
+	}
+	sc := decodeSchedule(t, r)
+	if sc.EveryText != "24h0m0s" || sc.Done {
+		t.Fatalf("restored schedule = %+v", sc)
+	}
+	// The boot restore surfaces in /api/stats.
+	r2, err := http.Get(fx2.api.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var stats struct {
+		Schedules *struct {
+			Active  int `json:"active"`
+			Restore *struct {
+				Restored int `json:"restored"`
+			} `json:"restore"`
+		} `json:"schedules"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Schedules == nil || stats.Schedules.Active != 1 ||
+		stats.Schedules.Restore == nil || stats.Schedules.Restore.Restored != 1 {
+		t.Fatalf("stats schedules = %+v", stats.Schedules)
+	}
+}
+
+// TestJobWebhookThroughAPI: a job submitted over HTTP with a
+// callback_url delivers a signed webhook on completion, and the
+// delivery shows in /api/stats.
+func TestJobWebhookThroughAPI(t *testing.T) {
+	var mu sync.Mutex
+	var bodies [][]byte
+	var sigs []string
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		bodies = append(bodies, body)
+		sigs = append(sigs, r.Header.Get(jobs.SignatureHeader))
+		mu.Unlock()
+	}))
+	defer hook.Close()
+
+	const secret = "api-secret"
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 4, WebhookSecret: secret,
+		WebhookBackoff: 5 * time.Millisecond})
+	req := JobRequest{
+		ID:               "hooked",
+		CallbackURL:      hook.URL,
+		Priority:         "low",
+		Manuscripts:      batchManuscripts(t, fx, 1),
+		RecommendOptions: RecommendOptions{TopK: 3},
+	}
+	resp := postJSON(t, fx.api.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	job := decodeJob(t, resp)
+	if job.Priority != jobs.PriorityLow || job.CallbackURL != hook.URL {
+		t.Fatalf("accepted job = %+v", job)
+	}
+	r, err := http.Get(fx.api.URL + "/v1/jobs/hooked?wait=60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := decodeJob(t, r)
+	if done.State != jobs.StateDone {
+		t.Fatalf("job = %+v", done)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := len(bodies)
+		mu.Unlock()
+		if n >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("webhook never arrived")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	mu.Lock()
+	body, sig := bodies[0], sigs[0]
+	mu.Unlock()
+	if !jobs.VerifySignature(secret, body, sig) {
+		t.Fatalf("signature %q does not verify", sig)
+	}
+	var p jobs.WebhookPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Event != "job.done" || p.Job.ID != "hooked" || p.Job.Result != nil {
+		t.Fatalf("payload = %+v", p)
+	}
+
+	// Delivery stats surface in /api/stats' jobs block.
+	r2, err := http.Get(fx.api.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var stats struct {
+		Jobs *struct {
+			Webhooks struct {
+				Delivered uint64 `json:"delivered"`
+			} `json:"webhooks"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs == nil || stats.Jobs.Webhooks.Delivered != 1 {
+		t.Fatalf("stats jobs = %+v", stats.Jobs)
+	}
+}
+
+func timePtr(t time.Time) *time.Time { return &t }

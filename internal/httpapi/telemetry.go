@@ -134,9 +134,12 @@ type StatsResponse struct {
 	// verifies, expansions, retrievals).
 	Shared *SharedBlock `json:"shared,omitempty"`
 	// Jobs reports the async queue — queued/running/terminal counts,
-	// configured depth, and how much load was shed (rejections).
-	Jobs       *JobsBlock `json:"jobs,omitempty"`
-	RouteOrder []string   `json:"route_order"`
+	// configured depth, load shed (rejections) and webhook deliveries.
+	Jobs *JobsBlock `json:"jobs,omitempty"`
+	// Schedules reports the workload scheduler — active/done schedule
+	// counts and fired/missed totals.
+	Schedules  *SchedulesBlock `json:"schedules,omitempty"`
+	RouteOrder []string        `json:"route_order"`
 }
 
 // JobsBlock is the "jobs" object of /api/stats: the queue counters
@@ -146,6 +149,15 @@ type JobsBlock struct {
 	jobs.Stats
 	// Restore is present only when a job store file was loaded at boot.
 	Restore *jobs.RestoreStats `json:"restore,omitempty"`
+}
+
+// SchedulesBlock is the "schedules" object of /api/stats: the
+// scheduler counters plus, when the server restored a schedule store
+// at boot, what came back and how many fires were found due.
+type SchedulesBlock struct {
+	jobs.SchedulerStats
+	// Restore is present only when a schedule store was loaded at boot.
+	Restore *jobs.ScheduleRestoreStats `json:"restore,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -167,6 +179,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.jobs != nil {
 		resp.Jobs = &JobsBlock{Stats: s.jobs.Stats(), Restore: s.jobsRestore}
+	}
+	if s.sched != nil {
+		resp.Schedules = &SchedulesBlock{SchedulerStats: s.sched.Stats(), Restore: s.schedRestore}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

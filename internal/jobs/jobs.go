@@ -46,6 +46,49 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
+// Priority orders jobs within one venue's queue: all queued high jobs
+// run before any normal ones, which run before any low ones; within one
+// priority the order stays FIFO. Priorities never cross venues — the
+// round-robin fairness across venues is preserved, so one venue marking
+// everything high cannot starve another venue's normal work.
+type Priority string
+
+// Job priorities. The zero value means PriorityNormal.
+const (
+	PriorityHigh   Priority = "high"
+	PriorityNormal Priority = "normal"
+	PriorityLow    Priority = "low"
+)
+
+// ParsePriority maps user input onto a Priority: "" and "normal" are
+// PriorityNormal; anything else but "high"/"low" is an error.
+func ParsePriority(s string) (Priority, error) {
+	switch Priority(s) {
+	case "", PriorityNormal:
+		return PriorityNormal, nil
+	case PriorityHigh:
+		return PriorityHigh, nil
+	case PriorityLow:
+		return PriorityLow, nil
+	default:
+		return "", fmt.Errorf("jobs: unknown priority %q (want high|normal|low)", s)
+	}
+}
+
+// rank maps a priority onto its drain order: lower drains first. An
+// unknown label sorts like normal so a hand-edited store file degrades
+// gracefully instead of panicking.
+func (p Priority) rank() int {
+	switch p {
+	case PriorityHigh:
+		return 0
+	case PriorityLow:
+		return 2
+	default:
+		return 1
+	}
+}
+
 // QueueFullError is the typed admission rejection: the queue already
 // held Depth queued jobs when Submit was called. Callers turn it into
 // explicit load-shedding (HTTP 429) instead of blocking or buffering.
@@ -54,6 +97,7 @@ type QueueFullError struct {
 	Depth int
 }
 
+// Error renders the rejection with the configured bound.
 func (e *QueueFullError) Error() string {
 	return fmt.Sprintf("job queue full (depth %d)", e.Depth)
 }
@@ -91,6 +135,13 @@ type Spec struct {
 	// Workers bounds the batch's own per-manuscript concurrency
 	// (batch.Options.Workers); 0 selects that default.
 	Workers int `json:"workers,omitempty"`
+	// Priority orders this job within its venue's queue (high before
+	// normal before low, FIFO within one level). Empty means normal.
+	Priority Priority `json:"priority,omitempty"`
+	// CallbackURL, when set, is POSTed a WebhookPayload once the job
+	// reaches a terminal state (done, failed or canceled) — see
+	// notifier.go for the delivery, retry and signature contract.
+	CallbackURL string `json:"callback_url,omitempty"`
 	// Options carries runner-interpreted configuration (for the HTTP
 	// layer: the RecommendOptions JSON), persisted verbatim.
 	Options json.RawMessage `json:"options,omitempty"`
@@ -118,6 +169,8 @@ type Progress struct {
 type Job struct {
 	ID          string     `json:"id"`
 	Venue       string     `json:"venue,omitempty"`
+	Priority    Priority   `json:"priority,omitempty"`
+	CallbackURL string     `json:"callback_url,omitempty"`
 	State       State      `json:"state"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
@@ -152,8 +205,23 @@ type Options struct {
 	RetainTerminal int
 	// Clock injects the time source; nil means time.Now.
 	Clock func() time.Time
-	// Logf reports background failures (store saves); nil discards.
+	// Logf reports background failures (store saves, webhook
+	// exhaustion); nil discards.
 	Logf func(format string, args ...any)
+
+	// WebhookTimeout bounds one webhook delivery attempt (connection +
+	// response). Default 10s.
+	WebhookTimeout time.Duration
+	// WebhookRetries is how many times a failed delivery is retried
+	// after the first attempt (so Retries+1 attempts total). Default 3;
+	// negative disables retries.
+	WebhookRetries int
+	// WebhookBackoff is the delay before the first retry; each further
+	// retry doubles it. Default 1s.
+	WebhookBackoff time.Duration
+	// WebhookSecret, when non-empty, signs every webhook body with
+	// HMAC-SHA256; the hex digest travels in the SignatureHeader.
+	WebhookSecret string
 }
 
 // Validate rejects options New would have to guess at.
@@ -163,6 +231,12 @@ func (o Options) Validate() error {
 	}
 	if o.Depth < 0 {
 		return fmt.Errorf("jobs: Depth %d is negative", o.Depth)
+	}
+	if o.WebhookTimeout < 0 {
+		return fmt.Errorf("jobs: WebhookTimeout %v is negative", o.WebhookTimeout)
+	}
+	if o.WebhookBackoff < 0 {
+		return fmt.Errorf("jobs: WebhookBackoff %v is negative", o.WebhookBackoff)
 	}
 	return nil
 }
@@ -182,6 +256,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+	}
+	if o.WebhookTimeout == 0 {
+		o.WebhookTimeout = 10 * time.Second
+	}
+	if o.WebhookRetries == 0 {
+		o.WebhookRetries = 3
+	}
+	if o.WebhookBackoff == 0 {
+		o.WebhookBackoff = time.Second
 	}
 	return o
 }
@@ -209,6 +292,8 @@ func (r *record) snapshot() Job {
 	j := Job{
 		ID:          r.spec.ID,
 		Venue:       r.spec.Venue,
+		Priority:    r.spec.Priority,
+		CallbackURL: r.spec.CallbackURL,
 		State:       r.state,
 		SubmittedAt: r.submittedAt,
 		Progress:    r.progress,
@@ -263,6 +348,9 @@ type Queue struct {
 	// saveMu serializes store writes so a fast transition can't rename
 	// an older snapshot over a newer one.
 	saveMu sync.Mutex
+
+	// notify delivers terminal-transition webhooks (see notifier.go).
+	notify *notifier
 }
 
 // New builds a Queue over run. It panics when opts fail Validate
@@ -287,11 +375,13 @@ func New(run Runner, opts Options) *Queue {
 		changed:    make(chan struct{}),
 	}
 	q.cond = sync.NewCond(&q.mu)
+	q.notify = newNotifier(q.opts)
 	return q
 }
 
-// Start launches the worker pool. Call once.
+// Start launches the worker pool and the webhook notifier. Call once.
 func (q *Queue) Start() {
+	q.notify.start()
 	for i := 0; i < q.opts.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
@@ -318,6 +408,10 @@ func (q *Queue) Stop(ctx context.Context) error {
 	case <-ctx.Done():
 		waitErr = ctx.Err()
 	}
+	// The workers are down (or abandoned): no further terminal
+	// transitions can enqueue deliveries, so the notifier can drain
+	// what remains on the same deadline.
+	q.notify.stop(ctx)
 	if err := q.save(); err != nil {
 		return err
 	}
@@ -352,6 +446,14 @@ func (q *Queue) Submit(spec Spec) (Job, error) {
 	}
 	if spec.Workers < 0 {
 		return Job{}, fmt.Errorf("jobs: spec workers %d is negative", spec.Workers)
+	}
+	p, err := ParsePriority(string(spec.Priority))
+	if err != nil {
+		return Job{}, err
+	}
+	spec.Priority = p
+	if err := validateCallbackURL(spec.CallbackURL); err != nil {
+		return Job{}, err
 	}
 	if spec.Venue == "" {
 		spec.Venue = spec.Manuscripts[0].TargetVenue
@@ -401,14 +503,24 @@ func (q *Queue) Submit(spec Spec) (Job, error) {
 	return snap, nil
 }
 
-// enqueueLocked appends rec to its venue's FIFO, registering the venue
-// in the round-robin ring on first use. Callers hold q.mu.
+// enqueueLocked inserts rec into its venue's queue in priority order —
+// after the last queued record of the same or higher priority, so each
+// priority level stays FIFO — registering the venue in the round-robin
+// ring on first use. Callers hold q.mu.
 func (q *Queue) enqueueLocked(rec *record) {
 	v := rec.spec.Venue
 	if _, ok := q.venues[v]; !ok {
 		q.ring = append(q.ring, v)
 	}
-	q.venues[v] = append(q.venues[v], rec)
+	list := q.venues[v]
+	i := len(list)
+	for i > 0 && list[i-1].spec.Priority.rank() > rec.spec.Priority.rank() {
+		i--
+	}
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = rec
+	q.venues[v] = list
 	q.queued++
 }
 
@@ -558,6 +670,7 @@ func (q *Queue) finish(rec *record, sum *batch.Summary, err error) {
 		rec.finishedAt = q.now()
 		q.terminalOrder = append(q.terminalOrder, rec.spec.ID)
 		q.evictTerminalLocked()
+		q.notify.enqueue(rec.snapshot())
 	}
 	q.bumpChangedLocked()
 	q.mu.Unlock()
@@ -599,6 +712,7 @@ func (q *Queue) Cancel(id string) (Job, error) {
 		rec.finishedAt = q.now()
 		q.terminalOrder = append(q.terminalOrder, rec.spec.ID)
 		q.evictTerminalLocked()
+		q.notify.enqueue(rec.snapshot())
 		q.bumpChangedLocked()
 		snap := rec.snapshot()
 		q.mu.Unlock()
@@ -697,6 +811,8 @@ type Stats struct {
 	// answers — the load the queue shed instead of buffering.
 	Submitted  uint64 `json:"submitted"`
 	Rejections uint64 `json:"rejections"`
+	// Webhooks reports callback-delivery outcomes (see notifier.go).
+	Webhooks WebhookStats `json:"webhooks"`
 }
 
 // Stats returns a point-in-time snapshot of the counters.
@@ -708,6 +824,7 @@ func (q *Queue) Stats() Stats {
 		Workers:    q.opts.Workers,
 		Submitted:  q.submitted,
 		Rejections: q.rejections,
+		Webhooks:   q.notify.stats(),
 	}
 	for _, rec := range q.jobs {
 		switch rec.state {

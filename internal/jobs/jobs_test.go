@@ -297,6 +297,108 @@ func TestVenueFairness(t *testing.T) {
 	}
 }
 
+// TestPriorityOrderingWithinVenue: high drains before normal before
+// low inside one venue, FIFO within each level.
+func TestPriorityOrderingWithinVenue(t *testing.T) {
+	g := newGatedRunner()
+	q := New(g.run, Options{Workers: 1, Depth: 16})
+	q.Start()
+	defer stopQueue(t, q)
+
+	if _, err := q.Submit(Spec{ID: "plug", Venue: "P", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	subs := []struct {
+		id string
+		p  Priority
+	}{
+		{"n1", PriorityNormal},
+		{"l1", PriorityLow},
+		{"h1", PriorityHigh},
+		{"n2", ""}, // empty = normal
+		{"h2", PriorityHigh},
+		{"l2", PriorityLow},
+	}
+	for _, s := range subs {
+		job, err := q.Submit(Spec{ID: s.id, Venue: "V", Priority: s.p, Manuscripts: manuscripts(1, "")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := s.p
+		if want == "" {
+			want = PriorityNormal
+		}
+		if job.Priority != want {
+			t.Fatalf("job %s priority = %q, want %q", s.id, job.Priority, want)
+		}
+	}
+	close(g.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, s := range subs {
+		if job, err := q.Wait(ctx, s.id, 10*time.Second); err != nil || job.State != StateDone {
+			t.Fatalf("wait %s: %v %+v", s.id, err, job)
+		}
+	}
+	want := []string{"plug", "h1", "h2", "n1", "n2", "l1", "l2"}
+	got := g.runOrder()
+	if len(got) != len(want) {
+		t.Fatalf("run order = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("run order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestPriorityPreservesVenueFairness: a venue flooding high-priority
+// jobs still shares the worker round-robin with another venue's normal
+// submissions — priority is a within-venue promise only.
+func TestPriorityPreservesVenueFairness(t *testing.T) {
+	g := newGatedRunner()
+	q := New(g.run, Options{Workers: 1, Depth: 16})
+	q.Start()
+	defer stopQueue(t, q)
+
+	if _, err := q.Submit(Spec{ID: "plug", Venue: "P", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	for _, id := range []string{"a1", "a2", "a3"} {
+		if _, err := q.Submit(Spec{ID: id, Venue: "A", Priority: PriorityHigh, Manuscripts: manuscripts(1, "")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Submit(Spec{ID: "b1", Venue: "B", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	close(g.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, id := range []string{"a3", "b1"} {
+		if job, err := q.Wait(ctx, id, 10*time.Second); err != nil || job.State != StateDone {
+			t.Fatalf("wait %s: %v %+v", id, err, job)
+		}
+	}
+	want := []string{"plug", "a1", "b1", "a2", "a3"}
+	got := g.runOrder()
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("run order = %v, want %v (high-priority A must not starve B)", got, want)
+		}
+	}
+}
+
+func TestSubmitRejectsBadPriority(t *testing.T) {
+	q := New(okRunner, Options{})
+	defer stopQueue(t, q)
+	if _, err := q.Submit(Spec{Manuscripts: manuscripts(1, ""), Priority: "urgent"}); err == nil {
+		t.Fatal("bad priority accepted")
+	}
+}
+
 func TestWaitTimeoutReturnsSnapshot(t *testing.T) {
 	g := newGatedRunner()
 	defer close(g.release)

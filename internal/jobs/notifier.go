@@ -1,0 +1,289 @@
+// Webhook delivery. A job submitted with a callback_url gets exactly
+// one delivery attempt sequence per terminal transition: when the job
+// lands done, failed or canceled, a dedicated notifier goroutine POSTs
+// a WebhookPayload to the URL, retrying transient failures a bounded
+// number of times with doubling backoff. A 2xx answer ends the
+// sequence — a delivered webhook is never retried, so receivers see at
+// most one successful delivery per transition. Bodies are signed with
+// HMAC-SHA256 when the queue has a webhook secret, so a receiver can
+// authenticate the caller without trusting the network. Delivery is
+// asynchronous and best-effort: it never blocks a worker or a state
+// transition, pending deliveries are bounded (overflow is counted and
+// dropped, not buffered unboundedly), and nothing persists across a
+// restart — restored terminal jobs do not re-fire.
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+)
+
+// Webhook request headers.
+const (
+	// SignatureHeader carries "sha256=<hex HMAC-SHA256 of the body>"
+	// when the queue is configured with a webhook secret.
+	SignatureHeader = "X-Minaret-Signature"
+	// EventHeader names the transition: "job.done", "job.failed" or
+	// "job.canceled".
+	EventHeader = "X-Minaret-Event"
+	// JobIDHeader repeats the job ID for cheap routing before the body
+	// is parsed.
+	JobIDHeader = "X-Minaret-Job"
+)
+
+// notifyBuffer bounds how many terminal transitions may sit waiting for
+// delivery; beyond it, new webhooks are dropped (and counted) rather
+// than stalling job transitions on a slow receiver.
+const notifyBuffer = 256
+
+// WebhookPayload is the JSON body POSTed to a job's callback_url. It
+// deliberately excludes the batch result — results can be arbitrarily
+// fat; receivers fetch GET /v1/jobs/{id} when they want it.
+type WebhookPayload struct {
+	// Event is "job.done", "job.failed" or "job.canceled" — the same
+	// value as the EventHeader.
+	Event string `json:"event"`
+	// Job is the terminal snapshot (result stripped).
+	Job Job `json:"job"`
+	// Attempt is the 1-based delivery attempt this body was built for;
+	// a receiver seeing Attempt > 1 knows earlier attempts failed.
+	Attempt int `json:"attempt"`
+}
+
+// Sign computes the SignatureHeader value for body under secret:
+// "sha256=" followed by the hex HMAC-SHA256 digest.
+func Sign(secret string, body []byte) string {
+	mac := hmac.New(sha256.New, []byte(secret))
+	mac.Write(body)
+	return "sha256=" + hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifySignature reports whether header is a valid Sign(secret, body)
+// value, in constant time. Receivers use it to authenticate deliveries.
+func VerifySignature(secret string, body []byte, header string) bool {
+	return hmac.Equal([]byte(header), []byte(Sign(secret, body)))
+}
+
+// validateCallbackURL accepts an empty URL (no webhook) or an absolute
+// http/https URL; anything else is rejected at admission so a job that
+// could never notify anyone does not occupy a queue slot.
+func validateCallbackURL(raw string) error {
+	if raw == "" {
+		return nil
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("jobs: callback_url: %w", err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("jobs: callback_url %q must be an absolute http(s) URL", raw)
+	}
+	return nil
+}
+
+// WebhookStats counts callback-delivery outcomes, reported inside
+// Stats (and from there in /api/stats' jobs block).
+type WebhookStats struct {
+	// Enqueued counts terminal transitions of jobs that had a
+	// callback_url; each starts one delivery sequence.
+	Enqueued uint64 `json:"enqueued"`
+	// Delivered counts sequences that got a 2xx answer.
+	Delivered uint64 `json:"delivered"`
+	// Failed counts sequences that exhausted every retry (or were cut
+	// short by shutdown) without a 2xx.
+	Failed uint64 `json:"failed"`
+	// Retries counts individual re-attempts after a failed attempt.
+	Retries uint64 `json:"retries"`
+	// Dropped counts transitions discarded because the pending buffer
+	// was full — the backpressure answer to a receiver slower than the
+	// queue's terminal rate.
+	Dropped uint64 `json:"dropped"`
+}
+
+// notifier owns the delivery goroutine. It is always constructed (a
+// queue with no callback jobs just never feeds it) so the accounting
+// and shutdown paths stay uniform.
+type notifier struct {
+	opts   Options
+	client *http.Client
+	ch     chan Job
+	stopCh chan struct{}
+	done   chan struct{}
+	// started guards the stop-side wait: a queue that was never
+	// Started has no loop to join.
+	started  bool
+	stopOnce sync.Once
+
+	mu sync.Mutex
+	st WebhookStats
+}
+
+func newNotifier(opts Options) *notifier {
+	return &notifier{
+		opts: opts,
+		// The per-attempt context carries the real timeout; the client
+		// timeout is a backstop against a pathological transport.
+		client: &http.Client{Timeout: opts.WebhookTimeout + time.Second},
+		ch:     make(chan Job, notifyBuffer),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func (n *notifier) start() {
+	n.mu.Lock()
+	n.started = true
+	n.mu.Unlock()
+	go n.loop()
+}
+
+// stop ends the notifier: the loop finishes the delivery in flight
+// (retry sleeps abort immediately), drains whatever is already
+// buffered with one attempt each, and exits. Blocks up to ctx.
+// Safe to call repeatedly, and a no-op wait when start never ran.
+func (n *notifier) stop(ctx context.Context) {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.mu.Lock()
+	started := n.started
+	n.mu.Unlock()
+	if !started {
+		return
+	}
+	select {
+	case <-n.done:
+	case <-ctx.Done():
+	}
+}
+
+// enqueue registers a terminal snapshot for delivery. Never blocks:
+// with the buffer full the webhook is dropped and counted.
+func (n *notifier) enqueue(j Job) {
+	if j.CallbackURL == "" {
+		return
+	}
+	j.Result = nil // payloads never carry results
+	n.mu.Lock()
+	n.st.Enqueued++
+	n.mu.Unlock()
+	select {
+	case n.ch <- j:
+	default:
+		n.mu.Lock()
+		n.st.Dropped++
+		n.mu.Unlock()
+		n.opts.Logf("webhook for job %s dropped: %d deliveries already pending", j.ID, notifyBuffer)
+	}
+}
+
+func (n *notifier) stats() WebhookStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.st
+}
+
+func (n *notifier) loop() {
+	defer close(n.done)
+	for {
+		select {
+		case j := <-n.ch:
+			n.deliver(j)
+		case <-n.stopCh:
+			// Shutdown: give everything already buffered one best-effort
+			// pass (backoff sleeps abort under stopCh), then leave.
+			for {
+				select {
+				case j := <-n.ch:
+					n.deliver(j)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// deliver runs one sequence: attempt, then up to WebhookRetries
+// re-attempts with doubling backoff. The first 2xx wins and ends the
+// sequence; exhausting it counts one failure.
+func (n *notifier) deliver(j Job) {
+	attempts := 1
+	if n.opts.WebhookRetries > 0 {
+		attempts += n.opts.WebhookRetries
+	}
+	backoff := n.opts.WebhookBackoff
+	var lastErr error
+	for a := 1; a <= attempts; a++ {
+		if a > 1 {
+			n.mu.Lock()
+			n.st.Retries++
+			n.mu.Unlock()
+			select {
+			case <-time.After(backoff):
+			case <-n.stopCh:
+				// Shutting down: abandon the remaining retries.
+				n.fail(j, fmt.Errorf("shutdown during retry backoff (last error: %v)", lastErr))
+				return
+			}
+			backoff *= 2
+		}
+		if err := n.post(j, a); err != nil {
+			lastErr = err
+			continue
+		}
+		n.mu.Lock()
+		n.st.Delivered++
+		n.mu.Unlock()
+		return
+	}
+	n.fail(j, lastErr)
+}
+
+func (n *notifier) fail(j Job, err error) {
+	n.mu.Lock()
+	n.st.Failed++
+	n.mu.Unlock()
+	n.opts.Logf("webhook for job %s failed: %v", j.ID, err)
+}
+
+// post performs one signed delivery attempt under WebhookTimeout.
+func (n *notifier) post(j Job, attempt int) error {
+	event := "job." + string(j.State)
+	body, err := json.Marshal(WebhookPayload{Event: event, Job: j, Attempt: attempt})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.opts.WebhookTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, j.CallbackURL, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(EventHeader, event)
+	req.Header.Set(JobIDHeader, j.ID)
+	if n.opts.WebhookSecret != "" {
+		req.Header.Set(SignatureHeader, Sign(n.opts.WebhookSecret, body))
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain a little so the connection can be reused, then judge by
+	// status alone: any 2xx is an acknowledgement.
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return fmt.Errorf("callback answered HTTP %d", resp.StatusCode)
+	}
+	return nil
+}

@@ -1,0 +1,252 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// hookRecorder is an httptest receiver that captures every delivery.
+type hookRecorder struct {
+	mu     sync.Mutex
+	bodies [][]byte
+	heads  []http.Header
+	// status answers the nth request (1-based); nil means always 200.
+	status func(n int) int
+	// delay stalls each handler before answering.
+	delay time.Duration
+	srv   *httptest.Server
+}
+
+func newHookRecorder() *hookRecorder {
+	h := &hookRecorder{}
+	h.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h.delay > 0 {
+			time.Sleep(h.delay)
+		}
+		body, _ := io.ReadAll(r.Body)
+		h.mu.Lock()
+		h.bodies = append(h.bodies, body)
+		h.heads = append(h.heads, r.Header.Clone())
+		n := len(h.bodies)
+		h.mu.Unlock()
+		if h.status != nil {
+			w.WriteHeader(h.status(n))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	return h
+}
+
+func (h *hookRecorder) count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.bodies)
+}
+
+func (h *hookRecorder) nth(i int) ([]byte, http.Header) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.bodies[i], h.heads[i]
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// webhookQueue builds a queue with fast webhook retry settings.
+func webhookQueue(t *testing.T, run Runner, opts Options) *Queue {
+	t.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 1
+	}
+	if opts.WebhookTimeout == 0 {
+		opts.WebhookTimeout = 2 * time.Second
+	}
+	opts.WebhookBackoff = 5 * time.Millisecond
+	q := New(run, opts)
+	q.Start()
+	t.Cleanup(func() { stopQueue(t, q) })
+	return q
+}
+
+func TestWebhookDeliveredOnceWithSignature(t *testing.T) {
+	hook := newHookRecorder()
+	defer hook.srv.Close()
+	const secret = "venue-shared-secret"
+	q := webhookQueue(t, okRunner, Options{WebhookSecret: secret})
+
+	if _, err := q.Submit(Spec{ID: "signed", Manuscripts: manuscripts(2, "EDBT"), Priority: PriorityHigh, CallbackURL: hook.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := q.Wait(ctx, "signed", 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "webhook delivery", func() bool { return hook.count() >= 1 })
+	// Exactly once: give a double-fire time to show up, then check the
+	// counters agree.
+	time.Sleep(50 * time.Millisecond)
+	if n := hook.count(); n != 1 {
+		t.Fatalf("deliveries = %d, want exactly 1", n)
+	}
+
+	body, head := hook.nth(0)
+	var p WebhookPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Event != "job.done" || p.Attempt != 1 {
+		t.Fatalf("payload = %+v", p)
+	}
+	j := p.Job
+	if j.ID != "signed" || j.State != StateDone || j.Priority != PriorityHigh || j.Progress.Succeeded != 2 {
+		t.Fatalf("payload job = %+v", j)
+	}
+	if j.Result != nil {
+		t.Fatal("payload carried the batch result")
+	}
+	if head.Get(EventHeader) != "job.done" || head.Get(JobIDHeader) != "signed" {
+		t.Fatalf("headers = %+v", head)
+	}
+	// Signature round-trip: the receiver can authenticate the body.
+	sig := head.Get(SignatureHeader)
+	if !VerifySignature(secret, body, sig) {
+		t.Fatalf("signature %q does not verify", sig)
+	}
+	if VerifySignature("wrong-secret", body, sig) {
+		t.Fatal("signature verified under the wrong secret")
+	}
+	if VerifySignature(secret, append([]byte("x"), body...), sig) {
+		t.Fatal("signature verified a tampered body")
+	}
+
+	st := q.Stats().Webhooks
+	if st.Enqueued != 1 || st.Delivered != 1 || st.Failed != 0 || st.Retries != 0 {
+		t.Fatalf("webhook stats = %+v", st)
+	}
+}
+
+func TestWebhookUnreachableFailsAfterRetries(t *testing.T) {
+	// A dead receiver: grab a URL, then close the listener.
+	hook := newHookRecorder()
+	url := hook.srv.URL
+	hook.srv.Close()
+
+	q := webhookQueue(t, okRunner, Options{WebhookRetries: 2})
+	if _, err := q.Submit(Spec{ID: "dead-end", Manuscripts: manuscripts(1, ""), CallbackURL: url}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "delivery failure", func() bool { return q.Stats().Webhooks.Failed == 1 })
+	st := q.Stats().Webhooks
+	if st.Enqueued != 1 || st.Delivered != 0 || st.Retries != 2 {
+		t.Fatalf("webhook stats = %+v", st)
+	}
+}
+
+func TestWebhook5xxThenOKRetrySucceeds(t *testing.T) {
+	hook := newHookRecorder()
+	defer hook.srv.Close()
+	hook.status = func(n int) int {
+		if n <= 2 {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusOK
+	}
+	q := webhookQueue(t, okRunner, Options{WebhookRetries: 3})
+	if _, err := q.Submit(Spec{ID: "flaky", Manuscripts: manuscripts(1, ""), CallbackURL: hook.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "retry success", func() bool { return q.Stats().Webhooks.Delivered == 1 })
+	if n := hook.count(); n != 3 {
+		t.Fatalf("attempts = %d, want 3 (two 503s then a 200)", n)
+	}
+	// The final body announces which attempt it was.
+	body, _ := hook.nth(2)
+	var p WebhookPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Attempt != 3 {
+		t.Fatalf("attempt = %d, want 3", p.Attempt)
+	}
+	st := q.Stats().Webhooks
+	if st.Retries != 2 || st.Failed != 0 {
+		t.Fatalf("webhook stats = %+v", st)
+	}
+}
+
+func TestWebhookSlowEndpointHitsTimeout(t *testing.T) {
+	hook := newHookRecorder()
+	defer hook.srv.Close()
+	hook.delay = 300 * time.Millisecond
+	q := webhookQueue(t, okRunner, Options{WebhookTimeout: 30 * time.Millisecond, WebhookRetries: 1})
+	if _, err := q.Submit(Spec{ID: "slowpoke", Manuscripts: manuscripts(1, ""), CallbackURL: hook.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "timeout exhaustion", func() bool { return q.Stats().Webhooks.Failed == 1 })
+	st := q.Stats().Webhooks
+	if st.Delivered != 0 || st.Retries != 1 {
+		t.Fatalf("webhook stats = %+v", st)
+	}
+}
+
+// TestWebhookFiresOnCancel: cancelling a queued job is a terminal
+// transition too — the receiver hears "job.canceled".
+func TestWebhookFiresOnCancel(t *testing.T) {
+	hook := newHookRecorder()
+	defer hook.srv.Close()
+	g := newGatedRunner()
+	defer close(g.release)
+	q := webhookQueue(t, g.run, Options{})
+
+	// Plug the single worker, then cancel a queued job behind it.
+	if _, err := q.Submit(Spec{ID: "plug", Manuscripts: manuscripts(1, "")}); err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+	if _, err := q.Submit(Spec{ID: "victim", Manuscripts: manuscripts(1, ""), CallbackURL: hook.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Cancel("victim"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "cancel webhook", func() bool { return hook.count() >= 1 })
+	body, head := hook.nth(0)
+	var p WebhookPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Event != "job.canceled" || p.Job.ID != "victim" || p.Job.State != StateCanceled {
+		t.Fatalf("payload = %+v", p)
+	}
+	if head.Get(SignatureHeader) != "" {
+		t.Fatal("unsigned queue sent a signature header")
+	}
+}
+
+func TestSubmitRejectsBadCallbackURL(t *testing.T) {
+	q := New(okRunner, Options{})
+	defer stopQueue(t, q)
+	for _, bad := range []string{"ftp://example.com/x", "not a url at all\x7f", "/relative/path"} {
+		if _, err := q.Submit(Spec{Manuscripts: manuscripts(1, ""), CallbackURL: bad}); err == nil {
+			t.Errorf("callback %q accepted", bad)
+		}
+	}
+}

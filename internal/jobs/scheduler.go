@@ -1,0 +1,717 @@
+// Scheduled and recurring jobs. A Scheduler turns "run this venue's
+// re-scrape every night" and "run this queue at 02:00 on Saturday"
+// from an operator's crontab entry into durable server state: each
+// Schedule holds a job template plus either a one-shot RunAt instant
+// or a fixed Every interval, and when a schedule comes due the
+// scheduler submits an ordinary job through the queue's bounded
+// admission path — a full queue rejects the fire exactly like it
+// rejects a POST, and the schedule stays due and retries on the next
+// tick instead of buffering. Schedules persist in their own
+// envelope-framed store file (magic MINSCHED), so a restart resumes
+// them; fires that came due while the process was down follow each
+// schedule's catch-up policy (CatchUpSkip or CatchUpOnce). The clock
+// and the tick are injectable: tests (and BenchmarkScheduleTick) drive
+// Tick directly with a fake clock, the server runs Start's ticker.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"minaret/internal/envelope"
+)
+
+// CatchUp is a schedule's missed-fire policy: what happens when the
+// scheduler discovers, at restore time, that fires came due while no
+// process was running.
+type CatchUp string
+
+// Catch-up policies.
+const (
+	// CatchUpSkip drops fires missed while the process was down: the
+	// schedule advances to its next future slot (a one-shot is marked
+	// done without firing). Right for workloads where a late run is
+	// worthless — last night's re-scrape at 3pm today.
+	CatchUpSkip CatchUp = "skip"
+	// CatchUpOnce fires one job at the first tick after restore, no
+	// matter how many slots were missed, then resumes the normal
+	// cadence. Right for workloads where the data must eventually be
+	// refreshed — better late once than never.
+	CatchUpOnce CatchUp = "once"
+)
+
+// ParseCatchUp maps user input onto a CatchUp policy; empty selects
+// CatchUpSkip.
+func ParseCatchUp(s string) (CatchUp, error) {
+	switch CatchUp(s) {
+	case "", CatchUpSkip:
+		return CatchUpSkip, nil
+	case CatchUpOnce:
+		return CatchUpOnce, nil
+	default:
+		return "", fmt.Errorf("jobs: unknown catch_up %q (want skip|once)", s)
+	}
+}
+
+// Scheduler errors.
+var (
+	ErrScheduleNotFound    = errors.New("schedule not found")
+	ErrDuplicateScheduleID = errors.New("schedule id already exists")
+)
+
+// ScheduleSpec describes one schedule: a job template plus when to
+// submit it. Exactly one of RunAt (one-shot) and Every (recurring)
+// must be set.
+type ScheduleSpec struct {
+	// ID names the schedule. Empty lets the scheduler assign one; a
+	// caller-chosen ID must be unique (ErrDuplicateScheduleID).
+	ID string `json:"id,omitempty"`
+	// RunAt is the one-shot fire instant.
+	RunAt time.Time `json:"run_at,omitempty"`
+	// Every is the recurring interval, anchored at creation time: the
+	// first fire is creation + Every.
+	Every time.Duration `json:"every,omitempty"`
+	// CatchUp is the missed-fire policy; empty means CatchUpSkip.
+	CatchUp CatchUp `json:"catch_up,omitempty"`
+	// Job is the template each fire submits. Its ID must be empty —
+	// every fired job gets a derived ID (<schedule>-run-<n>).
+	Job Spec `json:"job"`
+}
+
+// validate normalizes spec in place and rejects what New/Add would
+// otherwise have to guess at.
+func (s *ScheduleSpec) validate() error {
+	if s.RunAt.IsZero() == (s.Every == 0) {
+		return errors.New("jobs: schedule wants exactly one of run_at and every")
+	}
+	if s.Every < 0 {
+		return fmt.Errorf("jobs: schedule interval %v is negative", s.Every)
+	}
+	cu, err := ParseCatchUp(string(s.CatchUp))
+	if err != nil {
+		return err
+	}
+	s.CatchUp = cu
+	if s.Job.ID != "" {
+		return errors.New("jobs: schedule job template must not carry an id")
+	}
+	if len(s.Job.Manuscripts) == 0 {
+		return errors.New("jobs: schedule job template has no manuscripts")
+	}
+	if s.Job.Workers < 0 {
+		return fmt.Errorf("jobs: schedule job workers %d is negative", s.Job.Workers)
+	}
+	p, err := ParsePriority(string(s.Job.Priority))
+	if err != nil {
+		return err
+	}
+	s.Job.Priority = p
+	if err := validateCallbackURL(s.Job.CallbackURL); err != nil {
+		return err
+	}
+	if s.Job.Venue == "" {
+		s.Job.Venue = s.Job.Manuscripts[0].TargetVenue
+	}
+	return nil
+}
+
+// Schedule is an immutable snapshot of one schedule.
+type Schedule struct {
+	ID string `json:"id"`
+	// RunAt/Every echo the spec (exactly one is set).
+	RunAt *time.Time    `json:"run_at,omitempty"`
+	Every time.Duration `json:"every,omitempty"`
+	// EveryText renders Every for humans ("24h0m0s"); empty for
+	// one-shots.
+	EveryText string  `json:"every_text,omitempty"`
+	CatchUp   CatchUp `json:"catch_up"`
+	// Venue, Priority and Manuscripts summarize the job template.
+	Venue       string   `json:"venue,omitempty"`
+	Priority    Priority `json:"priority,omitempty"`
+	Manuscripts int      `json:"manuscripts"`
+	CallbackURL string   `json:"callback_url,omitempty"`
+	// Done marks a schedule that will never fire again: a one-shot
+	// that fired (or was skipped at restore), or any schedule whose
+	// submission was rejected as permanently invalid.
+	Done bool `json:"done"`
+	// NextRun is the next due instant; absent once Done.
+	NextRun *time.Time `json:"next_run,omitempty"`
+	// LastRun / LastJobID describe the most recent successful fire.
+	LastRun   *time.Time `json:"last_run,omitempty"`
+	LastJobID string     `json:"last_job_id,omitempty"`
+	// LastError is the most recent submission failure (a full queue
+	// keeps the schedule due; see Misfires).
+	LastError string `json:"last_error,omitempty"`
+	// Fired counts jobs actually submitted; Missed counts slots that
+	// passed without a submission (catch-up accounting).
+	Fired  int `json:"fired"`
+	Missed int `json:"missed"`
+	// Misfires counts due ticks the queue rejected (ErrQueueFull); the
+	// schedule stayed due and retried.
+	Misfires  int       `json:"misfires"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// schedRecord is one schedule's mutable state, guarded by Scheduler.mu.
+type schedRecord struct {
+	spec      ScheduleSpec
+	seq       uint64
+	createdAt time.Time
+	nextRun   time.Time
+	lastRun   time.Time
+	lastJobID string
+	lastError string
+	fired     int
+	missed    int
+	misfires  int
+	done      bool
+}
+
+func (r *schedRecord) snapshot() Schedule {
+	s := Schedule{
+		ID:          r.spec.ID,
+		Every:       r.spec.Every,
+		CatchUp:     r.spec.CatchUp,
+		Venue:       r.spec.Job.Venue,
+		Priority:    r.spec.Job.Priority,
+		Manuscripts: len(r.spec.Job.Manuscripts),
+		CallbackURL: r.spec.Job.CallbackURL,
+		Done:        r.done,
+		LastJobID:   r.lastJobID,
+		LastError:   r.lastError,
+		Fired:       r.fired,
+		Missed:      r.missed,
+		Misfires:    r.misfires,
+		CreatedAt:   r.createdAt,
+	}
+	if r.spec.Every > 0 {
+		s.EveryText = r.spec.Every.String()
+	}
+	if !r.spec.RunAt.IsZero() {
+		t := r.spec.RunAt
+		s.RunAt = &t
+	}
+	if !r.done {
+		t := r.nextRun
+		s.NextRun = &t
+	}
+	if !r.lastRun.IsZero() {
+		t := r.lastRun
+		s.LastRun = &t
+	}
+	return s
+}
+
+// SchedulerOptions tunes a Scheduler; zero values select the
+// documented defaults.
+type SchedulerOptions struct {
+	// StorePath names the durability file. Empty disables persistence:
+	// schedules die with the process.
+	StorePath string
+	// TickInterval is how often Start's background loop checks for due
+	// schedules. Default 1s.
+	TickInterval time.Duration
+	// Clock injects the time source; nil means time.Now.
+	Clock func() time.Time
+	// Logf reports background failures (store saves, rejected fires);
+	// nil discards.
+	Logf func(format string, args ...any)
+	// Lookup, when set, resolves a job ID to its current snapshot
+	// (normally Queue.Get). The scheduler uses it to tell a
+	// crash-recovered fire — the derived <schedule>-run-<n> ID already
+	// exists and matches the template — from an unrelated job that
+	// happens to occupy that ID, which must not swallow the scheduled
+	// work. Nil treats every duplicate as a prior fire.
+	Lookup func(id string) (Job, error)
+}
+
+// Validate rejects options NewScheduler would have to guess at.
+func (o SchedulerOptions) Validate() error {
+	if o.TickInterval < 0 {
+		return fmt.Errorf("jobs: TickInterval %v is negative", o.TickInterval)
+	}
+	return nil
+}
+
+func (o SchedulerOptions) withDefaults() SchedulerOptions {
+	if o.TickInterval == 0 {
+		o.TickInterval = time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Scheduler fires due schedules into a job queue. All methods are safe
+// for concurrent use.
+type Scheduler struct {
+	submit func(Spec) (Job, error)
+	opts   SchedulerOptions
+
+	mu     sync.Mutex
+	scheds map[string]*schedRecord
+	seq    uint64
+	fired  uint64
+	missed uint64
+	// started guards Stop's wait: a scheduler that never Started has
+	// no loop to join.
+	started bool
+
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	// saveMu serializes store writes, like Queue.saveMu.
+	saveMu sync.Mutex
+}
+
+// NewScheduler builds a Scheduler submitting through submit — normally
+// Queue.Submit, so fires obey the same bounded admission as POSTed
+// jobs. It panics on invalid options (callers turning user input into
+// options should Validate first). Call Load to restore a previous
+// process's schedules, then Start for the background ticker.
+func NewScheduler(submit func(Spec) (Job, error), opts SchedulerOptions) *Scheduler {
+	if submit == nil {
+		panic("jobs: nil submit")
+	}
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	return &Scheduler{
+		submit: submit,
+		opts:   opts.withDefaults(),
+		scheds: make(map[string]*schedRecord),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the background ticker. Call once.
+func (s *Scheduler) Start() {
+	s.mu.Lock()
+	s.started = true
+	s.mu.Unlock()
+	go func() {
+		defer close(s.done)
+		t := time.NewTicker(s.opts.TickInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				s.Tick()
+			case <-s.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the ticker and saves the final state. Blocks for the loop
+// up to ctx's deadline; the save happens either way. Call before
+// stopping the queue so no fire lands in a stopped queue. Safe to
+// call repeatedly, and a no-op wait when Start never ran.
+func (s *Scheduler) Stop(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		select {
+		case <-s.done:
+		case <-ctx.Done():
+		}
+	}
+	return s.save()
+}
+
+// now is the injected clock.
+func (s *Scheduler) now() time.Time { return s.opts.Clock() }
+
+// Add registers a schedule and persists it. The first fire of a
+// recurring schedule is creation + Every; a one-shot fires at RunAt
+// (immediately on the next tick when RunAt is already past).
+func (s *Scheduler) Add(spec ScheduleSpec) (Schedule, error) {
+	if err := spec.validate(); err != nil {
+		return Schedule{}, err
+	}
+	s.mu.Lock()
+	if spec.ID == "" {
+		for {
+			spec.ID = "sched-" + newID()[len("job-"):]
+			if _, taken := s.scheds[spec.ID]; !taken {
+				break
+			}
+		}
+	} else if _, taken := s.scheds[spec.ID]; taken {
+		s.mu.Unlock()
+		return Schedule{}, fmt.Errorf("%w: %q", ErrDuplicateScheduleID, spec.ID)
+	}
+	now := s.now()
+	rec := &schedRecord{spec: spec, seq: s.seq, createdAt: now}
+	s.seq++
+	if spec.Every > 0 {
+		rec.nextRun = now.Add(spec.Every)
+	} else {
+		rec.nextRun = spec.RunAt
+	}
+	s.scheds[spec.ID] = rec
+	snap := rec.snapshot()
+	s.mu.Unlock()
+	s.saveLogged()
+	return snap, nil
+}
+
+// Remove deletes a schedule (fired jobs are unaffected) and persists
+// the removal. Unknown IDs return ErrScheduleNotFound.
+func (s *Scheduler) Remove(id string) (Schedule, error) {
+	s.mu.Lock()
+	rec, ok := s.scheds[id]
+	if !ok {
+		s.mu.Unlock()
+		return Schedule{}, ErrScheduleNotFound
+	}
+	delete(s.scheds, id)
+	snap := rec.snapshot()
+	s.mu.Unlock()
+	s.saveLogged()
+	return snap, nil
+}
+
+// Get returns one schedule's current snapshot.
+func (s *Scheduler) Get(id string) (Schedule, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.scheds[id]
+	if !ok {
+		return Schedule{}, ErrScheduleNotFound
+	}
+	return rec.snapshot(), nil
+}
+
+// List returns every schedule in creation order.
+func (s *Scheduler) List() []Schedule {
+	s.mu.Lock()
+	recs := make([]*schedRecord, 0, len(s.scheds))
+	for _, rec := range s.scheds {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	out := make([]Schedule, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.snapshot()
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// Tick fires every due schedule once and returns how many jobs it
+// submitted. Start's loop calls it on the tick interval; tests and
+// benchmarks call it directly with a controlled clock.
+func (s *Scheduler) Tick() int {
+	now := s.now()
+	fired := 0
+	changed := false
+	s.mu.Lock()
+	// Stable order keeps multi-due ticks deterministic.
+	recs := make([]*schedRecord, 0, len(s.scheds))
+	for _, rec := range s.scheds {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	for _, rec := range recs {
+		if rec.done || now.Before(rec.nextRun) {
+			continue
+		}
+		changed = true
+		spec := rec.spec.Job
+		spec.ID = fmt.Sprintf("%s-run-%d", rec.spec.ID, rec.fired+1)
+		job, err := s.submit(spec)
+		if errors.Is(err, ErrDuplicateID) {
+			if s.priorFireLocked(spec) {
+				// The previous process fired this slot but died before
+				// the schedule store recorded it. The work exists;
+				// count the fire and move on.
+				job, err = Job{ID: spec.ID}, nil
+			} else {
+				// An unrelated job squatted the derived ID; the
+				// scheduled work must still run — fire under a
+				// queue-assigned ID instead.
+				spec.ID = ""
+				job, err = s.submit(spec)
+			}
+		}
+		if err == nil {
+			rec.lastJobID = job.ID
+		}
+		switch {
+		case errors.Is(err, ErrQueueFull), errors.Is(err, ErrStopped):
+			// Transient: bounded admission said no, or the queue is
+			// stopping around a shutdown. Stay due, retry next tick
+			// (or next process).
+			rec.misfires++
+			rec.lastError = err.Error()
+			s.opts.Logf("schedule %s: fire rejected: %v", rec.spec.ID, err)
+			continue
+		case err != nil:
+			// A template the queue permanently rejects (validation,
+			// stopped queue) would otherwise retry forever; disable it
+			// loudly instead.
+			rec.done = true
+			rec.lastError = err.Error()
+			s.opts.Logf("schedule %s: disabled: %v", rec.spec.ID, err)
+			continue
+		}
+		fired++
+		rec.fired++
+		s.fired++
+		rec.lastRun = now
+		rec.lastError = ""
+		if rec.spec.Every == 0 {
+			rec.done = true
+			continue
+		}
+		// Advance past now in whole intervals; slots beyond the first
+		// are missed fires (a tick can only be late, never early).
+		slots := int(now.Sub(rec.nextRun)/rec.spec.Every) + 1
+		rec.missed += slots - 1
+		s.missed += uint64(slots - 1)
+		rec.nextRun = rec.nextRun.Add(time.Duration(slots) * rec.spec.Every)
+	}
+	s.mu.Unlock()
+	if changed {
+		s.saveLogged()
+	}
+	return fired
+}
+
+// priorFireLocked reports whether the job occupying a fire's derived
+// ID looks like this schedule's own work (a previous process fired the
+// slot but died before the schedule store recorded it), as opposed to
+// an unrelated submission squatting the ID. Callers hold s.mu.
+func (s *Scheduler) priorFireLocked(spec Spec) bool {
+	if s.opts.Lookup == nil {
+		return true
+	}
+	prior, err := s.opts.Lookup(spec.ID)
+	if err != nil {
+		return false
+	}
+	return prior.Venue == spec.Venue &&
+		prior.Priority == spec.Priority &&
+		prior.CallbackURL == spec.CallbackURL &&
+		prior.Progress.Total == len(spec.Manuscripts)
+}
+
+// SchedulerStats is the /api/stats schedules block.
+type SchedulerStats struct {
+	// Active schedules will fire again; Done ones will not (fired
+	// one-shots, disabled templates).
+	Active int `json:"active"`
+	Done   int `json:"done"`
+	// Fired counts jobs submitted by schedules since process start;
+	// Missed counts slots skipped under catch-up policies or late
+	// ticks.
+	Fired  uint64 `json:"fired"`
+	Missed uint64 `json:"missed"`
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedulerStats{Fired: s.fired, Missed: s.missed}
+	for _, rec := range s.scheds {
+		if rec.done {
+			st.Done++
+		} else {
+			st.Active++
+		}
+	}
+	return st
+}
+
+// --- durability -----------------------------------------------------
+
+const (
+	schedMagic   = "MINSCHED"
+	schedVersion = 1
+	// maxSchedPayload caps what Load will allocate for a corrupted
+	// length field.
+	maxSchedPayload = 1 << 28
+)
+
+// storedSchedule is one schedule on the wire.
+type storedSchedule struct {
+	Spec      ScheduleSpec `json:"spec"`
+	Seq       uint64       `json:"seq"`
+	CreatedAt time.Time    `json:"created_at"`
+	NextRun   time.Time    `json:"next_run"`
+	LastRun   time.Time    `json:"last_run,omitempty"`
+	LastJobID string       `json:"last_job_id,omitempty"`
+	LastError string       `json:"last_error,omitempty"`
+	Fired     int          `json:"fired"`
+	Missed    int          `json:"missed"`
+	Misfires  int          `json:"misfires"`
+	Done      bool         `json:"done"`
+}
+
+// schedPayload is the JSON body inside the envelope.
+type schedPayload struct {
+	SavedAt   time.Time        `json:"saved_at"`
+	Schedules []storedSchedule `json:"schedules"`
+}
+
+// ScheduleRestoreStats reports what a Scheduler.Load brought back.
+type ScheduleRestoreStats struct {
+	// Restored schedules are live again (Done ones included — they
+	// remain inspectable).
+	Restored int `json:"restored"`
+	// Due schedules had a fire come due while no process ran; their
+	// catch-up policy was applied (CatchUpOnce keeps them due for the
+	// first tick, CatchUpSkip advances or completes them).
+	Due int `json:"due"`
+	// Dropped schedules failed to round-trip individually.
+	Dropped int `json:"dropped"`
+	// SavedAt is when the store was written.
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// persistableLocked snapshots the schedules worth writing, under s.mu.
+func (s *Scheduler) persistableLocked() []storedSchedule {
+	out := make([]storedSchedule, 0, len(s.scheds))
+	for _, rec := range s.scheds {
+		out = append(out, storedSchedule{
+			Spec:      rec.spec,
+			Seq:       rec.seq,
+			CreatedAt: rec.createdAt,
+			NextRun:   rec.nextRun,
+			LastRun:   rec.lastRun,
+			LastJobID: rec.lastJobID,
+			LastError: rec.lastError,
+			Fired:     rec.fired,
+			Missed:    rec.missed,
+			Misfires:  rec.misfires,
+			Done:      rec.done,
+		})
+	}
+	return out
+}
+
+// save writes the schedule store atomically; no StorePath means
+// memory-only and save is a no-op.
+func (s *Scheduler) save() error {
+	if s.opts.StorePath == "" {
+		return nil
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	s.mu.Lock()
+	scheds := s.persistableLocked()
+	savedAt := s.now().UTC()
+	s.mu.Unlock()
+	payload, err := json.Marshal(schedPayload{SavedAt: savedAt, Schedules: scheds})
+	if err != nil {
+		return fmt.Errorf("schedule store encode: %w", err)
+	}
+	return envelope.WriteFileAtomic(s.opts.StorePath, func(w io.Writer) error {
+		return envelope.Encode(w, schedMagic, schedVersion, payload)
+	})
+}
+
+func (s *Scheduler) saveLogged() {
+	if err := s.save(); err != nil {
+		s.opts.Logf("schedule store save: %v", err)
+	}
+}
+
+// Load restores the schedule store and applies each restored
+// schedule's catch-up policy to fires that came due while no process
+// was running. A missing file is the normal cold start (ok=false, no
+// error); a corrupt or incompatible file is rejected whole. Call
+// before Start, on an empty scheduler.
+func (s *Scheduler) Load() (stats ScheduleRestoreStats, ok bool, err error) {
+	if s.opts.StorePath == "" {
+		return ScheduleRestoreStats{}, false, nil
+	}
+	f, err := os.Open(s.opts.StorePath)
+	if os.IsNotExist(err) {
+		return ScheduleRestoreStats{}, false, nil
+	}
+	if err != nil {
+		return ScheduleRestoreStats{}, false, err
+	}
+	defer f.Close()
+	raw, err := envelope.Decode(f, schedMagic, schedVersion, maxSchedPayload, "schedule store")
+	if err != nil {
+		return ScheduleRestoreStats{}, false, fmt.Errorf("restore %s: %w", s.opts.StorePath, err)
+	}
+	var p schedPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return ScheduleRestoreStats{}, false, fmt.Errorf("restore %s: schedule store decode: %w", s.opts.StorePath, err)
+	}
+	stats.SavedAt = p.SavedAt
+
+	sorted := append([]storedSchedule(nil), p.Schedules...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	now := s.now()
+	s.mu.Lock()
+	for _, ss := range sorted {
+		spec := ss.Spec
+		if err := (&spec).validate(); err != nil || spec.ID == "" {
+			stats.Dropped++
+			continue
+		}
+		if _, dup := s.scheds[spec.ID]; dup {
+			stats.Dropped++
+			continue
+		}
+		rec := &schedRecord{
+			spec:      spec,
+			seq:       s.seq,
+			createdAt: ss.CreatedAt,
+			nextRun:   ss.NextRun,
+			lastRun:   ss.LastRun,
+			lastJobID: ss.LastJobID,
+			lastError: ss.LastError,
+			fired:     ss.Fired,
+			missed:    ss.Missed,
+			misfires:  ss.Misfires,
+			done:      ss.Done,
+		}
+		s.seq++
+		if !rec.done && !now.Before(rec.nextRun) {
+			// A fire (or several) came due while we were down.
+			stats.Due++
+			if spec.CatchUp == CatchUpSkip {
+				if spec.Every == 0 {
+					// One-shot whose moment passed: done, never fired.
+					rec.done = true
+					rec.missed++
+					s.missed++
+				} else {
+					slots := int(now.Sub(rec.nextRun)/spec.Every) + 1
+					rec.missed += slots
+					s.missed += uint64(slots)
+					rec.nextRun = rec.nextRun.Add(time.Duration(slots) * spec.Every)
+				}
+			}
+			// CatchUpOnce: leave nextRun in the past — the first Tick
+			// fires one job and advances (counting skipped slots).
+		}
+		s.scheds[spec.ID] = rec
+		stats.Restored++
+	}
+	s.mu.Unlock()
+	return stats, true, nil
+}

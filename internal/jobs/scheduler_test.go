@@ -1,0 +1,513 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 7, 28, 2, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// specRecorder is a fake queue-submit that records every spec it
+// admits and can be programmed to reject.
+type specRecorder struct {
+	mu    sync.Mutex
+	specs []Spec
+	// reject is consulted per call; nil admits everything.
+	reject func(n int) error
+	calls  int
+}
+
+func (r *specRecorder) submit(spec Spec) (Job, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls++
+	if r.reject != nil {
+		if err := r.reject(r.calls); err != nil {
+			return Job{}, err
+		}
+	}
+	r.specs = append(r.specs, spec)
+	return Job{ID: spec.ID, State: StateQueued}, nil
+}
+
+func (r *specRecorder) ids() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.specs))
+	for i, s := range r.specs {
+		out[i] = s.ID
+	}
+	return out
+}
+
+func TestScheduleSpecValidation(t *testing.T) {
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	ms := manuscripts(1, "EDBT")
+	cases := []struct {
+		name string
+		spec ScheduleSpec
+	}{
+		{"neither run_at nor every", ScheduleSpec{Job: Spec{Manuscripts: ms}}},
+		{"both run_at and every", ScheduleSpec{RunAt: clk.Now(), Every: time.Hour, Job: Spec{Manuscripts: ms}}},
+		{"negative every", ScheduleSpec{Every: -time.Hour, Job: Spec{Manuscripts: ms}}},
+		{"bad catch_up", ScheduleSpec{Every: time.Hour, CatchUp: "maybe", Job: Spec{Manuscripts: ms}}},
+		{"no manuscripts", ScheduleSpec{Every: time.Hour}},
+		{"template with id", ScheduleSpec{Every: time.Hour, Job: Spec{ID: "x", Manuscripts: ms}}},
+		{"bad priority", ScheduleSpec{Every: time.Hour, Job: Spec{Manuscripts: ms, Priority: "urgent"}}},
+		{"bad callback", ScheduleSpec{Every: time.Hour, Job: Spec{Manuscripts: ms, CallbackURL: "ftp://x"}}},
+	}
+	for _, tc := range cases {
+		if _, err := s.Add(tc.spec); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// A valid spec defaults venue, priority and catch-up.
+	sched, err := s.Add(ScheduleSpec{ID: "ok", Every: time.Hour, Job: Spec{Manuscripts: ms}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Venue != "EDBT" || sched.Priority != PriorityNormal || sched.CatchUp != CatchUpSkip {
+		t.Fatalf("defaults = %+v", sched)
+	}
+	if _, err := s.Add(ScheduleSpec{ID: "ok", Every: time.Hour, Job: Spec{Manuscripts: ms}}); !errors.Is(err, ErrDuplicateScheduleID) {
+		t.Fatalf("duplicate = %v", err)
+	}
+}
+
+func TestOneShotScheduleFires(t *testing.T) {
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	runAt := clk.Now().Add(10 * time.Second)
+	sched, err := s.Add(ScheduleSpec{ID: "late-batch", RunAt: runAt, Job: Spec{Manuscripts: manuscripts(2, "EDBT")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.NextRun == nil || !sched.NextRun.Equal(runAt) {
+		t.Fatalf("next_run = %v, want %v", sched.NextRun, runAt)
+	}
+	if n := s.Tick(); n != 0 {
+		t.Fatalf("fired %d before due", n)
+	}
+	clk.Advance(10 * time.Second)
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("fired %d at due time, want 1", n)
+	}
+	if got := rec.ids(); len(got) != 1 || got[0] != "late-batch-run-1" {
+		t.Fatalf("submitted ids = %v", got)
+	}
+	after, _ := s.Get("late-batch")
+	if !after.Done || after.Fired != 1 || after.NextRun != nil || after.LastJobID != "late-batch-run-1" {
+		t.Fatalf("after fire = %+v", after)
+	}
+	// Done schedules never fire again.
+	clk.Advance(time.Hour)
+	if n := s.Tick(); n != 0 {
+		t.Fatalf("done schedule fired %d more", n)
+	}
+	st := s.Stats()
+	if st.Active != 0 || st.Done != 1 || st.Fired != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRecurringScheduleAdvances(t *testing.T) {
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "nightly", Every: 10 * time.Second, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+		t.Fatal(err)
+	}
+	// First fire at creation + every.
+	clk.Advance(10 * time.Second)
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("first slot fired %d", n)
+	}
+	// A late tick inside the next slot still fires exactly once.
+	clk.Advance(15 * time.Second)
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("late tick fired %d", n)
+	}
+	// Far in the future: several slots passed, one job fires, the rest
+	// count as missed.
+	clk.Advance(35 * time.Second)
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("multi-slot tick fired %d", n)
+	}
+	sched, _ := s.Get("nightly")
+	if sched.Fired != 3 {
+		t.Fatalf("fired = %d, want 3", sched.Fired)
+	}
+	if sched.Missed == 0 {
+		t.Fatalf("missed = %d, want > 0 after skipping slots", sched.Missed)
+	}
+	if sched.NextRun == nil || !clk.Now().Before(*sched.NextRun) {
+		t.Fatalf("next_run %v not in the future (now %v)", sched.NextRun, clk.Now())
+	}
+	if got := rec.ids(); got[len(got)-1] != "nightly-run-3" {
+		t.Fatalf("ids = %v", got)
+	}
+}
+
+func TestScheduleQueueFullStaysDue(t *testing.T) {
+	clk := newFakeClock()
+	rec := &specRecorder{reject: func(n int) error {
+		if n == 1 {
+			return &QueueFullError{Depth: 4}
+		}
+		return nil
+	}}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "r", Every: 10 * time.Second, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if n := s.Tick(); n != 0 {
+		t.Fatalf("rejected fire reported as fired (%d)", n)
+	}
+	sched, _ := s.Get("r")
+	if sched.Misfires != 1 || sched.LastError == "" || sched.Fired != 0 {
+		t.Fatalf("after rejection = %+v", sched)
+	}
+	// Still due: the next tick retries and succeeds.
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("retry fired %d", n)
+	}
+	sched, _ = s.Get("r")
+	if sched.Fired != 1 || sched.LastError != "" {
+		t.Fatalf("after retry = %+v", sched)
+	}
+}
+
+// TestScheduleStoppedQueueStaysDue: ErrStopped is transient (the
+// queue only stops around a shutdown) — the schedule must stay due and
+// fire in the next process, never be disabled and persisted done.
+func TestScheduleStoppedQueueStaysDue(t *testing.T) {
+	clk := newFakeClock()
+	rec := &specRecorder{reject: func(n int) error {
+		if n == 1 {
+			return ErrStopped
+		}
+		return nil
+	}}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "r", Every: 10 * time.Second, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if n := s.Tick(); n != 0 {
+		t.Fatalf("stopped-queue fire reported as fired (%d)", n)
+	}
+	sched, _ := s.Get("r")
+	if sched.Done {
+		t.Fatalf("schedule disabled by a transient ErrStopped: %+v", sched)
+	}
+	if sched.Misfires != 1 {
+		t.Fatalf("misfires = %d, want 1", sched.Misfires)
+	}
+	// The "next process" (same scheduler, queue back up) fires it.
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("retry fired %d", n)
+	}
+}
+
+// TestScheduleDuplicateIDResolution: with a Lookup wired, a duplicate
+// derived ID that matches the template counts as a crash-recovered
+// fire, while an unrelated job squatting the ID must not swallow the
+// scheduled work — it fires under a queue-assigned ID instead.
+func TestScheduleDuplicateIDResolution(t *testing.T) {
+	clk := newFakeClock()
+	existing := map[string]Job{}
+	var submitted []Spec
+	submit := func(spec Spec) (Job, error) {
+		if _, taken := existing[spec.ID]; taken {
+			return Job{}, ErrDuplicateID
+		}
+		if spec.ID == "" {
+			spec.ID = "assigned-id"
+		}
+		submitted = append(submitted, spec)
+		return Job{ID: spec.ID, State: StateQueued}, nil
+	}
+	lookup := func(id string) (Job, error) {
+		j, ok := existing[id]
+		if !ok {
+			return Job{}, ErrNotFound
+		}
+		return j, nil
+	}
+	s := NewScheduler(submit, SchedulerOptions{Clock: clk.Now, Lookup: lookup})
+	ms := manuscripts(2, "EDBT")
+
+	// "prior": the derived ID holds a job matching the template — a
+	// previous process fired this slot.
+	existing["prior-run-1"] = Job{ID: "prior-run-1", Venue: "EDBT", Priority: PriorityNormal,
+		Progress: Progress{Total: 2}}
+	if _, err := s.Add(ScheduleSpec{ID: "prior", Every: 10 * time.Second, Job: Spec{Manuscripts: ms}}); err != nil {
+		t.Fatal(err)
+	}
+	// "squatted": the derived ID holds an unrelated user job.
+	existing["squatted-run-1"] = Job{ID: "squatted-run-1", Venue: "Other", Priority: PriorityHigh,
+		Progress: Progress{Total: 7}}
+	if _, err := s.Add(ScheduleSpec{ID: "squatted", Every: 10 * time.Second, Job: Spec{Manuscripts: ms}}); err != nil {
+		t.Fatal(err)
+	}
+
+	clk.Advance(10 * time.Second)
+	if n := s.Tick(); n != 2 {
+		t.Fatalf("fired %d, want 2", n)
+	}
+	// The prior fire was recognized: nothing resubmitted under that ID.
+	prior, _ := s.Get("prior")
+	if prior.Fired != 1 || prior.LastJobID != "prior-run-1" {
+		t.Fatalf("prior = %+v", prior)
+	}
+	// The squatted fire ran anyway, under a fresh queue-assigned ID.
+	squatted, _ := s.Get("squatted")
+	if squatted.Fired != 1 || squatted.LastJobID != "assigned-id" {
+		t.Fatalf("squatted = %+v", squatted)
+	}
+	found := false
+	for _, sp := range submitted {
+		if sp.ID == "assigned-id" && len(sp.Manuscripts) == 2 {
+			found = true
+		}
+		if sp.ID == "prior-run-1" || sp.ID == "squatted-run-1" {
+			t.Fatalf("resubmitted an occupied ID: %+v", sp)
+		}
+	}
+	if !found {
+		t.Fatalf("squatted schedule's work never submitted: %+v", submitted)
+	}
+}
+
+func TestSchedulePermanentErrorDisables(t *testing.T) {
+	clk := newFakeClock()
+	rec := &specRecorder{reject: func(int) error { return errors.New("spec rotten") }}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "r", Every: time.Second, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	if n := s.Tick(); n != 0 {
+		t.Fatalf("fired %d", n)
+	}
+	sched, _ := s.Get("r")
+	if !sched.Done || sched.LastError != "spec rotten" {
+		t.Fatalf("schedule not disabled: %+v", sched)
+	}
+}
+
+func TestScheduleRemove(t *testing.T) {
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "gone", Every: time.Second, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Remove("gone"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Remove("gone"); !errors.Is(err, ErrScheduleNotFound) {
+		t.Fatalf("second remove = %v", err)
+	}
+	clk.Advance(time.Minute)
+	if n := s.Tick(); n != 0 {
+		t.Fatalf("removed schedule fired %d", n)
+	}
+}
+
+func TestScheduleStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.store")
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{StorePath: path, Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "a", Every: 10 * time.Second, CatchUp: CatchUpOnce, Job: Spec{Manuscripts: manuscripts(2, "A"), Priority: PriorityLow}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(ScheduleSpec{ID: "b", RunAt: clk.Now().Add(time.Hour), Job: Spec{Manuscripts: manuscripts(1, "B")}}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(10 * time.Second)
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("fired %d", n)
+	}
+
+	// Same clock, new scheduler: everything comes back, nothing due.
+	s2 := NewScheduler(rec.submit, SchedulerOptions{StorePath: path, Clock: clk.Now})
+	stats, ok, err := s2.Load()
+	if err != nil || !ok {
+		t.Fatalf("load: %v ok=%v", err, ok)
+	}
+	if stats.Restored != 2 || stats.Dropped != 0 || stats.Due != 0 {
+		t.Fatalf("restore stats = %+v", stats)
+	}
+	a, err := s2.Get("a")
+	if err != nil || a.Fired != 1 || a.Priority != PriorityLow || a.CatchUp != CatchUpOnce {
+		t.Fatalf("a = %+v, %v", a, err)
+	}
+	if list := s2.List(); len(list) != 2 || list[0].ID != "a" || list[1].ID != "b" {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestScheduleCatchUpPolicies(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sched.store")
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{StorePath: path, Clock: clk.Now})
+	ms := manuscripts(1, "V")
+	adds := []ScheduleSpec{
+		{ID: "skip-once-shot", RunAt: clk.Now().Add(time.Minute), CatchUp: CatchUpSkip, Job: Spec{Manuscripts: ms}},
+		{ID: "once-one-shot", RunAt: clk.Now().Add(time.Minute), CatchUp: CatchUpOnce, Job: Spec{Manuscripts: ms}},
+		{ID: "skip-recurring", Every: time.Minute, CatchUp: CatchUpSkip, Job: Spec{Manuscripts: ms}},
+		{ID: "once-recurring", Every: time.Minute, CatchUp: CatchUpOnce, Job: Spec{Manuscripts: ms}},
+	}
+	for _, a := range adds {
+		if _, err := s.Add(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// "The process dies" for 10 minutes; a new scheduler restores.
+	clk.Advance(10 * time.Minute)
+	s2 := NewScheduler(rec.submit, SchedulerOptions{StorePath: path, Clock: clk.Now})
+	stats, ok, err := s2.Load()
+	if err != nil || !ok {
+		t.Fatalf("load: %v ok=%v", err, ok)
+	}
+	if stats.Restored != 4 || stats.Due != 4 {
+		t.Fatalf("restore stats = %+v", stats)
+	}
+
+	// Skip policies: the one-shot is dead, the recurring one advanced to
+	// a future slot — neither fires now.
+	skipShot, _ := s2.Get("skip-once-shot")
+	if !skipShot.Done || skipShot.Missed != 1 {
+		t.Fatalf("skip one-shot = %+v", skipShot)
+	}
+	skipRec, _ := s2.Get("skip-recurring")
+	if skipRec.Done || skipRec.NextRun == nil || !clk.Now().Before(*skipRec.NextRun) || skipRec.Missed == 0 {
+		t.Fatalf("skip recurring = %+v", skipRec)
+	}
+
+	// Once policies: both fire exactly one catch-up job at the first
+	// tick.
+	n := s2.Tick()
+	if n != 2 {
+		t.Fatalf("first tick fired %d, want 2 (the two catch-up-once schedules)", n)
+	}
+	onceShot, _ := s2.Get("once-one-shot")
+	if !onceShot.Done || onceShot.Fired != 1 {
+		t.Fatalf("once one-shot = %+v", onceShot)
+	}
+	onceRec, _ := s2.Get("once-recurring")
+	if onceRec.Fired != 1 || onceRec.NextRun == nil || !clk.Now().Before(*onceRec.NextRun) {
+		t.Fatalf("once recurring = %+v", onceRec)
+	}
+	if onceRec.Missed == 0 {
+		t.Fatalf("once recurring missed = 0, want the skipped slots counted")
+	}
+}
+
+func TestScheduleCorruptStoreRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sched.store")
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{StorePath: path, Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "x", Every: time.Hour, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewScheduler(rec.submit, SchedulerOptions{StorePath: path, Clock: clk.Now})
+	if _, ok, err := s2.Load(); err == nil || ok {
+		t.Fatalf("corrupt store loaded: ok=%v err=%v", ok, err)
+	}
+	if len(s2.List()) != 0 {
+		t.Fatal("corrupt store populated the scheduler")
+	}
+}
+
+// TestSchedulerIntoRealQueue wires a Scheduler to a real Queue: a due
+// schedule's job flows through bounded admission, runs, and lands
+// done.
+func TestSchedulerIntoRealQueue(t *testing.T) {
+	q := New(okRunner, Options{Workers: 1})
+	q.Start()
+	defer stopQueue(t, q)
+	clk := newFakeClock()
+	s := NewScheduler(q.Submit, SchedulerOptions{Clock: clk.Now})
+	if _, err := s.Add(ScheduleSpec{ID: "real", Every: time.Minute, Job: Spec{Manuscripts: manuscripts(2, "EDBT"), Priority: PriorityHigh}}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	if n := s.Tick(); n != 1 {
+		t.Fatalf("fired %d", n)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	job, err := q.Wait(ctx, "real-run-1", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateDone || job.Priority != PriorityHigh || job.Venue != "EDBT" {
+		t.Fatalf("fired job = %+v", job)
+	}
+}
+
+func BenchmarkScheduleTick(b *testing.B) {
+	// N recurring schedules, all due every tick: the admission-path
+	// cost of one scheduler sweep.
+	const n = 256
+	clk := newFakeClock()
+	rec := &specRecorder{}
+	s := NewScheduler(rec.submit, SchedulerOptions{Clock: clk.Now})
+	for i := 0; i < n; i++ {
+		if _, err := s.Add(ScheduleSpec{Every: time.Second, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clk.Advance(time.Second)
+		if fired := s.Tick(); fired != n {
+			b.Fatalf("tick fired %d, want %d", fired, n)
+		}
+	}
+	b.ReportMetric(float64(n), "schedules/tick")
+}

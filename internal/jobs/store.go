@@ -24,8 +24,12 @@ import (
 )
 
 const (
-	storeMagic   = "MINJOBS\x00"
-	storeVersion = 1
+	storeMagic = "MINJOBS\x00"
+	// storeVersion is what save writes. Version 1 lacked the spec's
+	// priority and callback_url fields; v1 files still load (the new
+	// fields default), so upgrading a deployment never drops its queue.
+	storeVersion    = 2
+	storeMinVersion = 1
 	// maxStorePayload caps what Load will allocate for a corrupted
 	// length field.
 	maxStorePayload = 1 << 30
@@ -75,10 +79,10 @@ func encodeStore(w io.Writer, savedAt time.Time, jobs []storedJob) error {
 
 // decodeStore reads and verifies an enveloped store. A bad magic,
 // unsupported version, truncated payload or checksum mismatch rejects
-// the file as a whole.
+// the file as a whole; any version back to storeMinVersion decodes.
 func decodeStore(r io.Reader) (storePayload, error) {
 	var p storePayload
-	payload, err := envelope.Decode(r, storeMagic, storeVersion, maxStorePayload, "job store")
+	_, payload, err := envelope.DecodeRange(r, storeMagic, storeMinVersion, storeVersion, maxStorePayload, "job store")
 	if err != nil {
 		return p, err
 	}
@@ -190,6 +194,14 @@ func (q *Queue) Load() (stats RestoreStats, ok bool, err error) {
 		if _, dup := q.jobs[sj.Spec.ID]; dup {
 			stats.Dropped++
 			continue
+		}
+		// v1 stores predate priorities; an unparseable label (a
+		// hand-edited file) demotes to normal rather than dropping the
+		// job.
+		if p, err := ParsePriority(string(sj.Spec.Priority)); err == nil {
+			sj.Spec.Priority = p
+		} else {
+			sj.Spec.Priority = PriorityNormal
 		}
 		rec := &record{
 			spec:        sj.Spec,

@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"minaret/internal/batch"
+	"minaret/internal/envelope"
 )
 
 func storePath(t *testing.T) string {
@@ -219,6 +221,49 @@ func TestStoreCanceledPersists(t *testing.T) {
 	}
 	if job.State != StateCanceled {
 		t.Fatalf("state = %q, want canceled to stick", job.State)
+	}
+}
+
+// TestStoreV1StillLoads: a version-1 file (written before priorities
+// and callbacks existed) loads into a v2 queue — the new fields just
+// default, so upgrading a deployment never drops its queue.
+func TestStoreV1StillLoads(t *testing.T) {
+	path := storePath(t)
+	jobs := []storedJob{{
+		Spec:        Spec{ID: "old", Venue: "A", Manuscripts: manuscripts(2, "A")},
+		Seq:         0,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+	}}
+	raw, err := json.Marshal(storePayload{SavedAt: time.Now().UTC(), Jobs: jobs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := envelope.Encode(f, storeMagic, 1, raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	q := New(okRunner, Options{StorePath: path})
+	stats, ok, err := q.Load()
+	if err != nil || !ok {
+		t.Fatalf("v1 load: %v ok=%v", err, ok)
+	}
+	if stats.Resumed != 1 || stats.Dropped != 0 {
+		t.Fatalf("restore stats = %+v", stats)
+	}
+	job, err := q.Get("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != StateQueued || job.Priority != PriorityNormal || job.CallbackURL != "" {
+		t.Fatalf("v1 job defaults = %+v", job)
 	}
 }
 
