@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke server docs-check ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server docs-check ci
+
+# The perf ledger bench-ledger writes; bump the number with the PR
+# sequence so ledger-check can diff consecutive ledgers.
+LEDGER ?= BENCH_6.json
 
 all: build
 
@@ -32,15 +36,41 @@ fmt-check:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' . ./internal/core
 
-# CI gate: the batch pipeline, the indexed retrieval clusterer (a
-# regression there reverts clustering to the quadratic scan), the
-# async job queue end to end over a warm Shared, and a scheduler sweep
-# firing N due schedules through bounded admission.
+# CI gate: the batch pipeline (live and index-backed), the indexed
+# retrieval clusterer (a regression there reverts clustering to the
+# quadratic scan), cold retrieval live vs the persistent index (a
+# regression there means the fast path fell out of searchInterest),
+# the async job queue end to end over a warm Shared, and a scheduler
+# sweep firing N due schedules through bounded admission.
 bench-smoke:
 	$(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -run '^$$' .
-	$(GO) test -bench=BenchmarkRetrieveCluster -benchtime=1x -run '^$$' ./internal/core
+	$(GO) test -bench='BenchmarkRetrieveCluster|BenchmarkRetrieveCold' -benchtime=1x -run '^$$' ./internal/core
 	$(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -run '^$$' .
 	$(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -run '^$$' ./internal/jobs
+
+# Record the smoke suite as a perf ledger (see cmd/benchledger).
+# -count=3 so the ledger keeps the minimum of three observations per
+# benchmark — scheduling jitter only ever adds time, so the minimum is
+# the closest to the code's true cost on a noisy box.
+bench-ledger:
+	@set -e; tmp=$$(mktemp); \
+	run() { "$$@" >>"$$tmp" 2>&1 || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; }; \
+	run $(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
+	run $(GO) test -bench='BenchmarkRetrieveCluster|BenchmarkRetrieveCold' -benchtime=1x -count=3 -benchmem -run '^$$' ./internal/core ; \
+	run $(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
+	run $(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -count=3 -benchmem -run '^$$' ./internal/jobs ; \
+	$(GO) run ./cmd/benchledger -out $(LEDGER) <"$$tmp"; \
+	rm -f "$$tmp"
+
+# CI gate: diff the two most recent committed ledgers; fail on a >20%
+# ns/op or allocs/op regression. With fewer than two ledgers on disk
+# there is no history yet and the check passes vacuously.
+ledger-check:
+	@set -- $$(ls BENCH_*.json 2>/dev/null | sort -V); \
+	if [ $$# -lt 2 ]; then echo "ledger-check: $$# ledger(s) on disk, nothing to diff"; exit 0; fi; \
+	while [ $$# -gt 2 ]; do shift; done; \
+	echo "ledger-check: $$1 -> $$2"; \
+	$(GO) run ./cmd/benchledger -compare $$1 $$2
 
 server:
 	$(GO) run ./cmd/minaret-server
@@ -80,4 +110,4 @@ docs-check: fmt-check vet
 	[ "$$fail" -eq 0 ] || exit 1
 	@echo "docs-check: ok"
 
-ci: fmt-check vet build race bench-smoke docs-check
+ci: fmt-check vet build race bench-smoke ledger-check docs-check

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+)
+
+// TestServerRetrievalIndexLifecycle runs the -retrieval-index flag
+// surface across real processes: build the index at boot, serve
+// recommendations from it (stats prove the fast path engaged), load the
+// same file in a second life, and refuse it — serving live — in a third
+// life against a different corpus.
+func TestServerRetrievalIndexLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+	ixPath := filepath.Join(dir, "retrieval.idx")
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	start := func(extra ...string) *exec.Cmd {
+		args := append([]string{"-addr", addr, "-top-k", "3", "-retrieval-index", ixPath}, extra...)
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+	stop := func(cmd *exec.Cmd) {
+		t.Helper()
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+		}
+	}
+
+	recommend := func() {
+		t.Helper()
+		body, _ := json.Marshal(map[string]any{
+			"title":    "Index Wire Test",
+			"keywords": []string{"rdf", "stream processing"},
+			"authors":  []map[string]string{{"name": "Wei Wang"}},
+			"top_k":    3,
+		})
+		resp, err := http.Post(base+"/api/recommend", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("recommend = %d", resp.StatusCode)
+		}
+		var res core.Result
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Recommendations) == 0 {
+			t.Fatal("no recommendations")
+		}
+	}
+	type indexBlock struct {
+		Keywords int   `json:"keywords"`
+		Served   int64 `json:"served"`
+		Missed   int64 `json:"missed"`
+	}
+	sharedStats := func() (ix *indexBlock, srcErrs map[string]int64) {
+		t.Helper()
+		resp, err := http.Get(base + "/api/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stats struct {
+			Shared struct {
+				RetrievalIndex *indexBlock      `json:"retrieval_index"`
+				SourceErrors   map[string]int64 `json:"source_errors"`
+			} `json:"shared"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+			t.Fatal(err)
+		}
+		return stats.Shared.RetrievalIndex, stats.Shared.SourceErrors
+	}
+
+	// First life: crawl at boot, write the file, serve from it. The
+	// boot-time crawl makes the health wait generous.
+	cmd := start("-scholars", "300", "-index-build")
+	waitHealthy(t, base+"/api/health", 120*time.Second)
+	recommend()
+	ix, _ := sharedStats()
+	if ix == nil || ix.Keywords == 0 {
+		t.Fatalf("stats missing retrieval_index after -index-build: %+v", ix)
+	}
+	if ix.Served == 0 {
+		t.Fatalf("index never served: %+v", ix)
+	}
+	if ix.Missed != 0 {
+		t.Fatalf("full-vocabulary index missed %d lookups", ix.Missed)
+	}
+	stop(cmd)
+	if _, err := os.Stat(ixPath); err != nil {
+		t.Fatalf("index file not written: %v", err)
+	}
+
+	// Second life: same corpus, load from disk.
+	cmd2 := start("-scholars", "300")
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	recommend()
+	ix2, _ := sharedStats()
+	if ix2 == nil || ix2.Served == 0 {
+		t.Fatalf("loaded index did not serve: %+v", ix2)
+	}
+	stop(cmd2)
+
+	// Third life: different corpus — the scope check must reject the
+	// file and the server must serve live, not another corpus's
+	// postings.
+	cmd3 := start("-scholars", "200")
+	t.Cleanup(func() {
+		cmd3.Process.Kill()
+		cmd3.Wait()
+	})
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	recommend()
+	ix3, _ := sharedStats()
+	if ix3 != nil {
+		t.Fatalf("cross-corpus index was installed: %+v", ix3)
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"minaret/internal/core"
 	"minaret/internal/fetch"
 	"minaret/internal/httpapi"
+	"minaret/internal/index"
 	"minaret/internal/jobs"
 	"minaret/internal/ontology"
 	"minaret/internal/scholarly"
@@ -72,6 +73,9 @@ func main() {
 		ttlExpand    = flag.Duration("cache-ttl-expansions", 0, "keyword-expansion lifetime (0 = never expire)")
 		ttlRetrieve  = flag.Duration("cache-ttl-retrievals", 0, "retrieval hit-list lifetime (0 = never expire)")
 		sweepEvery   = flag.Duration("cache-sweep-interval", time.Minute, "janitor sweep cadence for expired entries (used only when a TTL is set)")
+
+		indexPath  = flag.String("retrieval-index", "", "file holding the persistent inverted retrieval index; loaded at boot (scope-checked) and served ahead of live scraping (empty: pure live retrieval)")
+		indexBuild = flag.Bool("index-build", false, "crawl the full ontology vocabulary at boot and (re)write -retrieval-index before serving")
 
 		jobsWorkers = flag.Int("jobs-workers", 2, "async jobs processed concurrently")
 		jobsDepth   = flag.Int("jobs-queue-depth", 64, "queued async jobs before POST /v1/jobs answers 429")
@@ -102,6 +106,9 @@ func main() {
 	anyTTL := sharedOpts.ProfileTTL+sharedOpts.VerifyTTL+sharedOpts.ExpansionTTL+sharedOpts.RetrievalTTL > 0
 	if anyTTL && *sweepEvery <= 0 {
 		log.Fatalf("minaret-server: -cache-sweep-interval %v must be positive when a TTL is set", *sweepEvery)
+	}
+	if *indexBuild && *indexPath == "" {
+		log.Fatalf("minaret-server: -index-build needs -retrieval-index to name the output file")
 	}
 	if *jobsWorkers <= 0 {
 		log.Fatalf("minaret-server: -jobs-workers %d must be positive", *jobsWorkers)
@@ -177,6 +184,44 @@ func main() {
 		}
 	}
 	server.SetShared(shared, restore)
+
+	// Persistent retrieval index: build on request, else load what's on
+	// disk. Load failures — absent file, corruption, scope mismatch —
+	// degrade to live scraping; an explicit -index-build failing is a
+	// configuration error and fatal.
+	if *indexPath != "" {
+		if *indexBuild {
+			vocab := o.Labels()
+			log.Printf("retrieval index: crawling %d vocabulary terms", len(vocab))
+			built := time.Now()
+			ix, bst, err := index.Build(context.Background(), registry, vocab,
+				index.BuildOptions{Scope: sharedOpts.SnapshotScope})
+			if err != nil {
+				log.Fatalf("minaret-server: index build: %v", err)
+			}
+			if err := ix.Save(*indexPath); err != nil {
+				log.Fatalf("minaret-server: index save: %v", err)
+			}
+			shared.SetRetrievalIndex(ix)
+			log.Printf("retrieval index: built in %s, saved to %s: %s", time.Since(built).Round(time.Millisecond), *indexPath, ix)
+			for src, n := range bst.Errors {
+				log.Printf("retrieval index: %d %s queries failed during the crawl; those terms serve live", n, src)
+			}
+		} else {
+			ix, ok, err := index.Load(*indexPath, sharedOpts.SnapshotScope)
+			switch {
+			case err != nil:
+				// Wrong-corpus or corrupt index must not keep the service
+				// down — and must never be served: retrieve live instead.
+				log.Printf("retrieval index: %v (serving live)", err)
+			case !ok:
+				log.Printf("retrieval index: %s absent, serving live (start with -index-build to create it)", *indexPath)
+			default:
+				shared.SetRetrievalIndex(ix)
+				log.Printf("%s", ix)
+			}
+		}
+	}
 
 	if anyTTL {
 		stopJanitor := shared.StartJanitor(*sweepEvery)

@@ -29,6 +29,7 @@ import (
 	"minaret/internal/batch"
 	"minaret/internal/core"
 	"minaret/internal/filter"
+	"minaret/internal/index"
 	"minaret/internal/ontology"
 	"minaret/internal/ranking"
 )
@@ -47,6 +48,9 @@ func runBatch(args []string) {
 		scholars    = fs.Int("scholars", 1500, "in-process corpus size")
 		seed        = fs.Int64("seed", 42, "in-process corpus seed")
 		asJSON      = fs.Bool("json", false, "print the full summary as JSON")
+
+		indexPath  = fs.String("retrieval-index", "", "serve interest retrieval from this persistent index file when its scope matches (missing/mismatched: live scraping)")
+		indexBuild = fs.Bool("index-build", false, "crawl the full ontology vocabulary and (re)write -retrieval-index before the batch")
 
 		snapPath    = fs.String("cache-snapshot", "", "warm-start the shared caches from this file and save them back after the batch")
 		ttlProfiles = fs.Duration("cache-ttl-profiles", 0, "assembled-profile lifetime (0 = never expire)")
@@ -72,6 +76,9 @@ func runBatch(args []string) {
 	}
 	if err := sharedOpts.Validate(); err != nil {
 		log.Fatalf("minaret batch: %v", err)
+	}
+	if *indexBuild && *indexPath == "" {
+		log.Fatal("minaret batch: -index-build needs -retrieval-index to name the output file")
 	}
 	manuscripts, err := readManuscripts(*inPath)
 	if err != nil {
@@ -113,6 +120,33 @@ func runBatch(args []string) {
 			restore = &stats
 		}
 	}
+	// Persistent retrieval index: same policy as the server — build on
+	// request (fatal on failure: the operator asked for it), otherwise
+	// load and degrade to live scraping when the file is absent, corrupt
+	// or built against a different corpus.
+	if *indexPath != "" {
+		if *indexBuild {
+			ix, _, err := index.Build(ctx, w.registry, o.Labels(),
+				index.BuildOptions{Scope: sharedOpts.SnapshotScope})
+			if err != nil {
+				log.Fatalf("minaret batch: index build: %v", err)
+			}
+			if err := ix.Save(*indexPath); err != nil {
+				log.Fatalf("minaret batch: index save: %v", err)
+			}
+			shared.SetRetrievalIndex(ix)
+		} else {
+			ix, ok, err := index.Load(*indexPath, sharedOpts.SnapshotScope)
+			switch {
+			case err != nil:
+				log.Printf("minaret batch: retrieval index: %v (running live)", err)
+			case !ok:
+				log.Printf("minaret batch: retrieval index: %s absent, running live (add -index-build to create it)", *indexPath)
+			default:
+				shared.SetRetrievalIndex(ix)
+			}
+		}
+	}
 	eng := core.NewWithShared(w.registry, o, core.Config{
 		TopK:             *topK,
 		DisableExpansion: *noExpansion,
@@ -122,6 +156,10 @@ func runBatch(args []string) {
 
 	sum := batch.New(eng, batch.Options{Workers: *workers}).Process(ctx, manuscripts)
 	sum.Restore = restore
+	if ix := shared.RetrievalIndex(); ix != nil {
+		st := ix.Stats()
+		sum.Index = &st
+	}
 	if *snapPath != "" {
 		if err := shared.SaveSnapshot(*snapPath); err != nil {
 			log.Printf("minaret batch: cache snapshot save: %v", err)
@@ -200,5 +238,9 @@ func printBatchSummary(sum *batch.Summary) {
 	if r := sum.Restore; r != nil {
 		fmt.Printf("snapshot: warm start loaded %d entries (%d expired on disk, %d corrupt, %d over capacity), saved %s\n",
 			r.Loaded, r.Expired, r.Corrupt, r.Overflow, r.SavedAt.Format(time.RFC3339))
+	}
+	if ix := sum.Index; ix != nil {
+		fmt.Printf("retrieval index: %d lookups served without scraping, %d fell through live (%d keywords, %d postings)\n",
+			ix.Served, ix.Missed, ix.Keywords, ix.Postings)
 	}
 }

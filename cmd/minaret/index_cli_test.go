@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"minaret/internal/batch"
+)
+
+// TestCLIBatchRetrievalIndex exercises the full -retrieval-index
+// lifecycle across separate processes: build the index in one run,
+// serve from the file in the next, produce recommendations identical to
+// the live-scrape baseline, and cold-fall-through (not serve) when the
+// corpus scope no longer matches.
+func TestCLIBatchRetrievalIndex(t *testing.T) {
+	manu := writeManuscripts(t, batchInput())
+	ixPath := filepath.Join(t.TempDir(), "retrieval.idx")
+	base := []string{"batch", "-in", manu, "-top-k", "2", "-scholars", "300", "-json"}
+
+	parse := func(out string) batch.Summary {
+		t.Helper()
+		var sum batch.Summary
+		if err := json.Unmarshal([]byte(out), &sum); err != nil {
+			t.Fatalf("JSON output invalid: %v\n%s", err, out)
+		}
+		if sum.Succeeded != 3 {
+			t.Fatalf("succeeded = %d, want 3", sum.Succeeded)
+		}
+		return sum
+	}
+	topReviewers := func(sum batch.Summary) []string {
+		var out []string
+		for _, it := range sum.Items {
+			for _, rec := range it.Result.Recommendations {
+				out = append(out, rec.Reviewer.Name)
+			}
+		}
+		return out
+	}
+
+	liveOut, _ := runCLI(t, base...)
+	live := parse(liveOut)
+
+	// Build + serve in one run.
+	builtOut, _ := runCLI(t, append(base, "-retrieval-index", ixPath, "-index-build")...)
+	built := parse(builtOut)
+	if built.Index == nil {
+		t.Fatal("-index-build run reported no retrieval_index block")
+	}
+	if built.Index.Served == 0 {
+		t.Fatalf("index served nothing during the batch: %+v", built.Index)
+	}
+	if built.Index.Missed != 0 {
+		t.Fatalf("full-vocabulary index missed %d lookups", built.Index.Missed)
+	}
+
+	// Serve from the file in a fresh process.
+	warmOut, _ := runCLI(t, append(base, "-retrieval-index", ixPath)...)
+	warm := parse(warmOut)
+	if warm.Index == nil || warm.Index.Served == 0 {
+		t.Fatalf("loaded index did not serve: %+v", warm.Index)
+	}
+	if warm.Cache.Retrievals.Misses != 0 {
+		t.Fatalf("index-backed run still missed the retrieval memo %d times (live scrapes happened)",
+			warm.Cache.Retrievals.Misses)
+	}
+
+	// Equivalence across processes: identical recommendations.
+	liveTop := topReviewers(live)
+	for _, sum := range []batch.Summary{built, warm} {
+		got := topReviewers(sum)
+		if strings.Join(got, "|") != strings.Join(liveTop, "|") {
+			t.Fatalf("indexed recommendations diverge from live:\nindexed: %v\nlive:    %v", got, liveTop)
+		}
+	}
+
+	// Scope mismatch: a different corpus size must reject the file and
+	// run live — never serve another corpus's postings.
+	_, stderr := runCLI(t, "batch", "-in", manu, "-top-k", "2", "-scholars", "200",
+		"-json", "-retrieval-index", ixPath)
+	if !strings.Contains(stderr, "running live") {
+		t.Fatalf("cross-corpus run did not announce live fall-through:\n%s", stderr)
+	}
+}

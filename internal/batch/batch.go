@@ -15,6 +15,7 @@ import (
 
 	"minaret/internal/cache"
 	"minaret/internal/core"
+	"minaret/internal/index"
 )
 
 // Options tunes a Processor; zero values select the defaults.
@@ -78,6 +79,10 @@ type Summary struct {
 	// dropped — set by the caller (Process doesn't load snapshots), so
 	// one summary tells the whole warm-start story.
 	Restore *core.RestoreStats `json:"restore,omitempty"`
+	// Index, when the caller installed a persistent retrieval index,
+	// snapshots its size and served/missed counters after the batch —
+	// set by the caller, like Restore.
+	Index *index.Stats `json:"retrieval_index,omitempty"`
 }
 
 // Processor runs batches against one engine. The engine should be built

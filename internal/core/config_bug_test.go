@@ -1,0 +1,157 @@
+// Regression tests for Config.withDefaults clamping: the old code only
+// defaulted zero values, so a negative Workers started zero fan-out
+// goroutines (dispatch blocked until ctx death — an effective hang) and
+// a negative MaxCandidates/MaxExpandedKeywords panicked slicing with a
+// negative bound. Every knob must come out of withDefaults ≥ 1.
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"minaret/internal/nameres"
+	"minaret/internal/ontology"
+	"minaret/internal/sources"
+)
+
+func TestWithDefaultsClampsNegatives(t *testing.T) {
+	for _, cfg := range []Config{
+		{},
+		{Workers: -4, MaxCandidates: -7, MaxExpandedKeywords: -1, TopK: -2},
+	} {
+		got := cfg.withDefaults()
+		if got.Workers < 1 || got.MaxCandidates < 1 || got.MaxExpandedKeywords < 1 || got.TopK < 1 {
+			t.Errorf("withDefaults(%+v) left a knob below 1: %+v", cfg, got)
+		}
+	}
+	// Explicit positive values must pass through untouched.
+	got := Config{Workers: 3, MaxCandidates: 5, MaxExpandedKeywords: 2, TopK: 1}.withDefaults()
+	if got.Workers != 3 || got.MaxCandidates != 5 || got.MaxExpandedKeywords != 2 || got.TopK != 1 {
+		t.Errorf("withDefaults clobbered explicit values: %+v", got)
+	}
+}
+
+// TestRecommendNegativeWorkersCompletes: before the clamp, Workers=-4
+// reached the fan-outs unchanged, the worker-spawn loops ran zero
+// iterations, and dispatch blocked forever on an unread channel.
+func TestRecommendNegativeWorkersCompletes(t *testing.T) {
+	off := false
+	reg := sources.NewRegistry(newFakeSource("scholar", false), newFakeSource("publons", false))
+	eng := New(reg, ontology.Default(), Config{
+		DisableExpansion: true, Workers: -4, EnrichProfiles: &off,
+	})
+	done := make(chan error, 1)
+	go func() {
+		_, err := eng.Recommend(context.Background(), fakeManuscript("rdf", "sparql"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Recommend with negative Workers: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Recommend with negative Workers hung (dispatch with zero workers)")
+	}
+}
+
+// TestRecommendNegativeMaxCandidatesCompletes: before the clamp,
+// MaxCandidates=-7 panicked in assembleCandidates on cands[:-7].
+func TestRecommendNegativeMaxCandidatesCompletes(t *testing.T) {
+	off := false
+	reg := sources.NewRegistry(newFakeSource("scholar", false), newFakeSource("publons", false))
+	eng := New(reg, ontology.Default(), Config{
+		DisableExpansion: true, MaxCandidates: -7, MaxExpandedKeywords: -3, EnrichProfiles: &off,
+	})
+	res, err := eng.Recommend(context.Background(), fakeManuscript("rdf"))
+	if err != nil {
+		t.Fatalf("Recommend with negative MaxCandidates: %v", err)
+	}
+	if res.Stats.ProfilesAssembled == 0 {
+		t.Fatal("negative MaxCandidates assembled nothing; clamp should restore the default cap")
+	}
+}
+
+// blockingAuthorSource parks SearchAuthor until ctx dies — a hung site
+// hit during author-identity verification.
+type blockingAuthorSource struct {
+	fakeInterestSource
+}
+
+func newBlockingAuthorSource(name string) *blockingAuthorSource {
+	return &blockingAuthorSource{fakeInterestSource{name: name, started: make(chan struct{})}}
+}
+
+func (b *blockingAuthorSource) SearchAuthor(ctx context.Context, name string) ([]sources.Hit, error) {
+	b.startOnce.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestVerifyAllPropagatesCancellation: through the shared verify cache,
+// verifyAll used to discard the pool's errors, so a ctx cancelled
+// mid-verification yielded Backfill-padded unverified results that
+// flowed onward. It must return ctx.Err() instead.
+func TestVerifyAllPropagatesCancellation(t *testing.T) {
+	src := newBlockingAuthorSource("scholar")
+	reg := sources.NewRegistry(src)
+	eng := NewWithShared(reg, ontology.Default(), Config{Workers: 2}, NewShared(SharedOptions{}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-src.started
+		cancel()
+	}()
+	queries := []nameres.Query{{Name: "Ana Probe"}, {Name: "Bo Probe"}, {Name: "Cy Probe"}}
+	out, err := eng.verifyAll(ctx, queries)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("verifyAll err = %v, want context.Canceled", err)
+	}
+	if out != nil {
+		t.Fatalf("cancelled verifyAll returned results: %v", out)
+	}
+}
+
+// TestRecommendCancellationMidVerification: same property end to end —
+// cancelling during Phase-1a must surface ctx.Err() from Recommend,
+// never a Result built on unverified authors.
+func TestRecommendCancellationMidVerification(t *testing.T) {
+	off := false
+	src := newBlockingAuthorSource("scholar")
+	reg := sources.NewRegistry(src)
+	eng := NewWithShared(reg, ontology.Default(), Config{
+		DisableExpansion: true, Workers: 2, EnrichProfiles: &off,
+	}, NewShared(SharedOptions{}))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := eng.Recommend(ctx, fakeManuscript("rdf"))
+		done <- outcome{res, err}
+	}()
+	select {
+	case <-src.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("verification never started")
+	}
+	cancel()
+	select {
+	case o := <-done:
+		if !errors.Is(o.err, context.Canceled) {
+			t.Fatalf("Recommend err = %v, want context.Canceled", o.err)
+		}
+		if o.res != nil {
+			t.Fatal("cancelled Recommend returned a partial Result")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recommend did not return after cancellation mid-verification")
+	}
+}

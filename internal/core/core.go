@@ -95,17 +95,21 @@ type Config struct {
 	EnrichProfiles *bool
 }
 
+// withDefaults fills zero values and clamps nonsense: every knob below
+// must end up ≥1. A negative Workers would start zero goroutines and
+// leave the fan-out dispatch blocking until ctx death (an effective
+// hang); a negative MaxCandidates would panic slicing cands[:negative].
 func (c Config) withDefaults() Config {
-	if c.MaxExpandedKeywords == 0 {
+	if c.MaxExpandedKeywords <= 0 {
 		c.MaxExpandedKeywords = 25
 	}
-	if c.MaxCandidates == 0 {
+	if c.MaxCandidates <= 0 {
 		c.MaxCandidates = 150
 	}
-	if c.TopK == 0 {
+	if c.TopK <= 0 {
 		c.TopK = 10
 	}
-	if c.Workers == 0 {
+	if c.Workers <= 0 {
 		c.Workers = 8
 	}
 	if c.EnrichProfiles == nil {
@@ -176,6 +180,11 @@ type Result struct {
 	Stats PhaseStats `json:"stats"`
 	// SourceErrors aggregates extraction failures (source -> first error).
 	SourceErrors map[string]string `json:"source_errors,omitempty"`
+	// SourceErrorCounts counts every retrieval failure per source, not
+	// just the first: SourceErrors says what went wrong, this says how
+	// much — one failed query out of forty is degradation, thirty-nine
+	// is a source outage the recommendations silently ignored.
+	SourceErrorCounts map[string]int `json:"source_error_counts,omitempty"`
 }
 
 // Engine runs the pipeline against a source registry. An Engine is safe
@@ -312,7 +321,11 @@ func (e *Engine) verifyAuthors(ctx context.Context, m Manuscript, res *Result) e
 	for i, a := range m.Authors {
 		queries[i] = nameres.Query{Name: a.Name, Affiliation: a.Affiliation}
 	}
-	res.AuthorVerification = e.verifyAll(ctx, queries)
+	verified, err := e.verifyAll(ctx, queries)
+	if err != nil {
+		return err
+	}
+	res.AuthorVerification = verified
 	for _, vr := range res.AuthorVerification {
 		res.Stats.AuthorsVerified++
 		if !vr.Resolved {
@@ -351,16 +364,32 @@ func (e *Engine) verifyAuthors(ctx context.Context, m Manuscript, res *Result) e
 }
 
 // verifyAll resolves an author list concurrently, through the shared
-// verification cache when one is wired.
-func (e *Engine) verifyAll(ctx context.Context, queries []nameres.Query) []*nameres.Result {
+// verification cache when one is wired. A cancelled ctx returns
+// ctx.Err(): verification "succeeds" under a dying context by marking
+// every source failed, and without this check those Backfill-padded
+// unverified results would flow onward and be ranked as if the authors
+// were genuinely unresolvable.
+func (e *Engine) verifyAll(ctx context.Context, queries []nameres.Query) ([]*nameres.Result, error) {
 	if e.shared == nil {
-		return e.verifier.VerifyAll(ctx, queries)
+		out := e.verifier.VerifyAll(ctx, queries)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
-	out, _ := fetch.Map(ctx, e.cfg.Workers, queries,
+	out, errs := fetch.Map(ctx, e.cfg.Workers, queries,
 		func(ctx context.Context, q nameres.Query) (*nameres.Result, error) {
 			return e.verifyIdentity(ctx, q), nil
 		})
-	return nameres.Backfill(out, queries)
+	// The worker fn never errors, so any error here is the pool
+	// reporting cancellation for undispatched queries.
+	if err := fetch.FirstError(errs); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return nameres.Backfill(out, queries), nil
 }
 
 // expandKeywords expands the manuscript keywords, consulting the shared
@@ -479,6 +508,13 @@ dispatch:
 			src := queries[i].src.Source()
 			if _, ok := res.SourceErrors[src]; !ok {
 				res.SourceErrors[src] = qr.err.Error()
+			}
+			if res.SourceErrorCounts == nil {
+				res.SourceErrorCounts = make(map[string]int)
+			}
+			res.SourceErrorCounts[src]++
+			if e.shared != nil {
+				e.shared.countSourceError(src)
 			}
 		}
 	}

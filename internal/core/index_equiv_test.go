@@ -1,0 +1,240 @@
+// Equivalence suite for the persistent retrieval index: an engine
+// serving Phase-1 retrieval from the index must produce exactly the
+// recommendations the live-scrape path produces — same candidates, same
+// order, same scores — and an index miss must fall through to the live
+// path with identical SourceErrors behavior. Mirrors how clusterIndex
+// was validated against the linear reference.
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"minaret/internal/coi"
+	"minaret/internal/filter"
+	"minaret/internal/index"
+	"minaret/internal/ontology"
+	"minaret/internal/ranking"
+	"minaret/internal/sources"
+)
+
+// resultSummary projects a Result onto its comparable surface (profile
+// pointers and wall-clock timings differ across runs by construction).
+type resultSummary struct {
+	Reviewers  []string
+	Totals     []float64
+	Matches    [][]KeywordMatch
+	Excluded   []Excluded
+	Retrieved  int
+	Assembled  int
+	SrcErrors  map[string]string
+	SrcCounts  map[string]int
+	Expansions int
+}
+
+func summarize(res *Result) resultSummary {
+	s := resultSummary{
+		Retrieved:  res.Stats.CandidatesRetrieved,
+		Assembled:  res.Stats.ProfilesAssembled,
+		Excluded:   res.ExcludedCandidates,
+		SrcErrors:  res.SourceErrors,
+		SrcCounts:  res.SourceErrorCounts,
+		Expansions: res.Stats.ExpandedKeywords,
+	}
+	for _, rec := range res.Recommendations {
+		s.Reviewers = append(s.Reviewers, rec.Reviewer.Name)
+		s.Totals = append(s.Totals, rec.Total)
+		s.Matches = append(s.Matches, rec.Matches)
+	}
+	return s
+}
+
+// TestIndexLiveEquivalence: same manuscript, same corpus, one engine
+// live-scraping and one serving retrieval from an index built by
+// crawling that corpus — the outputs must be identical.
+func TestIndexLiveEquivalence(t *testing.T) {
+	w := newWorld(t, 77, 400)
+	ix, _, err := index.Build(context.Background(), w.registry, w.ont.Labels(), index.BuildOptions{Scope: "equiv"})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+
+	author := w.pickAuthor(t)
+	m := w.manuscriptFor(author)
+	cfg := Config{
+		TopK: 8, MaxCandidates: 60,
+		Filter:  filter.Config{COI: coi.DefaultConfig(w.corpus.HorizonYear)},
+		Ranking: ranking.Config{HorizonYear: w.corpus.HorizonYear},
+	}
+	run := func(sh *Shared) *Result {
+		t.Helper()
+		res, err := NewWithShared(w.registry, w.ont, cfg, sh).Recommend(context.Background(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	live := run(NewShared(SharedOptions{}))
+	shIx := NewShared(SharedOptions{})
+	shIx.SetRetrievalIndex(ix)
+	indexed := run(shIx)
+
+	if len(live.Recommendations) == 0 {
+		t.Fatal("live path recommended nobody; equivalence would be vacuous")
+	}
+	if got, want := summarize(indexed), summarize(live); !reflect.DeepEqual(got, want) {
+		t.Fatalf("indexed run diverges from live run:\nindexed: %+v\nlive:    %+v", got, want)
+	}
+	st := ix.Stats()
+	if st.Served == 0 {
+		t.Fatal("index served nothing; the fast path never engaged")
+	}
+	if st.Missed != 0 {
+		t.Fatalf("ontology-derived keywords missed the full-crawl index %d times", st.Missed)
+	}
+}
+
+// TestIndexServesWithoutSourceCalls: on an index hit, retrieval must
+// not touch the sources at all — proven with counting fakes.
+func TestIndexServesWithoutSourceCalls(t *testing.T) {
+	off := false
+	srcA := newFakeSource("scholar", false)
+	srcB := newFakeSource("publons", false)
+	reg := sources.NewRegistry(srcA, srcB)
+	ix, _, err := index.Build(context.Background(), reg, []string{"rdf", "sparql"}, index.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterBuild := srcA.calls.Load() + srcB.calls.Load()
+	if afterBuild != 4 { // 2 topics × 2 sources
+		t.Fatalf("build made %d interest calls, want 4", afterBuild)
+	}
+
+	sh := NewShared(SharedOptions{})
+	sh.SetRetrievalIndex(ix)
+	eng := NewWithShared(reg, ontology.Default(), Config{
+		DisableExpansion: true, EnrichProfiles: &off,
+	}, sh)
+	res, err := eng.Recommend(context.Background(), fakeManuscript("rdf", "sparql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CandidatesRetrieved == 0 {
+		t.Fatal("indexed retrieval found nothing")
+	}
+	if calls := srcA.calls.Load() + srcB.calls.Load(); calls != afterBuild {
+		t.Fatalf("index hit still made %d live interest calls", calls-afterBuild)
+	}
+	// The retrieval memo must have been bypassed, not warmed.
+	if st := sh.Stats().Retrievals; st.Misses != 0 {
+		t.Fatalf("retrieval memo saw %d misses; fast path should sit in front of it", st.Misses)
+	}
+}
+
+// erroringInterestSource fails every interest search — a source outage.
+type erroringInterestSource struct {
+	fakeInterestSource
+}
+
+func (e *erroringInterestSource) SearchInterest(ctx context.Context, topic string) ([]sources.Hit, error) {
+	e.calls.Add(1)
+	return nil, errors.New("site melted")
+}
+
+// TestIndexMissFallsThroughWithSourceErrorParity: keywords outside the
+// crawled topic universe must behave exactly as if no index existed —
+// live queries run, and a failing source surfaces the same
+// SourceErrors, the same per-source counts, and the same cumulative
+// Shared counters as the pure live path.
+func TestIndexMissFallsThroughWithSourceErrorParity(t *testing.T) {
+	off := false
+	run := func(withIndex bool) (*Result, *Shared, *fakeInterestSource, *erroringInterestSource) {
+		t.Helper()
+		good := newFakeSource("scholar", false)
+		bad := &erroringInterestSource{fakeInterestSource{name: "publons", started: make(chan struct{})}}
+		reg := sources.NewRegistry(good, bad)
+		sh := NewShared(SharedOptions{})
+		if withIndex {
+			// Crawled universe shares nothing with the manuscript keywords,
+			// so every lookup misses.
+			ix, _, err := index.Build(context.Background(), reg, []string{"cartography"}, index.BuildOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			good.calls.Store(0)
+			bad.calls.Store(0)
+			sh.SetRetrievalIndex(ix)
+		}
+		eng := NewWithShared(reg, ontology.Default(), Config{
+			DisableExpansion: true, EnrichProfiles: &off,
+		}, sh)
+		res, err := eng.Recommend(context.Background(), fakeManuscript("rdf", "sparql"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, sh, good, bad
+	}
+
+	live, liveSh, _, _ := run(false)
+	indexed, ixSh, good, bad := run(true)
+
+	if got, want := summarize(indexed), summarize(live); !reflect.DeepEqual(got, want) {
+		t.Fatalf("index-miss run diverges from live run:\nindexed: %+v\nlive:    %+v", got, want)
+	}
+	if indexed.SourceErrors["publons"] == "" {
+		t.Fatal("failing source missing from SourceErrors")
+	}
+	if got := indexed.SourceErrorCounts["publons"]; got != 2 {
+		t.Fatalf("SourceErrorCounts[publons] = %d, want 2 (one per keyword)", got)
+	}
+	if got, want := ixSh.SourceErrorCounts()["publons"], liveSh.SourceErrorCounts()["publons"]; got != want || got == 0 {
+		t.Fatalf("cumulative shared counts diverge: indexed %d, live %d", got, want)
+	}
+	// The miss really fell through: both sources were queried live.
+	if good.calls.Load() == 0 || bad.calls.Load() == 0 {
+		t.Fatal("index miss did not fall through to live retrieval")
+	}
+}
+
+// TestIndexScopeMismatchColdFallsThrough: an index file built against
+// one corpus must refuse to load against another (mirroring the PR 3
+// snapshot-scope rule) — the caller then runs live instead of serving
+// another corpus's postings.
+func TestIndexScopeMismatchColdFallsThrough(t *testing.T) {
+	w := newWorld(t, 301, 200)
+	ix, _, err := index.Build(context.Background(), w.registry, w.ont.Topics(),
+		index.BuildOptions{Scope: "inproc seed=301 scholars=200"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.bin")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := index.Load(path, "inproc seed=999 scholars=50"); !errors.Is(err, index.ErrScopeMismatch) {
+		t.Fatalf("cross-corpus load: err = %v, want ErrScopeMismatch", err)
+	}
+
+	// The cold path the caller takes on rejection still serves.
+	sh := NewShared(SharedOptions{})
+	if sh.RetrievalIndex() != nil {
+		t.Fatal("fresh Shared claims an index")
+	}
+	author := w.pickAuthor(t)
+	res, err := NewWithShared(w.registry, w.ont, Config{
+		TopK: 5, MaxCandidates: 40,
+		Filter:  filter.Config{COI: coi.DefaultConfig(w.corpus.HorizonYear)},
+		Ranking: ranking.Config{HorizonYear: w.corpus.HorizonYear},
+	}, sh).Recommend(context.Background(), w.manuscriptFor(author))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CandidatesRetrieved == 0 {
+		t.Fatal("cold fall-through retrieved nothing")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"minaret/internal/fetch"
+	"minaret/internal/index"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// BenchmarkRetrieveCold measures cold candidate retrieval — the
+// keyword×source fan-out plus clustering, with the fetch cache and the
+// retrieval memo both empty, the cost every first-sight manuscript
+// pays. "live" scrapes the simulated web; "indexed" serves the same
+// postings from a pre-built persistent retrieval index (the index is
+// built once outside the timer, the amortization the -retrieval-index
+// flag sells). The indexed path must beat live by a wide margin (≥3×);
+// bench-smoke runs this at -benchtime=1x so a regression — the fast
+// path falling out from under searchInterest — fails CI.
+func BenchmarkRetrieveCold(b *testing.B) {
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed:        7,
+		NumScholars: 300,
+		Topics:      o.Topics(),
+		Related:     o.RelatedMap(),
+	})
+	web := simweb.New(corpus, simweb.Config{})
+	srv := httptest.NewServer(web.Mux())
+	defer srv.Close()
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	reg := sources.DefaultRegistry(f, sources.SingleHost(srv.URL))
+	ctx := context.Background()
+
+	// The keyword set a manuscript-sized request fans out: expansion of
+	// three seed topics, capped like Config.MaxExpandedKeywords' default.
+	expanded := o.ExpandAll([]string{"rdf", "stream processing", "sparql"},
+		ontology.ExpandOptions{IncludeSeed: true})
+	if len(expanded) > 12 {
+		expanded = expanded[:12]
+	}
+
+	ix, _, err := index.Build(ctx, reg, o.Labels(), index.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	run := func(b *testing.B, withIndex bool) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			// Cold means cold everywhere: fresh Shared (empty retrieval
+			// memo) and an invalidated HTTP cache, rebuilt outside the
+			// timer so only retrieval itself is measured.
+			b.StopTimer()
+			f.InvalidateCache()
+			shared := NewShared(SharedOptions{})
+			if withIndex {
+				shared.SetRetrievalIndex(ix)
+			}
+			eng := NewWithShared(reg, o, Config{MaxCandidates: 60}, shared)
+			b.StartTimer()
+
+			res := &Result{}
+			cands, err := eng.retrieveCandidates(ctx, expanded, res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(cands) == 0 {
+				b.Fatal("no candidates retrieved")
+			}
+		}
+		if withIndex {
+			if st := ix.Stats(); st.Missed > 0 {
+				b.Fatalf("indexed run fell through live %d times — not measuring the fast path", st.Missed)
+			}
+		}
+	}
+	b.Run("live", func(b *testing.B) { run(b, false) })
+	b.Run("indexed", func(b *testing.B) { run(b, true) })
+}

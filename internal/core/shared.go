@@ -16,9 +16,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"minaret/internal/cache"
+	"minaret/internal/index"
 	"minaret/internal/nameres"
 	"minaret/internal/ontology"
 	"minaret/internal/profile"
@@ -144,6 +147,17 @@ type Shared struct {
 	now func() time.Time
 	// scope is SharedOptions.SnapshotScope (see there).
 	scope string
+
+	// retrievalIndex, when set, short-circuits interest retrieval ahead
+	// of the live scrapers and the retrieval memo (see searchInterest).
+	// atomic.Pointer so an operator can install or drop the index while
+	// requests are in flight.
+	retrievalIndex atomic.Pointer[index.Index]
+
+	// srcErrMu guards srcErrs, the cumulative per-source retrieval
+	// failure counts surfaced in /api/stats.
+	srcErrMu sync.Mutex
+	srcErrs  map[string]int64
 }
 
 // NewShared builds the cross-request cache set. It panics when opts
@@ -254,6 +268,48 @@ func (s *Shared) StartJanitor(interval time.Duration) (stop func()) {
 	return cache.Janitor(interval, s.profiles, s.verifies, s.expansions, s.retrievals)
 }
 
+// SetRetrievalIndex installs (or, with nil, removes) the persistent
+// inverted index consulted ahead of live interest retrieval. The index
+// must have been built from — or scope-checked against — the same data
+// universe as this Shared; index.Load enforces that. Safe to call while
+// requests are in flight.
+func (s *Shared) SetRetrievalIndex(ix *index.Index) {
+	s.retrievalIndex.Store(ix)
+}
+
+// RetrievalIndex returns the installed index, or nil when running pure
+// live-scrape.
+func (s *Shared) RetrievalIndex() *index.Index {
+	return s.retrievalIndex.Load()
+}
+
+// countSourceError bumps the cumulative retrieval-failure counter for
+// one source.
+func (s *Shared) countSourceError(src string) {
+	s.srcErrMu.Lock()
+	if s.srcErrs == nil {
+		s.srcErrs = make(map[string]int64)
+	}
+	s.srcErrs[src]++
+	s.srcErrMu.Unlock()
+}
+
+// SourceErrorCounts snapshots the cumulative per-source retrieval
+// failure counts across every request served through this Shared; nil
+// when no retrieval has ever failed.
+func (s *Shared) SourceErrorCounts() map[string]int64 {
+	s.srcErrMu.Lock()
+	defer s.srcErrMu.Unlock()
+	if len(s.srcErrs) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(s.srcErrs))
+	for k, v := range s.srcErrs {
+		out[k] = v
+	}
+	return out
+}
+
 // identityKey canonicalizes a resolved author identity — the site-id
 // set — into a cache key: sorted source=id pairs. Two candidates
 // retrieved by different manuscripts map to the same key exactly when
@@ -315,6 +371,15 @@ func (e *Engine) assembleProfile(ctx context.Context, siteIDs map[string]string)
 func (e *Engine) searchInterest(ctx context.Context, src sources.InterestSearcher, keyword string) ([]sources.Hit, error) {
 	if e.shared == nil {
 		return src.SearchInterest(ctx, keyword)
+	}
+	// Fast path: the persistent inverted index answers without touching
+	// the web or the memo. A miss (keyword outside the crawled topic
+	// universe, source not indexed, no index installed) falls through to
+	// the live path untouched.
+	if ix := e.shared.RetrievalIndex(); ix != nil {
+		if hits, ok := ix.Lookup(src.Source(), keyword); ok {
+			return hits, nil
+		}
 	}
 	// %q-quote the keyword so no keyword can collide with another
 	// source's namespace.

@@ -8,6 +8,7 @@ import (
 
 	"minaret/internal/core"
 	"minaret/internal/fetch"
+	"minaret/internal/index"
 	"minaret/internal/jobs"
 )
 
@@ -117,6 +118,13 @@ func (t *telemetry) instrument(route string, h http.HandlerFunc) http.HandlerFun
 // snapshot, what the boot-time restore loaded and dropped.
 type SharedBlock struct {
 	core.SharedStats
+	// SourceErrors counts every retrieval failure per source since start
+	// — not just the first error message a request keeps — so operators
+	// can read partial-retrieval severity off one counter.
+	SourceErrors map[string]int64 `json:"source_errors,omitempty"`
+	// RetrievalIndex is present when a persistent inverted index is
+	// installed (-retrieval-index): its size and served/missed counters.
+	RetrievalIndex *index.Stats `json:"retrieval_index,omitempty"`
 	// Restore is present only when the server restored a snapshot at
 	// boot: entries loaded, dropped as expired while the process was
 	// down, and dropped as corrupt.
@@ -175,7 +183,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Fetch = &st
 	}
 	if s.shared != nil {
-		resp.Shared = &SharedBlock{SharedStats: s.shared.Stats(), Restore: s.restore}
+		blk := &SharedBlock{
+			SharedStats:  s.shared.Stats(),
+			SourceErrors: s.shared.SourceErrorCounts(),
+			Restore:      s.restore,
+		}
+		if ix := s.shared.RetrievalIndex(); ix != nil {
+			st := ix.Stats()
+			blk.RetrievalIndex = &st
+		}
+		resp.Shared = blk
 	}
 	if s.jobs != nil {
 		resp.Jobs = &JobsBlock{Stats: s.jobs.Stats(), Restore: s.jobsRestore}

@@ -1,0 +1,296 @@
+// Package index implements MINARET's persistent inverted retrieval
+// index: normalized keyword -> per-source hit postings, built once by
+// crawling every interest-capable source for every ontology topic and
+// then consulted by the engine's Phase-1 retrieval as a fast path in
+// front of the live scrapers — an index hit answers a (source ×
+// keyword) interest query with zero fetches, a miss falls through to
+// the live path untouched.
+//
+// The index is built with the same source clients the live path uses
+// (same pagination caps, same parsing, same hit shapes), so a lookup
+// returns byte-for-byte what the live scrape would have returned
+// against the same corpus; the equivalence suite in internal/core
+// asserts exactly that. Author names, affiliations and site ids are
+// interned during construction, so the thousands of postings that
+// mention the same scholar share one backing string.
+//
+// An Index is immutable after Build or Load and safe for concurrent
+// use; only the hit/miss counters mutate, atomically. Persistence
+// (persist.go) frames the postings in the shared envelope format with
+// a deduplicating string table, and a Load against a different corpus
+// scope is rejected whole — the engine then falls through to live
+// scraping rather than serving another corpus's postings.
+package index
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"minaret/internal/fetch"
+	"minaret/internal/ontology"
+	"minaret/internal/sources"
+)
+
+// Index is the immutable inverted index: keyword -> source -> hits.
+// Lookup results are shared across requests and must be treated as
+// read-only, exactly like the shared retrieval memo's values.
+type Index struct {
+	scope   string
+	builtAt time.Time
+	// postings holds, per normalized keyword, the hit list each source's
+	// interest search returned. A present (keyword, source) entry with
+	// zero hits is a real answer ("nobody registers this interest") and
+	// is served without a fetch; an absent entry is a miss.
+	postings map[string]map[string][]sources.Hit
+	numPost  int
+	numHits  int
+
+	served atomic.Int64
+	missed atomic.Int64
+}
+
+// Stats is a counter snapshot for /api/stats and CLI summaries.
+type Stats struct {
+	// Keywords is how many distinct normalized keywords are indexed.
+	Keywords int `json:"keywords"`
+	// Postings is the number of (keyword × source) entries.
+	Postings int `json:"postings"`
+	// Hits is the total number of stored hits across all postings.
+	Hits int `json:"hits"`
+	// Served counts lookups answered from the index (no fetch).
+	Served int64 `json:"served"`
+	// Missed counts lookups that fell through to the live path.
+	Missed int64 `json:"missed"`
+	// Scope identifies the data universe the index was built from.
+	Scope string `json:"scope,omitempty"`
+	// BuiltAt is when the crawl ran.
+	BuiltAt time.Time `json:"built_at"`
+}
+
+// Lookup answers one (source × keyword) interest query from the index.
+// ok reports whether the index holds an answer; a true ok with an empty
+// slice means the source genuinely returns no hits for the keyword.
+// The returned slice is shared and must not be mutated.
+func (ix *Index) Lookup(source, keyword string) ([]sources.Hit, bool) {
+	bySrc, ok := ix.postings[keyword]
+	if !ok {
+		// The engine queries normalized keywords, so the direct probe
+		// almost always settles it; normalize only on that rare miss.
+		if norm := ontology.Normalize(keyword); norm != keyword {
+			bySrc, ok = ix.postings[norm]
+		}
+	}
+	if ok {
+		if hits, ok2 := bySrc[source]; ok2 {
+			ix.served.Add(1)
+			return hits, true
+		}
+	}
+	ix.missed.Add(1)
+	return nil, false
+}
+
+// Scope returns the opaque corpus identifier the index was built from.
+func (ix *Index) Scope() string { return ix.scope }
+
+// BuiltAt returns when the index crawl ran.
+func (ix *Index) BuiltAt() time.Time { return ix.builtAt }
+
+// Stats snapshots the index size and lookup counters.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Keywords: len(ix.postings),
+		Postings: ix.numPost,
+		Hits:     ix.numHits,
+		Served:   ix.served.Load(),
+		Missed:   ix.missed.Load(),
+		Scope:    ix.scope,
+		BuiltAt:  ix.builtAt,
+	}
+}
+
+// BuildOptions tunes a Build crawl.
+type BuildOptions struct {
+	// Scope is the opaque identifier of the data universe being crawled
+	// (same convention as core.SharedOptions.SnapshotScope). It is
+	// persisted and checked on Load.
+	Scope string
+	// Workers bounds crawl concurrency. Default 8.
+	Workers int
+	// Clock injects the BuiltAt time source; nil means time.Now.
+	Clock func() time.Time
+}
+
+// BuildStats reports what a Build crawl covered.
+type BuildStats struct {
+	// Topics is how many topics were crawled.
+	Topics int `json:"topics"`
+	// Postings is how many (topic × source) queries succeeded and were
+	// stored.
+	Postings int `json:"postings"`
+	// Hits is the total hits stored.
+	Hits int `json:"hits"`
+	// Errors counts failed queries per source. A failed (topic, source)
+	// query stores nothing: the engine falls through to the live path
+	// for it rather than serving a wrong empty answer.
+	Errors map[string]int `json:"errors,omitempty"`
+}
+
+// Build crawls every (topic × interest-capable source) pair through the
+// registry's own clients and assembles the index. Individual query
+// failures are counted per source and leave that posting absent
+// (fall-through at serve time); a cancelled ctx aborts the whole build.
+func Build(ctx context.Context, reg *sources.Registry, topics []string, opts BuildOptions) (*Index, BuildStats, error) {
+	searchers := reg.InterestSearchers()
+	if len(searchers) == 0 {
+		return nil, BuildStats{}, errors.New("index: no interest-capable sources registered")
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+
+	// Deduplicate topics under normalization so "Semantic  Web" and
+	// "semantic web" crawl once.
+	seen := make(map[string]bool, len(topics))
+	norm := make([]string, 0, len(topics))
+	for _, t := range topics {
+		n := ontology.Normalize(t)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		norm = append(norm, n)
+	}
+	sort.Strings(norm)
+
+	type query struct {
+		topic string
+		src   sources.InterestSearcher
+	}
+	queries := make([]query, 0, len(norm)*len(searchers))
+	for _, t := range norm {
+		for _, s := range searchers {
+			queries = append(queries, query{topic: t, src: s})
+		}
+	}
+	results, errs := fetch.Map(ctx, workers, queries,
+		func(ctx context.Context, q query) ([]sources.Hit, error) {
+			return q.src.SearchInterest(ctx, q.topic)
+		})
+	if err := ctx.Err(); err != nil {
+		// A partial crawl must not masquerade as a complete index.
+		return nil, BuildStats{}, err
+	}
+
+	ix := &Index{
+		scope:    opts.Scope,
+		builtAt:  clock().UTC(),
+		postings: make(map[string]map[string][]sources.Hit, len(norm)),
+	}
+	stats := BuildStats{Topics: len(norm)}
+	in := newInterner()
+	for i, q := range queries {
+		if errs[i] != nil {
+			if stats.Errors == nil {
+				stats.Errors = make(map[string]int)
+			}
+			stats.Errors[q.src.Source()]++
+			continue
+		}
+		ix.insert(q.topic, q.src.Source(), internHits(in, results[i]))
+		stats.Postings++
+		stats.Hits += len(results[i])
+	}
+	stats.Postings = ix.numPost
+	stats.Hits = ix.numHits
+	return ix, stats, nil
+}
+
+// insert stores one posting; used by Build and Decode.
+func (ix *Index) insert(keyword, source string, hits []sources.Hit) {
+	bySrc, ok := ix.postings[keyword]
+	if !ok {
+		bySrc = make(map[string][]sources.Hit, 2)
+		ix.postings[keyword] = bySrc
+	}
+	if _, dup := bySrc[source]; dup {
+		return
+	}
+	bySrc[source] = hits
+	ix.numPost++
+	ix.numHits += len(hits)
+}
+
+// interner deduplicates strings during construction so repeated names,
+// affiliations and interests share one backing string.
+type interner map[string]string
+
+func newInterner() interner { return make(interner) }
+
+func (in interner) str(s string) string {
+	if s == "" {
+		return ""
+	}
+	if v, ok := in[s]; ok {
+		return v
+	}
+	in[s] = s
+	return s
+}
+
+// internHits rewrites every string field of hits through the interner.
+func internHits(in interner, hits []sources.Hit) []sources.Hit {
+	if len(hits) == 0 {
+		// Normalize to a non-nil empty slice: a stored empty posting is
+		// a real "no hits" answer.
+		return []sources.Hit{}
+	}
+	out := make([]sources.Hit, len(hits))
+	for i, h := range hits {
+		h.Source = in.str(h.Source)
+		h.SiteID = in.str(h.SiteID)
+		h.Name = in.str(h.Name)
+		h.Affiliation = in.str(h.Affiliation)
+		for j, s := range h.Interests {
+			h.Interests[j] = in.str(s)
+		}
+		out[i] = h
+	}
+	return out
+}
+
+// sortedKeywords returns the indexed keywords in sorted order (used by
+// the deterministic encoder).
+func (ix *Index) sortedKeywords() []string {
+	out := make([]string, 0, len(ix.postings))
+	for k := range ix.postings {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortedSources returns one keyword's source names in sorted order.
+func sortedSources(bySrc map[string][]sources.Hit) []string {
+	out := make([]string, 0, len(bySrc))
+	for s := range bySrc {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String implements fmt.Stringer for log lines.
+func (ix *Index) String() string {
+	return fmt.Sprintf("retrieval index: %d keywords, %d postings, %d hits (scope %q, built %s)",
+		len(ix.postings), ix.numPost, ix.numHits, ix.scope, ix.builtAt.Format(time.RFC3339))
+}

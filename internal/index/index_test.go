@@ -1,0 +1,306 @@
+package index_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"minaret/internal/fetch"
+	"minaret/internal/index"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// fixture is a seeded corpus behind a simulated web plus the source
+// registry pointed at it — the same world the engine crawls.
+type fixture struct {
+	corpus   *scholarly.Corpus
+	ont      *ontology.Ontology
+	registry *sources.Registry
+}
+
+func newFixture(t *testing.T, seed int64, scholars int, webCfg simweb.Config) *fixture {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed:        seed,
+		NumScholars: scholars,
+		Topics:      o.Topics(),
+		Related:     o.RelatedMap(),
+	})
+	web := simweb.New(corpus, webCfg)
+	srv := httptest.NewServer(web.Mux())
+	t.Cleanup(srv.Close)
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	return &fixture{
+		corpus:   corpus,
+		ont:      o,
+		registry: sources.DefaultRegistry(f, sources.SingleHost(srv.URL)),
+	}
+}
+
+func buildIndex(t *testing.T, fx *fixture, scope string) *index.Index {
+	t.Helper()
+	ix, st, err := index.Build(context.Background(), fx.registry, fx.ont.Topics(), index.BuildOptions{
+		Scope: scope,
+		Clock: func() time.Time { return time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if len(st.Errors) != 0 {
+		t.Fatalf("Build against healthy web reported errors: %v", st.Errors)
+	}
+	return ix
+}
+
+// TestBuildMatchesLiveSearch is the foundational equivalence property:
+// for every (topic × interest source) the index must return exactly
+// what a live SearchInterest returns, order included.
+func TestBuildMatchesLiveSearch(t *testing.T) {
+	fx := newFixture(t, 42, 400, simweb.Config{})
+	ix := buildIndex(t, fx, "test scope")
+
+	ctx := context.Background()
+	topics := fx.ont.Topics()
+	checked := 0
+	for _, topic := range topics {
+		for _, src := range fx.registry.InterestSearchers() {
+			live, err := src.SearchInterest(ctx, topic)
+			if err != nil {
+				t.Fatalf("live SearchInterest(%s, %q): %v", src.Source(), topic, err)
+			}
+			got, ok := ix.Lookup(src.Source(), topic)
+			if !ok {
+				t.Fatalf("index has no posting for (%s, %q)", src.Source(), topic)
+			}
+			if len(live) == 0 && len(got) == 0 {
+				checked++
+				continue
+			}
+			if !reflect.DeepEqual(got, live) {
+				t.Fatalf("index posting for (%s, %q) diverges from live search:\nindex: %+v\nlive:  %+v",
+					src.Source(), topic, got, live)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("equivalence loop checked nothing")
+	}
+	st := ix.Stats()
+	if st.Keywords == 0 || st.Postings == 0 || st.Hits == 0 {
+		t.Fatalf("suspiciously empty index: %+v", st)
+	}
+	if st.Served == 0 {
+		t.Fatalf("Served counter did not move: %+v", st)
+	}
+}
+
+func TestLookupNormalizesAndCounts(t *testing.T) {
+	fx := newFixture(t, 7, 200, simweb.Config{})
+	ix := buildIndex(t, fx, "")
+
+	topic := fx.ont.Topics()[0]
+	base, ok := ix.Lookup("scholar", topic)
+	if !ok {
+		t.Fatalf("no posting for canonical topic %q", topic)
+	}
+	// Messy casing/whitespace must resolve to the same posting.
+	messy := "  " + topic + "  "
+	got, ok := ix.Lookup("scholar", messy)
+	if !ok {
+		t.Fatalf("messy form %q missed", messy)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Fatalf("normalized lookup diverged")
+	}
+
+	before := ix.Stats()
+	if _, ok := ix.Lookup("scholar", "definitely not an ontology topic"); ok {
+		t.Fatal("unknown keyword unexpectedly hit")
+	}
+	if _, ok := ix.Lookup("dblp", topic); ok {
+		t.Fatal("non-interest source unexpectedly hit")
+	}
+	after := ix.Stats()
+	if after.Missed != before.Missed+2 {
+		t.Fatalf("Missed went %d -> %d, want +2", before.Missed, after.Missed)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fx := newFixture(t, 11, 300, simweb.Config{})
+	ix := buildIndex(t, fx, "inproc seed=11 scholars=300")
+
+	path := filepath.Join(t.TempDir(), "index.bin")
+	if err := ix.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, ok, err := index.Load(path, "inproc seed=11 scholars=300")
+	if err != nil || !ok {
+		t.Fatalf("Load: ok=%v err=%v", ok, err)
+	}
+
+	if got, want := loaded.Scope(), ix.Scope(); got != want {
+		t.Fatalf("scope %q, want %q", got, want)
+	}
+	if !loaded.BuiltAt().Equal(ix.BuiltAt()) {
+		t.Fatalf("builtAt %v, want %v", loaded.BuiltAt(), ix.BuiltAt())
+	}
+	// Every posting must survive byte-for-byte.
+	for _, topic := range fx.ont.Topics() {
+		for _, src := range fx.registry.InterestSearchers() {
+			want, okW := ix.Lookup(src.Source(), topic)
+			got, okG := loaded.Lookup(src.Source(), topic)
+			if okW != okG {
+				t.Fatalf("(%s, %q): presence diverged after round-trip", src.Source(), topic)
+			}
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("(%s, %q): posting diverged after round-trip", src.Source(), topic)
+			}
+		}
+	}
+	ws, ls := ix.Stats(), loaded.Stats()
+	if ws.Keywords != ls.Keywords || ws.Postings != ls.Postings || ws.Hits != ls.Hits {
+		t.Fatalf("size diverged after round-trip: saved %+v loaded %+v", ws, ls)
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	fx := newFixture(t, 3, 150, simweb.Config{})
+	ix := buildIndex(t, fx, "det")
+	var a, b bytes.Buffer
+	if err := ix.Encode(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Encode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two encodes of the same index differ")
+	}
+}
+
+func TestLoadScopeMismatch(t *testing.T) {
+	fx := newFixture(t, 5, 150, simweb.Config{})
+	ix := buildIndex(t, fx, "inproc seed=5 scholars=150")
+	path := filepath.Join(t.TempDir(), "index.bin")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := index.Load(path, "inproc seed=6 scholars=9999")
+	if !errors.Is(err, index.ErrScopeMismatch) {
+		t.Fatalf("err = %v, want ErrScopeMismatch", err)
+	}
+	// Empty expected scope accepts anything (operator opted out of the
+	// check), mirroring the cache snapshot rule.
+	if _, ok, err := index.Load(path, ""); err != nil || !ok {
+		t.Fatalf("scope-less load: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestLoadMissingAndCorrupt(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, ok, err := index.Load(filepath.Join(dir, "nope.bin"), "x"); err != nil || ok {
+		t.Fatalf("missing file: ok=%v err=%v, want cold start", ok, err)
+	}
+
+	fx := newFixture(t, 5, 150, simweb.Config{})
+	ix := buildIndex(t, fx, "x")
+	path := filepath.Join(dir, "index.bin")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte: CRC must reject.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-1] ^= 0xFF
+	if err := os.WriteFile(path, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := index.Load(path, "x"); err == nil {
+		t.Fatal("corrupt file loaded without error")
+	}
+
+	// Truncate mid-payload: must reject, not half-load.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := index.Load(path, "x"); err == nil {
+		t.Fatal("truncated file loaded without error")
+	}
+
+	// Wrong magic: must reject.
+	wrong := append([]byte("WRONGMAG"), raw[8:]...)
+	if err := os.WriteFile(path, wrong, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := index.Load(path, "x"); err == nil {
+		t.Fatal("wrong-magic file loaded without error")
+	}
+}
+
+func TestBuildCancellation(t *testing.T) {
+	fx := newFixture(t, 5, 150, simweb.Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := index.Build(ctx, fx.registry, fx.ont.Topics(), index.BuildOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Build on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// TestBuildCountsErrorsOnDownSource: a dead source yields no postings
+// for it (fall-through at serve time), counted per source, while the
+// healthy source still indexes fully.
+func TestBuildCountsErrorsOnDownSource(t *testing.T) {
+	fx := newFixture(t, 13, 200, simweb.Config{Down: map[string]bool{simweb.SourcePublons: true}})
+	ix, st, err := index.Build(context.Background(), fx.registry, fx.ont.Topics(), index.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if st.Errors["publons"] == 0 {
+		t.Fatalf("down source not counted in errors: %+v", st.Errors)
+	}
+	topic := fx.ont.Topics()[0]
+	if _, ok := ix.Lookup("publons", topic); ok {
+		t.Fatal("down source has a posting; must fall through live instead")
+	}
+	if _, ok := ix.Lookup("scholar", topic); !ok {
+		t.Fatal("healthy source missing from index")
+	}
+}
+
+// TestZeroHitTopicIsServed: a topic no scholar registers still gets a
+// stored (empty) posting — the index answers "nobody" without a fetch.
+func TestZeroHitTopicIsServed(t *testing.T) {
+	fx := newFixture(t, 5, 150, simweb.Config{})
+	ix, _, err := index.Build(context.Background(), fx.registry,
+		append(fx.ont.Topics(), "unheard of discipline"), index.BuildOptions{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	hits, ok := ix.Lookup("scholar", "unheard of discipline")
+	if !ok {
+		t.Fatal("zero-hit topic missing; should be a stored empty posting")
+	}
+	if len(hits) != 0 {
+		t.Fatalf("zero-hit topic returned %d hits", len(hits))
+	}
+}

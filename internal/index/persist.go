@@ -1,0 +1,214 @@
+// On-disk format for the retrieval index, in the shared envelope
+// framing (internal/envelope): 8-byte magic "MINIDX\x00\x00", version,
+// payload length, CRC-32C, then a JSON payload. The payload carries a
+// deduplicating string table — every author name, affiliation, site id
+// and interest appears once, postings reference table offsets — which
+// both shrinks the file (the same scholar appears under dozens of
+// keywords) and rebuilds the in-memory interning on Load for free:
+// decoded hits referencing the same offset share one Go string.
+package index
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"minaret/internal/envelope"
+	"minaret/internal/sources"
+)
+
+const (
+	indexMagic   = "MINIDX\x00\x00"
+	indexVersion = 1
+	// maxIndexPayload caps how much a Load will read, same rationale as
+	// the cache snapshot's cap.
+	maxIndexPayload = 1 << 30
+)
+
+// ErrScopeMismatch reports that an index file was built against a
+// different data universe than the one the process is serving; callers
+// treat it like a missing index (cold fall-through), not corruption.
+var ErrScopeMismatch = errors.New("index scope mismatch")
+
+// wireHit is one hit with strings replaced by string-table offsets.
+// Offset 0 is always the empty string, so zero-valued fields marshal
+// away under omitempty.
+type wireHit struct {
+	SiteID      int   `json:"id,omitempty"`
+	Name        int   `json:"n,omitempty"`
+	Affiliation int   `json:"a,omitempty"`
+	ReviewCount int   `json:"rc,omitempty"`
+	Citations   int   `json:"c,omitempty"`
+	Interests   []int `json:"in,omitempty"`
+}
+
+// wirePosting is one (keyword × source) entry. Hits is always present
+// (possibly empty): an empty posting is a real "no hits" answer.
+type wirePosting struct {
+	Keyword int       `json:"k"`
+	Source  int       `json:"s"`
+	Hits    []wireHit `json:"h"`
+}
+
+// indexPayload is the JSON body inside the envelope.
+type indexPayload struct {
+	BuiltAt time.Time `json:"built_at"`
+	Scope   string    `json:"scope,omitempty"`
+	// Strings is the deduplicated string table; Strings[0] is always "".
+	Strings  []string      `json:"strings"`
+	Postings []wirePosting `json:"postings"`
+}
+
+// tableBuilder assigns each distinct string a stable offset.
+type tableBuilder struct {
+	strs []string
+	idx  map[string]int
+}
+
+func newTableBuilder() *tableBuilder {
+	return &tableBuilder{strs: []string{""}, idx: map[string]int{"": 0}}
+}
+
+func (t *tableBuilder) offset(s string) int {
+	if n, ok := t.idx[s]; ok {
+		return n
+	}
+	n := len(t.strs)
+	t.strs = append(t.strs, s)
+	t.idx[s] = n
+	return n
+}
+
+// Encode frames the index into w. The encoding is deterministic
+// (keywords and sources sorted), so identical indexes produce identical
+// bytes — byte-comparable across builds.
+func (ix *Index) Encode(w io.Writer) error {
+	tb := newTableBuilder()
+	p := indexPayload{
+		BuiltAt:  ix.builtAt,
+		Scope:    ix.scope,
+		Postings: make([]wirePosting, 0, ix.numPost),
+	}
+	for _, kw := range ix.sortedKeywords() {
+		bySrc := ix.postings[kw]
+		for _, src := range sortedSources(bySrc) {
+			wp := wirePosting{
+				Keyword: tb.offset(kw),
+				Source:  tb.offset(src),
+				Hits:    make([]wireHit, 0, len(bySrc[src])),
+			}
+			for _, h := range bySrc[src] {
+				wh := wireHit{
+					SiteID:      tb.offset(h.SiteID),
+					Name:        tb.offset(h.Name),
+					Affiliation: tb.offset(h.Affiliation),
+					ReviewCount: h.ReviewCount,
+					Citations:   h.Citations,
+				}
+				for _, in := range h.Interests {
+					wh.Interests = append(wh.Interests, tb.offset(in))
+				}
+				wp.Hits = append(wp.Hits, wh)
+			}
+			p.Postings = append(p.Postings, wp)
+		}
+	}
+	p.Strings = tb.strs
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("index encode: %w", err)
+	}
+	return envelope.Encode(w, indexMagic, indexVersion, payload)
+}
+
+// Decode reads an index written by Encode. expectScope, when non-empty,
+// must match the stored scope or the whole file is rejected with
+// ErrScopeMismatch — postings built from one corpus are wrong answers
+// against another. Bad magic, version, checksum, truncation or
+// out-of-range string offsets reject the file too.
+func Decode(r io.Reader, expectScope string) (*Index, error) {
+	payload, err := envelope.Decode(r, indexMagic, indexVersion, maxIndexPayload, "retrieval index")
+	if err != nil {
+		return nil, err
+	}
+	var p indexPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("retrieval index decode: %w", err)
+	}
+	if expectScope != "" && p.Scope != "" && p.Scope != expectScope {
+		return nil, fmt.Errorf("%w: index built for %q, serving %q",
+			ErrScopeMismatch, p.Scope, expectScope)
+	}
+	str := func(n int) (string, error) {
+		if n < 0 || n >= len(p.Strings) {
+			return "", fmt.Errorf("retrieval index decode: string offset %d out of range (table has %d)", n, len(p.Strings))
+		}
+		return p.Strings[n], nil
+	}
+	ix := &Index{
+		scope:    p.Scope,
+		builtAt:  p.BuiltAt,
+		postings: make(map[string]map[string][]sources.Hit),
+	}
+	for _, wp := range p.Postings {
+		kw, err := str(wp.Keyword)
+		if err != nil {
+			return nil, err
+		}
+		src, err := str(wp.Source)
+		if err != nil {
+			return nil, err
+		}
+		hits := make([]sources.Hit, 0, len(wp.Hits))
+		for _, wh := range wp.Hits {
+			h := sources.Hit{Source: src, ReviewCount: wh.ReviewCount, Citations: wh.Citations}
+			if h.SiteID, err = str(wh.SiteID); err != nil {
+				return nil, err
+			}
+			if h.Name, err = str(wh.Name); err != nil {
+				return nil, err
+			}
+			if h.Affiliation, err = str(wh.Affiliation); err != nil {
+				return nil, err
+			}
+			for _, n := range wh.Interests {
+				s, err := str(n)
+				if err != nil {
+					return nil, err
+				}
+				h.Interests = append(h.Interests, s)
+			}
+			hits = append(hits, h)
+		}
+		ix.insert(kw, src, hits)
+	}
+	return ix, nil
+}
+
+// Save writes the index to path atomically (temp file + rename).
+func (ix *Index) Save(path string) error {
+	return envelope.WriteFileAtomic(path, ix.Encode)
+}
+
+// Load reads the index at path. A missing file is the normal cold
+// start, not an error: ok=false, nil error. A scope mismatch returns
+// ErrScopeMismatch (unwrappable with errors.Is); corruption returns the
+// decode error. Either way the caller serves live.
+func Load(path, expectScope string) (ix *Index, ok bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	defer f.Close()
+	ix, err = Decode(f, expectScope)
+	if err != nil {
+		return nil, false, fmt.Errorf("load %s: %w", path, err)
+	}
+	return ix, true, nil
+}

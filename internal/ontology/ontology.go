@@ -150,6 +150,19 @@ func (o *Ontology) Canonical(label string) string {
 // Len returns the number of topics.
 func (o *Ontology) Len() int { return len(o.topics) }
 
+// Labels returns every label the ontology resolves — canonical topics
+// plus synonyms — normalized and sorted. This is the complete
+// vocabulary keyword expansion can emit, and therefore the crawl
+// universe for a full-coverage retrieval index (internal/index).
+func (o *Ontology) Labels() []string {
+	out := make([]string, 0, len(o.alias))
+	for a := range o.alias {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Topics returns all canonical labels in sorted order.
 func (o *Ontology) Topics() []string {
 	if o.sorted == nil {
