@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server docs-check ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server cluster-smoke docs-check ci
 
 # The perf ledger bench-ledger writes; bump the number with the PR
 # sequence so ledger-check can diff consecutive ledgers.
-LEDGER ?= BENCH_6.json
+LEDGER ?= BENCH_7.json
 
 all: build
 
@@ -75,6 +75,13 @@ ledger-check:
 server:
 	$(GO) run ./cmd/minaret-server
 
+# CI gate: the cluster acceptance scenario across real processes — a
+# router fronting two shard servers on one shared jobs directory; jobs
+# submitted through the router for a spread of venues must land on the
+# ring owner, run exactly once, and appear in the merged cluster stats.
+cluster-smoke:
+	$(GO) test -count=1 -run TestClusterSmoke -v ./cmd/minaret-router
+
 # Documentation gate: the docs tree exists, every relative markdown link
 # in README.md and docs/ resolves, every internal package carries a
 # package comment, every minaret-server flag is documented in the
@@ -84,9 +91,11 @@ docs-check: fmt-check vet
 		[ -f "$$f" ] || { echo "docs-check: missing $$f"; exit 1; }; \
 	done
 	@fail=0; \
-	for f in $$(grep -oE 'flag\.[A-Za-z0-9]+\("[a-z0-9-]+"' cmd/minaret-server/main.go | sed -E 's/.*\("([a-z0-9-]+)".*/\1/' | sort -u); do \
-		grep -q -- "\`-$$f\`" docs/OPERATIONS.md || { \
-			echo "docs-check: flag -$$f (cmd/minaret-server) is missing from docs/OPERATIONS.md"; fail=1; }; \
+	for bin in minaret-server minaret-router; do \
+		for f in $$(grep -oE 'flag\.[A-Za-z0-9]+\("[a-z0-9-]+"' cmd/$$bin/main.go | sed -E 's/.*\("([a-z0-9-]+)".*/\1/' | sort -u); do \
+			grep -q -- "\`-$$f\`" docs/OPERATIONS.md || { \
+				echo "docs-check: flag -$$f (cmd/$$bin) is missing from docs/OPERATIONS.md"; fail=1; }; \
+		done; \
 	done; \
 	[ "$$fail" -eq 0 ] || exit 1
 	@fail=0; \
@@ -110,4 +119,4 @@ docs-check: fmt-check vet
 	[ "$$fail" -eq 0 ] || exit 1
 	@echo "docs-check: ok"
 
-ci: fmt-check vet build race bench-smoke ledger-check docs-check
+ci: fmt-check vet build race bench-smoke cluster-smoke ledger-check docs-check

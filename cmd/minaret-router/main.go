@@ -1,0 +1,84 @@
+// Command minaret-router fronts a MINARET shard cluster. It owns no
+// state: a consistent-hash ring over the -peers list decides which
+// shard owns each venue, and the router forwards work accordingly —
+// POST /v1/batch, /v1/jobs, /v1/schedules and /api/recommend by the
+// venue named in the body, GET/DELETE /v1/jobs/{id} and
+// /v1/schedules/{id} by the shard prefix baked into assigned IDs
+// (probing every shard when the caller chose its own ID), and
+// venue-less reads round-robin. GET /api/stats fans out to every
+// shard and answers one merged cluster view; GET /v1/jobs and
+// /v1/schedules merge every shard's list.
+//
+// The ring is deterministic in the membership list, so every router
+// instance given the same -peers string routes identically — run as
+// many as you like. Shards must be started with -shard names matching
+// the peer names here; see docs/OPERATIONS.md, "Running a cluster".
+//
+// Usage:
+//
+//	minaret-router -addr :8090 \
+//	    -peers a=http://localhost:8081,b=http://localhost:8082
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"minaret/internal/cluster"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", ":8090", "router listen address")
+		peers  = flag.String("peers", "", "comma-separated name=url shard list, e.g. a=http://host:8081,b=http://host:8082 (required; order-insensitive — the ring hashes names)")
+		vnodes = flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per shard on the hash ring (more = smoother venue spread, slower ring build)")
+	)
+	flag.Parse()
+
+	if *peers == "" {
+		log.Fatalf("minaret-router: -peers is required (nothing to route to)")
+	}
+	list, err := cluster.ParsePeers(*peers)
+	if err != nil {
+		log.Fatalf("minaret-router: %v", err)
+	}
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Peers:        list,
+		VirtualNodes: *vnodes,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("minaret-router: %v", err)
+	}
+
+	fmt.Printf("MINARET router on %s, %d shards:\n", *addr, len(list))
+	for _, p := range list {
+		fmt.Printf("  %-12s %s\n", p.Name, p.URL)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down")
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,279 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"minaret/internal/cluster"
+)
+
+// TestClusterSmoke is the cluster acceptance scenario across real
+// processes: a router fronting two shard servers that share one
+// -jobs-dir. Jobs submitted through the router for a spread of venues
+// must land on the ring owner, finish exactly once, leave per-venue
+// partition files behind, and show up — per shard and summed — in the
+// router's merged /api/stats and /v1/jobs views.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	routerBin := filepath.Join(dir, "minaret-router")
+	serverBin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", routerBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build router: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", serverBin, "../minaret-server").CombinedOutput(); err != nil {
+		t.Fatalf("build server: %v\n%s", err, out)
+	}
+
+	jobsDir := filepath.Join(dir, "jobs")
+	shardAddrs := map[string]string{
+		"s1": fmt.Sprintf("127.0.0.1:%d", freePort(t)),
+		"s2": fmt.Sprintf("127.0.0.1:%d", freePort(t)),
+	}
+	for name, addr := range shardAddrs {
+		cmd := exec.Command(serverBin, "-addr", addr, "-scholars", "300", "-top-k", "3",
+			"-shard", name, "-jobs-dir", jobsDir, "-jobs-workers", "1")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+	routerAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	peers := fmt.Sprintf("s1=http://%s,s2=http://%s", shardAddrs["s1"], shardAddrs["s2"])
+	rcmd := exec.Command(routerBin, "-addr", routerAddr, "-peers", peers)
+	rcmd.Stdout = os.Stderr
+	rcmd.Stderr = os.Stderr
+	if err := rcmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rcmd.Process.Kill()
+		rcmd.Wait()
+	})
+	for _, addr := range shardAddrs {
+		waitHealthy(t, "http://"+addr+"/api/health", 30*time.Second)
+	}
+	base := "http://" + routerAddr
+	// The router proxies /api/health round-robin, so a 200 here means
+	// router and shard are both up.
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+
+	// Pick venues off the same ring the router built, until both shards
+	// own at least two — "both shards did work" must hold by
+	// construction, not by luck.
+	ring, err := cluster.NewRing([]string{"s1", "s2"}, cluster.DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var venues []string
+	owned := map[string]int{}
+	for i := 0; len(venues) < 6 || owned["s1"] < 2 || owned["s2"] < 2; i++ {
+		if i == 100 {
+			t.Fatalf("ring never spread 100 venues over both shards: %v", owned)
+		}
+		v := fmt.Sprintf("Conf %d", i)
+		venues = append(venues, v)
+		owned[ring.Owner(v)]++
+	}
+
+	// One single-manuscript job per venue, all through the router.
+	type jobInfo struct{ id, owner string }
+	jobsByVenue := map[string]jobInfo{}
+	for _, v := range venues {
+		body, _ := json.Marshal(map[string]any{
+			"venue": v,
+			"manuscripts": []map[string]any{{
+				"title": "smoke " + v, "keywords": []string{"rdf", "stream processing"},
+				"authors": []map[string]string{{"name": "Wei Wang"}},
+			}},
+			"top_k": 3,
+		})
+		resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job struct {
+			ID    string `json:"id"`
+			Venue string `json:"venue"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %q = %d, want 202", v, resp.StatusCode)
+		}
+		want := ring.Owner(v)
+		if got := resp.Header.Get("X-Minaret-Shard"); got != want {
+			t.Fatalf("venue %q routed to %q, ring owner is %q", v, got, want)
+		}
+		// Shard-prefixed IDs are what lets GETs skip the probe.
+		if wantPrefix := want + "-"; len(job.ID) <= len(wantPrefix) || job.ID[:len(wantPrefix)] != wantPrefix {
+			t.Fatalf("job id %q lacks owner prefix %q", job.ID, want+"-")
+		}
+		jobsByVenue[v] = jobInfo{id: job.ID, owner: want}
+	}
+
+	// Every job runs to done, fetched back through the router by ID.
+	for v, ji := range jobsByVenue {
+		resp, err := http.Get(base + "/v1/jobs/" + ji.id + "?wait=120s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job struct {
+			State  string `json:"state"`
+			Result *struct {
+				Succeeded int `json:"succeeded"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || job.State != "done" {
+			t.Fatalf("job %s (venue %q) = %d %s", ji.id, v, resp.StatusCode, job.State)
+		}
+		if job.Result == nil || job.Result.Succeeded != 1 {
+			t.Fatalf("job %s result = %+v, want 1 succeeded", ji.id, job.Result)
+		}
+		if got := resp.Header.Get("X-Minaret-Shard"); got != ji.owner {
+			t.Fatalf("job %s served by %q, owner is %q", ji.id, got, ji.owner)
+		}
+	}
+
+	// Merged cluster stats: one block per shard, each reporting its own
+	// name and only its own jobs; the summed totals equal the submitted
+	// set exactly — the "no job ran twice" ledger.
+	resp, err := http.Get(base + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Cluster struct {
+			Peers       int      `json:"peers"`
+			Unreachable []string `json:"unreachable"`
+		} `json:"cluster"`
+		Shards map[string]struct {
+			Shard string `json:"shard"`
+			Jobs  *struct {
+				Done      int    `json:"done"`
+				Submitted uint64 `json:"submitted"`
+			} `json:"jobs"`
+		} `json:"shards"`
+		JobsTotal struct {
+			Done      int    `json:"done"`
+			Submitted uint64 `json:"submitted"`
+		} `json:"jobs_total"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Cluster.Peers != 2 || len(stats.Cluster.Unreachable) != 0 {
+		t.Fatalf("cluster block = %+v", stats.Cluster)
+	}
+	if len(stats.Shards) != 2 {
+		t.Fatalf("stats shards = %d blocks, want 2", len(stats.Shards))
+	}
+	doneSum := 0
+	for name, blk := range stats.Shards {
+		if blk.Shard != name {
+			t.Fatalf("shard block %q reports shard %q", name, blk.Shard)
+		}
+		if blk.Jobs == nil || blk.Jobs.Done != owned[name] {
+			t.Fatalf("shard %s jobs = %+v, want %d done", name, blk.Jobs, owned[name])
+		}
+		if blk.Jobs.Done == 0 {
+			t.Fatalf("shard %s did no work", name)
+		}
+		doneSum += blk.Jobs.Done
+	}
+	if doneSum != len(venues) || stats.JobsTotal.Done != len(venues) || stats.JobsTotal.Submitted != uint64(len(venues)) {
+		t.Fatalf("cluster ran %d jobs (totals %+v) for %d submissions — exactly-once violated",
+			doneSum, stats.JobsTotal, len(venues))
+	}
+
+	// Merged job list sees every job once.
+	resp2, err := http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Count int `json:"count"`
+		Jobs  []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if list.Count != len(venues) {
+		t.Fatalf("merged list count = %d, want %d", list.Count, len(venues))
+	}
+	seen := map[string]int{}
+	for _, j := range list.Jobs {
+		seen[j.ID]++
+	}
+	for v, ji := range jobsByVenue {
+		if seen[ji.id] != 1 {
+			t.Fatalf("job %s (venue %q) appears %d times in the merged list", ji.id, v, seen[ji.id])
+		}
+	}
+
+	// The shared directory holds one leased partition per venue.
+	entries, err := os.ReadDir(jobsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partitions := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".jobs" {
+			partitions++
+		}
+	}
+	if partitions != len(venues) {
+		t.Fatalf("jobs dir has %d partitions, want %d (one per venue)", partitions, len(venues))
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+func waitHealthy(t *testing.T, url string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", url)
+}

@@ -22,6 +22,14 @@
 // with -schedule-store and fire every -schedule-tick. The full
 // operations runbook is docs/OPERATIONS.md.
 //
+// A deployment can shard across processes: give each server a unique
+// -shard name, point them all at one -jobs-dir (per-venue job
+// partitions claimed through leases, so no job runs twice) and one
+// -schedule-store (a ticker lease elects the single firing scheduler),
+// and put cmd/minaret-router in front to hash submissions to the
+// owning shard. docs/OPERATIONS.md, "Running a cluster", walks
+// through it.
+//
 // Usage:
 //
 //	minaret-server -addr :8080 \
@@ -47,6 +55,7 @@ import (
 	"syscall"
 	"time"
 
+	"minaret/internal/cluster"
 	"minaret/internal/core"
 	"minaret/internal/fetch"
 	"minaret/internal/httpapi"
@@ -81,6 +90,10 @@ func main() {
 		jobsDepth   = flag.Int("jobs-queue-depth", 64, "queued async jobs before POST /v1/jobs answers 429")
 		jobsStore   = flag.String("jobs-store", "", "file persisting job specs and results across restarts (empty: jobs die with the process)")
 		maxBody     = flag.Int64("max-body-bytes", httpapi.DefaultMaxBodyBytes, "largest accepted POST body; oversized requests answer 413 (0 = unlimited)")
+
+		shardName = flag.String("shard", "", "this process's shard name in a cluster (unique; prefixes assigned job/schedule IDs, suffixes the snapshot scope; empty: single-process mode)")
+		jobsDir   = flag.String("jobs-dir", "", "directory of per-venue job partitions shared by the shard cluster, claimed via leases (requires -shard; mutually exclusive with -jobs-store)")
+		leaseTTL  = flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "cluster lease heartbeat deadline: a shard silent this long forfeits its job partitions and the schedule ticker")
 
 		scheduleStore = flag.String("schedule-store", "", "file persisting job schedules across restarts (empty: schedules die with the process)")
 		scheduleTick  = flag.Duration("schedule-tick", time.Second, "how often due schedules are checked and fired")
@@ -122,6 +135,15 @@ func main() {
 	if *webhookTimeout <= 0 {
 		log.Fatalf("minaret-server: -webhook-timeout %v must be positive", *webhookTimeout)
 	}
+	if *jobsDir != "" && *jobsStore != "" {
+		log.Fatalf("minaret-server: -jobs-dir and -jobs-store are mutually exclusive (the directory store partitions by venue; the file store is one file)")
+	}
+	if *jobsDir != "" && *shardName == "" {
+		log.Fatalf("minaret-server: -jobs-dir needs -shard to name this process in the lease files")
+	}
+	if *shardName != "" && *leaseTTL <= 0 {
+		log.Fatalf("minaret-server: -lease-ttl %v must be positive in cluster mode", *leaseTTL)
+	}
 
 	o := ontology.Default()
 	horizon := 2018
@@ -156,6 +178,7 @@ func main() {
 	server := httpapi.New(registry, o, core.Config{TopK: *topK}, horizon)
 	server.SetFetcher(f)
 	server.SetMaxBodyBytes(*maxBody)
+	server.SetShard(*shardName)
 
 	// Cache lifecycle: build the TTL'd cache set, warm-start it from the
 	// snapshot, and keep it swept and saved in the background. The
@@ -166,6 +189,12 @@ func main() {
 		sharedOpts.SnapshotScope = "sources=" + *sourcesURL
 	} else {
 		sharedOpts.SnapshotScope = fmt.Sprintf("inproc seed=%d scholars=%d", *seed, *scholars)
+	}
+	if *shardName != "" {
+		// Shard-scoped caches: two shards pointed at one snapshot or index
+		// path must reject each other's files rather than serve a sibling's
+		// cache as their own.
+		sharedOpts.SnapshotScope += " shard=" + *shardName
 	}
 	shared := core.NewShared(sharedOpts)
 	var restore *core.RestoreStats
@@ -241,7 +270,7 @@ func main() {
 	}
 	// Async job queue: enabled after the Shared caches are warm,
 	// because a restored queued job may start running immediately.
-	queue, jobsRestore, err := server.EnableJobs(jobs.Options{
+	jobOpts := jobs.Options{
 		Workers:        *jobsWorkers,
 		Depth:          *jobsDepth,
 		StorePath:      *jobsStore,
@@ -249,7 +278,30 @@ func main() {
 		WebhookTimeout: *webhookTimeout,
 		WebhookRetries: retries,
 		WebhookSecret:  *webhookSecret,
-	})
+	}
+	if *shardName != "" {
+		// Shard-prefixed job IDs let the cluster router send GET/DELETE
+		// /v1/jobs/{id} straight to the owning shard without probing.
+		jobOpts.IDPrefix = *shardName + "-"
+	}
+	if *jobsDir != "" {
+		store, err := jobs.NewLeasedDirStore(*jobsDir, jobs.LeasedDirStoreOptions{
+			Owner: *shardName,
+			Lease: cluster.LeaseOptions{TTL: *leaseTTL},
+			Logf:  log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("minaret-server: jobs dir: %v", err)
+		}
+		jobOpts.Store = store
+		jobOpts.StorePath = ""
+		// Poll for partitions orphaned by dead shards once per lease TTL:
+		// often enough that a crashed peer's jobs resume within two TTLs,
+		// rare enough that the claim sweep stays off the hot path.
+		jobOpts.ReclaimInterval = *leaseTTL
+		log.Printf("job store: leased partitions in %s (shard %s, lease TTL %v)", *jobsDir, *shardName, *leaseTTL)
+	}
+	queue, jobsRestore, err := server.EnableJobs(jobOpts)
 	if queue == nil {
 		// Invalid options — a configuration error, not a store problem.
 		log.Fatalf("minaret-server: jobs: %v", err)
@@ -260,19 +312,35 @@ func main() {
 		log.Printf("job store: %v (starting with an empty queue)", err)
 	}
 	if jobsRestore != nil {
+		from := *jobsStore
+		if *jobsDir != "" {
+			from = *jobsDir
+		}
 		log.Printf("job store: restored from %s (saved %s): %d jobs re-queued, %d finished kept, %d dropped",
-			*jobsStore, jobsRestore.SavedAt.Format(time.RFC3339),
+			from, jobsRestore.SavedAt.Format(time.RFC3339),
 			jobsRestore.Resumed, jobsRestore.Finished, jobsRestore.Dropped)
 	}
 
 	// Workload scheduler: enabled last, above the queue — a schedule
 	// restored with a due fire submits through bounded admission on the
 	// first tick.
-	sched, schedRestore, err := server.EnableSchedules(jobs.SchedulerOptions{
+	schedOpts := jobs.SchedulerOptions{
 		StorePath:    *scheduleStore,
 		TickInterval: *scheduleTick,
 		Logf:         log.Printf,
-	})
+	}
+	if *shardName != "" {
+		schedOpts.IDPrefix = *shardName + "-"
+		if *scheduleStore != "" {
+			// One ticker per cluster: shards sharing a schedule store elect
+			// a firer through this lease; the rest stand by and promote
+			// when the holder goes silent for a lease TTL.
+			schedOpts.TickerLeasePath = *scheduleStore + ".lease"
+			schedOpts.TickerLeaseOwner = *shardName
+			schedOpts.TickerLease = cluster.LeaseOptions{TTL: *leaseTTL}
+		}
+	}
+	sched, schedRestore, err := server.EnableSchedules(schedOpts)
 	if sched == nil {
 		log.Fatalf("minaret-server: schedules: %v", err)
 	}

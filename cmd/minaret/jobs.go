@@ -52,6 +52,17 @@ func runJobs(args []string) {
 	}
 }
 
+// serverDefault is every subcommand's -server default: the
+// MINARET_SERVER environment variable when set, so a shell pointed at
+// one deployment — or at a cluster's router — doesn't repeat the URL
+// on every invocation. An explicit -server still wins.
+func serverDefault() string {
+	if v := os.Getenv("MINARET_SERVER"); v != "" {
+		return v
+	}
+	return "http://localhost:8080"
+}
+
 // jobsClient wraps the handful of /v1/jobs calls the subcommands need.
 type jobsClient struct {
 	base string
@@ -113,7 +124,7 @@ func (c *jobsClient) call(method, path string, body, out any) (int, error) {
 func runJobSubmit(args []string) {
 	fs := flag.NewFlagSet("minaret jobs submit", flag.ExitOnError)
 	var (
-		server      = fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+		server      = fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 		inPath      = fs.String("in", "", "JSON file with the manuscripts (array, or object with a 'manuscripts' key)")
 		id          = fs.String("id", "", "caller-chosen job ID (default: server-assigned)")
 		venue       = fs.String("venue", "", "fairness venue (default: first manuscript's target venue)")
@@ -193,7 +204,7 @@ func runJobSubmit(args []string) {
 
 func runJobStatus(args []string) {
 	fs := flag.NewFlagSet("minaret jobs status", flag.ExitOnError)
-	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 	asJSON := fs.Bool("json", false, "print raw JSON")
 	fs.Parse(args)
 	c := newJobsClient(*server)
@@ -234,7 +245,7 @@ func runJobStatus(args []string) {
 
 func runJobWait(args []string) {
 	fs := flag.NewFlagSet("minaret jobs wait", flag.ExitOnError)
-	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 	timeout := fs.Duration("timeout", 15*time.Minute, "give up after this long")
 	asJSON := fs.Bool("json", false, "print raw job JSON")
 	fs.Parse(args)
@@ -249,7 +260,7 @@ func runJobWait(args []string) {
 
 func runJobCancel(args []string) {
 	fs := flag.NewFlagSet("minaret jobs cancel", flag.ExitOnError)
-	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 	asJSON := fs.Bool("json", false, "print raw job JSON")
 	fs.Parse(args)
 	if fs.NArg() != 1 {

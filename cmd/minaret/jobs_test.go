@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"net/http/httptest"
+	"os"
 	"os/exec"
 	"strings"
 	"sync"
@@ -196,5 +197,33 @@ func TestCLIBatchInterruptExitsNonzero(t *testing.T) {
 	}
 	if !strings.Contains(got, "canceled") {
 		t.Fatalf("summary missing canceled accounting:\n%s", got)
+	}
+}
+
+// TestServerEnvDefault: MINARET_SERVER supplies every subcommand's
+// -server default, so a shell pointed at one deployment (or a cluster
+// router) doesn't repeat the URL; an explicit -server still wins.
+func TestServerEnvDefault(t *testing.T) {
+	url := schedulesServer(t)
+	run := func(env string, args ...string) ([]byte, error) {
+		cmd := exec.Command(cliBinary(t), args...)
+		cmd.Env = append(os.Environ(), "MINARET_SERVER="+env)
+		return cmd.CombinedOutput()
+	}
+
+	if out, err := run(url, "jobs", "status"); err != nil {
+		t.Fatalf("jobs status via MINARET_SERVER: %v\n%s", err, out)
+	}
+	if out, err := run(url, "schedules", "list"); err != nil {
+		t.Fatalf("schedules list via MINARET_SERVER: %v\n%s", err, out)
+	}
+	// The flag beats the env var: env at a dead port, flag at the live
+	// server.
+	if out, err := run("http://127.0.0.1:1", "jobs", "status", "-server", url); err != nil {
+		t.Fatalf("explicit -server lost to MINARET_SERVER: %v\n%s", err, out)
+	}
+	// And the env var really is what the no-flag run dialed.
+	if out, err := run("http://127.0.0.1:1", "jobs", "status"); err == nil {
+		t.Fatalf("dead MINARET_SERVER succeeded:\n%s", out)
 	}
 }

@@ -50,7 +50,7 @@ func runSchedules(args []string) {
 func runScheduleCreate(args []string) {
 	fs := flag.NewFlagSet("minaret schedules create", flag.ExitOnError)
 	var (
-		server      = fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+		server      = fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 		inPath      = fs.String("in", "", "JSON file with the manuscripts (array, or object with a 'manuscripts' key)")
 		id          = fs.String("id", "", "caller-chosen schedule ID (default: server-assigned)")
 		at          = fs.String("at", "", "fire once at this RFC 3339 instant (exactly one of -at and -every)")
@@ -141,7 +141,7 @@ func runScheduleCreate(args []string) {
 
 func runScheduleList(args []string) {
 	fs := flag.NewFlagSet("minaret schedules list", flag.ExitOnError)
-	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 	asJSON := fs.Bool("json", false, "print raw JSON")
 	fs.Parse(args)
 	c := newJobsClient(*server)
@@ -174,7 +174,7 @@ func runScheduleList(args []string) {
 
 func runScheduleStatus(args []string) {
 	fs := flag.NewFlagSet("minaret schedules status", flag.ExitOnError)
-	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 	asJSON := fs.Bool("json", false, "print raw schedule JSON")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -190,7 +190,7 @@ func runScheduleStatus(args []string) {
 
 func runScheduleCancel(args []string) {
 	fs := flag.NewFlagSet("minaret schedules cancel", flag.ExitOnError)
-	server := fs.String("server", "http://localhost:8080", "base URL of the minaret-server")
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
 	asJSON := fs.Bool("json", false, "print raw schedule JSON")
 	fs.Parse(args)
 	if fs.NArg() != 1 {

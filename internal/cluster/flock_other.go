@@ -1,0 +1,14 @@
+//go:build !unix
+
+package cluster
+
+import "os"
+
+// Non-unix fallback: no kernel advisory locks. The lease protocol
+// still works — the flock only serializes the read-modify-write of the
+// MINLEASE file between live processes; without it, two processes
+// racing an acquire within the same millisecond could both think they
+// won. Single-process deployments (the only supported topology off
+// unix) are unaffected.
+func flockFile(f *os.File) error   { return nil }
+func funlockFile(f *os.File) error { return nil }

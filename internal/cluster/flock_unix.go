@@ -1,0 +1,21 @@
+//go:build unix
+
+package cluster
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockFile takes an exclusive advisory lock on f, blocking until it
+// is granted. Locks are per open-file-description, so two goroutines
+// (or processes) each opening the guard file contend correctly.
+func flockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+// funlockFile releases the advisory lock (also released implicitly
+// when f closes or the process dies).
+func funlockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -1,0 +1,326 @@
+// The lease protocol: an advisory, heartbeat-renewed claim on one
+// shared on-disk resource. MINARET's envelope stores (MINJOBS,
+// MINSCHED) are plain files; when several processes share a directory
+// of them, something must decide who drains which queue and who fires
+// the schedules — without a coordinator process. A Lease is that
+// decision, made durable:
+//
+//   - The lease itself is a tiny MINLEASE envelope next to the guarded
+//     resource, holding the owner's name, a monotonically increasing
+//     epoch, and a heartbeat deadline.
+//   - Acquire succeeds when the file is absent, expired (its deadline
+//     passed — the holder stopped heartbeating, i.e. died), or already
+//     ours (a restarted shard takes its own lease back immediately).
+//     Every successful acquire bumps the epoch.
+//   - Renew extends the deadline; it is the heartbeat. A holder that
+//     discovers a different epoch in the file has been taken over —
+//     it lost the lease while stalled (GC pause, SIGSTOP, NFS hang)
+//     and must stop writing the guarded resource.
+//   - Check is the write fence: call it immediately before mutating
+//     the guarded resource. A zombie — a process that lost its lease
+//     without noticing — fails the epoch comparison and its late write
+//     is rejected instead of corrupting the new owner's state.
+//
+// A separate flock guard file (never renamed, so the lock inode is
+// stable) serializes each read-modify-write of the MINLEASE file, so
+// two processes racing one Acquire cannot both win. The flock is held
+// only for the critical section, not for the lease's lifetime: lease
+// validity is the deadline in the file, which survives process death
+// and works across restarts.
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"minaret/internal/envelope"
+)
+
+const (
+	leaseMagic   = "MINLEASE"
+	leaseVersion = 1
+	// maxLeasePayload caps what a read will allocate for a corrupted
+	// length field; a lease is a few hundred bytes.
+	maxLeasePayload = 1 << 16
+)
+
+// DefaultLeaseTTL is the heartbeat deadline horizon when LeaseOptions
+// leaves TTL zero: a holder that misses ~3 heartbeats (at the
+// conventional TTL/3 renew cadence) is considered dead.
+const DefaultLeaseTTL = 15 * time.Second
+
+// ErrLeaseLost reports that this process's lease was taken over by
+// another owner (or a newer epoch of the same owner) — the holder is a
+// zombie and must not write the guarded resource.
+var ErrLeaseLost = errors.New("cluster: lease lost (taken over by a newer epoch)")
+
+// HeldError is the typed acquire rejection: the lease is currently
+// held by a live owner.
+type HeldError struct {
+	// Owner is who holds the lease; Deadline is when their claim
+	// expires unless renewed.
+	Owner    string
+	Deadline time.Time
+}
+
+// Error renders the rejection with the holder and remaining validity.
+func (e *HeldError) Error() string {
+	return fmt.Sprintf("cluster: lease held by %q until %s", e.Owner, e.Deadline.Format(time.RFC3339))
+}
+
+// ErrLeaseHeld matches any HeldError under errors.Is.
+var ErrLeaseHeld error = &HeldError{}
+
+// Is makes every HeldError match ErrLeaseHeld.
+func (e *HeldError) Is(target error) bool {
+	_, ok := target.(*HeldError)
+	return ok
+}
+
+// leasePayload is the MINLEASE envelope's JSON body.
+type leasePayload struct {
+	// Owner names the holding process — the shard name. Informational
+	// except for self-reacquire: a restarted shard with the same name
+	// takes its own lease back without waiting out the TTL.
+	Owner string `json:"owner"`
+	// Epoch increases on every successful acquire; it is the fencing
+	// token. A writer whose epoch is older than the file's has been
+	// taken over.
+	Epoch uint64 `json:"epoch"`
+	// Deadline is the heartbeat deadline: past it, the lease is free.
+	Deadline time.Time `json:"deadline"`
+	// AcquiredAt/RenewedAt are operator-facing diagnostics.
+	AcquiredAt time.Time `json:"acquired_at"`
+	RenewedAt  time.Time `json:"renewed_at,omitempty"`
+}
+
+// LeaseOptions tunes Acquire; zero values select the documented
+// defaults.
+type LeaseOptions struct {
+	// TTL is how long the lease stays valid past each heartbeat.
+	// Default DefaultLeaseTTL.
+	TTL time.Duration
+	// Clock injects the time source; nil means time.Now. Tests use a
+	// fake clock to expire leases without sleeping.
+	Clock func() time.Time
+}
+
+func (o LeaseOptions) withDefaults() LeaseOptions {
+	if o.TTL <= 0 {
+		o.TTL = DefaultLeaseTTL
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Lease is one held (or lost) claim. All methods are safe for
+// concurrent use.
+type Lease struct {
+	path  string
+	owner string
+	opts  LeaseOptions
+
+	mu    sync.Mutex
+	epoch uint64
+	held  bool
+}
+
+// Acquire claims the lease at path for owner. It succeeds when the
+// lease file is absent, corrupt (an unreadable claim cannot name a
+// live holder), expired, or already owner's; otherwise it returns
+// ErrLeaseHeld (a *HeldError naming the holder). A successful acquire
+// writes a fresh MINLEASE envelope with a bumped epoch — fencing off
+// any prior holder — and a deadline of now+TTL; keep it alive with
+// Renew.
+func Acquire(path, owner string, opts LeaseOptions) (*Lease, error) {
+	if owner == "" {
+		return nil, fmt.Errorf("cluster: lease owner must be non-empty")
+	}
+	o := opts.withDefaults()
+	l := &Lease{path: path, owner: owner, opts: o}
+	err := l.withGuard(func() error {
+		now := o.Clock()
+		cur, ok, err := readLease(path)
+		if err != nil {
+			// A corrupt lease file names nobody; claiming it loudly
+			// beats deadlocking the resource forever.
+			ok = false
+		}
+		if ok && cur.Owner != owner && now.Before(cur.Deadline) {
+			return &HeldError{Owner: cur.Owner, Deadline: cur.Deadline}
+		}
+		next := leasePayload{
+			Owner:      owner,
+			Epoch:      cur.Epoch + 1,
+			Deadline:   now.Add(o.TTL),
+			AcquiredAt: now,
+		}
+		if err := writeLease(path, next); err != nil {
+			return err
+		}
+		l.epoch = next.Epoch
+		l.held = true
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Renew is the heartbeat: it extends the deadline to now+TTL and
+// returns nil while the lease is still this process's. ErrLeaseLost
+// means another acquire bumped the epoch — typically because this
+// process stalled past its deadline and a peer took the resource over.
+// After ErrLeaseLost the lease is permanently lost; re-Acquire for a
+// fresh epoch.
+func (l *Lease) Renew() error {
+	return l.withGuard(func() error {
+		l.mu.Lock()
+		epoch, held := l.epoch, l.held
+		l.mu.Unlock()
+		if !held {
+			return ErrLeaseLost
+		}
+		cur, ok, err := readLease(l.path)
+		if err != nil || !ok || cur.Owner != l.owner || cur.Epoch != epoch {
+			l.mu.Lock()
+			l.held = false
+			l.mu.Unlock()
+			return ErrLeaseLost
+		}
+		now := l.opts.Clock()
+		cur.Deadline = now.Add(l.opts.TTL)
+		cur.RenewedAt = now
+		return writeLease(l.path, cur)
+	})
+}
+
+// Check is the write fence: nil means this process still holds the
+// lease (the file's epoch is ours) and may mutate the guarded
+// resource; ErrLeaseLost means a newer epoch exists and the caller
+// must drop the write. Check reads the file every time — the point is
+// to catch a takeover this process hasn't noticed yet.
+func (l *Lease) Check() error {
+	l.mu.Lock()
+	epoch, held := l.epoch, l.held
+	l.mu.Unlock()
+	if !held {
+		return ErrLeaseLost
+	}
+	cur, ok, err := readLease(l.path)
+	if err != nil {
+		return err
+	}
+	if !ok || cur.Owner != l.owner || cur.Epoch != epoch {
+		l.mu.Lock()
+		l.held = false
+		l.mu.Unlock()
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// Release gives the lease up: the file's deadline is rewound to now so
+// the next acquirer claims it immediately instead of waiting out the
+// TTL. Releasing a lease that was already taken over is a no-op (the
+// new owner's claim is left untouched). Safe to call repeatedly.
+func (l *Lease) Release() error {
+	return l.withGuard(func() error {
+		l.mu.Lock()
+		epoch, held := l.epoch, l.held
+		l.held = false
+		l.mu.Unlock()
+		if !held {
+			return nil
+		}
+		cur, ok, err := readLease(l.path)
+		if err != nil || !ok || cur.Owner != l.owner || cur.Epoch != epoch {
+			return nil
+		}
+		cur.Deadline = l.opts.Clock()
+		return writeLease(l.path, cur)
+	})
+}
+
+// Held reports whether this process believes it still holds the lease
+// (without re-reading the file; use Check for the authoritative
+// answer).
+func (l *Lease) Held() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.held
+}
+
+// Epoch returns the fencing token of this process's claim.
+func (l *Lease) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
+}
+
+// Owner returns the owner name this lease was acquired under.
+func (l *Lease) Owner() string { return l.owner }
+
+// Path returns the MINLEASE file this lease claims.
+func (l *Lease) Path() string { return l.path }
+
+// withGuard runs fn with the flock guard held, serializing
+// read-modify-write cycles of the MINLEASE file across processes. The
+// guard file sits next to the lease file and is never renamed, so its
+// inode — and therefore the kernel lock — is stable.
+func (l *Lease) withGuard(fn func() error) error {
+	g, err := os.OpenFile(l.path+".lock", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	defer g.Close()
+	if err := flockFile(g); err != nil {
+		return fmt.Errorf("cluster: lease guard %s: %w", g.Name(), err)
+	}
+	defer funlockFile(g)
+	return fn()
+}
+
+// readLease loads the MINLEASE file at path. Missing file: ok=false,
+// nil error. Errors carry the path (envelope.DecodeFile).
+func readLease(path string) (leasePayload, bool, error) {
+	var p leasePayload
+	raw, ok, err := envelope.DecodeFile(path, leaseMagic, leaseVersion, maxLeasePayload, "lease")
+	if err != nil || !ok {
+		return p, false, err
+	}
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return p, false, fmt.Errorf("%s: lease decode: %w", path, err)
+	}
+	return p, true, nil
+}
+
+// writeLease atomically replaces the MINLEASE file at path.
+func writeLease(path string, p leasePayload) error {
+	raw, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("lease encode: %w", err)
+	}
+	return envelope.WriteFileAtomic(path, func(w io.Writer) error {
+		return envelope.Encode(w, leaseMagic, leaseVersion, raw)
+	})
+}
+
+// InspectLease reads the lease at path without claiming it — the
+// operator's view (who holds this queue? until when?). Missing file:
+// ok=false.
+func InspectLease(path string) (owner string, epoch uint64, deadline time.Time, ok bool, err error) {
+	p, ok, err := readLease(path)
+	if err != nil || !ok {
+		return "", 0, time.Time{}, false, err
+	}
+	return p.Owner, p.Epoch, p.Deadline, true, nil
+}

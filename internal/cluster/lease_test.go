@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func writeFile(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeClock is a settable time source shared by racing leases.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestLeaseRace: many claimants race one acquire; exactly one wins,
+// every loser gets ErrLeaseHeld naming the winner.
+func TestLeaseRace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.lease")
+	clock := newFakeClock()
+	opts := LeaseOptions{TTL: time.Minute, Clock: clock.Now}
+
+	const claimants = 16
+	var won atomic.Int32
+	var held atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < claimants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l, err := Acquire(path, "owner-"+string(rune('a'+i)), opts)
+			switch {
+			case err == nil:
+				won.Add(1)
+				if !l.Held() {
+					t.Error("winner reports not held")
+				}
+			case errors.Is(err, ErrLeaseHeld):
+				held.Add(1)
+			default:
+				t.Errorf("claimant %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if won.Load() != 1 {
+		t.Fatalf("winners = %d, want exactly 1 (held rejections: %d)", won.Load(), held.Load())
+	}
+	if held.Load() != claimants-1 {
+		t.Fatalf("held rejections = %d, want %d", held.Load(), claimants-1)
+	}
+}
+
+// TestLeaseHeartbeatExpiryAndTakeover: a holder that stops renewing is
+// dead; once its deadline passes, a peer takes the lease over, and the
+// HeldError before expiry names the holder.
+func TestLeaseHeartbeatExpiryAndTakeover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.lease")
+	clock := newFakeClock()
+	opts := LeaseOptions{TTL: 15 * time.Second, Clock: clock.Now}
+
+	a, err := Acquire(path, "shard-a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeats keep it alive past the original deadline.
+	clock.Advance(10 * time.Second)
+	if err := a.Renew(); err != nil {
+		t.Fatalf("renew: %v", err)
+	}
+	clock.Advance(10 * time.Second) // 20s after acquire, 10s after renew: still valid
+	if _, err := Acquire(path, "shard-b", opts); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("acquire against a live holder = %v, want ErrLeaseHeld", err)
+	}
+	var he *HeldError
+	_, err = Acquire(path, "shard-b", opts)
+	if !errors.As(err, &he) || he.Owner != "shard-a" {
+		t.Fatalf("HeldError = %+v, want owner shard-a", he)
+	}
+
+	// Heartbeats stop; past the deadline the lease is free.
+	clock.Advance(16 * time.Second)
+	b, err := Acquire(path, "shard-b", opts)
+	if err != nil {
+		t.Fatalf("takeover after expiry: %v", err)
+	}
+	if b.Epoch() <= a.Epoch() {
+		t.Fatalf("takeover epoch %d not beyond %d", b.Epoch(), a.Epoch())
+	}
+}
+
+// TestLeaseZombieFenced: the epoch fence. A holder that stalls past
+// its deadline and is taken over must see every subsequent Renew and
+// Check fail with ErrLeaseLost — its late writes are rejected, not
+// merged over the new owner's state.
+func TestLeaseZombieFenced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.lease")
+	clock := newFakeClock()
+	opts := LeaseOptions{TTL: 15 * time.Second, Clock: clock.Now}
+
+	zombie, err := Acquire(path, "shard-a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(16 * time.Second) // shard-a stalls past its deadline
+	survivor, err := Acquire(path, "shard-b", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The zombie wakes up and tries to carry on.
+	if err := zombie.Check(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("zombie Check = %v, want ErrLeaseLost", err)
+	}
+	if err := zombie.Renew(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("zombie Renew = %v, want ErrLeaseLost", err)
+	}
+	if zombie.Held() {
+		t.Fatal("zombie still believes it holds the lease after fencing")
+	}
+	// Its Release must not clobber the survivor's claim.
+	if err := zombie.Release(); err != nil {
+		t.Fatalf("zombie release: %v", err)
+	}
+	if err := survivor.Check(); err != nil {
+		t.Fatalf("survivor fenced by zombie's release: %v", err)
+	}
+}
+
+// TestLeaseSelfReacquire: a restarted process (same owner name) takes
+// its own unexpired lease back immediately — restart must not cost a
+// full TTL of downtime — and the old incarnation is fenced by the
+// epoch bump.
+func TestLeaseSelfReacquire(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.lease")
+	clock := newFakeClock()
+	opts := LeaseOptions{TTL: time.Minute, Clock: clock.Now}
+
+	old, err := Acquire(path, "shard-a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Second) // well within the TTL
+	fresh, err := Acquire(path, "shard-a", opts)
+	if err != nil {
+		t.Fatalf("self-reacquire within TTL: %v", err)
+	}
+	if fresh.Epoch() != old.Epoch()+1 {
+		t.Fatalf("epoch = %d, want %d", fresh.Epoch(), old.Epoch()+1)
+	}
+	if err := old.Check(); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("old incarnation Check = %v, want ErrLeaseLost", err)
+	}
+}
+
+// TestLeaseReleaseFreesImmediately: an orderly Release rewinds the
+// deadline so the next claimant does not wait out the TTL.
+func TestLeaseReleaseFreesImmediately(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.lease")
+	clock := newFakeClock()
+	opts := LeaseOptions{TTL: time.Hour, Clock: clock.Now}
+
+	a, err := Acquire(path, "shard-a", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Held() {
+		t.Fatal("released lease still held")
+	}
+	if _, err := Acquire(path, "shard-b", opts); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+}
+
+// TestLeaseCorruptFileClaimable: a corrupt MINLEASE file names nobody;
+// it must not deadlock the resource forever, and the error path of a
+// plain read must include the offending file path.
+func TestLeaseCorruptFileClaimable(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "queue.lease")
+	writeFile(t, path, []byte("garbage that is not an envelope"))
+
+	if _, _, _, _, err := InspectLease(path); err == nil || !strings.Contains(err.Error(), path) {
+		t.Fatalf("inspect of corrupt lease = %v, want error naming %s", err, path)
+	}
+	clock := newFakeClock()
+	l, err := Acquire(path, "shard-a", LeaseOptions{TTL: time.Minute, Clock: clock.Now})
+	if err != nil {
+		t.Fatalf("acquire over corrupt lease file: %v", err)
+	}
+	if err := l.Check(); err != nil {
+		t.Fatalf("check after claiming corrupt file: %v", err)
+	}
+}
+
+// TestInspectLease: the operator view reads without claiming.
+func TestInspectLease(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "queue.lease")
+	if _, _, _, ok, err := InspectLease(path); ok || err != nil {
+		t.Fatalf("inspect of absent lease = ok=%v err=%v", ok, err)
+	}
+	clock := newFakeClock()
+	if _, err := Acquire(path, "shard-a", LeaseOptions{TTL: time.Minute, Clock: clock.Now}); err != nil {
+		t.Fatal(err)
+	}
+	owner, epoch, deadline, ok, err := InspectLease(path)
+	if err != nil || !ok {
+		t.Fatalf("inspect: ok=%v err=%v", ok, err)
+	}
+	if owner != "shard-a" || epoch != 1 || !deadline.Equal(clock.Now().Add(time.Minute)) {
+		t.Fatalf("inspect = %s/%d/%s", owner, epoch, deadline)
+	}
+}

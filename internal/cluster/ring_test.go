@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty member list accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 8); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	if _, err := NewRing([]string{"a", ""}, 8); err == nil {
+		t.Fatal("empty member name accepted")
+	}
+}
+
+// TestRingDeterministic: placement is a pure function of the member
+// set — independent of list order and stable across constructions, so
+// every router and shard agrees without communication.
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing([]string{"s1", "s2", "s3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"s3", "s1", "s2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("venue-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs by member order: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+	}
+	if a.Owner("") == "" {
+		t.Fatal("empty key must land on a real member")
+	}
+}
+
+// TestRingBalance: with virtual nodes, no member owns a wildly
+// disproportionate share of keys.
+func TestRingBalance(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4"}
+	r, err := NewRing(members, 0) // default vnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("venue-%d", i))]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys (counts=%v)", m, share*100, counts)
+		}
+	}
+}
+
+// TestRingStability: removing one member moves only that member's keys
+// — everything another member owned stays put. This is the property
+// hash-mod-N lacks and the reason a ring is used.
+func TestRingStability(t *testing.T) {
+	full, err := NewRing([]string{"s1", "s2", "s3"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"s1", "s2"}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("venue-%d", i)
+		was := full.Owner(key)
+		if was != "s3" && reduced.Owner(key) != was {
+			t.Fatalf("key %q moved from %s to %s though its owner did not leave", key, was, reduced.Owner(key))
+		}
+	}
+}

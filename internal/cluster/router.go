@@ -1,0 +1,436 @@
+// The cluster router: a thin reverse proxy that makes N MINARET
+// shards look like one server. It holds no state beyond the ring —
+// every decision is recomputable from the static member list — so the
+// router itself can be restarted (or doubled up) freely:
+//
+//   - Venue-keyed submissions (POST /v1/batch, /v1/jobs, /v1/schedules,
+//     /api/recommend) are hashed to their owning shard via the
+//     consistent-hash ring, so one venue's jobs, schedules and warm
+//     cache entries all live together on one shard.
+//   - GETs and DELETEs addressed by ID (/v1/jobs/{id}, /v1/schedules/
+//     {id}) route by the ID's shard-name prefix — every shard stamps
+//     its name onto the IDs it assigns — falling back to asking each
+//     shard in turn when the prefix names no member (caller-chosen
+//     IDs).
+//   - Collection GETs (/v1/jobs, /v1/schedules) and /api/stats fan out
+//     to every shard and merge, so operators see one cluster-wide
+//     view; /api/stats keeps each shard's full block side by side and
+//     sums the job counters.
+//   - Everything else (stateless reads, health) round-robins.
+//
+// The router deliberately does NOT rewrite bodies or IDs: what a shard
+// answers is what the client sees, plus an X-Minaret-Shard header
+// naming who answered.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxRouteBody bounds how much of a POST body the router will buffer
+// to peek the venue; matched to the server's own default body cap.
+const maxRouteBody = 16 << 20
+
+// Peer is one shard: its ring name and base URL.
+type Peer struct {
+	Name string
+	URL  *url.URL
+}
+
+// ParsePeers parses the -peers flag syntax: comma-separated
+// name=baseURL pairs, e.g. "s1=http://127.0.0.1:8081,s2=http://127.0.0.1:8082".
+func ParsePeers(s string) ([]Peer, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	var peers []Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(part, "=")
+		if !ok || name == "" || raw == "" {
+			return nil, fmt.Errorf("cluster: peer %q: want name=url", part)
+		}
+		u, err := url.Parse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer %q: %w", part, err)
+		}
+		if u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("cluster: peer %q: url needs scheme and host", part)
+		}
+		peers = append(peers, Peer{Name: name, URL: u})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// RouterOptions configures NewRouter.
+type RouterOptions struct {
+	// Peers are the shards; required, non-empty, unique names.
+	Peers []Peer
+	// VirtualNodes per member on the ring; 0 selects
+	// DefaultVirtualNodes. Must match the shards' own setting (the ring
+	// is deterministic only when everyone computes the same one).
+	VirtualNodes int
+	// Client performs fan-out requests (stats merge, ID probes); nil
+	// builds one with a 30s timeout. Proxied requests stream through a
+	// ReverseProxy and are not subject to this client.
+	Client *http.Client
+	// Logf reports proxy failures; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Router is the http.Handler fronting the shard set.
+type Router struct {
+	ring    *Ring
+	peers   map[string]Peer
+	order   []string // peer names, sorted — deterministic fan-out order
+	proxies map[string]*httputil.ReverseProxy
+	client  *http.Client
+	logf    func(string, ...any)
+	started time.Time
+
+	mu sync.Mutex
+	rr int // next round-robin position
+}
+
+// NewRouter builds a Router over the peer set.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	names := make([]string, 0, len(opts.Peers))
+	for _, p := range opts.Peers {
+		names = append(names, p.Name)
+	}
+	ring, err := NewRing(names, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		ring:    ring,
+		peers:   make(map[string]Peer, len(opts.Peers)),
+		proxies: make(map[string]*httputil.ReverseProxy, len(opts.Peers)),
+		client:  opts.Client,
+		logf:    opts.Logf,
+		started: time.Now(),
+	}
+	if rt.client == nil {
+		rt.client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if rt.logf == nil {
+		rt.logf = func(string, ...any) {}
+	}
+	for _, p := range opts.Peers {
+		rt.peers[p.Name] = p
+		proxy := httputil.NewSingleHostReverseProxy(p.URL)
+		name := p.Name
+		proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+			rt.logf("router: proxy to shard %s: %v", name, err)
+			writeRouterJSON(w, http.StatusBadGateway, map[string]string{
+				"error": fmt.Sprintf("shard %s unreachable", name),
+			})
+		}
+		rt.proxies[p.Name] = proxy
+	}
+	rt.order = append(rt.order, ring.Members()...)
+	sort.Strings(rt.order)
+	return rt, nil
+}
+
+// Handler returns the router's http.Handler.
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(rt.route)
+}
+
+func (rt *Router) route(w http.ResponseWriter, r *http.Request) {
+	path := r.URL.Path
+	switch {
+	case path == "/api/stats" && r.Method == http.MethodGet:
+		rt.handleStats(w, r)
+	case path == "/v1/jobs" && r.Method == http.MethodGet:
+		rt.handleMergedList(w, r, "jobs")
+	case path == "/v1/schedules" && r.Method == http.MethodGet:
+		rt.handleMergedList(w, r, "schedules")
+	case r.Method == http.MethodPost &&
+		(path == "/v1/batch" || path == "/v1/jobs" || path == "/v1/schedules" || path == "/api/recommend"):
+		rt.routeByVenue(w, r)
+	case strings.HasPrefix(path, "/v1/jobs/") || strings.HasPrefix(path, "/v1/schedules/"):
+		rt.routeByID(w, r)
+	default:
+		rt.forward(rt.nextPeer(), w, r)
+	}
+}
+
+// forward proxies the request to the named shard, stamping the answer
+// with who served it.
+func (rt *Router) forward(name string, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("X-Minaret-Shard", name)
+	rt.proxies[name].ServeHTTP(w, r)
+}
+
+// nextPeer round-robins across the shard set for venue-less traffic.
+func (rt *Router) nextPeer() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	name := rt.order[rt.rr%len(rt.order)]
+	rt.rr++
+	return name
+}
+
+// venueProbe is the minimal shape shared by every venue-keyed body:
+// enough to find the fairness key without understanding the request.
+type venueProbe struct {
+	Venue       string `json:"venue"`
+	TargetVenue string `json:"target_venue"`
+	Manuscripts []struct {
+		TargetVenue string `json:"target_venue"`
+	} `json:"manuscripts"`
+	Job *venueProbe `json:"job"`
+}
+
+func (p *venueProbe) venue() (string, bool) {
+	switch {
+	case p.Venue != "":
+		return p.Venue, true
+	case p.TargetVenue != "":
+		return p.TargetVenue, true
+	case len(p.Manuscripts) > 0:
+		// Mirrors the queue's own defaulting: the first manuscript's
+		// target venue is the fairness key.
+		return p.Manuscripts[0].TargetVenue, true
+	case p.Job != nil:
+		return p.Job.venue()
+	}
+	return "", false
+}
+
+// routeByVenue buffers the body, peeks the venue, and proxies to the
+// ring owner. A body with no discoverable venue still routes — to the
+// empty-venue owner, deterministically, exactly as the shard itself
+// would bucket it.
+func (rt *Router) routeByVenue(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRouteBody+1))
+	if err != nil {
+		writeRouterJSON(w, http.StatusBadRequest, map[string]string{"error": "reading request body: " + err.Error()})
+		return
+	}
+	if len(body) > maxRouteBody {
+		writeRouterJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "request body too large to route"})
+		return
+	}
+	var probe venueProbe
+	venue := ""
+	if err := json.Unmarshal(body, &probe); err == nil {
+		venue, _ = probe.venue()
+	}
+	// Restore the body for the proxy.
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	rt.forward(rt.ring.Owner(venue), w, r)
+}
+
+// routeByID sends /v1/jobs/{id}-style requests to the shard whose name
+// prefixes the ID (shards stamp their name onto assigned IDs). An ID
+// with no member prefix — caller-chosen — is probed across shards in
+// order: the first non-404 answer wins.
+func (rt *Router) routeByID(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(strings.TrimPrefix(r.URL.Path, "/v1/jobs/"), "/v1/schedules/")
+	id := strings.SplitN(rest, "/", 2)[0]
+	best := ""
+	for _, name := range rt.order {
+		if strings.HasPrefix(id, name+"-") && len(name) > len(best) {
+			best = name
+		}
+	}
+	if best != "" {
+		rt.forward(best, w, r)
+		return
+	}
+	rt.probe(w, r)
+}
+
+// probe tries each shard in order and relays the first answer that
+// isn't a 404; if every shard says 404, so does the router. Bodies of
+// rejected probes are drained and discarded.
+func (rt *Router) probe(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Body != nil {
+		b, err := io.ReadAll(io.LimitReader(r.Body, maxRouteBody))
+		if err != nil {
+			writeRouterJSON(w, http.StatusBadRequest, map[string]string{"error": "reading request body: " + err.Error()})
+			return
+		}
+		body = b
+	}
+	for i, name := range rt.order {
+		resp, err := rt.fanRequest(name, r, body)
+		if err != nil {
+			rt.logf("router: probe shard %s: %v", name, err)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound && i < len(rt.order)-1 {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		defer resp.Body.Close()
+		w.Header().Set("X-Minaret-Shard", name)
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+		return
+	}
+	writeRouterJSON(w, http.StatusBadGateway, map[string]string{"error": "no shard answered"})
+}
+
+// fanRequest issues r's method+path+query to the named shard with the
+// given body.
+func (rt *Router) fanRequest(name string, r *http.Request, body []byte) (*http.Response, error) {
+	peer := rt.peers[name]
+	u := *peer.URL
+	u.Path = strings.TrimSuffix(u.Path, "/") + r.URL.Path
+	u.RawQuery = r.URL.RawQuery
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, u.String(), rd)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	return rt.client.Do(req)
+}
+
+// handleMergedList fans a collection GET out to every shard and merges
+// the named array ("jobs" or "schedules"), so the cluster presents one
+// list. Per-shard stats blocks are keyed by shard name; shards that
+// fail to answer are reported in "unreachable" rather than silently
+// shrinking the list.
+func (rt *Router) handleMergedList(w http.ResponseWriter, r *http.Request, key string) {
+	merged := make([]json.RawMessage, 0, 64)
+	stats := make(map[string]json.RawMessage)
+	var unreachable []string
+	for _, name := range rt.order {
+		resp, err := rt.fanRequest(name, r, nil)
+		if err != nil {
+			rt.logf("router: list fan-out to shard %s: %v", name, err)
+			unreachable = append(unreachable, name)
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRouteBody))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			rt.logf("router: list fan-out to shard %s: status %d err %v", name, resp.StatusCode, err)
+			unreachable = append(unreachable, name)
+			continue
+		}
+		var page map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &page); err != nil {
+			unreachable = append(unreachable, name)
+			continue
+		}
+		var items []json.RawMessage
+		if err := json.Unmarshal(page[key], &items); err == nil {
+			merged = append(merged, items...)
+		}
+		if st, ok := page["stats"]; ok {
+			stats[name] = st
+		}
+	}
+	out := map[string]any{
+		key:     merged,
+		"count": len(merged),
+		"stats": stats,
+	}
+	if len(unreachable) > 0 {
+		out["unreachable"] = unreachable
+	}
+	writeRouterJSON(w, http.StatusOK, out)
+}
+
+// clusterJobTotals are the summed job counters across shards — the
+// numbers an operator reads first off the merged stats view.
+type clusterJobTotals struct {
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	Done       int    `json:"done"`
+	Failed     int    `json:"failed"`
+	Canceled   int    `json:"canceled"`
+	Submitted  uint64 `json:"submitted"`
+	Rejections uint64 `json:"rejections"`
+}
+
+// ClusterStatsResponse is the router's merged /api/stats payload: each
+// shard's full stats block verbatim under its name, plus cluster-level
+// aggregates.
+type ClusterStatsResponse struct {
+	Cluster struct {
+		Peers         int      `json:"peers"`
+		UptimeSeconds float64  `json:"uptime_seconds"`
+		Unreachable   []string `json:"unreachable,omitempty"`
+	} `json:"cluster"`
+	// Shards maps shard name to that shard's own /api/stats response,
+	// untouched — per-shard jobs and cache blocks stay readable exactly
+	// as the shard reported them.
+	Shards map[string]json.RawMessage `json:"shards"`
+	// JobsTotal sums the queue counters across reachable shards.
+	JobsTotal clusterJobTotals `json:"jobs_total"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := ClusterStatsResponse{Shards: make(map[string]json.RawMessage, len(rt.order))}
+	resp.Cluster.Peers = len(rt.order)
+	resp.Cluster.UptimeSeconds = time.Since(rt.started).Seconds()
+	for _, name := range rt.order {
+		pr, err := rt.fanRequest(name, r, nil)
+		if err != nil {
+			rt.logf("router: stats fan-out to shard %s: %v", name, err)
+			resp.Cluster.Unreachable = append(resp.Cluster.Unreachable, name)
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(pr.Body, maxRouteBody))
+		pr.Body.Close()
+		if err != nil || pr.StatusCode != http.StatusOK {
+			rt.logf("router: stats fan-out to shard %s: status %d err %v", name, pr.StatusCode, err)
+			resp.Cluster.Unreachable = append(resp.Cluster.Unreachable, name)
+			continue
+		}
+		resp.Shards[name] = json.RawMessage(raw)
+		var peek struct {
+			Jobs *clusterJobTotals `json:"jobs"`
+		}
+		if err := json.Unmarshal(raw, &peek); err == nil && peek.Jobs != nil {
+			resp.JobsTotal.Queued += peek.Jobs.Queued
+			resp.JobsTotal.Running += peek.Jobs.Running
+			resp.JobsTotal.Done += peek.Jobs.Done
+			resp.JobsTotal.Failed += peek.Jobs.Failed
+			resp.JobsTotal.Canceled += peek.Jobs.Canceled
+			resp.JobsTotal.Submitted += peek.Jobs.Submitted
+			resp.JobsTotal.Rejections += peek.Jobs.Rejections
+		}
+	}
+	writeRouterJSON(w, http.StatusOK, resp)
+}
+
+func writeRouterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,311 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// stubShard is a fake shard that records what it was asked and answers
+// from a canned route table.
+type stubShard struct {
+	name string
+	srv  *httptest.Server
+
+	mu       sync.Mutex
+	requests []string // "METHOD path"
+	bodies   []string
+	answers  map[string]stubAnswer // "METHOD path" -> answer
+}
+
+type stubAnswer struct {
+	status int
+	body   string
+}
+
+func newStubShard(t *testing.T, name string) *stubShard {
+	t.Helper()
+	s := &stubShard{name: name, answers: make(map[string]stubAnswer)}
+	s.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		key := r.Method + " " + r.URL.Path
+		s.mu.Lock()
+		s.requests = append(s.requests, key)
+		s.bodies = append(s.bodies, string(body))
+		ans, ok := s.answers[key]
+		s.mu.Unlock()
+		if !ok {
+			ans = stubAnswer{status: http.StatusOK, body: `{"ok":true,"shard":"` + name + `"}`}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(ans.status)
+		io.WriteString(w, ans.body)
+	}))
+	t.Cleanup(s.srv.Close)
+	return s
+}
+
+func (s *stubShard) answer(method, path string, status int, body string) {
+	s.mu.Lock()
+	s.answers[method+" "+path] = stubAnswer{status: status, body: body}
+	s.mu.Unlock()
+}
+
+func (s *stubShard) seen() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.requests...)
+}
+
+func (s *stubShard) peer(t *testing.T) Peer {
+	t.Helper()
+	u, err := url.Parse(s.srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Peer{Name: s.name, URL: u}
+}
+
+func newTestRouter(t *testing.T, shards ...*stubShard) (*Router, *httptest.Server) {
+	t.Helper()
+	peers := make([]Peer, 0, len(shards))
+	for _, s := range shards {
+		peers = append(peers, s.peer(t))
+	}
+	rt, err := NewRouter(RouterOptions{Peers: peers, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(rt.Handler())
+	t.Cleanup(front.Close)
+	return rt, front
+}
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("s1=http://127.0.0.1:8081, s2=http://127.0.0.1:8082")
+	if err != nil || len(peers) != 2 || peers[0].Name != "s1" || peers[1].URL.Host != "127.0.0.1:8082" {
+		t.Fatalf("parse = %+v, %v", peers, err)
+	}
+	for _, bad := range []string{"", "s1", "=http://x", "s1=", "s1=://nope", "s1=relative/path"} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Fatalf("peer list %q accepted", bad)
+		}
+	}
+}
+
+// TestRouterVenueRouting: venue-keyed POSTs land on the ring owner —
+// the same venue always hits the same shard, the body passes through
+// untouched, and the response names who served it.
+func TestRouterVenueRouting(t *testing.T) {
+	s1, s2 := newStubShard(t, "s1"), newStubShard(t, "s2")
+	rt, front := newTestRouter(t, s1, s2)
+
+	shardFor := map[string]*stubShard{"s1": s1, "s2": s2}
+	for i := 0; i < 8; i++ {
+		venue := fmt.Sprintf("venue-%d", i)
+		body := fmt.Sprintf(`{"venue":%q,"manuscripts":[{"target_venue":%q}]}`, venue, venue)
+		for round := 0; round < 2; round++ {
+			resp, err := http.Post(front.URL+"/v1/jobs", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			owner := rt.ring.Owner(venue)
+			if got := resp.Header.Get("X-Minaret-Shard"); got != owner {
+				t.Fatalf("venue %s served by %q, ring owner is %q", venue, got, owner)
+			}
+			shard := shardFor[owner]
+			seen := shard.seen()
+			if len(seen) == 0 || seen[len(seen)-1] != "POST /v1/jobs" {
+				t.Fatalf("owner %s did not receive the submission: %v", owner, seen)
+			}
+			shard.mu.Lock()
+			lastBody := shard.bodies[len(shard.bodies)-1]
+			shard.mu.Unlock()
+			if lastBody != body {
+				t.Fatalf("body altered in transit: %q -> %q", body, lastBody)
+			}
+		}
+	}
+
+	// /v1/batch routes by the first manuscript's target venue even
+	// without a top-level venue field.
+	resp, err := http.Post(front.URL+"/v1/batch", "application/json",
+		strings.NewReader(`{"manuscripts":[{"target_venue":"EDBT"},{"target_venue":"VLDB"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Minaret-Shard"); got != rt.ring.Owner("EDBT") {
+		t.Fatalf("batch served by %q, want owner of first manuscript's venue %q", got, rt.ring.Owner("EDBT"))
+	}
+}
+
+// TestRouterIDRouting: an ID stamped with a shard-name prefix goes
+// straight to that shard; an unprefixed ID is probed across shards and
+// the first non-404 wins.
+func TestRouterIDRouting(t *testing.T) {
+	s1, s2 := newStubShard(t, "s1"), newStubShard(t, "s2")
+	_, front := newTestRouter(t, s1, s2)
+
+	resp, err := http.Get(front.URL + "/v1/jobs/s2-job-abc123")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Minaret-Shard"); got != "s2" {
+		t.Fatalf("prefixed ID served by %q, want s2", got)
+	}
+	if len(s1.seen()) != 0 {
+		t.Fatalf("s1 was bothered for s2's job: %v", s1.seen())
+	}
+
+	// Caller-chosen ID: s1 doesn't know it, s2 does.
+	s1.answer("GET", "/v1/jobs/custom-id", http.StatusNotFound, `{"error":"job not found"}`)
+	s2.answer("GET", "/v1/jobs/custom-id", http.StatusOK, `{"id":"custom-id","state":"done"}`)
+	resp, err = http.Get(front.URL + "/v1/jobs/custom-id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), "custom-id") {
+		t.Fatalf("probe answer = %d %s", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("X-Minaret-Shard"); got != "s2" {
+		t.Fatalf("probe served by %q, want s2", got)
+	}
+
+	// Nobody knows it: the 404 survives the fan-out.
+	s2.answer("GET", "/v1/jobs/ghost", http.StatusNotFound, `{"error":"job not found"}`)
+	s1.answer("GET", "/v1/jobs/ghost", http.StatusNotFound, `{"error":"job not found"}`)
+	resp, err = http.Get(front.URL + "/v1/jobs/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown ID = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestRouterStatsMerge: /api/stats fans out and the merged view keeps
+// each shard's full block under its name while summing job counters.
+func TestRouterStatsMerge(t *testing.T) {
+	s1, s2 := newStubShard(t, "s1"), newStubShard(t, "s2")
+	s1.answer("GET", "/api/stats", 200, `{"shard":"s1","jobs":{"queued":2,"running":1,"done":10,"submitted":13},"shared":{"profiles":{"hits":5}}}`)
+	s2.answer("GET", "/api/stats", 200, `{"shard":"s2","jobs":{"queued":1,"done":4,"failed":1,"submitted":6,"rejections":2}}`)
+	_, front := newTestRouter(t, s1, s2)
+
+	resp, err := http.Get(front.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var merged ClusterStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Cluster.Peers != 2 || len(merged.Cluster.Unreachable) != 0 {
+		t.Fatalf("cluster block = %+v", merged.Cluster)
+	}
+	if len(merged.Shards) != 2 {
+		t.Fatalf("shards = %v", merged.Shards)
+	}
+	var s1block struct {
+		Shard  string `json:"shard"`
+		Shared struct {
+			Profiles struct {
+				Hits int `json:"hits"`
+			} `json:"profiles"`
+		} `json:"shared"`
+	}
+	if err := json.Unmarshal(merged.Shards["s1"], &s1block); err != nil || s1block.Shard != "s1" || s1block.Shared.Profiles.Hits != 5 {
+		t.Fatalf("s1 block not preserved verbatim: %+v err=%v", s1block, err)
+	}
+	want := clusterJobTotals{Queued: 3, Running: 1, Done: 14, Failed: 1, Submitted: 19, Rejections: 2}
+	if merged.JobsTotal != want {
+		t.Fatalf("jobs_total = %+v, want %+v", merged.JobsTotal, want)
+	}
+}
+
+// TestRouterStatsUnreachableShard: a dead shard is reported, not
+// silently dropped from the merged view.
+func TestRouterStatsUnreachableShard(t *testing.T) {
+	s1, s2 := newStubShard(t, "s1"), newStubShard(t, "s2")
+	s1.answer("GET", "/api/stats", 200, `{"shard":"s1","jobs":{"queued":1,"submitted":1}}`)
+	_, front := newTestRouter(t, s1, s2)
+	s2.srv.Close() // s2 dies
+
+	resp, err := http.Get(front.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var merged ClusterStatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Cluster.Unreachable) != 1 || merged.Cluster.Unreachable[0] != "s2" {
+		t.Fatalf("unreachable = %v, want [s2]", merged.Cluster.Unreachable)
+	}
+	if merged.JobsTotal.Queued != 1 {
+		t.Fatalf("jobs_total = %+v", merged.JobsTotal)
+	}
+}
+
+// TestRouterMergedJobList: GET /v1/jobs merges every shard's list into
+// one, with per-shard stats blocks kept apart.
+func TestRouterMergedJobList(t *testing.T) {
+	s1, s2 := newStubShard(t, "s1"), newStubShard(t, "s2")
+	s1.answer("GET", "/v1/jobs", 200, `{"jobs":[{"id":"s1-job-a"},{"id":"s1-job-b"}],"count":2,"stats":{"queued":2}}`)
+	s2.answer("GET", "/v1/jobs", 200, `{"jobs":[{"id":"s2-job-c"}],"count":1,"stats":{"queued":1}}`)
+	_, front := newTestRouter(t, s1, s2)
+
+	resp, err := http.Get(front.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var merged struct {
+		Jobs  []struct{ ID string }      `json:"jobs"`
+		Count int                        `json:"count"`
+		Stats map[string]json.RawMessage `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&merged); err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count != 3 || len(merged.Jobs) != 3 {
+		t.Fatalf("merged list = %+v", merged)
+	}
+	if len(merged.Stats) != 2 {
+		t.Fatalf("per-shard stats = %v", merged.Stats)
+	}
+}
+
+// TestRouterRoundRobin: venue-less traffic spreads across shards.
+func TestRouterRoundRobin(t *testing.T) {
+	s1, s2 := newStubShard(t, "s1"), newStubShard(t, "s2")
+	_, front := newTestRouter(t, s1, s2)
+	for i := 0; i < 4; i++ {
+		resp, err := http.Get(front.URL + "/api/health")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if len(s1.seen()) != 2 || len(s2.seen()) != 2 {
+		t.Fatalf("round robin split = s1:%v s2:%v, want 2 each", s1.seen(), s2.seen())
+	}
+}

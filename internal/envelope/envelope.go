@@ -88,6 +88,37 @@ func DecodeRange(r io.Reader, magic string, minVersion, maxVersion uint32, maxPa
 	return version, payload, nil
 }
 
+// DecodeFile opens the envelope file at path and returns its verified
+// payload. A missing file is the caller's normal cold start: ok=false,
+// nil error. Every other failure — unreadable file, bad magic,
+// unsupported version, truncation, checksum mismatch — carries the
+// offending path in the error, so an operator triaging a directory of
+// stores can see WHICH file is corrupt without reconstructing it from
+// the call site.
+func DecodeFile(path, magic string, version uint32, maxPayload uint64, kind string) (payload []byte, ok bool, err error) {
+	_, payload, ok, err = DecodeFileRange(path, magic, version, version, maxPayload, kind)
+	return payload, ok, err
+}
+
+// DecodeFileRange is DecodeFile for formats that read several versions
+// (see DecodeRange). The decoded file's version is returned alongside
+// the payload.
+func DecodeFileRange(path, magic string, minVersion, maxVersion uint32, maxPayload uint64, kind string) (version uint32, payload []byte, ok bool, err error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return 0, nil, false, nil
+	}
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("%s %s: %w", kind, path, err)
+	}
+	defer f.Close()
+	version, payload, err = DecodeRange(f, magic, minVersion, maxVersion, maxPayload, kind)
+	if err != nil {
+		return 0, nil, false, fmt.Errorf("%s: %w", path, err)
+	}
+	return version, payload, true, nil
+}
+
 // WriteFileAtomic writes whatever write produces to path atomically: a
 // temp file in the same directory is renamed over the target, so a
 // crash mid-save leaves the previous file intact.

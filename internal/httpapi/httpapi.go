@@ -100,7 +100,15 @@ type Server struct {
 	// maxBody bounds every POST body via http.MaxBytesReader; <= 0
 	// disables the cap.
 	maxBody int64
+	// shard, when non-empty, names this process in a cluster (-shard);
+	// surfaced in /api/stats so the router's merged view can attribute
+	// each block.
+	shard string
 }
+
+// SetShard records this process's cluster shard name for /api/stats.
+// Call before Handler sees traffic.
+func (s *Server) SetShard(name string) { s.shard = name }
 
 // SetFetcher wires the shared fetch client so the API can expose cache
 // invalidation: the framework serves "up-to-date information" by design,

@@ -133,6 +133,9 @@ type SharedBlock struct {
 
 // StatsResponse is the /api/stats payload.
 type StatsResponse struct {
+	// Shard names this process in a cluster (the -shard flag); absent
+	// for single-process deployments.
+	Shard string `json:"shard,omitempty"`
 	// UptimeSeconds is how long this process has been serving.
 	UptimeSeconds float64               `json:"uptime_seconds"`
 	Routes        map[string]routeStats `json:"routes"`
@@ -170,6 +173,7 @@ type SchedulesBlock struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
+		Shard:         s.shard,
 		UptimeSeconds: time.Since(s.tele.started).Seconds(),
 		Routes:        s.tele.snapshot(),
 		BucketBounds:  bucketLabels(),

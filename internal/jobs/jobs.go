@@ -196,9 +196,22 @@ type Options struct {
 	// Depth bounds how many jobs may sit queued (running jobs don't
 	// occupy a slot); Submit beyond it returns ErrQueueFull. Default 64.
 	Depth int
-	// StorePath names the durability file. Empty disables persistence:
-	// jobs die with the process.
+	// StorePath names the durability file, persisted through a
+	// FileStore. Empty disables persistence: jobs die with the process.
 	StorePath string
+	// Store, when non-nil, overrides StorePath with an explicit Store
+	// implementation — a LeasedDirStore for shard topologies, or a test
+	// double.
+	Store Store
+	// ReclaimInterval, for Reclaimer stores, is how often the queue
+	// polls for newly claimable work (a dead peer's expired venue
+	// leases). Zero disables polling; Reclaim can still be called
+	// directly.
+	ReclaimInterval time.Duration
+	// IDPrefix is prepended to every queue-assigned job ID (and should
+	// be the shard name, e.g. "s1-"): in a cluster, the prefix lets the
+	// router send GET /v1/jobs/{id} straight to the owning shard.
+	IDPrefix string
 	// RetainTerminal bounds how many finished jobs (and their results)
 	// are kept fetchable; the oldest are evicted first. Default 512;
 	// negative retains everything.
@@ -237,6 +250,12 @@ func (o Options) Validate() error {
 	}
 	if o.WebhookBackoff < 0 {
 		return fmt.Errorf("jobs: WebhookBackoff %v is negative", o.WebhookBackoff)
+	}
+	if o.ReclaimInterval < 0 {
+		return fmt.Errorf("jobs: ReclaimInterval %v is negative", o.ReclaimInterval)
+	}
+	if o.Store != nil && o.StorePath != "" {
+		return fmt.Errorf("jobs: Store and StorePath are mutually exclusive")
 	}
 	return nil
 }
@@ -317,6 +336,9 @@ func (r *record) snapshot() Job {
 type Queue struct {
 	run  Runner
 	opts Options
+	// store is the persistence seam (nil: memory-only). Built from
+	// Options.Store, or a FileStore over Options.StorePath.
+	store Store
 
 	// baseCtx parents every job run; Stop cancels it to interrupt
 	// in-flight work.
@@ -376,15 +398,27 @@ func New(run Runner, opts Options) *Queue {
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.notify = newNotifier(q.opts)
+	switch {
+	case q.opts.Store != nil:
+		q.store = q.opts.Store
+	case q.opts.StorePath != "":
+		q.store = &FileStore{Path: q.opts.StorePath}
+	}
 	return q
 }
 
-// Start launches the worker pool and the webhook notifier. Call once.
+// Start launches the worker pool, the webhook notifier, and — for
+// Reclaimer stores with a ReclaimInterval — the reclaim poller. Call
+// once.
 func (q *Queue) Start() {
 	q.notify.start()
 	for i := 0; i < q.opts.Workers; i++ {
 		q.wg.Add(1)
 		go q.worker()
+	}
+	if _, ok := q.store.(Reclaimer); ok && q.opts.ReclaimInterval > 0 {
+		q.wg.Add(1)
+		go q.reclaimLoop()
 	}
 }
 
@@ -412,8 +446,17 @@ func (q *Queue) Stop(ctx context.Context) error {
 	// transitions can enqueue deliveries, so the notifier can drain
 	// what remains on the same deadline.
 	q.notify.stop(ctx)
-	if err := q.save(); err != nil {
-		return err
+	saveErr := q.save()
+	if q.store != nil {
+		// Closing after the final save releases whatever the store
+		// holds (a LeasedDirStore's venue leases) so a successor claims
+		// the partitions immediately instead of waiting out the TTL.
+		if err := q.store.Close(); err != nil {
+			q.opts.Logf("job store close: %v", err)
+		}
+	}
+	if saveErr != nil {
+		return saveErr
 	}
 	return waitErr
 }
@@ -471,7 +514,7 @@ func (q *Queue) Submit(spec Spec) (Job, error) {
 	}
 	if spec.ID == "" {
 		for {
-			spec.ID = newID()
+			spec.ID = q.opts.IDPrefix + newID()
 			if _, taken := q.jobs[spec.ID]; !taken {
 				break
 			}

@@ -1,0 +1,357 @@
+// LeasedDirStore: the shard-topology job store. Where a FileStore owns
+// one MINJOBS file outright, a LeasedDirStore shares a DIRECTORY of
+// them — one partition file per venue — with other shard processes,
+// and claims each partition through a cluster.Lease before touching
+// it. The invariants that make N shards over one directory safe:
+//
+//   - A partition is drained by exactly one live shard: Load (and
+//     Reclaim) only return a partition's jobs after acquiring its
+//     lease, and acquisition is serialized by the lease protocol.
+//   - A dead shard's partitions come back: its leases stop being
+//     renewed, expire, and a survivor's Reclaim acquires them and
+//     adopts the jobs — queued work runs on the survivor, finished
+//     results become fetchable there.
+//   - A stalled shard cannot corrupt a successor's state: every Save
+//     re-checks each partition's lease (the epoch fence) and drops the
+//     write for partitions it no longer owns, reporting ErrLeaseLost.
+//
+// Partition files are named venue-<hex of venue>.jobs with the lease
+// alongside as venue-<hex>.lease (plus the protocol's .lock guard);
+// hex keeps arbitrary venue strings filesystem-safe and invertible.
+package jobs
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"minaret/internal/cluster"
+)
+
+// LeasedDirStoreOptions configures NewLeasedDirStore.
+type LeasedDirStoreOptions struct {
+	// Owner is this shard's stable name — the lease owner. Required,
+	// and must be unique across the cluster: two shards sharing a name
+	// would each believe the other's leases are their own.
+	Owner string
+	// Lease tunes the per-partition leases (TTL, clock).
+	Lease cluster.LeaseOptions
+	// Heartbeat is the lease renewal cadence. 0 selects TTL/3; negative
+	// disables the background heartbeat (tests drive Heartbeat()
+	// directly).
+	Heartbeat time.Duration
+	// Logf reports background failures (lost leases, renewal errors);
+	// nil discards.
+	Logf func(format string, args ...any)
+}
+
+// LeasedDirStore implements Store and Reclaimer over a shared
+// directory of per-venue partitions. Safe for concurrent use.
+type LeasedDirStore struct {
+	dir  string
+	opts LeasedDirStoreOptions
+
+	mu     sync.Mutex
+	leases map[string]*cluster.Lease // venue -> held partition lease
+	closed bool
+
+	hbStop chan struct{}
+	hbDone chan struct{}
+}
+
+// NewLeasedDirStore opens (creating if needed) the shared jobs
+// directory and starts the lease heartbeat. No partitions are claimed
+// yet — that happens in Load.
+func NewLeasedDirStore(dir string, opts LeasedDirStoreOptions) (*LeasedDirStore, error) {
+	if opts.Owner == "" {
+		return nil, fmt.Errorf("jobs: leased store owner must be non-empty")
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobs: leased store dir: %w", err)
+	}
+	s := &LeasedDirStore{
+		dir:    dir,
+		opts:   opts,
+		leases: make(map[string]*cluster.Lease),
+	}
+	if hb := s.heartbeatInterval(); hb > 0 {
+		s.hbStop = make(chan struct{})
+		s.hbDone = make(chan struct{})
+		go s.heartbeatLoop(hb)
+	}
+	return s, nil
+}
+
+func (s *LeasedDirStore) heartbeatInterval() time.Duration {
+	if s.opts.Heartbeat != 0 {
+		return s.opts.Heartbeat
+	}
+	ttl := s.opts.Lease.TTL
+	if ttl <= 0 {
+		ttl = cluster.DefaultLeaseTTL
+	}
+	return ttl / 3
+}
+
+// venueFile maps a venue onto its partition file base name.
+func venueFile(venue string) string {
+	return "venue-" + hex.EncodeToString([]byte(venue)) + ".jobs"
+}
+
+// venueFromFile inverts venueFile; ok=false for names that aren't
+// partition files (lease files, guard files, strays).
+func venueFromFile(name string) (string, bool) {
+	if !strings.HasPrefix(name, "venue-") || !strings.HasSuffix(name, ".jobs") {
+		return "", false
+	}
+	raw, err := hex.DecodeString(strings.TrimSuffix(strings.TrimPrefix(name, "venue-"), ".jobs"))
+	if err != nil {
+		return "", false
+	}
+	return string(raw), true
+}
+
+func (s *LeasedDirStore) jobsPath(venue string) string {
+	return filepath.Join(s.dir, venueFile(venue))
+}
+
+func (s *LeasedDirStore) leasePath(venue string) string {
+	return filepath.Join(s.dir, strings.TrimSuffix(venueFile(venue), ".jobs")+".lease")
+}
+
+// claim walks the directory and acquires every partition lease not yet
+// held, returning the newly claimed partitions' jobs and the latest
+// save stamp among them. Partitions held by live peers are skipped
+// silently (that's the protocol working, not an error); a corrupt
+// partition file under a freshly won lease is logged and treated as
+// empty — the lease is kept, so the next Save rewrites it cleanly.
+func (s *LeasedDirStore) claim() (jobs []StoredJob, savedAt time.Time, claimed int, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, time.Time{}, 0, fmt.Errorf("jobs: leased store dir: %w", err)
+	}
+	var firstErr error
+	for _, e := range entries {
+		venue, ok := venueFromFile(e.Name())
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		_, held := s.leases[venue]
+		closed := s.closed
+		s.mu.Unlock()
+		if held || closed {
+			continue
+		}
+		l, err := cluster.Acquire(s.leasePath(venue), s.opts.Owner, s.opts.Lease)
+		if errors.Is(err, cluster.ErrLeaseHeld) {
+			continue
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = l.Release()
+			continue
+		}
+		s.leases[venue] = l
+		s.mu.Unlock()
+		claimed++
+		p, ok, err := decodeStoreFile(s.jobsPath(venue))
+		if err != nil {
+			s.opts.Logf("job store partition %s: %v (claimed, treating as empty)", e.Name(), err)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		jobs = append(jobs, p.Jobs...)
+		if p.SavedAt.After(savedAt) {
+			savedAt = p.SavedAt
+		}
+	}
+	return jobs, savedAt, claimed, firstErr
+}
+
+// Load claims every free partition and returns their jobs. ok=false
+// means nothing was claimable — an empty directory (cold start) or
+// every partition held by peers.
+func (s *LeasedDirStore) Load() ([]StoredJob, time.Time, bool, error) {
+	jobs, savedAt, claimed, err := s.claim()
+	if err != nil {
+		return nil, time.Time{}, false, err
+	}
+	return jobs, savedAt, claimed > 0, nil
+}
+
+// Reclaim re-walks the directory for partitions whose leases have
+// since freed up — a dead peer's venues — and returns their jobs.
+// Implements Reclaimer; the queue polls this on ReclaimInterval.
+func (s *LeasedDirStore) Reclaim() ([]StoredJob, error) {
+	jobs, _, _, err := s.claim()
+	return jobs, err
+}
+
+// Save partitions the persistable set by venue and rewrites every
+// partition this shard owns — including now-empty ones, which keeps
+// their files (and ownership) in place. Each write is fenced: a
+// partition whose lease was lost since the last heartbeat is skipped
+// and dropped from the held set, and the error (wrapping
+// cluster.ErrLeaseLost) reports it — the successor owns that state
+// now, and this shard's copy of it is stale, not authoritative.
+//
+// A job for a venue this shard has no lease on (a router misroute, or
+// a caller-supplied venue unseen before) acquires the venue's lease on
+// first save; if a peer holds it, the jobs are NOT written there —
+// they remain this process's (memory plus no partition) and the error
+// says so.
+func (s *LeasedDirStore) Save(savedAt time.Time, jobs []StoredJob) error {
+	byVenue := make(map[string][]StoredJob)
+	for _, sj := range jobs {
+		byVenue[sj.Spec.Venue] = append(byVenue[sj.Spec.Venue], sj)
+	}
+	// Rewrite owned-but-now-empty partitions too.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("jobs: leased store is closed")
+	}
+	for venue := range s.leases {
+		if _, ok := byVenue[venue]; !ok {
+			byVenue[venue] = nil
+		}
+	}
+	s.mu.Unlock()
+
+	var firstErr error
+	for venue, part := range byVenue {
+		s.mu.Lock()
+		l := s.leases[venue]
+		s.mu.Unlock()
+		if l == nil {
+			nl, err := cluster.Acquire(s.leasePath(venue), s.opts.Owner, s.opts.Lease)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("venue %q: %w", venue, err)
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.leases[venue] = nl
+			s.mu.Unlock()
+			l = nl
+		}
+		// The write fence: confirm the file's epoch is still ours
+		// immediately before mutating the partition.
+		if err := l.Check(); err != nil {
+			s.mu.Lock()
+			delete(s.leases, venue)
+			s.mu.Unlock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("venue %q: %w", venue, err)
+			}
+			continue
+		}
+		if err := (&FileStore{Path: s.jobsPath(venue)}).Save(savedAt, part); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Heartbeat renews every held partition lease once. A lease that comes
+// back ErrLeaseLost was taken over (this process stalled past its
+// deadline); it is dropped from the held set with a loud log — the
+// local copies of that venue's jobs may re-run on the new owner.
+// Exposed so tests (and operators' tools) can drive renewal without
+// the background loop.
+func (s *LeasedDirStore) Heartbeat() {
+	s.mu.Lock()
+	held := make(map[string]*cluster.Lease, len(s.leases))
+	for v, l := range s.leases {
+		held[v] = l
+	}
+	s.mu.Unlock()
+	for venue, l := range held {
+		err := l.Renew()
+		switch {
+		case err == nil:
+		case errors.Is(err, cluster.ErrLeaseLost):
+			s.mu.Lock()
+			if s.leases[venue] == l {
+				delete(s.leases, venue)
+			}
+			s.mu.Unlock()
+			s.opts.Logf("job store partition for venue %q: lease lost to a peer (this shard stalled past its deadline); its jobs may re-run there", venue)
+		default:
+			s.opts.Logf("job store partition for venue %q: lease renew: %v", venue, err)
+		}
+	}
+}
+
+func (s *LeasedDirStore) heartbeatLoop(every time.Duration) {
+	defer close(s.hbDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Heartbeat()
+		case <-s.hbStop:
+			return
+		}
+	}
+}
+
+// HeldVenues reports which venues' partitions this shard currently
+// owns, for stats and tests.
+func (s *LeasedDirStore) HeldVenues() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.leases))
+	for v := range s.leases {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Close stops the heartbeat and releases every held lease, so a
+// successor claims the partitions immediately instead of waiting out
+// the TTL. The queue calls this from Stop after the final save.
+func (s *LeasedDirStore) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	held := s.leases
+	s.leases = make(map[string]*cluster.Lease)
+	s.mu.Unlock()
+	if s.hbStop != nil {
+		close(s.hbStop)
+		<-s.hbDone
+	}
+	var firstErr error
+	for _, l := range held {
+		if err := l.Release(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

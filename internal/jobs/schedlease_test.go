@@ -1,0 +1,102 @@
+package jobs
+
+import (
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"minaret/internal/cluster"
+)
+
+// TestSchedulerTickerLease: two processes point their schedulers at
+// one ticker lease. Only the holder fires; the standby takes over once
+// the holder stops ticking (its renewals were its heartbeat); the old
+// holder comes back fenced and stands by.
+func TestSchedulerTickerLease(t *testing.T) {
+	leasePath := filepath.Join(t.TempDir(), "sched.lease")
+	clock := newTestClock()
+
+	var firedA, firedB atomic.Int32
+	mkSched := func(owner string, fired *atomic.Int32) *Scheduler {
+		s := NewScheduler(func(spec Spec) (Job, error) {
+			fired.Add(1)
+			return Job{ID: spec.ID}, nil
+		}, SchedulerOptions{
+			Clock:            clock.Now,
+			Logf:             t.Logf,
+			TickerLeasePath:  leasePath,
+			TickerLeaseOwner: owner,
+			TickerLease:      cluster.LeaseOptions{TTL: 15 * time.Second},
+		})
+		if _, err := s.Add(ScheduleSpec{ID: "nightly-" + owner, Every: 10 * time.Second, Job: Spec{Manuscripts: manuscripts(1, "V")}}); err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	schedA := mkSched("proc-a", &firedA)
+	schedB := mkSched("proc-b", &firedB)
+
+	clock.Advance(10 * time.Second) // both schedules due
+	if n := schedA.Tick(); n != 1 {
+		t.Fatalf("first holder tick fired %d, want 1", n)
+	}
+	if n := schedB.Tick(); n != 0 {
+		t.Fatalf("standby fired %d jobs, want 0", n)
+	}
+	if st := schedB.Stats(); st.TickerLease != "standby" {
+		t.Fatalf("standby stats = %q", st.TickerLease)
+	}
+	if st := schedA.Stats(); st.TickerLease != "held" {
+		t.Fatalf("holder stats = %q", st.TickerLease)
+	}
+
+	// The holder keeps ticking: renewals carry it past the original
+	// deadline and the standby still can't take over.
+	clock.Advance(10 * time.Second)
+	if n := schedA.Tick(); n != 1 {
+		t.Fatalf("renewing holder fired %d, want 1", n)
+	}
+	if n := schedB.Tick(); n != 0 {
+		t.Fatalf("standby fired %d while holder live, want 0", n)
+	}
+
+	// The holder dies (stops ticking). Past the TTL the standby's next
+	// tick wins the lease and fires the due work.
+	clock.Advance(16 * time.Second)
+	if n := schedB.Tick(); n != 1 {
+		t.Fatalf("promoted standby fired %d, want 1", n)
+	}
+	// The old holder comes back a zombie: fenced, it fires nothing.
+	if n := schedA.Tick(); n != 0 {
+		t.Fatalf("fenced ex-holder fired %d, want 0", n)
+	}
+	if st := schedA.Stats(); st.TickerLease != "standby" {
+		t.Fatalf("ex-holder stats = %q", st.TickerLease)
+	}
+	if a, b := firedA.Load(), firedB.Load(); a != 2 || b != 1 {
+		t.Fatalf("fires = A:%d B:%d, want A:2 B:1", a, b)
+	}
+
+	// An orderly Stop releases the lease: the other process takes over
+	// immediately, no TTL wait.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := schedB.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	schedA.Tick()
+	if st := schedA.Stats(); st.TickerLease != "held" {
+		t.Fatalf("after peer release, stats = %q, want held", st.TickerLease)
+	}
+}
+
+// TestSchedulerTickerLeaseValidation: a lease path without an owner is
+// a configuration bug, caught at option validation.
+func TestSchedulerTickerLeaseValidation(t *testing.T) {
+	err := SchedulerOptions{TickerLeasePath: "x.lease"}.Validate()
+	if err == nil {
+		t.Fatal("lease path without owner accepted")
+	}
+}

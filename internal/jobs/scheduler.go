@@ -20,11 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync"
 	"time"
 
+	"minaret/internal/cluster"
 	"minaret/internal/envelope"
 )
 
@@ -230,12 +230,34 @@ type SchedulerOptions struct {
 	// happens to occupy that ID, which must not swallow the scheduled
 	// work. Nil treats every duplicate as a prior fire.
 	Lookup func(id string) (Job, error)
+
+	// TickerLeasePath, when set, gates firing behind a singleton
+	// cluster.Lease: each Tick first ensures this process holds the
+	// lease — acquiring it when free, renewing it as the heartbeat —
+	// and fires nothing while a peer holds it (standby). N processes
+	// sharing one schedule store then fire each due slot exactly once;
+	// when the active process dies, its lease expires and a standby's
+	// next Tick takes over.
+	TickerLeasePath string
+	// TickerLeaseOwner names this process in the lease file; required
+	// with TickerLeasePath and unique per process.
+	TickerLeaseOwner string
+	// TickerLease tunes the lease (TTL; its Clock defaults to this
+	// scheduler's Clock).
+	TickerLease cluster.LeaseOptions
+	// IDPrefix is prepended to every scheduler-assigned schedule ID
+	// (the shard name, like jobs.Options.IDPrefix), so a cluster router
+	// can send GET /v1/schedules/{id} straight to the owning shard.
+	IDPrefix string
 }
 
 // Validate rejects options NewScheduler would have to guess at.
 func (o SchedulerOptions) Validate() error {
 	if o.TickInterval < 0 {
 		return fmt.Errorf("jobs: TickInterval %v is negative", o.TickInterval)
+	}
+	if o.TickerLeasePath != "" && o.TickerLeaseOwner == "" {
+		return fmt.Errorf("jobs: TickerLeasePath requires a TickerLeaseOwner")
 	}
 	return nil
 }
@@ -273,6 +295,11 @@ type Scheduler struct {
 	stopOnce sync.Once
 	// saveMu serializes store writes, like Queue.saveMu.
 	saveMu sync.Mutex
+
+	// leaseMu guards tickLease, the singleton ticker claim (nil while
+	// standing by). Never taken while holding s.mu.
+	leaseMu   sync.Mutex
+	tickLease *cluster.Lease
 }
 
 // NewScheduler builds a Scheduler submitting through submit — normally
@@ -331,7 +358,19 @@ func (s *Scheduler) Stop(ctx context.Context) error {
 		case <-ctx.Done():
 		}
 	}
-	return s.save()
+	err := s.save()
+	// Release after the final save: an immediately promoted standby
+	// writing the shared store concurrently with our last save would
+	// race last-writer-wins.
+	s.leaseMu.Lock()
+	if s.tickLease != nil {
+		if rerr := s.tickLease.Release(); rerr != nil {
+			s.opts.Logf("scheduler: ticker lease release: %v", rerr)
+		}
+		s.tickLease = nil
+	}
+	s.leaseMu.Unlock()
+	return err
 }
 
 // now is the injected clock.
@@ -347,7 +386,7 @@ func (s *Scheduler) Add(spec ScheduleSpec) (Schedule, error) {
 	s.mu.Lock()
 	if spec.ID == "" {
 		for {
-			spec.ID = "sched-" + newID()[len("job-"):]
+			spec.ID = s.opts.IDPrefix + "sched-" + newID()[len("job-"):]
 			if _, taken := s.scheds[spec.ID]; !taken {
 				break
 			}
@@ -416,8 +455,13 @@ func (s *Scheduler) List() []Schedule {
 
 // Tick fires every due schedule once and returns how many jobs it
 // submitted. Start's loop calls it on the tick interval; tests and
-// benchmarks call it directly with a controlled clock.
+// benchmarks call it directly with a controlled clock. With a ticker
+// lease configured, a Tick that doesn't hold (or win) the lease fires
+// nothing — some peer process owns the schedules right now.
 func (s *Scheduler) Tick() int {
+	if s.opts.TickerLeasePath != "" && !s.ensureTickerLease() {
+		return 0
+	}
 	now := s.now()
 	fired := 0
 	changed := false
@@ -494,6 +538,44 @@ func (s *Scheduler) Tick() int {
 	return fired
 }
 
+// ensureTickerLease reports whether this process may fire schedules
+// right now: it renews a held ticker lease (the renewal doubles as the
+// heartbeat — a process that stops ticking stops renewing and loses
+// the lease by expiry) or tries to acquire a free one. False means
+// stand by: a live peer owns the schedules, or the lease state is too
+// uncertain to risk a double fire.
+func (s *Scheduler) ensureTickerLease() bool {
+	s.leaseMu.Lock()
+	defer s.leaseMu.Unlock()
+	if s.tickLease != nil {
+		switch err := s.tickLease.Renew(); {
+		case err == nil:
+			return true
+		case errors.Is(err, cluster.ErrLeaseLost):
+			s.opts.Logf("scheduler: ticker lease lost to a peer; standing by")
+			s.tickLease = nil
+		default:
+			s.opts.Logf("scheduler: ticker lease renew: %v", err)
+			return false
+		}
+	}
+	lopts := s.opts.TickerLease
+	if lopts.Clock == nil {
+		lopts.Clock = s.opts.Clock
+	}
+	l, err := cluster.Acquire(s.opts.TickerLeasePath, s.opts.TickerLeaseOwner, lopts)
+	if errors.Is(err, cluster.ErrLeaseHeld) {
+		return false
+	}
+	if err != nil {
+		s.opts.Logf("scheduler: ticker lease acquire: %v", err)
+		return false
+	}
+	s.tickLease = l
+	s.opts.Logf("scheduler: holding the ticker lease (epoch %d); this process fires schedules", l.Epoch())
+	return true
+}
+
 // priorFireLocked reports whether the job occupying a fire's derived
 // ID looks like this schedule's own work (a previous process fired the
 // slot but died before the schedule store recorded it), as opposed to
@@ -523,12 +605,15 @@ type SchedulerStats struct {
 	// ticks.
 	Fired  uint64 `json:"fired"`
 	Missed uint64 `json:"missed"`
+	// TickerLease is "held" or "standby" when a ticker lease is
+	// configured (empty otherwise): whether THIS process is the one
+	// firing schedules.
+	TickerLease string `json:"ticker_lease,omitempty"`
 }
 
 // Stats returns a point-in-time snapshot of the counters.
 func (s *Scheduler) Stats() SchedulerStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	st := SchedulerStats{Fired: s.fired, Missed: s.missed}
 	for _, rec := range s.scheds {
 		if rec.done {
@@ -536,6 +621,15 @@ func (s *Scheduler) Stats() SchedulerStats {
 		} else {
 			st.Active++
 		}
+	}
+	s.mu.Unlock()
+	if s.opts.TickerLeasePath != "" {
+		st.TickerLease = "standby"
+		s.leaseMu.Lock()
+		if s.tickLease != nil && s.tickLease.Held() {
+			st.TickerLease = "held"
+		}
+		s.leaseMu.Unlock()
 	}
 	return st
 }
@@ -643,17 +737,12 @@ func (s *Scheduler) Load() (stats ScheduleRestoreStats, ok bool, err error) {
 	if s.opts.StorePath == "" {
 		return ScheduleRestoreStats{}, false, nil
 	}
-	f, err := os.Open(s.opts.StorePath)
-	if os.IsNotExist(err) {
+	raw, ok, err := envelope.DecodeFile(s.opts.StorePath, schedMagic, schedVersion, maxSchedPayload, "schedule store")
+	if err != nil {
+		return ScheduleRestoreStats{}, false, fmt.Errorf("restore: %w", err)
+	}
+	if !ok {
 		return ScheduleRestoreStats{}, false, nil
-	}
-	if err != nil {
-		return ScheduleRestoreStats{}, false, err
-	}
-	defer f.Close()
-	raw, err := envelope.Decode(f, schedMagic, schedVersion, maxSchedPayload, "schedule store")
-	if err != nil {
-		return ScheduleRestoreStats{}, false, fmt.Errorf("restore %s: %w", s.opts.StorePath, err)
 	}
 	var p schedPayload
 	if err := json.Unmarshal(raw, &p); err != nil {

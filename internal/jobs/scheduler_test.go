@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -457,6 +458,8 @@ func TestScheduleCorruptStoreRejected(t *testing.T) {
 	s2 := NewScheduler(rec.submit, SchedulerOptions{StorePath: path, Clock: clk.Now})
 	if _, ok, err := s2.Load(); err == nil || ok {
 		t.Fatalf("corrupt store loaded: ok=%v err=%v", ok, err)
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("corrupt-store error %q does not name the offending file %s", err, path)
 	}
 	if len(s2.List()) != 0 {
 		t.Fatal("corrupt store populated the scheduler")

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -151,6 +152,8 @@ func TestStoreCorruptRejectedWhole(t *testing.T) {
 	q2 := New(okRunner, Options{StorePath: path})
 	if _, ok, err := q2.Load(); err == nil || ok {
 		t.Fatalf("corrupt store loaded: ok=%v err=%v", ok, err)
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("corrupt-store error %q does not name the offending file %s", err, path)
 	}
 	if len(q2.List()) != 0 {
 		t.Fatal("corrupt load touched the queue")
@@ -177,6 +180,8 @@ func TestStoreVersionMismatch(t *testing.T) {
 	q2 := New(okRunner, Options{StorePath: path})
 	if _, ok, err := q2.Load(); err == nil || ok {
 		t.Fatalf("future-version store loaded: ok=%v err=%v", ok, err)
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("version-mismatch error %q does not name the offending file %s", err, path)
 	}
 }
 
@@ -188,6 +193,8 @@ func TestStoreBadMagic(t *testing.T) {
 	q := New(okRunner, Options{StorePath: path})
 	if _, ok, err := q.Load(); err == nil || ok {
 		t.Fatalf("garbage loaded: ok=%v err=%v", ok, err)
+	} else if !strings.Contains(err.Error(), path) {
+		t.Fatalf("bad-magic error %q does not name the offending file %s", err, path)
 	}
 }
 
@@ -229,7 +236,7 @@ func TestStoreCanceledPersists(t *testing.T) {
 // default, so upgrading a deployment never drops its queue.
 func TestStoreV1StillLoads(t *testing.T) {
 	path := storePath(t)
-	jobs := []storedJob{{
+	jobs := []StoredJob{{
 		Spec:        Spec{ID: "old", Venue: "A", Manuscripts: manuscripts(2, "A")},
 		Seq:         0,
 		State:       StateQueued,
