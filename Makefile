@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server cluster-smoke docs-check ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server cluster-smoke load-smoke docs-check ci
 
 # The perf ledger bench-ledger writes; bump the number with the PR
 # sequence so ledger-check can diff consecutive ledgers.
-LEDGER ?= BENCH_7.json
+LEDGER ?= BENCH_8.json
 
 all: build
 
@@ -40,25 +40,31 @@ bench:
 # retrieval clusterer (a regression there reverts clustering to the
 # quadratic scan), cold retrieval live vs the persistent index (a
 # regression there means the fast path fell out of searchInterest),
-# the async job queue end to end over a warm Shared, and a scheduler
-# sweep firing N due schedules through bounded admission.
+# the async job queue end to end over a warm Shared, a scheduler
+# sweep firing N due schedules through bounded admission, and the
+# load-harness pair: corpusgen size-targeting at 10x plus a warm
+# batch run over the 10x corpus.
 bench-smoke:
 	$(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -run '^$$' .
 	$(GO) test -bench='BenchmarkRetrieveCluster|BenchmarkRetrieveCold' -benchtime=1x -run '^$$' ./internal/core
 	$(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -run '^$$' .
 	$(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -run '^$$' ./internal/jobs
+	$(GO) test -bench='BenchmarkCorpusGen$$/10x|BenchmarkWarmBatch10x' -benchtime=1x -run '^$$' .
 
 # Record the smoke suite as a perf ledger (see cmd/benchledger).
 # -count=3 so the ledger keeps the minimum of three observations per
 # benchmark — scheduling jitter only ever adds time, so the minimum is
-# the closest to the code's true cost on a noisy box.
+# the closest to the code's true cost on a noisy box. ScheduleTick is
+# a ~100µs single-iteration microbenchmark whose one-shot timings
+# spread >2x under jitter, so it gets -count=10 for a stable minimum.
 bench-ledger:
 	@set -e; tmp=$$(mktemp); \
 	run() { "$$@" >>"$$tmp" 2>&1 || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; }; \
 	run $(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
 	run $(GO) test -bench='BenchmarkRetrieveCluster|BenchmarkRetrieveCold' -benchtime=1x -count=3 -benchmem -run '^$$' ./internal/core ; \
 	run $(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
-	run $(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -count=3 -benchmem -run '^$$' ./internal/jobs ; \
+	run $(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -count=10 -benchmem -run '^$$' ./internal/jobs ; \
+	run $(GO) test -bench='BenchmarkCorpusGen$$/10x|BenchmarkWarmBatch10x' -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
 	$(GO) run ./cmd/benchledger -out $(LEDGER) <"$$tmp"; \
 	rm -f "$$tmp"
 
@@ -82,6 +88,14 @@ server:
 cluster-smoke:
 	$(GO) test -count=1 -run TestClusterSmoke -v ./cmd/minaret-router
 
+# CI gate: the assertable load loop across real processes — corpusgen
+# writes an adversarial corpus + ground-truth manifest, a real
+# minaret-server scrapes that exact corpus, and loadgen replays a 30s
+# mixed-priority trace against it; the checker must pass with zero COI
+# leaks and zero identity merges.
+load-smoke:
+	$(GO) test -count=1 -run TestLoadSmoke -v ./cmd/minaret
+
 # Documentation gate: the docs tree exists, every relative markdown link
 # in README.md and docs/ resolves, every internal package carries a
 # package comment, every minaret-server flag is documented in the
@@ -95,6 +109,12 @@ docs-check: fmt-check vet
 		for f in $$(grep -oE 'flag\.[A-Za-z0-9]+\("[a-z0-9-]+"' cmd/$$bin/main.go | sed -E 's/.*\("([a-z0-9-]+)".*/\1/' | sort -u); do \
 			grep -q -- "\`-$$f\`" docs/OPERATIONS.md || { \
 				echo "docs-check: flag -$$f (cmd/$$bin) is missing from docs/OPERATIONS.md"; fail=1; }; \
+		done; \
+	done; \
+	for src in cmd/minaret/corpusgen.go cmd/minaret/loadgen.go; do \
+		for f in $$(grep -oE 'fs\.[A-Za-z0-9]+\("[a-z0-9-]+"' $$src | sed -E 's/.*\("([a-z0-9-]+)".*/\1/' | sort -u); do \
+			grep -q -- "\`-$$f\`" docs/OPERATIONS.md || { \
+				echo "docs-check: flag -$$f ($$src) is missing from docs/OPERATIONS.md"; fail=1; }; \
 		done; \
 	done; \
 	[ "$$fail" -eq 0 ] || exit 1
@@ -119,4 +139,4 @@ docs-check: fmt-check vet
 	[ "$$fail" -eq 0 ] || exit 1
 	@echo "docs-check: ok"
 
-ci: fmt-check vet build race bench-smoke cluster-smoke ledger-check docs-check
+ci: fmt-check vet build race bench-smoke cluster-smoke load-smoke ledger-check docs-check

@@ -14,6 +14,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"testing"
 	"time"
 
@@ -575,6 +576,76 @@ func BenchmarkCorpusSerialize(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCorpusGen: the corpusgen -tot-size path — pilot generation,
+// size probes and the final corpus, at 1×/10×/100× byte budgets.
+func BenchmarkCorpusGen(b *testing.B) {
+	o := ontology.Default()
+	for _, scale := range []struct {
+		name   string
+		target int64
+	}{
+		{"1x-64KB", 64 << 10},
+		{"10x-640KB", 640 << 10},
+		{"100x-6400KB", 6400 << 10},
+	} {
+		b.Run(scale.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := scholarly.GeneratorConfig{
+					Seed: 7, Topics: o.Topics(), Related: o.RelatedMap(),
+				}
+				_, stats, err := scholarly.GenerateToSize(cfg, scale.target)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r := stats.RelErr(); r < -0.10 || r > 0.10 {
+					b.Fatalf("size %.1f%% off target", 100*r)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarmBatch10x: the warm batch pipeline over a 10×-sized
+// corpus — the steady state a rescrape-storm trace settles into once
+// the shared caches hold the corpus.
+func BenchmarkWarmBatch10x(b *testing.B) {
+	o := ontology.Default()
+	corpus, _, err := scholarly.GenerateToSize(scholarly.GeneratorConfig{
+		Seed: 7, Topics: o.Topics(), Related: o.RelatedMap(),
+	}, 640<<10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	web := httptest.NewServer(simweb.New(corpus, simweb.Config{}).Mux())
+	defer web.Close()
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	registry := sources.DefaultRegistry(f, sources.SingleHost(web.URL))
+
+	items := workload.NewGenerator(corpus, o, workload.Config{
+		Seed: 9200, NumManuscripts: 6,
+	}).Generate()
+	ms := make([]core.Manuscript, len(items))
+	for i, it := range items {
+		ms[i] = it.Manuscript
+	}
+	cfg := core.Config{TopK: 10, MaxCandidates: 60}
+	cfg.Filter.COI = coi.DefaultConfig(corpus.HorizonYear)
+	cfg.Ranking.HorizonYear = corpus.HorizonYear
+
+	ctx := context.Background()
+	shared := core.NewShared(core.SharedOptions{})
+	proc := batch.New(core.NewWithShared(registry, o, cfg, shared), batch.Options{Workers: 4})
+	if sum := proc.Process(ctx, ms); sum.Succeeded != len(ms) {
+		b.Fatalf("batch succeeded %d/%d", sum.Succeeded, len(ms))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sum := proc.Process(ctx, ms); sum.Succeeded != len(ms) {
+			b.Fatalf("batch succeeded %d/%d", sum.Succeeded, len(ms))
+		}
+	}
 }
 
 // BenchmarkAssignment (E7): batch paper-reviewer assignment solvers at

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"minaret/internal/cluster"
+	"minaret/internal/loadgen"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+)
+
+// TestRouterProbeFallback replays loadgen traffic with unprefixed
+// caller-chosen job IDs through a two-shard cluster. Submissions route
+// by venue, so the IDs carry no shard prefix and every status poll the
+// replayer issues forces the router down its sequential all-shard probe
+// path. The run must still pass the full ground-truth verdict, and the
+// probed GETs must resolve to the owning shard on both shards.
+func TestRouterProbeFallback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	routerBin := filepath.Join(dir, "minaret-router")
+	serverBin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", routerBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build router: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", serverBin, "../minaret-server").CombinedOutput(); err != nil {
+		t.Fatalf("build server: %v\n%s", err, out)
+	}
+
+	// One scenario corpus behind both shards, so the manifest's ground
+	// truth holds wherever a job lands.
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 23, NumScholars: 300, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	seeds, err := scholarly.InjectScenarios(corpus, []string{"coi-web", "name-collision"}, scholarly.ScenarioOptions{
+		Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := loadgen.BuildManifest(corpus, o, seeds, loadgen.BuildOptions{TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(simweb.New(corpus, simweb.Config{}).Mux())
+	t.Cleanup(web.Close)
+
+	jobsDir := filepath.Join(dir, "jobs")
+	shardAddrs := map[string]string{
+		"s1": fmt.Sprintf("127.0.0.1:%d", freePort(t)),
+		"s2": fmt.Sprintf("127.0.0.1:%d", freePort(t)),
+	}
+	for name, addr := range shardAddrs {
+		cmd := exec.Command(serverBin, "-addr", addr, "-sources-url", web.URL, "-top-k", "5",
+			"-shard", name, "-jobs-dir", jobsDir, "-jobs-workers", "2")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			cmd.Process.Kill()
+			cmd.Wait()
+		})
+	}
+	routerAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	peers := fmt.Sprintf("s1=http://%s,s2=http://%s", shardAddrs["s1"], shardAddrs["s2"])
+	rcmd := exec.Command(routerBin, "-addr", routerAddr, "-peers", peers)
+	rcmd.Stdout = os.Stderr
+	rcmd.Stderr = os.Stderr
+	if err := rcmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		rcmd.Process.Kill()
+		rcmd.Wait()
+	})
+	for _, addr := range shardAddrs {
+		waitHealthy(t, "http://"+addr+"/api/health", 30*time.Second)
+	}
+	base := "http://" + routerAddr
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+
+	// Venues chosen off the router's own ring so both shards own work by
+	// construction.
+	ring, err := cluster.NewRing([]string{"s1", "s2"}, cluster.DefaultVirtualNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var venues []string
+	owned := map[string]int{}
+	for i := 0; owned["s1"] < 2 || owned["s2"] < 2; i++ {
+		if i == 100 {
+			t.Fatalf("ring never spread venues over both shards: %v", owned)
+		}
+		v := fmt.Sprintf("Probe Conf %d", i)
+		venues = append(venues, v)
+		owned[ring.Owner(v)]++
+	}
+
+	const seed = 23
+	header, events, err := loadgen.Shape("mixed-steady", loadgen.ShapeOptions{
+		Seed: seed, Rate: 2.5, Duration: 4 * time.Second,
+		Cases: len(manifest.Cases), Venues: venues, CallerIDs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if e.Op == loadgen.OpSubmit && e.ID == "" {
+			t.Fatal("CallerIDs trace produced a submission without an id")
+		}
+	}
+
+	report, err := loadgen.Replay(context.Background(), loadgen.ReplayOptions{
+		BaseURL:  base,
+		Manifest: manifest,
+		Header:   header,
+		Events:   events,
+		SpeedUp:  4,
+		JobWait:  2 * time.Second,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Pass {
+		dump, _ := json.MarshalIndent(report, "", "  ")
+		t.Fatalf("replay through router failed:\n%s", dump)
+	}
+	if report.COILeaks != 0 || report.Merges != 0 {
+		t.Fatalf("gates: leaks=%d merges=%d", report.COILeaks, report.Merges)
+	}
+
+	// Re-fetch every caller-ID job through the router: the unprefixed ID
+	// forces the probe, which must land on the ring owner of the job's
+	// venue — and both shards must have answered for some job.
+	served := map[string]int{}
+	for n := 0; n < report.Submitted; n++ {
+		id := fmt.Sprintf("lg-%d-%d", seed, n)
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var job struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+			Venue string `json:"venue"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || job.State != "done" {
+			t.Fatalf("probe GET %s = %d %s", id, resp.StatusCode, job.State)
+		}
+		shard := resp.Header.Get("X-Minaret-Shard")
+		if shard == "" {
+			t.Fatalf("probe GET %s: no X-Minaret-Shard header", id)
+		}
+		if want := ring.Owner(job.Venue); shard != want {
+			t.Fatalf("job %s (venue %q) probed to %q, ring owner is %q", id, job.Venue, shard, want)
+		}
+		served[shard]++
+	}
+	if served["s1"] == 0 || served["s2"] == 0 {
+		t.Fatalf("probe traffic never reached both shards: %v", served)
+	}
+}

@@ -1,0 +1,229 @@
+// The corpusgen subcommand: generates versioned corpus artifacts for
+// load and regression testing. Two things distinguish it from the
+// ad-hoc in-process corpora the other subcommands improvise: the
+// corpus is scaled to a serialized byte budget (-tot-size 10MB lands
+// within the sizer tolerance of ten megabytes, deterministically per
+// seed), and named adversarial scenarios are planted into it with a
+// sidecar ground-truth manifest — the file `minaret loadgen` scores
+// replay runs against.
+//
+// Usage:
+//
+//	minaret corpusgen -out corpus.gz -tot-size 10MB -seed 7
+//	minaret corpusgen -out corpus.gz -scenarios coi-web,name-collision \
+//	        -manifest truth.json -cases 2
+//
+// The corpus artifact is loadable by `simweb -load-corpus`; the
+// manifest feeds `minaret loadgen -manifest`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"minaret/internal/loadgen"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+)
+
+func runCorpusGen(args []string) {
+	fs := flag.NewFlagSet("minaret corpusgen", flag.ExitOnError)
+	var (
+		outPath      = fs.String("out", "", "corpus artifact to write (gzipped JSON, loadable by simweb -load-corpus)")
+		manifestPath = fs.String("manifest", "", "ground-truth manifest to write (default: <out>.manifest.json)")
+		totSize      = fs.String("tot-size", "", "target serialized corpus size, e.g. 512KB, 10MB, 1GB (default: -scholars drives the size)")
+		seed         = fs.Int64("seed", 42, "corpus seed; same seed + same flags = identical bytes")
+		scholars     = fs.Int("scholars", 2000, "corpus size in scholars when -tot-size is unset")
+		scenarios    = fs.String("scenarios", "all", "comma-separated adversarial scenarios to plant, 'all' or 'none'")
+		cases        = fs.Int("cases", 1, "independent cases planted per scenario")
+		topK         = fs.Int("top-k", 10, "recommendation depth recorded in the manifest")
+		ontologyCSV  = fs.String("ontology", "", "CSO-format CSV topic ontology (default: embedded)")
+		asJSON       = fs.Bool("json", false, "print the generation summary as JSON")
+	)
+	fs.Parse(args)
+	if *outPath == "" {
+		fmt.Fprintln(os.Stderr, "minaret corpusgen: -out is required")
+		os.Exit(2)
+	}
+
+	o := ontology.Default()
+	if *ontologyCSV != "" {
+		file, err := os.Open(*ontologyCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var oerr error
+		o, oerr = ontology.ReadCSOCSV(file)
+		file.Close()
+		if oerr != nil {
+			log.Fatalf("load ontology %s: %v", *ontologyCSV, oerr)
+		}
+	}
+
+	names, err := scenarioList(*scenarios)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minaret corpusgen: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := scholarly.GeneratorConfig{
+		Seed: *seed, NumScholars: *scholars,
+		Topics: o.Topics(), Related: o.RelatedMap(),
+	}
+	var (
+		c     *scholarly.Corpus
+		stats scholarly.SizeStats
+	)
+	if *totSize != "" {
+		target, err := parseByteSize(*totSize)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minaret corpusgen: -tot-size: %v\n", err)
+			os.Exit(2)
+		}
+		c, stats, err = scholarly.GenerateToSize(cfg, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		c, err = scholarly.Generate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var seeds []scholarly.CaseSeed
+	if len(names) > 0 {
+		seeds, err = scholarly.InjectScenarios(c, names, scholarly.ScenarioOptions{
+			Topics: o.Topics(), Related: o.RelatedMap(), Cases: *cases,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	out, err := os.Create(*outPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	written, err := c.SaveCounted(out)
+	if err == nil {
+		err = out.Close()
+	}
+	if err != nil {
+		log.Fatalf("write %s: %v", *outPath, err)
+	}
+
+	mPath := *manifestPath
+	if mPath == "" && len(seeds) > 0 {
+		mPath = *outPath + ".manifest.json"
+	}
+	var manifestCases int
+	if len(seeds) > 0 {
+		m, err := loadgen.BuildManifest(c, o, seeds, loadgen.BuildOptions{TopK: *topK})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m.Corpus = *outPath
+		mf, err := os.Create(mPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Save(mf); err == nil {
+			err = mf.Close()
+		} else {
+			mf.Close()
+		}
+		if err != nil {
+			log.Fatalf("write %s: %v", mPath, err)
+		}
+		manifestCases = len(m.Cases)
+	}
+
+	summary := map[string]any{
+		"corpus":    *outPath,
+		"bytes":     written,
+		"seed":      *seed,
+		"scholars":  len(c.Scholars),
+		"papers":    len(c.Publications),
+		"scenarios": names,
+	}
+	if *totSize != "" {
+		summary["target_bytes"] = stats.TargetBytes
+		summary["rel_err"] = stats.RelErr()
+		summary["probes"] = stats.Probes
+	}
+	if manifestCases > 0 {
+		summary["manifest"] = mPath
+		summary["cases"] = manifestCases
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(summary)
+		return
+	}
+	fmt.Printf("corpus %s: %d bytes, %d scholars, %d publications (seed %d)\n",
+		*outPath, written, len(c.Scholars), len(c.Publications), *seed)
+	if *totSize != "" {
+		fmt.Printf("size: target %d bytes, landed %+.1f%% off in %d probes\n",
+			stats.TargetBytes, 100*stats.RelErr(), stats.Probes)
+	}
+	if manifestCases > 0 {
+		fmt.Printf("manifest %s: %d cases across %s\n", mPath, manifestCases, strings.Join(names, ", "))
+	}
+}
+
+// scenarioList resolves the -scenarios flag against the catalog.
+func scenarioList(spec string) ([]string, error) {
+	switch strings.ToLower(strings.TrimSpace(spec)) {
+	case "", "all":
+		return scholarly.ScenarioNames(), nil
+	case "none":
+		return nil, nil
+	}
+	known := map[string]bool{}
+	for _, n := range scholarly.ScenarioNames() {
+		known[n] = true
+	}
+	var names []string
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown scenario %q (have %s)", name, strings.Join(scholarly.ScenarioNames(), ", "))
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no scenarios in %q", spec)
+	}
+	return names, nil
+}
+
+// parseByteSize parses "512KB", "10MB", "1GB" (powers of 1024; a bare
+// number is bytes).
+func parseByteSize(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{{"GB", 1 << 30}, {"G", 1 << 30}, {"MB", 1 << 20}, {"M", 1 << 20}, {"KB", 1 << 10}, {"K", 1 << 10}, {"B", 1}} {
+		if strings.HasSuffix(t, u.suffix) {
+			t, mult = strings.TrimSpace(strings.TrimSuffix(t, u.suffix)), u.mult
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(t, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 512KB, 10MB)", s)
+	}
+	return int64(n * float64(mult)), nil
+}

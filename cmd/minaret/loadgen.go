@@ -1,0 +1,201 @@
+// The loadgen subcommand: replays a workload trace against a running
+// minaret-server (or a cluster router) and scores every recommendation
+// that comes back against a corpusgen ground-truth manifest. The run
+// ends in a verdict, not just a latency report: zero COI leaks, zero
+// identity merges, zero duplicate or self recommendations, per-case
+// precision/recall floors, and exactly-once webhook delivery — any
+// violation exits 1.
+//
+// Usage:
+//
+//	minaret loadgen -server http://localhost:8080 -manifest truth.json \
+//	        -shape mixed-steady -rate 2 -duration 30s
+//	minaret loadgen -manifest truth.json -shape venue-deadline-spike \
+//	        -out-trace spike.trace            # generate only, no replay
+//	minaret loadgen -server $ROUTER -manifest truth.json -trace spike.trace
+//
+// Traces are JSON lines (header + one event per line), diffable and
+// hand-editable; -out-trace + -trace make a spike reproducible
+// byte-for-byte across runs and machines.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"minaret/internal/loadgen"
+)
+
+func runLoadGen(args []string) {
+	fs := flag.NewFlagSet("minaret loadgen", flag.ExitOnError)
+	var (
+		server        = fs.String("server", serverDefault(), "base URL of the minaret-server or router (default $MINARET_SERVER, else http://localhost:8080)")
+		manifestPath  = fs.String("manifest", "", "ground-truth manifest from `minaret corpusgen` (required)")
+		shape         = fs.String("shape", "mixed-steady", "traffic preset: "+strings.Join(loadgen.ShapeNames(), "|"))
+		tracePath     = fs.String("trace", "", "replay this trace file instead of shaping one")
+		rate          = fs.Float64("rate", 2, "average submissions per second for shaped traces")
+		duration      = fs.Duration("duration", 30*time.Second, "trace span for shaped traces")
+		seed          = fs.Int64("seed", 42, "trace shaping seed")
+		callerIDs     = fs.Bool("caller-ids", false, "stamp submissions with unprefixed caller-chosen job ids (exercises the router's all-shard probe)")
+		callbackEvery = fs.Int("callback-every", 0, "request a completion webhook on every Nth submission (0 = none)")
+		venues        = fs.String("venues", "", "comma-separated fairness venues to spread submissions over (default: each manuscript's target venue)")
+		speedup       = fs.Float64("speedup", 1, "divide trace offsets: 10 replays a 30s trace in 3s")
+		maxInFlight   = fs.Int("max-in-flight", 16, "concurrently tracked jobs")
+		jobTimeout    = fs.Duration("job-timeout", 2*time.Minute, "submit-to-terminal budget per job")
+		outTrace      = fs.String("out-trace", "", "also write the (shaped or loaded) trace to this file; with no -server, generate only")
+		reportPath    = fs.String("report", "", "also write the full JSON report to this file")
+		asJSON        = fs.Bool("json", false, "print the full report as JSON instead of the summary")
+	)
+	fs.Parse(args)
+	if *manifestPath == "" {
+		fmt.Fprintln(os.Stderr, "minaret loadgen: -manifest is required")
+		os.Exit(2)
+	}
+	mf, err := os.Open(*manifestPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	manifest, err := loadgen.LoadManifest(mf)
+	mf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var (
+		header loadgen.TraceHeader
+		events []loadgen.Event
+	)
+	if *tracePath != "" {
+		tf, err := os.Open(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		header, events, err = loadgen.ReadTrace(tf)
+		tf.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		var venueList []string
+		for _, v := range strings.Split(*venues, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				venueList = append(venueList, v)
+			}
+		}
+		header, events, err = loadgen.Shape(*shape, loadgen.ShapeOptions{
+			Seed: *seed, Rate: *rate, Duration: *duration,
+			Cases: len(manifest.Cases), Venues: venueList,
+			CallerIDs: *callerIDs, CallbackEvery: *callbackEvery,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "minaret loadgen: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	if *outTrace != "" {
+		tf, err := os.Create(*outTrace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := loadgen.WriteTrace(tf, header, events); err == nil {
+			err = tf.Close()
+		} else {
+			tf.Close()
+		}
+		if err != nil {
+			log.Fatalf("write %s: %v", *outTrace, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace %s (%d events)\n", *outTrace, len(events))
+		if *server == "" {
+			return
+		}
+	}
+	if *server == "" {
+		fmt.Fprintln(os.Stderr, "minaret loadgen: -server is required to replay (or set -out-trace to generate only)")
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	report, err := loadgen.Replay(ctx, loadgen.ReplayOptions{
+		BaseURL:     strings.TrimRight(*server, "/"),
+		Manifest:    manifest,
+		Header:      header,
+		Events:      events,
+		MaxInFlight: *maxInFlight,
+		JobTimeout:  *jobTimeout,
+		SpeedUp:     *speedup,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *reportPath != "" {
+		rf, err := os.Create(*reportPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(rf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err == nil {
+			err = rf.Close()
+		} else {
+			rf.Close()
+		}
+		if err != nil {
+			log.Fatalf("write %s: %v", *reportPath, err)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+	} else {
+		printReport(report)
+	}
+	if !report.Pass {
+		os.Exit(1)
+	}
+}
+
+func printReport(r *loadgen.Report) {
+	verdict := "PASS"
+	if !r.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("loadgen %s: %s — %d submitted, %d completed, %d shed (429), %d reads in %v\n",
+		r.Shape, verdict, r.Submitted, r.Completed, r.Shed, r.Reads, r.WallClock.Round(time.Millisecond))
+	fmt.Printf("gates: coi-leaks=%d merges=%d duplicates=%d self-recs=%d webhooks=%d/%d\n",
+		r.COILeaks, r.Merges, r.Duplicates, r.SelfRecs, r.WebhooksDelivered, r.WebhooksExpected)
+	fmt.Printf("latency: submit p50=%v p99=%v — turnaround p50=%v p90=%v p99=%v max=%v\n",
+		r.SubmitLatency.P50.Round(time.Millisecond), r.SubmitLatency.P99.Round(time.Millisecond),
+		r.TurnaroundLatency.P50.Round(time.Millisecond), r.TurnaroundLatency.P90.Round(time.Millisecond),
+		r.TurnaroundLatency.P99.Round(time.Millisecond), r.TurnaroundLatency.Max.Round(time.Millisecond))
+	fmt.Printf("\n%-24s %-5s %-10s %-10s %-6s %-7s %s\n", "case", "jobs", "precision", "recall", "leaks", "merges", "verdict")
+	for _, cs := range r.Cases {
+		v := "pass"
+		if !cs.Pass {
+			v = "FAIL"
+		}
+		fmt.Printf("%-24s %-5d %-10.3f %-10.3f %-6d %-7d %s\n",
+			cs.Name, cs.Jobs, cs.Precision, cs.Recall, cs.COILeaks, cs.Merges, v)
+	}
+	if len(r.Failures) > 0 {
+		fmt.Printf("\nfailures (%d):\n", len(r.Failures))
+		for _, f := range r.Failures {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+)
+
+// TestLoadSmoke is the `make load-smoke` CI gate: the full artifact
+// loop through real processes. corpusgen writes a small adversarial
+// corpus plus its ground-truth manifest; a real minaret-server process
+// scrapes a simweb serving that exact corpus; loadgen replays a 30s
+// mixed-priority trace (time-compressed) against it and the checker
+// must return a clean verdict — zero COI leaks, zero identity merges,
+// floors met.
+func TestLoadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	corpusPath := filepath.Join(dir, "smoke-corpus.gz")
+	manifestPath := filepath.Join(dir, "smoke-truth.json")
+	runCLI(t, "corpusgen", "-out", corpusPath, "-manifest", manifestPath,
+		"-seed", "29", "-scholars", "300", "-scenarios", "coi-web,name-collision", "-top-k", "5")
+
+	// The generated artifact is the single source of truth: the simweb
+	// the server scrapes serves the same corpus the manifest was judged
+	// against.
+	cf, err := os.Open(corpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := scholarly.Load(cf)
+	cf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	web := httptest.NewServer(simweb.New(corpus, simweb.Config{}).Mux())
+	t.Cleanup(web.Close)
+
+	serverBin := filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", serverBin, "../minaret-server").CombinedOutput(); err != nil {
+		t.Fatalf("build server: %v\n%s", err, out)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	cmd := exec.Command(serverBin, "-addr", addr, "-sources-url", web.URL,
+		"-top-k", "5", "-jobs-workers", "2")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	base := "http://" + addr
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/api/health")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became healthy")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	reportPath := filepath.Join(dir, "report.json")
+	stdout, stderr, code := runCLIExit(t, "loadgen", "-server", base, "-manifest", manifestPath,
+		"-shape", "mixed-steady", "-rate", "1", "-duration", "30s", "-seed", "29",
+		"-callback-every", "5", "-speedup", "10", "-report", reportPath)
+	if code != 0 {
+		t.Fatalf("loadgen exit %d:\n%s\n%s", code, stdout, stderr)
+	}
+	for _, want := range []string{"PASS", "coi-leaks=0", "merges=0", "duplicates=0", "self-recs=0"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("verdict missing %q:\n%s", want, stdout)
+		}
+	}
+	if _, err := os.Stat(reportPath); err != nil {
+		t.Errorf("report file: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "load-smoke verdict:\n%s", stdout)
+}

@@ -12,7 +12,11 @@
 // Subcommands: `minaret batch` processes a whole submission queue
 // in-process (see batch.go); `minaret jobs` drives a running
 // minaret-server's async job queue (see jobs.go); `minaret schedules`
-// manages its scheduled/recurring jobs (see schedules.go).
+// manages its scheduled/recurring jobs (see schedules.go); `minaret
+// corpusgen` builds size-targeted corpora with planted adversarial
+// scenarios and ground-truth manifests (see corpusgen.go); `minaret
+// loadgen` replays workload traces against a live server and verifies
+// the results against a manifest (see loadgen.go).
 package main
 
 import (
@@ -122,6 +126,14 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "schedules" {
 		runSchedules(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "corpusgen" {
+		runCorpusGen(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		runLoadGen(os.Args[2:])
 		return
 	}
 	var authors authorList

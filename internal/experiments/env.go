@@ -87,38 +87,10 @@ func (e *Env) Engine(cfg core.Config) *core.Engine {
 
 // ScholarIDOf maps an assembled profile back to its corpus identity via
 // any invertible site id. The boolean is false when no id parses.
+// Deprecated shim: the codec lives with its forward halves in
+// simweb.ScholarIDOf; loadgen and experiments share it from there.
 func ScholarIDOf(siteIDs map[string]string) (scholarly.ScholarID, bool) {
-	if id, ok := siteIDs["scholar"]; ok {
-		if s, ok := simweb.ParseScholarUser(id); ok {
-			return s, true
-		}
-	}
-	if id, ok := siteIDs["publons"]; ok {
-		if s, ok := simweb.ParsePublonsID(id); ok {
-			return s, true
-		}
-	}
-	if id, ok := siteIDs["dblp"]; ok {
-		if s, ok := simweb.ParseDBLPPID(id); ok {
-			return s, true
-		}
-	}
-	if id, ok := siteIDs["orcid"]; ok {
-		if s, ok := simweb.ParseORCID(id); ok {
-			return s, true
-		}
-	}
-	if id, ok := siteIDs["acm"]; ok {
-		if s, ok := simweb.ParseACMID(id); ok {
-			return s, true
-		}
-	}
-	if id, ok := siteIDs["rid"]; ok {
-		if s, ok := simweb.ParseRID(id); ok {
-			return s, true
-		}
-	}
-	return 0, false
+	return simweb.ScholarIDOf(siteIDs)
 }
 
 // RecommendationIDs extracts corpus ids from a pipeline result, in rank

@@ -1,0 +1,380 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+)
+
+// The checker turns replayed job results into a verdict. Hard gates
+// (any one failing fails the run):
+//
+//   - COI leaks: a recommendation whose corpus identity is in the
+//     case's Conflicted or Forbidden set.
+//   - Identity merges: a recommendation whose site ids resolve to more
+//     than one corpus identity — name resolution glued two scholars
+//     together.
+//   - Duplicates: the same corpus identity recommended twice in one
+//     result.
+//   - Self-recommendations: a manuscript author recommended as its own
+//     reviewer.
+//   - Failed jobs and request failures.
+//   - Webhooks: every requested callback delivered exactly once.
+//
+// Soft gates: per-case mean precision@k and recall@k against the
+// manifest's Relevant set must clear the case floors.
+
+// LatencySummary is a percentile digest over one latency population.
+type LatencySummary struct {
+	N   int           `json:"n"`
+	P50 time.Duration `json:"p50_ns"`
+	P90 time.Duration `json:"p90_ns"`
+	P99 time.Duration `json:"p99_ns"`
+	Max time.Duration `json:"max_ns"`
+}
+
+// CaseScore aggregates all jobs replayed for one manifest case.
+type CaseScore struct {
+	Name string `json:"name"`
+	Jobs int    `json:"jobs"`
+
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+
+	COILeaks   int `json:"coi_leaks"`
+	Merges     int `json:"merges"`
+	Duplicates int `json:"duplicates"`
+	SelfRecs   int `json:"self_recs"`
+
+	MinPrecision float64 `json:"min_precision"`
+	MinRecall    float64 `json:"min_recall"`
+	Pass         bool    `json:"pass"`
+}
+
+// Report is the replay verdict.
+type Report struct {
+	Pass  bool   `json:"pass"`
+	Shape string `json:"shape,omitempty"`
+
+	Submitted int `json:"submitted"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed_429"`
+	Reads     int `json:"reads"`
+
+	COILeaks   int `json:"coi_leaks"`
+	Merges     int `json:"merges"`
+	Duplicates int `json:"duplicates"`
+	SelfRecs   int `json:"self_recs"`
+
+	WebhooksExpected  int `json:"webhooks_expected"`
+	WebhooksDelivered int `json:"webhooks_delivered"`
+	WebhookDuplicates int `json:"webhook_duplicates"`
+
+	SubmitLatency     LatencySummary `json:"submit_latency"`
+	TurnaroundLatency LatencySummary `json:"turnaround_latency"`
+	WallClock         time.Duration  `json:"wall_clock_ns"`
+
+	Cases []CaseScore `json:"cases"`
+	// Failures lists every hard failure in arrival order (bounded).
+	Failures []string `json:"failures,omitempty"`
+}
+
+const maxFailures = 50
+
+// accumulator collects thread-safe run state for the final Report.
+type accumulator struct {
+	mu       sync.Mutex
+	manifest *Manifest
+	shape    string
+
+	submittedN int
+	completedN int
+	shedN      int
+	readsN     int
+
+	submitLat []time.Duration
+	turnLat   []time.Duration
+
+	perCase map[string]*caseAgg
+
+	callbackJobs int
+	delivered    int
+	dupDeliver   int
+
+	failures []string
+	dropped  int
+}
+
+type caseAgg struct {
+	cs         *Case
+	jobs       int
+	precisionS float64
+	recallS    float64
+	coiLeaks   int
+	merges     int
+	duplicates int
+	selfRecs   int
+}
+
+func newAccumulator(m *Manifest, shape string) *accumulator {
+	return &accumulator{manifest: m, shape: shape, perCase: map[string]*caseAgg{}}
+}
+
+func (a *accumulator) failure(format string, args ...any) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.failures) >= maxFailures {
+		a.dropped++
+		return
+	}
+	a.failures = append(a.failures, fmt.Sprintf(format, args...))
+}
+
+func (a *accumulator) shed() {
+	a.mu.Lock()
+	a.shedN++
+	a.mu.Unlock()
+}
+
+func (a *accumulator) read() {
+	a.mu.Lock()
+	a.readsN++
+	a.mu.Unlock()
+}
+
+func (a *accumulator) submitted(cs *Case, ackLatency time.Duration, callback bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.submittedN++
+	a.submitLat = append(a.submitLat, ackLatency)
+	if callback {
+		a.callbackJobs++
+	}
+}
+
+func (a *accumulator) webhooksExpected() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.callbackJobs
+}
+
+func (a *accumulator) webhookDelivered(jobID string, times int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.delivered++
+	if times > 1 {
+		a.dupDeliver += times - 1
+	}
+	_ = jobID
+}
+
+// completed scores one finished job against its case's ground truth.
+func (a *accumulator) completed(cs *Case, jobID string, jv *jobView, turnaround time.Duration) {
+	recs, scoreFailures := extractRecommendations(jv)
+
+	authorSet := idSet(cs.AuthorIDs)
+	relevantSet := idSet(cs.Relevant)
+	badSet := idSet(cs.Conflicted)
+	for _, f := range cs.Forbidden {
+		badSet[f] = true
+	}
+
+	var leaks, merges, dups, selfs, relevantHits int
+	seen := map[scholarly.ScholarID]bool{}
+	mapped := 0
+	for _, rec := range recs {
+		ids := simweb.ScholarIDsOf(rec.siteIDs)
+		if len(ids) > 1 {
+			merges++
+			scoreFailures = append(scoreFailures,
+				fmt.Sprintf("job %s: %q resolves to %d identities %v", jobID, rec.name, len(ids), ids))
+			continue
+		}
+		if len(ids) == 0 {
+			// Unmappable profiles cannot be scored; surface them rather
+			// than silently inflating precision.
+			scoreFailures = append(scoreFailures,
+				fmt.Sprintf("job %s: recommendation %q has no invertible site id", jobID, rec.name))
+			continue
+		}
+		id := ids[0]
+		mapped++
+		if seen[id] {
+			dups++
+			scoreFailures = append(scoreFailures, fmt.Sprintf("job %s: scholar %d recommended twice", jobID, id))
+		}
+		seen[id] = true
+		if authorSet[id] {
+			selfs++
+			scoreFailures = append(scoreFailures, fmt.Sprintf("job %s: author %d self-recommended", jobID, id))
+		}
+		if badSet[id] {
+			leaks++
+			scoreFailures = append(scoreFailures, fmt.Sprintf("job %s: COI leak: scholar %d recommended", jobID, id))
+		}
+		if relevantSet[id] {
+			relevantHits++
+		}
+	}
+
+	precision, recall := 0.0, 0.0
+	if mapped > 0 {
+		precision = float64(relevantHits) / float64(mapped)
+	}
+	k := a.manifest.TopK
+	if denom := min(k, len(cs.Relevant)); denom > 0 {
+		recall = float64(relevantHits) / float64(denom)
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.completedN++
+	a.turnLat = append(a.turnLat, turnaround)
+	agg := a.perCase[cs.Name]
+	if agg == nil {
+		agg = &caseAgg{cs: cs}
+		a.perCase[cs.Name] = agg
+	}
+	agg.jobs++
+	agg.precisionS += precision
+	agg.recallS += recall
+	agg.coiLeaks += leaks
+	agg.merges += merges
+	agg.duplicates += dups
+	agg.selfRecs += selfs
+	for _, f := range scoreFailures {
+		if len(a.failures) >= maxFailures {
+			a.dropped++
+			continue
+		}
+		a.failures = append(a.failures, f)
+	}
+}
+
+type recView struct {
+	name    string
+	siteIDs map[string]string
+}
+
+// extractRecommendations flattens a job's per-manuscript results.
+func extractRecommendations(jv *jobView) ([]recView, []string) {
+	var recs []recView
+	var failures []string
+	if jv.Result == nil {
+		return nil, []string{fmt.Sprintf("job %s: done without result", jv.ID)}
+	}
+	for i, item := range jv.Result.Items {
+		if item.Status != "ok" {
+			failures = append(failures, fmt.Sprintf("job %s item %d: %s (%s)", jv.ID, i, item.Status, item.Error))
+			continue
+		}
+		if item.Result == nil {
+			failures = append(failures, fmt.Sprintf("job %s item %d: ok without result", jv.ID, i))
+			continue
+		}
+		for _, rec := range item.Result.Recommendations {
+			recs = append(recs, recView{name: rec.Reviewer.Name, siteIDs: rec.Reviewer.SiteIDs})
+		}
+	}
+	return recs, failures
+}
+
+// finalize computes the verdict.
+func (a *accumulator) finalize(wall time.Duration) *Report {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	rep := &Report{
+		Shape:             a.shape,
+		Submitted:         a.submittedN,
+		Completed:         a.completedN,
+		Shed:              a.shedN,
+		Reads:             a.readsN,
+		WebhooksExpected:  a.callbackJobs,
+		WebhooksDelivered: a.delivered,
+		WebhookDuplicates: a.dupDeliver,
+		SubmitLatency:     summarize(a.submitLat),
+		TurnaroundLatency: summarize(a.turnLat),
+		WallClock:         wall,
+		Failures:          a.failures,
+	}
+	if a.dropped > 0 {
+		rep.Failures = append(rep.Failures, fmt.Sprintf("(%d further failures dropped)", a.dropped))
+	}
+
+	names := make([]string, 0, len(a.perCase))
+	for name := range a.perCase {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	casesPass := true
+	for _, name := range names {
+		agg := a.perCase[name]
+		score := CaseScore{
+			Name:         name,
+			Jobs:         agg.jobs,
+			COILeaks:     agg.coiLeaks,
+			Merges:       agg.merges,
+			Duplicates:   agg.duplicates,
+			SelfRecs:     agg.selfRecs,
+			MinPrecision: agg.cs.MinPrecision,
+			MinRecall:    agg.cs.MinRecall,
+		}
+		if agg.jobs > 0 {
+			score.Precision = agg.precisionS / float64(agg.jobs)
+			score.Recall = agg.recallS / float64(agg.jobs)
+		}
+		score.Pass = agg.coiLeaks == 0 && agg.merges == 0 && agg.duplicates == 0 && agg.selfRecs == 0 &&
+			score.Precision >= agg.cs.MinPrecision && score.Recall >= agg.cs.MinRecall
+		if !score.Pass {
+			casesPass = false
+		}
+		rep.COILeaks += agg.coiLeaks
+		rep.Merges += agg.merges
+		rep.Duplicates += agg.duplicates
+		rep.SelfRecs += agg.selfRecs
+		rep.Cases = append(rep.Cases, score)
+	}
+
+	webhooksOK := a.delivered == a.callbackJobs && a.dupDeliver == 0
+	rep.Pass = casesPass &&
+		rep.COILeaks == 0 && rep.Merges == 0 && rep.Duplicates == 0 && rep.SelfRecs == 0 &&
+		rep.Completed == rep.Submitted && rep.Submitted > 0 &&
+		len(a.failures) == 0 && webhooksOK
+	return rep
+}
+
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pick := func(q float64) time.Duration {
+		idx := int(q*float64(len(sorted))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return LatencySummary{
+		N:   len(sorted),
+		P50: pick(0.50),
+		P90: pick(0.90),
+		P99: pick(0.99),
+		Max: sorted[len(sorted)-1],
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

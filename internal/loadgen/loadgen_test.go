@@ -1,0 +1,345 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/httpapi"
+	"minaret/internal/jobs"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	h, events, err := Shape("mixed-steady", ShapeOptions{
+		Seed: 7, Rate: 4, Duration: 10 * time.Second, Cases: 3,
+		Venues: []string{"VLDB", "EDBT"}, CallerIDs: true, CallbackEvery: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("shape produced no events")
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, h, events); err != nil {
+		t.Fatal(err)
+	}
+	h2, events2, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Shape != "mixed-steady" || h2.Seed != 7 || h2.Events != len(events) {
+		t.Errorf("header round-trip mismatch: %+v", h2)
+	}
+	if len(events2) != len(events) {
+		t.Fatalf("got %d events back, wrote %d", len(events2), len(events))
+	}
+	for i := range events {
+		if events[i] != events2[i] {
+			t.Fatalf("event %d differs: wrote %+v read %+v", i, events[i], events2[i])
+		}
+	}
+}
+
+func TestReadTraceRejectsBadInput(t *testing.T) {
+	if _, _, err := ReadTrace(bytes.NewReader(nil)); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, _, err := ReadTrace(bytes.NewReader([]byte(`{"version":99}` + "\n"))); err == nil {
+		t.Error("wrong version accepted")
+	}
+	bad := `{"version":1,"events":1}` + "\n" + `{"t":0,"op":"explode"}` + "\n"
+	if _, _, err := ReadTrace(bytes.NewReader([]byte(bad))); err == nil {
+		t.Error("unknown op accepted")
+	}
+	short := `{"version":1,"events":5}` + "\n" + `{"t":0,"op":"stats"}` + "\n"
+	if _, _, err := ReadTrace(bytes.NewReader([]byte(short))); err == nil {
+		t.Error("event-count mismatch accepted")
+	}
+}
+
+func TestShapesDeterministicAndDistinct(t *testing.T) {
+	opts := ShapeOptions{Seed: 42, Rate: 3, Duration: 20 * time.Second, Cases: 4, Venues: []string{"ICDE"}}
+	encode := func(name string) string {
+		h, events, err := Shape(name, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, h, events); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	for _, name := range ShapeNames() {
+		a, b := encode(name), encode(name)
+		if a != b {
+			t.Errorf("shape %s not deterministic at fixed seed", name)
+		}
+	}
+	if encode("mixed-steady") == encode("rescrape-storm") {
+		t.Error("distinct shapes produced identical traces")
+	}
+
+	// Shape-specific structure.
+	_, spike, err := Shape("venue-deadline-spike", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	durMS := opts.Duration.Milliseconds()
+	var midHigh, submits int
+	for _, e := range spike {
+		if e.Op != OpSubmit {
+			continue
+		}
+		submits++
+		if e.Priority == "high" && e.OffsetMS >= durMS/3 && e.OffsetMS < 2*durMS/3 {
+			midHigh++
+		}
+	}
+	if midHigh < submits/4 {
+		t.Errorf("deadline spike: only %d/%d high-priority submissions in the middle third", midHigh, submits)
+	}
+
+	_, fanout, err := Shape("webhook-fanout", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range fanout {
+		if e.Op == OpSubmit && !e.Callback {
+			t.Fatal("webhook-fanout produced a submission without a callback")
+		}
+	}
+
+	if _, _, err := Shape("nope", opts); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if _, _, err := Shape("mixed-steady", ShapeOptions{Seed: 1}); err == nil {
+		t.Error("zero Cases accepted")
+	}
+}
+
+// buildScenarioManifest is the shared fixture: a base corpus with every
+// adversarial scenario injected, judged into a manifest.
+func buildScenarioManifest(t *testing.T, seed int64, scenarios []string, topK int) (*scholarly.Corpus, *ontology.Ontology, *Manifest) {
+	t.Helper()
+	o := ontology.Default()
+	c := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: seed, NumScholars: 300, Topics: o.Topics(), Related: o.RelatedMap(),
+		StartYear: 2010, HorizonYear: 2018,
+	})
+	seeds, err := scholarly.InjectScenarios(c, scenarios, scholarly.ScenarioOptions{
+		Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := BuildManifest(c, o, seeds, BuildOptions{TopK: topK})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, o, m
+}
+
+// TestManifestInvariants is the manifest half of the property-test
+// satellite: for every scenario case, the judged sets must satisfy the
+// invariants the checker scores against.
+func TestManifestInvariants(t *testing.T) {
+	for _, seed := range []int64{11, 401} {
+		_, _, m := buildScenarioManifest(t, seed, nil, 10)
+		if len(m.Cases) != len(scholarly.Scenarios()) {
+			t.Fatalf("seed %d: %d cases for %d scenarios", seed, len(m.Cases), len(scholarly.Scenarios()))
+		}
+		for _, cs := range m.Cases {
+			rel := idSet(cs.Relevant)
+			conf := idSet(cs.Conflicted)
+			for id := range rel {
+				if conf[id] {
+					t.Errorf("seed %d case %s: %d both relevant and conflicted", seed, cs.Name, id)
+				}
+			}
+			for _, a := range cs.AuthorIDs {
+				if rel[a] || conf[a] {
+					t.Errorf("seed %d case %s: author %d judged as candidate", seed, cs.Name, a)
+				}
+			}
+			for _, f := range cs.Forbidden {
+				if rel[f] {
+					t.Errorf("seed %d case %s: forbidden %d judged relevant", seed, cs.Name, f)
+				}
+			}
+			for _, p := range cs.Planted {
+				if !rel[p] {
+					t.Errorf("seed %d case %s: planted %d not judged relevant", seed, cs.Name, p)
+				}
+			}
+			if len(cs.Planted) == 0 && cs.Scenario != "reviewer-overlap" {
+				t.Errorf("seed %d case %s: no planted reviewers", seed, cs.Name)
+			}
+		}
+
+		// Save/Load round-trip preserves the manifest exactly.
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := LoadManifest(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(m)
+		b, _ := json.Marshal(m2)
+		if !bytes.Equal(a, b) {
+			t.Errorf("seed %d: manifest changed across save/load", seed)
+		}
+	}
+}
+
+func TestManifestValidateCatchesCorruption(t *testing.T) {
+	_, _, m := buildScenarioManifest(t, 11, []string{"coi-web"}, 10)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(*Manifest)) error {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var cp Manifest
+		if err := json.NewDecoder(&buf).Decode(&cp); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&cp)
+		return cp.Validate()
+	}
+	if err := corrupt(func(m *Manifest) { m.Cases[0].Conflicted = append(m.Cases[0].Conflicted, m.Cases[0].Relevant[0]) }); err == nil {
+		t.Error("relevant∩conflicted overlap accepted")
+	}
+	if err := corrupt(func(m *Manifest) { m.Cases[0].Relevant = append(m.Cases[0].Relevant, m.Cases[0].AuthorIDs[0]) }); err == nil {
+		t.Error("author in relevant accepted")
+	}
+	if err := corrupt(func(m *Manifest) { m.Cases[0].Planted = append(m.Cases[0].Planted, m.Cases[0].Conflicted[0]) }); err == nil {
+		t.Error("conflicted planted accepted")
+	}
+	if err := corrupt(func(m *Manifest) { m.Cases[0].MinRecall = 1.5 }); err == nil {
+		t.Error("out-of-range floor accepted")
+	}
+}
+
+// replayServer boots the full API server (queue enabled) over a simweb
+// serving the scenario corpus — the same wiring the real binary uses.
+func replayServer(t *testing.T, c *scholarly.Corpus, o *ontology.Ontology) string {
+	t.Helper()
+	web := httptest.NewServer(simweb.New(c, simweb.Config{}).Mux())
+	t.Cleanup(web.Close)
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	registry := sources.DefaultRegistry(f, sources.SingleHost(web.URL))
+	srv := httpapi.New(registry, o, core.Config{TopK: 5, MaxCandidates: 60}, c.HorizonYear)
+	srv.SetFetcher(f)
+	q, _, err := srv.EnableJobs(jobs.Options{Workers: 2, Depth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	return api.URL
+}
+
+// TestReplayEndToEnd drives the adversarial cases through a live server
+// and requires the full verdict: zero COI leaks, zero merges, zero
+// duplicates, floors met, webhooks delivered exactly once.
+func TestReplayEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end replay in -short mode")
+	}
+	c, o, m := buildScenarioManifest(t, 23, []string{"coi-web", "name-collision"}, 5)
+	server := replayServer(t, c, o)
+
+	h, events, err := Shape("mixed-steady", ShapeOptions{
+		Seed: 23, Rate: 2.5, Duration: 4 * time.Second, Cases: len(m.Cases), CallbackEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := Replay(context.Background(), ReplayOptions{
+		BaseURL:    server,
+		Manifest:   m,
+		Header:     h,
+		Events:     events,
+		SpeedUp:    4,
+		JobWait:    2 * time.Second,
+		JobTimeout: 90 * time.Second,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump, _ := json.MarshalIndent(report, "", "  ")
+	if !report.Pass {
+		t.Fatalf("replay failed:\n%s", dump)
+	}
+	t.Logf("replay report:\n%s", dump)
+	if report.Submitted == 0 || report.Completed != report.Submitted {
+		t.Errorf("submitted %d completed %d", report.Submitted, report.Completed)
+	}
+	if report.COILeaks != 0 || report.Merges != 0 || report.Duplicates != 0 || report.SelfRecs != 0 {
+		t.Errorf("hard-gate counters nonzero: %s", dump)
+	}
+	if report.WebhooksExpected == 0 || report.WebhooksDelivered != report.WebhooksExpected {
+		t.Errorf("webhooks: expected %d delivered %d", report.WebhooksExpected, report.WebhooksDelivered)
+	}
+	if report.SubmitLatency.N != report.Submitted || report.TurnaroundLatency.N != report.Completed {
+		t.Errorf("latency populations: %+v %+v", report.SubmitLatency, report.TurnaroundLatency)
+	}
+	if report.TurnaroundLatency.P50 <= 0 || report.TurnaroundLatency.Max < report.TurnaroundLatency.P99 {
+		t.Errorf("implausible turnaround summary: %+v", report.TurnaroundLatency)
+	}
+	for _, cs := range report.Cases {
+		if !cs.Pass {
+			t.Errorf("case %s failed: %+v", cs.Name, cs)
+		}
+	}
+}
+
+func TestReplayRejectsBadOptions(t *testing.T) {
+	_, events, _ := Shape("mixed-steady", ShapeOptions{Seed: 1, Cases: 1, Duration: time.Second})
+	m := &Manifest{Version: ManifestVersion, TopK: 5, Cases: []Case{{Name: "x"}}}
+	if _, err := Replay(context.Background(), ReplayOptions{Manifest: m, Events: events}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+	if _, err := Replay(context.Background(), ReplayOptions{BaseURL: "http://x", Events: events}); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	if _, err := Replay(context.Background(), ReplayOptions{BaseURL: "http://x", Manifest: m}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	if s := summarize(nil); s.N != 0 || s.Max != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	var lat []time.Duration
+	for i := 100; i >= 1; i-- {
+		lat = append(lat, time.Duration(i)*time.Millisecond)
+	}
+	s := summarize(lat)
+	if s.N != 100 || s.P50 != 50*time.Millisecond || s.P90 != 90*time.Millisecond ||
+		s.P99 != 99*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Errorf("percentiles off: %+v", s)
+	}
+}

@@ -1,0 +1,247 @@
+// Package loadgen replays workload traces against a live MINARET server
+// (or cluster router) and scores the recommendations that come back
+// against a ground-truth manifest. Together with corpusgen's adversarial
+// scenario injection it makes load results assertable: a run does not
+// just finish, it passes or fails — zero COI leaks, zero identity
+// merges, zero duplicate reviewers, precision/recall floors per planted
+// case — with latency percentiles on the side.
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"minaret/internal/core"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/workload"
+)
+
+// ManifestVersion is the on-disk manifest format version.
+const ManifestVersion = 1
+
+// Manifest is the sidecar ground truth for a generated corpus artifact:
+// one entry per planted scenario case, each carrying the manuscript to
+// submit and the exact sets the checker scores against.
+type Manifest struct {
+	Version int   `json:"version"`
+	Seed    int64 `json:"seed"`
+	// Corpus labels the artifact the manifest belongs to (usually its
+	// file name); informational.
+	Corpus string `json:"corpus,omitempty"`
+	// TopK is the recommendation depth jobs are submitted with and
+	// precision/recall are measured at.
+	TopK  int    `json:"top_k"`
+	Cases []Case `json:"cases"`
+}
+
+// Case is the ground truth for one planted manuscript.
+type Case struct {
+	// Scenario is the catalog name (scholarly.Scenarios) and Name the
+	// unique "scenario/index" label used in traces and reports.
+	Scenario string `json:"scenario"`
+	Name     string `json:"name"`
+
+	Manuscript core.Manuscript `json:"manuscript"`
+	// AuthorIDs are the corpus identities of the manuscript authors;
+	// recommending any of them is a self-recommendation failure.
+	AuthorIDs []scholarly.ScholarID `json:"author_ids"`
+
+	// Relevant is the full judged eligible-relevant set (clean, topical).
+	Relevant []scholarly.ScholarID `json:"relevant"`
+	// Conflicted is the judged set of topically relevant scholars with a
+	// ground-truth COI against an author; recommending one is a leak.
+	Conflicted []scholarly.ScholarID `json:"conflicted"`
+	// Forbidden is the scenario's engineered conflict set (ring members,
+	// institution clusters, conflicted twins) — a subset of what the
+	// judge marks conflicted, kept separately so reports can attribute
+	// leaks to the planted structure.
+	Forbidden []scholarly.ScholarID `json:"forbidden"`
+	// Planted is the scenario's engineered clean+relevant set.
+	Planted []scholarly.ScholarID `json:"planted"`
+
+	// MinPrecision and MinRecall are the per-case floors the checker
+	// enforces on precision@k / recall@k against Relevant.
+	MinPrecision float64 `json:"min_precision"`
+	MinRecall    float64 `json:"min_recall"`
+}
+
+// BuildOptions tunes manifest construction.
+type BuildOptions struct {
+	// TopK is the recommendation depth (default 10).
+	TopK int
+	// MinPrecision and MinRecall become each case's floors. Defaults
+	// 0.10 / 0.10 — deliberately conservative: the hard gates (leaks,
+	// merges, duplicates) carry the scenario assertions; the floors catch
+	// a pipeline that stops returning relevant reviewers at all.
+	MinPrecision float64
+	MinRecall    float64
+	// Judge overrides the workload judging config (zero = defaults).
+	Judge workload.Config
+}
+
+// BuildManifest judges every scenario case seed against the corpus and
+// returns the manifest. The same workload judge that grades generated
+// evaluation items grades scenario manuscripts, so ground truth is
+// uniform across the repo: graded topical relevance over true topic
+// affinities, conflicts = co-authorship ever or shared institution ever.
+func BuildManifest(c *scholarly.Corpus, ont *ontology.Ontology, seeds []scholarly.CaseSeed, opts BuildOptions) (*Manifest, error) {
+	if opts.TopK <= 0 {
+		opts.TopK = 10
+	}
+	if opts.MinPrecision <= 0 {
+		opts.MinPrecision = 0.10
+	}
+	if opts.MinRecall <= 0 {
+		opts.MinRecall = 0.10
+	}
+	judge := opts.Judge
+	judge.Seed = c.Seed
+	gen := workload.NewGenerator(c, ont, judge)
+
+	m := &Manifest{Version: ManifestVersion, Seed: c.Seed, TopK: opts.TopK}
+	for _, seed := range seeds {
+		authors := append([]scholarly.ScholarID{seed.Lead}, seed.CoAuthors...)
+		ms := core.Manuscript{
+			Title:       fmt.Sprintf("Scenario %s/%d submission", seed.Scenario, seed.Case),
+			Keywords:    seed.Keywords,
+			TargetVenue: seed.Venue,
+		}
+		for _, id := range authors {
+			s := c.Scholar(id)
+			ms.Authors = append(ms.Authors, core.Author{
+				Name:        s.Name.Full(),
+				Affiliation: s.CurrentAffiliation().Institution,
+			})
+		}
+		item := gen.JudgeManuscript(ms, authors)
+		cs := Case{
+			Scenario:     seed.Scenario,
+			Name:         fmt.Sprintf("%s/%d", seed.Scenario, seed.Case),
+			Manuscript:   ms,
+			AuthorIDs:    authors,
+			Relevant:     sortedIDs(item.Relevant),
+			Conflicted:   sortedIDs(item.Conflicted),
+			Forbidden:    append([]scholarly.ScholarID(nil), seed.Forbidden...),
+			Planted:      append([]scholarly.ScholarID(nil), seed.Planted...),
+			MinPrecision: opts.MinPrecision,
+			MinRecall:    opts.MinRecall,
+		}
+		m.Cases = append(m.Cases, cs)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Validate enforces the manifest invariants every consumer relies on:
+// per case, Relevant and Conflicted are disjoint, authors appear in
+// neither (nor in Forbidden/Planted), Forbidden never overlaps Relevant,
+// and Planted is a subset of Relevant (a planted reviewer the judge does
+// not consider relevant+clean means the scenario engineering and the
+// judge disagree — a generator bug worth failing loudly on).
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("loadgen: manifest version %d (want %d)", m.Version, ManifestVersion)
+	}
+	if len(m.Cases) == 0 {
+		return fmt.Errorf("loadgen: manifest has no cases")
+	}
+	names := map[string]bool{}
+	for i := range m.Cases {
+		cs := &m.Cases[i]
+		if cs.Name == "" || names[cs.Name] {
+			return fmt.Errorf("loadgen: case %d: missing or duplicate name %q", i, cs.Name)
+		}
+		names[cs.Name] = true
+		if len(cs.Manuscript.Keywords) == 0 || len(cs.AuthorIDs) == 0 {
+			return fmt.Errorf("loadgen: case %s: incomplete manuscript", cs.Name)
+		}
+		rel := idSet(cs.Relevant)
+		conf := idSet(cs.Conflicted)
+		for id := range conf {
+			if rel[id] {
+				return fmt.Errorf("loadgen: case %s: scholar %d both relevant and conflicted", cs.Name, id)
+			}
+		}
+		for _, a := range cs.AuthorIDs {
+			if rel[a] || conf[a] {
+				return fmt.Errorf("loadgen: case %s: author %d in a judged set", cs.Name, a)
+			}
+			for _, f := range cs.Forbidden {
+				if f == a {
+					return fmt.Errorf("loadgen: case %s: author %d forbidden", cs.Name, a)
+				}
+			}
+			for _, p := range cs.Planted {
+				if p == a {
+					return fmt.Errorf("loadgen: case %s: author %d planted", cs.Name, a)
+				}
+			}
+		}
+		for _, f := range cs.Forbidden {
+			if rel[f] {
+				return fmt.Errorf("loadgen: case %s: forbidden scholar %d judged relevant", cs.Name, f)
+			}
+		}
+		for _, p := range cs.Planted {
+			if !rel[p] {
+				return fmt.Errorf("loadgen: case %s: planted scholar %d not judged relevant", cs.Name, p)
+			}
+		}
+		if cs.MinPrecision < 0 || cs.MinPrecision > 1 || cs.MinRecall < 0 || cs.MinRecall > 1 {
+			return fmt.Errorf("loadgen: case %s: floors out of range", cs.Name)
+		}
+	}
+	return nil
+}
+
+// Save writes the manifest as indented JSON.
+func (m *Manifest) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(m); err != nil {
+		return fmt.Errorf("loadgen: save manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads and validates a manifest written by Save.
+func LoadManifest(r io.Reader) (*Manifest, error) {
+	var m Manifest
+	if err := json.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("loadgen: load manifest: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Case returns the case with the given index, guarding range.
+func (m *Manifest) Case(i int) (*Case, error) {
+	if i < 0 || i >= len(m.Cases) {
+		return nil, fmt.Errorf("loadgen: case index %d outside manifest (%d cases)", i, len(m.Cases))
+	}
+	return &m.Cases[i], nil
+}
+
+func sortedIDs(set map[scholarly.ScholarID]bool) []scholarly.ScholarID {
+	out := make([]scholarly.ScholarID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func idSet(ids []scholarly.ScholarID) map[scholarly.ScholarID]bool {
+	out := make(map[scholarly.ScholarID]bool, len(ids))
+	for _, id := range ids {
+		out[id] = true
+	}
+	return out
+}

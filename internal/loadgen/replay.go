@@ -1,0 +1,395 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// The replayer is the closed loop: fire trace events at their offsets
+// against a live server, follow every accepted job to its terminal
+// state, and feed each result to the checker. Submission is open-loop
+// (the trace sets the arrival times, 429s are retried with the server's
+// own Retry-After hint); completion tracking runs concurrently under a
+// bounded poller pool.
+
+// ReplayOptions configures a replay run.
+type ReplayOptions struct {
+	// BaseURL is the server or router root, e.g. "http://127.0.0.1:8080".
+	BaseURL  string
+	Manifest *Manifest
+	Header   TraceHeader
+	Events   []Event
+
+	// MaxInFlight bounds concurrently tracked jobs (default 16).
+	MaxInFlight int
+	// JobWait is the ?wait= long-poll used per completion poll (default
+	// 10s, capped server-side at 60s).
+	JobWait time.Duration
+	// JobTimeout bounds one job's submit-to-terminal tracking (default
+	// 120s).
+	JobTimeout time.Duration
+	// SpeedUp divides trace offsets — a 30s trace replays in 3s at
+	// SpeedUp 10. Default 1 (real time).
+	SpeedUp float64
+	// Client overrides the HTTP client (default: 70s timeout, covering
+	// the longest ?wait= poll).
+	Client *http.Client
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o ReplayOptions) withDefaults() ReplayOptions {
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 16
+	}
+	if o.JobWait <= 0 {
+		o.JobWait = 10 * time.Second
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 120 * time.Second
+	}
+	if o.SpeedUp <= 0 {
+		o.SpeedUp = 1
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{Timeout: 70 * time.Second}
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// jobView is the slice of the server's job JSON the checker needs.
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Error  string `json:"error"`
+	Result *struct {
+		Items []struct {
+			Status string      `json:"status"`
+			Error  string      `json:"error"`
+			Result *resultView `json:"result"`
+		} `json:"items"`
+	} `json:"result"`
+}
+
+// resultView is the slice of core.Result the checker scores.
+type resultView struct {
+	Recommendations []struct {
+		Rank     int `json:"rank"`
+		Reviewer struct {
+			Name    string            `json:"Name"`
+			SiteIDs map[string]string `json:"SiteIDs"`
+		} `json:"reviewer"`
+	} `json:"recommendations"`
+}
+
+// Replay runs the trace and returns the scored report. The error is
+// non-nil only for setup failures (bad options, unreachable webhook
+// listener); request-level failures are recorded in the report, which
+// then fails the run via its own gates.
+func Replay(ctx context.Context, opts ReplayOptions) (*Report, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: replay: BaseURL required")
+	}
+	if opts.Manifest == nil || len(opts.Manifest.Cases) == 0 {
+		return nil, fmt.Errorf("loadgen: replay: manifest with cases required")
+	}
+	if len(opts.Events) == 0 {
+		return nil, fmt.Errorf("loadgen: replay: empty trace")
+	}
+
+	r := &replayer{
+		opts:    opts,
+		acc:     newAccumulator(opts.Manifest, opts.Header.Shape),
+		slots:   make(chan struct{}, opts.MaxInFlight),
+		baseURL: opts.BaseURL,
+	}
+	needWebhooks := false
+	for _, e := range opts.Events {
+		if e.Op == OpSubmit && e.Callback {
+			needWebhooks = true
+			break
+		}
+	}
+	if needWebhooks {
+		if err := r.startWebhookReceiver(); err != nil {
+			return nil, err
+		}
+		defer r.stopWebhookReceiver()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range opts.Events {
+		e := &opts.Events[i]
+		due := time.Duration(float64(e.OffsetMS)/opts.SpeedUp) * time.Millisecond
+		if wait := due - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				r.acc.failure("replay canceled at event %d: %v", i, ctx.Err())
+				goto drain
+			}
+		}
+		switch e.Op {
+		case OpSubmit:
+			select {
+			case r.slots <- struct{}{}:
+			case <-ctx.Done():
+				r.acc.failure("replay canceled waiting for a slot at event %d", i)
+				goto drain
+			}
+			wg.Add(1)
+			go func(e *Event) {
+				defer wg.Done()
+				defer func() { <-r.slots }()
+				r.runSubmission(ctx, e)
+			}(e)
+		case OpStats:
+			r.fireRead(ctx, "/api/stats")
+		case OpList:
+			r.fireRead(ctx, "/v1/jobs")
+		}
+	}
+drain:
+	wg.Wait()
+	if needWebhooks {
+		// Give the notifier a moment to flush deliveries for jobs that
+		// finished at the very end of the run, then stop the receiver so
+		// its counts land in the accumulator before the report is built.
+		r.awaitWebhooks(5 * time.Second)
+		r.stopWebhookReceiver()
+	}
+	report := r.acc.finalize(time.Since(start))
+	return report, nil
+}
+
+type replayer struct {
+	opts    ReplayOptions
+	acc     *accumulator
+	slots   chan struct{}
+	baseURL string
+
+	webhookSrv  *http.Server
+	webhookURL  string
+	webhookMu   sync.Mutex
+	webhookSeen map[string]int
+	webhookStop sync.Once
+}
+
+// runSubmission posts one job, retrying 429s with the server's
+// Retry-After hint, then follows it to a terminal state and scores it.
+func (r *replayer) runSubmission(ctx context.Context, e *Event) {
+	cs, err := r.opts.Manifest.Case(e.Case)
+	if err != nil {
+		r.acc.failure("event references %v", err)
+		return
+	}
+	body := map[string]any{
+		"manuscripts": []any{cs.Manuscript},
+		"top_k":       r.opts.Manifest.TopK,
+	}
+	if e.Venue != "" {
+		body["venue"] = e.Venue
+	}
+	if e.Priority != "" {
+		body["priority"] = e.Priority
+	}
+	if e.ID != "" {
+		body["id"] = e.ID
+	}
+	if e.Callback {
+		body["callback_url"] = r.webhookURL
+	}
+	payload, err := json.Marshal(body)
+	if err != nil {
+		r.acc.failure("case %s: marshal: %v", cs.Name, err)
+		return
+	}
+
+	deadline := time.Now().Add(r.opts.JobTimeout)
+	submitStart := time.Now()
+	var jobID string
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.baseURL+"/v1/jobs", bytes.NewReader(payload))
+		if err != nil {
+			r.acc.failure("case %s: %v", cs.Name, err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.opts.Client.Do(req)
+		if err != nil {
+			r.acc.failure("case %s: submit: %v", cs.Name, err)
+			return
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.acc.shed()
+			retry := time.Second
+			if s := resp.Header.Get("Retry-After"); s != "" {
+				if n, err := strconv.Atoi(s); err == nil && n > 0 {
+					retry = time.Duration(n) * time.Second
+				}
+			}
+			if time.Now().Add(retry).After(deadline) {
+				r.acc.failure("case %s: shed past the job timeout", cs.Name)
+				return
+			}
+			select {
+			case <-time.After(retry):
+				continue
+			case <-ctx.Done():
+				r.acc.failure("case %s: canceled during backoff", cs.Name)
+				return
+			}
+		}
+		var jv jobView
+		err = json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted || err != nil || jv.ID == "" {
+			r.acc.failure("case %s: submit = %d (decode: %v)", cs.Name, resp.StatusCode, err)
+			return
+		}
+		jobID = jv.ID
+		break
+	}
+	r.acc.submitted(cs, time.Since(submitStart), e.Callback)
+	if e.ID != "" && jobID != e.ID {
+		r.acc.failure("case %s: caller id %q came back as %q", cs.Name, e.ID, jobID)
+		return
+	}
+
+	// Closed loop: long-poll to terminal.
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			r.acc.failure("case %s: job %s not terminal after %s", cs.Name, jobID, r.opts.JobTimeout)
+			return
+		}
+		wait := r.opts.JobWait
+		if wait > remain {
+			wait = remain
+		}
+		url := fmt.Sprintf("%s/v1/jobs/%s?wait=%s", r.baseURL, jobID, wait.Round(time.Millisecond))
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			r.acc.failure("case %s: %v", cs.Name, err)
+			return
+		}
+		resp, err := r.opts.Client.Do(req)
+		if err != nil {
+			r.acc.failure("case %s: poll %s: %v", cs.Name, jobID, err)
+			return
+		}
+		var jv jobView
+		err = json.NewDecoder(resp.Body).Decode(&jv)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			r.acc.failure("case %s: poll %s = %d (decode: %v)", cs.Name, jobID, resp.StatusCode, err)
+			return
+		}
+		switch jv.State {
+		case "done":
+			r.acc.completed(cs, jobID, &jv, time.Since(submitStart))
+			return
+		case "failed", "canceled":
+			r.acc.failure("case %s: job %s %s: %s", cs.Name, jobID, jv.State, jv.Error)
+			return
+		}
+	}
+}
+
+// fireRead issues a fire-and-forget monitoring read.
+func (r *replayer) fireRead(ctx context.Context, path string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.baseURL+path, nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.opts.Client.Do(req)
+	if err != nil {
+		r.acc.failure("read %s: %v", path, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		r.acc.failure("read %s = %d", path, resp.StatusCode)
+	}
+	r.acc.read()
+}
+
+// startWebhookReceiver listens on a loopback port and counts deliveries
+// per job id. Replies are always 200, so a correct notifier delivers
+// exactly once per job.
+func (r *replayer) startWebhookReceiver() error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("loadgen: webhook listener: %w", err)
+	}
+	r.webhookSeen = map[string]int{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		var payload struct {
+			Job struct {
+				ID string `json:"id"`
+			} `json:"job"`
+			ID string `json:"id"`
+		}
+		body, _ := io.ReadAll(http.MaxBytesReader(w, req.Body, 4<<20))
+		_ = json.Unmarshal(body, &payload)
+		id := payload.Job.ID
+		if id == "" {
+			id = payload.ID
+		}
+		r.webhookMu.Lock()
+		r.webhookSeen[id]++
+		r.webhookMu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	r.webhookSrv = &http.Server{Handler: mux}
+	r.webhookURL = "http://" + ln.Addr().String() + "/hook"
+	go r.webhookSrv.Serve(ln)
+	return nil
+}
+
+func (r *replayer) stopWebhookReceiver() {
+	r.webhookStop.Do(func() {
+		if r.webhookSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			r.webhookSrv.Shutdown(ctx)
+		}
+		r.webhookMu.Lock()
+		defer r.webhookMu.Unlock()
+		for id, n := range r.webhookSeen {
+			r.acc.webhookDelivered(id, n)
+		}
+	})
+}
+
+// awaitWebhooks waits until every expected delivery arrived or the
+// grace period lapses.
+func (r *replayer) awaitWebhooks(grace time.Duration) {
+	deadline := time.Now().Add(grace)
+	for time.Now().Before(deadline) {
+		r.webhookMu.Lock()
+		got := len(r.webhookSeen)
+		r.webhookMu.Unlock()
+		if got >= r.acc.webhooksExpected() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

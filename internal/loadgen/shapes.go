@@ -1,0 +1,221 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Shape presets: deterministic trace generators for the traffic
+// patterns the system has to survive in production. Each returns the
+// same trace for the same options — a "venue deadline spike at seed 7"
+// is a reproducible object, not a description.
+
+// ShapeInfo describes one preset for catalogs and docs.
+type ShapeInfo struct {
+	Name    string
+	Summary string
+}
+
+// Shapes is the preset catalog in canonical order.
+func Shapes() []ShapeInfo {
+	return []ShapeInfo{
+		{"mixed-steady", "steady mixed-priority submissions across venues with monitoring reads in the mix"},
+		{"venue-deadline-spike", "baseline traffic with a 4x high-priority burst for one venue in the middle third"},
+		{"rescrape-storm", "a dense front-loaded burst resubmitting the same cases (nightly re-scrape), then a trickle"},
+		{"webhook-fanout", "every submission requests a completion webhook, stressing the notifier fan-out"},
+	}
+}
+
+// ShapeNames returns the preset names in canonical order.
+func ShapeNames() []string {
+	infos := Shapes()
+	out := make([]string, len(infos))
+	for i, s := range infos {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ShapeOptions parameterises a preset.
+type ShapeOptions struct {
+	Seed int64
+	// Rate is the average submit rate in events/second. Default 2.
+	Rate float64
+	// Duration is the trace span. Default 30s.
+	Duration time.Duration
+	// Cases is the number of manifest cases to cycle through. Required.
+	Cases int
+	// Venues are the fairness buckets to spread submissions over; when
+	// empty each submission uses the manuscript's target venue (Venue
+	// left blank in the event).
+	Venues []string
+	// CallerIDs, when true, stamps each submission with a caller-chosen
+	// job id ("lg-<seed>-<n>") with no shard prefix — the router must
+	// resolve them via its sequential all-shard probe.
+	CallerIDs bool
+	// CallbackEvery requests a webhook on every Nth submission (0 =
+	// none; webhook-fanout forces 1).
+	CallbackEvery int
+}
+
+func (o ShapeOptions) withDefaults() ShapeOptions {
+	if o.Rate <= 0 {
+		o.Rate = 2
+	}
+	if o.Duration <= 0 {
+		o.Duration = 30 * time.Second
+	}
+	return o
+}
+
+// Shape builds the named preset trace.
+func Shape(name string, opts ShapeOptions) (TraceHeader, []Event, error) {
+	opts = opts.withDefaults()
+	if opts.Cases <= 0 {
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: shape %q: Cases must be positive", name)
+	}
+	g := &shaper{
+		opts: opts,
+		rng:  rand.New(rand.NewSource(opts.Seed)),
+	}
+	switch name {
+	case "mixed-steady":
+		g.mixedSteady()
+	case "venue-deadline-spike":
+		g.deadlineSpike()
+	case "rescrape-storm":
+		g.rescrapeStorm()
+	case "webhook-fanout":
+		g.opts.CallbackEvery = 1
+		g.mixedSteady()
+	default:
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: unknown shape %q (have %v)", name, ShapeNames())
+	}
+	sort.SliceStable(g.events, func(i, j int) bool { return g.events[i].OffsetMS < g.events[j].OffsetMS })
+	h := TraceHeader{
+		Version:    TraceVersion,
+		Shape:      name,
+		Seed:       opts.Seed,
+		Rate:       opts.Rate,
+		DurationMS: opts.Duration.Milliseconds(),
+		Events:     len(g.events),
+	}
+	return h, g.events, nil
+}
+
+type shaper struct {
+	opts    ShapeOptions
+	rng     *rand.Rand
+	events  []Event
+	submits int
+}
+
+// submit appends a submission event at the offset, cycling cases and
+// venues and drawing a weighted priority.
+func (g *shaper) submit(offsetMS int64, priority string) {
+	n := g.submits
+	g.submits++
+	e := Event{
+		OffsetMS: offsetMS,
+		Op:       OpSubmit,
+		Case:     n % g.opts.Cases,
+		Priority: priority,
+	}
+	if len(g.opts.Venues) > 0 {
+		e.Venue = g.opts.Venues[n%len(g.opts.Venues)]
+	}
+	if g.opts.CallerIDs {
+		e.ID = fmt.Sprintf("lg-%d-%d", g.opts.Seed, n)
+	}
+	if g.opts.CallbackEvery > 0 && n%g.opts.CallbackEvery == 0 {
+		e.Callback = true
+	}
+	g.events = append(g.events, e)
+}
+
+// drawPriority is the steady-state mix: mostly normal, with high and
+// low tails.
+func (g *shaper) drawPriority() string {
+	switch r := g.rng.Float64(); {
+	case r < 0.2:
+		return "high"
+	case r < 0.8:
+		return "normal"
+	default:
+		return "low"
+	}
+}
+
+// jittered walks offsets at the target rate with +-40% jitter.
+func (g *shaper) jittered(from, to int64, rate float64, f func(offsetMS int64)) {
+	if rate <= 0 {
+		return
+	}
+	stepMS := 1000.0 / rate
+	for t := float64(from); t < float64(to); {
+		f(int64(t))
+		t += stepMS * (0.6 + 0.8*g.rng.Float64())
+	}
+}
+
+func (g *shaper) mixedSteady() {
+	durMS := g.opts.Duration.Milliseconds()
+	n := 0
+	g.jittered(0, durMS, g.opts.Rate, func(t int64) {
+		g.submit(t, g.drawPriority())
+		n++
+		// Monitoring traffic rides along: a stats read every 8 submits,
+		// a listing every 20.
+		if n%8 == 0 {
+			g.events = append(g.events, Event{OffsetMS: t + 50, Op: OpStats})
+		}
+		if n%20 == 0 {
+			g.events = append(g.events, Event{OffsetMS: t + 80, Op: OpList})
+		}
+	})
+}
+
+// deadlineSpike runs baseline traffic for the whole span plus a 4x
+// high-priority burst pinned to the first venue during the middle third
+// — the night a venue's review deadline closes.
+func (g *shaper) deadlineSpike() {
+	durMS := g.opts.Duration.Milliseconds()
+	g.jittered(0, durMS, g.opts.Rate, func(t int64) {
+		g.submit(t, g.drawPriority())
+	})
+	spikeVenue := ""
+	if len(g.opts.Venues) > 0 {
+		spikeVenue = g.opts.Venues[0]
+	}
+	g.jittered(durMS/3, 2*durMS/3, 3*g.opts.Rate, func(t int64) {
+		n := g.submits
+		g.submits++
+		e := Event{OffsetMS: t, Op: OpSubmit, Case: n % g.opts.Cases, Priority: "high", Venue: spikeVenue}
+		if g.opts.CallerIDs {
+			e.ID = fmt.Sprintf("lg-%d-%d", g.opts.Seed, n)
+		}
+		g.events = append(g.events, e)
+	})
+}
+
+// rescrapeStorm front-loads half the span's volume into the first tenth
+// (the nightly batch kicking in), resubmitting the same cases — the
+// cache-warm path — then trickles for the remainder.
+func (g *shaper) rescrapeStorm() {
+	durMS := g.opts.Duration.Milliseconds()
+	total := g.opts.Rate * g.opts.Duration.Seconds()
+	stormMS := durMS / 10
+	if stormMS < 1 {
+		stormMS = 1
+	}
+	stormRate := (total / 2) / (float64(stormMS) / 1000)
+	g.jittered(0, stormMS, stormRate, func(t int64) {
+		g.submit(t, "normal")
+	})
+	g.jittered(stormMS, durMS, g.opts.Rate/2, func(t int64) {
+		g.submit(t, "low")
+	})
+	g.events = append(g.events, Event{OffsetMS: durMS - 1, Op: OpStats})
+}

@@ -1,0 +1,130 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Workload traces are JSON lines: a header line followed by one event
+// per line, offsets relative to replay start. Traces are plain data —
+// writable by hand, diffable in review, and replayable byte-for-byte —
+// so a regression chased under "the spike workload" is the same spike
+// every time.
+
+// TraceVersion is the on-disk trace format version.
+const TraceVersion = 1
+
+// TraceHeader is the first line of a trace file.
+type TraceHeader struct {
+	Version int `json:"version"`
+	// Shape names the preset that generated the trace (empty for
+	// hand-written traces).
+	Shape string `json:"shape,omitempty"`
+	Seed  int64  `json:"seed"`
+	// Rate is the average submit rate in events/second the trace was
+	// shaped for; informational.
+	Rate float64 `json:"rate"`
+	// DurationMS is the offset span of the trace.
+	DurationMS int64 `json:"duration_ms"`
+	// Events is the event count, a cheap integrity check on read.
+	Events int `json:"events"`
+}
+
+// Event ops.
+const (
+	// OpSubmit posts a job built from the manifest case.
+	OpSubmit = "submit"
+	// OpStats fetches /api/stats (monitoring traffic in the mix).
+	OpStats = "stats"
+	// OpList fetches the /v1/jobs listing.
+	OpList = "list"
+)
+
+// Event is one trace line.
+type Event struct {
+	// OffsetMS schedules the event relative to replay start.
+	OffsetMS int64 `json:"t"`
+	// Op is one of OpSubmit, OpStats, OpList.
+	Op string `json:"op"`
+	// Venue is the job's fairness bucket (submit only).
+	Venue string `json:"venue,omitempty"`
+	// Priority is "high", "normal" or "low" (submit only).
+	Priority string `json:"priority,omitempty"`
+	// Case is the manifest case index the payload references (submit
+	// only) — the trace carries a reference, not the manuscript itself.
+	Case int `json:"case,omitempty"`
+	// ID optionally fixes a caller-chosen job id (submit only). Replays
+	// through a router exercise the all-shard probe path when the id
+	// carries no shard prefix.
+	ID string `json:"id,omitempty"`
+	// Callback asks for a completion webhook (submit only).
+	Callback bool `json:"callback,omitempty"`
+}
+
+// WriteTrace writes the header and events as JSON lines. Events must
+// already be offset-sorted; the header's Events count is corrected to
+// len(events).
+func WriteTrace(w io.Writer, h TraceHeader, events []Event) error {
+	h.Version = TraceVersion
+	h.Events = len(events)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("loadgen: write trace header: %w", err)
+	}
+	for i := range events {
+		if err := enc.Encode(events[i]); err != nil {
+			return fmt.Errorf("loadgen: write trace event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace written by WriteTrace (or by hand). Events
+// are returned offset-sorted regardless of file order.
+func ReadTrace(r io.Reader) (TraceHeader, []Event, error) {
+	var h TraceHeader
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return h, nil, fmt.Errorf("loadgen: read trace: %w", err)
+		}
+		return h, nil, fmt.Errorf("loadgen: read trace: empty file")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return h, nil, fmt.Errorf("loadgen: trace header: %w", err)
+	}
+	if h.Version != TraceVersion {
+		return h, nil, fmt.Errorf("loadgen: trace version %d (want %d)", h.Version, TraceVersion)
+	}
+	var events []Event
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return h, nil, fmt.Errorf("loadgen: trace line %d: %w", line, err)
+		}
+		switch e.Op {
+		case OpSubmit, OpStats, OpList:
+		default:
+			return h, nil, fmt.Errorf("loadgen: trace line %d: unknown op %q", line, e.Op)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return h, nil, fmt.Errorf("loadgen: read trace: %w", err)
+	}
+	if h.Events != 0 && h.Events != len(events) {
+		return h, nil, fmt.Errorf("loadgen: trace header says %d events, file has %d", h.Events, len(events))
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].OffsetMS < events[j].OffsetMS })
+	return h, events, nil
+}

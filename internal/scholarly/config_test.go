@@ -1,0 +1,257 @@
+package scholarly
+
+import (
+	"errors"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// generateGuarded runs Generate under a deadline so a regression back to
+// the pickTopics/co-author spin loops fails the test instead of hanging
+// the whole suite.
+func generateGuarded(t *testing.T, cfg GeneratorConfig) (*Corpus, error) {
+	t.Helper()
+	type out struct {
+		c   *Corpus
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		c, err := Generate(cfg)
+		ch <- out{c, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.c, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("Generate(%+v) hung", cfg)
+		return nil, nil
+	}
+}
+
+func TestWithDefaultsClampsDegenerateConfigs(t *testing.T) {
+	cases := []struct {
+		name string
+		in   GeneratorConfig
+		want func(t *testing.T, cfg GeneratorConfig)
+	}{
+		{
+			name: "zero value gets documented defaults",
+			in:   GeneratorConfig{},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.NumScholars != 2000 || cfg.NumInstitutions != 80 {
+					t.Errorf("scholars/institutions = %d/%d", cfg.NumScholars, cfg.NumInstitutions)
+				}
+				if cfg.NumJournals != 24 || cfg.NumConferences != 24 {
+					t.Errorf("venues = %d/%d", cfg.NumJournals, cfg.NumConferences)
+				}
+				if cfg.StartYear != 1990 || cfg.HorizonYear != 2018 {
+					t.Errorf("years = %d..%d", cfg.StartYear, cfg.HorizonYear)
+				}
+				if cfg.AmbiguousFraction != 0.06 {
+					t.Errorf("AmbiguousFraction = %v", cfg.AmbiguousFraction)
+				}
+			},
+		},
+		{
+			name: "negative counts fall back to defaults",
+			in:   GeneratorConfig{NumScholars: -5, NumInstitutions: -1},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.NumScholars != 2000 {
+					t.Errorf("NumScholars = %d", cfg.NumScholars)
+				}
+				if cfg.NumInstitutions != 80 {
+					t.Errorf("NumInstitutions = %d", cfg.NumInstitutions)
+				}
+			},
+		},
+		{
+			name: "population below an author list rises to MinScholars",
+			in:   GeneratorConfig{NumScholars: 2},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.NumScholars != MinScholars {
+					t.Errorf("NumScholars = %d, want %d", cfg.NumScholars, MinScholars)
+				}
+			},
+		},
+		{
+			name: "no outlets at all restores the default venue mix",
+			in:   GeneratorConfig{NumJournals: -3, NumConferences: -3},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.NumJournals != 24 || cfg.NumConferences != 24 {
+					t.Errorf("venues = %d/%d", cfg.NumJournals, cfg.NumConferences)
+				}
+			},
+		},
+		{
+			name: "one outlet kind alone is allowed",
+			in:   GeneratorConfig{NumJournals: 3, NumConferences: -1},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.NumJournals != 3 || cfg.NumConferences != 0 {
+					t.Errorf("venues = %d/%d", cfg.NumJournals, cfg.NumConferences)
+				}
+			},
+		},
+		{
+			name: "fractions and rates clamp into range",
+			in: GeneratorConfig{
+				AmbiguousFraction:     7,
+				PapersPerScholarYear:  -1,
+				ReviewsPerScholarYear: -2,
+			},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.AmbiguousFraction != 1 {
+					t.Errorf("AmbiguousFraction = %v", cfg.AmbiguousFraction)
+				}
+				if cfg.PapersPerScholarYear != 0 || cfg.ReviewsPerScholarYear != 0 {
+					t.Errorf("rates = %v/%v", cfg.PapersPerScholarYear, cfg.ReviewsPerScholarYear)
+				}
+			},
+		},
+		{
+			name: "negative AmbiguousFraction means no collisions",
+			in:   GeneratorConfig{AmbiguousFraction: -1},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.AmbiguousFraction != 0 {
+					t.Errorf("AmbiguousFraction = %v", cfg.AmbiguousFraction)
+				}
+			},
+		},
+		{
+			name: "institution count capped at the name pool",
+			in:   GeneratorConfig{NumInstitutions: 100000},
+			want: func(t *testing.T, cfg GeneratorConfig) {
+				if cfg.NumInstitutions != len(institutionStems) {
+					t.Errorf("NumInstitutions = %d, want %d", cfg.NumInstitutions, len(institutionStems))
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tc.want(t, tc.in.withDefaults())
+		})
+	}
+}
+
+func TestGenerateTypedConfigErrors(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       GeneratorConfig
+		wantField string
+	}{
+		{"no topics", GeneratorConfig{}, "Topics"},
+		{
+			"inverted year range",
+			GeneratorConfig{Topics: []string{"rdf"}, StartYear: 2018, HorizonYear: 2000},
+			"HorizonYear",
+		},
+		{
+			"horizon equals start",
+			GeneratorConfig{Topics: []string{"rdf"}, StartYear: 2005, HorizonYear: 2005},
+			"HorizonYear",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Generate(tc.cfg)
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Generate = %v, want *ConfigError", err)
+			}
+			if ce.Field != tc.wantField {
+				t.Fatalf("ConfigError.Field = %q, want %q", ce.Field, tc.wantField)
+			}
+			if ce.Error() == "" {
+				t.Fatal("empty error string")
+			}
+		})
+	}
+}
+
+// TestGenerateDegenerateConfigsDoNotPanicOrHang is the regression net
+// for the historical failure modes: pickTopics spinning forever when
+// asked for more distinct topics than the vocabulary holds, and
+// rng.Intn(0) panics from zeroed-out institution or venue counts.
+func TestGenerateDegenerateConfigsDoNotPanicOrHang(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  GeneratorConfig
+	}{
+		{
+			// Venue scope wants 2-4 topics, topic affinity wants 1-4:
+			// both exceed a single-topic vocabulary.
+			name: "one topic",
+			cfg: GeneratorConfig{
+				Seed: 1, Topics: []string{"rdf"},
+				NumScholars: 40, NumJournals: 2, NumConferences: 2,
+				StartYear: 2014, HorizonYear: 2018,
+			},
+		},
+		{
+			name: "two topics with related edges",
+			cfg: GeneratorConfig{
+				Seed: 2, Topics: []string{"rdf", "sparql"},
+				Related:     map[string][]string{"rdf": {"sparql"}, "sparql": {"rdf"}},
+				NumScholars: 40, NumJournals: 2, NumConferences: 2,
+				StartYear: 2014, HorizonYear: 2018,
+			},
+		},
+		{
+			name: "scholars below one author list",
+			cfg: GeneratorConfig{
+				Seed: 3, Topics: []string{"rdf", "graphs", "streams"},
+				NumScholars: 1, NumJournals: 1, NumConferences: 1,
+				StartYear: 2014, HorizonYear: 2018,
+			},
+		},
+		{
+			name: "negative everything",
+			cfg: GeneratorConfig{
+				Seed: 4, Topics: []string{"rdf", "graphs"},
+				NumScholars: -1, NumInstitutions: -1,
+				NumJournals: -1, NumConferences: -1,
+				AmbiguousFraction: -1, PapersPerScholarYear: -1, ReviewsPerScholarYear: -1,
+				StartYear: 2016, HorizonYear: 2018,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := generateGuarded(t, tc.cfg)
+			if err != nil {
+				t.Fatalf("Generate: %v", err)
+			}
+			if len(c.Scholars) == 0 || len(c.Venues) == 0 {
+				t.Fatalf("empty corpus: %d scholars, %d venues", len(c.Scholars), len(c.Venues))
+			}
+		})
+	}
+}
+
+func TestAbbrevAndTitleCaseAreRuneAware(t *testing.T) {
+	cases := []struct {
+		in, wantAbbrev string
+	}{
+		{"Journal on Ångström Physics", "JÅP"},
+		{"Revista Ibérica de Informática", "RIDI"},
+		{"International Conference on Données Liées", "ICDL"},
+		{"Transactions on Stream Processing", "TSP"},
+	}
+	for _, tc := range cases {
+		got := abbrev(tc.in)
+		if got != tc.wantAbbrev {
+			t.Errorf("abbrev(%q) = %q, want %q", tc.in, got, tc.wantAbbrev)
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("abbrev(%q) = %q is invalid UTF-8", tc.in, got)
+		}
+		if tcased := titleCase(tc.in); !utf8.ValidString(tcased) {
+			t.Errorf("titleCase(%q) = %q is invalid UTF-8", tc.in, tcased)
+		}
+	}
+	if got := titleCase("ångström data"); got != "Ångström Data" {
+		t.Errorf("titleCase = %q, want %q", got, "Ångström Data")
+	}
+}

@@ -14,8 +14,8 @@ import (
 type GeneratorConfig struct {
 	Seed int64
 
-	NumScholars     int // default 2000
-	NumInstitutions int // default 80 (capped at the name pool)
+	NumScholars     int // default 2000 (min MinScholars)
+	NumInstitutions int // default 80 (capped at the name pool, min 1)
 	NumJournals     int // default 24
 	NumConferences  int // default 24
 
@@ -47,20 +47,64 @@ type GeneratorConfig struct {
 	ReviewsPerScholarYear float64
 }
 
+// MinScholars is the smallest population withDefaults will run with: a
+// publication can carry up to MaxAuthorsPerPaper authors, and the
+// co-author sampler needs at least one scholar beyond that to terminate
+// reliably instead of spinning on an exhausted pool.
+const MinScholars = MaxAuthorsPerPaper + 1
+
+// MaxAuthorsPerPaper bounds the author list the generator emits for one
+// publication (one lead plus up to six sampled co-authors).
+const MaxAuthorsPerPaper = 7
+
+// ConfigError reports a GeneratorConfig the generator cannot proceed
+// from at all. Degenerate-but-recoverable values (negative counts,
+// out-of-range fractions, a population smaller than an author list) are
+// clamped by withDefaults instead of rejected; a ConfigError is reserved
+// for fields with no sane substitute.
+type ConfigError struct {
+	// Field names the offending GeneratorConfig field.
+	Field string
+	// Reason says what about it is unusable.
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("scholarly: config %s: %s", e.Field, e.Reason)
+}
+
+// withDefaults fills zero fields with the documented defaults and clamps
+// degenerate values into the generator's safe envelope: negative counts
+// fall back to their defaults, a positive-but-tiny population rises to
+// MinScholars (an author list must never exhaust the pool), a world with
+// no outlets at all regains the default venues (pickVenue indexes into
+// the venue slice), and fractions/rates are clamped to their valid
+// ranges. A config that cannot be clamped into shape (no topic
+// vocabulary, inverted year range) is Generate's job to reject with a
+// *ConfigError.
 func (cfg GeneratorConfig) withDefaults() GeneratorConfig {
-	if cfg.NumScholars == 0 {
+	if cfg.NumScholars <= 0 {
 		cfg.NumScholars = 2000
 	}
-	if cfg.NumInstitutions == 0 {
+	if cfg.NumScholars < MinScholars {
+		cfg.NumScholars = MinScholars
+	}
+	if cfg.NumInstitutions <= 0 {
 		cfg.NumInstitutions = 80
 	}
 	if cfg.NumInstitutions > len(institutionStems) {
 		cfg.NumInstitutions = len(institutionStems)
 	}
-	if cfg.NumJournals == 0 {
-		cfg.NumJournals = 24
+	if cfg.NumJournals < 0 {
+		cfg.NumJournals = 0
 	}
-	if cfg.NumConferences == 0 {
+	if cfg.NumConferences < 0 {
+		cfg.NumConferences = 0
+	}
+	if cfg.NumJournals == 0 && cfg.NumConferences == 0 {
+		// No outlets at all would panic venue selection; restore the
+		// default mix rather than generate an unpublishable world.
+		cfg.NumJournals = 24
 		cfg.NumConferences = 24
 	}
 	if cfg.StartYear == 0 {
@@ -71,26 +115,38 @@ func (cfg GeneratorConfig) withDefaults() GeneratorConfig {
 	}
 	if cfg.AmbiguousFraction == 0 {
 		cfg.AmbiguousFraction = 0.06
+	} else if cfg.AmbiguousFraction < 0 {
+		cfg.AmbiguousFraction = 0 // explicit "no collisions"
+	} else if cfg.AmbiguousFraction > 1 {
+		cfg.AmbiguousFraction = 1
 	}
 	if cfg.PapersPerScholarYear == 0 {
 		cfg.PapersPerScholarYear = 0.55
+	} else if cfg.PapersPerScholarYear < 0 {
+		cfg.PapersPerScholarYear = 0
 	}
 	if cfg.ReviewsPerScholarYear == 0 {
 		cfg.ReviewsPerScholarYear = 2.0
+	} else if cfg.ReviewsPerScholarYear < 0 {
+		cfg.ReviewsPerScholarYear = 0
 	}
 	return cfg
 }
 
 // Generate builds a deterministic corpus from the configuration. It
-// returns an error only for invalid configurations (no topics, inverted
-// year range); generation itself cannot fail.
+// returns a *ConfigError only for configurations with no sane clamp (no
+// topics, inverted year range); everything else is clamped by
+// withDefaults and generation itself cannot fail.
 func Generate(cfg GeneratorConfig) (*Corpus, error) {
 	cfg = cfg.withDefaults()
 	if len(cfg.Topics) == 0 {
-		return nil, fmt.Errorf("scholarly: GeneratorConfig.Topics must not be empty")
+		return nil, &ConfigError{Field: "Topics", Reason: "must not be empty"}
 	}
 	if cfg.HorizonYear <= cfg.StartYear {
-		return nil, fmt.Errorf("scholarly: HorizonYear %d must exceed StartYear %d", cfg.HorizonYear, cfg.StartYear)
+		return nil, &ConfigError{
+			Field:  "HorizonYear",
+			Reason: fmt.Sprintf("%d must exceed StartYear %d", cfg.HorizonYear, cfg.StartYear),
+		}
 	}
 	g := &generator{
 		cfg: cfg,
@@ -181,8 +237,13 @@ func (g *generator) makeVenues() {
 }
 
 // pickTopics samples n distinct topics, preferring a contiguous semantic
-// neighbourhood when Related edges exist.
+// neighbourhood when Related edges exist. n is clamped to the vocabulary
+// size: asking for more distinct topics than exist would otherwise never
+// terminate.
 func (g *generator) pickTopics(topics []string, n int) []string {
+	if n > len(topics) {
+		n = len(topics)
+	}
 	first := topics[g.rng.Intn(len(topics))]
 	out := []string{first}
 	seen := map[string]bool{first: true}
@@ -462,6 +523,11 @@ func (g *generator) paperKeywords(topic string) []string {
 	out := []string{topic}
 	seen := map[string]bool{topic: true}
 	want := 3 + g.rng.Intn(3)
+	if want > len(g.cfg.Topics) {
+		// Keywords are distinct draws from the vocabulary; wanting more
+		// than exist would spin forever on a tiny topic list.
+		want = len(g.cfg.Topics)
+	}
 	rel := g.cfg.Related[topic]
 	for len(out) < want {
 		var k string
@@ -631,9 +697,10 @@ func clamp01(x float64) float64 {
 func titleCase(s string) string {
 	words := strings.Fields(s)
 	for i, w := range words {
-		if len(w) > 0 {
-			words[i] = strings.ToUpper(w[:1]) + w[1:]
-		}
+		// Rune-aware: slicing the first byte of a multi-byte initial
+		// (diacritic venue words) would emit invalid UTF-8.
+		r := []rune(w)
+		words[i] = strings.ToUpper(string(r[:1])) + string(r[1:])
 	}
 	return strings.Join(words, " ")
 }
@@ -645,7 +712,9 @@ func abbrev(name string) string {
 		case "on", "of", "the", "and", "for", "in":
 			continue
 		}
-		b.WriteByte(w[0])
+		// First rune, not first byte: "Ångström" must contribute "Å",
+		// not half of its encoding.
+		b.WriteRune([]rune(w)[0])
 	}
 	return strings.ToUpper(b.String())
 }

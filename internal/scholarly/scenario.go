@@ -1,0 +1,512 @@
+package scholarly
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+)
+
+// Adversarial scenarios: named, machine-checkable structures injected
+// into a generated corpus. Each scenario appends scholars and
+// publications engineered so that the correct pipeline behaviour is
+// known by construction — every conflicted reviewer must be filtered,
+// every planted clean reviewer is safely recommendable, colliding names
+// must not merge. The injector returns CaseSeeds; the loadgen manifest
+// builder turns each seed into a manuscript plus ground-truth sets via
+// the workload judge.
+
+// ScenarioInfo describes one catalog entry: what the scenario plants and
+// what the checker asserts about it. docs/OPERATIONS.md renders this
+// catalog as the per-scenario assertion table.
+type ScenarioInfo struct {
+	Name      string
+	Summary   string
+	Assertion string
+}
+
+// Scenarios is the catalog of injectable adversarial scenarios, in
+// canonical order.
+func Scenarios() []ScenarioInfo {
+	return []ScenarioInfo{
+		{
+			Name: "coi-web",
+			Summary: "a co-author ring (recent shared papers with the lead) plus a " +
+				"same-institution cluster, all topically perfect for the manuscript",
+			Assertion: "zero ring or cluster members recommended (COI leaks == 0); " +
+				"planted clean reviewers remain recommendable",
+		},
+		{
+			Name: "name-collision",
+			Summary: "scholars sharing one full name: a conflicted twin at the lead's " +
+				"institution, a clean twin elsewhere, and off-topic decoys",
+			Assertion: "zero identity merges (every recommendation's site IDs resolve " +
+				"to one scholar); the conflicted twin is never recommended",
+		},
+		{
+			Name: "reviewer-overlap",
+			Summary: "a dense clique co-authoring the same recent papers, every member " +
+				"equally relevant to the manuscript",
+			Assertion: "recommended reviewers are pairwise-distinct identities " +
+				"(duplicates == 0) despite near-identical profiles",
+		},
+		{
+			Name: "multilingual",
+			Summary: "diacritic author names and a diacritic-named venue publishing " +
+				"the manuscript's topic, with two conflicted same-institution authors",
+			Assertion: "diacritic reviewers survive extraction intact (valid UTF-8, " +
+				"no merges) and the conflicted pair is filtered",
+		},
+	}
+}
+
+// ScenarioNames returns the catalog names in canonical order.
+func ScenarioNames() []string {
+	infos := Scenarios()
+	out := make([]string, len(infos))
+	for i, s := range infos {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// ScenarioOptions parameterises injection.
+type ScenarioOptions struct {
+	// Topics is the vocabulary manuscripts draw keywords from; required
+	// and normally the ontology topic list the corpus was generated with.
+	Topics []string
+	// Related supplies semantic neighbours used to widen manuscript
+	// keywords beyond the planted topic. Optional.
+	Related map[string][]string
+	// Cases is the number of independent cases to plant per scenario.
+	// Default 1.
+	Cases int
+}
+
+// CaseSeed records one planted case: the manuscript ingredients and the
+// scholars whose treatment is asserted. IDs refer to scholars appended
+// to the corpus by the injection.
+type CaseSeed struct {
+	// Scenario is the catalog name this case belongs to.
+	Scenario string `json:"scenario"`
+	// Case numbers cases within a scenario, starting at 0.
+	Case int `json:"case"`
+	// Lead is the manuscript's first author.
+	Lead ScholarID `json:"lead"`
+	// CoAuthors are further manuscript authors (often empty).
+	CoAuthors []ScholarID `json:"co_authors,omitempty"`
+	// Keywords are the manuscript keywords (planted topic first).
+	Keywords []string `json:"keywords"`
+	// Venue is the target venue name for the submission.
+	Venue string `json:"venue"`
+	// Planted lists engineered clean+relevant scholars: recommendable by
+	// construction.
+	Planted []ScholarID `json:"planted"`
+	// Forbidden lists engineered conflicted scholars: recommending any
+	// of them is a hard failure.
+	Forbidden []ScholarID `json:"forbidden"`
+}
+
+// InjectScenarios plants the named scenarios (all of them when names is
+// empty) into the corpus and returns the seeds in deterministic order.
+// The corpus is extended in place; indexes are rebuilt.
+func InjectScenarios(c *Corpus, names []string, opts ScenarioOptions) ([]CaseSeed, error) {
+	if len(names) == 0 {
+		names = ScenarioNames()
+	}
+	var out []CaseSeed
+	for _, name := range names {
+		seeds, err := InjectScenario(c, name, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, seeds...)
+	}
+	return out, nil
+}
+
+// InjectScenario plants one named scenario. The injection is
+// deterministic for a given (corpus seed, scenario name, options) and
+// independent of injection order: each scenario derives its own RNG
+// stream from the corpus seed and its name.
+func InjectScenario(c *Corpus, name string, opts ScenarioOptions) ([]CaseSeed, error) {
+	if len(opts.Topics) == 0 {
+		return nil, &ConfigError{Field: "ScenarioOptions.Topics", Reason: "must not be empty"}
+	}
+	if opts.Cases <= 0 {
+		opts.Cases = 1
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	in := &injector{
+		c:       c,
+		rng:     rand.New(rand.NewSource(c.Seed ^ int64(h.Sum64()))),
+		opts:    opts,
+		touched: map[ScholarID]bool{},
+	}
+	var plant func(*injector, int) CaseSeed
+	switch name {
+	case "coi-web":
+		plant = plantCOIWeb
+	case "name-collision":
+		plant = plantNameCollision
+	case "reviewer-overlap":
+		plant = plantReviewerOverlap
+	case "multilingual":
+		plant = plantMultilingual
+	default:
+		return nil, &ConfigError{Field: "Scenario", Reason: fmt.Sprintf("unknown scenario %q", name)}
+	}
+	seeds := make([]CaseSeed, 0, opts.Cases)
+	for i := 0; i < opts.Cases; i++ {
+		seed := plant(in, i)
+		seed.Scenario = name
+		seed.Case = i
+		seeds = append(seeds, seed)
+	}
+	in.finish()
+	return seeds, nil
+}
+
+// injector appends scenario scholars and publications while keeping the
+// corpus structurally valid (sequential IDs, sorted publication lists,
+// rebuilt indexes).
+type injector struct {
+	c       *Corpus
+	rng     *rand.Rand
+	opts    ScenarioOptions
+	touched map[ScholarID]bool
+	nameSeq int
+}
+
+// pickTopic draws the planted topic for a case.
+func (in *injector) pickTopic() string {
+	return in.opts.Topics[in.rng.Intn(len(in.opts.Topics))]
+}
+
+// keywords builds the manuscript keyword list: the planted topic first,
+// widened with up to two semantic neighbours when available.
+func (in *injector) keywords(topic string) []string {
+	out := []string{topic}
+	rel := in.opts.Related[topic]
+	for i := 0; i < 2 && i < len(rel); i++ {
+		out = append(out, rel[i])
+	}
+	return out
+}
+
+// uniqueName mints a scholar name that cannot collide with the base
+// pools or earlier scenario names: the family name carries a sequence
+// number once the distinctive pool is exhausted.
+func (in *injector) uniqueName() Name {
+	given := scenarioGiven[in.rng.Intn(len(scenarioGiven))]
+	i := in.nameSeq
+	in.nameSeq++
+	family := scenarioFamily[i%len(scenarioFamily)]
+	if i >= len(scenarioFamily) {
+		family = fmt.Sprintf("%s %d", family, i/len(scenarioFamily))
+	}
+	return Name{Given: given, Family: family}
+}
+
+// addScholar appends a scholar with full source presence (every
+// simulated site indexes them — scenario assertions must not hinge on
+// extraction gaps) and a single current affiliation.
+func (in *injector) addScholar(name Name, institution string, topic string) ScholarID {
+	horizon := in.c.HorizonYear
+	id := ScholarID(len(in.c.Scholars))
+	in.c.Scholars = append(in.c.Scholars, Scholar{
+		ID:          id,
+		Name:        name,
+		CareerStart: horizon - 8,
+		Affiliations: []Affiliation{{
+			Institution: institution,
+			Country:     "Freedonia",
+			StartYear:   horizon - 8,
+		}},
+		Interests:        []string{topic},
+		TrueTopics:       map[string]float64{topic: 1.0},
+		Responsiveness:   0.9,
+		MedianReviewDays: 14,
+		Presence: SourcePresence{
+			DBLP: true, GoogleScholar: true, Publons: true,
+			ACMDL: true, ORCID: true, ResearcherID: true,
+		},
+	})
+	in.touched[id] = true
+	return id
+}
+
+// addPaper appends a publication and registers it with every author.
+// Titles embed the publication ID so no two scenario papers share a
+// normalized title (a title+year collision would fabricate co-authorship
+// in the pipeline's COI evidence).
+func (in *injector) addPaper(topic string, year int, venue VenueID, authors ...ScholarID) PubID {
+	id := PubID(len(in.c.Publications))
+	in.c.Publications = append(in.c.Publications, Publication{
+		ID:        id,
+		Title:     fmt.Sprintf("%s Case Notes No. %d", titleCase(topic), int(id)),
+		Year:      year,
+		Venue:     venue,
+		Authors:   append([]ScholarID(nil), authors...),
+		Keywords:  in.keywords(topic),
+		Citations: 8 + in.rng.Intn(40),
+	})
+	for _, a := range authors {
+		s := in.c.Scholar(a)
+		s.Publications = append(s.Publications, id)
+		in.touched[a] = true
+	}
+	return id
+}
+
+// soloRun gives a scholar n sole-author papers on the topic in the
+// corpus's recent years, enough to clear reviewer track-record floors.
+func (in *injector) soloRun(id ScholarID, topic string, venue VenueID, n int) {
+	for k := 0; k < n; k++ {
+		in.addPaper(topic, in.c.HorizonYear-1-(k%4), venue, id)
+	}
+}
+
+// venueFor finds an existing venue whose scope covers the topic,
+// preferring journals; falls back to venue 0.
+func (in *injector) venueFor(topic string) VenueID {
+	fallback := VenueID(0)
+	found := false
+	for i := range in.c.Venues {
+		v := &in.c.Venues[i]
+		for _, t := range v.Topics {
+			if t == topic {
+				if v.Type == Journal {
+					return v.ID
+				}
+				if !found {
+					fallback, found = v.ID, true
+				}
+				break
+			}
+		}
+	}
+	return fallback
+}
+
+// finish restores the corpus invariants the generator guarantees:
+// most-recent-first publication lists for every touched scholar and
+// fresh name/interest indexes.
+func (in *injector) finish() {
+	for id := range in.touched {
+		pubs := in.c.Scholar(id).Publications
+		sort.Slice(pubs, func(a, b int) bool {
+			pa, pb := in.c.Publication(pubs[a]), in.c.Publication(pubs[b])
+			if pa.Year != pb.Year {
+				return pa.Year > pb.Year
+			}
+			return pa.ID < pb.ID
+		})
+	}
+	in.c.buildIndexes()
+}
+
+// plantCOIWeb builds the densest conflict structure: a lead whose
+// manuscript attracts (a) a five-member co-author ring, each with a
+// recent shared paper with the lead, (b) a four-member cluster employed
+// by the lead's institution with no shared papers, and (c) six clean
+// relevant scholars. Every ring and cluster member is topically perfect
+// — only COI filtering can remove them.
+func plantCOIWeb(in *injector, caseNo int) CaseSeed {
+	topic := in.pickTopic()
+	venue := in.venueFor(topic)
+	horizon := in.c.HorizonYear
+	leadInst := fmt.Sprintf("Institute for Adversarial Studies %d", caseNo+1)
+
+	lead := in.addScholar(in.uniqueName(), leadInst, topic)
+	in.soloRun(lead, topic, venue, 4)
+
+	var forbidden []ScholarID
+	for i := 0; i < 5; i++ {
+		ring := in.addScholar(in.uniqueName(), fmt.Sprintf("Ring University %d-%d", caseNo+1, i+1), topic)
+		in.addPaper(topic, horizon-1, venue, lead, ring)
+		in.soloRun(ring, topic, venue, 3)
+		forbidden = append(forbidden, ring)
+	}
+	for i := 0; i < 4; i++ {
+		member := in.addScholar(in.uniqueName(), leadInst, topic)
+		in.soloRun(member, topic, venue, 4)
+		forbidden = append(forbidden, member)
+	}
+	var planted []ScholarID
+	for i := 0; i < 6; i++ {
+		clean := in.addScholar(in.uniqueName(), fmt.Sprintf("Clean Institute %d-%d", caseNo+1, i+1), topic)
+		in.soloRun(clean, topic, venue, 4)
+		planted = append(planted, clean)
+	}
+	return CaseSeed{
+		Lead:      lead,
+		Keywords:  in.keywords(topic),
+		Venue:     in.c.Venue(venue).Name,
+		Planted:   planted,
+		Forbidden: forbidden,
+	}
+}
+
+// plantNameCollision builds identity traps around one shared full name:
+// a conflicted twin inside the lead's institution, a clean equally
+// relevant twin outside it, and two off-topic decoys. A resolver that
+// merges by name either leaks the conflicted twin's COI onto the clean
+// one or recommends a chimera.
+func plantNameCollision(in *injector, caseNo int) CaseSeed {
+	topic := in.pickTopic()
+	venue := in.venueFor(topic)
+	leadInst := fmt.Sprintf("Collision Polytechnic %d", caseNo+1)
+
+	lead := in.addScholar(in.uniqueName(), leadInst, topic)
+	in.soloRun(lead, topic, venue, 4)
+
+	twin := collisionNames[(caseNo+in.rng.Intn(len(collisionNames)))%len(collisionNames)]
+	conflictedTwin := in.addScholar(twin, leadInst, topic)
+	in.soloRun(conflictedTwin, topic, venue, 4)
+
+	cleanTwin := in.addScholar(twin, fmt.Sprintf("Distinct Institute %d", caseNo+1), topic)
+	in.soloRun(cleanTwin, topic, venue, 4)
+
+	for i := 0; i < 2; i++ {
+		decoyTopic := in.opts.Topics[(in.rng.Intn(len(in.opts.Topics)))]
+		decoy := in.addScholar(twin, fmt.Sprintf("Decoy College %d-%d", caseNo+1, i+1), decoyTopic)
+		in.soloRun(decoy, decoyTopic, in.venueFor(decoyTopic), 3)
+	}
+
+	planted := []ScholarID{cleanTwin}
+	for i := 0; i < 3; i++ {
+		clean := in.addScholar(in.uniqueName(), fmt.Sprintf("Bystander University %d-%d", caseNo+1, i+1), topic)
+		in.soloRun(clean, topic, venue, 4)
+		planted = append(planted, clean)
+	}
+	return CaseSeed{
+		Lead:      lead,
+		Keywords:  in.keywords(topic),
+		Venue:     in.c.Venue(venue).Name,
+		Planted:   planted,
+		Forbidden: []ScholarID{conflictedTwin},
+	}
+}
+
+// plantReviewerOverlap builds an eight-member clique whose members
+// co-author the same twelve recent papers: profiles that are
+// near-duplicates of each other without being the same person. The
+// assertion is identity hygiene — recommendations drawn from the clique
+// must be pairwise-distinct scholars.
+func plantReviewerOverlap(in *injector, caseNo int) CaseSeed {
+	topic := in.pickTopic()
+	venue := in.venueFor(topic)
+	horizon := in.c.HorizonYear
+
+	lead := in.addScholar(in.uniqueName(), fmt.Sprintf("Overlap Observatory %d", caseNo+1), topic)
+	in.soloRun(lead, topic, venue, 4)
+
+	var clique []ScholarID
+	for i := 0; i < 8; i++ {
+		m := in.addScholar(in.uniqueName(), fmt.Sprintf("Clique Campus %d-%d", caseNo+1, i+1), topic)
+		clique = append(clique, m)
+	}
+	for k := 0; k < 12; k++ {
+		in.addPaper(topic, horizon-1-(k%3), venue, clique...)
+	}
+	return CaseSeed{
+		Lead:     lead,
+		Keywords: in.keywords(topic),
+		Venue:    in.c.Venue(venue).Name,
+		Planted:  clique,
+	}
+}
+
+// plantMultilingual appends a diacritic-named journal covering the topic
+// and populates it with diacritic-named scholars: relevance must survive
+// non-ASCII extraction end to end, and the two scholars sharing the
+// lead's institution must still be filtered.
+func plantMultilingual(in *injector, caseNo int) CaseSeed {
+	topic := in.pickTopic()
+	horizon := in.c.HorizonYear
+	leadInst := fmt.Sprintf("Universidad de São Tomé %d", caseNo+1)
+
+	venueName := fmt.Sprintf("Revista Ibérica de %s %d", titleCase(topic), caseNo+1)
+	venue := Venue{
+		ID:       VenueID(len(in.c.Venues)),
+		Name:     venueName,
+		Abbrev:   abbrev(venueName),
+		Type:     Journal,
+		Topics:   []string{topic},
+		Prestige: 0.85,
+	}
+	in.c.Venues = append(in.c.Venues, venue)
+
+	nameAt := func(i int) Name {
+		return Name{
+			Given:  multilingualGiven[i%len(multilingualGiven)],
+			Family: fmt.Sprintf("%s-%d", multilingualFamily[i%len(multilingualFamily)], caseNo+1),
+		}
+	}
+	lead := in.addScholar(nameAt(0), leadInst, topic)
+	for k := 0; k < 4; k++ {
+		in.addPaper(topic, horizon-1-(k%3), venue.ID, lead)
+	}
+	var planted []ScholarID
+	for i := 0; i < 5; i++ {
+		s := in.addScholar(nameAt(i+1), fmt.Sprintf("Université de Besançon %d-%d", caseNo+1, i+1), topic)
+		for k := 0; k < 4; k++ {
+			in.addPaper(topic, horizon-1-(k%3), venue.ID, s)
+		}
+		planted = append(planted, s)
+	}
+	var forbidden []ScholarID
+	for i := 0; i < 2; i++ {
+		s := in.addScholar(nameAt(i+6), leadInst, topic)
+		for k := 0; k < 4; k++ {
+			in.addPaper(topic, horizon-1-(k%3), venue.ID, s)
+		}
+		forbidden = append(forbidden, s)
+	}
+	return CaseSeed{
+		Lead:      lead,
+		Keywords:  in.keywords(topic),
+		Venue:     venueName,
+		Planted:   planted,
+		Forbidden: forbidden,
+	}
+}
+
+// Name pools for injected scholars. The family names are deliberately
+// absent from the base generator pools so scenario identities never
+// collide with generated ones by accident; collisions are always
+// engineered.
+var scenarioGiven = []string{
+	"Maren", "Tobias", "Ingrid", "Casper", "Liv", "Anneke",
+	"Bastian", "Greta", "Oskar", "Femke", "Rasmus", "Silje",
+}
+
+var scenarioFamily = []string{
+	"Quistorp", "Bramwell", "Soderlind", "Ketteridge", "Valborg",
+	"Ostendorf", "Harrowgate", "Ellingboe", "Maarsen", "Tregarth",
+	"Winterbourne", "Aldercott",
+}
+
+// collisionNames are the shared full names the name-collision scenario
+// assigns to distinct identities; heavily shared names are the paper's
+// own motivating example.
+var collisionNames = []Name{
+	{Given: "Lei", Family: "Zhou"},
+	{Given: "Wei", Family: "Wang"},
+	{Given: "Ana", Family: "Souza"},
+	{Given: "Jun", Family: "Kim"},
+}
+
+// multilingualGiven and multilingualFamily carry diacritics on purpose:
+// every byte-indexing bug between the generator and the renderers shows
+// up as mangled UTF-8 in extracted profiles.
+var multilingualGiven = []string{
+	"José", "Zoë", "Søren", "Éloïse", "Jürgen", "Małgorzata", "Ümit", "Noëlle",
+}
+
+var multilingualFamily = []string{
+	"García-Márquez", "Müller", "Ångström", "Nuñez",
+	"Błaszczyk", "Çelik", "Ðorđević", "Strömqvist",
+}

@@ -1,0 +1,247 @@
+package scholarly
+
+import (
+	"bytes"
+	"testing"
+	"unicode/utf8"
+
+	"minaret/internal/ontology"
+)
+
+func scenarioBase(t *testing.T, seed int64) (*Corpus, ScenarioOptions) {
+	t.Helper()
+	o := ontology.Default()
+	c, err := Generate(GeneratorConfig{
+		Seed:        seed,
+		NumScholars: 300,
+		Topics:      o.Topics(),
+		Related:     o.RelatedMap(),
+		StartYear:   2010,
+		HorizonYear: 2018,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, ScenarioOptions{Topics: o.Topics(), Related: o.RelatedMap()}
+}
+
+func TestInjectScenariosKeepsCorpusValid(t *testing.T) {
+	c, opts := scenarioBase(t, 11)
+	baseScholars, basePubs := len(c.Scholars), len(c.Publications)
+
+	seeds, err := InjectScenarios(c, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != len(ScenarioNames()) {
+		t.Fatalf("%d seeds for %d scenarios", len(seeds), len(ScenarioNames()))
+	}
+	if len(c.Scholars) == baseScholars || len(c.Publications) == basePubs {
+		t.Fatal("injection added nothing")
+	}
+	// The invariants Load would enforce must survive injection.
+	if err := c.checkIntegrity(); err != nil {
+		t.Fatalf("integrity after injection: %v", err)
+	}
+	// Save/Load round-trip: injected corpora are shipped as artifacts.
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatalf("reload injected corpus: %v", err)
+	}
+
+	for _, seed := range seeds {
+		if len(seed.Keywords) == 0 || seed.Venue == "" {
+			t.Fatalf("%s/%d: incomplete seed %+v", seed.Scenario, seed.Case, seed)
+		}
+		if _, ok := c.VenueByName(seed.Venue); !ok {
+			t.Fatalf("%s/%d: venue %q not in corpus", seed.Scenario, seed.Case, seed.Venue)
+		}
+		// Planted and Forbidden are disjoint, valid, and exclude authors.
+		authors := map[ScholarID]bool{seed.Lead: true}
+		for _, a := range seed.CoAuthors {
+			authors[a] = true
+		}
+		planted := map[ScholarID]bool{}
+		for _, id := range seed.Planted {
+			if int(id) < baseScholars || int(id) >= len(c.Scholars) {
+				t.Fatalf("%s/%d: planted %d outside injected range", seed.Scenario, seed.Case, id)
+			}
+			if authors[id] {
+				t.Fatalf("%s/%d: planted %d is an author", seed.Scenario, seed.Case, id)
+			}
+			planted[id] = true
+		}
+		for _, id := range seed.Forbidden {
+			if planted[id] {
+				t.Fatalf("%s/%d: %d both planted and forbidden", seed.Scenario, seed.Case, id)
+			}
+			if authors[id] {
+				t.Fatalf("%s/%d: forbidden %d is an author", seed.Scenario, seed.Case, id)
+			}
+		}
+		// Planted reviewers must clear the default track-record floor.
+		for _, id := range seed.Planted {
+			if n := len(c.Scholar(id).Publications); n < 3 {
+				t.Fatalf("%s/%d: planted %d has %d pubs", seed.Scenario, seed.Case, id, n)
+			}
+		}
+	}
+}
+
+func TestInjectScenarioStructures(t *testing.T) {
+	c, opts := scenarioBase(t, 12)
+
+	t.Run("coi-web", func(t *testing.T) {
+		seeds, err := InjectScenario(c, "coi-web", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := seeds[0]
+		lead := c.Scholar(seed.Lead)
+		co := c.CoAuthors(seed.Lead)
+		rings, clusters := 0, 0
+		for _, id := range seed.Forbidden {
+			s := c.Scholar(id)
+			if _, shared := co[id]; shared {
+				rings++
+			} else if s.AffiliatedWith(lead.CurrentAffiliation().Institution) {
+				clusters++
+			} else {
+				t.Fatalf("forbidden %d is neither co-author nor institution-mate", id)
+			}
+		}
+		if rings != 5 || clusters != 4 {
+			t.Fatalf("web = %d ring + %d cluster, want 5 + 4", rings, clusters)
+		}
+		for _, id := range seed.Planted {
+			if _, shared := co[id]; shared || c.Scholar(id).AffiliatedWith(lead.CurrentAffiliation().Institution) {
+				t.Fatalf("planted %d is actually conflicted", id)
+			}
+		}
+	})
+
+	t.Run("name-collision", func(t *testing.T) {
+		seeds, err := InjectScenario(c, "name-collision", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := seeds[0]
+		bad := seed.Forbidden[0]
+		full := c.Scholar(bad).Name.Full()
+		twins := c.ScholarsByName(full)
+		if len(twins) < 4 {
+			t.Fatalf("%q shared by %d scholars, want >= 4", full, len(twins))
+		}
+		// The clean twin shares the name but not the institution.
+		var cleanTwin ScholarID = -1
+		for _, id := range seed.Planted {
+			if c.Scholar(id).Name.Full() == full {
+				cleanTwin = id
+			}
+		}
+		if cleanTwin < 0 {
+			t.Fatal("no clean twin among planted")
+		}
+		leadInst := c.Scholar(seed.Lead).CurrentAffiliation().Institution
+		if c.Scholar(cleanTwin).AffiliatedWith(leadInst) {
+			t.Fatal("clean twin shares the lead's institution")
+		}
+		if !c.Scholar(bad).AffiliatedWith(leadInst) {
+			t.Fatal("conflicted twin does not share the lead's institution")
+		}
+	})
+
+	t.Run("reviewer-overlap", func(t *testing.T) {
+		seeds, err := InjectScenario(c, "reviewer-overlap", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := seeds[0]
+		if len(seed.Planted) != 8 {
+			t.Fatalf("clique = %d, want 8", len(seed.Planted))
+		}
+		// Every clique pair shares papers; none shares with the lead.
+		first := seed.Planted[0]
+		co := c.CoAuthors(first)
+		for _, other := range seed.Planted[1:] {
+			if _, ok := co[other]; !ok {
+				t.Fatalf("clique members %d and %d share no paper", first, other)
+			}
+		}
+		if _, ok := co[seed.Lead]; ok {
+			t.Fatal("clique co-authors with the lead")
+		}
+	})
+
+	t.Run("multilingual", func(t *testing.T) {
+		seeds, err := InjectScenario(c, "multilingual", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seed := seeds[0]
+		v, ok := c.VenueByName(seed.Venue)
+		if !ok {
+			t.Fatalf("venue %q missing", seed.Venue)
+		}
+		if !utf8.ValidString(v.Name) || !utf8.ValidString(v.Abbrev) {
+			t.Fatalf("venue name/abbrev not valid UTF-8: %q %q", v.Name, v.Abbrev)
+		}
+		nonASCII := 0
+		for _, id := range append(append([]ScholarID{seed.Lead}, seed.Planted...), seed.Forbidden...) {
+			full := c.Scholar(id).Name.Full()
+			if !utf8.ValidString(full) {
+				t.Fatalf("scholar %d name %q invalid UTF-8", id, full)
+			}
+			if len(full) != len([]rune(full)) {
+				nonASCII++
+			}
+		}
+		if nonASCII == 0 {
+			t.Fatal("no diacritic names planted")
+		}
+	})
+
+	t.Run("unknown scenario", func(t *testing.T) {
+		if _, err := InjectScenario(c, "no-such", opts); err == nil {
+			t.Fatal("expected error")
+		}
+	})
+}
+
+// TestInjectScenariosDeterministic: same corpus seed, same options ⇒
+// byte-identical injected artifact and identical seeds.
+func TestInjectScenariosDeterministic(t *testing.T) {
+	build := func() (*Corpus, []CaseSeed) {
+		c, opts := scenarioBase(t, 13)
+		opts.Cases = 2
+		seeds, err := InjectScenarios(c, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, seeds
+	}
+	c1, s1 := build()
+	c2, s2 := build()
+	if len(s1) != len(s2) {
+		t.Fatalf("seed counts differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		a, b := s1[i], s2[i]
+		if a.Scenario != b.Scenario || a.Lead != b.Lead || a.Venue != b.Venue {
+			t.Fatalf("seed %d diverged: %+v vs %+v", i, a, b)
+		}
+	}
+	var b1, b2 bytes.Buffer
+	if err := c1.Save(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Save(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("injected corpora differ byte-wise for identical inputs")
+	}
+}

@@ -1,0 +1,155 @@
+package scholarly
+
+import (
+	"fmt"
+	"io"
+)
+
+// Corpus sizing: corpusgen promises "--tot-size lands within ±10% of the
+// requested bytes, deterministically per seed". The serialized size of a
+// generated world is close to linear in NumScholars (publications,
+// reviews, and citations all scale with the population), so GenerateToSize
+// runs a cheap pilot generation, extrapolates the scholar count, and
+// refines with a few full probes until the serialized artifact is inside
+// the tolerance band.
+
+// SizeTolerance is the relative error GenerateToSize aims for
+// internally. It is tighter than the ±10% the CLI advertises so that
+// scenario injection afterwards still leaves room before the acceptance
+// band is breached.
+const SizeTolerance = 0.08
+
+// minSizeTarget is the smallest target GenerateToSize accepts: below
+// roughly the serialized size of a MinScholars corpus there is nothing
+// to scale down, and the promise of ±10% cannot be kept.
+const minSizeTarget = 4 << 10
+
+// SizeStats reports how GenerateToSize landed on its final corpus.
+type SizeStats struct {
+	TargetBytes int64 // requested size
+	Bytes       int64 // serialized (gzipped) size of the returned corpus
+	Scholars    int   // NumScholars of the returned corpus
+	Probes      int   // full generations performed, pilot included
+}
+
+// RelErr is the signed relative error of Bytes against TargetBytes.
+func (s SizeStats) RelErr() float64 {
+	return float64(s.Bytes-s.TargetBytes) / float64(s.TargetBytes)
+}
+
+// SerializedSize returns the exact byte length Save would write for the
+// corpus, without materialising the snapshot.
+func (c *Corpus) SerializedSize() (int64, error) {
+	var cw countingWriter
+	if err := c.Save(&cw); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// GenerateToSize grows cfg.NumScholars until the serialized corpus lands
+// within SizeTolerance of targetBytes. The result is deterministic for a
+// given (cfg.Seed, targetBytes) pair: the probe sequence depends only on
+// measured sizes, which depend only on the seed. cfg.NumScholars is
+// ignored; every other field keeps its meaning. Returns a *ConfigError
+// for targets too small to hit.
+func GenerateToSize(cfg GeneratorConfig, targetBytes int64) (*Corpus, SizeStats, error) {
+	if targetBytes < minSizeTarget {
+		return nil, SizeStats{}, &ConfigError{
+			Field:  "TargetBytes",
+			Reason: fmt.Sprintf("%d below the %d-byte minimum a corpus serializes to", targetBytes, int64(minSizeTarget)),
+		}
+	}
+
+	stats := SizeStats{TargetBytes: targetBytes}
+	generate := func(scholars int) (*Corpus, int64, error) {
+		cfg.NumScholars = scholars
+		c, err := Generate(cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		n, err := c.SerializedSize()
+		if err != nil {
+			return nil, 0, err
+		}
+		stats.Probes++
+		return c, n, nil
+	}
+
+	// Pilot: small enough to be cheap, large enough that per-scholar cost
+	// dominates the fixed overhead (venue list, gzip header).
+	const pilotScholars = 256
+	best, bestSize, err := generate(pilotScholars)
+	if err != nil {
+		return nil, stats, err
+	}
+	scholars := pilotScholars
+
+	for probe := 0; probe < 6; probe++ {
+		relErr := float64(bestSize-targetBytes) / float64(targetBytes)
+		if relErr >= -SizeTolerance && relErr <= SizeTolerance {
+			break
+		}
+		// Linear extrapolation on bytes-per-scholar from the latest probe.
+		next := int(float64(scholars) * float64(targetBytes) / float64(bestSize))
+		if next < MinScholars {
+			next = MinScholars
+		}
+		if next == scholars {
+			// Step quantised to zero: one scholar is the finest knob.
+			if bestSize > targetBytes {
+				next = scholars - 1
+			} else {
+				next = scholars + 1
+			}
+			if next < MinScholars {
+				break
+			}
+		}
+		scholars = next
+		best, bestSize, err = generate(scholars)
+		if err != nil {
+			return nil, stats, err
+		}
+	}
+
+	stats.Bytes = bestSize
+	stats.Scholars = scholars
+	if relErr := stats.RelErr(); relErr < -SizeTolerance || relErr > SizeTolerance {
+		return nil, stats, &ConfigError{
+			Field: "TargetBytes",
+			Reason: fmt.Sprintf("converged to %d bytes (%+.1f%%) for target %d — target too small for this config",
+				bestSize, 100*relErr, targetBytes),
+		}
+	}
+	return best, stats, nil
+}
+
+// SaveCounted writes the corpus through w and reports the bytes written;
+// callers that need both the artifact and its measured size (corpusgen)
+// avoid serializing twice.
+func (c *Corpus) SaveCounted(w io.Writer) (int64, error) {
+	cw := &meteredWriter{w: w}
+	if err := c.Save(cw); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type meteredWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (m *meteredWriter) Write(p []byte) (int, error) {
+	n, err := m.w.Write(p)
+	m.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,116 @@
+package scholarly
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"minaret/internal/ontology"
+)
+
+func sizerConfig(seed int64) GeneratorConfig {
+	o := ontology.Default()
+	return GeneratorConfig{
+		Seed:    seed,
+		Topics:  o.Topics(),
+		Related: o.RelatedMap(),
+		// A short year span keeps per-scholar cost low so the 100×
+		// probe sequence stays fast in tests.
+		StartYear:   2012,
+		HorizonYear: 2018,
+	}
+}
+
+func serialize(t *testing.T, c *Corpus) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateToSizeHitsTargets drives the sizer across a spread of
+// targets — roughly 1×, 10×, and 100× of a small base — and requires
+// every landing inside the advertised ±10% band (the sizer aims for the
+// tighter internal SizeTolerance; the assertion here is the public
+// contract).
+func TestGenerateToSizeHitsTargets(t *testing.T) {
+	base := int64(64 << 10)
+	for _, mult := range []int64{1, 10, 100} {
+		target := base * mult
+		c, stats, err := GenerateToSize(sizerConfig(42), target)
+		if err != nil {
+			t.Fatalf("target %d: %v", target, err)
+		}
+		if rel := stats.RelErr(); rel < -0.10 || rel > 0.10 {
+			t.Fatalf("target %d: landed at %d bytes (%+.1f%%), outside ±10%%",
+				target, stats.Bytes, 100*rel)
+		}
+		if got, err := c.SerializedSize(); err != nil || got != stats.Bytes {
+			t.Fatalf("target %d: SerializedSize = %d, %v; stats say %d", target, got, err, stats.Bytes)
+		}
+		if stats.Scholars != len(c.Scholars) {
+			t.Fatalf("stats scholars %d != corpus %d", stats.Scholars, len(c.Scholars))
+		}
+		t.Logf("target %8d: %8d bytes (%+5.1f%%), %5d scholars, %d probes",
+			target, stats.Bytes, 100*stats.RelErr(), stats.Scholars, stats.Probes)
+	}
+}
+
+// TestGenerateToSizeByteDeterministic is the property the perf ledger
+// and load-smoke lean on: same seed + same target ⇒ byte-identical
+// serialized corpus, at both 10× and 100× scale.
+func TestGenerateToSizeByteDeterministic(t *testing.T) {
+	base := int64(48 << 10)
+	for _, tc := range []struct {
+		name string
+		seed int64
+		mult int64
+	}{
+		{"10x seed 7", 7, 10},
+		{"10x seed 8", 8, 10},
+		{"100x seed 7", 7, 100},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			target := base * tc.mult
+			c1, s1, err := GenerateToSize(sizerConfig(tc.seed), target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c2, s2, err := GenerateToSize(sizerConfig(tc.seed), target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1 != s2 {
+				t.Fatalf("size stats diverged: %+v vs %+v", s1, s2)
+			}
+			b1, b2 := serialize(t, c1), serialize(t, c2)
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("same seed %d, same target %d: %d-byte and %d-byte artifacts differ",
+					tc.seed, target, len(b1), len(b2))
+			}
+		})
+	}
+	// Different seeds must not collide (the artifact encodes the world,
+	// not just its size).
+	cA, _, err := GenerateToSize(sizerConfig(7), base*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cB, _, err := GenerateToSize(sizerConfig(8), base*10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(serialize(t, cA), serialize(t, cB)) {
+		t.Fatal("seeds 7 and 8 produced identical artifacts")
+	}
+}
+
+func TestGenerateToSizeRejectsTinyTargets(t *testing.T) {
+	_, _, err := GenerateToSize(sizerConfig(1), 100)
+	var ce *ConfigError
+	if !errors.As(err, &ce) || ce.Field != "TargetBytes" {
+		t.Fatalf("err = %v, want *ConfigError on TargetBytes", err)
+	}
+}

@@ -2,6 +2,7 @@ package simweb
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -152,4 +153,53 @@ func ParseRID(rid string) (scholarly.ScholarID, bool) {
 		return 0, false
 	}
 	return id, true
+}
+
+// siteParsers maps site key (as profile.Profile.SiteIDs uses them) to
+// its inverse id codec, in the priority order ScholarIDOf tries.
+var siteParsers = []struct {
+	site  string
+	parse func(string) (scholarly.ScholarID, bool)
+}{
+	{"scholar", ParseScholarUser},
+	{"publons", ParsePublonsID},
+	{"dblp", ParseDBLPPID},
+	{"orcid", ParseORCID},
+	{"acm", ParseACMID},
+	{"rid", ParseRID},
+}
+
+// ScholarIDOf maps an assembled profile's site-id set back to its corpus
+// identity via any invertible site id. The boolean is false when no id
+// parses.
+func ScholarIDOf(siteIDs map[string]string) (scholarly.ScholarID, bool) {
+	for _, p := range siteParsers {
+		if raw, ok := siteIDs[p.site]; ok {
+			if id, ok := p.parse(raw); ok {
+				return id, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// ScholarIDsOf returns every distinct corpus identity the site-id set
+// resolves to, sorted. A correctly assembled profile resolves to exactly
+// one; two or more is the signature of a name-resolution merge (site ids
+// belonging to different scholars glued onto one profile).
+func ScholarIDsOf(siteIDs map[string]string) []scholarly.ScholarID {
+	seen := map[scholarly.ScholarID]bool{}
+	var out []scholarly.ScholarID
+	for _, p := range siteParsers {
+		raw, ok := siteIDs[p.site]
+		if !ok {
+			continue
+		}
+		if id, ok := p.parse(raw); ok && !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }

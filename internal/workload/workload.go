@@ -144,6 +144,24 @@ func (g *Generator) generateOne() (Item, bool) {
 	return item, true
 }
 
+// JudgeManuscript judges an externally constructed manuscript whose
+// corpus author identities are known, returning a fully populated Item.
+// This is how scenario-seeded manuscripts (loadgen manifests) get the
+// same ground-truth relevance and COI sets as generated workload items:
+// graded topical relevance over true topic affinities, split by
+// ground-truth conflicts (co-authorship ever, shared institution ever).
+func (g *Generator) JudgeManuscript(m core.Manuscript, authorIDs []scholarly.ScholarID) Item {
+	item := Item{
+		Manuscript: m,
+		AuthorIDs:  append([]scholarly.ScholarID(nil), authorIDs...),
+		Relevance:  map[scholarly.ScholarID]float64{},
+		Relevant:   map[scholarly.ScholarID]bool{},
+		Conflicted: map[scholarly.ScholarID]bool{},
+	}
+	g.judge(&item)
+	return item
+}
+
 // pickLead prefers scholars with publications, co-authors and interests.
 func (g *Generator) pickLead() *scholarly.Scholar {
 	for tries := 0; tries < 50; tries++ {
