@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server cluster-smoke load-smoke docs-check ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server cluster-smoke load-smoke adapt-smoke docs-check ci
 
 # The perf ledger bench-ledger writes; bump the number with the PR
 # sequence so ledger-check can diff consecutive ledgers.
-LEDGER ?= BENCH_8.json
+LEDGER ?= BENCH_9.json
 
 all: build
 
@@ -49,6 +49,7 @@ bench-smoke:
 	$(GO) test -bench='BenchmarkRetrieveCluster|BenchmarkRetrieveCold' -benchtime=1x -run '^$$' ./internal/core
 	$(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -run '^$$' .
 	$(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -run '^$$' ./internal/jobs
+	$(GO) test -bench=BenchmarkAdaptTick -benchtime=100x -run '^$$' ./internal/adapt
 	$(GO) test -bench='BenchmarkCorpusGen$$/10x|BenchmarkWarmBatch10x' -benchtime=1x -run '^$$' .
 
 # Record the smoke suite as a perf ledger (see cmd/benchledger).
@@ -56,14 +57,15 @@ bench-smoke:
 # benchmark — scheduling jitter only ever adds time, so the minimum is
 # the closest to the code's true cost on a noisy box. ScheduleTick is
 # a ~100µs single-iteration microbenchmark whose one-shot timings
-# spread >2x under jitter, so it gets -count=10 for a stable minimum.
+# spread >2x under jitter, so it gets -count=20 for a stable minimum.
 bench-ledger:
 	@set -e; tmp=$$(mktemp); \
 	run() { "$$@" >>"$$tmp" 2>&1 || { cat "$$tmp"; rm -f "$$tmp"; exit 1; }; }; \
 	run $(GO) test -bench=BenchmarkBatchPipeline -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
 	run $(GO) test -bench='BenchmarkRetrieveCluster|BenchmarkRetrieveCold' -benchtime=1x -count=3 -benchmem -run '^$$' ./internal/core ; \
 	run $(GO) test -bench=BenchmarkJobThroughput -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
-	run $(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -count=10 -benchmem -run '^$$' ./internal/jobs ; \
+	run $(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -count=20 -benchmem -run '^$$' ./internal/jobs ; \
+	run $(GO) test -bench=BenchmarkAdaptTick -benchtime=100x -count=3 -benchmem -run '^$$' ./internal/adapt ; \
 	run $(GO) test -bench='BenchmarkCorpusGen$$/10x|BenchmarkWarmBatch10x' -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
 	$(GO) run ./cmd/benchledger -out $(LEDGER) <"$$tmp"; \
 	rm -f "$$tmp"
@@ -96,6 +98,14 @@ cluster-smoke:
 load-smoke:
 	$(GO) test -count=1 -run TestLoadSmoke -v ./cmd/minaret
 
+# CI gate: the self-adaptation acceptance scenario — adaptbench replays
+# one venue-deadline-spike trace against an undersized server with
+# adaptation off and then the threshold policy; the adaptive run must
+# shed strictly less, journal at least one applied scale-up, and keep
+# every correctness gate at zero.
+adapt-smoke:
+	$(GO) test -count=1 -run TestAdaptSmoke -v ./cmd/minaret
+
 # Documentation gate: the docs tree exists, every relative markdown link
 # in README.md and docs/ resolves, every internal package carries a
 # package comment, every minaret-server flag is documented in the
@@ -111,7 +121,7 @@ docs-check: fmt-check vet
 				echo "docs-check: flag -$$f (cmd/$$bin) is missing from docs/OPERATIONS.md"; fail=1; }; \
 		done; \
 	done; \
-	for src in cmd/minaret/corpusgen.go cmd/minaret/loadgen.go; do \
+	for src in cmd/minaret/corpusgen.go cmd/minaret/loadgen.go cmd/minaret/adaptbench.go; do \
 		for f in $$(grep -oE 'fs\.[A-Za-z0-9]+\("[a-z0-9-]+"' $$src | sed -E 's/.*\("([a-z0-9-]+)".*/\1/' | sort -u); do \
 			grep -q -- "\`-$$f\`" docs/OPERATIONS.md || { \
 				echo "docs-check: flag -$$f ($$src) is missing from docs/OPERATIONS.md"; fail=1; }; \
@@ -139,4 +149,4 @@ docs-check: fmt-check vet
 	[ "$$fail" -eq 0 ] || exit 1
 	@echo "docs-check: ok"
 
-ci: fmt-check vet build race bench-smoke cluster-smoke load-smoke ledger-check docs-check
+ci: fmt-check vet build race bench-smoke cluster-smoke load-smoke adapt-smoke ledger-check docs-check

@@ -22,6 +22,16 @@
 // with -schedule-store and fire every -schedule-tick. The full
 // operations runbook is docs/OPERATIONS.md.
 //
+// The runtime can also tune itself: -adapt=threshold|utility starts a
+// MAPE-K control loop that samples queue, cache and scheduler signals
+// every -adapt-tick and turns the worker-pool size, queue capacity,
+// retrieval TTL and janitor cadence through clamped actuators
+// (-adapt-config overrides the built-in rule table or utility
+// weights). Decisions are journaled and served at /api/adapt; the
+// default off runs no loop at all. docs/OPERATIONS.md, "Adaptive
+// control", covers the policies and the adaptbench harness that
+// scores them.
+//
 // A deployment can shard across processes: give each server a unique
 // -shard name, point them all at one -jobs-dir (per-venue job
 // partitions claimed through leases, so no job runs twice) and one
@@ -55,6 +65,8 @@ import (
 	"syscall"
 	"time"
 
+	"minaret/internal/adapt"
+	"minaret/internal/cache"
 	"minaret/internal/cluster"
 	"minaret/internal/core"
 	"minaret/internal/fetch"
@@ -101,6 +113,10 @@ func main() {
 		webhookTimeout = flag.Duration("webhook-timeout", 10*time.Second, "per-attempt timeout for job completion webhooks")
 		webhookRetries = flag.Int("webhook-retries", 3, "failed webhook delivery retries (0 = deliver once, never retry)")
 		webhookSecret  = flag.String("webhook-secret", "", "HMAC-SHA256 key signing webhook bodies (empty: deliveries are unsigned)")
+
+		adaptMode   = flag.String("adapt", "off", "self-adaptation policy: off, threshold (rule table) or utility (NFR-weighted argmax); see docs/OPERATIONS.md, Adaptive control")
+		adaptTick   = flag.Duration("adapt-tick", time.Second, "control-loop sampling period when -adapt is on")
+		adaptConfig = flag.String("adapt-config", "", "JSON policy-configuration file overriding the built-in threshold rules and utility weights (empty: defaults)")
 	)
 	flag.Parse()
 
@@ -143,6 +159,15 @@ func main() {
 	}
 	if *shardName != "" && *leaseTTL <= 0 {
 		log.Fatalf("minaret-server: -lease-ttl %v must be positive in cluster mode", *leaseTTL)
+	}
+	adaptOn := *adaptMode != "off"
+	if adaptOn {
+		if _, err := adapt.NewPolicy(*adaptMode, nil, adapt.Limits{}); err != nil {
+			log.Fatalf("minaret-server: %v", err)
+		}
+		if *adaptTick <= 0 {
+			log.Fatalf("minaret-server: -adapt-tick %v must be positive", *adaptTick)
+		}
 	}
 
 	o := ontology.Default()
@@ -252,9 +277,14 @@ func main() {
 		}
 	}
 
-	if anyTTL {
-		stopJanitor := shared.StartJanitor(*sweepEvery)
-		defer stopJanitor()
+	// The janitor runs whenever entries can expire — including under
+	// adaptation, whose TTL actions can introduce expiry at runtime. The
+	// handle (not just a stop func) is kept so the actuator can retune
+	// the sweep cadence.
+	var janitor *cache.JanitorHandle
+	if anyTTL || adaptOn {
+		janitor = shared.NewJanitor(*sweepEvery)
+		defer janitor.Stop()
 	}
 	var stopSnapshotter func() error
 	if *snapPath != "" {
@@ -354,6 +384,39 @@ func main() {
 			schedRestore.Restored, schedRestore.Due, schedRestore.Dropped)
 	}
 
+	// Self-adaptation loop: started last, once every knob it turns
+	// exists. Default off — without -adapt the server behaves exactly as
+	// before.
+	var adaptCtl *adapt.Controller
+	if adaptOn {
+		var cfg *adapt.Config
+		if *adaptConfig != "" {
+			cfg, err = adapt.LoadConfig(*adaptConfig)
+			if err != nil {
+				log.Fatalf("minaret-server: %v", err)
+			}
+		}
+		limits := adapt.Limits{}
+		policy, err := adapt.NewPolicy(*adaptMode, cfg, limits)
+		if err != nil {
+			log.Fatalf("minaret-server: %v", err)
+		}
+		actuator := adapt.NewSystemActuator(queue, shared, janitor, limits)
+		adaptCtl, err = adapt.NewController(adapt.Options{
+			Policy:   policy,
+			Monitor:  adapt.NewMonitor(queue, shared, sched, nil),
+			Actuator: actuator,
+			Tick:     *adaptTick,
+			Logf:     log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("minaret-server: %v", err)
+		}
+		adaptCtl.Start()
+		server.SetAdapt(adaptCtl)
+		log.Printf("adaptation: %s policy, tick %v (journal at /api/adapt)", policy.Name(), *adaptTick)
+	}
+
 	fmt.Printf("MINARET API on %s\n", *addr)
 	fmt.Println("  GET  /                     web form")
 	fmt.Println("  POST /api/recommend        run the full pipeline")
@@ -377,6 +440,12 @@ func main() {
 		// the drain regains default behavior and kills the process.
 		stop()
 		log.Printf("shutting down")
+	}
+	// The adaptation loop stops before anything it actuates: a tick
+	// firing into a half-stopped queue or swept-away caches would turn
+	// knobs on a corpse.
+	if adaptCtl != nil {
+		adaptCtl.Stop()
 	}
 	// Stop the scheduler first — no new fires may land in a stopping
 	// queue — then the job queue, each on its own budget: a scheduler

@@ -1,0 +1,337 @@
+// The adaptbench subcommand: the internal/adapt evaluation harness. It
+// builds one scenario corpus and ground-truth manifest, shapes one
+// loadgen trace per requested traffic shape, and replays that identical
+// trace against a freshly booted in-process server once per adaptation
+// mode (off, threshold, utility). Every mode therefore faces the same
+// submissions against the same scholarly web — the only variable is
+// whether a control loop is turning the runtime knobs — and the run
+// ends in a machine-readable comparison: shed load, p99 turnaround,
+// correctness-gate violations and the actions each policy journaled.
+//
+// The default server sizing (-bench-workers 1, -bench-depth 2) plus
+// simulated source latency (-source-delay) makes the static baseline
+// shed under the burst shapes, so the adaptive runs have something real
+// to win: the exit code is 0 only when every adaptive mode beat the
+// baseline on shed load or p99 turnaround with zero gate violations.
+//
+// Usage:
+//
+//	minaret adaptbench                                # default shapes and modes
+//	minaret adaptbench -shapes venue-deadline-spike -modes off,threshold \
+//	        -json -out adaptbench.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"minaret/internal/adapt"
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/httpapi"
+	"minaret/internal/jobs"
+	"minaret/internal/loadgen"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// AdaptBenchReport is the subcommand's top-level JSON payload: one
+// EvalComparison per shape plus the across-shapes verdict.
+type AdaptBenchReport struct {
+	Shapes []adapt.EvalComparison `json:"shapes"`
+	// AllBeatBaseline: every adaptive run beat the off baseline on shed
+	// load or p99 turnaround in every shape.
+	AllBeatBaseline bool `json:"all_beat_baseline"`
+	// ZeroGateViolations: no run, baseline included, violated a
+	// correctness gate (COI leak, identity merge, duplicate, self
+	// recommendation, webhook misdelivery).
+	ZeroGateViolations bool `json:"zero_gate_violations"`
+}
+
+func runAdaptBench(args []string) {
+	fs := flag.NewFlagSet("minaret adaptbench", flag.ExitOnError)
+	var (
+		shapesFlag = fs.String("shapes", "venue-deadline-spike,rescrape-storm", "comma-separated loadgen shapes to replay per mode")
+		modesFlag  = fs.String("modes", "off,threshold,utility", "comma-separated adaptation modes to compare (must include off, the baseline)")
+		seed       = fs.Int64("seed", 42, "corpus and trace seed")
+		scholars   = fs.Int("scholars", 300, "corpus size the in-process scholarly web serves")
+		rate       = fs.Float64("rate", 2.5, "average submissions per second in the shaped traces")
+		duration   = fs.Duration("duration", 20*time.Second, "trace span per shape")
+		speedup    = fs.Float64("speedup", 2, "divide trace offsets during replay")
+		workers    = fs.Int("bench-workers", 1, "initial job workers per server (the knob adaptation may turn)")
+		depth      = fs.Int("bench-depth", 2, "initial queue depth per server (429 beyond it)")
+		adaptTick  = fs.Duration("adapt-tick", 200*time.Millisecond, "control-loop period for the adaptive modes")
+		adaptCfg   = fs.String("adapt-config", "", "JSON policy-configuration file (empty: built-in defaults)")
+		srcDelay   = fs.Duration("source-delay", 120*time.Millisecond, "simulated per-request scholarly-source latency (the pressure that makes the baseline shed)")
+		cacheTTL   = fs.Duration("cache-ttl", 0, "retrieval-cache TTL per server (0 = never expire; set low to give TTL actions churn to react to)")
+		jobTimeout = fs.Duration("job-timeout", 2*time.Minute, "submit-to-terminal budget per replayed job")
+		outPath    = fs.String("out", "", "also write the JSON report to this file")
+		asJSON     = fs.Bool("json", false, "print the full report as JSON instead of the summary")
+	)
+	fs.Parse(args)
+
+	modes := splitList(*modesFlag)
+	shapes := splitList(*shapesFlag)
+	if len(modes) == 0 || modes[0] != "off" {
+		fmt.Fprintln(os.Stderr, "minaret adaptbench: -modes must start with off (the baseline)")
+		os.Exit(2)
+	}
+	var cfg *adapt.Config
+	if *adaptCfg != "" {
+		var err error
+		cfg, err = adapt.LoadConfig(*adaptCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, m := range modes[1:] {
+		if _, err := adapt.NewPolicy(m, cfg, adapt.Limits{}); err != nil {
+			log.Fatalf("minaret adaptbench: %v", err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// One corpus, one manifest, one simulated web: every mode extracts
+	// from the same ground truth under the same injected source latency.
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: *seed, NumScholars: *scholars, Topics: o.Topics(), Related: o.RelatedMap(),
+		StartYear: 2010, HorizonYear: 2018,
+	})
+	caseSeeds, err := scholarly.InjectScenarios(corpus, nil, scholarly.ScenarioOptions{
+		Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	manifest, err := loadgen.BuildManifest(corpus, o, caseSeeds, loadgen.BuildOptions{TopK: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	web := httptest.NewServer(simweb.New(corpus, simweb.Config{
+		Latency: *srcDelay, Seed: *seed,
+	}).Mux())
+	defer web.Close()
+
+	bench := benchEnv{
+		ontology: o, corpus: corpus, manifest: manifest, webURL: web.URL,
+		workers: *workers, depth: *depth,
+		adaptTick: *adaptTick, cfg: cfg, cacheTTL: *cacheTTL,
+		speedup: *speedup, jobTimeout: *jobTimeout,
+	}
+
+	report := AdaptBenchReport{AllBeatBaseline: true, ZeroGateViolations: true}
+	for _, shape := range shapes {
+		header, events, err := loadgen.Shape(shape, loadgen.ShapeOptions{
+			Seed: *seed, Rate: *rate, Duration: *duration, Cases: len(manifest.Cases),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var baseline adapt.EvalRun
+		var adaptive []adapt.EvalRun
+		for _, mode := range modes {
+			fmt.Fprintf(os.Stderr, "adaptbench: %s / %s (%d events)\n", shape, mode, len(events))
+			run, err := bench.runMode(ctx, mode, shape, header, events)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if mode == "off" {
+				baseline = run
+			} else {
+				adaptive = append(adaptive, run)
+			}
+		}
+		cmp := adapt.Compare(baseline, adaptive)
+		report.Shapes = append(report.Shapes, cmp)
+		report.AllBeatBaseline = report.AllBeatBaseline && cmp.AllBeatBaseline
+		report.ZeroGateViolations = report.ZeroGateViolations && cmp.ZeroGateViolations
+	}
+
+	if *outPath != "" {
+		rf, err := os.Create(*outPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(rf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err == nil {
+			err = rf.Close()
+		} else {
+			rf.Close()
+		}
+		if err != nil {
+			log.Fatalf("write %s: %v", *outPath, err)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(report)
+	} else {
+		printAdaptBench(&report)
+	}
+	if !report.ZeroGateViolations || (len(modes) > 1 && !report.AllBeatBaseline) {
+		os.Exit(1)
+	}
+}
+
+// benchEnv is the fixed part of the harness every (shape, mode) run
+// shares.
+type benchEnv struct {
+	ontology *ontology.Ontology
+	corpus   *scholarly.Corpus
+	manifest *loadgen.Manifest
+	webURL   string
+
+	workers, depth int
+	adaptTick      time.Duration
+	cfg            *adapt.Config
+	cacheTTL       time.Duration
+	speedup        float64
+	jobTimeout     time.Duration
+}
+
+// runMode boots a fresh server (cold caches, cold fetch client, the
+// same initial worker/depth sizing), optionally starts the adaptation
+// loop, replays the trace and folds the replay report plus the
+// controller's journal into one EvalRun.
+func (b *benchEnv) runMode(ctx context.Context, mode, shape string, header loadgen.TraceHeader, events []loadgen.Event) (adapt.EvalRun, error) {
+	f := fetch.New(fetch.Options{Timeout: 20 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	registry := sources.DefaultRegistry(f, sources.SingleHost(b.webURL))
+	srv := httpapi.New(registry, b.ontology, core.Config{TopK: 5, MaxCandidates: 60}, b.corpus.HorizonYear)
+	srv.SetFetcher(f)
+	shared := core.NewShared(core.SharedOptions{RetrievalTTL: b.cacheTTL})
+	srv.SetShared(shared, nil)
+
+	queue, _, err := srv.EnableJobs(jobs.Options{Workers: b.workers, Depth: b.depth})
+	if err != nil {
+		return adapt.EvalRun{}, err
+	}
+
+	var ctl *adapt.Controller
+	if mode != "off" {
+		limits := adapt.Limits{}
+		policy, err := adapt.NewPolicy(mode, b.cfg, limits)
+		if err != nil {
+			return adapt.EvalRun{}, err
+		}
+		ctl, err = adapt.NewController(adapt.Options{
+			Policy:   policy,
+			Monitor:  adapt.NewMonitor(queue, shared, nil, nil),
+			Actuator: adapt.NewSystemActuator(queue, shared, nil, limits),
+			Tick:     b.adaptTick,
+		})
+		if err != nil {
+			return adapt.EvalRun{}, err
+		}
+		ctl.Start()
+		srv.SetAdapt(ctl)
+	}
+
+	api := httptest.NewServer(srv.Handler())
+	report, err := loadgen.Replay(ctx, loadgen.ReplayOptions{
+		BaseURL:    api.URL,
+		Manifest:   b.manifest,
+		Header:     header,
+		Events:     events,
+		SpeedUp:    b.speedup,
+		JobTimeout: b.jobTimeout,
+	})
+	if ctl != nil {
+		ctl.Stop()
+	}
+	if err == nil {
+		stopCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		err = queue.Stop(stopCtx)
+		cancel()
+	}
+	finalWorkers := queue.Stats().Workers
+	api.Close()
+	if err != nil {
+		return adapt.EvalRun{}, err
+	}
+
+	run := adapt.EvalRun{
+		Mode:            mode,
+		Shape:           shape,
+		Pass:            report.Pass,
+		GateViolations:  gateViolations(report),
+		Submitted:       report.Submitted,
+		Completed:       report.Completed,
+		Shed:            report.Shed,
+		TurnaroundP50Ms: float64(report.TurnaroundLatency.P50) / float64(time.Millisecond),
+		TurnaroundP99Ms: float64(report.TurnaroundLatency.P99) / float64(time.Millisecond),
+		WallClockS:      report.WallClock.Seconds(),
+		FinalWorkers:    finalWorkers,
+	}
+	if ctl != nil {
+		st := ctl.Stats()
+		run.Ticks = st.Ticks
+		run.Applied = st.Applied
+		run.ActionsByKind = st.ByKind
+		run.Journal = ctl.Journal(0)
+	}
+	return run, nil
+}
+
+// gateViolations counts the correctness gates only — COI leaks,
+// identity merges, duplicates, self recommendations and webhook
+// misdelivery. Shed load and slow turnarounds are the metrics the
+// comparison scores, not violations.
+func gateViolations(r *loadgen.Report) int {
+	n := r.COILeaks + r.Merges + r.Duplicates + r.SelfRecs + r.WebhookDuplicates
+	if missing := r.WebhooksExpected - r.WebhooksDelivered; missing > 0 {
+		n += missing
+	}
+	return n
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func printAdaptBench(r *AdaptBenchReport) {
+	for _, cmp := range r.Shapes {
+		fmt.Printf("shape %s (baseline: %d shed, p99 %.0fms, %d gate violations)\n",
+			cmp.Shape, cmp.Baseline.Shed, cmp.Baseline.TurnaroundP99Ms, cmp.Baseline.GateViolations)
+		fmt.Printf("  %-10s %-6s %-10s %-6s %-8s %-14s %s\n",
+			"mode", "shed", "p99-ms", "gates", "applied", "final-workers", "verdict")
+		for i, run := range cmp.Runs {
+			v := cmp.Verdicts[i]
+			verdict := "no win"
+			if v.BeatsBaseline {
+				verdict = "beats baseline on " + v.On
+			}
+			fmt.Printf("  %-10s %-6d %-10.0f %-6d %-8d %-14d %s\n",
+				run.Mode, run.Shed, run.TurnaroundP99Ms, run.GateViolations,
+				run.Applied, run.FinalWorkers, verdict)
+		}
+	}
+	verdict := "PASS"
+	if !r.AllBeatBaseline || !r.ZeroGateViolations {
+		verdict = "FAIL"
+	}
+	fmt.Printf("adaptbench %s: all_beat_baseline=%v zero_gate_violations=%v\n",
+		verdict, r.AllBeatBaseline, r.ZeroGateViolations)
+}

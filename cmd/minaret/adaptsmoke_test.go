@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"minaret/internal/adapt"
+)
+
+// TestAdaptSmoke is the `make adapt-smoke` CI gate: the adaptbench
+// harness end to end through the real binary. One venue-deadline-spike
+// trace replays against an undersized server (1 worker, depth 2) twice
+// — adaptation off, then the threshold policy — and the machine-
+// readable report must show the control loop earned its keep: the
+// static baseline shed load, the adaptive run shed strictly less, at
+// least one scale-up was journaled and applied, and no run violated a
+// correctness gate.
+func TestAdaptSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	reportPath := filepath.Join(t.TempDir(), "adaptbench.json")
+	stdout, stderr, code := runCLIExit(t,
+		"adaptbench",
+		"-shapes", "venue-deadline-spike",
+		"-modes", "off,threshold",
+		"-duration", "10s",
+		"-rate", "3",
+		"-speedup", "2",
+		"-scholars", "200",
+		"-out", reportPath,
+	)
+	if code != 0 {
+		t.Fatalf("adaptbench exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Shapes             []adapt.EvalComparison `json:"shapes"`
+		AllBeatBaseline    bool                   `json:"all_beat_baseline"`
+		ZeroGateViolations bool                   `json:"zero_gate_violations"`
+	}
+	if err := json.Unmarshal(raw, &report); err != nil {
+		t.Fatalf("decode report: %v", err)
+	}
+	if !report.AllBeatBaseline || !report.ZeroGateViolations {
+		t.Fatalf("verdict = beat:%v gates:%v, want both true\nstdout:\n%s",
+			report.AllBeatBaseline, report.ZeroGateViolations, stdout)
+	}
+	if len(report.Shapes) != 1 {
+		t.Fatalf("report has %d shapes, want 1", len(report.Shapes))
+	}
+	cmp := report.Shapes[0]
+
+	// The undersized baseline must actually hurt — otherwise the
+	// comparison proves nothing.
+	if cmp.Baseline.Shed == 0 {
+		t.Fatalf("baseline shed nothing; the smoke lost its pressure (baseline %+v)", cmp.Baseline)
+	}
+	if len(cmp.Runs) != 1 {
+		t.Fatalf("report has %d adaptive runs, want 1", len(cmp.Runs))
+	}
+	run := cmp.Runs[0]
+	if run.Shed >= cmp.Baseline.Shed {
+		t.Fatalf("threshold shed %d, baseline %d — adaptation did not reduce 429s", run.Shed, cmp.Baseline.Shed)
+	}
+	if run.GateViolations != 0 || cmp.Baseline.GateViolations != 0 {
+		t.Fatalf("gate violations: baseline %d run %d, want 0", cmp.Baseline.GateViolations, run.GateViolations)
+	}
+
+	// At least one journaled, applied scale-up past the initial single
+	// worker.
+	scaledUp := false
+	for _, d := range run.Journal {
+		for _, a := range d.Actions {
+			if a.Kind == adapt.KindSetWorkers && a.Applied && a.Value > 1 {
+				scaledUp = true
+			}
+		}
+	}
+	if !scaledUp {
+		t.Fatalf("no applied set_workers scale-up in journal (%d decisions, applied=%d)", len(run.Journal), run.Applied)
+	}
+}

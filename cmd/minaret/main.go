@@ -136,6 +136,10 @@ func main() {
 		runLoadGen(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "adaptbench" {
+		runAdaptBench(os.Args[2:])
+		return
+	}
 	var authors authorList
 	var blocked stringList
 	var (

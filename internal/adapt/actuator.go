@@ -1,0 +1,186 @@
+package adapt
+
+import (
+	"fmt"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// Kind names one runtime knob an Action turns.
+type Kind string
+
+// Action kinds. Value semantics per kind: set_workers and set_capacity
+// carry absolute counts; set_retrieval_ttl and set_janitor_interval
+// carry whole seconds.
+const (
+	KindSetWorkers         Kind = "set_workers"
+	KindSetCapacity        Kind = "set_capacity"
+	KindSetRetrievalTTL    Kind = "set_retrieval_ttl"
+	KindSetJanitorInterval Kind = "set_janitor_interval"
+)
+
+// Action is one corrective step a policy asks for: an absolute target
+// for one knob, plus the human-readable reason that goes into the
+// decision journal.
+type Action struct {
+	Kind   Kind   `json:"kind"`
+	Value  int64  `json:"value"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// ActuatorState is the current position of every knob, handed to
+// policies so they emit absolute targets relative to reality rather
+// than to their own guesses.
+type ActuatorState struct {
+	Workers  int `json:"workers"`
+	Capacity int `json:"capacity"`
+	// RetrievalTTLS is the retrieval cache's entry lifetime in seconds
+	// (0 = entries never expire).
+	RetrievalTTLS int64 `json:"retrieval_ttl_s"`
+	// JanitorIntervalS is the sweep cadence in seconds (0 = no janitor
+	// running).
+	JanitorIntervalS int64 `json:"janitor_interval_s,omitempty"`
+}
+
+// Actuator applies actions to the live system. Apply returns the
+// action as actually applied — its Value clamped into the actuator's
+// safe limits — plus whether it changed anything (a clamped target
+// equal to the current position is a no-op, not an error).
+type Actuator interface {
+	Apply(a Action) (applied Action, changed bool, err error)
+	State() ActuatorState
+}
+
+// Limits is the safety envelope the SystemActuator clamps every action
+// into, so no policy bug can resize the pool to zero or to thousands.
+// Zero values select the documented defaults.
+type Limits struct {
+	MinWorkers, MaxWorkers   int           // default 1, 16
+	MinCapacity, MaxCapacity int           // default 2, 1024
+	MinTTL, MaxTTL           time.Duration // default 10s, 24h
+	MinJanitor, MaxJanitor   time.Duration // default 1s, 1h
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MinWorkers == 0 {
+		l.MinWorkers = 1
+	}
+	if l.MaxWorkers == 0 {
+		l.MaxWorkers = 16
+	}
+	if l.MinCapacity == 0 {
+		l.MinCapacity = 2
+	}
+	if l.MaxCapacity == 0 {
+		l.MaxCapacity = 1024
+	}
+	if l.MinTTL == 0 {
+		l.MinTTL = 10 * time.Second
+	}
+	if l.MaxTTL == 0 {
+		l.MaxTTL = 24 * time.Hour
+	}
+	if l.MinJanitor == 0 {
+		l.MinJanitor = time.Second
+	}
+	if l.MaxJanitor == 0 {
+		l.MaxJanitor = time.Hour
+	}
+	return l
+}
+
+// JanitorControl is the slice of cache.JanitorHandle the actuator
+// needs; an interface so tests can fake it.
+type JanitorControl interface {
+	SetInterval(d time.Duration) error
+	Interval() time.Duration
+}
+
+// SystemActuator wires actions through to the live subsystems. Queue
+// is required; Shared and Janitor are optional — actions on an unwired
+// subsystem fail with an error the controller journals.
+type SystemActuator struct {
+	queue   QueueResizer
+	shared  *core.Shared
+	janitor JanitorControl
+	limits  Limits
+}
+
+// QueueResizer is the actuator's view of a jobs.Queue.
+type QueueResizer interface {
+	Stats() jobs.Stats
+	Resize(workers int) error
+	SetCapacity(depth int) error
+}
+
+// NewSystemActuator builds the production actuator. queue must be
+// non-nil; shared and janitor may be nil.
+func NewSystemActuator(queue QueueResizer, shared *core.Shared, janitor JanitorControl, limits Limits) *SystemActuator {
+	if queue == nil {
+		panic("adapt: NewSystemActuator with nil queue")
+	}
+	return &SystemActuator{queue: queue, shared: shared, janitor: janitor, limits: limits.withDefaults()}
+}
+
+// Limits returns the safety envelope (after defaulting), which the
+// utility policy also uses to normalize its efficiency term.
+func (a *SystemActuator) Limits() Limits { return a.limits }
+
+// State reads the current knob positions.
+func (a *SystemActuator) State() ActuatorState {
+	js := a.queue.Stats()
+	st := ActuatorState{Workers: js.Workers, Capacity: js.Depth}
+	if a.shared != nil {
+		st.RetrievalTTLS = int64(a.shared.TTLs().Retrievals / time.Second)
+	}
+	if a.janitor != nil {
+		st.JanitorIntervalS = int64(a.janitor.Interval() / time.Second)
+	}
+	return st
+}
+
+// Apply clamps a into the limits and turns the knob. The returned
+// action carries the clamped value; changed is false when the knob was
+// already there.
+func (a *SystemActuator) Apply(act Action) (Action, bool, error) {
+	cur := a.State()
+	switch act.Kind {
+	case KindSetWorkers:
+		act.Value = clampInt(act.Value, int64(a.limits.MinWorkers), int64(a.limits.MaxWorkers))
+		if int(act.Value) == cur.Workers {
+			return act, false, nil
+		}
+		return act, true, a.queue.Resize(int(act.Value))
+	case KindSetCapacity:
+		act.Value = clampInt(act.Value, int64(a.limits.MinCapacity), int64(a.limits.MaxCapacity))
+		if int(act.Value) == cur.Capacity {
+			return act, false, nil
+		}
+		return act, true, a.queue.SetCapacity(int(act.Value))
+	case KindSetRetrievalTTL:
+		if a.shared == nil {
+			return act, false, fmt.Errorf("adapt: no shared caches wired for %s", act.Kind)
+		}
+		act.Value = clampInt(act.Value, int64(a.limits.MinTTL/time.Second), int64(a.limits.MaxTTL/time.Second))
+		if act.Value == cur.RetrievalTTLS {
+			return act, false, nil
+		}
+		set := core.UnchangedTTLs()
+		set.Retrievals = time.Duration(act.Value) * time.Second
+		a.shared.SetTTLs(set)
+		return act, true, nil
+	case KindSetJanitorInterval:
+		if a.janitor == nil {
+			return act, false, fmt.Errorf("adapt: no janitor wired for %s", act.Kind)
+		}
+		act.Value = clampInt(act.Value, int64(a.limits.MinJanitor/time.Second), int64(a.limits.MaxJanitor/time.Second))
+		if act.Value == cur.JanitorIntervalS {
+			return act, false, nil
+		}
+		return act, true, a.janitor.SetInterval(time.Duration(act.Value) * time.Second)
+	default:
+		return act, false, fmt.Errorf("adapt: unknown action kind %q", act.Kind)
+	}
+}

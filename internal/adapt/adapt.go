@@ -1,0 +1,203 @@
+// Package adapt closes the MAPE-K loop over a running MINARET server:
+// a Monitor samples a typed Signals snapshot from the subsystems that
+// already keep counters (job queue, shared caches, scheduler,
+// webhooks), a pluggable Policy maps the snapshot to corrective
+// Actions, and an Actuator applies them through the runtime-safe knobs
+// the subsystems expose (jobs.Queue.Resize/SetCapacity,
+// core.Shared.SetTTLs, cache.JanitorHandle.SetInterval). The Knowledge
+// part of the loop is the bounded decision journal every tick writes,
+// surfaced over /api/adapt.
+//
+// Two policies ship: "threshold", a declarative rule table with
+// hysteresis bands and per-rule cooldowns, and "utility", an
+// NFR-weighted utility function over normalized signals that picks the
+// argmax candidate action each tick (the decision-making framing RDMSim
+// uses for evaluating self-adaptation). `minaret adaptbench` replays
+// one loadgen trace against a live server under off/threshold/utility
+// and scores the three runs against each other (eval.go).
+package adapt
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// Signals is one monitor sample: the typed, policy-facing view of the
+// system. Absolute gauges (queue fill, workers) are point-in-time;
+// *Rate fields are per-second deltas between this sample and the
+// previous one, so policies react to flow, not lifetime totals.
+type Signals struct {
+	At time.Time `json:"at"`
+	// IntervalS is the seconds this sample's rates were measured over
+	// (0 on the very first sample, whose rates are all zero).
+	IntervalS float64 `json:"interval_s"`
+
+	Queued        int     `json:"queued"`
+	QueueCapacity int     `json:"queue_capacity"`
+	QueueFill     float64 `json:"queue_fill"` // Queued / QueueCapacity
+	Running       int     `json:"running"`
+	Workers       int     `json:"workers"`
+
+	SubmitRate     float64 `json:"submit_rate"`     // admissions/s
+	RejectRate     float64 `json:"reject_rate"`     // 429s/s
+	CompletionRate float64 `json:"completion_rate"` // terminal runs/s
+
+	TurnaroundP50Ms float64 `json:"turnaround_p50_ms"`
+	TurnaroundP99Ms float64 `json:"turnaround_p99_ms"`
+	QueueWaitP50Ms  float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms  float64 `json:"queue_wait_p99_ms"`
+
+	// CacheLookups is the interval's hit+miss count across the four
+	// shared caches; HitRatio and ExpiredRatio are fractions of it.
+	// With zero lookups both ratios read 0 — policies should treat
+	// low-sample ratios as "no signal", which the default rules do by
+	// thresholding well away from 0.
+	CacheLookups float64 `json:"cache_lookups"`
+	HitRatio     float64 `json:"hit_ratio"`
+	ExpiredRatio float64 `json:"expired_ratio"`
+
+	WebhookFailRate float64 `json:"webhook_fail_rate"` // exhausted deliveries/s
+	MisfireRate     float64 `json:"misfire_rate"`      // scheduler misses/s
+
+	// RetryAfterS is the queue's current 429 back-off estimate.
+	RetryAfterS float64 `json:"retry_after_s"`
+}
+
+// QueueSource is the monitor's and actuator's view of a jobs.Queue.
+type QueueSource interface {
+	Stats() jobs.Stats
+	RetryAfterHint() time.Duration
+}
+
+// CacheSource is the monitor's view of a core.Shared.
+type CacheSource interface {
+	Stats() core.SharedStats
+}
+
+// SchedulerSource is the monitor's view of a jobs.Scheduler.
+type SchedulerSource interface {
+	Stats() jobs.SchedulerStats
+}
+
+// Monitor samples Signals, computing rates from consecutive snapshots
+// of the subsystems' cumulative counters. Only queue is required;
+// caches and sched may be nil (their signals read zero).
+type Monitor struct {
+	queue  QueueSource
+	caches CacheSource
+	sched  SchedulerSource
+	now    func() time.Time
+
+	mu         sync.Mutex
+	primed     bool
+	prevAt     time.Time
+	prevJobs   jobs.Stats
+	prevCaches core.SharedStats
+	prevSched  jobs.SchedulerStats
+}
+
+// NewMonitor builds a Monitor over the given sources; clock nil means
+// time.Now. queue must be non-nil.
+func NewMonitor(queue QueueSource, caches CacheSource, sched SchedulerSource, clock func() time.Time) *Monitor {
+	if queue == nil {
+		panic("adapt: NewMonitor with nil queue")
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	return &Monitor{queue: queue, caches: caches, sched: sched, now: clock}
+}
+
+// rate turns a cumulative-counter delta into a per-second rate,
+// clamping the occasional negative delta (counter semantics changing
+// under eviction) to zero.
+func rate(cur, prev uint64, dt float64) float64 {
+	if dt <= 0 || cur <= prev {
+		return 0
+	}
+	return float64(cur-prev) / dt
+}
+
+// Sample reads every source once and returns the Signals snapshot,
+// advancing the monitor's previous-sample state. Safe for concurrent
+// use, though the controller is the only intended caller.
+func (m *Monitor) Sample() Signals {
+	js := m.queue.Stats()
+	var cs core.SharedStats
+	if m.caches != nil {
+		cs = m.caches.Stats()
+	}
+	var ss jobs.SchedulerStats
+	if m.sched != nil {
+		ss = m.sched.Stats()
+	}
+	at := m.now()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Signals{
+		At:            at,
+		Queued:        js.Queued,
+		QueueCapacity: js.Depth,
+		Running:       js.Running,
+		Workers:       js.Workers,
+
+		TurnaroundP50Ms: js.Turnaround.P50Ms,
+		TurnaroundP99Ms: js.Turnaround.P99Ms,
+		QueueWaitP50Ms:  js.QueueWait.P50Ms,
+		QueueWaitP99Ms:  js.QueueWait.P99Ms,
+
+		RetryAfterS: m.queue.RetryAfterHint().Seconds(),
+	}
+	if js.Depth > 0 {
+		s.QueueFill = float64(js.Queued) / float64(js.Depth)
+	}
+	if m.primed {
+		dt := at.Sub(m.prevAt).Seconds()
+		s.IntervalS = dt
+		s.SubmitRate = rate(js.Submitted, m.prevJobs.Submitted, dt)
+		s.RejectRate = rate(js.Rejections, m.prevJobs.Rejections, dt)
+		// Turnaround.Count is the cumulative count of runs that reached
+		// a terminal state (it never decrements under retention
+		// eviction, unlike the Done/Failed gauges).
+		s.CompletionRate = rate(js.Turnaround.Count, m.prevJobs.Turnaround.Count, dt)
+		s.WebhookFailRate = rate(js.Webhooks.Failed, m.prevJobs.Webhooks.Failed, dt)
+		s.MisfireRate = rate(ss.Missed, m.prevSched.Missed, dt)
+
+		d := cs.Sub(m.prevCaches)
+		hits := d.Profiles.Hits + d.Verifies.Hits + d.Expansions.Hits + d.Retrievals.Hits
+		misses := d.Profiles.Misses + d.Verifies.Misses + d.Expansions.Misses + d.Retrievals.Misses
+		expired := d.Profiles.Expired + d.Verifies.Expired + d.Expansions.Expired + d.Retrievals.Expired
+		s.CacheLookups = float64(hits + misses)
+		if s.CacheLookups > 0 {
+			s.HitRatio = float64(hits) / s.CacheLookups
+			s.ExpiredRatio = float64(expired) / s.CacheLookups
+		}
+	}
+	m.primed = true
+	m.prevAt = at
+	m.prevJobs = js
+	m.prevCaches = cs
+	m.prevSched = ss
+	return s
+}
+
+// clamp bounds v to [lo, hi].
+func clamp(v, lo, hi float64) float64 {
+	return math.Min(math.Max(v, lo), hi)
+}
+
+// clampInt bounds v to [lo, hi].
+func clampInt(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

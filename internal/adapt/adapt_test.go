@@ -1,0 +1,499 @@
+package adapt
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/cache"
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// fakeQueue is a scriptable QueueSource + QueueResizer: tests mutate
+// its stats between samples and record the knob calls policies cause.
+type fakeQueue struct {
+	stats      jobs.Stats
+	retryAfter time.Duration
+	resized    []int
+	recapped   []int
+}
+
+func (f *fakeQueue) Stats() jobs.Stats { return f.stats }
+
+func (f *fakeQueue) RetryAfterHint() time.Duration {
+	if f.retryAfter == 0 {
+		return time.Second
+	}
+	return f.retryAfter
+}
+
+func (f *fakeQueue) Resize(workers int) error {
+	f.resized = append(f.resized, workers)
+	f.stats.Workers = workers
+	return nil
+}
+
+func (f *fakeQueue) SetCapacity(depth int) error {
+	f.recapped = append(f.recapped, depth)
+	f.stats.Depth = depth
+	return nil
+}
+
+type fakeCaches struct{ stats core.SharedStats }
+
+func (f *fakeCaches) Stats() core.SharedStats { return f.stats }
+
+type fakeSched struct{ stats jobs.SchedulerStats }
+
+func (f *fakeSched) Stats() jobs.SchedulerStats { return f.stats }
+
+type fakeJanitor struct{ interval time.Duration }
+
+func (f *fakeJanitor) SetInterval(d time.Duration) error { f.interval = d; return nil }
+func (f *fakeJanitor) Interval() time.Duration           { return f.interval }
+
+// tickClock is a manual clock advancing a fixed step per reading.
+type tickClock struct {
+	at   time.Time
+	step time.Duration
+}
+
+func (c *tickClock) now() time.Time {
+	c.at = c.at.Add(c.step)
+	return c.at
+}
+
+func TestMonitorRates(t *testing.T) {
+	q := &fakeQueue{stats: jobs.Stats{Queued: 3, Depth: 10, Workers: 2}}
+	caches := &fakeCaches{}
+	sched := &fakeSched{}
+	clock := &tickClock{at: time.Unix(1000, 0), step: 2 * time.Second}
+	m := NewMonitor(q, caches, sched, clock.now)
+
+	s := m.Sample()
+	if s.IntervalS != 0 || s.SubmitRate != 0 {
+		t.Fatalf("first sample should have zero rates, got %+v", s)
+	}
+	if s.QueueFill != 0.3 {
+		t.Fatalf("QueueFill = %v, want 0.3", s.QueueFill)
+	}
+
+	q.stats.Submitted = 20
+	q.stats.Rejections = 4
+	q.stats.Turnaround.Count = 10
+	q.stats.Webhooks.Failed = 2
+	sched.stats.Missed = 6
+	caches.stats.Retrievals = cache.Stats{Hits: 6, Misses: 2, Expired: 2}
+	caches.stats.Profiles = cache.Stats{Hits: 2}
+
+	s = m.Sample()
+	if s.IntervalS != 2 {
+		t.Fatalf("IntervalS = %v, want 2", s.IntervalS)
+	}
+	if s.SubmitRate != 10 || s.RejectRate != 2 || s.CompletionRate != 5 {
+		t.Fatalf("rates = submit %v reject %v complete %v, want 10/2/5",
+			s.SubmitRate, s.RejectRate, s.CompletionRate)
+	}
+	if s.WebhookFailRate != 1 || s.MisfireRate != 3 {
+		t.Fatalf("fail/misfire rates = %v/%v, want 1/3", s.WebhookFailRate, s.MisfireRate)
+	}
+	if s.CacheLookups != 10 || s.HitRatio != 0.8 || s.ExpiredRatio != 0.2 {
+		t.Fatalf("cache signals = %v lookups hit %v expired %v, want 10/0.8/0.2",
+			s.CacheLookups, s.HitRatio, s.ExpiredRatio)
+	}
+
+	// No movement: every rate returns to zero.
+	s = m.Sample()
+	if s.SubmitRate != 0 || s.CacheLookups != 0 || s.HitRatio != 0 {
+		t.Fatalf("idle sample should zero the rates, got %+v", s)
+	}
+}
+
+func TestMonitorNilOptionalSources(t *testing.T) {
+	q := &fakeQueue{stats: jobs.Stats{Depth: 4, Workers: 1}}
+	m := NewMonitor(q, nil, nil, nil)
+	m.Sample()
+	s := m.Sample()
+	if s.CacheLookups != 0 || s.MisfireRate != 0 {
+		t.Fatalf("nil sources should read zero, got %+v", s)
+	}
+}
+
+func TestThresholdFireHysteresisCooldown(t *testing.T) {
+	p, err := NewThresholdPolicy([]Rule{{
+		Name: "grow", Signal: "queue_fill", Op: ">", Threshold: 0.7, Hysteresis: 0.1,
+		Action: KindSetWorkers, Step: +2, CooldownTicks: 2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ActuatorState{Workers: 2, Capacity: 10}
+	tick := func(fill float64) []Action {
+		return p.Decide(Signals{QueueFill: fill}, st)
+	}
+
+	if acts := tick(0.5); len(acts) != 0 {
+		t.Fatalf("below threshold fired: %+v", acts)
+	}
+	acts := tick(0.75)
+	if len(acts) != 1 || acts[0].Kind != KindSetWorkers || acts[0].Value != 4 {
+		t.Fatalf("first fire = %+v, want set_workers=4", acts)
+	}
+	st.Workers = 4
+	// Inside the hysteresis band while latched: no refire even after
+	// cooldown.
+	for i := 0; i < 4; i++ {
+		if acts := tick(0.75); len(acts) != 0 {
+			t.Fatalf("refired inside hysteresis band on tick %d: %+v", i, acts)
+		}
+	}
+	// Decisively beyond, but cooldown (2 ticks) not yet elapsed after a
+	// fresh fire: fire, then two suppressed ticks, then fire again.
+	acts = tick(0.9)
+	if len(acts) != 1 || acts[0].Value != 6 {
+		t.Fatalf("decisive fire = %+v, want set_workers=6", acts)
+	}
+	st.Workers = 6
+	if acts := tick(0.9); len(acts) != 0 {
+		t.Fatalf("fired during cooldown: %+v", acts)
+	}
+	if acts := tick(0.9); len(acts) != 0 {
+		t.Fatalf("fired during cooldown: %+v", acts)
+	}
+	acts = tick(0.9)
+	if len(acts) != 1 || acts[0].Value != 8 {
+		t.Fatalf("post-cooldown fire = %+v, want set_workers=8", acts)
+	}
+	st.Workers = 8
+	// Retreat past the bare threshold: re-arms the latch, so a bare
+	// (non-decisive) crossing fires again once cooldown allows.
+	if acts := tick(0.5); len(acts) != 0 {
+		t.Fatalf("fired on retreat: %+v", acts)
+	}
+	tick(0.5)
+	tick(0.5)
+	acts = tick(0.75)
+	if len(acts) != 1 || acts[0].Value != 10 {
+		t.Fatalf("re-armed fire = %+v, want set_workers=10", acts)
+	}
+}
+
+func TestThresholdLessThanRule(t *testing.T) {
+	p, err := NewThresholdPolicy([]Rule{{
+		Signal: "queue_fill", Op: "<", Threshold: 0.05, Hysteresis: 0.02,
+		Action: KindSetWorkers, Step: -1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ActuatorState{Workers: 4, Capacity: 10}
+	acts := p.Decide(Signals{QueueFill: 0.01}, st)
+	if len(acts) != 1 || acts[0].Value != 3 {
+		t.Fatalf("idle shrink = %+v, want set_workers=3", acts)
+	}
+	if acts := p.Decide(Signals{QueueFill: 0.2}, st); len(acts) != 0 {
+		t.Fatalf("busy queue shrank the pool: %+v", acts)
+	}
+}
+
+func TestRuleValidation(t *testing.T) {
+	bad := []Rule{
+		{Signal: "nope", Op: ">", Threshold: 1, Action: KindSetWorkers, Step: 1},
+		{Signal: "queue_fill", Op: ">=", Threshold: 1, Action: KindSetWorkers, Step: 1},
+		{Signal: "queue_fill", Op: ">", Threshold: 1, Action: Kind("explode"), Step: 1},
+		{Signal: "queue_fill", Op: ">", Threshold: 1, Action: KindSetWorkers, Step: 0},
+		{Signal: "queue_fill", Op: ">", Threshold: 1, Action: KindSetWorkers, Step: 1, CooldownTicks: -1},
+	}
+	for i, r := range bad {
+		if err := r.validate(); err == nil {
+			t.Errorf("rule %d validated but should not have: %+v", i, r)
+		}
+	}
+	for _, r := range DefaultRules() {
+		if err := r.validate(); err != nil {
+			t.Errorf("default rule %q invalid: %v", r.Name, err)
+		}
+	}
+}
+
+func TestUtilityScalesUpUnderPressure(t *testing.T) {
+	// Capacity pinned at its ceiling: the only way to relieve sustained
+	// pressure is more workers.
+	p := NewUtilityPolicy(UtilityConfig{}, Limits{MaxCapacity: 10})
+	s := Signals{
+		IntervalS: 1, Queued: 9, QueueCapacity: 10, QueueFill: 0.9,
+		Workers: 2, SubmitRate: 8, RejectRate: 4, CompletionRate: 2,
+	}
+	acts := p.Decide(s, ActuatorState{Workers: 2, Capacity: 10, RetrievalTTLS: 600})
+	if len(acts) != 1 || acts[0].Kind != KindSetWorkers {
+		t.Fatalf("pressure decision = %+v, want a set_workers action", acts)
+	}
+	if acts[0].Value <= 2 {
+		t.Fatalf("pressure decision shrank or held the pool: %+v", acts[0])
+	}
+}
+
+func TestUtilityGrowsCapacityToAbsorbBurst(t *testing.T) {
+	// Workers pinned at their ceiling during a burst: doubling capacity
+	// is the only candidate that clears the predicted shedding.
+	p := NewUtilityPolicy(UtilityConfig{}, Limits{MaxWorkers: 4})
+	s := Signals{
+		IntervalS: 1, Queued: 9, QueueCapacity: 10, QueueFill: 0.9,
+		Workers: 4, SubmitRate: 8, RejectRate: 4, CompletionRate: 8,
+	}
+	acts := p.Decide(s, ActuatorState{Workers: 4, Capacity: 10, RetrievalTTLS: 600})
+	if len(acts) != 1 || acts[0].Kind != KindSetCapacity || acts[0].Value != 20 {
+		t.Fatalf("burst decision = %+v, want set_capacity=20", acts)
+	}
+}
+
+func TestUtilityHoldsWhenIdle(t *testing.T) {
+	p := NewUtilityPolicy(UtilityConfig{}, Limits{})
+	s := Signals{IntervalS: 1, Workers: 1, QueueCapacity: 10}
+	st := ActuatorState{Workers: 1, Capacity: 10, RetrievalTTLS: 600}
+	// At the floor with no load there is nothing worth changing; the
+	// hold bonus should keep the policy quiet (TTL drift excepted only
+	// if freshness strictly dominates, which defaults avoid).
+	for i := 0; i < 5; i++ {
+		if acts := p.Decide(s, st); len(acts) != 0 {
+			t.Fatalf("idle tick %d acted: %+v", i, acts)
+		}
+	}
+}
+
+func TestUtilityGrowsTTLUnderChurn(t *testing.T) {
+	// Heavy expiry churn with no queue pressure: the churn credit should
+	// make doubling the retrieval TTL the argmax.
+	p := NewUtilityPolicy(UtilityConfig{}, Limits{})
+	s := Signals{
+		IntervalS: 1, Workers: 1, QueueCapacity: 10,
+		CacheLookups: 100, HitRatio: 0.1, ExpiredRatio: 0.8,
+	}
+	acts := p.Decide(s, ActuatorState{Workers: 1, Capacity: 10, RetrievalTTLS: 60})
+	if len(acts) != 1 || acts[0].Kind != KindSetRetrievalTTL || acts[0].Value != 120 {
+		t.Fatalf("churn decision = %+v, want set_retrieval_ttl=120", acts)
+	}
+}
+
+func TestSystemActuatorClampsAndNoOps(t *testing.T) {
+	q := jobs.New(func(ctx context.Context, spec jobs.Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+		return &batch.Summary{}, nil
+	}, jobs.Options{Workers: 2, Depth: 8})
+	shared := core.NewShared(core.SharedOptions{RetrievalTTL: 10 * time.Minute})
+	jan := &fakeJanitor{interval: time.Minute}
+	act := NewSystemActuator(q, shared, jan, Limits{MaxWorkers: 4})
+
+	// Clamp: asking for 100 workers lands on the 4-worker ceiling.
+	applied, changed, err := act.Apply(Action{Kind: KindSetWorkers, Value: 100})
+	if err != nil || !changed || applied.Value != 4 {
+		t.Fatalf("Apply(workers=100) = %+v changed=%v err=%v, want clamped to 4", applied, changed, err)
+	}
+	if got := act.State().Workers; got != 4 {
+		t.Fatalf("State().Workers = %d, want 4", got)
+	}
+	// No-op: already there.
+	if _, changed, err := act.Apply(Action{Kind: KindSetWorkers, Value: 4}); changed || err != nil {
+		t.Fatalf("no-op resize reported changed=%v err=%v", changed, err)
+	}
+
+	applied, changed, err = act.Apply(Action{Kind: KindSetCapacity, Value: 1})
+	if err != nil || !changed || applied.Value != 2 {
+		t.Fatalf("Apply(capacity=1) = %+v changed=%v err=%v, want clamped to 2", applied, changed, err)
+	}
+
+	applied, changed, err = act.Apply(Action{Kind: KindSetRetrievalTTL, Value: 1200})
+	if err != nil || !changed {
+		t.Fatalf("Apply(ttl=1200) changed=%v err=%v", changed, err)
+	}
+	if got := shared.TTLs().Retrievals; got != 20*time.Minute {
+		t.Fatalf("retrieval TTL = %v, want 20m", got)
+	}
+
+	applied, changed, err = act.Apply(Action{Kind: KindSetJanitorInterval, Value: 30})
+	if err != nil || !changed || jan.interval != 30*time.Second {
+		t.Fatalf("Apply(janitor=30) changed=%v err=%v interval=%v", changed, err, jan.interval)
+	}
+
+	if _, _, err := act.Apply(Action{Kind: Kind("explode"), Value: 1}); err == nil {
+		t.Fatal("unknown kind did not error")
+	}
+	q.Stop(context.Background())
+}
+
+func TestSystemActuatorUnwiredSubsystems(t *testing.T) {
+	q := &fakeQueue{stats: jobs.Stats{Depth: 8, Workers: 2}}
+	act := NewSystemActuator(q, nil, nil, Limits{})
+	if _, _, err := act.Apply(Action{Kind: KindSetRetrievalTTL, Value: 60}); err == nil {
+		t.Fatal("TTL action without shared caches did not error")
+	}
+	if _, _, err := act.Apply(Action{Kind: KindSetJanitorInterval, Value: 60}); err == nil {
+		t.Fatal("janitor action without a handle did not error")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adapt.json")
+	cfg := Config{}
+	cfg.Threshold.Rules = []Rule{{
+		Name: "r", Signal: "reject_rate", Op: ">", Threshold: 0.5,
+		Action: KindSetWorkers, Step: 2, CooldownTicks: 3,
+	}}
+	cfg.Utility = UtilityConfig{Performance: 0.9}
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Threshold.Rules) != 1 || got.Threshold.Rules[0].Signal != "reject_rate" {
+		t.Fatalf("rules round-trip = %+v", got.Threshold.Rules)
+	}
+	if got.Utility.Performance != 0.9 {
+		t.Fatalf("utility round-trip = %+v", got.Utility)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"threshold":{"rules":[{"signal":"nope","op":">","action":"set_workers","step":1}]}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(path); err == nil {
+		t.Fatal("bad signal name loaded without error")
+	}
+
+	for _, name := range PolicyNames() {
+		if _, err := NewPolicy(name, nil, Limits{}); err != nil {
+			t.Errorf("NewPolicy(%q) = %v", name, err)
+		}
+	}
+	if _, err := NewPolicy("nope", nil, Limits{}); err == nil {
+		t.Error("unknown policy name built without error")
+	}
+}
+
+func TestControllerTickJournalStats(t *testing.T) {
+	q := &fakeQueue{stats: jobs.Stats{Queued: 9, Depth: 10, Workers: 2}}
+	p, err := NewThresholdPolicy([]Rule{{
+		Name: "grow", Signal: "queue_fill", Op: ">", Threshold: 0.7,
+		Action: KindSetWorkers, Step: +2,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := &tickClock{at: time.Unix(0, 0), step: time.Second}
+	act := NewSystemActuator(q, nil, nil, Limits{MaxWorkers: 4})
+	ctl, err := NewController(Options{
+		Policy: p, Monitor: NewMonitor(q, nil, nil, clock.now), Actuator: act,
+		JournalSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	d := ctl.TickOnce()
+	if len(d.Actions) != 1 || !d.Actions[0].Applied || d.Actions[0].Value != 4 {
+		t.Fatalf("tick 1 decision = %+v, want applied set_workers=4", d.Actions)
+	}
+	// Pool now at the ceiling: the rule keeps firing (fill still beyond
+	// threshold, zero cooldown, no hysteresis → latched refire needs
+	// decisive which equals beyond here) but the actuator no-ops.
+	d = ctl.TickOnce()
+	if len(d.Actions) != 1 || d.Actions[0].Applied {
+		t.Fatalf("tick 2 decision = %+v, want attempted-but-unchanged action", d.Actions)
+	}
+	ctl.TickOnce()
+
+	st := ctl.Stats()
+	if st.Ticks != 3 || st.Decisions != 3 || st.Applied != 1 {
+		t.Fatalf("stats = %+v, want ticks 3 decisions 3 applied 1", st)
+	}
+	if st.ByKind[string(KindSetWorkers)] != 1 {
+		t.Fatalf("ByKind = %+v", st.ByKind)
+	}
+	if st.Last == nil || st.Last.Policy != "threshold" {
+		t.Fatalf("Last = %+v", st.Last)
+	}
+
+	// JournalSize 2 bounds the ring to the most recent two decisions.
+	j := ctl.Journal(0)
+	if len(j) != 2 {
+		t.Fatalf("journal length = %d, want 2", len(j))
+	}
+	if !j[0].At.Before(j[1].At) {
+		t.Fatalf("journal out of order: %v then %v", j[0].At, j[1].At)
+	}
+	if got := ctl.Journal(1); len(got) != 1 || !got[0].At.Equal(j[1].At) {
+		t.Fatalf("Journal(1) = %+v, want newest entry", got)
+	}
+}
+
+func TestControllerStartStop(t *testing.T) {
+	q := &fakeQueue{stats: jobs.Stats{Depth: 10, Workers: 2}}
+	p, err := NewThresholdPolicy(DefaultRules())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := NewController(Options{
+		Policy: p, Monitor: NewMonitor(q, nil, nil, nil),
+		Actuator: NewSystemActuator(q, nil, nil, Limits{}),
+		Tick:     time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for ctl.Stats().Ticks == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ctl.Stop()
+	if ctl.Stats().Ticks == 0 {
+		t.Fatal("controller never ticked")
+	}
+	ctl.Stop() // idempotent
+
+	// Stop without Start must not hang.
+	ctl2, err := NewController(Options{
+		Policy: p, Monitor: NewMonitor(q, nil, nil, nil),
+		Actuator: NewSystemActuator(q, nil, nil, Limits{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl2.Stop()
+}
+
+func TestCompare(t *testing.T) {
+	base := EvalRun{Mode: "off", Shape: "venue-deadline-spike", Shed: 40, TurnaroundP99Ms: 9000}
+	runs := []EvalRun{
+		{Mode: "threshold", Shed: 5, TurnaroundP99Ms: 9500}, // wins on shed
+		{Mode: "utility", Shed: 40, TurnaroundP99Ms: 4000},  // wins on p99
+	}
+	cmp := Compare(base, runs)
+	if !cmp.AllBeatBaseline || !cmp.ZeroGateViolations {
+		t.Fatalf("comparison = %+v", cmp)
+	}
+	if cmp.Verdicts[0].On != "shed" || cmp.Verdicts[1].On != "p99" {
+		t.Fatalf("verdicts = %+v", cmp.Verdicts)
+	}
+
+	// A gate violation disqualifies a run even if its metrics improved.
+	cmp = Compare(base, []EvalRun{{Mode: "threshold", Shed: 0, TurnaroundP99Ms: 100, GateViolations: 2}})
+	if cmp.AllBeatBaseline || cmp.ZeroGateViolations {
+		t.Fatalf("violating run still passed: %+v", cmp)
+	}
+
+	// Neither metric strictly better: no win.
+	cmp = Compare(base, []EvalRun{{Mode: "utility", Shed: 40, TurnaroundP99Ms: 9000}})
+	if cmp.AllBeatBaseline || cmp.Verdicts[0].BeatsBaseline {
+		t.Fatalf("tie counted as a win: %+v", cmp)
+	}
+}

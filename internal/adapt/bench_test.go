@@ -1,0 +1,39 @@
+package adapt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// BenchmarkAdaptTick measures one full monitor→decide→actuate→journal
+// iteration against real (unstarted) subsystems — the per-tick cost the
+// control loop adds to a server. Budget: well under a millisecond.
+func BenchmarkAdaptTick(b *testing.B) {
+	q := jobs.New(func(ctx context.Context, spec jobs.Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+		return &batch.Summary{}, nil
+	}, jobs.Options{Workers: 2, Depth: 64})
+	defer q.Stop(context.Background())
+	shared := core.NewShared(core.SharedOptions{RetrievalTTL: 10 * time.Minute})
+	p, err := NewThresholdPolicy(DefaultRules())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctl, err := NewController(Options{
+		Policy:   p,
+		Monitor:  NewMonitor(q, shared, nil, nil),
+		Actuator: NewSystemActuator(q, shared, nil, Limits{}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctl.TickOnce()
+	}
+}

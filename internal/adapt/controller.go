@@ -1,0 +1,220 @@
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// AppliedAction is one action after the actuator had its say: the
+// clamped value, whether it changed anything, and the apply error if
+// any.
+type AppliedAction struct {
+	Action
+	Applied bool   `json:"applied"`
+	Error   string `json:"error,omitempty"`
+}
+
+// Decision is one journaled control-loop tick: what the monitor saw,
+// where the knobs were, and what the policy did about it.
+type Decision struct {
+	At      time.Time       `json:"at"`
+	Policy  string          `json:"policy"`
+	Signals Signals         `json:"signals"`
+	State   ActuatorState   `json:"state"`
+	Actions []AppliedAction `json:"actions,omitempty"`
+}
+
+// Stats summarizes the controller for /api/stats.
+type Stats struct {
+	Policy string  `json:"policy"`
+	TickS  float64 `json:"tick_s"`
+	// Ticks counts every loop iteration; Decisions the ones that
+	// attempted at least one action (and were journaled); Applied the
+	// individual actions that changed a knob; Errors the apply
+	// failures.
+	Ticks     uint64            `json:"ticks"`
+	Decisions uint64            `json:"decisions"`
+	Applied   uint64            `json:"applied"`
+	Errors    uint64            `json:"errors"`
+	ByKind    map[string]uint64 `json:"by_kind,omitempty"`
+	// Last is the most recent tick's decision, journaled or not — the
+	// live view of what the loop currently sees.
+	Last *Decision `json:"last,omitempty"`
+}
+
+// Options wires a Controller; Policy, Monitor and Actuator are
+// required.
+type Options struct {
+	Policy   Policy
+	Monitor  *Monitor
+	Actuator Actuator
+	// Tick is the control period. Default 1s.
+	Tick time.Duration
+	// JournalSize bounds the in-memory decision ring. Default 256.
+	JournalSize int
+	// Logf reports applied actions and errors; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Controller runs the MAPE loop: sample, decide, actuate, journal.
+type Controller struct {
+	opts Options
+
+	mu        sync.Mutex
+	journal   []Decision // chronological, bounded to JournalSize
+	ticks     uint64
+	decisions uint64
+	applied   uint64
+	errors    uint64
+	byKind    map[string]uint64
+	last      *Decision
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	done      chan struct{}
+	finished  chan struct{}
+}
+
+// NewController validates opts and builds the loop (not yet running;
+// call Start, or drive it manually with TickOnce).
+func NewController(opts Options) (*Controller, error) {
+	if opts.Policy == nil || opts.Monitor == nil || opts.Actuator == nil {
+		return nil, fmt.Errorf("adapt: controller needs Policy, Monitor and Actuator")
+	}
+	if opts.Tick == 0 {
+		opts.Tick = time.Second
+	}
+	if opts.Tick < 0 {
+		return nil, fmt.Errorf("adapt: tick %v is negative", opts.Tick)
+	}
+	if opts.JournalSize == 0 {
+		opts.JournalSize = 256
+	}
+	if opts.JournalSize < 0 {
+		return nil, fmt.Errorf("adapt: journal size %d is negative", opts.JournalSize)
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Controller{
+		opts:     opts,
+		byKind:   make(map[string]uint64),
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}, nil
+}
+
+// Start launches the ticker goroutine. Call once; Stop ends it.
+func (c *Controller) Start() {
+	c.startOnce.Do(func() {
+		go func() {
+			defer close(c.finished)
+			ticker := time.NewTicker(c.opts.Tick)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					c.TickOnce()
+				case <-c.done:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop ends the loop, blocking until the goroutine exits. Idempotent;
+// safe to call even if Start never ran.
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() {
+		close(c.done)
+	})
+	c.startOnce.Do(func() { close(c.finished) }) // never started: nothing to wait for
+	<-c.finished
+}
+
+// TickOnce runs one monitor→decide→actuate→journal iteration and
+// returns its decision. Exported so tests, benchmarks and the eval
+// harness can drive the loop deterministically.
+func (c *Controller) TickOnce() Decision {
+	s := c.opts.Monitor.Sample()
+	st := c.opts.Actuator.State()
+	acts := c.opts.Policy.Decide(s, st)
+
+	d := Decision{At: s.At, Policy: c.opts.Policy.Name(), Signals: s, State: st}
+	for _, a := range acts {
+		applied, changed, err := c.opts.Actuator.Apply(a)
+		aa := AppliedAction{Action: applied, Applied: changed && err == nil}
+		if err != nil {
+			aa.Error = err.Error()
+		}
+		d.Actions = append(d.Actions, aa)
+	}
+
+	c.mu.Lock()
+	c.ticks++
+	last := d
+	c.last = &last
+	if len(d.Actions) > 0 {
+		c.decisions++
+		for _, aa := range d.Actions {
+			if aa.Applied {
+				c.applied++
+				c.byKind[string(aa.Kind)]++
+			}
+			if aa.Error != "" {
+				c.errors++
+			}
+		}
+		c.journal = append(c.journal, d)
+		if over := len(c.journal) - c.opts.JournalSize; over > 0 {
+			c.journal = append(c.journal[:0], c.journal[over:]...)
+		}
+	}
+	c.mu.Unlock()
+
+	for _, aa := range d.Actions {
+		switch {
+		case aa.Error != "":
+			c.opts.Logf("adapt: %s=%d failed: %s (%s)", aa.Kind, aa.Value, aa.Error, aa.Reason)
+		case aa.Applied:
+			c.opts.Logf("adapt: %s=%d (%s)", aa.Kind, aa.Value, aa.Reason)
+		}
+	}
+	return d
+}
+
+// Journal returns up to limit of the most recent journaled decisions,
+// oldest first (limit <= 0 returns the whole ring).
+func (c *Controller) Journal(limit int) []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j := c.journal
+	if limit > 0 && len(j) > limit {
+		j = j[len(j)-limit:]
+	}
+	return append([]Decision(nil), j...)
+}
+
+// Stats snapshots the controller's counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Policy:    c.opts.Policy.Name(),
+		TickS:     c.opts.Tick.Seconds(),
+		Ticks:     c.ticks,
+		Decisions: c.decisions,
+		Applied:   c.applied,
+		Errors:    c.errors,
+		Last:      c.last,
+	}
+	if len(c.byKind) > 0 {
+		st.ByKind = make(map[string]uint64, len(c.byKind))
+		for k, v := range c.byKind {
+			st.ByKind[k] = v
+		}
+	}
+	return st
+}

@@ -1,0 +1,96 @@
+package adapt
+
+// Evaluation harness types: `minaret adaptbench` replays one loadgen
+// trace against a live server per mode (off/threshold/utility), builds
+// one EvalRun per replay, and Compare scores the adaptive runs against
+// the "off" baseline. The report is machine-readable JSON so CI can
+// assert "adaptation beat the baseline with zero gate violations"
+// instead of eyeballing log output.
+
+// EvalRun is one mode's replay outcome plus the controller's side of
+// the story (empty for mode "off").
+type EvalRun struct {
+	Mode  string `json:"mode"`  // off | threshold | utility
+	Shape string `json:"shape"` // loadgen shape name
+
+	// Replay outcome (from loadgen.Report).
+	Pass            bool    `json:"pass"` // checker gates all green
+	GateViolations  int     `json:"gate_violations"`
+	Submitted       int     `json:"submitted"`
+	Completed       int     `json:"completed"`
+	Shed            int     `json:"shed"` // 429s that exhausted retries
+	TurnaroundP50Ms float64 `json:"turnaround_p50_ms"`
+	TurnaroundP99Ms float64 `json:"turnaround_p99_ms"`
+	WallClockS      float64 `json:"wall_clock_s"`
+
+	// Controller outcome.
+	Ticks         uint64            `json:"ticks,omitempty"`
+	Applied       uint64            `json:"applied,omitempty"`
+	ActionsByKind map[string]uint64 `json:"actions_by_kind,omitempty"`
+	FinalWorkers  int               `json:"final_workers,omitempty"`
+	Journal       []Decision        `json:"journal,omitempty"`
+}
+
+// ModeVerdict scores one adaptive run against the baseline on the two
+// headline metrics.
+type ModeVerdict struct {
+	Mode string `json:"mode"`
+	// ShedDelta and P99DeltaMs are baseline minus this run: positive
+	// means this run improved on the baseline.
+	ShedDelta  int     `json:"shed_delta"`
+	P99DeltaMs float64 `json:"p99_delta_ms"`
+	// BeatsBaseline: strictly fewer shed requests OR strictly lower p99
+	// turnaround, without regressing checker gates.
+	BeatsBaseline bool   `json:"beats_baseline"`
+	On            string `json:"on,omitempty"` // which metric(s) won
+}
+
+// EvalComparison is the full adaptbench report.
+type EvalComparison struct {
+	Shape    string        `json:"shape"`
+	Baseline EvalRun       `json:"baseline"`
+	Runs     []EvalRun     `json:"runs"`
+	Verdicts []ModeVerdict `json:"verdicts"`
+	// AllBeatBaseline is the acceptance headline: every adaptive run
+	// beat "off" on at least one metric.
+	AllBeatBaseline bool `json:"all_beat_baseline"`
+	// ZeroGateViolations across every run, baseline included.
+	ZeroGateViolations bool `json:"zero_gate_violations"`
+}
+
+// Compare builds the comparison: baseline is the -adapt=off run, runs
+// the adaptive ones.
+func Compare(baseline EvalRun, runs []EvalRun) EvalComparison {
+	cmp := EvalComparison{
+		Shape:              baseline.Shape,
+		Baseline:           baseline,
+		Runs:               runs,
+		AllBeatBaseline:    len(runs) > 0,
+		ZeroGateViolations: baseline.GateViolations == 0,
+	}
+	for _, r := range runs {
+		v := ModeVerdict{
+			Mode:       r.Mode,
+			ShedDelta:  baseline.Shed - r.Shed,
+			P99DeltaMs: baseline.TurnaroundP99Ms - r.TurnaroundP99Ms,
+		}
+		if r.GateViolations == 0 {
+			switch {
+			case v.ShedDelta > 0 && v.P99DeltaMs > 0:
+				v.BeatsBaseline, v.On = true, "shed+p99"
+			case v.ShedDelta > 0:
+				v.BeatsBaseline, v.On = true, "shed"
+			case v.P99DeltaMs > 0:
+				v.BeatsBaseline, v.On = true, "p99"
+			}
+		}
+		cmp.Verdicts = append(cmp.Verdicts, v)
+		if !v.BeatsBaseline {
+			cmp.AllBeatBaseline = false
+		}
+		if r.GateViolations != 0 {
+			cmp.ZeroGateViolations = false
+		}
+	}
+	return cmp
+}

@@ -1,0 +1,254 @@
+package adapt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Policy maps one Signals sample (plus the knobs' current positions)
+// to zero or more corrective actions. Implementations keep their own
+// state between ticks (cooldowns, hysteresis latches) and are called
+// from a single controller goroutine — they need no locking of their
+// own.
+type Policy interface {
+	Name() string
+	Decide(s Signals, st ActuatorState) []Action
+}
+
+// PolicyNames lists the selectable policies for flag help.
+func PolicyNames() []string { return []string{"threshold", "utility"} }
+
+// NewPolicy builds a policy by name from cfg (nil cfg = defaults);
+// limits feed the utility policy's normalization.
+func NewPolicy(name string, cfg *Config, limits Limits) (Policy, error) {
+	if cfg == nil {
+		cfg = &Config{}
+	}
+	switch name {
+	case "threshold":
+		rules := cfg.Threshold.Rules
+		if len(rules) == 0 {
+			rules = DefaultRules()
+		}
+		return NewThresholdPolicy(rules)
+	case "utility":
+		return NewUtilityPolicy(cfg.Utility, limits), nil
+	default:
+		return nil, fmt.Errorf("adapt: unknown policy %q (want %s)", name, strings.Join(PolicyNames(), "|"))
+	}
+}
+
+// Config is the on-disk policy configuration (-adapt-config): plain
+// JSON, both sections optional, absent sections meaning defaults.
+type Config struct {
+	Threshold struct {
+		Rules []Rule `json:"rules,omitempty"`
+	} `json:"threshold,omitempty"`
+	Utility UtilityConfig `json:"utility,omitempty"`
+}
+
+// LoadConfig reads and validates a policy-config file.
+func LoadConfig(path string) (*Config, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(b, &cfg); err != nil {
+		return nil, fmt.Errorf("adapt: parse %s: %w", path, err)
+	}
+	for i, r := range cfg.Threshold.Rules {
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("adapt: %s: rule %d: %w", path, i, err)
+		}
+	}
+	return &cfg, nil
+}
+
+// signalValue resolves a rule's signal name against a sample. The
+// names are the Signals JSON tags that make sense to threshold on.
+func signalValue(s Signals, name string) (float64, bool) {
+	switch name {
+	case "queue_fill":
+		return s.QueueFill, true
+	case "queued":
+		return float64(s.Queued), true
+	case "running":
+		return float64(s.Running), true
+	case "submit_rate":
+		return s.SubmitRate, true
+	case "reject_rate":
+		return s.RejectRate, true
+	case "completion_rate":
+		return s.CompletionRate, true
+	case "turnaround_p50_ms":
+		return s.TurnaroundP50Ms, true
+	case "turnaround_p99_ms":
+		return s.TurnaroundP99Ms, true
+	case "queue_wait_p50_ms":
+		return s.QueueWaitP50Ms, true
+	case "queue_wait_p99_ms":
+		return s.QueueWaitP99Ms, true
+	case "hit_ratio":
+		return s.HitRatio, true
+	case "expired_ratio":
+		return s.ExpiredRatio, true
+	case "webhook_fail_rate":
+		return s.WebhookFailRate, true
+	case "misfire_rate":
+		return s.MisfireRate, true
+	default:
+		return 0, false
+	}
+}
+
+// Rule is one line of the threshold policy's table: when Signal
+// compares (Op ">" or "<") against Threshold, step the Action's knob
+// by Step (workers/slots, or seconds for TTL/interval knobs).
+//
+// CooldownTicks gates how often the rule may fire. Hysteresis damps
+// self-induced oscillation: after a fire, the rule refires only while
+// the signal is decisively beyond the band (threshold + hysteresis for
+// ">", minus for "<"); once the signal retreats to the non-firing side
+// of the bare threshold the rule re-arms.
+type Rule struct {
+	Name          string  `json:"name,omitempty"`
+	Signal        string  `json:"signal"`
+	Op            string  `json:"op"`
+	Threshold     float64 `json:"threshold"`
+	Hysteresis    float64 `json:"hysteresis,omitempty"`
+	Action        Kind    `json:"action"`
+	Step          int64   `json:"step"`
+	CooldownTicks int     `json:"cooldown_ticks,omitempty"`
+}
+
+func (r Rule) validate() error {
+	if _, ok := signalValue(Signals{}, r.Signal); !ok {
+		return fmt.Errorf("unknown signal %q", r.Signal)
+	}
+	if r.Op != ">" && r.Op != "<" {
+		return fmt.Errorf("op %q (want > or <)", r.Op)
+	}
+	switch r.Action {
+	case KindSetWorkers, KindSetCapacity, KindSetRetrievalTTL, KindSetJanitorInterval:
+	default:
+		return fmt.Errorf("unknown action %q", r.Action)
+	}
+	if r.Step == 0 {
+		return fmt.Errorf("step 0 does nothing")
+	}
+	if r.Hysteresis < 0 || r.CooldownTicks < 0 {
+		return fmt.Errorf("negative hysteresis or cooldown")
+	}
+	return nil
+}
+
+// DefaultRules is the built-in threshold table: scale workers on
+// backlog, shed load or long queue waits; shrink the pool when idle;
+// lengthen the retrieval TTL when entries churn out faster than they
+// are reused.
+func DefaultRules() []Rule {
+	return []Rule{
+		{Name: "backlog-grow", Signal: "queue_fill", Op: ">", Threshold: 0.7, Hysteresis: 0.1,
+			Action: KindSetWorkers, Step: +2, CooldownTicks: 1},
+		{Name: "shed-grow", Signal: "reject_rate", Op: ">", Threshold: 0,
+			Action: KindSetWorkers, Step: +2, CooldownTicks: 1},
+		{Name: "wait-grow", Signal: "queue_wait_p99_ms", Op: ">", Threshold: 5000, Hysteresis: 1000,
+			Action: KindSetWorkers, Step: +1, CooldownTicks: 2},
+		{Name: "idle-shrink", Signal: "queue_fill", Op: "<", Threshold: 0.05, Hysteresis: 0.02,
+			Action: KindSetWorkers, Step: -1, CooldownTicks: 5},
+		{Name: "churn-ttl", Signal: "expired_ratio", Op: ">", Threshold: 0.3, Hysteresis: 0.1,
+			Action: KindSetRetrievalTTL, Step: +300, CooldownTicks: 10},
+	}
+}
+
+// ruleState is one rule's between-tick memory.
+type ruleState struct {
+	// sinceFire counts ticks since the last fire; -1 = never fired.
+	sinceFire int
+	// latched is true from a fire until the signal retreats past the
+	// bare threshold.
+	latched bool
+}
+
+type thresholdPolicy struct {
+	rules []Rule
+	state []ruleState
+}
+
+// NewThresholdPolicy builds the rule-table policy; rules must be
+// non-empty and valid.
+func NewThresholdPolicy(rules []Rule) (Policy, error) {
+	if len(rules) == 0 {
+		return nil, fmt.Errorf("adapt: threshold policy with no rules")
+	}
+	for i, r := range rules {
+		if err := r.validate(); err != nil {
+			return nil, fmt.Errorf("adapt: rule %d: %w", i, err)
+		}
+	}
+	st := make([]ruleState, len(rules))
+	for i := range st {
+		st[i].sinceFire = -1
+	}
+	return &thresholdPolicy{rules: rules, state: st}, nil
+}
+
+func (p *thresholdPolicy) Name() string { return "threshold" }
+
+// target turns a rule's relative step into the absolute knob target.
+func target(r Rule, st ActuatorState) int64 {
+	switch r.Action {
+	case KindSetWorkers:
+		return int64(st.Workers) + r.Step
+	case KindSetCapacity:
+		return int64(st.Capacity) + r.Step
+	case KindSetRetrievalTTL:
+		return st.RetrievalTTLS + r.Step
+	default:
+		return st.JanitorIntervalS + r.Step
+	}
+}
+
+func (p *thresholdPolicy) Decide(s Signals, st ActuatorState) []Action {
+	var out []Action
+	for i := range p.rules {
+		r := &p.rules[i]
+		rs := &p.state[i]
+		if rs.sinceFire >= 0 {
+			rs.sinceFire++
+		}
+		v, _ := signalValue(s, r.Signal)
+
+		beyond := v > r.Threshold
+		decisive := v > r.Threshold+r.Hysteresis
+		if r.Op == "<" {
+			beyond = v < r.Threshold
+			decisive = v < r.Threshold-r.Hysteresis
+		}
+		if !beyond {
+			rs.latched = false
+			continue
+		}
+		if rs.latched && !decisive {
+			continue
+		}
+		if rs.sinceFire >= 0 && rs.sinceFire <= r.CooldownTicks {
+			continue
+		}
+		rs.sinceFire = 0
+		rs.latched = true
+		name := r.Name
+		if name == "" {
+			name = fmt.Sprintf("rule-%d", i)
+		}
+		out = append(out, Action{
+			Kind:   r.Action,
+			Value:  target(*r, st),
+			Reason: fmt.Sprintf("%s: %s=%.3g %s %.3g", name, r.Signal, v, r.Op, r.Threshold),
+		})
+	}
+	return out
+}

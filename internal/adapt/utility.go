@@ -1,0 +1,170 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+)
+
+// UtilityConfig weights the NFR terms of the utility policy. Zero
+// values select the documented defaults; weights need not sum to 1.
+type UtilityConfig struct {
+	// Performance rewards a short predicted backlog (and, via the
+	// cache-churn adjustment, a retrieval TTL long enough for reuse).
+	Performance float64 `json:"performance,omitempty"` // default 0.6
+	// Availability punishes predicted load shedding.
+	Availability float64 `json:"availability,omitempty"` // default 0.25
+	// Efficiency rewards small worker pools and small queue bounds.
+	Efficiency float64 `json:"efficiency,omitempty"` // default 0.1
+	// Freshness punishes long retrieval TTLs (stale scholarly data).
+	Freshness float64 `json:"freshness,omitempty"` // default 0.05
+	// HoldBonus breaks near-ties toward doing nothing, damping drift.
+	HoldBonus float64 `json:"hold_bonus,omitempty"` // default 0.01
+}
+
+func (c UtilityConfig) withDefaults() UtilityConfig {
+	if c.Performance == 0 {
+		c.Performance = 0.6
+	}
+	if c.Availability == 0 {
+		c.Availability = 0.25
+	}
+	if c.Efficiency == 0 {
+		c.Efficiency = 0.1
+	}
+	if c.Freshness == 0 {
+		c.Freshness = 0.05
+	}
+	if c.HoldBonus == 0 {
+		c.HoldBonus = 0.01
+	}
+	return c
+}
+
+// utilityPolicy scores a small candidate set — hold, workers ±1 (and
+// +2 for faster ramps), capacity ×2/÷2, retrieval TTL ×2/÷2 — under a
+// weighted utility over the signals a one-step lookahead model
+// predicts, and emits the argmax when it beats holding. This is the
+// decision-making shape RDMSim evaluates: normalized NFR satisfaction
+// terms, linear scalarization, one action per tick.
+type utilityPolicy struct {
+	cfg    UtilityConfig
+	limits Limits
+}
+
+// NewUtilityPolicy builds the utility policy; limits normalize the
+// efficiency term and bound the candidates.
+func NewUtilityPolicy(cfg UtilityConfig, limits Limits) Policy {
+	return &utilityPolicy{cfg: cfg.withDefaults(), limits: limits.withDefaults()}
+}
+
+func (p *utilityPolicy) Name() string { return "utility" }
+
+// candidate is one possible next knob configuration.
+type candidate struct {
+	action *Action // nil = hold
+	label  string
+}
+
+// maxDrainWaitS saturates the performance term: a predicted backlog
+// that takes this long to drain scores zero however much longer it is.
+const maxDrainWaitS = 30.0
+
+// predict runs the one-step lookahead: given the sample and a
+// candidate knob configuration, estimate the next-tick backlog's
+// drain time (seconds) and shed fraction. The drain model is
+// deliberately crude — completions scale linearly with workers,
+// floored at 0.25 jobs/s/worker so a stalled sample can't make every
+// candidate look identical — because the policy only needs the
+// *ordering* of candidates to be right. Drain time, not queue fill,
+// feeds the performance term: growing capacity absorbs a burst
+// (clears predicted shedding) but does nothing for drain time, so
+// sustained pressure makes adding workers the argmax.
+func (p *utilityPolicy) predict(s Signals, workers, capacity int) (waitS, shed float64) {
+	dt := clamp(s.IntervalS, 1, 10)
+	perWorker := math.Max(s.CompletionRate/math.Max(float64(s.Workers), 1), 0.25)
+	drain := perWorker * float64(workers)
+	inflow := s.SubmitRate + s.RejectRate // offered load, including what was shed
+	backlog := math.Max(0, float64(s.Queued)+(inflow-drain)*dt)
+	overflow := math.Max(0, backlog-float64(capacity))
+	waitS = backlog / math.Max(drain, 0.25)
+	shed = clamp(overflow/math.Max(inflow*dt, 1), 0, 1)
+	return waitS, shed
+}
+
+// score computes the weighted utility of one candidate configuration.
+func (p *utilityPolicy) score(s Signals, workers, capacity int, ttlS int64) float64 {
+	waitS, shed := p.predict(s, workers, capacity)
+	perf := 1 - clamp(waitS/maxDrainWaitS, 0, 1)
+	avail := 1 - shed
+	wSpan := math.Max(float64(p.limits.MaxWorkers-p.limits.MinWorkers), 1)
+	cSpan := math.Max(math.Log2(float64(p.limits.MaxCapacity))-math.Log2(float64(p.limits.MinCapacity)), 1)
+	eff := 1 - 0.8*float64(workers-p.limits.MinWorkers)/wSpan -
+		0.2*(math.Log2(math.Max(float64(capacity), 1))-math.Log2(float64(p.limits.MinCapacity)))/cSpan
+	fresh := 1.0
+	if ttlS > 0 {
+		fresh = 1 - clamp(float64(ttlS)/p.limits.MaxTTL.Seconds(), 0, 1)
+	}
+	return p.cfg.Performance*perf + p.cfg.Availability*avail + p.cfg.Efficiency*eff + p.cfg.Freshness*fresh
+}
+
+func (p *utilityPolicy) Decide(s Signals, st ActuatorState) []Action {
+	type scored struct {
+		c candidate
+		u float64
+	}
+	workers, capacity, ttl := st.Workers, st.Capacity, st.RetrievalTTLS
+
+	var cands []scored
+	add := func(label string, w, c int, t int64, a *Action) {
+		cands = append(cands, scored{candidate{action: a, label: label}, p.score(s, w, c, t)})
+	}
+	add("hold", workers, capacity, ttl, nil)
+	reason := func(what string) string {
+		return fmt.Sprintf("utility argmax %s (fill=%.2f submit=%.2f/s reject=%.2f/s done=%.2f/s)",
+			what, s.QueueFill, s.SubmitRate, s.RejectRate, s.CompletionRate)
+	}
+	for _, dw := range []int{+1, +2, -1} {
+		w := workers + dw
+		if w < p.limits.MinWorkers || w > p.limits.MaxWorkers {
+			continue
+		}
+		add(fmt.Sprintf("workers%+d", dw), w, capacity, ttl,
+			&Action{Kind: KindSetWorkers, Value: int64(w), Reason: reason(fmt.Sprintf("workers %d->%d", workers, w))})
+	}
+	for _, c := range []int{capacity * 2, capacity / 2} {
+		if c < p.limits.MinCapacity || c > p.limits.MaxCapacity || c == capacity {
+			continue
+		}
+		add(fmt.Sprintf("capacity->%d", c), workers, c, ttl,
+			&Action{Kind: KindSetCapacity, Value: int64(c), Reason: reason(fmt.Sprintf("capacity %d->%d", capacity, c))})
+	}
+	if ttl > 0 {
+		for _, t := range []int64{ttl * 2, ttl / 2} {
+			minT, maxT := int64(p.limits.MinTTL.Seconds()), int64(p.limits.MaxTTL.Seconds())
+			if t < minT || t > maxT || t == ttl {
+				continue
+			}
+			a := &Action{Kind: KindSetRetrievalTTL, Value: t,
+				Reason: reason(fmt.Sprintf("retrieval ttl %ds->%ds (expired_ratio=%.2f)", ttl, t, s.ExpiredRatio))}
+			sc := p.score(s, workers, capacity, t)
+			// Churn credit: growing the TTL under heavy expiry churn
+			// recovers cache hits the plain model can't see.
+			if t > ttl {
+				sc += p.cfg.Performance * 0.5 * clamp(s.ExpiredRatio, 0, 1)
+			}
+			cands = append(cands, scored{candidate{action: a, label: fmt.Sprintf("ttl->%ds", t)}, sc})
+		}
+	}
+
+	best := cands[0]
+	best.u += p.cfg.HoldBonus // hold's tie-break bonus
+	for _, c := range cands[1:] {
+		if c.u > best.u {
+			best = c
+		}
+	}
+	if best.c.action == nil {
+		return nil
+	}
+	return []Action{*best.c.action}
+}

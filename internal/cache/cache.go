@@ -10,6 +10,7 @@ package cache
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -136,7 +137,35 @@ func NewNamed[K comparable, V any](name string, max int, opts ...Option) *Map[K,
 }
 
 // TTL returns the per-entry lifetime (0 = entries never expire).
-func (m *Map[K, V]) TTL() time.Duration { return m.ttl }
+func (m *Map[K, V]) TTL() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ttl
+}
+
+// SetTTL changes the per-entry lifetime at runtime (d <= 0 disables
+// expiry for future entries). Shrinking clamps existing deadlines to
+// now+d — the same freshness rule Import applies — so a tighter policy
+// takes effect without waiting out old stamps; growing never extends an
+// existing deadline, because the entry's true age is unknown.
+func (m *Map[K, V]) SetTTL(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ttl = d
+	if d <= 0 {
+		return
+	}
+	latest := m.now().Add(d)
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		if e.exp.IsZero() || e.exp.After(latest) {
+			e.exp = latest
+		}
+	}
+}
 
 // alive reports whether e is still usable at instant now.
 func (e *entry[K, V]) alive(now time.Time) bool {
@@ -340,32 +369,92 @@ type Sweeper interface {
 
 // Janitor starts one background goroutine that sweeps every cache each
 // interval, reclaiming expired entries nobody accesses. The returned
-// stop is idempotent and blocks until the goroutine has exited.
+// stop is idempotent and blocks until the goroutine has exited. For a
+// cadence adjustable at runtime, use NewJanitor.
 func Janitor(interval time.Duration, caches ...Sweeper) (stop func()) {
-	ticker := time.NewTicker(interval)
-	done := make(chan struct{})
-	finished := make(chan struct{})
+	return NewJanitor(interval, caches...).Stop
+}
+
+// JanitorHandle is a running sweep loop whose cadence can be retuned
+// without a restart — the janitor-side actuator of the adapt control
+// loop. All methods are safe for concurrent use.
+type JanitorHandle struct {
+	update   chan time.Duration
+	done     chan struct{}
+	finished chan struct{}
+	stopOnce sync.Once
+
+	mu       sync.Mutex
+	interval time.Duration
+
+	sweeps atomic.Uint64
+}
+
+// NewJanitor starts the sweep goroutine at the given cadence.
+func NewJanitor(interval time.Duration, caches ...Sweeper) *JanitorHandle {
+	j := &JanitorHandle{
+		update:   make(chan time.Duration),
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+		interval: interval,
+	}
 	go func() {
-		defer close(finished)
+		defer close(j.finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
 		for {
 			select {
 			case <-ticker.C:
 				for _, c := range caches {
 					c.Sweep()
 				}
-			case <-done:
+				j.sweeps.Add(1)
+			case d := <-j.update:
+				// Reset restarts the period from now, so a shorter
+				// cadence takes effect within the new interval, not the
+				// old one.
+				ticker.Reset(d)
+			case <-j.done:
 				return
 			}
 		}
 	}()
-	var once sync.Once
-	return func() {
-		once.Do(func() {
-			ticker.Stop()
-			close(done)
-			<-finished
-		})
+	return j
+}
+
+// SetInterval retunes the sweep cadence at runtime; the next sweep
+// happens d from now. d must be positive. After Stop it is a no-op.
+func (j *JanitorHandle) SetInterval(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("cache: janitor interval %v (want > 0)", d)
 	}
+	j.mu.Lock()
+	j.interval = d
+	j.mu.Unlock()
+	select {
+	case j.update <- d:
+	case <-j.done:
+	}
+	return nil
+}
+
+// Interval returns the current sweep cadence.
+func (j *JanitorHandle) Interval() time.Duration {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.interval
+}
+
+// Sweeps counts completed sweep rounds since the janitor started.
+func (j *JanitorHandle) Sweeps() uint64 { return j.sweeps.Load() }
+
+// Stop terminates the sweep loop, blocking until it has exited.
+// Idempotent.
+func (j *JanitorHandle) Stop() {
+	j.stopOnce.Do(func() {
+		close(j.done)
+		<-j.finished
+	})
 }
 
 // Entry is one exported key/value pair with its absolute expiry (zero =

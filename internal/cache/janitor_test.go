@@ -1,0 +1,142 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// countSweeper counts Sweep calls.
+type countSweeper struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *countSweeper) Sweep() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return 0
+}
+
+func (c *countSweeper) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// TestJanitorSetInterval: a running janitor retunes its cadence without
+// a restart — an hour-long cadence shortened to milliseconds sweeps
+// within the test's patience, and the old goroutine is the one doing it.
+func TestJanitorSetInterval(t *testing.T) {
+	s := &countSweeper{}
+	j := NewJanitor(time.Hour, s)
+	defer j.Stop()
+
+	time.Sleep(50 * time.Millisecond)
+	if got := s.count(); got != 0 {
+		t.Fatalf("swept %d times under the hour cadence", got)
+	}
+	if err := j.SetInterval(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Interval(); got != 5*time.Millisecond {
+		t.Fatalf("Interval = %v, want 5ms", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.count() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor never picked up the new cadence (%d sweeps)", s.count())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if j.Sweeps() < 3 {
+		t.Fatalf("handle counted %d sweeps, sweeper saw %d", j.Sweeps(), s.count())
+	}
+	if err := j.SetInterval(0); err == nil {
+		t.Fatal("SetInterval(0) accepted")
+	}
+}
+
+// TestJanitorSetIntervalConcurrent hammers SetInterval from several
+// goroutines while the loop runs — the -race contract for the adapt
+// controller retuning a live janitor.
+func TestJanitorSetIntervalConcurrent(t *testing.T) {
+	s := &countSweeper{}
+	j := NewJanitor(time.Millisecond, s)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := j.SetInterval(time.Duration(1+g) * time.Millisecond); err != nil {
+					t.Error(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	j.Stop()
+	j.Stop() // idempotent
+	// SetInterval after Stop must not block or panic.
+	if err := j.SetInterval(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapSetTTL: shrinking the TTL clamps existing deadlines so the
+// tighter freshness policy applies to entries already cached; growing
+// never resurrects or extends them.
+func TestMapSetTTL(t *testing.T) {
+	clk := newFakeClock()
+	m := New[string, int](8, WithTTL(time.Hour), WithClock(clk.Now))
+	m.Put("a", 1)
+
+	m.SetTTL(time.Minute) // clamp: "a" now dies at +1m, not +1h
+	if got := m.TTL(); got != time.Minute {
+		t.Fatalf("TTL = %v, want 1m", got)
+	}
+	clk.Advance(61 * time.Second)
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("entry outlived the shrunken TTL")
+	}
+
+	m.Put("b", 2)
+	m.SetTTL(time.Hour) // growing does not extend b's +1m deadline
+	clk.Advance(2 * time.Minute)
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("grow extended an existing deadline")
+	}
+	m.Put("c", 3) // stamped under the 1h TTL
+	clk.Advance(30 * time.Minute)
+	if v, ok := m.Get("c"); !ok || v != 3 {
+		t.Fatalf("fresh entry under grown TTL: got %v %v", v, ok)
+	}
+
+	m.SetTTL(0) // disable expiry for future entries
+	m.Put("d", 4)
+	clk.Advance(1000 * time.Hour)
+	if _, ok := m.Get("d"); !ok {
+		t.Fatal("no-expiry entry expired")
+	}
+	// c kept its old deadline when expiry was disabled.
+	if _, ok := m.Get("c"); ok {
+		t.Fatal("disabling expiry erased an existing deadline")
+	}
+}
+
+// TestSnapshotterCompat: the legacy Janitor signature still works.
+func TestJanitorCompat(t *testing.T) {
+	s := &countSweeper{}
+	stop := Janitor(2*time.Millisecond, s)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("janitor never swept")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stop()
+	stop()
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSetTTLs: runtime TTL adjustment is visible through TTLs and
+// negative fields leave caches untouched.
+func TestSetTTLs(t *testing.T) {
+	s := NewShared(SharedOptions{RetrievalTTL: time.Hour, ProfileTTL: time.Minute})
+	set := UnchangedTTLs()
+	set.Retrievals = 10 * time.Minute
+	s.SetTTLs(set)
+	got := s.TTLs()
+	if got.Retrievals != 10*time.Minute {
+		t.Fatalf("Retrievals TTL = %v, want 10m", got.Retrievals)
+	}
+	if got.Profiles != time.Minute {
+		t.Fatalf("Profiles TTL changed by an unchanged field: %v", got.Profiles)
+	}
+	if got.Verifies != 0 || got.Expansions != 0 {
+		t.Fatalf("no-expiry caches changed: %+v", got)
+	}
+}
+
+// TestSnapshotterSetInterval: an hour-long save cadence shortened at
+// runtime produces a snapshot file without a restart.
+func TestSnapshotterSetInterval(t *testing.T) {
+	s := NewShared(SharedOptions{})
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	sn := s.NewSnapshotter(path, time.Hour, nil)
+	time.Sleep(30 * time.Millisecond)
+	if _, err := os.Stat(path); err == nil {
+		t.Fatal("snapshot written under the hour cadence")
+	}
+	if err := sn.SetInterval(5 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := os.Stat(path); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("snapshotter never picked up the new cadence")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := sn.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sn.SetInterval(time.Second); err != nil {
+		t.Fatal("SetInterval after Stop should be a no-op, got", err)
+	}
+	if sn.Interval() != time.Second {
+		t.Fatalf("Interval = %v", sn.Interval())
+	}
+}

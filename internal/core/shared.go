@@ -263,9 +263,61 @@ func (s *Shared) ClearNamed(name string) error {
 // entries out of every cache each interval, so memory is reclaimed even
 // for keys nobody asks for again. The returned stop is idempotent and
 // blocks until the goroutine exits. Pointless (but harmless) when no
-// TTL is configured.
+// TTL is configured. For a cadence adjustable at runtime, use
+// NewJanitor.
 func (s *Shared) StartJanitor(interval time.Duration) (stop func()) {
-	return cache.Janitor(interval, s.profiles, s.verifies, s.expansions, s.retrievals)
+	return s.NewJanitor(interval).Stop
+}
+
+// NewJanitor starts the sweep goroutine over all four caches and
+// returns its handle, whose SetInterval retunes the cadence without a
+// restart — the knob the adapt controller turns.
+func (s *Shared) NewJanitor(interval time.Duration) *cache.JanitorHandle {
+	return cache.NewJanitor(interval, s.profiles, s.verifies, s.expansions, s.retrievals)
+}
+
+// TTLSet names the four per-cache entry lifetimes for runtime
+// inspection and adjustment. In SetTTLs a negative field means "leave
+// this cache unchanged"; zero disables expiry.
+type TTLSet struct {
+	Profiles   time.Duration `json:"profiles"`
+	Verifies   time.Duration `json:"verifies"`
+	Expansions time.Duration `json:"expansions"`
+	Retrievals time.Duration `json:"retrievals"`
+}
+
+// UnchangedTTLs is the SetTTLs no-op: every field negative.
+func UnchangedTTLs() TTLSet {
+	return TTLSet{Profiles: -1, Verifies: -1, Expansions: -1, Retrievals: -1}
+}
+
+// SetTTLs adjusts per-cache entry lifetimes at runtime. Negative
+// fields are skipped; zero disables expiry for future entries; a
+// shrink clamps existing deadlines (see cache.Map.SetTTL). Safe while
+// requests are in flight.
+func (s *Shared) SetTTLs(t TTLSet) {
+	if t.Profiles >= 0 {
+		s.profiles.SetTTL(t.Profiles)
+	}
+	if t.Verifies >= 0 {
+		s.verifies.SetTTL(t.Verifies)
+	}
+	if t.Expansions >= 0 {
+		s.expansions.SetTTL(t.Expansions)
+	}
+	if t.Retrievals >= 0 {
+		s.retrievals.SetTTL(t.Retrievals)
+	}
+}
+
+// TTLs returns the current per-cache entry lifetimes.
+func (s *Shared) TTLs() TTLSet {
+	return TTLSet{
+		Profiles:   s.profiles.TTL(),
+		Verifies:   s.verifies.TTL(),
+		Expansions: s.expansions.TTL(),
+		Retrievals: s.retrievals.TTL(),
+	}
 }
 
 // SetRetrievalIndex installs (or, with nil, removes) the persistent

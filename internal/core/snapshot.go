@@ -290,38 +290,93 @@ func (s *Shared) LoadSnapshot(path string) (stats RestoreStats, ok bool, err err
 // save-on-shutdown. Save failures are reported through logf (nil
 // discards them) and retried next tick. The returned stop is idempotent,
 // blocks until the goroutine exits, and returns the final save's error.
+// For a save cadence adjustable at runtime, use NewSnapshotter.
 func (s *Shared) StartSnapshotter(path string, interval time.Duration, logf func(format string, args ...any)) (stop func() error) {
+	return s.NewSnapshotter(path, interval, logf).Stop
+}
+
+// Snapshotter is a running periodic-save loop whose cadence can be
+// retuned without a restart. All methods are safe for concurrent use.
+type Snapshotter struct {
+	update   chan time.Duration
+	done     chan struct{}
+	finished chan struct{}
+	stopFn   func() error
+	finalErr error
+
+	mu       sync.Mutex
+	interval time.Duration
+}
+
+// NewSnapshotter launches the periodic-save goroutine; see
+// StartSnapshotter for the save and shutdown contract.
+func (s *Shared) NewSnapshotter(path string, interval time.Duration, logf func(format string, args ...any)) *Snapshotter {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	ticker := time.NewTicker(interval)
-	done := make(chan struct{})
-	finished := make(chan struct{})
+	sn := &Snapshotter{
+		update:   make(chan time.Duration),
+		done:     make(chan struct{}),
+		finished: make(chan struct{}),
+		interval: interval,
+	}
 	go func() {
-		defer close(finished)
+		defer close(sn.finished)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
 		for {
 			select {
 			case <-ticker.C:
 				if err := s.SaveSnapshot(path); err != nil {
 					logf("cache snapshot save: %v", err)
 				}
-			case <-done:
+			case d := <-sn.update:
+				ticker.Reset(d)
+			case <-sn.done:
 				return
 			}
 		}
 	}()
 	var once sync.Once
-	var finalErr error
-	return func() error {
+	stop := func() error {
 		once.Do(func() {
-			ticker.Stop()
-			close(done)
-			<-finished
-			finalErr = s.SaveSnapshot(path)
-			if finalErr != nil {
-				logf("cache snapshot final save: %v", finalErr)
+			close(sn.done)
+			<-sn.finished
+			sn.finalErr = s.SaveSnapshot(path)
+			if sn.finalErr != nil {
+				logf("cache snapshot final save: %v", sn.finalErr)
 			}
 		})
-		return finalErr
+		return sn.finalErr
 	}
+	sn.stopFn = stop
+	return sn
 }
+
+// SetInterval retunes the save cadence; the next periodic save happens
+// d from now. d must be positive. After Stop it is a no-op.
+func (sn *Snapshotter) SetInterval(d time.Duration) error {
+	if d <= 0 {
+		return fmt.Errorf("core: snapshot interval %v (want > 0)", d)
+	}
+	sn.mu.Lock()
+	sn.interval = d
+	sn.mu.Unlock()
+	select {
+	case sn.update <- d:
+	case <-sn.done:
+	}
+	return nil
+}
+
+// Interval returns the current save cadence.
+func (sn *Snapshotter) Interval() time.Duration {
+	sn.mu.Lock()
+	defer sn.mu.Unlock()
+	return sn.interval
+}
+
+// Stop terminates the loop, performs the final save-on-shutdown, and
+// returns that save's error. Idempotent: later calls return the first
+// call's result.
+func (sn *Snapshotter) Stop() error { return sn.stopFn() }

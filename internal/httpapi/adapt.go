@@ -1,0 +1,57 @@
+// The /api/adapt route: the self-adaptation loop's knowledge base.
+// GET returns the controller's counters plus the journaled decisions —
+// every tick where a policy attempted an action, with the signals and
+// knob positions it saw. /api/stats carries the counters alone in its
+// "adapt" block.
+package httpapi
+
+import (
+	"net/http"
+	"strconv"
+
+	"minaret/internal/adapt"
+)
+
+// SetAdapt wires the running adaptation controller so /api/adapt and
+// the /api/stats adapt block report it. Call before Handler sees
+// traffic; without it /api/adapt answers 404.
+func (s *Server) SetAdapt(ctl *adapt.Controller) { s.adapt = ctl }
+
+// AdaptBlock is the "adapt" object of /api/stats: the controller's
+// counters (policy name, ticks, applied actions by kind, last
+// decision).
+type AdaptBlock struct {
+	adapt.Stats
+}
+
+// AdaptResponse is the GET /api/adapt payload.
+type AdaptResponse struct {
+	Stats adapt.Stats `json:"stats"`
+	// Journal is the bounded decision ring, oldest first.
+	Journal []adapt.Decision `json:"journal"`
+}
+
+func (s *Server) handleAdapt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET required"})
+		return
+	}
+	if s.adapt == nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "adaptation disabled (-adapt=off)"})
+		return
+	}
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "limit must be a non-negative integer"})
+			return
+		}
+		limit = n
+	}
+	j := s.adapt.Journal(limit)
+	if j == nil {
+		j = []adapt.Decision{}
+	}
+	writeJSON(w, http.StatusOK, AdaptResponse{Stats: s.adapt.Stats(), Journal: j})
+}

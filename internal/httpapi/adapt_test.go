@@ -1,0 +1,107 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"minaret/internal/adapt"
+	"minaret/internal/jobs"
+)
+
+func TestAdaptEndpointAndStatsBlock(t *testing.T) {
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 4})
+
+	// Not wired yet: the route exists but reports adaptation off.
+	resp, err := http.Get(fx.api.URL + "/api/adapt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /api/adapt without controller = %d, want 404", resp.StatusCode)
+	}
+
+	// Wire a controller with a rule that fires on any submission, then
+	// tick it manually — the endpoint serves whatever the loop recorded.
+	policy, err := adapt.NewThresholdPolicy([]adapt.Rule{{
+		Name: "any-queue", Signal: "queued", Op: ">", Threshold: -1,
+		Action: adapt.KindSetWorkers, Step: +1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := adapt.NewController(adapt.Options{
+		Policy:   policy,
+		Monitor:  adapt.NewMonitor(fx.srv.jobs, fx.srv.shared, nil, nil),
+		Actuator: adapt.NewSystemActuator(fx.srv.jobs, fx.srv.shared, nil, adapt.Limits{MaxWorkers: 3}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.srv.SetAdapt(ctl)
+
+	ctl.TickOnce()
+	ctl.TickOnce()
+
+	resp, err = http.Get(fx.api.URL + "/api/adapt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /api/adapt = %d, want 200", resp.StatusCode)
+	}
+	var ar AdaptResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if ar.Stats.Policy != "threshold" || ar.Stats.Ticks != 2 {
+		t.Fatalf("adapt stats = %+v, want threshold policy with 2 ticks", ar.Stats)
+	}
+	if ar.Stats.Applied == 0 || len(ar.Journal) == 0 {
+		t.Fatalf("adapt response recorded nothing: stats %+v journal %d", ar.Stats, len(ar.Journal))
+	}
+	if ar.Journal[0].Actions[0].Kind != adapt.KindSetWorkers {
+		t.Fatalf("journaled action = %+v", ar.Journal[0].Actions)
+	}
+
+	// limit trims the journal from the oldest end.
+	resp, err = http.Get(fx.api.URL + "/api/adapt?limit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var limited AdaptResponse
+	if err := json.NewDecoder(resp.Body).Decode(&limited); err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Journal) != 1 {
+		t.Fatalf("limit=1 returned %d entries", len(limited.Journal))
+	}
+	resp, err = http.Get(fx.api.URL + "/api/adapt?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus limit = %d, want 400", resp.StatusCode)
+	}
+
+	// The stats payload grows an adapt block mirroring the counters.
+	resp, err = http.Get(fx.api.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Adapt == nil || stats.Adapt.Policy != "threshold" || stats.Adapt.Ticks != 2 {
+		t.Fatalf("stats adapt block = %+v", stats.Adapt)
+	}
+	if stats.Jobs == nil || stats.Jobs.Workers != 3 {
+		t.Fatalf("controller should have resized workers to the 3-cap, jobs = %+v", stats.Jobs)
+	}
+}

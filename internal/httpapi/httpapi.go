@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"strings"
 
+	"minaret/internal/adapt"
 	"minaret/internal/coi"
 	"minaret/internal/core"
 	"minaret/internal/fetch"
@@ -97,6 +98,9 @@ type Server struct {
 	// restore outcome, reported in /api/stats' schedules block.
 	sched        *jobs.Scheduler
 	schedRestore *jobs.ScheduleRestoreStats
+	// adapt, when non-nil, is the self-adaptation controller backing
+	// /api/adapt and the stats adapt block (see SetAdapt).
+	adapt *adapt.Controller
 	// maxBody bounds every POST body via http.MaxBytesReader; <= 0
 	// disables the cap.
 	maxBody int64
@@ -209,6 +213,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.tele.instrument("jobs", s.handleJobByID))
 	mux.HandleFunc("/v1/schedules", s.tele.instrument("schedules", s.handleSchedules))
 	mux.HandleFunc("/v1/schedules/", s.tele.instrument("schedules", s.handleScheduleByID))
+	mux.HandleFunc("/api/adapt", s.handleAdapt)
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})

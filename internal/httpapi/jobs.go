@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -165,8 +166,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusAccepted, job)
 	case errors.Is(err, jobs.ErrQueueFull):
 		// Explicit load-shedding: the client backs off and retries; the
-		// server never buffers unboundedly or blocks the connection.
-		w.Header().Set("Retry-After", "1")
+		// server never buffers unboundedly or blocks the connection. The
+		// back-off is the queue's own drain-rate estimate (1–60s), so a
+		// congested queue tells clients to stay away longer.
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.jobs.RetryAfterHint()/time.Second)))
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error()})
 	case errors.Is(err, jobs.ErrDuplicateID):
 		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -166,8 +167,14 @@ func TestJobQueueFullAnswers429(t *testing.T) {
 	if r3.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("third submit = %d, want 429", r3.StatusCode)
 	}
-	if r3.Header.Get("Retry-After") == "" {
-		t.Fatal("429 without Retry-After")
+	// Retry-After is computed from the queue's drain-rate estimate: an
+	// integer number of seconds, clamped to [1, 60].
+	ra, err := strconv.Atoi(r3.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("429 Retry-After %q is not an integer: %v", r3.Header.Get("Retry-After"), err)
+	}
+	if ra < 1 || ra > 60 {
+		t.Fatalf("429 Retry-After = %d, want within [1, 60]", ra)
 	}
 	var e ErrorResponse
 	if err := json.NewDecoder(r3.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "full") {

@@ -149,8 +149,12 @@ type StatsResponse struct {
 	Jobs *JobsBlock `json:"jobs,omitempty"`
 	// Schedules reports the workload scheduler — active/done schedule
 	// counts and fired/missed totals.
-	Schedules  *SchedulesBlock `json:"schedules,omitempty"`
-	RouteOrder []string        `json:"route_order"`
+	Schedules *SchedulesBlock `json:"schedules,omitempty"`
+	// Adapt reports the self-adaptation controller when one is running
+	// (-adapt=threshold|utility): policy, tick counters, actions
+	// applied by kind, and the latest decision.
+	Adapt      *AdaptBlock `json:"adapt,omitempty"`
+	RouteOrder []string    `json:"route_order"`
 }
 
 // JobsBlock is the "jobs" object of /api/stats: the queue counters
@@ -203,6 +207,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.sched != nil {
 		resp.Schedules = &SchedulesBlock{SchedulerStats: s.sched.Stats(), Restore: s.schedRestore}
+	}
+	if s.adapt != nil {
+		resp.Adapt = &AdaptBlock{Stats: s.adapt.Stats()}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -365,6 +365,23 @@ type Queue struct {
 	seq        uint64
 	submitted  uint64
 	rejections uint64
+	// started flips once Start has launched the pool; Resize before
+	// Start only retargets opts.Workers and lets Start do the spawning.
+	started bool
+	// workerTarget is the pool size Resize asks for; workerLive counts
+	// goroutines actually in worker(). A worker finding live > target
+	// exits after its current job, which is how shrink drains without
+	// dropping in-flight work.
+	workerTarget int
+	workerLive   int
+	// starts is a bounded ring of recent job-start times (a start frees
+	// one queued slot), chronological oldest-first; RetryAfterHint turns
+	// its mean gap into the 429 Retry-After estimate.
+	starts []time.Time
+	// waitHist observes submit→start (queue wait); turnHist observes
+	// submit→terminal (turnaround) for jobs that ran.
+	waitHist *latencyHist
+	turnHist *latencyHist
 
 	wg sync.WaitGroup
 	// saveMu serializes store writes so a fast transition can't rename
@@ -395,6 +412,8 @@ func New(run Runner, opts Options) *Queue {
 		jobs:       make(map[string]*record),
 		venues:     make(map[string][]*record),
 		changed:    make(chan struct{}),
+		waitHist:   newLatencyHist(),
+		turnHist:   newLatencyHist(),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.notify = newNotifier(q.opts)
@@ -412,10 +431,11 @@ func New(run Runner, opts Options) *Queue {
 // once.
 func (q *Queue) Start() {
 	q.notify.start()
-	for i := 0; i < q.opts.Workers; i++ {
-		q.wg.Add(1)
-		go q.worker()
-	}
+	q.mu.Lock()
+	q.started = true
+	q.workerTarget = q.opts.Workers
+	q.spawnWorkersLocked()
+	q.mu.Unlock()
 	if _, ok := q.store.(Reclaimer); ok && q.opts.ReclaimInterval > 0 {
 		q.wg.Add(1)
 		go q.reclaimLoop()
@@ -509,8 +529,9 @@ func (q *Queue) Submit(spec Spec) (Job, error) {
 	}
 	if q.queued >= q.opts.Depth {
 		q.rejections++
+		depth := q.opts.Depth
 		q.mu.Unlock()
-		return Job{}, &QueueFullError{Depth: q.opts.Depth}
+		return Job{}, &QueueFullError{Depth: depth}
 	}
 	if spec.ID == "" {
 		for {
@@ -626,21 +647,25 @@ func (q *Queue) removeQueuedLocked(rec *record) {
 	}
 }
 
-// worker drains the queue until Stop.
+// worker drains the queue until Stop, or until a Resize shrink leaves
+// more live workers than the target — then it exits as soon as it is
+// between jobs, never mid-run.
 func (q *Queue) worker() {
 	defer q.wg.Done()
 	for {
 		q.mu.Lock()
-		for !q.stopped && q.queued == 0 {
+		for !q.stopped && q.workerLive <= q.workerTarget && q.queued == 0 {
 			q.cond.Wait()
 		}
-		if q.stopped {
+		if q.stopped || q.workerLive > q.workerTarget {
+			q.workerLive--
 			q.mu.Unlock()
 			return
 		}
 		rec := q.popLocked()
 		rec.state = StateRunning
 		rec.startedAt = q.now()
+		q.noteStartLocked(rec)
 		ctx, cancel := context.WithCancel(q.baseCtx)
 		rec.cancel = cancel
 		spec := rec.spec
@@ -711,6 +736,11 @@ func (q *Queue) finish(rec *record, sum *batch.Summary, err error) {
 	}
 	if rec.state.Terminal() {
 		rec.finishedAt = q.now()
+		// Canceled runs are excluded: their truncated turnaround would
+		// read as the system speeding up under a cancel storm.
+		if rec.state != StateCanceled {
+			q.turnHist.observe(rec.finishedAt.Sub(rec.submittedAt))
+		}
 		q.terminalOrder = append(q.terminalOrder, rec.spec.ID)
 		q.evictTerminalLocked()
 		q.notify.enqueue(rec.snapshot())
@@ -856,6 +886,11 @@ type Stats struct {
 	Rejections uint64 `json:"rejections"`
 	// Webhooks reports callback-delivery outcomes (see notifier.go).
 	Webhooks WebhookStats `json:"webhooks"`
+	// QueueWait is submit→start latency; Turnaround is submit→terminal
+	// for jobs that ran (canceled runs excluded). Bounded HDR-style
+	// buckets — see latency.go.
+	QueueWait  LatencyStats `json:"queue_wait"`
+	Turnaround LatencyStats `json:"turnaround"`
 }
 
 // Stats returns a point-in-time snapshot of the counters.
@@ -868,6 +903,8 @@ func (q *Queue) Stats() Stats {
 		Submitted:  q.submitted,
 		Rejections: q.rejections,
 		Webhooks:   q.notify.stats(),
+		QueueWait:  q.waitHist.stats(),
+		Turnaround: q.turnHist.stats(),
 	}
 	for _, rec := range q.jobs {
 		switch rec.state {

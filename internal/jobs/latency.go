@@ -1,0 +1,103 @@
+package jobs
+
+import "time"
+
+// latencyBounds are the histogram bucket upper bounds: roughly
+// exponential from 1ms to 5min, so the histogram spans interactive
+// single-manuscript jobs and multi-hundred-manuscript batch dumps with
+// 18 counters of fixed memory. Observations beyond the last bound land
+// in an overflow bucket whose reported percentile is the observed max.
+var latencyBounds = []time.Duration{
+	1 * time.Millisecond,
+	2 * time.Millisecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+	60 * time.Second,
+	120 * time.Second,
+	300 * time.Second,
+}
+
+// LatencyStats summarizes one latency distribution for /api/stats and
+// the adapt monitor. Percentiles are HDR-style bucket upper bounds (in
+// milliseconds), so a reported p99 is an upper estimate no further off
+// than the bucket's width; Max is exact.
+type LatencyStats struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// latencyHist is a bounded-memory latency histogram. It does no
+// locking of its own: the Queue observes and reads under q.mu.
+type latencyHist struct {
+	counts []uint64 // len(latencyBounds)+1; last is overflow
+	total  uint64
+	max    time.Duration
+}
+
+func newLatencyHist() *latencyHist {
+	return &latencyHist{counts: make([]uint64, len(latencyBounds)+1)}
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// quantile returns the bucket upper bound at which the cumulative count
+// first reaches q of the total, capped at the observed max (the bound
+// is an upper estimate; the max is exact and always tighter for the
+// tail bucket).
+func (h *latencyHist) quantile(q float64) time.Duration {
+	if h.total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.total))
+	if target < 1 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i >= len(latencyBounds) || latencyBounds[i] > h.max {
+				return h.max
+			}
+			return latencyBounds[i]
+		}
+	}
+	return h.max
+}
+
+func (h *latencyHist) stats() LatencyStats {
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	return LatencyStats{
+		Count: h.total,
+		P50Ms: ms(h.quantile(0.50)),
+		P90Ms: ms(h.quantile(0.90)),
+		P99Ms: ms(h.quantile(0.99)),
+		MaxMs: ms(h.max),
+	}
+}

@@ -1,0 +1,105 @@
+// Runtime-safe queue knobs: the boot-time worker count and queue bound
+// become adjustable while jobs are in flight, and the 429 Retry-After
+// hint becomes a drain-rate estimate instead of a constant. These are
+// the jobs-side actuators of the internal/adapt control loop, but they
+// are plain public Queue methods — an operator endpoint could call them
+// just as well.
+package jobs
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// drainRingSize bounds how many recent job-start timestamps feed the
+// Retry-After estimate. A start is the moment a queued slot frees
+// (running jobs don't occupy queue depth), so start spacing is the
+// admission drain rate a rejected client actually waits on.
+const drainRingSize = 32
+
+// Resize retargets the worker pool without dropping in-flight jobs.
+// Growing spawns workers immediately; shrinking lets surplus workers
+// finish their current job and then exit — a job is never interrupted
+// by a shrink. Before Start it only retargets the pool Start will
+// launch. Returns ErrStopped after Stop; workers must be >= 1.
+func (q *Queue) Resize(workers int) error {
+	if workers < 1 {
+		return fmt.Errorf("jobs: resize to %d workers (want >= 1)", workers)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.stopped {
+		return ErrStopped
+	}
+	q.opts.Workers = workers
+	q.workerTarget = workers
+	if q.started {
+		q.spawnWorkersLocked()
+	}
+	// Wake idle workers so a shrink takes effect without waiting for
+	// the next submission.
+	q.cond.Broadcast()
+	return nil
+}
+
+// spawnWorkersLocked brings the live worker count up to the target.
+// Callers hold q.mu.
+func (q *Queue) spawnWorkersLocked() {
+	for q.workerLive < q.workerTarget {
+		q.workerLive++
+		q.wg.Add(1)
+		go q.worker()
+	}
+}
+
+// SetCapacity rebounds the admission queue. Shrinking below the
+// current backlog strands nothing: already-queued jobs stay queued and
+// drain normally, only new submissions see the tighter bound. Returns
+// ErrStopped after Stop; depth must be >= 1.
+func (q *Queue) SetCapacity(depth int) error {
+	if depth < 1 {
+		return fmt.Errorf("jobs: capacity %d (want >= 1)", depth)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.stopped {
+		return ErrStopped
+	}
+	q.opts.Depth = depth
+	return nil
+}
+
+// noteStartLocked records a job start in the drain ring. Callers hold
+// q.mu.
+func (q *Queue) noteStartLocked(rec *record) {
+	q.waitHist.observe(rec.startedAt.Sub(rec.submittedAt))
+	if len(q.starts) == drainRingSize {
+		copy(q.starts, q.starts[1:])
+		q.starts = q.starts[:drainRingSize-1]
+	}
+	q.starts = append(q.starts, rec.startedAt)
+}
+
+// RetryAfterHint estimates how long a 429-rejected client should back
+// off before a queue slot is likely free: the mean gap between recent
+// job starts (each start frees one queued slot), rounded up to whole
+// seconds and clamped to [1s, 60s]. With spare capacity or no drain
+// history yet it answers the optimistic floor of 1s.
+func (q *Queue) RetryAfterHint() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.queued < q.opts.Depth || len(q.starts) < 2 {
+		return time.Second
+	}
+	span := q.starts[len(q.starts)-1].Sub(q.starts[0])
+	gap := span / time.Duration(len(q.starts)-1)
+	secs := int64(math.Ceil(gap.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return time.Duration(secs) * time.Second
+}
