@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server cluster-smoke load-smoke adapt-smoke docs-check ci
+.PHONY: all build test race vet fmt fmt-check bench bench-smoke bench-ledger ledger-check server cluster-smoke load-smoke adapt-smoke stream-smoke fuzz-smoke docs-check ci
 
 # The perf ledger bench-ledger writes; bump the number with the PR
 # sequence so ledger-check can diff consecutive ledgers.
-LEDGER ?= BENCH_9.json
+LEDGER ?= BENCH_10.json
 
 all: build
 
@@ -51,6 +51,8 @@ bench-smoke:
 	$(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -run '^$$' ./internal/jobs
 	$(GO) test -bench=BenchmarkAdaptTick -benchtime=100x -run '^$$' ./internal/adapt
 	$(GO) test -bench='BenchmarkCorpusGen$$/10x|BenchmarkWarmBatch10x' -benchtime=1x -run '^$$' .
+	$(GO) test -bench=BenchmarkSSEFanout -benchtime=1x -run '^$$' ./internal/httpapi
+	$(GO) test -bench=BenchmarkIncrementalInvalidate -benchtime=1x -run '^$$' ./internal/core
 
 # Record the smoke suite as a perf ledger (see cmd/benchledger).
 # -count=3 so the ledger keeps the minimum of three observations per
@@ -67,6 +69,8 @@ bench-ledger:
 	run $(GO) test -bench=BenchmarkScheduleTick -benchtime=1x -count=20 -benchmem -run '^$$' ./internal/jobs ; \
 	run $(GO) test -bench=BenchmarkAdaptTick -benchtime=100x -count=3 -benchmem -run '^$$' ./internal/adapt ; \
 	run $(GO) test -bench='BenchmarkCorpusGen$$/10x|BenchmarkWarmBatch10x' -benchtime=1x -count=3 -benchmem -run '^$$' . ; \
+	run $(GO) test -bench=BenchmarkSSEFanout -benchtime=1x -count=3 -benchmem -run '^$$' ./internal/httpapi ; \
+	run $(GO) test -bench=BenchmarkIncrementalInvalidate -benchtime=1x -count=3 -benchmem -run '^$$' ./internal/core ; \
 	$(GO) run ./cmd/benchledger -out $(LEDGER) <"$$tmp"; \
 	rm -f "$$tmp"
 
@@ -97,6 +101,26 @@ cluster-smoke:
 # leaks and zero identity merges.
 load-smoke:
 	$(GO) test -count=1 -run TestLoadSmoke -v ./cmd/minaret
+
+# CI gate: the streaming acceptance pair across real processes — a
+# mutating simweb feeding a real minaret-server: an SSE client follows
+# a job to its terminal event, a corpus mutation invalidates only the
+# affected cache entries, and a drift watch fires its signed webhook
+# exactly once; then the server is killed and restarted, and the
+# durable watch detects a delta applied while it was down.
+stream-smoke:
+	$(GO) test -count=1 -run 'TestServerStreamSmoke|TestServerWatchSurvivesRestart' -v ./cmd/minaret-server
+
+# CI gate: ten seconds of native Go fuzzing per hardened decoder — the
+# envelope file/range readers, the MINWATCH watch-store codec, and the
+# SSE Last-Event-ID parser. Long enough to catch a reintroduced panic
+# or round-trip break, short enough for every CI run; go test allows
+# one -fuzz pattern per invocation, hence one line per target.
+fuzz-smoke:
+	$(GO) test -fuzz='FuzzDecodeFile$$' -fuzztime=10s -run '^$$' ./internal/envelope
+	$(GO) test -fuzz=FuzzDecodeFileRange -fuzztime=10s -run '^$$' ./internal/envelope
+	$(GO) test -fuzz=FuzzWatchStoreLoad -fuzztime=10s -run '^$$' ./internal/jobs
+	$(GO) test -fuzz=FuzzParseLastEventID -fuzztime=10s -run '^$$' ./internal/httpapi
 
 # CI gate: the self-adaptation acceptance scenario — adaptbench replays
 # one venue-deadline-spike trace against an undersized server with
@@ -138,9 +162,10 @@ docs-check: fmt-check vet
 			[ -e "$$dir/$$target" ] || { echo "docs-check: $$f: broken link $$link"; fail=1; }; \
 		done; \
 	done; \
-	for d in internal/*/; do \
+	for d in $$(find internal -type d); do \
+		ls "$$d"/*.go >/dev/null 2>&1 || continue; \
 		ok=0; \
-		for g in "$$d"*.go; do \
+		for g in "$$d"/*.go; do \
 			case "$$g" in *_test.go) continue;; esac; \
 			awk 'prev ~ /^\/\// && !(prev ~ /^\/\/go:/) && /^package / {found=1} {prev=$$0} END {exit !found}' "$$g" && { ok=1; break; }; \
 		done; \
@@ -149,4 +174,4 @@ docs-check: fmt-check vet
 	[ "$$fail" -eq 0 ] || exit 1
 	@echo "docs-check: ok"
 
-ci: fmt-check vet build race bench-smoke cluster-smoke load-smoke adapt-smoke ledger-check docs-check
+ci: fmt-check vet build race bench-smoke cluster-smoke load-smoke adapt-smoke stream-smoke fuzz-smoke ledger-check docs-check

@@ -60,8 +60,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +71,7 @@ import (
 	"minaret/internal/cache"
 	"minaret/internal/cluster"
 	"minaret/internal/core"
+	"minaret/internal/feed"
 	"minaret/internal/fetch"
 	"minaret/internal/httpapi"
 	"minaret/internal/index"
@@ -78,6 +81,36 @@ import (
 	"minaret/internal/simweb"
 	"minaret/internal/sources"
 )
+
+// fetchPredFor maps a corpus delta onto the HTTP page cache: which
+// cached URLs did this change stale? Scholar deltas match pages
+// carrying any of the scholar's site-local ids and searches for the
+// touched keywords; outage deltas match the whole site's path prefix
+// (its pages may be error bodies or go stale while dark).
+func fetchPredFor(d feed.Delta) func(url string) bool {
+	if d.Source != "" {
+		prefix := "/" + d.Source + "/"
+		return func(u string) bool { return strings.Contains(u, prefix) }
+	}
+	var needles []string
+	for _, id := range d.SiteIDs {
+		if id != "" {
+			needles = append(needles, id)
+		}
+	}
+	for _, kw := range d.Keywords {
+		needles = append(needles, url.QueryEscape(kw))
+		needles = append(needles, strings.ReplaceAll(kw, " ", "%20"))
+	}
+	return func(u string) bool {
+		for _, n := range needles {
+			if strings.Contains(u, n) {
+				return true
+			}
+		}
+		return false
+	}
+}
 
 func main() {
 	var (
@@ -117,6 +150,11 @@ func main() {
 		adaptMode   = flag.String("adapt", "off", "self-adaptation policy: off, threshold (rule table) or utility (NFR-weighted argmax); see docs/OPERATIONS.md, Adaptive control")
 		adaptTick   = flag.Duration("adapt-tick", time.Second, "control-loop sampling period when -adapt is on")
 		adaptConfig = flag.String("adapt-config", "", "JSON policy-configuration file overriding the built-in threshold rules and utility weights (empty: defaults)")
+
+		feedOn       = flag.Bool("feed", false, "follow the scholarly web's change feed: corpus deltas surgically invalidate the shared caches and drive drift watches (the in-process web turns mutation on; an external -sources-url simweb must run -mutate)")
+		watchStore   = flag.String("watch-store", "", "file persisting drift watches across restarts (empty: watches die with the process)")
+		watchTick    = flag.Duration("watch-tick", 2*time.Second, "how often dirty drift watches are re-ranked")
+		sseHeartbeat = flag.Duration("sse-heartbeat", httpapi.DefaultSSEHeartbeat, "keep-alive comment interval on idle SSE job streams")
 	)
 	flag.Parse()
 
@@ -160,6 +198,12 @@ func main() {
 	if *shardName != "" && *leaseTTL <= 0 {
 		log.Fatalf("minaret-server: -lease-ttl %v must be positive in cluster mode", *leaseTTL)
 	}
+	if *watchTick <= 0 {
+		log.Fatalf("minaret-server: -watch-tick %v must be positive", *watchTick)
+	}
+	if *sseHeartbeat <= 0 {
+		log.Fatalf("minaret-server: -sse-heartbeat %v must be positive", *sseHeartbeat)
+	}
 	adaptOn := *adaptMode != "off"
 	if adaptOn {
 		if _, err := adapt.NewPolicy(*adaptMode, nil, adapt.Limits{}); err != nil {
@@ -183,6 +227,11 @@ func main() {
 		})
 		horizon = corpus.HorizonYear
 		web := simweb.New(corpus, simweb.Config{})
+		if *feedOn {
+			// The in-process web needs mutation on for a feed to exist;
+			// an external simweb brings its own (-mutate).
+			web.EnableMutation(feed.Options{})
+		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -204,6 +253,7 @@ func main() {
 	server.SetFetcher(f)
 	server.SetMaxBodyBytes(*maxBody)
 	server.SetShard(*shardName)
+	server.SetSSEHeartbeat(*sseHeartbeat)
 
 	// Cache lifecycle: build the TTL'd cache set, warm-start it from the
 	// snapshot, and keep it swept and saved in the background. The
@@ -384,6 +434,65 @@ func main() {
 			schedRestore.Restored, schedRestore.Due, schedRestore.Dropped)
 	}
 
+	// Drift watches: re-rank registered manuscripts when the change feed
+	// reports a relevant corpus delta, webhooking when the slate moves.
+	// Enabled whether or not -feed is on — without a follower, watches
+	// rest armed (and survive restarts with -watch-store).
+	watchOpts := jobs.WatcherOptions{
+		StorePath:      *watchStore,
+		TickInterval:   *watchTick,
+		Logf:           log.Printf,
+		WebhookTimeout: *webhookTimeout,
+		WebhookRetries: retries,
+		WebhookSecret:  *webhookSecret,
+	}
+	if *shardName != "" {
+		watchOpts.IDPrefix = *shardName + "-"
+	}
+	watcher, watchRestore, err := server.EnableWatches(watchOpts)
+	if watcher == nil {
+		log.Fatalf("minaret-server: watches: %v", err)
+	}
+	if err != nil {
+		// Same availability-over-durability policy as the job store.
+		log.Printf("watch store: %v (starting with no watches)", err)
+	}
+	if watchRestore != nil {
+		log.Printf("watch store: restored from %s (saved %s): %d watches re-armed, %d dropped, feed cursor %d",
+			*watchStore, watchRestore.SavedAt.Format(time.RFC3339),
+			watchRestore.Restored, watchRestore.Dropped, watchRestore.FeedSeq)
+	}
+
+	// Change-feed follower: tail the scholarly web's delta feed and fan
+	// each delta out — surgical invalidation of the shared caches and
+	// the HTTP page cache, then watch dirtying. Resume where the watch
+	// store's cursor left off so a delta applied while the process was
+	// down is not skipped.
+	var follower *feed.Follower
+	if *feedOn {
+		apply := func(d feed.Delta) {
+			shared.ApplyDelta(d)
+			f.InvalidateMatching(fetchPredFor(d))
+			watcher.NoteDelta(d)
+		}
+		follower = feed.NewFollower(base+"/_feed/changes", apply, feed.FollowerOptions{
+			From: watcher.ResumeSeq(),
+			OnGap: func() {
+				// Deltas were evicted unseen: no surgical story remains.
+				// Resync wholesale — clear every cache layer and re-rank
+				// every watch against the fresh state.
+				log.Printf("change feed: gap reported, clearing caches and re-ranking all watches")
+				shared.Clear()
+				f.InvalidateCache()
+				watcher.MarkAllDirty()
+			},
+			Logf: log.Printf,
+		})
+		follower.Start()
+		server.SetFeedStats(follower.Stats)
+		log.Printf("change feed: following %s/_feed/changes from seq %d", base, watcher.ResumeSeq())
+	}
+
 	// Self-adaptation loop: started last, once every knob it turns
 	// exists. Default off — without -adapt the server behaves exactly as
 	// before.
@@ -423,6 +532,8 @@ func main() {
 	fmt.Println("  POST /api/verify-authors   author identity verification")
 	fmt.Println("  GET  /api/expand?keyword=  semantic keyword expansion")
 	fmt.Println("  POST /v1/jobs              submit an async batch job")
+	fmt.Println("  GET  /v1/jobs/ID?stream=sse  live job events (SSE)")
+	fmt.Println("  POST /v1/watches           register a drift watch")
 	fmt.Println("  see docs/API.md for the full route reference")
 
 	// Serve until SIGINT/SIGTERM, then drain and take the final
@@ -460,11 +571,33 @@ func main() {
 		log.Printf("scheduler stop: %v", err)
 	}
 	cancelSched()
+	// The feed follower stops before the watcher so no delta lands in a
+	// draining watcher; the watcher stops before the queue because a
+	// firing drift webhook is the last push this process owes. Its final
+	// save records the feed cursor the next process resumes from.
+	if follower != nil {
+		folCtx, cancelFol := context.WithTimeout(context.Background(), 10*time.Second)
+		follower.Stop(folCtx)
+		cancelFol()
+	}
+	watchCtx, cancelWatch := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := watcher.Stop(watchCtx); err != nil {
+		log.Printf("watcher stop: %v", err)
+	}
+	cancelWatch()
 	stopCtx, cancelStop := context.WithTimeout(context.Background(), 10*time.Second)
 	if err := queue.Stop(stopCtx); err != nil {
 		log.Printf("job queue stop: %v", err)
 	}
 	cancelStop()
+	// With the queue stopped every job has published its final state;
+	// cut the SSE streams loose now so the HTTP drain below isn't held
+	// open by tailing clients.
+	streamCtx, cancelStreams := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := server.CloseStreams(streamCtx); err != nil {
+		log.Printf("stream drain: %v", err)
+	}
+	cancelStreams()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

@@ -1,0 +1,618 @@
+// Acceptance tests for the streaming-and-push surface across real
+// processes: a stand-alone simweb in mutation mode feeds corpus deltas
+// to a minaret-server started with -feed, and the test drives the full
+// loop — mutation, surgical cache invalidation, an SSE job tail, and a
+// drift-watch webhook — over TCP, exactly as an operator would wire it.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// buildStreamBinaries compiles minaret-server and simweb into dir.
+func buildStreamBinaries(t *testing.T, dir string) (server, sim string) {
+	t.Helper()
+	server = filepath.Join(dir, "minaret-server")
+	if out, err := exec.Command("go", "build", "-o", server, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build minaret-server: %v\n%s", err, out)
+	}
+	sim = filepath.Join(dir, "simweb")
+	if out, err := exec.Command("go", "build", "-o", sim, "minaret/cmd/simweb").CombinedOutput(); err != nil {
+		t.Fatalf("build simweb: %v\n%s", err, out)
+	}
+	return server, sim
+}
+
+// startSimweb boots a mutation-enabled simweb and waits until it serves.
+func startSimweb(t *testing.T, bin string) (url string) {
+	t.Helper()
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	cmd := exec.Command(bin, "-addr", addr, "-scholars", "300", "-seed", "42", "-mutate")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	url = "http://" + addr
+	waitHealthy(t, url+"/dblp/search/author?q=Wei+Wang", 60*time.Second)
+	return url
+}
+
+// mutateCorpus applies one mutation through simweb's endpoint and
+// returns the published delta's sequence number.
+func mutateCorpus(t *testing.T, simURL string, m map[string]any) uint64 {
+	t.Helper()
+	body, _ := json.Marshal(m)
+	resp, err := http.Post(simURL+"/_feed/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate %v = %d: %s", m["op"], resp.StatusCode, raw)
+	}
+	var res struct {
+		Delta struct {
+			Seq uint64 `json:"seq"`
+		} `json:"delta"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Delta.Seq == 0 {
+		t.Fatalf("mutation published no delta: %s", raw)
+	}
+	return res.Delta.Seq
+}
+
+// sparseProbeKeywords are niche ontology topics: in a 300-scholar
+// corpus most hold fewer than ten interested scholars, which makes a
+// deterministic drift possible — add one scholar with that interest
+// and the under-full top-10 slate MUST gain an entrant.
+var sparseProbeKeywords = []string{
+	"bitmap indexes", "branch prediction", "cache coherence",
+	"b-trees", "change point detection", "citation indexing",
+	"consistent hashing", "approximate query processing",
+}
+
+// sparseKeyword finds a probe keyword whose expansion-free slate is
+// non-empty but smaller than 10 — room for a guaranteed entrant.
+func sparseKeyword(t *testing.T, base string) string {
+	t.Helper()
+	for _, kw := range sparseProbeKeywords {
+		body, _ := json.Marshal(map[string]any{
+			"title":             "Probe",
+			"keywords":          []string{kw},
+			"authors":           []map[string]string{{"name": "Wei Wang"}},
+			"top_k":             10,
+			"disable_expansion": true,
+		})
+		resp, err := http.Post(base+"/api/recommend", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res core.Result
+		err = json.NewDecoder(resp.Body).Decode(&res)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || err != nil {
+			t.Fatalf("probe %q = %d (%v)", kw, resp.StatusCode, err)
+		}
+		if n := len(res.Recommendations); n >= 1 && n <= 9 {
+			t.Logf("probe: %q has %d candidates — room for an entrant", kw, n)
+			return kw
+		}
+	}
+	t.Fatalf("no probe keyword had an under-full slate in this corpus")
+	return ""
+}
+
+// driftRecorder is the watch-callback receiver: it records every
+// watch.drift delivery keyed by watch ID.
+type driftRecorder struct {
+	mu sync.Mutex
+	// deliveries maps watch ID -> recorded webhook bodies.
+	deliveries map[string][]driftDelivery
+	srv        *httptest.Server
+}
+
+type driftDelivery struct {
+	body  []byte
+	sig   string
+	event string
+}
+
+func newDriftRecorder(t *testing.T) *driftRecorder {
+	rec := &driftRecorder{deliveries: map[string][]driftDelivery{}}
+	rec.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		rec.mu.Lock()
+		id := r.Header.Get(jobs.WatchIDHeader)
+		rec.deliveries[id] = append(rec.deliveries[id], driftDelivery{
+			body:  body,
+			sig:   r.Header.Get(jobs.SignatureHeader),
+			event: r.Header.Get(jobs.EventHeader),
+		})
+		rec.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(rec.srv.Close)
+	return rec
+}
+
+func (r *driftRecorder) count(watchID string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.deliveries[watchID])
+}
+
+func (r *driftRecorder) get(watchID string, i int) driftDelivery {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deliveries[watchID][i]
+}
+
+// createWatch registers a drift watch guarding kw's top-10 slate.
+func createWatch(t *testing.T, base, id, kw, callback string) {
+	t.Helper()
+	body, _ := json.Marshal(map[string]any{
+		"id": id,
+		"manuscript": map[string]any{
+			"title":    "Guarded Manuscript",
+			"keywords": []string{kw},
+			"authors":  []map[string]string{{"name": "Wei Wang"}},
+		},
+		"callback_url":      callback,
+		"min_shift":         1,
+		"top_k":             10,
+		"disable_expansion": true,
+	})
+	resp, err := http.Post(base+"/v1/watches", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		raw, _ := io.ReadAll(resp.Body)
+		t.Fatalf("watch create = %d: %s", resp.StatusCode, raw)
+	}
+}
+
+// getWatch fetches one watch's snapshot.
+func getWatch(t *testing.T, base, id string) jobs.Watch {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/watches/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch get = %d", resp.StatusCode)
+	}
+	var w jobs.Watch
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// waitBaseline blocks until the watch's first ranking established a
+// non-empty baseline slate.
+func waitBaseline(t *testing.T, base, id string, timeout time.Duration) jobs.Watch {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		w := getWatch(t, base, id)
+		if len(w.Rank) > 0 && !w.Dirty {
+			return w
+		}
+		if w.LastError != "" {
+			t.Logf("watch %s ranking error (will retry): %s", id, w.LastError)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watch %s never ranked a baseline: %+v", id, w)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// tailJobSSE opens the job's SSE stream and reads it to the terminal
+// state event, asserting the protocol invariants on the way: one
+// retry: preamble, strictly increasing event ids, and a clean
+// server-side close after the terminal event (no re-request needed).
+func tailJobSSE(t *testing.T, base, jobID string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+jobID+"?stream=sse", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("stream content-type = %q", ct)
+	}
+
+	var (
+		sc       = bufio.NewScanner(resp.Body)
+		id       uint64
+		lastID   uint64
+		event    string
+		data     string
+		sawRetry bool
+		terminal bool
+	)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "state" && data != "" {
+				if id <= lastID && lastID != 0 {
+					t.Fatalf("event id %d not increasing (last %d)", id, lastID)
+				}
+				lastID = id
+				var st struct {
+					State string `json:"state"`
+				}
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					t.Fatalf("bad state payload %q: %v", data, err)
+				}
+				if st.State == "done" || st.State == "failed" || st.State == "canceled" {
+					if st.State != "done" {
+						t.Fatalf("job ended %s", st.State)
+					}
+					terminal = true
+				}
+			}
+			id, event, data = 0, "", ""
+			if terminal {
+				// The server closes after the terminal event: the next
+				// read must hit EOF, not another event.
+				if sc.Scan() {
+					t.Fatalf("stream kept going after terminal event: %q", sc.Text())
+				}
+				if err := sc.Err(); err != nil {
+					t.Fatalf("stream did not close cleanly: %v", err)
+				}
+				if !sawRetry {
+					t.Fatalf("stream never sent a retry: preamble")
+				}
+				return
+			}
+		case strings.HasPrefix(line, "retry:"):
+			sawRetry = true
+		case strings.HasPrefix(line, "id:"):
+			id, _ = strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(line[5:])
+		}
+	}
+	t.Fatalf("stream ended before the terminal event (scan err %v)", sc.Err())
+}
+
+// statsSnapshot is the slice of /api/stats these tests assert on.
+type statsSnapshot struct {
+	Shared struct {
+		Invalidation *struct {
+			Deltas     uint64 `json:"deltas"`
+			Retrievals uint64 `json:"retrievals"`
+		} `json:"invalidation"`
+	} `json:"shared"`
+	Streams *struct {
+		Active int    `json:"active"`
+		Served uint64 `json:"served"`
+	} `json:"streams"`
+	Watches *struct {
+		Watches int `json:"watches"`
+		Fired   int `json:"fired"`
+		Restore *struct {
+			Restored int    `json:"restored"`
+			FeedSeq  uint64 `json:"feed_seq"`
+		} `json:"restore"`
+	} `json:"watches"`
+	Feed *struct {
+		LastSeq uint64 `json:"last_seq"`
+		Applied uint64 `json:"applied"`
+	} `json:"feed"`
+}
+
+func getStats(t *testing.T, base string) statsSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s statsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestServerStreamSmoke drives the whole streaming loop over TCP
+// against real processes: a simweb mutation moves the invalidation
+// counters, an SSE tail observes a job's terminal transition without
+// re-requesting, and a corpus delta relevant to a registered watch
+// lands exactly one signed watch.drift webhook.
+func TestServerStreamSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	serverBin, simBin := buildStreamBinaries(t, dir)
+	simURL := startSimweb(t, simBin)
+
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	cmd := exec.Command(serverBin, "-addr", addr, "-sources-url", simURL,
+		"-feed", "-watch-tick", "200ms", "-top-k", "5",
+		"-jobs-workers", "1", "-webhook-secret", "stream-secret", "-webhook-timeout", "5s")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+
+	// An async job tailed over SSE: the client sees the terminal
+	// transition pushed on the open connection.
+	jobBody, _ := json.Marshal(map[string]any{
+		"id": "live",
+		"manuscripts": []map[string]any{{
+			"title": "L", "keywords": []string{"rdf", "stream processing"},
+			"authors": []map[string]string{{"name": "Wei Wang"}},
+		}},
+		"top_k": 3,
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(jobBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	tailJobSSE(t, base, "live")
+
+	// A drift watch over a sparse keyword's slate. The baseline ranks on
+	// the first tick; the probe also warms the shared caches, so the
+	// later re-rank is the incremental path the feed invalidation keeps
+	// honest.
+	kw := sparseKeyword(t, base)
+	hook := newDriftRecorder(t)
+	createWatch(t, base, "smoke-watch", kw, hook.srv.URL)
+	baseline := waitBaseline(t, base, "smoke-watch", 90*time.Second)
+
+	// Mutate the corpus under the watch: a new scholar interested in the
+	// keyword, with a fresh cited publication to rank on. The slate was
+	// under-full, so the entrant must shift it.
+	const entrant = "Zora Nightingale"
+	mutateCorpus(t, simURL, map[string]any{
+		"op": "add_scholar", "name": entrant,
+		"affiliation": "Test University", "country": "Norway",
+		"interests": []string{kw},
+	})
+	lastSeq := mutateCorpus(t, simURL, map[string]any{
+		"op": "add_publication", "name": entrant,
+		"title": "Fresh Results", "keywords": []string{kw},
+		"year": 2018, "citations": 40,
+	})
+
+	// The follower applies both deltas and the invalidation counters
+	// move — the surgical-invalidation loop observed from outside.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		s := getStats(t, base)
+		if s.Feed != nil && s.Feed.LastSeq >= lastSeq &&
+			s.Shared.Invalidation != nil && s.Shared.Invalidation.Deltas >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("feed deltas never reached the server: %+v", s)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Exactly one signed watch.drift webhook lands, naming the entrant.
+	deadline = time.Now().Add(2 * time.Minute)
+	for hook.count("smoke-watch") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drift webhook never fired: watch %+v", getWatch(t, base, "smoke-watch"))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	d := hook.get("smoke-watch", 0)
+	if d.event != "watch.drift" {
+		t.Fatalf("webhook event = %q, want watch.drift", d.event)
+	}
+	if !jobs.VerifySignature("stream-secret", d.body, d.sig) {
+		t.Fatalf("webhook signature %q does not verify", d.sig)
+	}
+	var payload jobs.WatchDriftPayload
+	if err := json.Unmarshal(d.body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Event != "watch.drift" || payload.Shift < 1 {
+		t.Fatalf("drift payload = %+v", payload)
+	}
+	found := false
+	for _, name := range payload.Entrants {
+		if strings.EqualFold(name, entrant) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("entrants %v missing %q (previous %v, new %v)",
+			payload.Entrants, entrant, baseline.Rank, payload.Watch.Rank)
+	}
+	// At most once per drift event: no second delivery arrives for the
+	// same slate change.
+	time.Sleep(time.Second)
+	if n := hook.count("smoke-watch"); n != 1 {
+		t.Fatalf("drift webhook delivered %d times, want exactly 1", n)
+	}
+
+	// The stats surface saw all three subsystems.
+	s := getStats(t, base)
+	if s.Streams == nil || s.Streams.Served == 0 {
+		t.Fatalf("stats streams = %+v, want served > 0", s.Streams)
+	}
+	if s.Watches == nil || s.Watches.Fired != 1 {
+		t.Fatalf("stats watches = %+v, want fired 1", s.Watches)
+	}
+	if s.Shared.Invalidation == nil || s.Shared.Invalidation.Deltas < 2 {
+		t.Fatalf("stats invalidation = %+v", s.Shared.Invalidation)
+	}
+}
+
+// TestServerWatchSurvivesRestart is the durable-watch acceptance
+// scenario across real processes: a watch registered against a server
+// with -watch-store survives a SIGTERM; a relevant corpus delta
+// published while the server is down is detected on the first
+// post-boot tick, firing the drift webhook exactly once.
+func TestServerWatchSurvivesRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	serverBin, simBin := buildStreamBinaries(t, dir)
+	simURL := startSimweb(t, simBin) // outlives both server lives
+
+	store := filepath.Join(dir, "watches.store")
+	hook := newDriftRecorder(t)
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	base := "http://" + addr
+	start := func() *exec.Cmd {
+		cmd := exec.Command(serverBin, "-addr", addr, "-sources-url", simURL,
+			"-feed", "-watch-store", store, "-watch-tick", "200ms",
+			"-webhook-secret", "restart-secret", "-webhook-timeout", "5s")
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return cmd
+	}
+
+	// First life: register the watch, let it rank its baseline, die.
+	cmd := start()
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	kw := sparseKeyword(t, base)
+	createWatch(t, base, "reboot-watch", kw, hook.srv.URL)
+	waitBaseline(t, base, "reboot-watch", 90*time.Second)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("server exited uncleanly after SIGTERM: %v", err)
+	}
+	if _, err := os.Stat(store); err != nil {
+		t.Fatalf("no watch store after shutdown: %v", err)
+	}
+
+	// While the server is down, the corpus moves under the watch.
+	const entrant = "Ravi Thunderbolt"
+	mutateCorpus(t, simURL, map[string]any{
+		"op": "add_scholar", "name": entrant,
+		"affiliation": "Elsewhere Institute", "country": "Chile",
+		"interests": []string{kw},
+	})
+	mutateCorpus(t, simURL, map[string]any{
+		"op": "add_publication", "name": entrant,
+		"title": "Missed Results", "keywords": []string{kw},
+		"year": 2018, "citations": 40,
+	})
+
+	// Second life: the watch comes back armed, the feed resumes past
+	// the cursor, and the first post-boot ranking detects the drift.
+	cmd2 := start()
+	t.Cleanup(func() {
+		cmd2.Process.Kill()
+		cmd2.Wait()
+	})
+	waitHealthy(t, base+"/api/health", 30*time.Second)
+	s := getStats(t, base)
+	if s.Watches == nil || s.Watches.Restore == nil || s.Watches.Restore.Restored != 1 {
+		t.Fatalf("stats watch restore = %+v, want 1 restored", s.Watches)
+	}
+
+	deadline := time.Now().Add(3 * time.Minute)
+	for hook.count("reboot-watch") == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("drift webhook never fired after restart: watch %+v", getWatch(t, base, "reboot-watch"))
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	d := hook.get("reboot-watch", 0)
+	if d.event != "watch.drift" {
+		t.Fatalf("webhook event = %q, want watch.drift", d.event)
+	}
+	if !jobs.VerifySignature("restart-secret", d.body, d.sig) {
+		t.Fatalf("webhook signature %q does not verify", d.sig)
+	}
+	var payload jobs.WatchDriftPayload
+	if err := json.Unmarshal(d.body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range payload.Entrants {
+		if strings.EqualFold(name, entrant) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("entrants %v missing %q", payload.Entrants, entrant)
+	}
+
+	// Exactly once: the delta applied while down fires one webhook, and
+	// the restart itself must not re-fire anything.
+	time.Sleep(time.Second)
+	if n := hook.count("reboot-watch"); n != 1 {
+		t.Fatalf("drift webhook delivered %d times after restart, want exactly 1", n)
+	}
+	w := getWatch(t, base, "reboot-watch")
+	if w.Fired != 1 {
+		t.Fatalf("watch fired = %d, want 1 (counters survive the restart)", w.Fired)
+	}
+}

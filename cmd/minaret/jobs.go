@@ -11,6 +11,7 @@
 //	minaret jobs submit -server http://localhost:8080 -in manuscripts.json
 //	minaret jobs status -server http://localhost:8080 [job-id]
 //	minaret jobs wait   -server http://localhost:8080 -timeout 10m job-id
+//	minaret jobs tail   -server http://localhost:8080 job-id
 //	minaret jobs cancel -server http://localhost:8080 job-id
 //
 // submit exits 0 once the job is accepted (202); with -wait it blocks
@@ -19,6 +20,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -27,6 +29,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -45,10 +48,12 @@ func runJobs(args []string) {
 		runJobStatus(rest)
 	case "wait":
 		runJobWait(rest)
+	case "tail":
+		runJobTail(rest)
 	case "cancel":
 		runJobCancel(rest)
 	default:
-		log.Fatalf("minaret jobs: unknown subcommand %q (want submit|status|wait|cancel)", sub)
+		log.Fatalf("minaret jobs: unknown subcommand %q (want submit|status|wait|tail|cancel)", sub)
 	}
 }
 
@@ -256,6 +261,140 @@ func runJobWait(args []string) {
 	job := pollUntilTerminal(c, fs.Arg(0), *timeout)
 	reportJob(job, *asJSON)
 	exitForState(job.State)
+}
+
+// runJobTail streams a job's SSE feed and prints every event as it
+// arrives — the push counterpart of `wait`'s long-polling. A dropped
+// connection reconnects with the Last-Event-ID of the newest event
+// seen, so the printed log is complete and duplicate-free even across
+// server restarts or proxy resets. Exits like `wait`: 0 when the job
+// lands done, 1 otherwise.
+func runJobTail(args []string) {
+	fs := flag.NewFlagSet("minaret jobs tail", flag.ExitOnError)
+	var (
+		server  = fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
+		timeout = fs.Duration("timeout", 15*time.Minute, "give up after this long")
+		asJSON  = fs.Bool("json", false, "print each event's job snapshot as raw JSON")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("minaret jobs tail: want exactly one job ID")
+	}
+	id := fs.Arg(0)
+	base := strings.TrimRight(*server, "/")
+	// No client timeout: the stream is held open on purpose, with
+	// server-side heartbeats keeping it alive. The -timeout deadline
+	// below bounds the whole tail instead.
+	hc := &http.Client{}
+	deadline := time.Now().Add(*timeout)
+
+	var lastID uint64
+	retry := 2 * time.Second // until the server's retry: hint overrides it
+	for attempt := 0; ; attempt++ {
+		if time.Now().After(deadline) {
+			fmt.Fprintf(os.Stderr, "minaret jobs tail: %s still running after %v\n", id, *timeout)
+			os.Exit(1)
+		}
+		job, next, done := tailOnce(hc, base, id, lastID, retry, *asJSON)
+		if done {
+			// exitForState only exits for non-done states; a done job
+			// falls through to a normal zero-status return.
+			exitForState(job.State)
+			return
+		}
+		lastID, retry = next.lastID, next.retry
+		fmt.Fprintf(os.Stderr, "minaret jobs tail: stream ended, reconnecting from event %d in %v\n", lastID, retry)
+		time.Sleep(retry)
+	}
+}
+
+// tailState is what one stream connection hands the reconnect loop.
+type tailState struct {
+	lastID uint64
+	retry  time.Duration
+}
+
+// tailOnce runs a single SSE connection: connect (resuming from lastID
+// when nonzero), print events until the stream ends, and report the
+// final job snapshot. done is true only after a terminal event — the
+// server's promise that no further event will ever follow.
+func tailOnce(hc *http.Client, base, id string, lastID uint64, retry time.Duration, asJSON bool) (job jobs.Job, next tailState, done bool) {
+	next = tailState{lastID: lastID, retry: retry}
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/jobs/"+id+"?stream=sse", nil)
+	if err != nil {
+		log.Fatalf("minaret jobs tail: %v", err)
+	}
+	if lastID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastID, 10))
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minaret jobs tail: %v\n", err)
+		return job, next, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			log.Fatalf("minaret jobs tail: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		log.Fatalf("minaret jobs tail: HTTP %d", resp.StatusCode)
+	}
+
+	var (
+		sc      = bufio.NewScanner(resp.Body)
+		eventID uint64
+		event   string
+		data    string
+	)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "" && data == "" {
+				continue // comment/heartbeat block
+			}
+			if event == "gone" {
+				log.Fatalf("minaret jobs tail: job %s was evicted from the server's history", id)
+			}
+			if err := json.Unmarshal([]byte(data), &job); err != nil {
+				fmt.Fprintf(os.Stderr, "minaret jobs tail: bad event payload: %v\n", err)
+			} else {
+				next.lastID = eventID
+				printTailEvent(event, job, asJSON)
+				if job.State.Terminal() {
+					return job, next, true
+				}
+			}
+			eventID, event, data = 0, "", ""
+		case strings.HasPrefix(line, "retry:"):
+			if ms, err := strconv.Atoi(strings.TrimSpace(line[6:])); err == nil && ms > 0 {
+				next.retry = time.Duration(ms) * time.Millisecond
+			}
+		case strings.HasPrefix(line, "id:"):
+			eventID, _ = strconv.ParseUint(strings.TrimSpace(line[3:]), 10, 64)
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(line[5:])
+		}
+	}
+	return job, next, false
+}
+
+func printTailEvent(event string, job jobs.Job, asJSON bool) {
+	if asJSON {
+		printJobJSON(job)
+		return
+	}
+	p := job.Progress
+	fmt.Printf("%s  %-8s %-9s %d/%d done (%d ok, %d failed)\n",
+		time.Now().Format("15:04:05"), event, job.State,
+		p.Completed, p.Total, p.Succeeded, p.Failed)
 }
 
 func runJobCancel(args []string) {

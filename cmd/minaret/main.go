@@ -13,6 +13,7 @@
 // in-process (see batch.go); `minaret jobs` drives a running
 // minaret-server's async job queue (see jobs.go); `minaret schedules`
 // manages its scheduled/recurring jobs (see schedules.go); `minaret
+// watch` manages its standing drift watches (see watch.go); `minaret
 // corpusgen` builds size-targeted corpora with planted adversarial
 // scenarios and ground-truth manifests (see corpusgen.go); `minaret
 // loadgen` replays workload traces against a live server and verifies
@@ -126,6 +127,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "schedules" {
 		runSchedules(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		runWatch(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "corpusgen" {

@@ -1,0 +1,218 @@
+// The watch subcommand: a client for a running minaret-server's
+// /v1/watches drift watches. Where `minaret jobs` asks about work the
+// server is doing, `minaret watch create` asks the server to keep
+// watching — it registers a manuscript once, and the server re-ranks
+// it whenever the scholarly web's change feed reports a relevant
+// corpus delta, POSTing a signed watch.drift webhook when the top-K
+// slate actually shifts.
+//
+// Usage:
+//
+//	minaret watch create -server http://localhost:8080 \
+//	    -keywords 'rdf, stream processing' -author 'Lei Zhou @ Tartu' \
+//	    -callback https://editor.example/hooks/drift -top-k 10
+//	minaret watch list   -server http://localhost:8080
+//	minaret watch status -server http://localhost:8080 watch-id
+//	minaret watch delete -server http://localhost:8080 watch-id
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"minaret/internal/jobs"
+)
+
+func runWatch(args []string) {
+	if len(args) == 0 {
+		log.Fatal("minaret watch: want a subcommand: create|list|status|delete")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "create":
+		runWatchCreate(rest)
+	case "list":
+		runWatchList(rest)
+	case "status":
+		runWatchStatus(rest)
+	case "delete":
+		runWatchDelete(rest)
+	default:
+		log.Fatalf("minaret watch: unknown subcommand %q (want create|list|status|delete)", sub)
+	}
+}
+
+func runWatchCreate(args []string) {
+	fs := flag.NewFlagSet("minaret watch create", flag.ExitOnError)
+	var authors authorList
+	var (
+		server      = fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
+		inPath      = fs.String("manuscript", "", "JSON file with the manuscript (overrides -keywords/-author)")
+		keywords    = fs.String("keywords", "", "comma-separated manuscript keywords")
+		venue       = fs.String("venue", "", "target journal/conference")
+		id          = fs.String("id", "", "caller-chosen watch ID (default: server-assigned)")
+		callback    = fs.String("callback", "", "URL POSTed the signed watch.drift webhook (required)")
+		minShift    = fs.Int("min-shift", 0, "top-K slots that must enter/leave/reorder before the webhook fires (0 = server default of 1)")
+		topK        = fs.Int("top-k", 10, "guarded slate size")
+		coiLevel    = fs.String("coi", "", "COI affiliation level: off|university|country (empty = server default)")
+		impact      = fs.String("impact", "", "impact metric: citations|h-index (empty = server default)")
+		noExpansion = fs.Bool("no-expansion", false, "disable semantic keyword expansion")
+		asJSON      = fs.Bool("json", false, "print the created watch as raw JSON")
+	)
+	fs.Var(&authors, "author", "manuscript author as 'Name @ Affiliation' (repeatable)")
+	fs.Parse(args)
+	if *callback == "" {
+		log.Fatal("minaret watch create: -callback is required")
+	}
+	m, err := buildManuscript(*inPath, *keywords, *venue, authors)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := map[string]any{
+		"manuscript":   m,
+		"callback_url": *callback,
+		"top_k":        *topK,
+	}
+	if *id != "" {
+		req["id"] = *id
+	}
+	if *minShift > 0 {
+		req["min_shift"] = *minShift
+	}
+	if *coiLevel != "" {
+		req["coi_level"] = *coiLevel
+	}
+	if *impact != "" {
+		req["impact_metric"] = *impact
+	}
+	if *noExpansion {
+		req["disable_expansion"] = true
+	}
+
+	c := newJobsClient(*server)
+	var watch jobs.Watch
+	if _, err := c.call(http.MethodPost, "/v1/watches", req, &watch); err != nil {
+		log.Fatalf("minaret watch create: %v", err)
+	}
+	if *asJSON {
+		printWatchJSON(watch)
+		return
+	}
+	fmt.Printf("watch %s armed: top-%d slate, min shift %d, callback %s\n",
+		watch.ID, watch.TopK, watch.MinShift, watch.CallbackURL)
+	fmt.Printf("inspect with: minaret watch status -server %s %s\n", *server, watch.ID)
+}
+
+func runWatchList(args []string) {
+	fs := flag.NewFlagSet("minaret watch list", flag.ExitOnError)
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
+	asJSON := fs.Bool("json", false, "print raw JSON")
+	fs.Parse(args)
+	c := newJobsClient(*server)
+	var list struct {
+		Watches []jobs.Watch      `json:"watches"`
+		Count   int               `json:"count"`
+		Stats   jobs.WatcherStats `json:"stats"`
+	}
+	if _, err := c.call(http.MethodGet, "/v1/watches", nil, &list); err != nil {
+		log.Fatalf("minaret watch list: %v", err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(list)
+		return
+	}
+	fmt.Printf("%-20s %-24s %-6s %-6s %-7s %-6s %s\n",
+		"id", "title", "top-k", "dirty", "checks", "fired", "created")
+	for _, w := range list.Watches {
+		fmt.Printf("%-20s %-24s %-6d %-6v %-7d %-6d %s\n",
+			w.ID, trunc(w.Title, 24), w.TopK, w.Dirty, w.Checks, w.Fired,
+			w.CreatedAt.Format(time.RFC3339))
+	}
+	s := list.Stats
+	fmt.Printf("\nwatcher: %d watches (%d dirty), %d checks, %d fired (%d delivered), feed cursor %d\n",
+		s.Watches, s.Dirty, s.Checks, s.Fired, s.Webhooks.Delivered, s.FeedSeq)
+}
+
+func runWatchStatus(args []string) {
+	fs := flag.NewFlagSet("minaret watch status", flag.ExitOnError)
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
+	asJSON := fs.Bool("json", false, "print raw JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("minaret watch status: want exactly one watch ID")
+	}
+	c := newJobsClient(*server)
+	var watch jobs.Watch
+	if _, err := c.call(http.MethodGet, "/v1/watches/"+fs.Arg(0), nil, &watch); err != nil {
+		log.Fatalf("minaret watch status: %v", err)
+	}
+	if *asJSON {
+		printWatchJSON(watch)
+		return
+	}
+	reportWatch(watch)
+}
+
+func runWatchDelete(args []string) {
+	fs := flag.NewFlagSet("minaret watch delete", flag.ExitOnError)
+	server := fs.String("server", serverDefault(), "base URL of the minaret-server (default $MINARET_SERVER, else http://localhost:8080)")
+	asJSON := fs.Bool("json", false, "print the disarmed watch as raw JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("minaret watch delete: want exactly one watch ID")
+	}
+	c := newJobsClient(*server)
+	var watch jobs.Watch
+	if _, err := c.call(http.MethodDelete, "/v1/watches/"+fs.Arg(0), nil, &watch); err != nil {
+		log.Fatalf("minaret watch delete: %v", err)
+	}
+	if *asJSON {
+		printWatchJSON(watch)
+		return
+	}
+	fmt.Printf("watch %s disarmed (fired %d times over %d checks)\n", watch.ID, watch.Fired, watch.Checks)
+}
+
+func printWatchJSON(w jobs.Watch) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(w)
+}
+
+func reportWatch(w jobs.Watch) {
+	fmt.Printf("watch %s: %q", w.ID, w.Title)
+	if w.Venue != "" {
+		fmt.Printf(" (venue %s)", w.Venue)
+	}
+	fmt.Println()
+	state := "clean"
+	if w.Dirty {
+		state = "dirty (re-ranks next tick)"
+	}
+	fmt.Printf("slate: top-%d, min shift %d, %s\n", w.TopK, w.MinShift, state)
+	fmt.Printf("activity: %d checks, %d fired, callback %s\n", w.Checks, w.Fired, w.CallbackURL)
+	if w.LastError != "" {
+		fmt.Printf("last error: %s\n", w.LastError)
+	}
+	if w.LastCheck != nil {
+		fmt.Printf("last check: %s\n", w.LastCheck.Format(time.RFC3339))
+	}
+	if w.LastFire != nil {
+		fmt.Printf("last fire:  %s\n", w.LastFire.Format(time.RFC3339))
+	}
+	if len(w.Rank) > 0 {
+		fmt.Printf("baseline slate:\n")
+		for i, name := range w.Rank {
+			fmt.Printf("  %2d. %s\n", i+1, name)
+		}
+	} else {
+		fmt.Println("baseline slate: not yet ranked")
+	}
+}

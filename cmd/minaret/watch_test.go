@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/fetch"
+	"minaret/internal/httpapi"
+	"minaret/internal/jobs"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+	"minaret/internal/simweb"
+	"minaret/internal/sources"
+)
+
+// watchServer boots an in-process API server with drift watches
+// enabled (tick suppressed: these tests exercise the CLI surface, not
+// the re-ranking loop), for the CLI binary to talk to over real HTTP.
+func watchServer(t *testing.T) string {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 99, NumScholars: 300, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	web := httptest.NewServer(simweb.New(corpus, simweb.Config{}).Mux())
+	t.Cleanup(web.Close)
+	f := fetch.New(fetch.Options{Timeout: 10 * time.Second, BaseBackoff: time.Millisecond, PerHostRate: -1})
+	registry := sources.DefaultRegistry(f, sources.SingleHost(web.URL))
+	srv := httpapi.New(registry, o, core.Config{TopK: 5, MaxCandidates: 40}, corpus.HorizonYear)
+	srv.SetFetcher(f)
+	w, _, err := srv.EnableWatches(jobs.WatcherOptions{TickInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		w.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	return api.URL
+}
+
+func TestCLIWatchLifecycle(t *testing.T) {
+	server := watchServer(t)
+	hook := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	t.Cleanup(hook.Close)
+
+	// create arms a watch from manuscript flags.
+	out, _ := runCLI(t, "watch", "create", "-server", server,
+		"-id", "cli-watch", "-keywords", "rdf, stream processing",
+		"-author", "Wei Wang", "-callback", hook.URL, "-top-k", "4", "-min-shift", "2")
+	if !strings.Contains(out, "watch cli-watch armed") || !strings.Contains(out, "top-4 slate, min shift 2") {
+		t.Fatalf("create output:\n%s", out)
+	}
+
+	// list shows it with the watcher counters.
+	out, _ = runCLI(t, "watch", "list", "-server", server)
+	if !strings.Contains(out, "cli-watch") || !strings.Contains(out, "watcher: 1 watches (1 dirty)") {
+		t.Fatalf("list output:\n%s", out)
+	}
+
+	// status reports the armed-but-unranked state.
+	out, _ = runCLI(t, "watch", "status", "-server", server, "cli-watch")
+	if !strings.Contains(out, "top-4, min shift 2") || !strings.Contains(out, "not yet ranked") {
+		t.Fatalf("status output:\n%s", out)
+	}
+
+	// delete disarms; a second status fails loudly.
+	out, _ = runCLI(t, "watch", "delete", "-server", server, "cli-watch")
+	if !strings.Contains(out, "watch cli-watch disarmed") {
+		t.Fatalf("delete output:\n%s", out)
+	}
+	_, stderr, code := runCLIExit(t, "watch", "status", "-server", server, "cli-watch")
+	if code == 0 || !strings.Contains(stderr, "no watch") {
+		t.Fatalf("status after delete: exit=%d stderr:\n%s", code, stderr)
+	}
+}
+
+func TestCLIWatchErrors(t *testing.T) {
+	server := watchServer(t)
+	// create without a callback fails before touching the server.
+	_, stderr, code := runCLIExit(t, "watch", "create", "-server", server, "-keywords", "rdf")
+	if code == 0 || !strings.Contains(stderr, "-callback is required") {
+		t.Fatalf("create without callback: exit=%d stderr:\n%s", code, stderr)
+	}
+	// Unknown subcommand.
+	_, stderr, code = runCLIExit(t, "watch", "explode")
+	if code == 0 || !strings.Contains(stderr, "unknown subcommand") {
+		t.Fatalf("bad subcommand: exit=%d stderr:\n%s", code, stderr)
+	}
+}
+
+// TestCLIJobsTail: the SSE tail follows a job to its terminal event
+// and exits 0, printing each transition as it streams in.
+func TestCLIJobsTail(t *testing.T) {
+	server := jobsServer(t)
+	path := writeManuscripts(t, batchInput())
+	out, _ := runCLI(t, "jobs", "submit", "-server", server, "-in", path, "-id", "tailed", "-top-k", "3")
+	if !strings.Contains(out, "tailed accepted") {
+		t.Fatalf("submit output:\n%s", out)
+	}
+	stdout, _, code := runCLIExit(t, "jobs", "tail", "-server", server, "tailed")
+	if code != 0 {
+		t.Fatalf("tail exit=%d output:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "done") {
+		t.Fatalf("tail never printed the terminal state:\n%s", stdout)
+	}
+	// The stream pushed at least the running and done transitions.
+	if !strings.Contains(stdout, "state") {
+		t.Fatalf("tail printed no state events:\n%s", stdout)
+	}
+}

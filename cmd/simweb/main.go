@@ -18,6 +18,7 @@ import (
 	"os"
 	"time"
 
+	"minaret/internal/feed"
 	"minaret/internal/ontology"
 	"minaret/internal/scholarly"
 	"minaret/internal/simweb"
@@ -34,6 +35,7 @@ func main() {
 		rateLimit = flag.Int("rate-limit", 0, "per-site requests/second (0 = unlimited)")
 		loadPath  = flag.String("load-corpus", "", "load a corpus snapshot instead of generating")
 		savePath  = flag.String("save-corpus", "", "save the corpus snapshot to this file after generation")
+		mutate    = flag.Bool("mutate", false, "enable live corpus mutation (POST /_feed/mutate) and the change feed (GET /_feed/changes)")
 	)
 	flag.Parse()
 
@@ -83,6 +85,9 @@ func main() {
 		RatePerSecond: *rateLimit,
 		Seed:          *seed,
 	})
+	if *mutate {
+		web.EnableMutation(feed.Options{})
+	}
 	// Listen before announcing so -addr :0 (tests, parallel local runs)
 	// reports the actual port.
 	ln, err := net.Listen("tcp", *addr)
@@ -96,5 +101,8 @@ func main() {
 	fmt.Println("  /acm/search?q=NAME                /acm/profile/ID")
 	fmt.Println("  /orcid/search?q=NAME              /orcid/v2.0/ORCID/record")
 	fmt.Println("  /rid/search?name=NAME             /rid/profile/RID")
+	if *mutate {
+		fmt.Println("  POST /_feed/mutate                GET /_feed/changes?from=N&wait=D")
+	}
 	log.Fatal(http.Serve(ln, web.Mux()))
 }

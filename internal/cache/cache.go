@@ -325,6 +325,27 @@ func (m *Map[K, V]) Clear() {
 	m.gen++
 }
 
+// DeleteFunc drops every entry whose key satisfies pred and returns how
+// many it dropped. Unlike Clear it does not bump the generation, so
+// in-flight Do computations still insert when they land — surgical
+// invalidation deliberately spares everything it did not name. It is
+// the targeted counterpart to Clear: a corpus delta names the keys it
+// staled, everything else stays warm.
+func (m *Map[K, V]) DeleteFunc(pred func(K) bool) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for el := m.order.Front(); el != nil; {
+		next := el.Next()
+		if pred(el.Value.(*entry[K, V]).key) {
+			m.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // Stats returns a snapshot of the counters.
 func (m *Map[K, V]) Stats() Stats {
 	m.mu.Lock()

@@ -1,0 +1,63 @@
+package cache
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDeleteFuncDropsOnlyMatches(t *testing.T) {
+	m := New[string, int](16)
+	for _, k := range []string{"dblp|a", "dblp|b", "scholar|a", "scholar|b"} {
+		m.Put(k, 1)
+	}
+	n := m.DeleteFunc(func(k string) bool { return strings.HasPrefix(k, "dblp|") })
+	if n != 2 {
+		t.Fatalf("DeleteFunc dropped %d, want 2", n)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2", m.Len())
+	}
+	if _, ok := m.Get("scholar|a"); !ok {
+		t.Fatal("unmatched entry was dropped")
+	}
+	if _, ok := m.Get("dblp|a"); ok {
+		t.Fatal("matched entry survived")
+	}
+}
+
+func TestDeleteFuncKeepsEvictionsAndGeneration(t *testing.T) {
+	m := New[string, int](8)
+	m.Put("x", 1)
+	before := m.Stats()
+	if n := m.DeleteFunc(func(string) bool { return true }); n != 1 {
+		t.Fatalf("dropped %d, want 1", n)
+	}
+	after := m.Stats()
+	if after.Evictions != before.Evictions || after.Expired != before.Expired {
+		t.Fatalf("DeleteFunc moved eviction/expiry counters: %+v -> %+v", before, after)
+	}
+
+	// Unlike Clear, DeleteFunc does not bump the generation: an in-flight
+	// Do started before the surgery still inserts its result.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Do(context.Background(), "k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+	m.DeleteFunc(func(string) bool { return true })
+	close(release)
+	wg.Wait()
+	if v, ok := m.Get("k"); !ok || v != 42 {
+		t.Fatalf("in-flight Do result not cached after DeleteFunc: %v %v", v, ok)
+	}
+}

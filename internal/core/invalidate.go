@@ -1,0 +1,132 @@
+// Incremental cache invalidation from the change feed. Before this,
+// the only answer to "the scholarly web changed" was the operator
+// hammer: /api/invalidate-cache drops every cached profile,
+// verification and retrieval. ApplyDelta is the scalpel — a corpus
+// delta names the scholar (by site-id set and name) and the keywords it
+// touched, and only the cache entries derived from them are dropped:
+//
+//   - profiles: keys are sorted "source=id" pair lists (identityKey);
+//     an entry dies when it shares any source=id pair with the delta.
+//   - verifies: keys embed the queried author name; entries for the
+//     delta's scholar name die.
+//   - retrievals: keys are "source|"keyword""; entries die when the
+//     keyword is among the delta's (any source), or, for a source
+//     outage, when the source matches (any keyword).
+//   - expansions: ontology-derived, untouched by corpus deltas.
+//
+// Everything the delta did not name keeps its warmth — the property
+// BenchmarkIncrementalInvalidate pins against the full drop.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"minaret/internal/feed"
+	"minaret/internal/ontology"
+)
+
+// InvalidationStats counts entries dropped by feed-driven surgical
+// invalidation, cumulatively (the /api/stats shared block) or for one
+// delta (ApplyDelta's return).
+type InvalidationStats struct {
+	// Deltas counts ApplyDelta calls folded into these counters.
+	Deltas uint64 `json:"deltas"`
+	// Profiles/Verifies/Retrievals count entries dropped per cache.
+	Profiles   uint64 `json:"profiles"`
+	Verifies   uint64 `json:"verifies"`
+	Retrievals uint64 `json:"retrievals"`
+}
+
+// add folds one delta's drop counts into the cumulative stats.
+func (s *InvalidationStats) add(o InvalidationStats) {
+	s.Deltas += o.Deltas
+	s.Profiles += o.Profiles
+	s.Verifies += o.Verifies
+	s.Retrievals += o.Retrievals
+}
+
+// ApplyDelta surgically invalidates the cache entries a corpus delta
+// staled and returns how many entries each cache dropped. Safe to call
+// while requests are in flight: readers that already hold a stale value
+// finish with it; the next request recomputes.
+func (s *Shared) ApplyDelta(d feed.Delta) InvalidationStats {
+	st := InvalidationStats{Deltas: 1}
+
+	// Profile entries mention the scholar when any "source=id" pair of
+	// the delta appears in their identity key.
+	if len(d.SiteIDs) > 0 {
+		pairs := make(map[string]bool, len(d.SiteIDs))
+		for src, id := range d.SiteIDs {
+			pairs[src+"="+id] = true
+		}
+		st.Profiles = uint64(s.profiles.DeleteFunc(func(key string) bool {
+			for _, pair := range strings.Split(key, ";") {
+				if pairs[pair] {
+					return true
+				}
+			}
+			return false
+		}))
+	}
+
+	// Verify keys are "<cfg>|<lower name>|<lower affiliation>"; the
+	// scholar's name sits between the first and last pipe-delimited
+	// segments it was queried under.
+	if d.Scholar != "" {
+		needle := "|" + strings.ToLower(d.Scholar) + "|"
+		st.Verifies = uint64(s.verifies.DeleteFunc(func(key string) bool {
+			return strings.Contains(key, needle)
+		}))
+	}
+
+	// Retrieval memo keys are `source|"keyword"`.
+	if len(d.Keywords) > 0 || d.Source != "" {
+		keywords := make(map[string]bool, len(d.Keywords))
+		for _, kw := range d.Keywords {
+			keywords[ontology.Normalize(kw)] = true
+		}
+		srcPrefix := ""
+		if d.Source != "" {
+			srcPrefix = d.Source + "|"
+		}
+		st.Retrievals = uint64(s.retrievals.DeleteFunc(func(key string) bool {
+			if srcPrefix != "" && strings.HasPrefix(key, srcPrefix) {
+				return true
+			}
+			if len(keywords) == 0 {
+				return false
+			}
+			_, quoted, ok := strings.Cut(key, "|")
+			if !ok {
+				return false
+			}
+			var kw string
+			if _, err := fmt.Sscanf(quoted, "%q", &kw); err != nil {
+				return false
+			}
+			return keywords[ontology.Normalize(kw)]
+		}))
+	}
+
+	s.invalMu.Lock()
+	s.inval.add(st)
+	s.invalMu.Unlock()
+	return st
+}
+
+// InvalidationCounts snapshots the cumulative feed-driven invalidation
+// counters; a zero Deltas count means no delta was ever applied.
+func (s *Shared) InvalidationCounts() InvalidationStats {
+	s.invalMu.Lock()
+	defer s.invalMu.Unlock()
+	return s.inval
+}
+
+// invalState is embedded in Shared (see shared.go fields) — declared
+// here so the invalidation concern stays in one file.
+type invalState struct {
+	invalMu sync.Mutex
+	inval   InvalidationStats
+}

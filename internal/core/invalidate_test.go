@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"minaret/internal/feed"
+	"minaret/internal/nameres"
+	"minaret/internal/ontology"
+	"minaret/internal/profile"
+	"minaret/internal/sources"
+)
+
+// fillShared warms the caches with synthetic entries keyed exactly the
+// way the engine keys them, so ApplyDelta's key surgery is tested
+// against the real formats.
+func fillShared(s *Shared, scholars int) {
+	for i := 0; i < scholars; i++ {
+		ids := map[string]string{
+			"dblp":    fmt.Sprintf("p/P%04d", i),
+			"scholar": fmt.Sprintf("u%04d", i),
+		}
+		s.profiles.Put(identityKey(ids), &profile.Profile{Name: fmt.Sprintf("Scholar %d", i)})
+		s.verifies.Put(fmt.Sprintf("{Threshold:0.5}|scholar %d|inst %d", i, i), &nameres.Result{})
+		s.retrievals.Put(fmt.Sprintf("dblp|%q", fmt.Sprintf("topic %d", i)), []sources.Hit{})
+		s.expansions.Put(fmt.Sprintf("exp|%d", i), []ontology.MergedExpansion{})
+	}
+}
+
+func TestApplyDeltaProfilesBySiteID(t *testing.T) {
+	s := NewShared(SharedOptions{})
+	fillShared(s, 20)
+	st := s.ApplyDelta(feed.Delta{
+		Kind:    feed.KindScholarUpdated,
+		Scholar: "Scholar 7",
+		SiteIDs: map[string]string{"dblp": "p/P0007", "scholar": "u0007"},
+	})
+	if st.Profiles != 1 {
+		t.Fatalf("profiles dropped = %d, want 1", st.Profiles)
+	}
+	if st.Verifies != 1 {
+		t.Fatalf("verifies dropped = %d, want 1", st.Verifies)
+	}
+	if n := s.profiles.Len(); n != 19 {
+		t.Fatalf("profiles left = %d, want 19 (unrelated entries stay warm)", n)
+	}
+	// A partial identity overlap (one shared source=id pair) still kills
+	// the entry: the delta touched that account.
+	st = s.ApplyDelta(feed.Delta{
+		Kind:    feed.KindScholarUpdated,
+		SiteIDs: map[string]string{"dblp": "p/P0003"},
+	})
+	if st.Profiles != 1 {
+		t.Fatalf("partial-overlap drop = %d, want 1", st.Profiles)
+	}
+}
+
+func TestApplyDeltaVerifiesByName(t *testing.T) {
+	s := NewShared(SharedOptions{})
+	fillShared(s, 10)
+	// Name matching is case-insensitive (verify keys lower the name).
+	st := s.ApplyDelta(feed.Delta{Kind: feed.KindScholarUpdated, Scholar: "SCHOLAR 4"})
+	if st.Verifies != 1 {
+		t.Fatalf("verifies dropped = %d, want 1", st.Verifies)
+	}
+	if st.Profiles != 0 {
+		t.Fatalf("profiles dropped = %d, want 0 (no site ids in delta)", st.Profiles)
+	}
+}
+
+func TestApplyDeltaRetrievalsByKeywordAndSource(t *testing.T) {
+	s := NewShared(SharedOptions{})
+	fillShared(s, 10)
+	// Keyword match, normalized: " Topic 3 " == "topic 3".
+	st := s.ApplyDelta(feed.Delta{Kind: feed.KindPublicationAdded, Keywords: []string{" Topic 3 "}})
+	if st.Retrievals != 1 {
+		t.Fatalf("keyword drop = %d, want 1", st.Retrievals)
+	}
+	// A source outage kills every memo for that source, any keyword.
+	st = s.ApplyDelta(feed.Delta{Kind: feed.KindSourceDown, Source: "dblp"})
+	if st.Retrievals != 9 {
+		t.Fatalf("outage drop = %d, want the remaining 9 dblp memos", st.Retrievals)
+	}
+	// Expansions are ontology-derived and never delta-invalidated.
+	if n := s.expansions.Len(); n != 10 {
+		t.Fatalf("expansions = %d, want all 10 intact", n)
+	}
+}
+
+func TestInvalidationCountsAccumulate(t *testing.T) {
+	s := NewShared(SharedOptions{})
+	fillShared(s, 5)
+	if got := s.InvalidationCounts(); got.Deltas != 0 {
+		t.Fatalf("fresh Shared reports %+v, want zero", got)
+	}
+	s.ApplyDelta(feed.Delta{Kind: feed.KindScholarUpdated, Scholar: "Scholar 1"})
+	s.ApplyDelta(feed.Delta{Kind: feed.KindScholarUpdated, Scholar: "Scholar 2"})
+	got := s.InvalidationCounts()
+	if got.Deltas != 2 || got.Verifies != 2 {
+		t.Fatalf("cumulative = %+v, want 2 deltas / 2 verifies", got)
+	}
+}
+
+// TestIncrementalInvalidatePreservesWarmth pins the acceptance property:
+// after a single-scholar delta, at least 90% of unrelated warm entries
+// survive — where the operator hammer (Clear) preserves 0%.
+func TestIncrementalInvalidatePreservesWarmth(t *testing.T) {
+	const n = 1000
+	s := NewShared(SharedOptions{})
+	fillShared(s, n)
+	before := s.profiles.Len() + s.verifies.Len() + s.retrievals.Len()
+	s.ApplyDelta(feed.Delta{
+		Kind:     feed.KindPublicationAdded,
+		Scholar:  "Scholar 42",
+		SiteIDs:  map[string]string{"dblp": "p/P0042", "scholar": "u0042"},
+		Keywords: []string{"topic 42"},
+	})
+	after := s.profiles.Len() + s.verifies.Len() + s.retrievals.Len()
+	preserved := float64(after) / float64(before)
+	if preserved < 0.9 {
+		t.Fatalf("delta preserved %.1f%% of warm entries, want >= 90%%", preserved*100)
+	}
+	s.Clear()
+	if got := s.profiles.Len() + s.verifies.Len() + s.retrievals.Len(); got != 0 {
+		t.Fatalf("Clear left %d entries", got)
+	}
+}
+
+// BenchmarkIncrementalInvalidate measures ApplyDelta over a warm cache
+// population and reports what fraction of entries survive each delta —
+// the ledger-tracked counterpart of the full-drop baseline below.
+func BenchmarkIncrementalInvalidate(b *testing.B) {
+	const n = 1000
+	s := NewShared(SharedOptions{})
+	fillShared(s, n)
+	worst := 100.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := i % n
+		if s.profiles.Len() < n/2 {
+			// Keep the population warm so every delta is measured against
+			// a realistic cache, not the tail of a drained one.
+			b.StopTimer()
+			fillShared(s, n)
+			b.StartTimer()
+		}
+		before := s.profiles.Len() + s.verifies.Len() + s.retrievals.Len()
+		st := s.ApplyDelta(feed.Delta{
+			Kind:     feed.KindPublicationAdded,
+			Scholar:  fmt.Sprintf("Scholar %d", id),
+			SiteIDs:  map[string]string{"dblp": fmt.Sprintf("p/P%04d", id)},
+			Keywords: []string{fmt.Sprintf("topic %d", id)},
+		})
+		dropped := st.Profiles + st.Verifies + st.Retrievals
+		if before > 0 {
+			if p := 100 * float64(uint64(before)-dropped) / float64(before); p < worst {
+				worst = p
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(worst, "%warm-preserved")
+}
+
+// BenchmarkFullInvalidate is the hammer baseline: Clear then refill,
+// preserving nothing.
+func BenchmarkFullInvalidate(b *testing.B) {
+	const n = 1000
+	s := NewShared(SharedOptions{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fillShared(s, n)
+		b.StartTimer()
+		s.Clear()
+	}
+	b.ReportMetric(0, "%warm-preserved")
+}

@@ -158,6 +158,10 @@ type Shared struct {
 	// failure counts surfaced in /api/stats.
 	srcErrMu sync.Mutex
 	srcErrs  map[string]int64
+
+	// invalState carries the cumulative feed-driven invalidation
+	// counters (see invalidate.go).
+	invalState
 }
 
 // NewShared builds the cross-request cache set. It panics when opts

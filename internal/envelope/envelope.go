@@ -116,6 +116,13 @@ func DecodeFileRange(path, magic string, minVersion, maxVersion uint32, maxPaylo
 	if err != nil {
 		return 0, nil, false, fmt.Errorf("%s: %w", path, err)
 	}
+	// A store file holds exactly one envelope (WriteFileAtomic replaces
+	// the whole file). Bytes past the checksummed payload mean the file
+	// was not written by us — reject rather than silently ignore them.
+	var trail [1]byte
+	if n, _ := f.Read(trail[:]); n != 0 {
+		return 0, nil, false, fmt.Errorf("%s: %s trailing data after payload", path, kind)
+	}
 	return version, payload, true, nil
 }
 

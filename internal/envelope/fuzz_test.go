@@ -1,0 +1,87 @@
+package envelope
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const fuzzMagic = "MINFUZZ1"
+
+// fuzzSeeds are byte strings a decoder meets in the wild: a valid
+// envelope, truncations at every structural boundary, a bad CRC, a
+// foreign magic, and plain garbage.
+func fuzzSeeds(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, fuzzMagic, 3, []byte(`{"hello":"world"}`)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:0])
+	f.Add(valid[:8])            // magic only
+	f.Add(valid[:headerLen])    // header, no payload
+	f.Add(valid[:len(valid)-1]) // payload cut short
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0xff // CRC mismatch
+	f.Add(flipped)
+	f.Add([]byte("NOTMAGIC" + string(valid[8:])))
+	f.Add([]byte("random junk that is not an envelope at all"))
+}
+
+// FuzzDecodeFile: arbitrary file contents must never panic the decoder,
+// and whatever it accepts must byte-identically re-encode — the
+// envelope grammar is unambiguous.
+func FuzzDecodeFile(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "blob")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		payload, ok, err := DecodeFile(path, fuzzMagic, 3, 1<<20, "fuzz")
+		if err != nil || !ok {
+			return // rejected: fine, as long as we got here without panicking
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, fuzzMagic, 3, payload); err != nil {
+			t.Fatalf("accepted payload does not re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("decode/encode not a fixed point:\n in %x\nout %x", data, buf.Bytes())
+		}
+	})
+}
+
+// FuzzDecodeFileRange exercises the version-window variant: any
+// accepted version must sit inside the window, and the payload must
+// survive a round-trip under that version.
+func FuzzDecodeFileRange(f *testing.F) {
+	fuzzSeeds(f)
+	var v2 bytes.Buffer
+	if err := Encode(&v2, fuzzMagic, 2, []byte("older payload")); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v2.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "blob")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		version, payload, ok, err := DecodeFileRange(path, fuzzMagic, 2, 3, 1<<20, "fuzz")
+		if err != nil || !ok {
+			return
+		}
+		if version < 2 || version > 3 {
+			t.Fatalf("accepted version %d outside window [2,3]", version)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, fuzzMagic, version, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("decode/encode not a fixed point at version %d", version)
+		}
+	})
+}

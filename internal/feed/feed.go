@@ -1,0 +1,329 @@
+// Package feed is the change feed between the scholarly web and the
+// recommendation layer: a versioned, monotonically-sequenced stream of
+// corpus deltas (scholar added/updated, publication added, source
+// outage). The source side (simweb's -mutate mode) publishes each
+// mutation into a Log — a bounded ring buffer with consecutive-duplicate
+// dedup — and consumers Subscribe from any sequence number: missed
+// deltas replay from the buffer first, then the subscription tails
+// live. A subscriber that fell behind the ring's retention learns so
+// explicitly (a gap), instead of silently missing invalidations. The
+// transport is plain long-polled JSON over HTTP (see http.go), so a
+// follower needs nothing but the sources URL it already has.
+package feed
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by Subscription.Next after Close.
+var ErrClosed = errors.New("feed: subscription closed")
+
+// Version is the feed wire version, carried in every ChangesPage so a
+// follower can reject a feed it does not understand.
+const Version = 1
+
+// Kind classifies a corpus delta.
+type Kind string
+
+// Delta kinds.
+const (
+	// KindScholarAdded: a new scholar entered the corpus.
+	KindScholarAdded Kind = "scholar_added"
+	// KindScholarUpdated: an existing scholar's profile data changed
+	// (interests, affiliation, metrics).
+	KindScholarUpdated Kind = "scholar_updated"
+	// KindPublicationAdded: a scholar gained a publication.
+	KindPublicationAdded Kind = "publication_added"
+	// KindSourceDown / KindSourceUp: one simulated site went dark or
+	// recovered. Cached retrievals against a dark source are suspect.
+	KindSourceDown Kind = "source_down"
+	KindSourceUp   Kind = "source_up"
+)
+
+// Delta is one corpus change. Exactly which fields are set depends on
+// Kind: scholar/publication deltas carry Scholar, SiteIDs and Keywords;
+// outage deltas carry Source.
+type Delta struct {
+	// Seq is the log-assigned monotone sequence number, starting at 1.
+	Seq uint64 `json:"seq"`
+	// Kind classifies the change.
+	Kind Kind `json:"kind"`
+	// At is when the change was published (the log's clock).
+	At time.Time `json:"at"`
+	// Scholar is the affected scholar's full name.
+	Scholar string `json:"scholar,omitempty"`
+	// SiteIDs are the affected scholar's per-source identifiers
+	// (source name -> site-local id), the same vocabulary as
+	// profile.Profile.SiteIDs — consumers match them against cached
+	// profile identities.
+	SiteIDs map[string]string `json:"site_ids,omitempty"`
+	// Keywords are the topic labels the change touches (new interests,
+	// a publication's keywords); consumers invalidate per-keyword
+	// retrieval memos with them.
+	Keywords []string `json:"keywords,omitempty"`
+	// Source is the affected site for outage kinds.
+	Source string `json:"source,omitempty"`
+}
+
+// equivalent reports whether two deltas describe the same change,
+// ignoring the log-assigned Seq and At — the dedup predicate.
+func (d Delta) equivalent(o Delta) bool {
+	if d.Kind != o.Kind || d.Scholar != o.Scholar || d.Source != o.Source {
+		return false
+	}
+	if len(d.SiteIDs) != len(o.SiteIDs) || len(d.Keywords) != len(o.Keywords) {
+		return false
+	}
+	for k, v := range d.SiteIDs {
+		if o.SiteIDs[k] != v {
+			return false
+		}
+	}
+	for i, kw := range d.Keywords {
+		if o.Keywords[i] != kw {
+			return false
+		}
+	}
+	return true
+}
+
+// Options tunes a Log; zero values select the documented defaults.
+type Options struct {
+	// Capacity bounds the ring buffer: how many deltas stay replayable.
+	// Older deltas are evicted and subscribers behind them see a gap.
+	// Default 1024.
+	Capacity int
+	// DedupWindow is how far back in time Publish looks for an
+	// equivalent recent delta to coalesce with instead of appending a
+	// duplicate. Default 1s; negative disables dedup.
+	DedupWindow time.Duration
+	// Clock injects the time source; nil means time.Now.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Capacity == 0 {
+		o.Capacity = 1024
+	}
+	if o.DedupWindow == 0 {
+		o.DedupWindow = time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}
+
+// Stats counts a Log's traffic, surfaced by the HTTP handler and the
+// simweb process.
+type Stats struct {
+	// Published counts deltas appended to the log.
+	Published uint64 `json:"published"`
+	// Coalesced counts Publish calls absorbed into an equivalent
+	// recent delta instead of appending.
+	Coalesced uint64 `json:"coalesced"`
+	// Evicted counts deltas pushed out of the ring by newer ones.
+	Evicted uint64 `json:"evicted"`
+	// FirstSeq/NextSeq delimit the replayable window:
+	// [FirstSeq, NextSeq).
+	FirstSeq uint64 `json:"first_seq"`
+	NextSeq  uint64 `json:"next_seq"`
+}
+
+// Log is the bounded, deduplicating delta ring. All methods are safe
+// for concurrent use.
+type Log struct {
+	opts Options
+
+	mu sync.Mutex
+	// buf holds the retained deltas, oldest first; buf[0].Seq ==
+	// firstSeq when non-empty.
+	buf      []Delta
+	firstSeq uint64 // oldest retained seq
+	nextSeq  uint64 // next seq to assign
+	// changed is closed and replaced on every append; Next and the
+	// HTTP long-poll block on it.
+	changed chan struct{}
+
+	published uint64
+	coalesced uint64
+	evicted   uint64
+}
+
+// NewLog builds an empty log.
+func NewLog(opts Options) *Log {
+	return &Log{
+		opts:     opts.withDefaults(),
+		firstSeq: 1,
+		nextSeq:  1,
+		changed:  make(chan struct{}),
+	}
+}
+
+// Publish appends a delta (assigning Seq and, when zero, At) and wakes
+// every tailing subscriber. A delta equivalent to one already published
+// inside DedupWindow is coalesced: nothing is appended and the earlier
+// delta's sequence number is returned — repeated identical mutations
+// cost subscribers one wakeup, not N.
+func (l *Log) Publish(d Delta) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.opts.Clock()
+	if d.At.IsZero() {
+		d.At = now
+	}
+	if l.opts.DedupWindow > 0 {
+		horizon := now.Add(-l.opts.DedupWindow)
+		for i := len(l.buf) - 1; i >= 0; i-- {
+			if l.buf[i].At.Before(horizon) {
+				break
+			}
+			if l.buf[i].equivalent(d) {
+				l.coalesced++
+				return l.buf[i].Seq
+			}
+		}
+	}
+	d.Seq = l.nextSeq
+	l.nextSeq++
+	l.buf = append(l.buf, d)
+	if len(l.buf) > l.opts.Capacity {
+		drop := len(l.buf) - l.opts.Capacity
+		l.buf = append(l.buf[:0], l.buf[drop:]...)
+		l.firstSeq += uint64(drop)
+		l.evicted += uint64(drop)
+	}
+	l.published++
+	close(l.changed)
+	l.changed = make(chan struct{})
+	return d.Seq
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Published: l.published,
+		Coalesced: l.coalesced,
+		Evicted:   l.evicted,
+		FirstSeq:  l.firstSeq,
+		NextSeq:   l.nextSeq,
+	}
+}
+
+// NextSeq returns the sequence number the next published delta will
+// get; subscribing from it tails strictly future changes.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Snapshot returns up to max retained deltas starting at fromSeq
+// (all of them when max <= 0), without blocking. gap reports that
+// fromSeq predates the retained window — the caller missed deltas that
+// can no longer be replayed and should treat its derived state as
+// stale.
+func (l *Log) Snapshot(fromSeq uint64, max int) (deltas []Delta, gap bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.snapshotLocked(fromSeq, max)
+}
+
+func (l *Log) snapshotLocked(fromSeq uint64, max int) (deltas []Delta, gap bool) {
+	if fromSeq < l.firstSeq {
+		// A gap exists when deltas in [fromSeq, firstSeq) were evicted;
+		// with firstSeq still 1 nothing has ever been evicted and
+		// fromSeq 0 just means "from the beginning".
+		gap = l.firstSeq > 1
+		fromSeq = l.firstSeq
+	}
+	for i := range l.buf {
+		if l.buf[i].Seq < fromSeq {
+			continue
+		}
+		deltas = append(deltas, l.buf[i])
+		if max > 0 && len(deltas) == max {
+			break
+		}
+	}
+	return deltas, gap
+}
+
+// Subscription is one consumer's cursor into the log. It holds no
+// goroutine and no buffer of its own — Next reads straight from the
+// ring — so an abandoned subscription leaks nothing; Close is optional
+// and only unblocks a concurrent Next early.
+type Subscription struct {
+	log    *Log
+	cursor uint64
+	closed chan struct{}
+	once   sync.Once
+
+	mu     sync.Mutex
+	gapped bool
+}
+
+// Subscribe opens a cursor at fromSeq: deltas with Seq >= fromSeq
+// replay from the buffer (0 means "everything retained"), then Next
+// tails live publishes. If fromSeq predates the retained window the
+// subscription is marked gapped (see Gapped) and starts at the oldest
+// retained delta.
+func (l *Log) Subscribe(fromSeq uint64) *Subscription {
+	if fromSeq == 0 {
+		fromSeq = 1
+	}
+	return &Subscription{log: l, cursor: fromSeq, closed: make(chan struct{})}
+}
+
+// Next blocks until a delta at or past the cursor is available and
+// returns it, advancing the cursor. It returns ctx.Err() on
+// cancellation and ErrClosed after Close.
+func (s *Subscription) Next(ctx context.Context) (Delta, error) {
+	for {
+		s.log.mu.Lock()
+		if s.cursor < s.log.firstSeq {
+			if s.log.firstSeq > 1 {
+				s.mu.Lock()
+				s.gapped = true
+				s.mu.Unlock()
+			}
+			s.cursor = s.log.firstSeq
+		}
+		if s.cursor < s.log.nextSeq {
+			d := s.log.buf[int(s.cursor-s.log.firstSeq)]
+			s.cursor++
+			s.log.mu.Unlock()
+			return d, nil
+		}
+		ch := s.log.changed
+		s.log.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return Delta{}, ctx.Err()
+		case <-s.closed:
+			return Delta{}, ErrClosed
+		}
+	}
+}
+
+// Gapped reports whether this subscription ever skipped evicted deltas
+// (its fromSeq, or a slow tail, fell behind the ring). A gapped
+// consumer's derived state may be missing invalidations; conservative
+// consumers resync wholesale.
+func (s *Subscription) Gapped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gapped
+}
+
+// Close releases the subscription, unblocking any concurrent Next with
+// ErrClosed. Idempotent.
+func (s *Subscription) Close() {
+	s.once.Do(func() { close(s.closed) })
+}

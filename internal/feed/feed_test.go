@@ -1,0 +1,232 @@
+package feed
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/testutil/leakcheck"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestPublishSequences(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{})
+	s1 := l.Publish(Delta{Kind: KindScholarAdded, Scholar: "Ada Lovelace"})
+	s2 := l.Publish(Delta{Kind: KindScholarAdded, Scholar: "Alan Turing"})
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("sequences = %d, %d, want 1, 2", s1, s2)
+	}
+	page, gap := l.Snapshot(1, 10)
+	if gap {
+		t.Fatal("unexpected gap from seq 1")
+	}
+	if len(page) != 2 || page[0].Seq != 1 || page[1].Seq != 2 {
+		t.Fatalf("snapshot = %+v, want seqs 1,2", page)
+	}
+	if page[0].At.IsZero() {
+		t.Fatal("Publish did not stamp At")
+	}
+	st := l.Stats()
+	if st.Published != 2 || st.NextSeq != 3 || st.FirstSeq != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPublishDedupsWithinWindow(t *testing.T) {
+	leakcheck.Check(t)
+	clock := newFakeClock()
+	l := NewLog(Options{DedupWindow: time.Second, Clock: clock.Now})
+	d := Delta{Kind: KindScholarUpdated, Scholar: "Ada Lovelace", Keywords: []string{"graph mining"}}
+	s1 := l.Publish(d)
+	s2 := l.Publish(d) // equivalent, inside the window: coalesced
+	if s2 != s1 {
+		t.Fatalf("duplicate publish got seq %d, want the original %d", s2, s1)
+	}
+	// A different delta is never coalesced.
+	s3 := l.Publish(Delta{Kind: KindScholarUpdated, Scholar: "Ada Lovelace", Keywords: []string{"stream processing"}})
+	if s3 == s1 {
+		t.Fatal("distinct delta was coalesced")
+	}
+	// The same delta outside the window is a fresh event.
+	clock.Advance(2 * time.Second)
+	s4 := l.Publish(d)
+	if s4 == s1 {
+		t.Fatal("delta outside the dedup window was coalesced")
+	}
+	if st := l.Stats(); st.Coalesced != 1 || st.Published != 3 {
+		t.Fatalf("stats = %+v, want 1 coalesced / 3 published", st)
+	}
+}
+
+func TestRingEvictionAndGap(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{Capacity: 4, DedupWindow: -1})
+	for i := 0; i < 10; i++ {
+		l.Publish(Delta{Kind: KindScholarAdded, Scholar: "S", Source: "dblp"})
+	}
+	st := l.Stats()
+	if st.FirstSeq != 7 || st.NextSeq != 11 || st.Evicted != 6 {
+		t.Fatalf("stats = %+v, want firstSeq 7, nextSeq 11, evicted 6", st)
+	}
+	// Asking for evicted history reports the gap.
+	page, gap := l.Snapshot(1, 100)
+	if !gap {
+		t.Fatal("snapshot from evicted range did not report a gap")
+	}
+	if len(page) != 4 || page[0].Seq != 7 {
+		t.Fatalf("snapshot = %d deltas from %d, want 4 from 7", len(page), page[0].Seq)
+	}
+	// In-range requests have no gap.
+	if _, gap := l.Snapshot(8, 100); gap {
+		t.Fatal("in-range snapshot reported a gap")
+	}
+}
+
+func TestSubscribeReplayThenTail(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{DedupWindow: -1})
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "A"})
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "B"})
+
+	sub := l.Subscribe(0)
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	// Replay of history.
+	for want := uint64(1); want <= 2; want++ {
+		d, err := sub.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if d.Seq != want {
+			t.Fatalf("replayed seq %d, want %d", d.Seq, want)
+		}
+	}
+
+	// Tail: a Next blocked on an empty cursor is released by Publish.
+	got := make(chan Delta, 1)
+	go func() {
+		d, err := sub.Next(ctx)
+		if err == nil {
+			got <- d
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let Next park
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "C"})
+	select {
+	case d := <-got:
+		if d.Seq != 3 || d.Scholar != "C" {
+			t.Fatalf("tailed %+v, want seq 3 scholar C", d)
+		}
+	case <-ctx.Done():
+		t.Fatal("tailing Next never released")
+	}
+}
+
+func TestSubscribeGapped(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{Capacity: 2, DedupWindow: -1})
+	for i := 0; i < 5; i++ {
+		l.Publish(Delta{Kind: KindSourceDown, Source: "dblp"})
+	}
+	sub := l.Subscribe(1) // seq 1 is long evicted
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	d, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if d.Seq != 4 {
+		t.Fatalf("first delta after gap has seq %d, want 4 (oldest retained)", d.Seq)
+	}
+	if !sub.Gapped() {
+		t.Fatal("subscription did not report the gap")
+	}
+}
+
+func TestSubscriptionClose(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{})
+	sub := l.Subscribe(0)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(context.Background())
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	sub.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Next after Close = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not release on Close")
+	}
+	// Close is idempotent.
+	sub.Close()
+}
+
+func TestSubscribeNeverReadsLeaksNothing(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{DedupWindow: -1})
+	// A subscriber that never calls Next must cost nothing: no goroutine,
+	// no unbounded buffering — the ring is shared, the cursor is lazy.
+	sub := l.Subscribe(0)
+	for i := 0; i < 5000; i++ {
+		l.Publish(Delta{Kind: KindScholarAdded, Scholar: "S", Source: "dblp"})
+	}
+	if st := l.Stats(); st.NextSeq != 5001 {
+		t.Fatalf("nextSeq = %d", st.NextSeq)
+	}
+	sub.Close()
+}
+
+func TestNextContextCancel(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{})
+	sub := l.Subscribe(0)
+	defer sub.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(ctx)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not release on context cancel")
+	}
+}

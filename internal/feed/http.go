@@ -1,0 +1,295 @@
+// The feed's HTTP transport. The publishing side (simweb) mounts
+// Handler on its mux: GET ?from=N long-polls for deltas at or past N
+// and answers one ChangesPage. The consuming side (minaret-server) runs
+// a Follower: a single background goroutine that tails the remote feed
+// URL, applies each delta through a callback, and backs off on
+// transport errors. The page carries the window bounds, so a follower
+// that fell behind the ring's retention is told about the gap instead
+// of silently continuing with stale derived state.
+package feed
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// ChangesPage is the JSON body of one feed poll.
+type ChangesPage struct {
+	// Version is the feed wire version (see Version).
+	Version int `json:"version"`
+	// FirstSeq/NextSeq delimit the server's retained window.
+	FirstSeq uint64 `json:"first_seq"`
+	NextSeq  uint64 `json:"next_seq"`
+	// Gap reports that the requested from predates the retained
+	// window: deltas were evicted unseen.
+	Gap bool `json:"gap,omitempty"`
+	// Deltas are the changes at or past the requested from, oldest
+	// first (possibly empty when the poll timed out).
+	Deltas []Delta `json:"deltas,omitempty"`
+}
+
+// Long-poll bounds for the changes handler.
+const (
+	// maxPollWait caps the ?wait= long-poll window.
+	maxPollWait = 60 * time.Second
+	// maxPageDeltas caps one page so a far-behind follower pages
+	// through the backlog instead of receiving one huge response.
+	maxPageDeltas = 500
+)
+
+// Handler returns the long-polling changes endpoint over l:
+//
+//	GET ?from=N&wait=30s
+//
+// answers a ChangesPage with every retained delta at or past N (capped
+// per page). With wait set and nothing new at N, the request parks
+// until a publish or the window elapses (empty page). from omitted or
+// 0 replays everything retained.
+func Handler(l *Log) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		var from uint64
+		if raw := r.URL.Query().Get("from"); raw != "" {
+			v, err := strconv.ParseUint(raw, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad from %q", raw), http.StatusBadRequest)
+				return
+			}
+			from = v
+		}
+		var wait time.Duration
+		if raw := r.URL.Query().Get("wait"); raw != "" {
+			d, err := time.ParseDuration(raw)
+			if err != nil || d < 0 {
+				http.Error(w, fmt.Sprintf("bad wait %q", raw), http.StatusBadRequest)
+				return
+			}
+			if d > maxPollWait {
+				d = maxPollWait
+			}
+			wait = d
+		}
+		deadline := time.Now().Add(wait)
+		for {
+			l.mu.Lock()
+			deltas, gap := l.snapshotLocked(from, maxPageDeltas)
+			first, next := l.firstSeq, l.nextSeq
+			ch := l.changed
+			l.mu.Unlock()
+			if len(deltas) > 0 || gap || wait == 0 || !time.Now().Before(deadline) {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(ChangesPage{
+					Version:  Version,
+					FirstSeq: first,
+					NextSeq:  next,
+					Gap:      gap,
+					Deltas:   deltas,
+				})
+				return
+			}
+			timer := time.NewTimer(time.Until(deadline))
+			select {
+			case <-ch:
+				timer.Stop()
+			case <-timer.C:
+			case <-r.Context().Done():
+				timer.Stop()
+				return
+			}
+		}
+	})
+}
+
+// FollowerOptions tunes a Follower; zero values select the documented
+// defaults.
+type FollowerOptions struct {
+	// From is the first sequence number to request (0 replays
+	// everything the feed retains). A restarted consumer passes the
+	// last sequence it durably applied, plus one.
+	From uint64
+	// Wait is the long-poll window sent with each request. Default 25s.
+	Wait time.Duration
+	// Client performs the polls; nil uses a dedicated client whose
+	// timeout exceeds Wait.
+	Client *http.Client
+	// Backoff is the delay after a failed poll, doubling up to 30s.
+	// Default 500ms.
+	Backoff time.Duration
+	// OnGap, when set, is called (from the follower goroutine) each
+	// time the feed reports that deltas were evicted unseen — the
+	// consumer's cue to resync derived state wholesale.
+	OnGap func()
+	// Logf reports poll failures; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// FollowerStats counts a follower's progress, surfaced in /api/stats.
+type FollowerStats struct {
+	// URL is the feed endpoint being tailed.
+	URL string `json:"url"`
+	// LastSeq is the highest sequence number applied.
+	LastSeq uint64 `json:"last_seq"`
+	// Applied counts deltas handed to the apply callback.
+	Applied uint64 `json:"applied"`
+	// Gaps counts pages that reported evicted-unseen deltas.
+	Gaps uint64 `json:"gaps"`
+	// Errors counts failed polls (transport or decode).
+	Errors uint64 `json:"errors"`
+}
+
+// Follower tails a remote feed endpoint and applies every delta, in
+// order, through one callback. Start launches its single goroutine;
+// Stop joins it.
+type Follower struct {
+	url   string
+	apply func(Delta)
+	opts  FollowerOptions
+
+	cancel context.CancelFunc
+	done   chan struct{}
+	once   sync.Once
+
+	mu sync.Mutex
+	st FollowerStats
+}
+
+// NewFollower builds a follower over the changes URL (the full
+// endpoint, e.g. "http://sources/_feed/changes"). apply is called from
+// the follower goroutine, one delta at a time, in sequence order.
+func NewFollower(url string, apply func(Delta), opts FollowerOptions) *Follower {
+	if opts.Wait == 0 {
+		opts.Wait = 25 * time.Second
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = 500 * time.Millisecond
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: opts.Wait + 10*time.Second}
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	return &Follower{
+		url:   url,
+		apply: apply,
+		opts:  opts,
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the tailing goroutine. Call once.
+func (f *Follower) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	go f.loop(ctx)
+}
+
+// Stop ends the tail: the in-flight poll is aborted and the goroutine
+// joined, bounded by ctx. Safe to call repeatedly, and a no-op when
+// Start never ran.
+func (f *Follower) Stop(ctx context.Context) {
+	f.once.Do(func() {
+		if f.cancel == nil {
+			close(f.done)
+			return
+		}
+		f.cancel()
+	})
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+	}
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (f *Follower) Stats() FollowerStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.st
+	st.URL = f.url
+	return st
+}
+
+func (f *Follower) loop(ctx context.Context) {
+	defer close(f.done)
+	from := f.opts.From
+	backoff := f.opts.Backoff
+	for ctx.Err() == nil {
+		page, err := f.poll(ctx, from)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			f.mu.Lock()
+			f.st.Errors++
+			f.mu.Unlock()
+			f.opts.Logf("feed follower: poll %s: %v", f.url, err)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return
+			}
+			if backoff *= 2; backoff > 30*time.Second {
+				backoff = 30 * time.Second
+			}
+			continue
+		}
+		backoff = f.opts.Backoff
+		if page.Gap {
+			f.mu.Lock()
+			f.st.Gaps++
+			f.mu.Unlock()
+			if f.opts.OnGap != nil {
+				f.opts.OnGap()
+			}
+		}
+		for _, d := range page.Deltas {
+			f.apply(d)
+			f.mu.Lock()
+			f.st.Applied++
+			f.st.LastSeq = d.Seq
+			f.mu.Unlock()
+			from = d.Seq + 1
+		}
+		if len(page.Deltas) == 0 && page.NextSeq > from {
+			// A gapped page with nothing retained still advances the
+			// cursor past the evicted window.
+			from = page.NextSeq
+		}
+	}
+}
+
+// poll performs one long-poll request.
+func (f *Follower) poll(ctx context.Context, from uint64) (ChangesPage, error) {
+	url := fmt.Sprintf("%s?from=%d&wait=%s", f.url, from, f.opts.Wait)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return ChangesPage{}, err
+	}
+	resp, err := f.opts.Client.Do(req)
+	if err != nil {
+		return ChangesPage{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return ChangesPage{}, fmt.Errorf("feed answered HTTP %d", resp.StatusCode)
+	}
+	var page ChangesPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		return ChangesPage{}, fmt.Errorf("feed page decode: %w", err)
+	}
+	if page.Version != Version {
+		return ChangesPage{}, fmt.Errorf("feed version %d, want %d", page.Version, Version)
+	}
+	return page, nil
+}

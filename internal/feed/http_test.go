@@ -1,0 +1,218 @@
+package feed
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/testutil/leakcheck"
+)
+
+func TestHandlerSnapshotAndLongPoll(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{DedupWindow: -1})
+	srv := httptest.NewServer(Handler(l))
+	defer srv.Close()
+
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "A"})
+
+	// Immediate page.
+	resp, err := http.Get(srv.URL + "?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var page ChangesPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if page.Version != Version || len(page.Deltas) != 1 || page.Deltas[0].Scholar != "A" {
+		t.Fatalf("page = %+v", page)
+	}
+
+	// Long-poll: a request from the tail parks until a publish.
+	type result struct {
+		page ChangesPage
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(srv.URL + "?from=2&wait=10s")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var p ChangesPage
+		err = json.NewDecoder(resp.Body).Decode(&p)
+		got <- result{page: p, err: err}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "B"})
+	select {
+	case r := <-got:
+		if r.err != nil {
+			t.Fatalf("long poll: %v", r.err)
+		}
+		if len(r.page.Deltas) != 1 || r.page.Deltas[0].Scholar != "B" {
+			t.Fatalf("long poll page = %+v", r.page)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll never released after publish")
+	}
+
+	// A zero-wait poll at the tail answers an empty page immediately.
+	resp, err = http.Get(srv.URL + "?from=99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page = ChangesPage{}
+	json.NewDecoder(resp.Body).Decode(&page)
+	resp.Body.Close()
+	if len(page.Deltas) != 0 || page.NextSeq != 3 {
+		t.Fatalf("tail page = %+v", page)
+	}
+}
+
+func TestHandlerRejectsBadParams(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{})
+	srv := httptest.NewServer(Handler(l))
+	defer srv.Close()
+	for _, q := range []string{"?from=x", "?wait=x", "?wait=-1s"} {
+		resp, err := http.Get(srv.URL + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s answered %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestFollowerAppliesInOrder(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{DedupWindow: -1})
+	srv := httptest.NewServer(Handler(l))
+	defer srv.Close()
+
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "A"})
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "B"})
+
+	var mu sync.Mutex
+	var seen []uint64
+	applied := make(chan struct{}, 16)
+	f := NewFollower(srv.URL, func(d Delta) {
+		mu.Lock()
+		seen = append(seen, d.Seq)
+		mu.Unlock()
+		applied <- struct{}{}
+	}, FollowerOptions{Wait: 2 * time.Second})
+	f.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		f.Stop(ctx)
+	}()
+
+	waitN := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			select {
+			case <-applied:
+			case <-time.After(5 * time.Second):
+				t.Fatalf("follower applied %d deltas, want %d", i, n)
+			}
+		}
+	}
+	waitN(2)
+	// Live tail across polls.
+	l.Publish(Delta{Kind: KindScholarAdded, Scholar: "C"})
+	waitN(1)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 3 || seen[0] != 1 || seen[1] != 2 || seen[2] != 3 {
+		t.Fatalf("applied seqs = %v, want [1 2 3]", seen)
+	}
+	st := f.Stats()
+	if st.Applied != 3 || st.LastSeq != 3 || st.Errors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFollowerReportsGap(t *testing.T) {
+	leakcheck.Check(t)
+	l := NewLog(Options{Capacity: 2, DedupWindow: -1})
+	srv := httptest.NewServer(Handler(l))
+	defer srv.Close()
+	for i := 0; i < 6; i++ {
+		l.Publish(Delta{Kind: KindSourceDown, Source: "dblp"})
+	}
+
+	gapped := make(chan struct{}, 1)
+	applied := make(chan struct{}, 16)
+	f := NewFollower(srv.URL, func(Delta) { applied <- struct{}{} }, FollowerOptions{
+		From: 1, // long evicted
+		Wait: time.Second,
+		OnGap: func() {
+			select {
+			case gapped <- struct{}{}:
+			default:
+			}
+		},
+	})
+	f.Start()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		f.Stop(ctx)
+	}()
+	select {
+	case <-gapped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnGap never fired for an evicted from")
+	}
+	// The retained window still arrives after the gap.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-applied:
+		case <-time.After(5 * time.Second):
+			t.Fatal("retained deltas not applied after gap")
+		}
+	}
+}
+
+func TestFollowerBacksOffOnErrors(t *testing.T) {
+	leakcheck.Check(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	f := NewFollower(srv.URL, func(Delta) {}, FollowerOptions{Backoff: time.Millisecond, Wait: time.Second})
+	f.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().Errors < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f.Stop(ctx)
+	if st := f.Stats(); st.Errors < 2 {
+		t.Fatalf("errors = %d, want >= 2", st.Errors)
+	}
+}
+
+func TestFollowerStopWithoutStart(t *testing.T) {
+	leakcheck.Check(t)
+	f := NewFollower("http://127.0.0.1:1/never", func(Delta) {}, FollowerOptions{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	f.Stop(ctx) // must not hang or panic
+}

@@ -76,6 +76,24 @@ func (c *lruCache) len() int {
 	return c.order.Len()
 }
 
+// deleteFunc drops every entry whose URL key satisfies pred and
+// returns how many it dropped.
+func (c *lruCache) deleteFunc(pred func(url string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if key := el.Value.(*cacheEntry).key; pred(key) {
+			c.order.Remove(el)
+			delete(c.entries, key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 func (c *lruCache) clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()

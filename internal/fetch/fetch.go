@@ -336,6 +336,18 @@ func (c *Client) InvalidateCache() {
 	}
 }
 
+// InvalidateMatching drops every cached response whose URL satisfies
+// pred and returns how many were dropped. The change-feed consumer uses
+// it to evict exactly the pages a corpus delta staled (a scholar's
+// profile URLs carry their site-local ids; interest searches carry the
+// keyword) while every other cached body stays warm.
+func (c *Client) InvalidateMatching(pred func(url string) bool) int {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.deleteFunc(pred)
+}
+
 // tokenBucket is a standard token-bucket limiter. reserve returns how
 // long the caller must sleep before proceeding (0 = go now); tokens are
 // debited immediately so concurrent callers queue fairly.

@@ -9,7 +9,7 @@ import (
 	"minaret/internal/core"
 )
 
-func batchManuscripts(t *testing.T, fx *apiFixture, n int) []core.Manuscript {
+func batchManuscripts(t testing.TB, fx *apiFixture, n int) []core.Manuscript {
 	t.Helper()
 	a := fx.author(t)
 	ms := make([]core.Manuscript, n)

@@ -10,10 +10,12 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"minaret/internal/adapt"
 	"minaret/internal/coi"
 	"minaret/internal/core"
+	"minaret/internal/feed"
 	"minaret/internal/fetch"
 	"minaret/internal/filter"
 	"minaret/internal/jobs"
@@ -98,6 +100,18 @@ type Server struct {
 	// restore outcome, reported in /api/stats' schedules block.
 	sched        *jobs.Scheduler
 	schedRestore *jobs.ScheduleRestoreStats
+	// watches, when non-nil, backs the /v1/watches routes (see
+	// EnableWatches); watchRestore is the boot-time watch-store restore
+	// outcome, reported in /api/stats' watches block.
+	watches      *jobs.Watcher
+	watchRestore *jobs.WatchRestoreStats
+	// feedStats, when non-nil, reports the change-feed follower for
+	// /api/stats (see SetFeedStats).
+	feedStats func() feed.FollowerStats
+	// streams tracks live SSE connections for stats and drain;
+	// sseHeartbeat is the idle-comment interval.
+	streams      *streamSet
+	sseHeartbeat time.Duration
 	// adapt, when non-nil, is the self-adaptation controller backing
 	// /api/adapt and the stats adapt block (see SetAdapt).
 	adapt *adapt.Controller
@@ -139,11 +153,17 @@ func (s *Server) Shared() *core.Shared { return s.shared }
 func New(registry *sources.Registry, ont *ontology.Ontology, base core.Config, horizonYear int) *Server {
 	return &Server{
 		registry: registry, ont: ont, base: base, horizonYear: horizonYear,
-		tele:    newTelemetry(),
-		shared:  core.NewShared(core.SharedOptions{}),
-		maxBody: DefaultMaxBodyBytes,
+		tele:         newTelemetry(),
+		shared:       core.NewShared(core.SharedOptions{}),
+		maxBody:      DefaultMaxBodyBytes,
+		streams:      newStreamSet(),
+		sseHeartbeat: DefaultSSEHeartbeat,
 	}
 }
+
+// SetFeedStats wires a change-feed follower's stats snapshot into
+// /api/stats' feed block. Call before Handler sees traffic.
+func (s *Server) SetFeedStats(fn func() feed.FollowerStats) { s.feedStats = fn }
 
 // SetMaxBodyBytes overrides the POST body cap (default
 // DefaultMaxBodyBytes). An oversized body answers 413 instead of being
@@ -213,6 +233,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/jobs/", s.tele.instrument("jobs", s.handleJobByID))
 	mux.HandleFunc("/v1/schedules", s.tele.instrument("schedules", s.handleSchedules))
 	mux.HandleFunc("/v1/schedules/", s.tele.instrument("schedules", s.handleScheduleByID))
+	mux.HandleFunc("/v1/watches", s.tele.instrument("watches", s.handleWatches))
+	mux.HandleFunc("/v1/watches/", s.tele.instrument("watches", s.handleWatchByID))
 	mux.HandleFunc("/api/adapt", s.handleAdapt)
 	mux.HandleFunc("/api/stats", s.handleStats)
 	mux.HandleFunc("/api/health", func(w http.ResponseWriter, r *http.Request) {

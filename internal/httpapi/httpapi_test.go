@@ -28,7 +28,7 @@ type apiFixture struct {
 // newServerFixture builds the Server (and its simulated world) without
 // serving it yet, so tests can finish configuring it — enabling jobs,
 // capping body sizes — before the first goroutine reads its fields.
-func newServerFixture(t *testing.T) (*scholarly.Corpus, *Server) {
+func newServerFixture(t testing.TB) (*scholarly.Corpus, *Server) {
 	t.Helper()
 	o := ontology.Default()
 	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
@@ -44,7 +44,7 @@ func newServerFixture(t *testing.T) (*scholarly.Corpus, *Server) {
 	return corpus, srv
 }
 
-func newAPIFixture(t *testing.T) *apiFixture {
+func newAPIFixture(t testing.TB) *apiFixture {
 	t.Helper()
 	corpus, srv := newServerFixture(t)
 	api := httptest.NewServer(srv.Handler())
@@ -52,7 +52,7 @@ func newAPIFixture(t *testing.T) *apiFixture {
 	return &apiFixture{corpus: corpus, api: api, srv: srv}
 }
 
-func (fx *apiFixture) author(t *testing.T) *scholarly.Scholar {
+func (fx *apiFixture) author(t testing.TB) *scholarly.Scholar {
 	t.Helper()
 	for i := range fx.corpus.Scholars {
 		s := &fx.corpus.Scholars[i]
@@ -64,7 +64,7 @@ func (fx *apiFixture) author(t *testing.T) *scholarly.Scholar {
 	return nil
 }
 
-func postJSON(t *testing.T, url string, body any) *http.Response {
+func postJSON(t testing.TB, url string, body any) *http.Response {
 	t.Helper()
 	b, err := json.Marshal(body)
 	if err != nil {

@@ -215,6 +215,15 @@ func (s *Server) handleJobByID(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request, id string) {
+	switch stream := r.URL.Query().Get("stream"); stream {
+	case "":
+	case "sse":
+		s.handleJobStream(w, r, id)
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: fmt.Sprintf("unknown stream %q (want sse)", stream)})
+		return
+	}
 	var wait time.Duration
 	if raw := r.URL.Query().Get("wait"); raw != "" {
 		d, err := time.ParseDuration(raw)

@@ -20,7 +20,7 @@ import (
 // newJobsFixture is newAPIFixture with the async job queue enabled
 // (before the test server starts serving, so no handler ever sees a
 // half-built Server).
-func newJobsFixture(t *testing.T, opts jobs.Options) *apiFixture {
+func newJobsFixture(t testing.TB, opts jobs.Options) *apiFixture {
 	t.Helper()
 	corpus, srv := newServerFixture(t)
 	q, _, err := srv.EnableJobs(opts)
@@ -37,7 +37,7 @@ func newJobsFixture(t *testing.T, opts jobs.Options) *apiFixture {
 	return &apiFixture{corpus: corpus, api: api, srv: srv}
 }
 
-func decodeJob(t *testing.T, resp *http.Response) jobs.Job {
+func decodeJob(t testing.TB, resp *http.Response) jobs.Job {
 	t.Helper()
 	defer resp.Body.Close()
 	var j jobs.Job

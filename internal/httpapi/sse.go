@@ -1,0 +1,241 @@
+// Server-Sent Events for jobs: GET /v1/jobs/{id}?stream=sse holds the
+// response open and pushes every observable change of one job — state
+// transitions and per-item progress — as SSE events whose id: field is
+// the job's Version. A client that loses the connection reconnects
+// with Last-Event-ID and resumes exactly where it stopped: versions
+// only grow, so "everything after N" is a complete, duplicate-free
+// continuation. The stream ends after the terminal event (the browser
+// EventSource contract treats server close + Last-Event-ID as "try
+// again"; the terminal event tells well-behaved clients to stop).
+// Heartbeat comments keep proxies from reaping quiet streams, and the
+// whole stream population is registered so shutdown can cut it loose
+// at its place in the drain order instead of waiting out every client.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"minaret/internal/jobs"
+)
+
+// DefaultSSEHeartbeat is the default idle-comment interval on SSE
+// streams; SetSSEHeartbeat overrides it.
+const DefaultSSEHeartbeat = 15 * time.Second
+
+// SetSSEHeartbeat overrides how often an idle SSE stream emits a
+// keep-alive comment. Call before Handler sees traffic.
+func (s *Server) SetSSEHeartbeat(d time.Duration) {
+	if d > 0 {
+		s.sseHeartbeat = d
+	}
+}
+
+// ParseLastEventID parses an SSE Last-Event-ID header as a job version:
+// the decimal the server previously sent in an id: field. Anything
+// unparseable — including the empty header of a first connection —
+// means "from the beginning" (0). Exported for the fuzz harness: this
+// is a parser fed raw bytes from the network.
+func ParseLastEventID(raw string) uint64 {
+	raw = strings.TrimSpace(raw)
+	if raw == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// streamSet tracks the live SSE connections so shutdown can close them
+// at the right drain position (after the queue stops, before the HTTP
+// listener closes).
+type streamSet struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu     sync.Mutex
+	active int
+	served uint64
+}
+
+func newStreamSet() *streamSet {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &streamSet{ctx: ctx, cancel: cancel}
+}
+
+// add registers one stream; the returned release must run when the
+// stream ends.
+func (ss *streamSet) add() (release func()) {
+	ss.wg.Add(1)
+	ss.mu.Lock()
+	ss.active++
+	ss.served++
+	ss.mu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			ss.mu.Lock()
+			ss.active--
+			ss.mu.Unlock()
+			ss.wg.Done()
+		})
+	}
+}
+
+func (ss *streamSet) stats() (active int, served uint64) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	return ss.active, ss.served
+}
+
+// CloseStreams releases every live SSE stream and waits for the
+// handlers to unwind, up to ctx's deadline. Drain position: after the
+// job queue stops (so the final state of every job has been published)
+// and before the HTTP listener shuts down (so Shutdown isn't held
+// hostage by open streams).
+func (s *Server) CloseStreams(ctx context.Context) error {
+	s.streams.cancel()
+	done := make(chan struct{})
+	go func() { s.streams.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// StreamsBlock is the "streams" object of /api/stats: the live SSE
+// population.
+type StreamsBlock struct {
+	// Active streams are connected right now; Served counts every stream
+	// ever accepted.
+	Active int    `json:"active"`
+	Served uint64 `json:"served"`
+}
+
+// sseEvent writes one complete SSE event and flushes it. The payload
+// is JSON-marshaled onto a single data: line (JSON never contains raw
+// newlines).
+func sseEvent(w io.Writer, rc *http.ResponseController, event string, id uint64, payload any) error {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data); err != nil {
+		return err
+	}
+	return rc.Flush()
+}
+
+// canFlush reports whether the writer — possibly through a chain of
+// Unwrap()s, like telemetry's statusRecorder — reaches a Flusher. It
+// probes without writing, so the unsupported case can still answer a
+// plain JSON error before any headers commit.
+func canFlush(w http.ResponseWriter) bool {
+	for {
+		switch v := w.(type) {
+		case http.Flusher:
+			return true
+		case interface{ Unwrap() http.ResponseWriter }:
+			w = v.Unwrap()
+		default:
+			return false
+		}
+	}
+}
+
+// handleJobStream serves GET /v1/jobs/{id}?stream=sse. Events carry
+// the job snapshot as JSON: event type "state" when the lifecycle
+// state moved, "progress" for item-level ticks within one state. The
+// id: of every event is the job Version — the resume cursor.
+func (s *Server) handleJobStream(w http.ResponseWriter, r *http.Request, id string) {
+	if !canFlush(w) {
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: "streaming unsupported by connection"})
+		return
+	}
+	rc := http.NewResponseController(w)
+	// Probe before committing to the event-stream content type, so an
+	// unknown job is an ordinary JSON 404, not a one-event stream.
+	if _, err := s.jobs.Get(id); err != nil {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no job " + id})
+		return
+	}
+	since := ParseLastEventID(r.Header.Get("Last-Event-ID"))
+
+	release := s.streams.add()
+	defer release()
+	// The stream dies with the client (r.Context) or with the server's
+	// drain (streams.ctx), whichever comes first.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.streams.ctx, cancel)
+	defer stop()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // tell buffering proxies to pass events through
+	w.WriteHeader(http.StatusOK)
+	// retry: tunes the client's reconnect delay to the queue's own
+	// drain-rate estimate, the same signal a 429's Retry-After carries.
+	if _, err := fmt.Fprintf(w, "retry: %d\n\n", s.jobs.RetryAfterHint().Milliseconds()); err != nil {
+		return
+	}
+	rc.Flush()
+
+	var lastState jobs.State
+	for {
+		wctx, wcancel := context.WithTimeout(ctx, s.sseHeartbeat)
+		job, err := s.jobs.NextChange(wctx, id, since)
+		wcancel()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// Quiet interval: emit a comment so intermediaries see a live
+			// connection, then keep waiting.
+			if _, werr := io.WriteString(w, ": heartbeat\n\n"); werr != nil {
+				return
+			}
+			rc.Flush()
+			continue
+		case errors.Is(err, jobs.ErrNotFound):
+			// Evicted mid-stream (RetainTerminal rotation). Tell the
+			// client the job is gone for good, then close.
+			fmt.Fprint(w, "event: gone\ndata: {}\n\n")
+			rc.Flush()
+			return
+		case errors.Is(err, jobs.ErrStopped):
+			io.WriteString(w, ": server draining\n\n")
+			rc.Flush()
+			return
+		case err != nil:
+			return
+		}
+		event := "progress"
+		if job.State != lastState {
+			event = "state"
+		}
+		lastState = job.State
+		if err := sseEvent(w, rc, event, job.Version, job); err != nil {
+			return
+		}
+		since = job.Version
+		if job.State.Terminal() {
+			// A terminal version never moves again; looping would return
+			// the same snapshot immediately, forever. One terminal event,
+			// then done — the client needs no further request.
+			return
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package httpapi
+
+import (
+	"strconv"
+	"testing"
+)
+
+// FuzzParseLastEventID: the Last-Event-ID header is raw network input.
+// The parser must never panic, must map everything unparseable to 0
+// (resume from the beginning — safe: at worst the client re-sees
+// events), and must round-trip every value it accepts.
+func FuzzParseLastEventID(f *testing.F) {
+	for _, s := range []string{"", "0", "7", " 42 ", "-1", "abc", "1e3",
+		"18446744073709551615", "18446744073709551616", "+9", "0x10", "٧", "9\n"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		v := ParseLastEventID(raw)
+		if v == 0 {
+			return
+		}
+		// Accepted: the canonical rendering must parse back to itself —
+		// the id the server would send next is the same cursor.
+		if got := ParseLastEventID(strconv.FormatUint(v, 10)); got != v {
+			t.Fatalf("ParseLastEventID(%q) = %d, but canonical form reparses to %d", raw, v, got)
+		}
+	})
+}

@@ -1,0 +1,343 @@
+package httpapi
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/jobs"
+	"minaret/internal/testutil/leakcheck"
+)
+
+// sseEventMsg is one parsed SSE event (or keep-alive comment).
+type sseEventMsg struct {
+	id      uint64
+	event   string
+	data    string
+	comment string // non-empty for ": ..." keep-alives
+	retry   string
+}
+
+// sseReader incrementally parses an open event-stream response.
+type sseReader struct {
+	resp *http.Response
+	br   *bufio.Reader
+}
+
+func openStream(t testing.TB, url string, lastEventID uint64) *sseReader {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatUint(lastEventID, 10))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("stream status = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+	return &sseReader{resp: resp, br: bufio.NewReader(resp.Body)}
+}
+
+func (s *sseReader) close() { s.resp.Body.Close() }
+
+// next reads one complete event (terminated by a blank line). Comments
+// and retry: hints are returned as their own messages.
+func (s *sseReader) next() (sseEventMsg, error) {
+	var msg sseEventMsg
+	got := false
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			return msg, err
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if got {
+				return msg, nil
+			}
+		case strings.HasPrefix(line, ": "):
+			msg.comment = strings.TrimPrefix(line, ": ")
+			got = true
+		case strings.HasPrefix(line, "retry: "):
+			msg.retry = strings.TrimPrefix(line, "retry: ")
+			got = true
+		case strings.HasPrefix(line, "id: "):
+			msg.id, _ = strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+			got = true
+		case strings.HasPrefix(line, "event: "):
+			msg.event = strings.TrimPrefix(line, "event: ")
+			got = true
+		case strings.HasPrefix(line, "data: "):
+			msg.data = strings.TrimPrefix(line, "data: ")
+			got = true
+		}
+	}
+}
+
+// tailToTerminal reads events until a terminal job snapshot arrives,
+// returning it and the id sequence observed.
+func (s *sseReader) tailToTerminal(t testing.TB) (jobs.Job, []uint64) {
+	t.Helper()
+	var ids []uint64
+	for {
+		msg, err := s.next()
+		if err != nil {
+			t.Fatalf("stream ended before terminal event: %v (ids %v)", err, ids)
+		}
+		if msg.data == "" {
+			continue // comment or retry hint
+		}
+		var job jobs.Job
+		if err := json.Unmarshal([]byte(msg.data), &job); err != nil {
+			t.Fatalf("bad event payload %q: %v", msg.data, err)
+		}
+		ids = append(ids, msg.id)
+		if job.Version != msg.id {
+			t.Fatalf("event id %d != job version %d", msg.id, job.Version)
+		}
+		if job.State.Terminal() {
+			if msg.event != "state" {
+				t.Fatalf("terminal event type = %q, want state", msg.event)
+			}
+			return job, ids
+		}
+	}
+}
+
+func TestJobStreamTerminalWithoutReRequest(t *testing.T) {
+	leakcheck.Check(t)
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+	resp := postJSON(t, fx.api.URL+"/v1/jobs", JobRequest{
+		Manuscripts:      batchManuscripts(t, fx, 2),
+		RecommendOptions: RecommendOptions{TopK: 3},
+	})
+	job := decodeJob(t, resp)
+
+	s := openStream(t, fx.api.URL+"/v1/jobs/"+job.ID+"?stream=sse", 0)
+	defer s.close()
+
+	// The stream opens with a retry: reconnect hint.
+	first, err := s.next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.retry == "" {
+		t.Fatalf("first frame = %+v, want a retry hint", first)
+	}
+
+	final, ids := s.tailToTerminal(t)
+	if final.State != jobs.StateDone {
+		t.Fatalf("terminal state = %s", final.State)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatalf("event ids not strictly increasing: %v", ids)
+		}
+	}
+	// After the terminal event the server closes the stream: one
+	// connection carried the job from submission to done, no re-request.
+	if _, err := s.next(); err != io.EOF {
+		t.Fatalf("after terminal event: %v, want EOF", err)
+	}
+
+	// Resume: a reconnect with Last-Event-ID mid-history replays from
+	// there — here, straight to the terminal snapshot.
+	s2 := openStream(t, fx.api.URL+"/v1/jobs/"+job.ID+"?stream=sse", ids[0])
+	defer s2.close()
+	resumed, _ := s2.tailToTerminal(t)
+	if resumed.State != jobs.StateDone || resumed.Version != final.Version {
+		t.Fatalf("resumed terminal = %+v, want version %d", resumed, final.Version)
+	}
+}
+
+func TestJobStreamErrors(t *testing.T) {
+	leakcheck.Check(t)
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+
+	resp, err := http.Get(fx.api.URL + "/v1/jobs/nope?stream=sse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job stream = %d, want 404 before headers commit", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("404 content type = %q, want JSON", ct)
+	}
+
+	resp, err = http.Get(fx.api.URL + "/v1/jobs/nope?stream=websocket")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown stream kind = %d, want 400", resp.StatusCode)
+	}
+}
+
+// queuedJobStream submits enough work to keep one job queued behind a
+// running one and opens a stream on the queued job — a stream that will
+// stay quiet as long as the test wants.
+func queuedJobStream(t *testing.T, fx *apiFixture) (*sseReader, string) {
+	t.Helper()
+	var last jobs.Job
+	for i := 0; i < 3; i++ {
+		resp := postJSON(t, fx.api.URL+"/v1/jobs", JobRequest{
+			Manuscripts:      batchManuscripts(t, fx, 3),
+			RecommendOptions: RecommendOptions{TopK: 3},
+		})
+		last = decodeJob(t, resp)
+	}
+	return openStream(t, fx.api.URL+"/v1/jobs/"+last.ID+"?stream=sse", 0), last.ID
+}
+
+func TestJobStreamClientDisconnectLeaksNothing(t *testing.T) {
+	leakcheck.Check(t)
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+	s, _ := queuedJobStream(t, fx)
+	// Read the preamble, then vanish like a real client: just close.
+	if _, err := s.next(); err != nil {
+		t.Fatal(err)
+	}
+	s.close()
+	// leakcheck's cleanup (running after the fixture teardown) proves the
+	// handler goroutine unwound with the connection.
+}
+
+func TestJobStreamSubscriberNeverReads(t *testing.T) {
+	leakcheck.Check(t)
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+	s, _ := queuedJobStream(t, fx)
+	// Never read a byte; drop the connection after a beat. The server
+	// must not block on this client's window.
+	time.Sleep(50 * time.Millisecond)
+	s.close()
+}
+
+func TestCloseStreamsDrains(t *testing.T) {
+	leakcheck.Check(t)
+	fx := newJobsFixture(t, jobs.Options{Workers: 1, Depth: 8})
+	s, _ := queuedJobStream(t, fx)
+	defer s.close()
+	if _, err := s.next(); err != nil { // preamble: the stream is live
+		t.Fatal(err)
+	}
+
+	if active, served := fx.srv.streams.stats(); active != 1 || served != 1 {
+		t.Fatalf("streams stats = %d/%d, want 1/1", active, served)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := fx.srv.CloseStreams(ctx); err != nil {
+		t.Fatalf("CloseStreams: %v", err)
+	}
+	// The server cut the stream loose; the client sees it end.
+	for {
+		if _, err := s.next(); err != nil {
+			break
+		}
+	}
+	if active, served := fx.srv.streams.stats(); active != 0 || served != 1 {
+		t.Fatalf("post-drain stats = %d/%d, want 0/1", active, served)
+	}
+}
+
+func TestJobStreamHeartbeat(t *testing.T) {
+	leakcheck.Check(t)
+	corpus, srv := newServerFixture(t)
+	srv.SetSSEHeartbeat(30 * time.Millisecond)
+	q, _, err := srv.EnableJobs(jobs.Options{Workers: 1, Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	fx := &apiFixture{corpus: corpus, api: api, srv: srv}
+
+	s, _ := queuedJobStream(t, fx)
+	defer s.close()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		msg, err := s.next()
+		if err != nil {
+			t.Fatalf("stream ended before heartbeat: %v", err)
+		}
+		if msg.comment == "heartbeat" {
+			return
+		}
+	}
+	t.Fatal("no heartbeat within 10s at a 30ms interval")
+}
+
+func TestParseLastEventID(t *testing.T) {
+	cases := map[string]uint64{
+		"":                     0,
+		"   ":                  0,
+		"7":                    7,
+		" 42 ":                 42,
+		"-3":                   0,
+		"abc":                  0,
+		"1e3":                  0,
+		"99999999999":          99999999999,
+		"18446744073709551616": 0, // uint64 overflow
+	}
+	for raw, want := range cases {
+		if got := ParseLastEventID(raw); got != want {
+			t.Errorf("ParseLastEventID(%q) = %d, want %d", raw, got, want)
+		}
+	}
+}
+
+// BenchmarkSSEFanout measures one job's lifecycle fanned out to many
+// concurrent SSE tails: every client must observe the terminal event.
+func BenchmarkSSEFanout(b *testing.B) {
+	const clients = 16
+	fx := newJobsFixture(b, jobs.Options{Workers: 2, Depth: 64})
+	ms := batchManuscripts(b, fx, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp := postJSON(b, fx.api.URL+"/v1/jobs", JobRequest{
+			Manuscripts:      ms,
+			RecommendOptions: RecommendOptions{TopK: 3},
+		})
+		job := decodeJob(b, resp)
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := openStream(b, fx.api.URL+"/v1/jobs/"+job.ID+"?stream=sse", 0)
+				defer s.close()
+				s.tailToTerminal(b)
+			}()
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(clients), "streams/job")
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"minaret/internal/core"
+	"minaret/internal/feed"
 	"minaret/internal/fetch"
 	"minaret/internal/index"
 	"minaret/internal/jobs"
@@ -102,6 +103,11 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the wrapped writer so http.NewResponseController can
+// reach optional interfaces (notably http.Flusher, which SSE needs)
+// through the recorder.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
 // instrument wraps a handler with telemetry under the given route label.
 func (t *telemetry) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -125,6 +131,10 @@ type SharedBlock struct {
 	// RetrievalIndex is present when a persistent inverted index is
 	// installed (-retrieval-index): its size and served/missed counters.
 	RetrievalIndex *index.Stats `json:"retrieval_index,omitempty"`
+	// Invalidation is present once the change feed surgically dropped
+	// cache entries (or whenever feed following is on): how many deltas
+	// were applied and how many entries each cache lost to them.
+	Invalidation *core.InvalidationStats `json:"invalidation,omitempty"`
 	// Restore is present only when the server restored a snapshot at
 	// boot: entries loaded, dropped as expired while the process was
 	// down, and dropped as corrupt.
@@ -150,11 +160,34 @@ type StatsResponse struct {
 	// Schedules reports the workload scheduler — active/done schedule
 	// counts and fired/missed totals.
 	Schedules *SchedulesBlock `json:"schedules,omitempty"`
+	// Watches reports the drift watcher — registrations, dirty counts,
+	// rankings run, drift webhooks fired.
+	Watches *WatchesBlock `json:"watches,omitempty"`
+	// Feed reports the change-feed follower when one is running
+	// (-feed): cursor position, deltas applied, gaps, poll errors.
+	Feed *FeedBlock `json:"feed,omitempty"`
+	// Streams reports the live SSE population when jobs are enabled.
+	Streams *StreamsBlock `json:"streams,omitempty"`
 	// Adapt reports the self-adaptation controller when one is running
 	// (-adapt=threshold|utility): policy, tick counters, actions
 	// applied by kind, and the latest decision.
 	Adapt      *AdaptBlock `json:"adapt,omitempty"`
 	RouteOrder []string    `json:"route_order"`
+}
+
+// WatchesBlock is the "watches" object of /api/stats: the drift
+// watcher counters plus, when the server restored a watch store at
+// boot, what came back armed.
+type WatchesBlock struct {
+	jobs.WatcherStats
+	// Restore is present only when a watch store was loaded at boot.
+	Restore *jobs.WatchRestoreStats `json:"restore,omitempty"`
+}
+
+// FeedBlock is the "feed" object of /api/stats: the change-feed
+// follower's cursor and counters.
+type FeedBlock struct {
+	feed.FollowerStats
 }
 
 // JobsBlock is the "jobs" object of /api/stats: the queue counters
@@ -200,13 +233,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st := ix.Stats()
 			blk.RetrievalIndex = &st
 		}
+		if inval := s.shared.InvalidationCounts(); inval.Deltas > 0 || s.feedStats != nil {
+			blk.Invalidation = &inval
+		}
 		resp.Shared = blk
 	}
 	if s.jobs != nil {
 		resp.Jobs = &JobsBlock{Stats: s.jobs.Stats(), Restore: s.jobsRestore}
+		active, served := s.streams.stats()
+		resp.Streams = &StreamsBlock{Active: active, Served: served}
 	}
 	if s.sched != nil {
 		resp.Schedules = &SchedulesBlock{SchedulerStats: s.sched.Stats(), Restore: s.schedRestore}
+	}
+	if s.watches != nil {
+		resp.Watches = &WatchesBlock{WatcherStats: s.watches.Stats(), Restore: s.watchRestore}
+	}
+	if s.feedStats != nil {
+		resp.Feed = &FeedBlock{FollowerStats: s.feedStats()}
 	}
 	if s.adapt != nil {
 		resp.Adapt = &AdaptBlock{Stats: s.adapt.Stats()}

@@ -1,0 +1,195 @@
+// The /v1/watches routes: standing drift watches over reviewer slates.
+// A watch is the push complement of /api/recommend — instead of
+// re-POSTing a manuscript to see whether the corpus moved under its
+// slate, an editor registers the manuscript once with a callback URL;
+// the server re-ranks it when the change feed reports a relevant
+// corpus delta and POSTs a signed watch.drift webhook when the top-K
+// actually shifted. This is the HTTP front of internal/jobs' Watcher.
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"minaret/internal/core"
+	"minaret/internal/jobs"
+)
+
+// WatchRequest is the POST /v1/watches body: the manuscript to guard,
+// where to push drift, and how much drift matters.
+type WatchRequest struct {
+	// ID optionally names the watch (must be unique); empty lets the
+	// server assign one.
+	ID string `json:"id,omitempty"`
+	// Manuscript is re-ranked when relevant corpus deltas arrive.
+	Manuscript core.Manuscript `json:"manuscript"`
+	// CallbackURL receives the signed watch.drift webhook. Required.
+	CallbackURL string `json:"callback_url"`
+	// MinShift is the drift threshold: how many top-K slots must enter,
+	// leave or reorder before the webhook fires. Default 1.
+	MinShift int `json:"min_shift,omitempty"`
+	// RecommendOptions configure the re-ranking exactly like a direct
+	// /api/recommend call (TopK doubles as the guarded slate size).
+	RecommendOptions
+}
+
+// WatchListResponse is the GET /v1/watches payload.
+type WatchListResponse struct {
+	Watches []jobs.Watch      `json:"watches"`
+	Count   int               `json:"count"`
+	Stats   jobs.WatcherStats `json:"stats"`
+}
+
+// EnableWatches builds the server's drift watcher over opts, ranking
+// through the same engine + shared caches as /api/recommend, restores
+// the watch store when one is configured, and starts the tick loop.
+// Invalid options return (nil, nil, err) and enable nothing. A corrupt
+// or unreadable store is returned as the error while the watcher still
+// comes up empty and serving — availability over durability, matching
+// the job-store policy. The caller owns Stop (and should stop the feed
+// follower first so no delta lands mid-drain).
+func (s *Server) EnableWatches(opts jobs.WatcherOptions) (*jobs.Watcher, *jobs.WatchRestoreStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, nil, err
+	}
+	w := jobs.NewWatcher(s.rankForWatch, opts)
+	stats, ok, err := w.Load()
+	var restore *jobs.WatchRestoreStats
+	if ok {
+		restore = &stats
+	}
+	s.watches = w
+	s.watchRestore = restore
+	w.Start()
+	return w, restore, err
+}
+
+// Watches returns the drift watcher (nil unless EnableWatches ran), so
+// the owning binary can wire the feed follower and own shutdown.
+func (s *Server) Watches() *jobs.Watcher { return s.watches }
+
+// rankForWatch is the jobs.Ranker: one recommendation pass through the
+// server-wide shared caches — which is the point: after a delta
+// surgically invalidated the entries it staled, this re-rank recomputes
+// only those and reads everything else warm.
+func (s *Server) rankForWatch(ctx context.Context, m core.Manuscript, optBytes json.RawMessage, topK int) ([]string, error) {
+	var opts RecommendOptions
+	if len(optBytes) > 0 {
+		if err := json.Unmarshal(optBytes, &opts); err != nil {
+			return nil, fmt.Errorf("watch options: %w", err)
+		}
+	}
+	opts.TopK = topK
+	cfg, err := s.configFor(&opts)
+	if err != nil {
+		return nil, err
+	}
+	engine := core.NewWithShared(s.registry, s.ont, cfg, s.shared)
+	res, err := engine.Recommend(ctx, m)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(res.Recommendations))
+	for _, rec := range res.Recommendations {
+		names = append(names, rec.Reviewer.Name)
+	}
+	return names, nil
+}
+
+// specForWatchRequest validates req with the same vocabulary as a
+// direct recommendation and maps it onto a jobs.WatchSpec.
+func (s *Server) specForWatchRequest(req *WatchRequest) (jobs.WatchSpec, error) {
+	var spec jobs.WatchSpec
+	if _, err := s.configFor(&req.RecommendOptions); err != nil {
+		return spec, err
+	}
+	topK := req.RecommendOptions.TopK
+	req.RecommendOptions.TopK = 0 // TopK travels on the spec, not the options
+	optBytes, err := json.Marshal(req.RecommendOptions)
+	if err != nil {
+		return spec, err
+	}
+	return jobs.WatchSpec{
+		ID:          req.ID,
+		Manuscript:  req.Manuscript,
+		CallbackURL: req.CallbackURL,
+		TopK:        topK,
+		MinShift:    req.MinShift,
+		Options:     optBytes,
+	}, nil
+}
+
+// handleWatches serves the collection: POST creates, GET lists.
+func (s *Server) handleWatches(w http.ResponseWriter, r *http.Request) {
+	if s.watches == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "watches not enabled"})
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		s.handleWatchCreate(w, r)
+	case http.MethodGet:
+		list := s.watches.List()
+		writeJSON(w, http.StatusOK, WatchListResponse{Watches: list, Count: len(list), Stats: s.watches.Stats()})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "POST or GET required"})
+	}
+}
+
+func (s *Server) handleWatchCreate(w http.ResponseWriter, r *http.Request) {
+	var req WatchRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	spec, err := s.specForWatchRequest(&req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+		return
+	}
+	watch, err := s.watches.Add(spec)
+	switch {
+	case err == nil:
+		w.Header().Set("Location", "/v1/watches/"+watch.ID)
+		writeJSON(w, http.StatusCreated, watch)
+	case errors.Is(err, jobs.ErrDuplicateWatchID):
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error()})
+	}
+}
+
+// handleWatchByID serves one watch: GET inspects (baseline slate,
+// dirty flag, fire counters), DELETE disarms.
+func (s *Server) handleWatchByID(w http.ResponseWriter, r *http.Request) {
+	if s.watches == nil {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{Error: "watches not enabled"})
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/watches/")
+	if id == "" || strings.Contains(id, "/") {
+		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "watch id required"})
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		watch, err := s.watches.Get(id)
+		if errors.Is(err, jobs.ErrWatchNotFound) {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no watch " + id})
+			return
+		}
+		writeJSON(w, http.StatusOK, watch)
+	case http.MethodDelete:
+		watch, err := s.watches.Remove(id)
+		if errors.Is(err, jobs.ErrWatchNotFound) {
+			writeJSON(w, http.StatusNotFound, ErrorResponse{Error: "no watch " + id})
+			return
+		}
+		writeJSON(w, http.StatusOK, watch)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{Error: "GET or DELETE required"})
+	}
+}

@@ -1,0 +1,206 @@
+package httpapi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"minaret/internal/jobs"
+	"minaret/internal/testutil/leakcheck"
+)
+
+// newWatchFixture serves an API with the drift watcher enabled. A long
+// tick interval keeps the background loop quiet so tests drive Tick
+// deterministically.
+func newWatchFixture(t *testing.T) *apiFixture {
+	t.Helper()
+	corpus, srv := newServerFixture(t)
+	w, _, err := srv.EnableWatches(jobs.WatcherOptions{TickInterval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		w.Stop(ctx)
+	})
+	api := httptest.NewServer(srv.Handler())
+	t.Cleanup(api.Close)
+	return &apiFixture{corpus: corpus, api: api, srv: srv}
+}
+
+func decodeWatch(t *testing.T, resp *http.Response) jobs.Watch {
+	t.Helper()
+	defer resp.Body.Close()
+	var w jobs.Watch
+	if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWatchAPILifecycle(t *testing.T) {
+	leakcheck.Check(t)
+	fx := newWatchFixture(t)
+	m := batchManuscripts(t, fx, 1)[0]
+
+	resp := postJSON(t, fx.api.URL+"/v1/watches", WatchRequest{
+		ID: "w-lifecycle", Manuscript: m, CallbackURL: "http://127.0.0.1:1/hook",
+		MinShift: 2, RecommendOptions: RecommendOptions{TopK: 3},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create = %d", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/watches/w-lifecycle" {
+		t.Fatalf("Location = %q", loc)
+	}
+	created := decodeWatch(t, resp)
+	if created.ID != "w-lifecycle" || created.TopK != 3 || created.MinShift != 2 || !created.Dirty {
+		t.Fatalf("created = %+v", created)
+	}
+
+	// Duplicate ID: 409.
+	resp = postJSON(t, fx.api.URL+"/v1/watches", WatchRequest{
+		ID: "w-lifecycle", Manuscript: m, CallbackURL: "http://127.0.0.1:1/hook",
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate = %d, want 409", resp.StatusCode)
+	}
+
+	// Missing callback: 400.
+	resp = postJSON(t, fx.api.URL+"/v1/watches", WatchRequest{Manuscript: m})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no callback = %d, want 400", resp.StatusCode)
+	}
+	// Invalid recommend options travel through the same validator as
+	// /api/recommend: 400.
+	resp = postJSON(t, fx.api.URL+"/v1/watches", WatchRequest{
+		Manuscript: m, CallbackURL: "http://127.0.0.1:1/hook",
+		RecommendOptions: RecommendOptions{COILevel: "nonsense"},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad options = %d, want 400", resp.StatusCode)
+	}
+
+	// List shows the one watch.
+	r, err := http.Get(fx.api.URL + "/v1/watches")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list WatchListResponse
+	if err := json.NewDecoder(r.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if list.Count != 1 || len(list.Watches) != 1 || list.Watches[0].ID != "w-lifecycle" {
+		t.Fatalf("list = %+v", list)
+	}
+	if list.Stats.Watches != 1 || list.Stats.Dirty != 1 {
+		t.Fatalf("list stats = %+v", list.Stats)
+	}
+
+	// A manual tick establishes the baseline through the real engine;
+	// the baseline ranking is never a drift, so nothing fires.
+	if fired := fx.srv.Watches().Tick(context.Background()); fired != 0 {
+		t.Fatalf("baseline tick fired %d webhooks", fired)
+	}
+	r, err = http.Get(fx.api.URL + "/v1/watches/w-lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := decodeWatch(t, r)
+	if got.Dirty || len(got.Rank) == 0 || got.Checks != 1 || got.Fired != 0 {
+		t.Fatalf("post-tick watch = %+v", got)
+	}
+
+	// The baseline ranking is never a drift: nothing fired.
+	if st := fx.srv.Watches().Stats(); st.Fired != 0 || st.Checks != 1 {
+		t.Fatalf("watcher stats = %+v", st)
+	}
+
+	// Delete disarms; a second delete and a get both 404.
+	resp = httpDelete(t, fx.api.URL+"/v1/watches/w-lifecycle")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete = %d", resp.StatusCode)
+	}
+	resp = httpDelete(t, fx.api.URL+"/v1/watches/w-lifecycle")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-delete = %d, want 404", resp.StatusCode)
+	}
+	r, err = http.Get(fx.api.URL + "/v1/watches/w-lifecycle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("get after delete = %d, want 404", r.StatusCode)
+	}
+}
+
+func TestWatchesDisabledAnswers503(t *testing.T) {
+	fx := newAPIFixture(t) // no EnableWatches
+	m := batchManuscripts(t, fx, 1)[0]
+	resp := postJSON(t, fx.api.URL+"/v1/watches", WatchRequest{
+		Manuscript: m, CallbackURL: "http://127.0.0.1:1/hook",
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("create = %d, want 503", resp.StatusCode)
+	}
+	r, err := http.Get(fx.api.URL + "/v1/watches/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("by-id = %d, want 503", r.StatusCode)
+	}
+}
+
+// TestStatsStreamingBlocks: /api/stats grows watches/streams blocks as
+// the corresponding subsystems come up.
+func TestStatsStreamingBlocks(t *testing.T) {
+	leakcheck.Check(t)
+	fx := newWatchFixture(t)
+	q, _, err := fx.srv.EnableJobs(jobs.Options{Workers: 1, Depth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		q.Stop(ctx)
+	})
+	m := batchManuscripts(t, fx, 1)[0]
+	resp := postJSON(t, fx.api.URL+"/v1/watches", WatchRequest{
+		Manuscript: m, CallbackURL: "http://127.0.0.1:1/hook",
+	})
+	resp.Body.Close()
+
+	r, err := http.Get(fx.api.URL + "/api/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if stats.Watches == nil || stats.Watches.Watches != 1 || stats.Watches.Dirty != 1 {
+		t.Fatalf("watches block = %+v", stats.Watches)
+	}
+	if stats.Streams == nil {
+		t.Fatal("streams block missing with jobs enabled")
+	}
+	if stats.Feed != nil {
+		t.Fatal("feed block present without a follower")
+	}
+}

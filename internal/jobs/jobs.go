@@ -167,11 +167,16 @@ type Progress struct {
 // queue has moved on. Result is shared, not copied — treat it as
 // read-only.
 type Job struct {
-	ID          string     `json:"id"`
-	Venue       string     `json:"venue,omitempty"`
-	Priority    Priority   `json:"priority,omitempty"`
-	CallbackURL string     `json:"callback_url,omitempty"`
-	State       State      `json:"state"`
+	ID          string   `json:"id"`
+	Venue       string   `json:"venue,omitempty"`
+	Priority    Priority `json:"priority,omitempty"`
+	CallbackURL string   `json:"callback_url,omitempty"`
+	State       State    `json:"state"`
+	// Version counts this job's observable state changes, starting at 1
+	// on admission. It only ever grows, so a client holding version N can
+	// ask NextChange (or the SSE stream, whose event ids are versions)
+	// for "anything after N" without missing or re-reporting a change.
+	Version     uint64     `json:"version"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`
 	FinishedAt  *time.Time `json:"finished_at,omitempty"`
@@ -292,6 +297,7 @@ func (o Options) withDefaults() Options {
 type record struct {
 	spec        Spec
 	seq         uint64 // global submit order, FIFO tie-break
+	version     uint64 // observable-change counter, 1 at admission
 	state       State
 	submittedAt time.Time
 	startedAt   time.Time
@@ -314,6 +320,7 @@ func (r *record) snapshot() Job {
 		Priority:    r.spec.Priority,
 		CallbackURL: r.spec.CallbackURL,
 		State:       r.state,
+		Version:     r.version,
 		SubmittedAt: r.submittedAt,
 		Progress:    r.progress,
 		Error:       r.errMsg,
@@ -484,10 +491,20 @@ func (q *Queue) Stop(ctx context.Context) error {
 // now is the injected clock.
 func (q *Queue) now() time.Time { return q.opts.Clock() }
 
-// bumpChangedLocked wakes every Wait long-poll. Callers hold q.mu.
+// bumpChangedLocked wakes every change listener — Wait long-polls,
+// NextChange callers, SSE streams. Callers hold q.mu.
 func (q *Queue) bumpChangedLocked() {
 	close(q.changed)
 	q.changed = make(chan struct{})
+}
+
+// touchLocked records an observable change to one job — version up,
+// listeners woken. Every record-tied transition goes through here so a
+// snapshot's Version tells a client exactly whether it has seen this
+// state. Callers hold q.mu.
+func (q *Queue) touchLocked(rec *record) {
+	rec.version++
+	q.bumpChangedLocked()
 }
 
 // newID returns a fresh random job ID.
@@ -547,6 +564,7 @@ func (q *Queue) Submit(spec Spec) (Job, error) {
 	rec := &record{
 		spec:        spec,
 		seq:         q.seq,
+		version:     1,
 		state:       StateQueued,
 		submittedAt: q.now(),
 		progress: Progress{
@@ -669,7 +687,7 @@ func (q *Queue) worker() {
 		ctx, cancel := context.WithCancel(q.baseCtx)
 		rec.cancel = cancel
 		spec := rec.spec
-		q.bumpChangedLocked()
+		q.touchLocked(rec)
 		q.mu.Unlock()
 
 		sum, err := q.run(ctx, spec, func(it batch.Item) { q.noteItem(rec, it) })
@@ -699,7 +717,7 @@ func (q *Queue) noteItem(rec *record, it batch.Item) {
 	default:
 		p.Failed++
 	}
-	q.bumpChangedLocked()
+	q.touchLocked(rec)
 }
 
 // finish records a run's outcome and persists it.
@@ -745,7 +763,7 @@ func (q *Queue) finish(rec *record, sum *batch.Summary, err error) {
 		q.evictTerminalLocked()
 		q.notify.enqueue(rec.snapshot())
 	}
-	q.bumpChangedLocked()
+	q.touchLocked(rec)
 	q.mu.Unlock()
 
 	q.saveLogged()
@@ -786,7 +804,7 @@ func (q *Queue) Cancel(id string) (Job, error) {
 		q.terminalOrder = append(q.terminalOrder, rec.spec.ID)
 		q.evictTerminalLocked()
 		q.notify.enqueue(rec.snapshot())
-		q.bumpChangedLocked()
+		q.touchLocked(rec)
 		snap := rec.snapshot()
 		q.mu.Unlock()
 		q.saveLogged()
@@ -817,15 +835,22 @@ func (q *Queue) Get(id string) (Job, error) {
 	return rec.snapshot(), nil
 }
 
-// Wait long-polls: it returns the job's snapshot as soon as it is
-// terminal, or the current snapshot once d elapses — never an error for
-// a slow job. ctx cancellation returns the latest snapshot with
-// ctx.Err(). When the queue stops, every pending Wait releases
-// immediately with the current snapshot, so a long-poll can never hold
-// an HTTP drain hostage for its full window.
-func (q *Queue) Wait(ctx context.Context, id string, d time.Duration) (Job, error) {
-	timer := time.NewTimer(d)
-	defer timer.Stop()
+// NextChange is the one change-notification primitive — ?wait= long
+// polls and SSE streams are both built on it, so neither can drift into
+// its own subtly different (and missed-wakeup-prone) wait loop. It
+// blocks until the job's version exceeds since, then returns the fresh
+// snapshot. A terminal job returns immediately whatever since says —
+// its version will never move again, and looping callers would
+// otherwise hang forever on a finished job. When the queue stops, it
+// releases with the current snapshot and ErrStopped; ctx cancellation
+// returns the latest snapshot with ctx.Err().
+//
+// The missed-wakeup discipline: the snapshot and the changed channel
+// are read under one q.mu hold, and touchLocked bumps the version
+// before closing the channel (also under q.mu). So either the caller
+// sees the new version in the snapshot, or it holds a channel that the
+// concurrent change is guaranteed to close — never neither.
+func (q *Queue) NextChange(ctx context.Context, id string, since uint64) (Job, error) {
 	for {
 		q.mu.Lock()
 		rec, ok := q.jobs[id]
@@ -835,19 +860,51 @@ func (q *Queue) Wait(ctx context.Context, id string, d time.Duration) (Job, erro
 		}
 		snap := rec.snapshot()
 		ch := q.changed
+		stopped := q.stopped
 		q.mu.Unlock()
-		if snap.State.Terminal() {
+		if snap.Version > since || snap.State.Terminal() {
 			return snap, nil
+		}
+		if stopped || q.baseCtx.Err() != nil {
+			return snap, ErrStopped
 		}
 		select {
 		case <-ch:
-		case <-timer.C:
-			return snap, nil
 		case <-q.baseCtx.Done():
-			return snap, nil
 		case <-ctx.Done():
 			return snap, ctx.Err()
 		}
+	}
+}
+
+// Wait long-polls: it returns the job's snapshot as soon as it is
+// terminal, or the current snapshot once d elapses — never an error for
+// a slow job. ctx cancellation returns the latest snapshot with
+// ctx.Err(). When the queue stops, every pending Wait releases
+// immediately with the current snapshot, so a long-poll can never hold
+// an HTTP drain hostage for its full window.
+func (q *Queue) Wait(ctx context.Context, id string, d time.Duration) (Job, error) {
+	wctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	var since uint64
+	for {
+		snap, err := q.NextChange(wctx, id, since)
+		switch {
+		case errors.Is(err, ErrStopped):
+			return snap, nil
+		case errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// The wait window elapsed, not the caller's context: the
+			// current snapshot is the contractual answer.
+			return snap, nil
+		case err != nil:
+			return snap, err
+		}
+		if snap.State.Terminal() {
+			return snap, nil
+		}
+		// A non-terminal change (progress tick) isn't what Wait waits
+		// for — keep polling from the version just seen.
+		since = snap.Version
 	}
 }
 

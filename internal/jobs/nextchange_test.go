@@ -1,0 +1,169 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/batch"
+	"minaret/internal/testutil/leakcheck"
+)
+
+func TestNextChangeObservesEveryVersionBump(t *testing.T) {
+	leakcheck.Check(t)
+	g := newGatedRunner()
+	q := New(g.run, Options{Workers: 1, Depth: 4})
+	q.Start()
+	defer stopQueue(t, q)
+
+	job, err := q.Submit(Spec{Manuscripts: manuscripts(2, "EDBT")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Version != 1 {
+		t.Fatalf("admitted job has version %d, want 1", job.Version)
+	}
+
+	// since=0 returns the current snapshot immediately (version >= 1).
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	snap, err := q.NextChange(ctx, job.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version < 1 {
+		t.Fatalf("snapshot version = %d", snap.Version)
+	}
+
+	// Follow the job through to terminal: every NextChange must return a
+	// strictly newer version (or the terminal state).
+	<-g.started
+	close(g.release)
+	since := snap.Version
+	for !snap.State.Terminal() {
+		snap, err = q.NextChange(ctx, job.ID, since)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !snap.State.Terminal() && snap.Version <= since {
+			t.Fatalf("NextChange returned version %d, not newer than %d", snap.Version, since)
+		}
+		since = snap.Version
+	}
+	if snap.State != StateDone {
+		t.Fatalf("terminal state = %s", snap.State)
+	}
+
+	// On a terminal job NextChange returns immediately whatever since is.
+	if snap, err = q.NextChange(ctx, job.ID, snap.Version+100); err != nil || !snap.State.Terminal() {
+		t.Fatalf("terminal NextChange: %+v %v", snap, err)
+	}
+
+	if _, err := q.NextChange(ctx, "nope", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown job error = %v", err)
+	}
+}
+
+func TestNextChangeContextCancel(t *testing.T) {
+	leakcheck.Check(t)
+	g := newGatedRunner()
+	q := New(g.run, Options{Workers: 1, Depth: 4})
+	q.Start()
+	defer func() {
+		close(g.release)
+		stopQueue(t, q)
+	}()
+
+	job, err := q.Submit(Spec{Manuscripts: manuscripts(1, "")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-g.started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		// The job is running and gated: no change is coming.
+		_, err := q.NextChange(ctx, job.ID, 2)
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("NextChange = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("NextChange did not release on cancel")
+	}
+}
+
+// TestWaitAndStreamShareChangeSource is the regression pin for the
+// missed-wakeup fix: many concurrent watchers — some long-polling via
+// Wait, some following versions via NextChange — all observe the
+// terminal state of every job while the queue churns. Run with -race.
+func TestWaitAndStreamShareChangeSource(t *testing.T) {
+	leakcheck.Check(t)
+	const jobs = 8
+	runner := func(ctx context.Context, spec Spec, onItem func(batch.Item)) (*batch.Summary, error) {
+		time.Sleep(time.Millisecond)
+		return okRunner(ctx, spec, onItem)
+	}
+	q := New(runner, Options{Workers: 4, Depth: jobs})
+	q.Start()
+	defer stopQueue(t, q)
+
+	ids := make([]string, jobs)
+	for i := range ids {
+		job, err := q.Submit(Spec{Manuscripts: manuscripts(2, "EDBT")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = job.ID
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs*2)
+	for _, id := range ids {
+		// One Wait-style watcher per job.
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			job, err := q.Wait(ctx, id, 20*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !job.State.Terminal() {
+				errs <- errors.New("Wait returned non-terminal before timeout: " + string(job.State))
+			}
+		}(id)
+		// One NextChange follower per job, reading every version.
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			var since uint64
+			for {
+				job, err := q.NextChange(ctx, id, since)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if job.State.Terminal() {
+					return
+				}
+				since = job.Version
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

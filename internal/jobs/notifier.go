@@ -110,13 +110,33 @@ type WebhookStats struct {
 	Dropped uint64 `json:"dropped"`
 }
 
+// delivery is one webhook to push: where, under what event label, and
+// how to build the body for a given attempt number. The payload closure
+// (rather than fixed bytes) lets the body carry the attempt count, so a
+// receiver can tell a retry from a duplicate. Job terminal transitions
+// and watch drift events both compile down to this.
+type delivery struct {
+	// event names the transition ("job.done", "watch.drift") and travels
+	// in the EventHeader.
+	event string
+	// url receives the POST.
+	url string
+	// logID identifies the subject (job or watch ID) in logs and in the
+	// JobIDHeader-style routing header named by idHeader.
+	logID    string
+	idHeader string
+	// payload builds the body for the 1-based attempt number.
+	payload func(attempt int) ([]byte, error)
+}
+
 // notifier owns the delivery goroutine. It is always constructed (a
 // queue with no callback jobs just never feeds it) so the accounting
-// and shutdown paths stay uniform.
+// and shutdown paths stay uniform. The jobs Queue and the watch layer
+// each build their own (separate buffers, separate WebhookStats).
 type notifier struct {
 	opts   Options
 	client *http.Client
-	ch     chan Job
+	ch     chan delivery
 	stopCh chan struct{}
 	done   chan struct{}
 	// started guards the stop-side wait: a queue that was never
@@ -134,7 +154,7 @@ func newNotifier(opts Options) *notifier {
 		// The per-attempt context carries the real timeout; the client
 		// timeout is a backstop against a pathological transport.
 		client: &http.Client{Timeout: opts.WebhookTimeout + time.Second},
-		ch:     make(chan Job, notifyBuffer),
+		ch:     make(chan delivery, notifyBuffer),
 		stopCh: make(chan struct{}),
 		done:   make(chan struct{}),
 	}
@@ -165,23 +185,38 @@ func (n *notifier) stop(ctx context.Context) {
 	}
 }
 
-// enqueue registers a terminal snapshot for delivery. Never blocks:
-// with the buffer full the webhook is dropped and counted.
+// enqueue registers a terminal job snapshot for delivery, compiling it
+// into a generic delivery.
 func (n *notifier) enqueue(j Job) {
 	if j.CallbackURL == "" {
 		return
 	}
 	j.Result = nil // payloads never carry results
+	event := "job." + string(j.State)
+	n.enqueueDelivery(delivery{
+		event:    event,
+		url:      j.CallbackURL,
+		logID:    j.ID,
+		idHeader: JobIDHeader,
+		payload: func(attempt int) ([]byte, error) {
+			return json.Marshal(WebhookPayload{Event: event, Job: j, Attempt: attempt})
+		},
+	})
+}
+
+// enqueueDelivery registers one webhook for delivery. Never blocks:
+// with the buffer full the webhook is dropped and counted.
+func (n *notifier) enqueueDelivery(d delivery) {
 	n.mu.Lock()
 	n.st.Enqueued++
 	n.mu.Unlock()
 	select {
-	case n.ch <- j:
+	case n.ch <- d:
 	default:
 		n.mu.Lock()
 		n.st.Dropped++
 		n.mu.Unlock()
-		n.opts.Logf("webhook for job %s dropped: %d deliveries already pending", j.ID, notifyBuffer)
+		n.opts.Logf("webhook %s for %s dropped: %d deliveries already pending", d.event, d.logID, notifyBuffer)
 	}
 }
 
@@ -195,15 +230,15 @@ func (n *notifier) loop() {
 	defer close(n.done)
 	for {
 		select {
-		case j := <-n.ch:
-			n.deliver(j)
+		case d := <-n.ch:
+			n.deliver(d)
 		case <-n.stopCh:
 			// Shutdown: give everything already buffered one best-effort
 			// pass (backoff sleeps abort under stopCh), then leave.
 			for {
 				select {
-				case j := <-n.ch:
-					n.deliver(j)
+				case d := <-n.ch:
+					n.deliver(d)
 				default:
 					return
 				}
@@ -215,7 +250,7 @@ func (n *notifier) loop() {
 // deliver runs one sequence: attempt, then up to WebhookRetries
 // re-attempts with doubling backoff. The first 2xx wins and ends the
 // sequence; exhausting it counts one failure.
-func (n *notifier) deliver(j Job) {
+func (n *notifier) deliver(d delivery) {
 	attempts := 1
 	if n.opts.WebhookRetries > 0 {
 		attempts += n.opts.WebhookRetries
@@ -231,12 +266,12 @@ func (n *notifier) deliver(j Job) {
 			case <-time.After(backoff):
 			case <-n.stopCh:
 				// Shutting down: abandon the remaining retries.
-				n.fail(j, fmt.Errorf("shutdown during retry backoff (last error: %v)", lastErr))
+				n.fail(d, fmt.Errorf("shutdown during retry backoff (last error: %v)", lastErr))
 				return
 			}
 			backoff *= 2
 		}
-		if err := n.post(j, a); err != nil {
+		if err := n.post(d, a); err != nil {
 			lastErr = err
 			continue
 		}
@@ -245,32 +280,33 @@ func (n *notifier) deliver(j Job) {
 		n.mu.Unlock()
 		return
 	}
-	n.fail(j, lastErr)
+	n.fail(d, lastErr)
 }
 
-func (n *notifier) fail(j Job, err error) {
+func (n *notifier) fail(d delivery, err error) {
 	n.mu.Lock()
 	n.st.Failed++
 	n.mu.Unlock()
-	n.opts.Logf("webhook for job %s failed: %v", j.ID, err)
+	n.opts.Logf("webhook %s for %s failed: %v", d.event, d.logID, err)
 }
 
 // post performs one signed delivery attempt under WebhookTimeout.
-func (n *notifier) post(j Job, attempt int) error {
-	event := "job." + string(j.State)
-	body, err := json.Marshal(WebhookPayload{Event: event, Job: j, Attempt: attempt})
+func (n *notifier) post(d delivery, attempt int) error {
+	body, err := d.payload(attempt)
 	if err != nil {
 		return err
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), n.opts.WebhookTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, j.CallbackURL, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, d.url, bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set(EventHeader, event)
-	req.Header.Set(JobIDHeader, j.ID)
+	req.Header.Set(EventHeader, d.event)
+	if d.idHeader != "" {
+		req.Header.Set(d.idHeader, d.logID)
+	}
 	if n.opts.WebhookSecret != "" {
 		req.Header.Set(SignatureHeader, Sign(n.opts.WebhookSecret, body))
 	}

@@ -230,6 +230,7 @@ func (q *Queue) adoptLocked(sj StoredJob) (resumed, finished bool) {
 	rec := &record{
 		spec:        sj.Spec,
 		seq:         q.seq,
+		version:     1,
 		state:       sj.State,
 		submittedAt: sj.SubmittedAt,
 		startedAt:   sj.StartedAt,

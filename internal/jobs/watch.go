@@ -1,0 +1,831 @@
+// Drift watches: standing "tell me when my reviewer slate changes"
+// registrations. A venue that got a recommendation yesterday has no way
+// to learn that today's corpus delta (a scholar changed fields, a new
+// publication landed, a source came back from an outage) reshuffled the
+// slate — short of re-POSTing the manuscript on a timer. A Watch holds
+// the manuscript and a callback URL; the Watcher listens to the corpus
+// change feed (NoteDelta), marks only the watches a delta could affect
+// as dirty, and on its tick re-ranks the dirty ones against the warm
+// caches. When the new top-K differs from the stored baseline by at
+// least the watch's threshold, one drift webhook fires — signed like
+// job webhooks, at most once per drift event (the baseline advances
+// whether or not the receiver answers). Watches persist in their own
+// envelope-framed store (magic MINWATCH) so a restart re-arms them, and
+// the store remembers the last feed sequence each process applied so
+// the feed follower resumes where the dead process stopped — a delta
+// that arrived while nobody was listening is replayed, not lost.
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/envelope"
+	"minaret/internal/feed"
+	"minaret/internal/ontology"
+)
+
+// WatchIDHeader repeats the watch ID on drift webhooks for cheap
+// routing before the body is parsed (the watch analog of JobIDHeader).
+const WatchIDHeader = "X-Minaret-Watch"
+
+// Watch errors.
+var (
+	ErrWatchNotFound    = errors.New("watch not found")
+	ErrDuplicateWatchID = errors.New("watch id already exists")
+)
+
+// WatchSpec describes one drift watch: whose slate to guard and where
+// to push the alarm.
+type WatchSpec struct {
+	// ID names the watch. Empty lets the watcher assign one; a
+	// caller-chosen ID must be unique (ErrDuplicateWatchID).
+	ID string `json:"id,omitempty"`
+	// Manuscript is re-ranked on relevant corpus deltas. Required.
+	Manuscript core.Manuscript `json:"manuscript"`
+	// CallbackURL receives the signed drift webhook. Required — a watch
+	// nobody can hear is dead weight.
+	CallbackURL string `json:"callback_url"`
+	// TopK is how many reviewers of the ranking are guarded. Default 10.
+	TopK int `json:"top_k,omitempty"`
+	// MinShift is the drift threshold: the number of entrant + leaver +
+	// reordered slots (out of TopK) at which the webhook fires.
+	// Default 1 — any visible change fires.
+	MinShift int `json:"min_shift,omitempty"`
+	// Options carries ranker-interpreted configuration (for the HTTP
+	// layer: the RecommendOptions JSON), persisted verbatim.
+	Options json.RawMessage `json:"options,omitempty"`
+}
+
+// validate normalizes spec in place and rejects what Add would
+// otherwise have to guess at.
+func (s *WatchSpec) validate() error {
+	if err := s.Manuscript.Validate(); err != nil {
+		return fmt.Errorf("jobs: watch %w", err)
+	}
+	if s.CallbackURL == "" {
+		return errors.New("jobs: watch requires a callback_url")
+	}
+	if err := validateCallbackURL(s.CallbackURL); err != nil {
+		return err
+	}
+	if s.TopK < 0 {
+		return fmt.Errorf("jobs: watch top_k %d is negative", s.TopK)
+	}
+	if s.TopK == 0 {
+		s.TopK = 10
+	}
+	if s.MinShift < 0 {
+		return fmt.Errorf("jobs: watch min_shift %d is negative", s.MinShift)
+	}
+	if s.MinShift == 0 {
+		s.MinShift = 1
+	}
+	return nil
+}
+
+// Watch is an immutable snapshot of one watch.
+type Watch struct {
+	ID          string `json:"id"`
+	Title       string `json:"title"`
+	Venue       string `json:"venue,omitempty"`
+	CallbackURL string `json:"callback_url"`
+	TopK        int    `json:"top_k"`
+	MinShift    int    `json:"min_shift"`
+	// Rank is the current baseline top-K slate (reviewer names in rank
+	// order); empty until the first ranking ran.
+	Rank []string `json:"rank,omitempty"`
+	// Dirty marks a relevant delta seen since the last ranking; the next
+	// tick re-ranks this watch.
+	Dirty bool `json:"dirty"`
+	// Checks counts rankings run; Fired counts drift webhooks sent.
+	Checks int `json:"checks"`
+	Fired  int `json:"fired"`
+	// LastError is the most recent ranking failure (the watch stays
+	// dirty and retries next tick).
+	LastError string     `json:"last_error,omitempty"`
+	LastCheck *time.Time `json:"last_check,omitempty"`
+	LastFire  *time.Time `json:"last_fire,omitempty"`
+	CreatedAt time.Time  `json:"created_at"`
+}
+
+// WatchDriftPayload is the JSON body POSTed to a watch's callback_url
+// when its slate drifts past the threshold.
+type WatchDriftPayload struct {
+	// Event is always "watch.drift" — the same value as the EventHeader.
+	Event string `json:"event"`
+	// Watch is the post-drift snapshot (Rank is the NEW slate).
+	Watch Watch `json:"watch"`
+	// Previous is the baseline slate the drift was measured against.
+	Previous []string `json:"previous"`
+	// Entrants are in the new slate but not the old; Leavers the
+	// reverse; Shift is entrants + leavers + reordered survivors — the
+	// quantity compared against min_shift.
+	Entrants []string `json:"entrants,omitempty"`
+	Leavers  []string `json:"leavers,omitempty"`
+	Shift    int      `json:"shift"`
+	// FeedSeq is the change-feed sequence the watcher had applied when
+	// the drift was detected.
+	FeedSeq uint64 `json:"feed_seq,omitempty"`
+	// Attempt is the 1-based delivery attempt this body was built for.
+	Attempt int `json:"attempt"`
+}
+
+// Ranker computes a manuscript's top-K reviewer slate (names in rank
+// order). The HTTP layer supplies the real pipeline; tests supply
+// doubles. Errors leave the watch dirty for a retry on the next tick.
+type Ranker func(ctx context.Context, m core.Manuscript, opts json.RawMessage, topK int) ([]string, error)
+
+// watchRecord is one watch's mutable state, guarded by Watcher.mu.
+type watchRecord struct {
+	spec      WatchSpec
+	seq       uint64
+	createdAt time.Time
+	rank      []string // baseline slate, nil before first ranking
+	// keywords is the manuscript's normalized keyword set, precomputed
+	// for delta matching.
+	keywords  map[string]bool
+	dirty     bool
+	checks    int
+	fired     int
+	lastError string
+	lastCheck time.Time
+	lastFire  time.Time
+}
+
+func (r *watchRecord) snapshot() Watch {
+	w := Watch{
+		ID:          r.spec.ID,
+		Title:       r.spec.Manuscript.Title,
+		Venue:       r.spec.Manuscript.TargetVenue,
+		CallbackURL: r.spec.CallbackURL,
+		TopK:        r.spec.TopK,
+		MinShift:    r.spec.MinShift,
+		Rank:        append([]string(nil), r.rank...),
+		Dirty:       r.dirty,
+		Checks:      r.checks,
+		Fired:       r.fired,
+		LastError:   r.lastError,
+		CreatedAt:   r.createdAt,
+	}
+	if !r.lastCheck.IsZero() {
+		t := r.lastCheck
+		w.LastCheck = &t
+	}
+	if !r.lastFire.IsZero() {
+		t := r.lastFire
+		w.LastFire = &t
+	}
+	return w
+}
+
+// WatcherOptions tunes a Watcher; zero values select the documented
+// defaults.
+type WatcherOptions struct {
+	// StorePath names the durability file. Empty disables persistence:
+	// watches die with the process.
+	StorePath string
+	// TickInterval is how often Start's background loop re-ranks dirty
+	// watches. Default 2s.
+	TickInterval time.Duration
+	// IDPrefix is prepended to every watcher-assigned watch ID (the
+	// shard name, like jobs.Options.IDPrefix).
+	IDPrefix string
+	// Clock injects the time source; nil means time.Now.
+	Clock func() time.Time
+	// Logf reports background failures; nil discards.
+	Logf func(format string, args ...any)
+
+	// Webhook delivery knobs, with the same semantics and defaults as
+	// the queue's (see Options); the watcher runs its own notifier so a
+	// slow drift receiver cannot crowd out job callbacks.
+	WebhookTimeout time.Duration
+	WebhookRetries int
+	WebhookBackoff time.Duration
+	WebhookSecret  string
+}
+
+// Validate rejects options NewWatcher would have to guess at.
+func (o WatcherOptions) Validate() error {
+	if o.TickInterval < 0 {
+		return fmt.Errorf("jobs: TickInterval %v is negative", o.TickInterval)
+	}
+	if o.WebhookTimeout < 0 {
+		return fmt.Errorf("jobs: WebhookTimeout %v is negative", o.WebhookTimeout)
+	}
+	if o.WebhookBackoff < 0 {
+		return fmt.Errorf("jobs: WebhookBackoff %v is negative", o.WebhookBackoff)
+	}
+	return nil
+}
+
+func (o WatcherOptions) withDefaults() WatcherOptions {
+	if o.TickInterval == 0 {
+		o.TickInterval = 2 * time.Second
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// notifierOptions compiles the watcher's webhook knobs into the queue
+// Options shape newNotifier consumes (withDefaults fills the shared
+// defaults).
+func (o WatcherOptions) notifierOptions() Options {
+	return Options{
+		WebhookTimeout: o.WebhookTimeout,
+		WebhookRetries: o.WebhookRetries,
+		WebhookBackoff: o.WebhookBackoff,
+		WebhookSecret:  o.WebhookSecret,
+		Logf:           o.Logf,
+	}.withDefaults()
+}
+
+// Watcher re-ranks dirty watches and fires drift webhooks. All methods
+// are safe for concurrent use.
+type Watcher struct {
+	rank Ranker
+	opts WatcherOptions
+
+	mu      sync.Mutex
+	watches map[string]*watchRecord
+	seq     uint64
+	// feedSeq is the highest change-feed sequence NoteDelta has applied;
+	// persisted so the next process's follower resumes after it.
+	feedSeq uint64
+	fired   uint64
+	checks  uint64
+	started bool
+
+	stopCh   chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	saveMu   sync.Mutex
+
+	notify *notifier
+}
+
+// NewWatcher builds a Watcher ranking through rank — normally the HTTP
+// layer's recommendation pipeline over the shared caches. It panics on
+// invalid options (callers turning user input into options should
+// Validate first). Call Load to restore a previous process's watches,
+// then Start for the background ticker.
+func NewWatcher(rank Ranker, opts WatcherOptions) *Watcher {
+	if rank == nil {
+		panic("jobs: nil Ranker")
+	}
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
+	o := opts.withDefaults()
+	return &Watcher{
+		rank:    rank,
+		opts:    o,
+		watches: make(map[string]*watchRecord),
+		stopCh:  make(chan struct{}),
+		done:    make(chan struct{}),
+		notify:  newNotifier(o.notifierOptions()),
+	}
+}
+
+// Start launches the background ticker and the webhook notifier. Call
+// once.
+func (w *Watcher) Start() {
+	w.notify.start()
+	w.mu.Lock()
+	w.started = true
+	w.mu.Unlock()
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.opts.TickInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				w.Tick(context.Background())
+			case <-w.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the ticker, drains the notifier, and saves the final
+// state. Blocks up to ctx's deadline; the save happens either way.
+// Stop the feed follower first so no NoteDelta lands mid-drain. Safe
+// to call repeatedly, and a no-op wait when Start never ran.
+func (w *Watcher) Stop(ctx context.Context) error {
+	w.stopOnce.Do(func() { close(w.stopCh) })
+	w.mu.Lock()
+	started := w.started
+	w.mu.Unlock()
+	if started {
+		select {
+		case <-w.done:
+		case <-ctx.Done():
+		}
+	}
+	w.notify.stop(ctx)
+	return w.save()
+}
+
+// now is the injected clock.
+func (w *Watcher) now() time.Time { return w.opts.Clock() }
+
+// Add registers a watch and persists it. The baseline slate is computed
+// lazily: the watch starts dirty, so the first tick ranks it (against
+// whatever the caches hold) without firing a webhook.
+func (w *Watcher) Add(spec WatchSpec) (Watch, error) {
+	if err := (&spec).validate(); err != nil {
+		return Watch{}, err
+	}
+	w.mu.Lock()
+	if spec.ID == "" {
+		for {
+			spec.ID = w.opts.IDPrefix + "watch-" + newID()[len("job-"):]
+			if _, taken := w.watches[spec.ID]; !taken {
+				break
+			}
+		}
+	} else if _, taken := w.watches[spec.ID]; taken {
+		w.mu.Unlock()
+		return Watch{}, fmt.Errorf("%w: %q", ErrDuplicateWatchID, spec.ID)
+	}
+	rec := &watchRecord{
+		spec:      spec,
+		seq:       w.seq,
+		createdAt: w.now(),
+		keywords:  keywordSet(spec.Manuscript.Keywords),
+		dirty:     true,
+	}
+	w.seq++
+	w.watches[spec.ID] = rec
+	snap := rec.snapshot()
+	w.mu.Unlock()
+	w.saveLogged()
+	return snap, nil
+}
+
+// Remove deletes a watch and persists the removal. Unknown IDs return
+// ErrWatchNotFound.
+func (w *Watcher) Remove(id string) (Watch, error) {
+	w.mu.Lock()
+	rec, ok := w.watches[id]
+	if !ok {
+		w.mu.Unlock()
+		return Watch{}, ErrWatchNotFound
+	}
+	delete(w.watches, id)
+	snap := rec.snapshot()
+	w.mu.Unlock()
+	w.saveLogged()
+	return snap, nil
+}
+
+// Get returns one watch's current snapshot.
+func (w *Watcher) Get(id string) (Watch, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	rec, ok := w.watches[id]
+	if !ok {
+		return Watch{}, ErrWatchNotFound
+	}
+	return rec.snapshot(), nil
+}
+
+// List returns every watch in creation order.
+func (w *Watcher) List() []Watch {
+	w.mu.Lock()
+	recs := make([]*watchRecord, 0, len(w.watches))
+	for _, rec := range w.watches {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	out := make([]Watch, len(recs))
+	for i, rec := range recs {
+		out[i] = rec.snapshot()
+	}
+	w.mu.Unlock()
+	return out
+}
+
+// keywordSet normalizes keywords for delta matching.
+func keywordSet(kws []string) map[string]bool {
+	set := make(map[string]bool, len(kws))
+	for _, kw := range kws {
+		set[ontology.Normalize(kw)] = true
+	}
+	return set
+}
+
+// NoteDelta marks every watch a corpus delta could affect as dirty and
+// advances the persisted feed cursor. Dirtiness is deliberately
+// over-approximate — a dirty watch costs one re-ranking, a missed one
+// costs a stale slate:
+//
+//   - keyword deltas dirty watches sharing any normalized keyword;
+//   - deltas naming a scholar already in a watch's baseline slate dirty
+//     that watch (the scholar's profile changed under the ranking);
+//   - source outages and recoveries dirty everything — source coverage
+//     feeds every score.
+//
+// It returns how many watches became dirty (already-dirty ones are not
+// re-counted). The cursor advance is persisted on the next tick's save
+// rather than per delta, so a burst of deltas costs one disk write.
+func (w *Watcher) NoteDelta(d feed.Delta) int {
+	dirtied := 0
+	w.mu.Lock()
+	if d.Seq > w.feedSeq {
+		w.feedSeq = d.Seq
+	}
+	outage := d.Kind == feed.KindSourceDown || d.Kind == feed.KindSourceUp
+	for _, rec := range w.watches {
+		if rec.dirty {
+			continue
+		}
+		if outage || w.relevantLocked(rec, d) {
+			rec.dirty = true
+			dirtied++
+		}
+	}
+	w.mu.Unlock()
+	return dirtied
+}
+
+// relevantLocked reports whether a delta could move rec's slate.
+// Callers hold w.mu.
+func (w *Watcher) relevantLocked(rec *watchRecord, d feed.Delta) bool {
+	for _, kw := range d.Keywords {
+		if rec.keywords[ontology.Normalize(kw)] {
+			return true
+		}
+	}
+	if d.Scholar != "" {
+		for _, name := range rec.rank {
+			if strings.EqualFold(name, d.Scholar) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MarkAllDirty queues every watch for a re-ranking on the next tick
+// and returns how many newly became dirty. The feed follower calls it
+// when the feed reports a gap — deltas were evicted unseen, so
+// per-watch relevance can no longer be trusted.
+func (w *Watcher) MarkAllDirty() int {
+	dirtied := 0
+	w.mu.Lock()
+	for _, rec := range w.watches {
+		if !rec.dirty {
+			rec.dirty = true
+			dirtied++
+		}
+	}
+	w.mu.Unlock()
+	return dirtied
+}
+
+// ResumeSeq is where the feed follower should resume after a restart:
+// one past the last delta the previous process applied (1 — the start
+// of the feed — when none ever was).
+func (w *Watcher) ResumeSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.feedSeq + 1
+}
+
+// Tick re-ranks every dirty watch once and returns how many drift
+// webhooks it fired. Start's loop calls it on the tick interval; tests
+// drive it directly. A ranking error leaves the watch dirty (logged,
+// recorded in LastError) so a transient source failure retries instead
+// of silently freezing the slate.
+func (w *Watcher) Tick(ctx context.Context) int {
+	w.mu.Lock()
+	dirty := make([]*watchRecord, 0, len(w.watches))
+	for _, rec := range w.watches {
+		if rec.dirty {
+			dirty = append(dirty, rec)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i].seq < dirty[j].seq })
+	// Snapshot the inputs so the (slow) rankings run outside w.mu.
+	type job struct {
+		rec  *watchRecord
+		spec WatchSpec
+	}
+	jobs := make([]job, len(dirty))
+	for i, rec := range dirty {
+		jobs[i] = job{rec: rec, spec: rec.spec}
+	}
+	feedSeq := w.feedSeq
+	w.mu.Unlock()
+
+	fired := 0
+	changed := false
+	for _, j := range jobs {
+		slate, err := w.rank(ctx, j.spec.Manuscript, j.spec.Options, j.spec.TopK)
+		now := w.now()
+
+		w.mu.Lock()
+		rec := j.rec
+		if _, live := w.watches[rec.spec.ID]; !live {
+			// Removed while ranking: drop the result.
+			w.mu.Unlock()
+			continue
+		}
+		changed = true
+		rec.checks++
+		w.checks++
+		rec.lastCheck = now
+		if err != nil {
+			rec.lastError = err.Error()
+			w.mu.Unlock()
+			w.opts.Logf("watch %s: ranking failed: %v", rec.spec.ID, err)
+			continue
+		}
+		rec.lastError = ""
+		prev := rec.rank
+		entrants, leavers, shift := slateDrift(prev, slate)
+		baseline := prev == nil
+		rec.rank = slate
+		rec.dirty = false
+		var snap Watch
+		drifted := !baseline && shift >= rec.spec.MinShift
+		if drifted {
+			rec.fired++
+			w.fired++
+			rec.lastFire = now
+			snap = rec.snapshot()
+		}
+		w.mu.Unlock()
+
+		if drifted {
+			fired++
+			w.enqueueDrift(snap, prev, entrants, leavers, shift, feedSeq)
+		}
+	}
+	if changed {
+		w.saveLogged()
+	}
+	return fired
+}
+
+// slateDrift measures how far slate moved from prev: entrants are new
+// names, leavers dropped ones, and shift additionally counts survivors
+// whose position changed.
+func slateDrift(prev, slate []string) (entrants, leavers []string, shift int) {
+	prevPos := make(map[string]int, len(prev))
+	for i, name := range prev {
+		prevPos[name] = i
+	}
+	seen := make(map[string]bool, len(slate))
+	for i, name := range slate {
+		seen[name] = true
+		at, ok := prevPos[name]
+		switch {
+		case !ok:
+			entrants = append(entrants, name)
+			shift++
+		case at != i:
+			shift++
+		}
+	}
+	for _, name := range prev {
+		if !seen[name] {
+			leavers = append(leavers, name)
+			shift++
+		}
+	}
+	return entrants, leavers, shift
+}
+
+// enqueueDrift hands one drift event to the notifier. The baseline has
+// already advanced under w.mu, so however delivery goes — retries,
+// exhaustion, a restart mid-backoff — this event never fires twice.
+func (w *Watcher) enqueueDrift(snap Watch, prev, entrants, leavers []string, shift int, feedSeq uint64) {
+	w.notify.enqueueDelivery(delivery{
+		event:    "watch.drift",
+		url:      snap.CallbackURL,
+		logID:    snap.ID,
+		idHeader: WatchIDHeader,
+		payload: func(attempt int) ([]byte, error) {
+			return json.Marshal(WatchDriftPayload{
+				Event:    "watch.drift",
+				Watch:    snap,
+				Previous: prev,
+				Entrants: entrants,
+				Leavers:  leavers,
+				Shift:    shift,
+				FeedSeq:  feedSeq,
+				Attempt:  attempt,
+			})
+		},
+	})
+}
+
+// WatcherStats is the /api/stats watches block.
+type WatcherStats struct {
+	// Watches counts registrations; Dirty of those await a re-ranking.
+	Watches int `json:"watches"`
+	Dirty   int `json:"dirty"`
+	// Checks counts rankings run; Fired counts drift webhooks enqueued.
+	Checks uint64 `json:"checks"`
+	Fired  uint64 `json:"fired"`
+	// FeedSeq is the highest change-feed sequence applied.
+	FeedSeq uint64 `json:"feed_seq"`
+	// Webhooks reports drift-delivery outcomes (the watcher's own
+	// notifier, separate from job callbacks).
+	Webhooks WebhookStats `json:"webhooks"`
+}
+
+// Stats returns a point-in-time snapshot of the counters.
+func (w *Watcher) Stats() WatcherStats {
+	w.mu.Lock()
+	st := WatcherStats{
+		Watches: len(w.watches),
+		Checks:  w.checks,
+		Fired:   w.fired,
+		FeedSeq: w.feedSeq,
+	}
+	for _, rec := range w.watches {
+		if rec.dirty {
+			st.Dirty++
+		}
+	}
+	w.mu.Unlock()
+	st.Webhooks = w.notify.stats()
+	return st
+}
+
+// --- durability -----------------------------------------------------
+
+const (
+	watchMagic   = "MINWATCH"
+	watchVersion = 1
+	// maxWatchPayload caps what Load will allocate for a corrupted
+	// length field.
+	maxWatchPayload = 1 << 28
+)
+
+// storedWatch is one watch on the wire.
+type storedWatch struct {
+	Spec      WatchSpec `json:"spec"`
+	Seq       uint64    `json:"seq"`
+	CreatedAt time.Time `json:"created_at"`
+	Rank      []string  `json:"rank,omitempty"`
+	Dirty     bool      `json:"dirty"`
+	Checks    int       `json:"checks"`
+	Fired     int       `json:"fired"`
+	LastError string    `json:"last_error,omitempty"`
+	LastCheck time.Time `json:"last_check,omitempty"`
+	LastFire  time.Time `json:"last_fire,omitempty"`
+}
+
+// watchPayload is the JSON body inside the envelope.
+type watchPayload struct {
+	SavedAt time.Time `json:"saved_at"`
+	// FeedSeq is the change-feed cursor: the highest delta sequence this
+	// store's writer had applied.
+	FeedSeq uint64        `json:"feed_seq"`
+	Watches []storedWatch `json:"watches"`
+}
+
+// WatchRestoreStats reports what a Watcher.Load brought back.
+type WatchRestoreStats struct {
+	// Restored watches are armed again; Dirty of those were awaiting a
+	// re-ranking when the previous process died.
+	Restored int `json:"restored"`
+	Dirty    int `json:"dirty"`
+	// Dropped watches failed to round-trip individually.
+	Dropped int `json:"dropped"`
+	// FeedSeq is the restored change-feed cursor.
+	FeedSeq uint64 `json:"feed_seq"`
+	// SavedAt is when the store was written.
+	SavedAt time.Time `json:"saved_at"`
+}
+
+// persistableLocked snapshots the watches worth writing, under w.mu.
+func (w *Watcher) persistableLocked() []storedWatch {
+	out := make([]storedWatch, 0, len(w.watches))
+	for _, rec := range w.watches {
+		out = append(out, storedWatch{
+			Spec:      rec.spec,
+			Seq:       rec.seq,
+			CreatedAt: rec.createdAt,
+			Rank:      rec.rank,
+			Dirty:     rec.dirty,
+			Checks:    rec.checks,
+			Fired:     rec.fired,
+			LastError: rec.lastError,
+			LastCheck: rec.lastCheck,
+			LastFire:  rec.lastFire,
+		})
+	}
+	return out
+}
+
+// save writes the watch store atomically; no StorePath means
+// memory-only and save is a no-op.
+func (w *Watcher) save() error {
+	if w.opts.StorePath == "" {
+		return nil
+	}
+	w.saveMu.Lock()
+	defer w.saveMu.Unlock()
+	w.mu.Lock()
+	watches := w.persistableLocked()
+	feedSeq := w.feedSeq
+	savedAt := w.now().UTC()
+	w.mu.Unlock()
+	payload, err := json.Marshal(watchPayload{SavedAt: savedAt, FeedSeq: feedSeq, Watches: watches})
+	if err != nil {
+		return fmt.Errorf("watch store encode: %w", err)
+	}
+	return envelope.WriteFileAtomic(w.opts.StorePath, func(wr io.Writer) error {
+		return envelope.Encode(wr, watchMagic, watchVersion, payload)
+	})
+}
+
+func (w *Watcher) saveLogged() {
+	if err := w.save(); err != nil {
+		w.opts.Logf("watch store save: %v", err)
+	}
+}
+
+// Load restores the watch store. Every restored watch is marked dirty:
+// the caches it was ranked against died with the old process, and a
+// delta may have slipped between the last save and the crash — the
+// first post-boot tick re-ranks everything and fires only where the
+// persisted baseline actually drifted. A missing file is the normal
+// cold start (ok=false, no error); a corrupt or incompatible file is
+// rejected whole. Call before Start, on an empty watcher.
+func (w *Watcher) Load() (stats WatchRestoreStats, ok bool, err error) {
+	if w.opts.StorePath == "" {
+		return WatchRestoreStats{}, false, nil
+	}
+	raw, ok, err := envelope.DecodeFile(w.opts.StorePath, watchMagic, watchVersion, maxWatchPayload, "watch store")
+	if err != nil {
+		return WatchRestoreStats{}, false, fmt.Errorf("restore: %w", err)
+	}
+	if !ok {
+		return WatchRestoreStats{}, false, nil
+	}
+	var p watchPayload
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return WatchRestoreStats{}, false, fmt.Errorf("restore %s: watch store decode: %w", w.opts.StorePath, err)
+	}
+	stats.SavedAt = p.SavedAt
+	stats.FeedSeq = p.FeedSeq
+
+	sorted := append([]storedWatch(nil), p.Watches...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	w.mu.Lock()
+	if p.FeedSeq > w.feedSeq {
+		w.feedSeq = p.FeedSeq
+	}
+	for _, sw := range sorted {
+		spec := sw.Spec
+		if err := (&spec).validate(); err != nil || spec.ID == "" {
+			stats.Dropped++
+			continue
+		}
+		if _, dup := w.watches[spec.ID]; dup {
+			stats.Dropped++
+			continue
+		}
+		rec := &watchRecord{
+			spec:      spec,
+			seq:       w.seq,
+			createdAt: sw.CreatedAt,
+			rank:      sw.Rank,
+			keywords:  keywordSet(spec.Manuscript.Keywords),
+			dirty:     true,
+			checks:    sw.Checks,
+			fired:     sw.Fired,
+			lastError: sw.LastError,
+			lastCheck: sw.LastCheck,
+			lastFire:  sw.LastFire,
+		}
+		w.seq++
+		w.watches[spec.ID] = rec
+		stats.Restored++
+		stats.Dirty++
+	}
+	w.mu.Unlock()
+	return stats, true, nil
+}

@@ -1,0 +1,362 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/feed"
+	"minaret/internal/testutil/leakcheck"
+)
+
+// slateRanker is a Ranker double answering from a mutable slate.
+type slateRanker struct {
+	mu    sync.Mutex
+	slate []string
+	err   error
+	calls int
+}
+
+func (r *slateRanker) set(slate ...string) {
+	r.mu.Lock()
+	r.slate = slate
+	r.err = nil
+	r.mu.Unlock()
+}
+
+func (r *slateRanker) fail(err error) {
+	r.mu.Lock()
+	r.err = err
+	r.mu.Unlock()
+}
+
+func (r *slateRanker) rank(ctx context.Context, m core.Manuscript, opts json.RawMessage, topK int) ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.calls++
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.slate) > topK {
+		return append([]string(nil), r.slate[:topK]...), nil
+	}
+	return append([]string(nil), r.slate...), nil
+}
+
+func watchManuscript(keywords ...string) core.Manuscript {
+	return core.Manuscript{
+		Title:    "Drifting Paper",
+		Keywords: keywords,
+		Authors:  []core.Author{{Name: "Ada Lovelace"}},
+	}
+}
+
+func testWatcher(t *testing.T, rank Ranker, opts WatcherOptions) *Watcher {
+	t.Helper()
+	opts.WebhookBackoff = 5 * time.Millisecond
+	if opts.WebhookTimeout == 0 {
+		opts.WebhookTimeout = 2 * time.Second
+	}
+	w := NewWatcher(rank, opts)
+	w.notify.start()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := w.Stop(ctx); err != nil {
+			t.Errorf("watcher stop: %v", err)
+		}
+	})
+	return w
+}
+
+func TestWatchAddValidatesAndDefaults(t *testing.T) {
+	leakcheck.Check(t)
+	r := &slateRanker{}
+	w := testWatcher(t, r.rank, WatcherOptions{})
+
+	if _, err := w.Add(WatchSpec{Manuscript: watchManuscript("x")}); err == nil {
+		t.Fatal("Add accepted a watch without a callback URL")
+	}
+	if _, err := w.Add(WatchSpec{CallbackURL: "http://cb.example/hook"}); err == nil {
+		t.Fatal("Add accepted an invalid manuscript")
+	}
+
+	snap, err := w.Add(WatchSpec{Manuscript: watchManuscript("x"), CallbackURL: "http://cb.example/hook"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.TopK != 10 || snap.MinShift != 1 || !snap.Dirty || snap.ID == "" {
+		t.Fatalf("defaults = %+v", snap)
+	}
+
+	// Caller-chosen IDs must be unique.
+	if _, err := w.Add(WatchSpec{ID: "w1", Manuscript: watchManuscript("x"), CallbackURL: "http://cb.example/hook"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Add(WatchSpec{ID: "w1", Manuscript: watchManuscript("x"), CallbackURL: "http://cb.example/hook"}); !errors.Is(err, ErrDuplicateWatchID) {
+		t.Fatalf("duplicate id error = %v", err)
+	}
+
+	if got := len(w.List()); got != 2 {
+		t.Fatalf("List has %d watches, want 2", got)
+	}
+	if _, err := w.Get("nope"); !errors.Is(err, ErrWatchNotFound) {
+		t.Fatalf("Get unknown = %v", err)
+	}
+	if _, err := w.Remove("w1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Remove("w1"); !errors.Is(err, ErrWatchNotFound) {
+		t.Fatalf("second Remove = %v", err)
+	}
+}
+
+func TestNoteDeltaRelevance(t *testing.T) {
+	leakcheck.Check(t)
+	r := &slateRanker{}
+	r.set("Alice", "Bob")
+	w := testWatcher(t, r.rank, WatcherOptions{})
+	if _, err := w.Add(WatchSpec{ID: "kw", Manuscript: watchManuscript("Graph Mining"), CallbackURL: "http://cb.example/hook"}); err != nil {
+		t.Fatal(err)
+	}
+	// First tick computes the baseline (and clears dirtiness).
+	if fired := w.Tick(context.Background()); fired != 0 {
+		t.Fatalf("baseline tick fired %d webhooks", fired)
+	}
+
+	// Unrelated keyword: stays clean.
+	if n := w.NoteDelta(feed.Delta{Seq: 1, Kind: feed.KindPublicationAdded, Keywords: []string{"quantum sensing"}}); n != 0 {
+		t.Fatalf("unrelated delta dirtied %d watches", n)
+	}
+	// Matching keyword (normalization-insensitive): dirty.
+	if n := w.NoteDelta(feed.Delta{Seq: 2, Kind: feed.KindPublicationAdded, Keywords: []string{"  graph MINING "}}); n != 1 {
+		t.Fatalf("keyword delta dirtied %d watches, want 1", n)
+	}
+	w.Tick(context.Background())
+
+	// A delta naming a slate member dirties the watch even without
+	// keyword overlap.
+	if n := w.NoteDelta(feed.Delta{Seq: 3, Kind: feed.KindScholarUpdated, Scholar: "alice"}); n != 1 {
+		t.Fatalf("slate-member delta dirtied %d watches, want 1", n)
+	}
+	w.Tick(context.Background())
+
+	// Outages dirty everything.
+	if n := w.NoteDelta(feed.Delta{Seq: 4, Kind: feed.KindSourceDown, Source: "dblp"}); n != 1 {
+		t.Fatalf("outage dirtied %d watches, want 1", n)
+	}
+	// Already-dirty watches are not re-counted.
+	if n := w.NoteDelta(feed.Delta{Seq: 5, Kind: feed.KindSourceUp, Source: "dblp"}); n != 0 {
+		t.Fatalf("re-dirty counted %d", n)
+	}
+	if got := w.ResumeSeq(); got != 6 {
+		t.Fatalf("ResumeSeq = %d, want 6 (one past the last applied)", got)
+	}
+}
+
+func TestTickFiresDriftWebhookAtMostOnce(t *testing.T) {
+	leakcheck.Check(t)
+	hook := newHookRecorder()
+	defer hook.srv.Close()
+	r := &slateRanker{}
+	r.set("Alice", "Bob", "Carol")
+	w := testWatcher(t, r.rank, WatcherOptions{WebhookSecret: "s3cret"})
+	if _, err := w.Add(WatchSpec{ID: "w", Manuscript: watchManuscript("graph mining"), TopK: 3, MinShift: 2, CallbackURL: hook.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Baseline tick: never fires, whatever the slate.
+	if fired := w.Tick(context.Background()); fired != 0 {
+		t.Fatal("baseline tick fired")
+	}
+
+	// One entrant + one leaver = shift 2 >= MinShift: fires.
+	r.set("Alice", "Bob", "Dave")
+	w.NoteDelta(feed.Delta{Seq: 1, Kind: feed.KindPublicationAdded, Keywords: []string{"graph mining"}})
+	if fired := w.Tick(context.Background()); fired != 1 {
+		t.Fatalf("drift tick fired %d, want 1", fired)
+	}
+	waitFor(t, "drift webhook", func() bool { return hook.count() == 1 })
+	body, head := hook.nth(0)
+	if head.Get(EventHeader) != "watch.drift" || head.Get(WatchIDHeader) != "w" {
+		t.Fatalf("headers = %v", head)
+	}
+	if got, want := head.Get(SignatureHeader), Sign("s3cret", body); got != want {
+		t.Fatalf("signature = %q, want %q", got, want)
+	}
+	var p WatchDriftPayload
+	if err := json.Unmarshal(body, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Event != "watch.drift" || p.Shift != 2 || p.FeedSeq != 1 {
+		t.Fatalf("payload = %+v", p)
+	}
+	if len(p.Entrants) != 1 || p.Entrants[0] != "Dave" || len(p.Leavers) != 1 || p.Leavers[0] != "Carol" {
+		t.Fatalf("entrants/leavers = %v/%v", p.Entrants, p.Leavers)
+	}
+	if len(p.Previous) != 3 || p.Previous[2] != "Carol" || p.Watch.Rank[2] != "Dave" {
+		t.Fatalf("previous/new = %v/%v", p.Previous, p.Watch.Rank)
+	}
+
+	// A tick with no new delta re-fires nothing: the baseline advanced.
+	if fired := w.Tick(context.Background()); fired != 0 {
+		t.Fatal("clean tick re-fired")
+	}
+
+	// Two survivors swapping positions is shift 2 = MinShift: fires
+	// exactly once more.
+	r.set("Bob", "Alice", "Dave")
+	w.NoteDelta(feed.Delta{Seq: 2, Kind: feed.KindPublicationAdded, Keywords: []string{"graph mining"}})
+	if fired := w.Tick(context.Background()); fired != 1 {
+		t.Fatalf("swap tick fired %d, want 1", fired)
+	}
+	waitFor(t, "second webhook", func() bool { return hook.count() == 2 })
+
+	stats := w.Stats()
+	if stats.Fired != 2 || stats.Watches != 1 || stats.FeedSeq != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestTickBelowThresholdDoesNotFire(t *testing.T) {
+	leakcheck.Check(t)
+	hook := newHookRecorder()
+	defer hook.srv.Close()
+	r := &slateRanker{}
+	r.set("Alice", "Bob", "Carol")
+	w := testWatcher(t, r.rank, WatcherOptions{})
+	if _, err := w.Add(WatchSpec{ID: "w", Manuscript: watchManuscript("k"), TopK: 3, MinShift: 3, CallbackURL: hook.srv.URL}); err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(context.Background()) // baseline
+
+	// Swap = shift 2 < MinShift 3: stays quiet, baseline still advances.
+	r.set("Bob", "Alice", "Carol")
+	w.NoteDelta(feed.Delta{Seq: 1, Kind: feed.KindPublicationAdded, Keywords: []string{"k"}})
+	if fired := w.Tick(context.Background()); fired != 0 {
+		t.Fatal("sub-threshold drift fired")
+	}
+	st, _ := w.Get("w")
+	if st.Rank[0] != "Bob" {
+		t.Fatalf("baseline did not advance: %v", st.Rank)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if hook.count() != 0 {
+		t.Fatalf("webhook landed despite sub-threshold shift")
+	}
+}
+
+func TestTickRankingErrorKeepsWatchDirty(t *testing.T) {
+	leakcheck.Check(t)
+	r := &slateRanker{}
+	r.fail(errors.New("sources down"))
+	w := testWatcher(t, r.rank, WatcherOptions{})
+	if _, err := w.Add(WatchSpec{ID: "w", Manuscript: watchManuscript("k"), CallbackURL: "http://cb.example/hook"}); err != nil {
+		t.Fatal(err)
+	}
+	if fired := w.Tick(context.Background()); fired != 0 {
+		t.Fatal("failed ranking fired")
+	}
+	st, _ := w.Get("w")
+	if !st.Dirty || st.LastError == "" || st.Checks != 1 {
+		t.Fatalf("after failure: %+v", st)
+	}
+	// Recovery: the next tick retries and clears the error.
+	r.set("Alice")
+	w.Tick(context.Background())
+	st, _ = w.Get("w")
+	if st.Dirty || st.LastError != "" || len(st.Rank) != 1 {
+		t.Fatalf("after recovery: %+v", st)
+	}
+}
+
+func TestWatchStoreRoundTrip(t *testing.T) {
+	leakcheck.Check(t)
+	path := filepath.Join(t.TempDir(), "watches.bin")
+	r := &slateRanker{}
+	r.set("Alice", "Bob")
+
+	w := testWatcher(t, r.rank, WatcherOptions{StorePath: path})
+	if _, err := w.Add(WatchSpec{ID: "w1", Manuscript: watchManuscript("graph mining"), TopK: 2, CallbackURL: "http://cb.example/hook"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Tick(context.Background()) // baseline ranked and saved
+	w.NoteDelta(feed.Delta{Seq: 7, Kind: feed.KindSourceDown, Source: "dblp"})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new watcher process restores the watch, its baseline, and the
+	// feed cursor — and every restored watch comes back dirty.
+	w2 := testWatcher(t, r.rank, WatcherOptions{StorePath: path})
+	stats, ok, err := w2.Load()
+	if err != nil || !ok {
+		t.Fatalf("Load: %v %v", stats, err)
+	}
+	if stats.Restored != 1 || stats.Dirty != 1 || stats.Dropped != 0 || stats.FeedSeq != 7 {
+		t.Fatalf("restore stats = %+v", stats)
+	}
+	if got := w2.ResumeSeq(); got != 8 {
+		t.Fatalf("ResumeSeq after restore = %d, want 8", got)
+	}
+	st, err := w2.Get("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Dirty || len(st.Rank) != 2 || st.Rank[0] != "Alice" || st.Checks != 1 {
+		t.Fatalf("restored watch = %+v", st)
+	}
+
+	// The restored baseline is live: an unchanged slate does not fire on
+	// the first post-boot tick.
+	if fired := w2.Tick(context.Background()); fired != 0 {
+		t.Fatal("post-restore tick fired without drift")
+	}
+}
+
+func TestWatchLoadMissingAndCorrupt(t *testing.T) {
+	leakcheck.Check(t)
+	r := &slateRanker{}
+	w := testWatcher(t, r.rank, WatcherOptions{StorePath: filepath.Join(t.TempDir(), "none.bin")})
+	if _, ok, err := w.Load(); ok || err != nil {
+		t.Fatalf("missing store: ok=%v err=%v", ok, err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(bad, []byte("not an envelope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w2 := testWatcher(t, r.rank, WatcherOptions{StorePath: bad})
+	if _, _, err := w2.Load(); err == nil {
+		t.Fatal("corrupt store loaded without error")
+	}
+}
+
+func TestWatcherStartStopTicks(t *testing.T) {
+	leakcheck.Check(t)
+	r := &slateRanker{}
+	r.set("Alice")
+	w := NewWatcher(r.rank, WatcherOptions{TickInterval: 10 * time.Millisecond})
+	if _, err := w.Add(WatchSpec{ID: "w", Manuscript: watchManuscript("k"), CallbackURL: "http://cb.example/hook"}); err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+	waitFor(t, "background tick", func() bool { return w.Stats().Checks >= 1 })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := w.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Stop is idempotent.
+	if err := w.Stop(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

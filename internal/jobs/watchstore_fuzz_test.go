@@ -1,0 +1,96 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"minaret/internal/core"
+	"minaret/internal/envelope"
+)
+
+// nopRanker satisfies Ranker for stores that are loaded but never ticked.
+func nopRanker(ctx context.Context, m core.Manuscript, opts json.RawMessage, topK int) ([]string, error) {
+	return nil, nil
+}
+
+// FuzzWatchStoreLoad feeds arbitrary bytes to the MINWATCH store
+// decoder. Whatever Load accepts must satisfy the restore invariants
+// (every restored watch re-arms dirty) and survive a save/Load
+// round-trip without gaining or losing watches.
+func FuzzWatchStoreLoad(f *testing.F) {
+	// Seed 1: a store a real watcher wrote.
+	seedPath := filepath.Join(f.TempDir(), "seed.watch")
+	sw := NewWatcher(nopRanker, WatcherOptions{StorePath: seedPath})
+	if _, err := sw.Add(WatchSpec{
+		ID: "seed", Manuscript: watchManuscript("stream joins"),
+		CallbackURL: "http://127.0.0.1:1/hook", TopK: 5,
+	}); err != nil {
+		f.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := sw.Stop(ctx); err != nil { // Stop persists
+		f.Fatal(err)
+	}
+	seed, err := os.ReadFile(seedPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+
+	// Seed 2: a valid envelope around broken JSON.
+	var badJSON bytes.Buffer
+	if err := envelope.Encode(&badJSON, watchMagic, watchVersion, []byte(`{"watches": [nope`)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(badJSON.Bytes())
+
+	// Seed 3: a valid envelope around JSON that is not a watch payload.
+	var wrongShape bytes.Buffer
+	if err := envelope.Encode(&wrongShape, watchMagic, watchVersion, []byte(`{"watches": [{"spec": 7}]}`)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(wrongShape.Bytes())
+	f.Add([]byte("not an envelope"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "store.watch")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w := NewWatcher(nopRanker, WatcherOptions{StorePath: path})
+		stats, ok, err := w.Load()
+		if err != nil || !ok {
+			return // rejected without panicking: the contract held
+		}
+		if stats.Dirty != stats.Restored {
+			t.Fatalf("restore marked %d/%d watches dirty; every restored watch must re-arm dirty", stats.Dirty, stats.Restored)
+		}
+		if len(w.List()) != stats.Restored {
+			t.Fatalf("List has %d watches, restore reported %d", len(w.List()), stats.Restored)
+		}
+
+		// Round-trip: what Load accepted, save must preserve exactly.
+		again := filepath.Join(t.TempDir(), "again.watch")
+		w.opts.StorePath = again
+		if err := w.save(); err != nil {
+			t.Fatalf("restored store does not re-save: %v", err)
+		}
+		w2 := NewWatcher(nopRanker, WatcherOptions{StorePath: again})
+		stats2, ok2, err2 := w2.Load()
+		if err2 != nil || !ok2 {
+			t.Fatalf("re-saved store does not re-load: ok=%v err=%v", ok2, err2)
+		}
+		if stats2.Restored != stats.Restored || stats2.Dropped != 0 {
+			t.Fatalf("round-trip: restored %d→%d, dropped %d", stats.Restored, stats2.Restored, stats2.Dropped)
+		}
+		if stats2.FeedSeq != stats.FeedSeq {
+			t.Fatalf("round-trip moved the feed cursor: %d→%d", stats.FeedSeq, stats2.FeedSeq)
+		}
+	})
+}

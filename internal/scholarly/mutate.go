@@ -1,0 +1,192 @@
+// Corpus mutation. The generator builds an immutable world; the change
+// feed (simweb -mutate) needs to grow it at runtime — a scholar joins
+// the field, a paper appears — without rebuilding the derived indexes
+// from scratch. These helpers append and reindex incrementally; they
+// are NOT concurrency-safe on their own, callers (simweb's mutation
+// endpoint) serialize them against readers.
+package scholarly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NewScholarSpec describes a scholar to add at runtime. Zero fields get
+// serviceable defaults; the scholar is present on every source.
+type NewScholarSpec struct {
+	// Given/Family name the scholar. Required.
+	Given  string
+	Family string
+	// Institution/Country seed a single current affiliation.
+	Institution string
+	Country     string
+	// Interests are the registered topic labels.
+	Interests []string
+	// CareerStart defaults to horizon-5.
+	CareerStart int
+	// Responsiveness defaults to 0.9 (an eager new reviewer);
+	// MedianReviewDays to 14.
+	Responsiveness   float64
+	MedianReviewDays int
+}
+
+// AddScholar appends a scholar to the corpus and updates the name and
+// interest indexes incrementally. It returns the new scholar.
+func (c *Corpus) AddScholar(spec NewScholarSpec) (*Scholar, error) {
+	if strings.TrimSpace(spec.Family) == "" {
+		return nil, fmt.Errorf("scholarly: new scholar needs a family name")
+	}
+	if spec.CareerStart == 0 {
+		spec.CareerStart = c.HorizonYear - 5
+	}
+	if spec.Responsiveness == 0 {
+		spec.Responsiveness = 0.9
+	}
+	if spec.MedianReviewDays == 0 {
+		spec.MedianReviewDays = 14
+	}
+	if spec.Institution == "" {
+		spec.Institution = "Independent Researcher Institute"
+	}
+	s := Scholar{
+		ID:          ScholarID(len(c.Scholars)),
+		Name:        Name{Given: strings.TrimSpace(spec.Given), Family: strings.TrimSpace(spec.Family)},
+		CareerStart: spec.CareerStart,
+		Affiliations: []Affiliation{{
+			Institution: spec.Institution,
+			Country:     spec.Country,
+			StartYear:   spec.CareerStart,
+		}},
+		Interests:        append([]string(nil), spec.Interests...),
+		TrueTopics:       map[string]float64{},
+		Responsiveness:   spec.Responsiveness,
+		MedianReviewDays: spec.MedianReviewDays,
+		Presence: SourcePresence{
+			DBLP: true, GoogleScholar: true, Publons: true,
+			ACMDL: true, ORCID: true, ResearcherID: true,
+		},
+	}
+	if n := len(spec.Interests); n > 0 {
+		for _, topic := range spec.Interests {
+			s.TrueTopics[strings.ToLower(topic)] = 1 / float64(n)
+		}
+	}
+	c.Scholars = append(c.Scholars, s)
+	sp := &c.Scholars[len(c.Scholars)-1]
+	c.indexScholar(sp)
+	return sp, nil
+}
+
+// NewPublicationSpec describes a publication to add at runtime.
+type NewPublicationSpec struct {
+	// Title of the paper. Required.
+	Title string
+	// Authors are corpus scholar IDs, in author order. Required.
+	Authors []ScholarID
+	// Keywords are the paper's topic labels; they are also added to
+	// each author's registered interests (profile sites list recent
+	// work's topics), updating the interest index.
+	Keywords []string
+	// Year defaults to the corpus horizon year.
+	Year int
+	// Venue defaults to the first venue in the corpus.
+	Venue VenueID
+	// Citations seeds the citation count (a runtime-added paper can
+	// model an instant hit).
+	Citations int
+}
+
+// AddPublication appends a publication, links it to its authors (most
+// recent first, matching generator order), and merges its keywords into
+// each author's interests with an incremental index update. It returns
+// the new publication.
+func (c *Corpus) AddPublication(spec NewPublicationSpec) (*Publication, error) {
+	if strings.TrimSpace(spec.Title) == "" {
+		return nil, fmt.Errorf("scholarly: new publication needs a title")
+	}
+	if len(spec.Authors) == 0 {
+		return nil, fmt.Errorf("scholarly: new publication needs at least one author")
+	}
+	for _, id := range spec.Authors {
+		if int(id) < 0 || int(id) >= len(c.Scholars) {
+			return nil, fmt.Errorf("scholarly: new publication author %d not in corpus", id)
+		}
+	}
+	if spec.Year == 0 {
+		spec.Year = c.HorizonYear
+	}
+	if int(spec.Venue) < 0 || int(spec.Venue) >= len(c.Venues) {
+		return nil, fmt.Errorf("scholarly: new publication venue %d not in corpus", spec.Venue)
+	}
+	p := Publication{
+		ID:        PubID(len(c.Publications)),
+		Title:     strings.TrimSpace(spec.Title),
+		Year:      spec.Year,
+		Venue:     spec.Venue,
+		Authors:   append([]ScholarID(nil), spec.Authors...),
+		Keywords:  append([]string(nil), spec.Keywords...),
+		Citations: spec.Citations,
+	}
+	c.Publications = append(c.Publications, p)
+	for _, id := range spec.Authors {
+		s := c.Scholar(id)
+		s.Publications = append([]PubID{p.ID}, s.Publications...)
+		c.addInterests(s, spec.Keywords)
+	}
+	return &c.Publications[len(c.Publications)-1], nil
+}
+
+// AddInterests merges topics into the scholar's registered interests,
+// updating the interest index for the ones that are new. It returns the
+// labels actually added.
+func (c *Corpus) AddInterests(id ScholarID, topics []string) ([]string, error) {
+	if int(id) < 0 || int(id) >= len(c.Scholars) {
+		return nil, fmt.Errorf("scholarly: scholar %d not in corpus", id)
+	}
+	return c.addInterests(c.Scholar(id), topics), nil
+}
+
+// addInterests implements AddInterests for a resolved scholar.
+func (c *Corpus) addInterests(s *Scholar, topics []string) []string {
+	var added []string
+	for _, topic := range topics {
+		topic = strings.TrimSpace(topic)
+		if topic == "" {
+			continue
+		}
+		known := false
+		for _, in := range s.Interests {
+			if strings.EqualFold(in, topic) {
+				known = true
+				break
+			}
+		}
+		if known {
+			continue
+		}
+		s.Interests = append(s.Interests, topic)
+		if c.byInterest == nil {
+			c.byInterest = make(map[string][]ScholarID)
+		}
+		k := strings.ToLower(topic)
+		c.byInterest[k] = append(c.byInterest[k], s.ID)
+		added = append(added, topic)
+	}
+	return added
+}
+
+// indexScholar adds one scholar to the name and interest indexes.
+func (c *Corpus) indexScholar(s *Scholar) {
+	if c.byName == nil {
+		c.byName = make(map[string][]ScholarID)
+	}
+	if c.byInterest == nil {
+		c.byInterest = make(map[string][]ScholarID)
+	}
+	key := strings.ToLower(s.Name.Full())
+	c.byName[key] = append(c.byName[key], s.ID)
+	for _, in := range s.Interests {
+		k := strings.ToLower(in)
+		c.byInterest[k] = append(c.byInterest[k], s.ID)
+	}
+}

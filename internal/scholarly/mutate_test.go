@@ -1,0 +1,115 @@
+package scholarly
+
+import (
+	"testing"
+)
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	cfg := testConfig(11)
+	cfg.NumScholars = 50
+	return MustGenerate(cfg)
+}
+
+func TestAddScholarIndexesIncrementally(t *testing.T) {
+	c := smallCorpus(t)
+	before := len(c.Scholars)
+	s, err := c.AddScholar(NewScholarSpec{
+		Given: "Grace", Family: "Hopper",
+		Institution: "Navy Research Lab",
+		Interests:   []string{"compilers", "Data Management"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Scholars) != before+1 || int(s.ID) != before {
+		t.Fatalf("scholar count %d, id %d, want %d appended", len(c.Scholars), s.ID, before)
+	}
+	// Name and interest indexes see the new scholar without a rebuild.
+	if ids := c.ScholarsByName("Grace Hopper"); len(ids) != 1 || ids[0] != s.ID {
+		t.Fatalf("name index = %v, want [%d]", ids, s.ID)
+	}
+	found := false
+	for _, id := range c.ScholarsByInterest("Compilers") {
+		if id == s.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("interest index missing the new scholar")
+	}
+	// Defaults: present everywhere, eager reviewer, seeded affiliation.
+	if !s.Presence.DBLP || !s.Presence.ORCID {
+		t.Fatal("new scholar not present on all sources")
+	}
+	if s.Responsiveness != 0.9 || s.MedianReviewDays != 14 {
+		t.Fatalf("defaults = %v/%d", s.Responsiveness, s.MedianReviewDays)
+	}
+	if len(s.Affiliations) != 1 || s.Affiliations[0].Institution != "Navy Research Lab" {
+		t.Fatalf("affiliations = %+v", s.Affiliations)
+	}
+	if _, err := c.AddScholar(NewScholarSpec{Given: "No"}); err == nil {
+		t.Fatal("AddScholar accepted an empty family name")
+	}
+}
+
+func TestAddPublicationLinksAuthorsAndInterests(t *testing.T) {
+	c := smallCorpus(t)
+	author := ScholarID(0)
+	prevPubs := len(c.Scholar(author).Publications)
+	p, err := c.AddPublication(NewPublicationSpec{
+		Title:    "A Fresh Result",
+		Authors:  []ScholarID{author},
+		Keywords: []string{"quantum sensing"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Year != c.HorizonYear {
+		t.Fatalf("year defaulted to %d, want horizon %d", p.Year, c.HorizonYear)
+	}
+	s := c.Scholar(author)
+	if len(s.Publications) != prevPubs+1 || s.Publications[0] != p.ID {
+		t.Fatalf("publication not linked most-recent-first: %v", s.Publications[:min(3, len(s.Publications))])
+	}
+	// The paper's keywords became registered interests, indexed.
+	found := false
+	for _, id := range c.ScholarsByInterest("quantum sensing") {
+		if id == author {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("publication keywords not merged into the interest index")
+	}
+
+	if _, err := c.AddPublication(NewPublicationSpec{Title: "x"}); err == nil {
+		t.Fatal("AddPublication accepted zero authors")
+	}
+	if _, err := c.AddPublication(NewPublicationSpec{Title: "x", Authors: []ScholarID{9999}}); err == nil {
+		t.Fatal("AddPublication accepted an out-of-corpus author")
+	}
+}
+
+func TestAddInterestsDedupsCaseInsensitively(t *testing.T) {
+	c := smallCorpus(t)
+	id := ScholarID(1)
+	added, err := c.AddInterests(id, []string{"Edge Computing", "edge computing", "  "})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 1 || added[0] != "Edge Computing" {
+		t.Fatalf("added = %v, want exactly one label", added)
+	}
+	// Re-adding is a no-op.
+	added, err = c.AddInterests(id, []string{"EDGE COMPUTING"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 0 {
+		t.Fatalf("re-add reported %v", added)
+	}
+	if _, err := c.AddInterests(ScholarID(-1), []string{"x"}); err == nil {
+		t.Fatal("AddInterests accepted an out-of-corpus scholar")
+	}
+}

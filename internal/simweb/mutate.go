@@ -1,0 +1,254 @@
+// Mutation mode. A simweb started with -mutate exposes two extra
+// endpoints next to the six sites: POST /_feed/mutate applies a corpus
+// change (add a scholar, add a publication, register interests, take a
+// site down or up) and GET /_feed/changes serves the resulting change
+// feed (see the feed package). Every mutation publishes one Delta, so
+// consumers learn exactly which scholars, site identities and keywords
+// went stale. Mutations and site handlers are serialized through an
+// RWMutex: readers (the six sites) share, mutations exclude.
+package simweb
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"minaret/internal/feed"
+	"minaret/internal/scholarly"
+)
+
+// EnableMutation switches the web into mutable mode: Mux will mount
+// /_feed/mutate and /_feed/changes, and site handlers start taking the
+// corpus read lock. Call before Mux. Returns the change feed so an
+// embedding process can subscribe without HTTP.
+func (w *Web) EnableMutation(opts feed.Options) *feed.Log {
+	w.feed = feed.NewLog(opts)
+	return w.feed
+}
+
+// Feed returns the change feed, nil unless EnableMutation was called.
+func (w *Web) Feed() *feed.Log { return w.feed }
+
+// Mutation is the POST /_feed/mutate request body. Op selects the
+// change; the other fields parameterize it.
+type Mutation struct {
+	// Op is one of add_scholar, add_publication, add_interests,
+	// source_down, source_up.
+	Op string `json:"op"`
+	// Name is the scholar's full name ("Given Family"): the new
+	// scholar for add_scholar, the target for add_publication (first
+	// author) and add_interests.
+	Name string `json:"name,omitempty"`
+	// Affiliation/Country seed a new scholar's current employment.
+	Affiliation string `json:"affiliation,omitempty"`
+	Country     string `json:"country,omitempty"`
+	// Interests registers topic labels (add_scholar, add_interests).
+	Interests []string `json:"interests,omitempty"`
+	// Title/Keywords/Year/Citations describe a new publication.
+	Title     string   `json:"title,omitempty"`
+	Keywords  []string `json:"keywords,omitempty"`
+	Year      int      `json:"year,omitempty"`
+	Citations int      `json:"citations,omitempty"`
+	// Source names the site for source_down / source_up.
+	Source string `json:"source,omitempty"`
+}
+
+// MutationResult is the mutate endpoint's response: the published
+// delta (its Seq is the feed position consumers will see).
+type MutationResult struct {
+	Delta feed.Delta `json:"delta"`
+}
+
+// mountMutation adds the mutation-mode endpoints to mux.
+func (w *Web) mountMutation(mux *http.ServeMux) {
+	mux.Handle("/_feed/changes", feed.Handler(w.feed))
+	mux.HandleFunc("/_feed/mutate", w.handleMutate)
+}
+
+// handleMutate applies one Mutation and answers the published Delta.
+func (w *Web) handleMutate(rw http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var m Mutation
+	if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, 1<<20)).Decode(&m); err != nil {
+		http.Error(rw, "bad mutation: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	d, status, err := w.Mutate(m)
+	if err != nil {
+		http.Error(rw, err.Error(), status)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(MutationResult{Delta: d})
+}
+
+// Mutate applies one corpus change under the write lock and publishes
+// its delta. The returned status is the HTTP code for err.
+func (w *Web) Mutate(m Mutation) (feed.Delta, int, error) {
+	if w.feed == nil {
+		return feed.Delta{}, http.StatusConflict, fmt.Errorf("mutation mode is not enabled")
+	}
+	switch m.Op {
+	case "add_scholar":
+		return w.mutateAddScholar(m)
+	case "add_publication":
+		return w.mutateAddPublication(m)
+	case "add_interests":
+		return w.mutateAddInterests(m)
+	case "source_down", "source_up":
+		return w.mutateSource(m)
+	default:
+		return feed.Delta{}, http.StatusBadRequest,
+			fmt.Errorf("unknown op %q (want add_scholar|add_publication|add_interests|source_down|source_up)", m.Op)
+	}
+}
+
+func (w *Web) mutateAddScholar(m Mutation) (feed.Delta, int, error) {
+	given, family := splitFullName(m.Name)
+	w.corpusMu.Lock()
+	s, err := w.corpus.AddScholar(scholarly.NewScholarSpec{
+		Given: given, Family: family,
+		Institution: m.Affiliation, Country: m.Country,
+		Interests: m.Interests,
+	})
+	w.corpusMu.Unlock()
+	if err != nil {
+		return feed.Delta{}, http.StatusBadRequest, err
+	}
+	d := feed.Delta{
+		Kind:     feed.KindScholarAdded,
+		Scholar:  s.Name.Full(),
+		SiteIDs:  SiteIDsOf(s),
+		Keywords: append([]string(nil), s.Interests...),
+	}
+	d.Seq = w.feed.Publish(d)
+	return d, 0, nil
+}
+
+func (w *Web) mutateAddPublication(m Mutation) (feed.Delta, int, error) {
+	w.corpusMu.Lock()
+	ids := w.corpus.ScholarsByName(m.Name)
+	if len(ids) == 0 {
+		w.corpusMu.Unlock()
+		return feed.Delta{}, http.StatusNotFound, fmt.Errorf("no scholar named %q", m.Name)
+	}
+	author := ids[0]
+	_, err := w.corpus.AddPublication(scholarly.NewPublicationSpec{
+		Title:     m.Title,
+		Authors:   []scholarly.ScholarID{author},
+		Keywords:  m.Keywords,
+		Year:      m.Year,
+		Citations: m.Citations,
+	})
+	var s *scholarly.Scholar
+	if err == nil {
+		s = w.corpus.Scholar(author)
+	}
+	w.corpusMu.Unlock()
+	if err != nil {
+		return feed.Delta{}, http.StatusBadRequest, err
+	}
+	d := feed.Delta{
+		Kind:     feed.KindPublicationAdded,
+		Scholar:  s.Name.Full(),
+		SiteIDs:  SiteIDsOf(s),
+		Keywords: append([]string(nil), m.Keywords...),
+	}
+	d.Seq = w.feed.Publish(d)
+	return d, 0, nil
+}
+
+func (w *Web) mutateAddInterests(m Mutation) (feed.Delta, int, error) {
+	w.corpusMu.Lock()
+	ids := w.corpus.ScholarsByName(m.Name)
+	if len(ids) == 0 {
+		w.corpusMu.Unlock()
+		return feed.Delta{}, http.StatusNotFound, fmt.Errorf("no scholar named %q", m.Name)
+	}
+	added, err := w.corpus.AddInterests(ids[0], m.Interests)
+	var s *scholarly.Scholar
+	if err == nil {
+		s = w.corpus.Scholar(ids[0])
+	}
+	w.corpusMu.Unlock()
+	if err != nil {
+		return feed.Delta{}, http.StatusBadRequest, err
+	}
+	d := feed.Delta{
+		Kind:     feed.KindScholarUpdated,
+		Scholar:  s.Name.Full(),
+		SiteIDs:  SiteIDsOf(s),
+		Keywords: added,
+	}
+	d.Seq = w.feed.Publish(d)
+	return d, 0, nil
+}
+
+func (w *Web) mutateSource(m Mutation) (feed.Delta, int, error) {
+	src := strings.ToLower(strings.TrimSpace(m.Source))
+	known := false
+	for _, s := range AllSources {
+		if s == src {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return feed.Delta{}, http.StatusBadRequest,
+			fmt.Errorf("unknown source %q (want one of %s)", m.Source, strings.Join(AllSources, "|"))
+	}
+	down := m.Op == "source_down"
+	w.mu.Lock()
+	if w.cfg.Down == nil {
+		w.cfg.Down = make(map[string]bool)
+	}
+	w.cfg.Down[src] = down
+	w.mu.Unlock()
+	kind := feed.KindSourceUp
+	if down {
+		kind = feed.KindSourceDown
+	}
+	d := feed.Delta{Kind: kind, Source: src}
+	d.Seq = w.feed.Publish(d)
+	return d, 0, nil
+}
+
+// SiteIDsOf renders a scholar's per-site identifiers for the sites the
+// scholar is present on — the same source->id vocabulary assembled
+// profiles carry in profile.Profile.SiteIDs.
+func SiteIDsOf(s *scholarly.Scholar) map[string]string {
+	out := make(map[string]string, 6)
+	if s.Presence.DBLP {
+		out[SourceDBLP] = DBLPPID(s.ID)
+	}
+	if s.Presence.GoogleScholar {
+		out[SourceScholar] = ScholarUser(s.ID)
+	}
+	if s.Presence.Publons {
+		out[SourcePublons] = PublonsID(s.ID)
+	}
+	if s.Presence.ACMDL {
+		out[SourceACM] = ACMID(s.ID)
+	}
+	if s.Presence.ORCID {
+		out[SourceORCID] = ORCIDOf(s.ID)
+	}
+	if s.Presence.ResearcherID {
+		out[SourceResearcherID] = RIDOf(s.ID)
+	}
+	return out
+}
+
+// splitFullName cuts "Given Family" at the last space; a single token
+// becomes the family name.
+func splitFullName(full string) (given, family string) {
+	full = strings.TrimSpace(full)
+	if i := strings.LastIndex(full, " "); i >= 0 {
+		return full[:i], full[i+1:]
+	}
+	return "", full
+}

@@ -1,0 +1,185 @@
+package simweb
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"minaret/internal/feed"
+	"minaret/internal/ontology"
+	"minaret/internal/scholarly"
+)
+
+func mutableWeb(t *testing.T) (*Web, *feed.Log, *httptest.Server) {
+	t.Helper()
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 61, NumScholars: 100, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	w := New(corpus, Config{})
+	log := w.EnableMutation(feed.Options{DedupWindow: -1})
+	srv := httptest.NewServer(w.Mux())
+	t.Cleanup(srv.Close)
+	return w, log, srv
+}
+
+func postMutation(t *testing.T, url string, m Mutation) (*http.Response, MutationResult) {
+	t.Helper()
+	body, _ := json.Marshal(m)
+	resp, err := http.Post(url+"/_feed/mutate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res MutationResult
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, res
+}
+
+func TestMutateAddScholarPublishesAndServes(t *testing.T) {
+	_, log, srv := mutableWeb(t)
+	resp, res := postMutation(t, srv.URL, Mutation{
+		Op: "add_scholar", Name: "Grace Hopper",
+		Affiliation: "Navy Research Lab",
+		Interests:   []string{"compilers"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mutate answered %d", resp.StatusCode)
+	}
+	d := res.Delta
+	if d.Kind != feed.KindScholarAdded || d.Scholar != "Grace Hopper" || d.Seq == 0 {
+		t.Fatalf("delta = %+v", d)
+	}
+	// The new scholar carries a full site-id set, and each id resolves on
+	// its site immediately — the corpus and its indexes grew in place.
+	if len(d.SiteIDs) != 6 {
+		t.Fatalf("site ids = %v, want all 6 sources", d.SiteIDs)
+	}
+	r, err := http.Get(srv.URL + "/dblp/pid/" + d.SiteIDs[SourceDBLP] + ".xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("dblp page for the new scholar answered %d", r.StatusCode)
+	}
+	// The delta is replayable from the feed endpoint.
+	page := getChanges(t, srv.URL, d.Seq)
+	if len(page.Deltas) != 1 || page.Deltas[0].Scholar != "Grace Hopper" {
+		t.Fatalf("feed page = %+v", page)
+	}
+	if log.Stats().Published != 1 {
+		t.Fatalf("feed stats = %+v", log.Stats())
+	}
+}
+
+func getChanges(t *testing.T, url string, from uint64) feed.ChangesPage {
+	t.Helper()
+	resp, err := http.Get(url + "/_feed/changes?from=" + jsonUint(from))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var page feed.ChangesPage
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page
+}
+
+func jsonUint(v uint64) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
+
+func TestMutateAddPublicationAndInterests(t *testing.T) {
+	w, _, srv := mutableWeb(t)
+	name := w.corpus.Scholars[0].Name.Full()
+
+	resp, res := postMutation(t, srv.URL, Mutation{
+		Op: "add_publication", Name: name,
+		Title: "A Fresh Result", Keywords: []string{"stream joins"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add_publication answered %d", resp.StatusCode)
+	}
+	if res.Delta.Kind != feed.KindPublicationAdded || len(res.Delta.Keywords) != 1 {
+		t.Fatalf("delta = %+v", res.Delta)
+	}
+
+	resp, res = postMutation(t, srv.URL, Mutation{
+		Op: "add_interests", Name: name, Interests: []string{"query optimization"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add_interests answered %d", resp.StatusCode)
+	}
+	if res.Delta.Kind != feed.KindScholarUpdated {
+		t.Fatalf("delta = %+v", res.Delta)
+	}
+
+	// Unknown scholar: 404.
+	resp, _ = postMutation(t, srv.URL, Mutation{Op: "add_interests", Name: "Nobody Here", Interests: []string{"x"}})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown scholar answered %d, want 404", resp.StatusCode)
+	}
+	// Unknown op: 400.
+	resp, _ = postMutation(t, srv.URL, Mutation{Op: "explode"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown op answered %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMutateSourceOutage(t *testing.T) {
+	_, _, srv := mutableWeb(t)
+	resp, res := postMutation(t, srv.URL, Mutation{Op: "source_down", Source: "dblp"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("source_down answered %d", resp.StatusCode)
+	}
+	if res.Delta.Kind != feed.KindSourceDown || res.Delta.Source != "dblp" {
+		t.Fatalf("delta = %+v", res.Delta)
+	}
+	// The site now fails.
+	r, err := http.Get(srv.URL + "/dblp/search/author?q=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("downed site answered %d, want 503", r.StatusCode)
+	}
+	// And comes back.
+	resp, res = postMutation(t, srv.URL, Mutation{Op: "source_up", Source: "dblp"})
+	if resp.StatusCode != http.StatusOK || res.Delta.Kind != feed.KindSourceUp {
+		t.Fatalf("source_up: %d %+v", resp.StatusCode, res.Delta)
+	}
+	r, err = http.Get(srv.URL + "/dblp/search/author?q=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("recovered site answered %d", r.StatusCode)
+	}
+	// Unknown source: 400.
+	resp, _ = postMutation(t, srv.URL, Mutation{Op: "source_down", Source: "bing"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown source answered %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMutateWithoutEnableIsConflict(t *testing.T) {
+	o := ontology.Default()
+	corpus := scholarly.MustGenerate(scholarly.GeneratorConfig{
+		Seed: 61, NumScholars: 50, Topics: o.Topics(), Related: o.RelatedMap(),
+	})
+	w := New(corpus, Config{})
+	if _, status, err := w.Mutate(Mutation{Op: "source_down", Source: "dblp"}); err == nil || status != http.StatusConflict {
+		t.Fatalf("Mutate without EnableMutation: status %d err %v", status, err)
+	}
+}

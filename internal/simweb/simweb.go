@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"minaret/internal/feed"
 	"minaret/internal/scholarly"
 )
 
@@ -64,6 +65,12 @@ type Web struct {
 	reqHits map[string]*rateWindow
 
 	requests map[string]*int64 // per-site request counters (behind mu)
+
+	// corpusMu serializes corpus mutations (mutate.go) against the six
+	// site handlers; with mutation mode off it is uncontended.
+	corpusMu sync.RWMutex
+	// feed is the change feed, non-nil once EnableMutation ran.
+	feed *feed.Log
 }
 
 type rateWindow struct {
@@ -114,6 +121,9 @@ func (w *Web) Mux() *http.ServeMux {
 	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(rw, "ok")
 	})
+	if w.feed != nil {
+		w.mountMutation(mux)
+	}
 	return mux
 }
 
@@ -152,7 +162,11 @@ func (w *Web) instrument(source string, h http.Handler) http.Handler {
 		case fail:
 			http.Error(rw, "internal error", http.StatusInternalServerError)
 		default:
+			// The read lock holds corpus mutations (mutate.go) off for
+			// the duration of one page render.
+			w.corpusMu.RLock()
 			h.ServeHTTP(rw, r)
+			w.corpusMu.RUnlock()
 		}
 	})
 }

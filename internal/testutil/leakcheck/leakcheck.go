@@ -1,0 +1,172 @@
+// Package leakcheck is the goroutine-leak harness for the streaming
+// tests: every SSE, feed and watch test registers Check(t) first, and
+// the cleanup — which runs after the test's own cleanups have torn the
+// system down — diffs the goroutine profile against the snapshot taken
+// at registration. Goroutines take time to unwind after a Close, so the
+// diff retries with a grace period before failing; goroutines that
+// belong to the runtime or the testing framework are filtered out of
+// both sides. A failure prints the leaked stacks verbatim, which is the
+// whole debugging story: the stack names the function that never
+// returned.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB the harness needs; taking the
+// interface keeps the package importable from non-test helpers.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// graceTotal is how long the cleanup waits for straggler goroutines to
+// unwind before declaring them leaked.
+const graceTotal = 5 * time.Second
+
+// Check snapshots the current goroutines and registers a cleanup that
+// fails the test if, after a grace period, goroutines exist that were
+// not running at snapshot time. Call it FIRST in the test, before any
+// other Cleanup registration: cleanups run last-in-first-out, so the
+// leak diff then runs after the test's own teardown.
+func Check(t TB) {
+	t.Helper()
+	before := snapshot()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(graceTotal)
+		var leaked []string
+		for {
+			leaked = leakedSince(before)
+			if len(leaked) == 0 {
+				return
+			}
+			if !time.Now().Before(deadline) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		t.Errorf("leakcheck: %d goroutine(s) leaked:\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// snapshot returns the set of interesting goroutine stacks keyed by
+// identity (see stackKey), with counts — two goroutines parked at the
+// same select are two entries of the same key.
+func snapshot() map[string]int {
+	out := make(map[string]int)
+	for _, g := range interesting() {
+		out[stackKey(g)]++
+	}
+	return out
+}
+
+// leakedSince returns the stacks of interesting goroutines in excess
+// of the before snapshot's count for their key.
+func leakedSince(before map[string]int) []string {
+	seen := make(map[string]int)
+	var leaked []string
+	for _, g := range interesting() {
+		k := stackKey(g)
+		seen[k]++
+		if seen[k] > before[k] {
+			leaked = append(leaked, g)
+		}
+	}
+	sort.Strings(leaked)
+	return leaked
+}
+
+// interesting captures every live goroutine's stack and drops the ones
+// that can never be a test's fault: the runtime's own workers and the
+// testing framework machinery.
+func interesting() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g != "" && !ignorable(g) {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// ignorable reports whether a goroutine stack belongs to the runtime or
+// the test harness rather than the code under test.
+func ignorable(stack string) bool {
+	for _, marker := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*T).Run(",
+		"testing.(*M).",
+		"testing.runTests(",
+		"testing.runFuzzTests(",
+		"testing.(*F).Fuzz",
+		"runtime.goexit0",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime.MHeap_Scavenger",
+		"runtime/trace.Start",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+		"leakcheck.interesting",
+	} {
+		if strings.Contains(stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// stackKey normalizes one goroutine's stack into an identity that
+// survives goroutine-ID and pointer-argument churn: the header's ID and
+// every hex argument/address are stripped, keeping the frame functions
+// and call sites.
+func stackKey(stack string) string {
+	lines := strings.Split(stack, "\n")
+	var b strings.Builder
+	for i, line := range lines {
+		if i == 0 {
+			// "goroutine 42 [select, 2 minutes]:" -> "[select]" minus
+			// the wait duration, which changes between retries.
+			if idx := strings.Index(line, "["); idx >= 0 {
+				state := line[idx:]
+				if c := strings.Index(state, ","); c >= 0 {
+					state = state[:c]
+				} else if c := strings.Index(state, "]"); c >= 0 {
+					state = state[:c]
+				}
+				fmt.Fprintln(&b, state+"]")
+			}
+			continue
+		}
+		line = strings.TrimSpace(line)
+		// Frame lines alternate "pkg.fn(0xc000.., ...)" and
+		// "\tfile.go:123 +0x1af"; strip argument values and offsets.
+		if idx := strings.Index(line, "("); idx >= 0 && strings.HasSuffix(line, ")") {
+			line = line[:idx]
+		}
+		if idx := strings.Index(line, " +0x"); idx >= 0 {
+			line = line[:idx]
+		}
+		fmt.Fprintln(&b, line)
+	}
+	return b.String()
+}

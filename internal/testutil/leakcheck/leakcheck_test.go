@@ -1,0 +1,83 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder is a TB double that captures Errorf calls and runs cleanups
+// on demand.
+type recorder struct {
+	*testing.T
+	errors   []string
+	cleanups []func()
+}
+
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, format)
+}
+func (r *recorder) Cleanup(fn func()) { r.cleanups = append(r.cleanups, fn) }
+
+func (r *recorder) runCleanups() {
+	for i := len(r.cleanups) - 1; i >= 0; i-- {
+		r.cleanups[i]()
+	}
+}
+
+func TestCheckPassesWhenGoroutinesUnwind(t *testing.T) {
+	rec := &recorder{T: t}
+	Check(rec)
+	// A goroutine that finishes within the grace window is not a leak.
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	<-done
+	rec.runCleanups()
+	if len(rec.errors) != 0 {
+		t.Fatalf("clean test reported leaks: %v", rec.errors)
+	}
+}
+
+func TestCheckDetectsLeak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("waits out the full grace window")
+	}
+	rec := &recorder{T: t}
+	Check(rec)
+	// Deliberate leak: a goroutine parked forever.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() { <-stop }()
+	time.Sleep(20 * time.Millisecond)
+	rec.runCleanups() // blocks for the grace period, then reports
+	if len(rec.errors) == 0 {
+		t.Fatal("leaked goroutine was not detected")
+	}
+	if !strings.Contains(rec.errors[0], "leakcheck") {
+		t.Fatalf("unexpected error format %q", rec.errors[0])
+	}
+}
+
+func TestStackKeyStripsVolatileParts(t *testing.T) {
+	a := "goroutine 10 [select, 3 minutes]:\nmain.worker(0xc000102030)\n\t/src/main.go:42 +0x1af"
+	b := "goroutine 99 [select]:\nmain.worker(0xc000aabbcc)\n\t/src/main.go:42 +0x9ff"
+	if stackKey(a) != stackKey(b) {
+		t.Fatalf("keys differ:\n%q\n%q", stackKey(a), stackKey(b))
+	}
+	c := "goroutine 11 [chan receive]:\nmain.other()\n\t/src/other.go:7 +0x10"
+	if stackKey(a) == stackKey(c) {
+		t.Fatal("distinct stacks share a key")
+	}
+}
+
+func TestIgnorableFiltersHarness(t *testing.T) {
+	if !ignorable("goroutine 1 [chan receive]:\ntesting.(*T).Run(...)") {
+		t.Fatal("testing harness stack not ignored")
+	}
+	if ignorable("goroutine 7 [select]:\nminaret/internal/feed.(*Follower).loop(...)") {
+		t.Fatal("application stack wrongly ignored")
+	}
+}
